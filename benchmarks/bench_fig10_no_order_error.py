@@ -1,0 +1,102 @@
+"""Figure 10 — estimation error of queries without order axes.
+
+Per dataset, the average relative error of simple / branch / all queries
+as the p-histogram memory varies (via the variance threshold).
+
+Paper shapes to reproduce:
+
+* error decreases as p-histogram memory grows (variance shrinks);
+* at variance 0 simple queries are (near-)exact — exact for the
+  non-recursive datasets, small residual for XMark's recursion;
+* branch queries carry more error than simple queries (< ~7% at v=0 for
+  the paper's corpora).
+"""
+
+import pytest
+
+from benchmarks.conftest import DATASETS
+from repro.harness.metrics import relative_error
+from repro.harness.figures import render_series_chart
+from repro.harness.tables import format_table, record_result
+
+VARIANCES = [14, 8, 4, 2, 1, 0]  # increasing memory, like the paper's x-axis
+
+
+def mean_error(system, items):
+    if not items:
+        return 0.0
+    errors = [relative_error(system.estimate(i.query), i.actual) for i in items]
+    return sum(errors) / len(errors)
+
+
+def test_fig10_no_order_error(ctx, benchmark):
+    factory = ctx.factory("SSPlays")
+    sample = ctx.workload("SSPlays").simple[:50]
+    system0 = factory.system(p_variance=0)
+    benchmark.pedantic(
+        lambda: [system0.estimate(i.query) for i in sample], rounds=1, iterations=1
+    )
+
+    rows = []
+    results = {}
+    memories_by_name = {}
+    for name in DATASETS:
+        factory = ctx.factory(name)
+        workload = ctx.workload(name)
+        per_class = {"simple": [], "branch": [], "all": []}
+        memories = []
+        for variance in VARIANCES:
+            system = factory.system(p_variance=variance)
+            memories.append(system.summary_sizes()["p_histogram"] / 1024.0)
+            simple_err = mean_error(system, workload.simple)
+            branch_err = mean_error(system, workload.branch)
+            count = len(workload.simple) + len(workload.branch)
+            all_err = (
+                (simple_err * len(workload.simple) + branch_err * len(workload.branch))
+                / count
+            )
+            per_class["simple"].append(simple_err)
+            per_class["branch"].append(branch_err)
+            per_class["all"].append(all_err)
+        results[name] = per_class
+        memories_by_name[name] = memories
+        rows.append([name, "memKB"] + ["%.2f" % m for m in memories])
+        for klass in ("simple", "branch", "all"):
+            rows.append(
+                [name, klass] + ["%.4f" % e for e in per_class[klass]]
+            )
+    charts = [
+        render_series_chart(
+            {
+                klass: (memories_by_name[name], results[name][klass])
+                for klass in ("simple", "branch", "all")
+            },
+            title="Figure 10 (%s): relative error vs p-histogram KB" % name,
+            x_label="p-histogram KB",
+            y_label="rel err",
+            width=48,
+            height=10,
+        )
+        for name in DATASETS
+    ]
+    record_result(
+        "fig10_no_order_error",
+        format_table(
+            ["Dataset", "Series"] + ["v=%d" % v for v in VARIANCES],
+            rows,
+            title="Figure 10: Relative Error vs P-Histogram Memory (no order axes)",
+        )
+        + "\n\n" + "\n\n".join(charts),
+    )
+    for name in DATASETS:
+        per_class = results[name]
+        # Error at max memory (v=0) is no worse than at min memory (v=14).
+        assert per_class["all"][-1] <= per_class["all"][0] + 1e-9
+    # Simple queries exact at v=0 on the non-recursive datasets.
+    assert results["SSPlays"]["simple"][-1] == pytest.approx(0.0, abs=1e-9)
+    assert results["DBLP"]["simple"][-1] == pytest.approx(0.0, abs=1e-9)
+    # XMark's recursion residual stays small.
+    assert results["XMark"]["simple"][-1] < 0.15
+    # Branch error at v=0 is modest (paper: < 7%; allow slack at scale).
+    assert results["SSPlays"]["branch"][-1] < 0.10
+    assert results["DBLP"]["branch"][-1] < 0.10

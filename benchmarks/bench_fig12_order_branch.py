@@ -1,0 +1,106 @@
+"""Figure 12 — order-axis queries, target node in the *branch* part.
+
+Four curves per dataset (p-histogram variance 0/1/5/10); x-axis is
+o-histogram memory (variance 0/2/6/10 mapped to KB).
+
+Paper shapes to reproduce:
+
+* at p-variance 0 the error is small at low o-variance (paper: < ~10% at
+  o-variance 2, < ~6% at 0);
+* curves flatten at high p-variance — better order data cannot repair bad
+  path data;
+* DBLP stays flat across o-variance (order information dominated by the
+  sheer sibling width).
+"""
+
+from benchmarks.conftest import DATASETS
+from repro.harness.metrics import relative_error
+from repro.harness.figures import render_series_chart
+from repro.harness.tables import format_table, record_result
+
+P_VARIANCES = [0, 1, 5, 10]
+O_VARIANCES = [0, 2, 6, 10]
+
+
+def mean_error(system, items):
+    errors = [relative_error(system.estimate(i.query), i.actual) for i in items]
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def run_grid(ctx, name, items):
+    factory = ctx.factory(name)
+    grid = {}
+    memories = {}
+    for p_variance in P_VARIANCES:
+        errors = []
+        for o_variance in O_VARIANCES:
+            system = factory.system(p_variance=p_variance, o_variance=o_variance)
+            memories[o_variance] = system.summary_sizes()["o_histogram"] / 1024.0
+            errors.append(mean_error(system, items))
+        grid[p_variance] = errors
+    return grid, memories
+
+
+def record_grid(result_name, title, per_dataset):
+    rows = []
+    charts = []
+    for name, (grid, memories) in per_dataset.items():
+        rows.append(
+            [name, "o-histo KB"] + ["%.2f" % memories[o] for o in O_VARIANCES]
+        )
+        for p_variance in P_VARIANCES:
+            rows.append(
+                [name, "p-histo.v=%d" % p_variance]
+                + ["%.4f" % e for e in grid[p_variance]]
+            )
+        memory_axis = [memories[o] for o in O_VARIANCES]
+        charts.append(
+            render_series_chart(
+                {
+                    "p-histo.v=%d" % p: (memory_axis, grid[p])
+                    for p in P_VARIANCES
+                },
+                title="%s — %s (error vs o-histogram KB)" % (title.split(":")[0], name),
+                x_label="o-histogram KB",
+                y_label="rel err",
+                width=48,
+                height=10,
+            )
+        )
+    record_result(
+        result_name,
+        format_table(
+            ["Dataset", "Series"] + ["o.v=%d" % o for o in O_VARIANCES],
+            rows,
+            title=title,
+        )
+        + "\n\n" + "\n\n".join(charts),
+    )
+
+
+def test_fig12_order_error_branch_targets(ctx, benchmark):
+    sample = ctx.workload("SSPlays").order_branch[:40]
+    system = ctx.factory("SSPlays").system(0, 0)
+    benchmark.pedantic(
+        lambda: [system.estimate(i.query) for i in sample], rounds=1, iterations=1
+    )
+
+    per_dataset = {}
+    for name in DATASETS:
+        items = ctx.workload(name).order_branch
+        per_dataset[name] = run_grid(ctx, name, items)
+    record_grid(
+        "fig12_order_branch",
+        "Figure 12: Error of Order-Axis Queries (target in branch part)",
+        per_dataset,
+    )
+    for name in DATASETS:
+        grid, _ = per_dataset[name]
+        # Best configuration (p=0, o=0) no worse than the worst one.
+        best = grid[0][0]
+        worst = max(max(row) for row in grid.values())
+        assert best <= worst + 1e-9
+    # At exact path statistics, more order memory does not hurt much:
+    # the p=0 curve's o=0 point is its minimum (up to noise).
+    grid, _ = per_dataset["SSPlays"]
+    assert grid[0][0] <= min(grid[0]) + 0.02

@@ -1,0 +1,51 @@
+"""Figure 13 — order-axis queries, target node in the *trunk* part.
+
+Same grid as Figure 12 but the targets are trunk nodes, estimated with
+Equation 5's min-combination.
+
+Paper shapes to reproduce:
+
+* at low p-variance the estimation stays accurate even at high o-variance
+  (the no-order component of the min compensates for coarse order data);
+* trunk targets are estimated at least as well as branch targets on the
+  regular datasets.
+"""
+
+from benchmarks.bench_fig12_order_branch import (
+    O_VARIANCES,
+    P_VARIANCES,
+    mean_error,
+    record_grid,
+    run_grid,
+)
+from benchmarks.conftest import DATASETS
+
+
+def test_fig13_order_error_trunk_targets(ctx, benchmark):
+    sample = ctx.workload("SSPlays").order_trunk[:40]
+    system = ctx.factory("SSPlays").system(0, 0)
+    benchmark.pedantic(
+        lambda: [system.estimate(i.query) for i in sample], rounds=1, iterations=1
+    )
+
+    per_dataset = {}
+    for name in DATASETS:
+        items = ctx.workload(name).order_trunk
+        per_dataset[name] = run_grid(ctx, name, items)
+    record_grid(
+        "fig13_order_trunk",
+        "Figure 13: Error of Order-Axis Queries (target in trunk part)",
+        per_dataset,
+    )
+    # Trunk targets beat branch targets at (p=0, o=0) on the regular
+    # datasets (SSPlays, DBLP) — the Figure 12 vs 13 comparison.
+    for name in ("SSPlays", "DBLP"):
+        trunk_grid, _ = per_dataset[name]
+        system = ctx.factory(name).system(0, 0)
+        branch_err = mean_error(system, ctx.workload(name).order_branch)
+        assert trunk_grid[0][0] <= branch_err + 1e-9
+        assert trunk_grid[0][0] < 0.2
+    # Low p-variance rows stay flat-ish: max - min across o-variance small.
+    trunk_grid, _ = per_dataset["DBLP"]
+    row = trunk_grid[0]
+    assert max(row) - min(row) < 0.1

@@ -1,0 +1,73 @@
+"""Figure 9 — p-/o-histogram memory usage vs intra-bucket variance.
+
+Paper shapes to reproduce:
+
+* both histogram sizes are monotonically non-increasing in the variance
+  threshold (0 → 14);
+* XMark needs the most p-histogram space (most tags and path ids);
+* DBLP shows the largest o-histogram/p-histogram ratio (shallow + wide ⇒
+  order data dominates).
+"""
+
+from benchmarks.conftest import DATASETS
+from repro.harness.figures import render_series_chart
+from repro.harness.tables import format_table, record_result
+
+VARIANCES = [0, 1, 2, 4, 6, 8, 10, 12, 14]
+
+
+def test_fig9_histogram_memory(ctx, benchmark):
+    factory = ctx.factory("SSPlays")
+    benchmark.pedantic(
+        lambda: factory.system(p_variance=4, o_variance=4), rounds=1, iterations=1
+    )
+
+    series = {}
+    rows = []
+    for name in DATASETS:
+        factory = ctx.factory(name)
+        p_sizes, o_sizes = [], []
+        for variance in VARIANCES:
+            system = factory.system(p_variance=variance, o_variance=variance)
+            sizes = system.summary_sizes()
+            p_sizes.append(sizes["p_histogram"] / 1024.0)
+            o_sizes.append(sizes["o_histogram"] / 1024.0)
+        series[name] = (p_sizes, o_sizes)
+        for label, values in (("p-histo", p_sizes), ("o-histo", o_sizes)):
+            rows.append(
+                [name, label] + ["%.2f" % value for value in values]
+            )
+    charts = [
+        render_series_chart(
+            {
+                "p-histo": (VARIANCES, series[name][0]),
+                "o-histo": (VARIANCES, series[name][1]),
+            },
+            title="Figure 9 (%s): memory KB vs variance" % name,
+            x_label="intra-bucket variance",
+            y_label="KB",
+            width=48,
+            height=10,
+        )
+        for name in DATASETS
+    ]
+    record_result(
+        "fig9_memory",
+        format_table(
+            ["Dataset", "Histogram"] + ["v=%d" % v for v in VARIANCES],
+            rows,
+            title="Figure 9: Histogram Memory Usage (KB) vs Intra-Bucket Variance",
+        )
+        + "\n\n" + "\n\n".join(charts),
+    )
+    for name in DATASETS:
+        p_sizes, o_sizes = series[name]
+        assert p_sizes == sorted(p_sizes, reverse=True)
+        assert o_sizes == sorted(o_sizes, reverse=True)
+    # XMark needs the most p-histogram space.
+    assert series["XMark"][0][0] == max(series[n][0][0] for n in DATASETS)
+    # DBLP's order data is large relative to its path data (the Section
+    # 7.1 observation), in sharp contrast to path-dominated XMark.
+    ratios = {n: series[n][1][0] / series[n][0][0] for n in DATASETS}
+    assert ratios["DBLP"] > 2.0
+    assert ratios["DBLP"] > 5 * ratios["XMark"]

@@ -1,0 +1,110 @@
+"""Extra experiment — selectivity estimates steering query execution.
+
+The planner reorders pattern edges most-selective-first using the
+estimation system's cardinalities; the structural-join processor then
+sweeps smaller intermediate lists.  This is the closing of the loop the
+paper motivates ("important in query optimization"): the synopsis built
+for estimation directly reduces execution work.
+
+Expected shape, measured honestly: in a semijoin engine most work lives
+in the per-tag candidate lists (which only path-id pruning shrinks — see
+``bench_structural_join.py``), so edge reordering saves little on the
+random workload overall — but it *never hurts*, improves a meaningful
+fraction of queries, and on skewed-filter queries (one rare predicate,
+one ubiquitous) the saving is visible.  Results stay identical
+throughout.
+"""
+
+from benchmarks.conftest import DATASETS
+from repro.core.system import EstimationSystem
+from repro.harness.tables import format_table, record_result
+from repro.planner import QueryPlanner
+from repro.queryproc import StructuralJoinProcessor
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import parse_query
+
+
+def _skewed_case():
+    """One rare field among sixty records of a ubiquitous one."""
+    root = el("lib")
+    for index in range(600):
+        record = el("rec", el("common", el("detail")))
+        if index % 40 == 0:
+            record.append(el("rare"))
+        root.append(record)
+    document = XmlDocument(root)
+    system = EstimationSystem.build(document, p_variance=0)
+    planner = QueryPlanner(system)
+    processor = StructuralJoinProcessor(document)
+    query = parse_query("//rec[/common/detail][/rare]")
+    processor.count(query, use_path_ids=False)
+    authored = processor.last_semijoin_work
+    processor.count(planner.plan(query), use_path_ids=False)
+    planned = processor.last_semijoin_work
+    return authored, planned
+
+
+def test_planner_work_reduction(ctx, benchmark):
+    planner = QueryPlanner(ctx.factory("SSPlays").system(0, 0))
+    items = ctx.workload("SSPlays").branch[:40]
+    benchmark.pedantic(
+        lambda: [planner.plan(i.query) for i in items], rounds=1, iterations=1
+    )
+
+    rows = []
+    for name in DATASETS:
+        system = ctx.factory(name).system(0, 0)
+        planner = QueryPlanner(system)
+        processor = StructuralJoinProcessor(
+            ctx.document(name), labeled=ctx.factory(name).labeled
+        )
+        items = [
+            item for item in ctx.workload(name).branch
+            if any(len(node.edges) > 1 for node in item.query.nodes())
+        ]
+        unplanned_work = 0
+        planned_work = 0
+        mismatches = 0
+        improved = 0
+        for item in items:
+            count = processor.count(item.query, use_path_ids=False)
+            before = processor.last_semijoin_work
+            planned = planner.plan(item.query)
+            planned_count = processor.count(planned, use_path_ids=False)
+            after = processor.last_semijoin_work
+            unplanned_work += before
+            planned_work += after
+            if planned_count != count or count != item.actual:
+                mismatches += 1
+            if after < before:
+                improved += 1
+        saving = 1.0 - planned_work / max(unplanned_work, 1)
+        rows.append(
+            [
+                name,
+                len(items),
+                unplanned_work,
+                planned_work,
+                "%.1f%%" % (saving * 100),
+                improved,
+                mismatches,
+            ]
+        )
+        assert mismatches == 0
+        assert planned_work <= unplanned_work * 1.02  # never meaningfully worse
+    authored, planned = _skewed_case()
+    rows.append(
+        ["skewed filter (crafted)", 1, authored, planned,
+         "%.1f%%" % ((1 - planned / authored) * 100), int(planned < authored), 0]
+    )
+    assert planned < authored * 0.95  # the skewed case shows a real win
+    record_result(
+        "planner",
+        format_table(
+            ["Dataset", "#queries", "authored-order work", "planned work",
+             "saving", "#improved", "mismatches"],
+            rows,
+            title="Extra: selectivity-driven edge ordering in the executor",
+        ),
+    )

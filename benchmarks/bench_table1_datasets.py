@@ -1,0 +1,49 @@
+"""Table 1 — characteristics of the datasets.
+
+Paper (full-scale corpora):
+
+    Dataset  Size     #Distinct Eles  #Eles
+    SSPlays  7.5 MB   21              179,690
+    DBLP     65.2 MB  31              1,711,542
+    XMark    20.4 MB  74              319,815
+
+Shape to reproduce at bench scale: same distinct-tag counts (21/31/74);
+DBLP largest by elements; XMark the most path-diverse.
+"""
+
+from repro.harness.tables import format_table, record_result
+from repro.xmltree.stats import document_stats
+
+from benchmarks.conftest import DATASETS
+
+
+def test_table1_dataset_characteristics(ctx, benchmark):
+    def compute():
+        return [document_stats(ctx.document(name)) for name in DATASETS]
+
+    stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            "%.2f MB" % s.size_mb,
+            s.distinct_tags,
+            s.total_elements,
+            s.distinct_paths,
+            s.max_depth,
+        ]
+        for name, s in zip(DATASETS, stats)
+    ]
+    record_result(
+        "table1_datasets",
+        format_table(
+            ["Dataset", "Size", "#Distinct Eles", "#Eles", "#Distinct Paths", "Max Depth"],
+            rows,
+            title="Table 1: Characteristics of Datasets (bench scale)",
+        ),
+    )
+    by_name = dict(zip(DATASETS, stats))
+    assert by_name["SSPlays"].distinct_tags == 21
+    assert by_name["DBLP"].distinct_tags == 31
+    assert by_name["XMark"].distinct_tags == 74
+    assert by_name["DBLP"].total_elements > by_name["XMark"].total_elements
+    assert by_name["XMark"].distinct_paths > by_name["DBLP"].distinct_paths

@@ -1,0 +1,73 @@
+"""Table 5 — construction time for order data.
+
+Paper:
+
+    Dataset  CollectOrder  O-Histo Size   O-Histo Time
+    SSPlays  2.2 s         1.2-1.8 KB     0.002-0.003 s
+    DBLP     4574.8 s      7.4-12.7 KB    0.02-0.03 s
+    XMark    2347.2 s      11-21.3 KB     1.2-2.1 s
+
+Shapes to reproduce: collecting order data costs (much) more than
+collecting path data on the wide datasets; the o-histogram construction
+itself stays fast (single scan); DBLP's order summary is large relative to
+its path summary.
+"""
+
+import time
+
+from benchmarks.conftest import DATASETS
+from repro.harness.tables import format_table, record_result
+from repro.histograms.ohistogram import OHistogramSet
+from repro.histograms.phistogram import PHistogramSet
+from repro.pathenc import label_document
+from repro.stats import collect_path_order, collect_pathid_frequencies
+
+
+def test_table5_order_construction(ctx, benchmark):
+    factory = ctx.factory("SSPlays")
+    phistograms = PHistogramSet.from_table(factory.pathid_table, 0)
+    benchmark.pedantic(
+        lambda: OHistogramSet.from_table(factory.order_table, phistograms, 2),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    order_vs_path = {}
+    for name in DATASETS:
+        document = ctx.document(name)
+        labeled = label_document(document)
+
+        start = time.perf_counter()
+        collect_pathid_frequencies(labeled)
+        path_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        order_table = collect_path_order(labeled)
+        order_seconds = time.perf_counter() - start
+        order_vs_path[name] = order_seconds / max(path_seconds, 1e-9)
+
+        phisto = PHistogramSet.from_table(ctx.factory(name).pathid_table, 0)
+        start = time.perf_counter()
+        ohistograms = OHistogramSet.from_table(order_table, phisto, 2)
+        ohisto_seconds = time.perf_counter() - start
+
+        rows.append(
+            [
+                name,
+                "%.3f s" % order_seconds,
+                "%.2f KB" % (ohistograms.size_bytes() / 1024.0),
+                "%.4f s" % ohisto_seconds,
+                "%.1fx path-collection time" % order_vs_path[name],
+            ]
+        )
+    record_result(
+        "table5_order_construction",
+        format_table(
+            ["Dataset", "CollectOrder", "O-Histo Size", "O-Histo Time", "Order/Path cost"],
+            rows,
+            title="Table 5: Construction Time for Order Data",
+        ),
+    )
+    # Order collection is the expensive step on the wide dataset (DBLP).
+    assert order_vs_path["DBLP"] > 1.0

@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures and reporting.
+
+Every bench module regenerates one table or figure of the paper at a
+configurable scale:
+
+* ``REPRO_BENCH_SCALE``  — dataset scale factor (default 0.6; the paper's
+  corpora are 10-100x larger, the *shapes* are scale-invariant).
+* ``REPRO_BENCH_RAW``    — raw workload candidates per query class
+  (default 700; the paper used 4000).
+* ``REPRO_RESULTS_DIR``  — where rendered tables are persisted
+  (default ``bench_results/``).
+
+Rendered tables are printed in the pytest terminal summary, so they land
+in ``bench_output.txt`` even though passing tests capture stdout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import generate
+from repro.harness import SystemFactory
+from repro.harness.tables import rendered_results
+from repro.workload import WorkloadGenerator
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+BENCH_RAW = int(os.environ.get("REPRO_BENCH_RAW", "700"))
+DATASETS = ("SSPlays", "DBLP", "XMark")
+
+
+class BenchContext:
+    """Lazily built per-dataset artifacts shared by all bench modules."""
+
+    def __init__(self):
+        self._documents = {}
+        self._factories = {}
+        self._workloads = {}
+
+    def document(self, name: str):
+        if name not in self._documents:
+            self._documents[name] = generate(name, scale=BENCH_SCALE)
+        return self._documents[name]
+
+    def factory(self, name: str) -> SystemFactory:
+        if name not in self._factories:
+            self._factories[name] = SystemFactory(self.document(name))
+        return self._factories[name]
+
+    def workload(self, name: str):
+        if name not in self._workloads:
+            generator = WorkloadGenerator(self.document(name), seed=17)
+            self._workloads[name] = generator.full_workload(
+                raw_simple=BENCH_RAW, raw_branch=BENCH_RAW, raw_order=BENCH_RAW
+            )
+        return self._workloads[name]
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    text = rendered_results()
+    if text:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("REPRODUCED TABLES AND FIGURES")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,68 @@
+"""Scenario: order-aware queries over theatrical scripts.
+
+The paper's introduction motivates order axes with intrinsically ordered
+documents — "a query can ask for the second chapter of the book".  Plays
+are the canonical example: prologues precede acts, epilogues follow them,
+stage directions interleave with lines.  This script builds the estimation
+system over an SSPlays-like corpus and answers order-sensitive editorial
+questions, showing where the order statistics (o-histogram) earn their
+keep compared to pretending order does not exist.
+
+Run with::
+
+    python examples/play_scripts.py
+"""
+
+from repro import EstimationSystem, parse_query
+from repro.core.noorder import estimate_no_order
+from repro.core.transform import clone_query
+from repro.datasets import generate_ssplays
+from repro.xpath import Evaluator
+
+EDITORIAL_QUERIES = [
+    ("//PLAY[/$PROLOGUE/folls::ACT]", "prologues placed before an act"),
+    ("//PLAY[/ACT/folls::$EPILOGUE]", "epilogues placed after an act"),
+    ("//SCENE[/$SPEECH/pres::STAGEDIR]", "speeches after a stage direction"),
+    ("//SPEECH[/$LINE/folls::STAGEDIR]", "lines followed by a stage direction"),
+    ("//ACT[/TITLE/folls::$SCENE/SPEECH/SPEAKER]", "scenes after the act title"),
+]
+
+
+def order_blind_estimate(system, query):
+    """What the estimator would say if it ignored the order axis."""
+    counterpart, mapping = clone_query(query, order_to_structural=True)
+    return estimate_no_order(
+        counterpart,
+        system.path_provider,
+        system.encoding_table,
+        target=mapping[query.target.node_id],
+    )
+
+
+def main() -> None:
+    document = generate_ssplays(scale=1.0, seed=11)
+    print("Corpus: %d elements across %d plays" % (
+        len(document), document.tag_count("PLAY")))
+
+    system = EstimationSystem.build(document, p_variance=0, o_variance=0)
+    evaluator = Evaluator(document)
+
+    header = "%-44s %9s %9s %8s" % ("query", "ordered", "no-order", "actual")
+    print("\n" + header)
+    print("-" * len(header))
+    for text, meaning in EDITORIAL_QUERIES:
+        query = parse_query(text)
+        with_order = system.estimate(query)
+        without_order = order_blind_estimate(system, query)
+        actual = evaluator.selectivity(query)
+        print("%-44s %9.1f %9.1f %8d   (%s)" % (
+            text, with_order, without_order, actual, meaning))
+
+    print(
+        "\nThe 'no-order' column treats folls/pres as plain sibling"
+        "\nexistence — the over-estimation the o-histogram corrects."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Scenario: one synopsis, two jobs — estimating *and* executing queries.
+
+The path encoding scheme was born (reference [8] of the paper) as an
+accelerator for structural joins; the estimation system reuses the same
+labels for cardinalities.  This script runs both sides on one corpus:
+
+1. the optimizer asks the estimator for cardinalities and picks the more
+   selective branch to evaluate first;
+2. the executor answers the query exactly with interval structural joins,
+   using the surviving path ids to prune its candidate lists;
+3. the pruning effect is reported per query.
+
+Run with::
+
+    python examples/query_processing.py
+"""
+
+from repro import EstimationSystem, parse_query
+from repro.datasets import generate_xmark
+from repro.harness import SystemFactory
+from repro.queryproc import StructuralJoinProcessor
+
+QUERIES = [
+    "//item[/mailbox]/description//$keyword",
+    "//open_auction[/privacy]/annotation/$description",
+    "//person[/homepage]/profile/$interest",
+    "//closed_auction/annotation/description/parlist/$listitem",
+    "//categories/category[/name]/$description",
+]
+
+
+def main() -> None:
+    document = generate_xmark(scale=0.5, seed=4)
+    factory = SystemFactory(document)
+    system = factory.system(p_variance=0, o_variance=0)
+    processor = StructuralJoinProcessor(document, labeled=factory.labeled)
+    print("Corpus: %d elements, %d distinct path ids" % (
+        len(document), len(factory.labeled.distinct_pathids())))
+
+    header = "%-52s %9s %7s %16s" % ("query", "estimate", "exact", "join inputs")
+    print("\n" + header)
+    print("-" * len(header))
+    for text in QUERIES:
+        query = parse_query(text)
+        estimate = system.estimate(query)
+        exact = processor.count(query, use_path_ids=True)
+        pruned = processor.last_candidate_count
+        processor.count(query, use_path_ids=False)
+        unpruned = processor.last_candidate_count
+        print("%-52s %9.1f %7d %7d <- %7d" % (text, estimate, exact, pruned, unpruned))
+
+    print(
+        "\nThe estimator prices each query from the synopsis alone; the"
+        "\nexecutor then reuses the surviving path ids to skip most of the"
+        "\nstructural-join inputs (right column: pruned <- unpruned)."
+    )
+
+
+if __name__ == "__main__":
+    main()

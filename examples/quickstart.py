@@ -1,0 +1,64 @@
+"""Quickstart: build an estimation system and estimate a few queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the paper's running example (Figure 1) end to end: parse a document,
+inspect path ids, run the path join, and estimate simple / branch / order
+queries against exact ground truth.
+"""
+
+from repro import EstimationSystem, parse_query
+from repro.xmltree import parse_xml
+from repro.xpath import Evaluator
+
+DOCUMENT = """
+<Root>
+  <A> <B><D/><E/></B> </A>
+  <A> <B><D/></B> <C><E/><F/></C> <B><D/></B> </A>
+  <A> <C><E/></C> <B><D/></B> </A>
+</Root>
+"""
+
+QUERIES = [
+    "//A//$C",                    # simple query (Example 4.2)
+    "//C[/$E]/F",                 # branch query (Examples 4.3/4.5)
+    "//A[/C/F]/B/$D",             # branch query, deep target
+    "//A[/C[/F]/folls::$B/D]",    # order axis, sibling target (Example 5.1)
+    "//A[/C[/F]/folls::B/$D]",    # order axis, deep target (Example 5.2)
+    "//$A[/C[/F]/folls::B/D]",    # order axis, trunk target (Equation 5)
+    "//A[/C/foll::$D]",           # scoped following axis (Example 5.3)
+]
+
+
+def main() -> None:
+    document = parse_xml(DOCUMENT, name="figure1")
+    print("Parsed %d elements, %d distinct tags" % (
+        len(document), len(document.distinct_tags)))
+
+    # Build the full pipeline: path encoding, statistics, histograms.
+    system = EstimationSystem.build(document, p_variance=0, o_variance=0)
+    labeled = system.labeled
+    print("\nEncoding table (%d root-to-leaf paths):" % labeled.width)
+    for encoding in range(1, labeled.width + 1):
+        print("  %d -> %s" % (encoding, labeled.encoding_table.path_of(encoding)))
+    print("\nDistinct path ids:")
+    for pathid in labeled.distinct_pathids():
+        print("  %s = %s" % (labeled.name_of(pathid), labeled.format_pathid(pathid)))
+
+    # Estimate queries and compare with exact evaluation.
+    evaluator = Evaluator(document)
+    print("\n%-34s %9s %8s" % ("query ($ marks the target)", "estimate", "actual"))
+    for text in QUERIES:
+        query = parse_query(text)
+        estimate = system.estimate(query)
+        actual = evaluator.selectivity(query)
+        print("%-34s %9.2f %8d" % (text, estimate, actual))
+
+    sizes = system.summary_sizes()
+    print("\nSummary sizes (bytes): %s" % {k: int(v) for k, v in sizes.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Scenario: tuning the memory/accuracy trade-off of the synopses.
+
+An operator deploying the estimator must pick the two variance thresholds.
+This script sweeps both knobs over an XMark-like auction site (the paper's
+hardest dataset: 74 tags, recursive descriptions) and prints the resulting
+memory/error frontier, then compares the chosen configuration against the
+XSketch and path-tree baselines at equal memory.
+
+Run with::
+
+    python examples/synopsis_tuning.py
+"""
+
+from repro.baselines import PathTree, XSketch
+from repro.datasets import generate_xmark
+from repro.harness import SystemFactory
+from repro.harness.metrics import relative_error
+from repro.workload import WorkloadGenerator
+
+
+def mean_error(estimate, items):
+    errors = [relative_error(estimate(i.query), i.actual) for i in items]
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def main() -> None:
+    document = generate_xmark(scale=0.4, seed=19)
+    print("Auction site: %d elements" % len(document))
+
+    generator = WorkloadGenerator(document, seed=3)
+    workload = generator.full_workload(raw_simple=250, raw_branch=250, raw_order=250)
+    no_order = workload.no_order()
+    order_items = workload.order_branch
+    print("Workload: %d no-order, %d order queries" % (len(no_order), len(order_items)))
+
+    factory = SystemFactory(document)
+    print("\n p.var  o.var   p-KB    o-KB   no-order err   order err")
+    frontier = []
+    for p_variance in (0, 1, 5):
+        for o_variance in (0, 2, 8):
+            system = factory.system(p_variance, o_variance)
+            sizes = system.summary_sizes()
+            row = (
+                p_variance,
+                o_variance,
+                sizes["p_histogram"] / 1024.0,
+                sizes["o_histogram"] / 1024.0,
+                mean_error(system.estimate, no_order),
+                mean_error(system.estimate, order_items),
+            )
+            frontier.append(row)
+            print(" %4g  %4g  %6.1f  %6.1f   %10.4f   %10.4f" % row)
+
+    # Operating point: the paper recommends p-variance 0-2, o-variance 0-4.
+    chosen = factory.system(0, 2)
+    sizes = chosen.summary_sizes()
+    budget = int(sizes["encoding_table"] + sizes["binary_tree"] + sizes["p_histogram"])
+    sketch = XSketch.build(document, budget_bytes=budget)
+    tree = PathTree.build(document)
+    print("\nAt the chosen configuration (p=0, o=2), no-order workload:")
+    print("  this system : %.4f mean relative error" % mean_error(chosen.estimate, no_order))
+    print("  xsketch     : %.4f (at %.1f KB budget)" % (
+        mean_error(sketch.estimate, no_order), budget / 1024.0))
+    print("  path tree   : %.4f (at %.1f KB)" % (
+        mean_error(tree.estimate, no_order), tree.size_bytes() / 1024.0))
+    print("  (only this system can estimate the %d order queries at all)" % len(order_items))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Reproduction of *An Estimation System for XPath Expressions* (ICDE 2006).
+
+A selectivity estimator for XPath queries with and without order-based
+axes, built on the path encoding scheme, p-/o-histograms and the join-based
+estimation formulas of the paper — together with the substrates (XML tree
+model and parser, path-id binary tree), baselines (XSketch-style graph
+synopsis, Markov path models), synthetic datasets and the full experiment
+harness.
+
+Quickstart::
+
+    from repro import EstimationSystem
+    from repro.xmltree import parse_xml
+
+    document = parse_xml("<Root><A><B/><C/></A></Root>")
+    system = EstimationSystem.build(document)
+    system.estimate("//A/$B")               # -> 1.0
+    system.estimate("//A[/B/folls::$C]")    # order axis
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.explain import EstimateReport, explain
+from repro.core.system import EstimationSystem
+from repro.xmltree import XmlDocument, XmlNode, parse_xml
+from repro.xpath import Evaluator, Query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimationSystem",
+    "explain",
+    "EstimateReport",
+    "XmlDocument",
+    "XmlNode",
+    "parse_xml",
+    "Evaluator",
+    "Query",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Baseline estimators the paper compares against (or that inform ablations).
+
+* :class:`~repro.baselines.xsketch.XSketch` — a graph-synopsis estimator in
+  the spirit of Polyzotis & Garofalakis [12]: label-split summary graph,
+  greedy context refinement under a byte budget, independence-based
+  traversal estimation.  This is the paper's comparison baseline
+  (Table 4, Figure 11).
+* :class:`~repro.baselines.markov.MarkovPathModel` — order-k Markov path
+  statistics after McHugh & Widom [11] / Aboulnaga et al. [5].
+* :class:`~repro.baselines.pathtree.PathTree` — a DataGuide-style path tree
+  with per-node counts [5, 7]; exact on simple queries, schema-existence
+  approximation on branches.
+* :class:`~repro.baselines.position.PositionHistogram` — the interval
+  position histograms of [16], with their documented inability to
+  distinguish parent-child from ancestor-descendant.
+"""
+
+from repro.baselines.markov import MarkovPathModel
+from repro.baselines.position import PositionHistogram
+from repro.baselines.pathtree import PathTree
+from repro.baselines.xsketch import XSketch
+
+__all__ = ["XSketch", "MarkovPathModel", "PathTree", "PositionHistogram"]

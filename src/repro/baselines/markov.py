@@ -1,0 +1,154 @@
+"""Order-k Markov path statistics baseline [5, 11].
+
+Stores the frequencies of every label path of length ≤ k (child steps) and
+exact ancestor-descendant label-pair counts, then estimates chain queries
+by stitching overlapping path fragments with the Markov assumption::
+
+    f(a/b/c/d)  ≈  f(a/b/c) * f(b/c/d) / f(b/c)          (k = 3)
+
+Descendant steps use the ancestor-descendant pair table; branch predicates
+multiply capped expected-count factors (independence).  This is the family
+the paper cites as prior work limited to simple paths — included here as a
+second comparison point for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.transform import UnsupportedQueryError
+from repro.xmltree.document import XmlDocument
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+PATH_ENTRY_BYTES = 6  # label refs amortized + count
+PAIR_ENTRY_BYTES = 8
+
+
+class MarkovPathModel:
+    """Markov path statistics of order ``k`` plus descendant pair counts."""
+
+    def __init__(
+        self,
+        order: int,
+        path_counts: Dict[Tuple[str, ...], int],
+        descendant_counts: Dict[Tuple[str, str], int],
+        tag_counts: Dict[str, int],
+    ):
+        if order < 1:
+            raise ValueError("Markov order must be >= 1")
+        self.order = order
+        self.path_counts = path_counts
+        self.descendant_counts = descendant_counts
+        self.tag_counts = tag_counts
+
+    @classmethod
+    def build(cls, document: XmlDocument, order: int = 2) -> "MarkovPathModel":
+        path_counts: Dict[Tuple[str, ...], int] = {}
+        descendant_counts: Dict[Tuple[str, str], int] = {}
+        tag_counts: Dict[str, int] = {}
+        chains: List[Tuple[str, ...]] = [()] * len(document)
+        for node in document:
+            tag_counts[node.tag] = tag_counts.get(node.tag, 0) + 1
+            parent_chain = chains[node.parent.pre] if node.parent is not None else ()
+            # Keep only the last (order-1) ancestors: enough for length-k paths.
+            chain = (parent_chain + (node.tag,))[-order:]
+            chains[node.pre] = chain
+            for length in range(1, len(chain) + 1):
+                fragment = chain[-length:]
+                path_counts[fragment] = path_counts.get(fragment, 0) + 1
+            seen = set()
+            ancestor = node.parent
+            while ancestor is not None:
+                pair = (ancestor.tag, node.tag)
+                if pair not in seen:
+                    seen.add(pair)
+                    descendant_counts[pair] = descendant_counts.get(pair, 0) + 1
+                ancestor = ancestor.parent
+        return cls(order, path_counts, descendant_counts, tag_counts)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return (
+            len(self.path_counts) * PATH_ENTRY_BYTES
+            + len(self.descendant_counts) * PAIR_ENTRY_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: Query) -> float:
+        if query.has_order_axes():
+            raise UnsupportedQueryError("the Markov model does not cover order axes")
+        spine = query.spine_to(query.target)
+        estimate = self._chain_estimate(query, spine)
+        for node in spine:
+            for edge in node.edges:
+                if edge.node in spine:
+                    continue
+                estimate *= self._branch_factor(node.tag, edge.axis, edge.node)
+        return estimate
+
+    def _chain_estimate(self, query: Query, spine: List[QueryNode]) -> float:
+        """Markov-stitched estimate of the spine chain's end count."""
+        count = float(self.tag_counts.get(spine[0].tag, 0))
+        run: Tuple[str, ...] = (spine[0].tag,)
+        for child in spine[1:]:
+            link = query.parent_link(child)
+            assert link is not None
+            axis = link[0]
+            if axis is QueryAxis.CHILD:
+                extended = (run + (child.tag,))[-self.order:]
+                prefix = extended[:-1]
+                prefix_count = self.path_counts.get(prefix, 0)
+                if prefix_count <= 0:
+                    return 0.0
+                count *= self.path_counts.get(extended, 0) / prefix_count
+                run = extended
+            else:  # descendant: fall back to the label-pair table
+                upper = run[-1]
+                upper_count = self.tag_counts.get(upper, 0)
+                if upper_count <= 0:
+                    return 0.0
+                # Expected descendants tagged child.tag per upper element.
+                pair = self.descendant_counts.get((upper, child.tag), 0)
+                count *= pair / upper_count
+                run = (child.tag,)
+            if count <= 0:
+                return 0.0
+        return count
+
+    def _branch_factor(self, context_tag: str, axis: QueryAxis, branch: QueryNode) -> float:
+        """Capped expected-count factor of one branch predicate."""
+        context_count = self.tag_counts.get(context_tag, 0)
+        if context_count <= 0:
+            return 0.0
+        run = (context_tag,)
+        expected = float(context_count)
+        node = branch
+        while True:
+            if axis is QueryAxis.CHILD:
+                extended = (run + (node.tag,))[-self.order:]
+                prefix_count = self.path_counts.get(extended[:-1], 0)
+                if prefix_count <= 0:
+                    return 0.0
+                expected *= self.path_counts.get(extended, 0) / prefix_count
+                run = extended
+            else:
+                upper = run[-1]
+                upper_count = self.tag_counts.get(upper, 0)
+                if upper_count <= 0:
+                    return 0.0
+                expected *= self.descendant_counts.get((upper, node.tag), 0) / upper_count
+                run = (node.tag,)
+            for predicate in node.predicate_edges():
+                expected *= self._branch_factor(node.tag, predicate.axis, predicate.node)
+            inline = node.inline_edge()
+            if inline is None:
+                break
+            axis = inline.axis
+            node = inline.node
+        return min(1.0, expected / context_count)

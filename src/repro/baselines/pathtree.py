@@ -1,0 +1,96 @@
+"""A DataGuide-style path tree baseline [5, 7].
+
+The path tree is the trie of all root-to-node label paths; each trie node
+stores the number of document elements whose path type it is.  Chain
+queries are answered exactly (match the chain against the trie and sum the
+counts of the target positions); branch predicates degrade to *schema
+existence* — a trie node passes a predicate when the trie, not necessarily
+every instance, contains the branch — which is exactly the over-estimation
+the paper's Equation 2 was designed to beat.
+
+Implementation note: the trie is materialized as an
+:class:`~repro.xmltree.document.XmlDocument`, which lets the exact pattern
+matcher in :mod:`repro.xpath.evaluator` double as the trie matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.transform import UnsupportedQueryError
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+from repro.xpath.ast import Query
+from repro.xpath.evaluator import Evaluator
+
+NODE_BYTES = 8  # label ref + count + child pointer amortized
+
+
+class PathTree:
+    """Trie of root-to-node label paths with per-node element counts."""
+
+    def __init__(self, trie_document: XmlDocument, counts: List[int]):
+        self._trie = trie_document
+        self._counts = counts
+        self._matcher = Evaluator(trie_document)
+
+    @classmethod
+    def build(cls, document: XmlDocument) -> "PathTree":
+        trie_root = XmlNode(document.root.tag)
+        # element pre -> its trie node; counts keyed later by trie pre.
+        trie_of: List[XmlNode] = [trie_root] * len(document)
+        raw_counts: Dict[int, int] = {}
+
+        def bump(trie_node: XmlNode) -> None:
+            raw_counts[id(trie_node)] = raw_counts.get(id(trie_node), 0) + 1
+
+        bump(trie_root)
+        child_index: Dict[int, Dict[str, XmlNode]] = {id(trie_root): {}}
+        for node in document:
+            if node.parent is None:
+                continue
+            parent_trie = trie_of[node.parent.pre]
+            children = child_index[id(parent_trie)]
+            trie_node = children.get(node.tag)
+            if trie_node is None:
+                trie_node = parent_trie.append(XmlNode(node.tag))
+                children[node.tag] = trie_node
+                child_index[id(trie_node)] = {}
+            trie_of[node.pre] = trie_node
+            bump(trie_node)
+        trie_document = XmlDocument(trie_root, name="pathtree")
+        counts = [0] * len(trie_document)
+        for trie_node in trie_document:
+            counts[trie_node.pre] = raw_counts[id(trie_node)]
+        return cls(trie_document, counts)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of trie nodes (distinct root-to-node path types)."""
+        return len(self._trie)
+
+    def size_bytes(self) -> int:
+        return len(self._trie) * NODE_BYTES
+
+    def count_at(self, label_path: str) -> int:
+        """Element count of one exact path type, e.g. ``"Root/A/B"``."""
+        labels = label_path.split("/")
+        node = self._trie.root
+        if node.tag != labels[0]:
+            return 0
+        for label in labels[1:]:
+            node = next((c for c in node.children if c.tag == label), None)
+            if node is None:
+                return 0
+        return self._counts[node.pre]
+
+    def estimate(self, query: Query) -> float:
+        """Sum of counts over trie nodes matching the target position."""
+        if query.has_order_axes():
+            raise UnsupportedQueryError("the path tree does not cover order axes")
+        pres = self._matcher.matching_pres(query, query.target)
+        return float(sum(self._counts[pre] for pre in pres))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PathTree %d nodes>" % len(self._trie)

@@ -1,0 +1,168 @@
+"""Position-histogram baseline [16] (Wu, Patel, Jagadish, EDBT 2002).
+
+Every element is labeled with a document-order interval ``(start, end)``
+(descendants nest strictly inside their ancestors).  Each tag gets a 2-D
+histogram over (start, end) space — a ``grid x grid`` partition of the
+upper triangle — and ancestor-descendant estimates come from a *position
+histogram join*: the expected number of containing intervals per point,
+computed cell-against-cell under uniformity inside cells.
+
+Because XML intervals never partially overlap, "ancestor contains
+descendant" is equivalent to "ancestor contains the descendant's start
+point", which is what the join tests.
+
+The related-work section of the reproduced paper singles out this
+method's limitation, preserved faithfully here: only *containment* is
+captured, so parent-child steps are estimated exactly like
+ancestor-descendant steps (an over-estimate on child axes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.transform import UnsupportedQueryError
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.intervals import interval_labeling
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+BUCKET_BYTES = 8
+
+Cell = Tuple[int, int]  # (start bucket, end bucket)
+
+
+def _contain_probability(ancestor: Cell, point_bucket: int) -> float:
+    """P(interval from ``ancestor`` cell contains a point in point_bucket).
+
+    Buckets are equal-width position ranges; with uniform placement:
+    the start is surely before the point iff its bucket is earlier (and
+    with probability 1/2 in the same bucket), symmetrically for the end.
+    """
+    row, col = ancestor
+    if row > point_bucket or col < point_bucket:
+        return 0.0
+    start_ok = 1.0 if row < point_bucket else 0.5
+    end_ok = 1.0 if col > point_bucket else 0.5
+    return start_ok * end_ok
+
+
+class PositionHistogram:
+    """Per-tag 2-D (start, end) histograms of one document."""
+
+    def __init__(self, document: XmlDocument, grid: int = 8):
+        if grid < 1:
+            raise ValueError("grid must be positive")
+        self.grid = grid
+        starts, ends, top = interval_labeling(document)
+        self.max_position = top
+        self._cell_width = top / grid
+
+        # tag -> {(start bucket, end bucket): count}
+        self._counts: Dict[str, Dict[Cell, int]] = {}
+        self._totals: Dict[str, int] = {}
+        for node in document:
+            cell = (self._bucket(starts[node.pre]), self._bucket(ends[node.pre]))
+            per_tag = self._counts.setdefault(node.tag, {})
+            per_tag[cell] = per_tag.get(cell, 0) + 1
+            self._totals[node.tag] = self._totals.get(node.tag, 0) + 1
+        self._root_cell = (
+            self._bucket(starts[document.root.pre]),
+            self._bucket(ends[document.root.pre]),
+        )
+        self._root_tag = document.root.tag
+
+    def _bucket(self, position: int) -> int:
+        return min(self.grid - 1, int(position / self._cell_width))
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return sum(len(cells) for cells in self._counts.values()) * BUCKET_BYTES
+
+    def total(self, tag: str) -> int:
+        return self._totals.get(tag, 0)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: Query) -> float:
+        if query.has_order_axes():
+            raise UnsupportedQueryError("position histograms do not model order")
+        spine = query.spine_to(query.target)
+        weights = self._initial_weights(query)
+        weights = self._apply_branches(weights, query.root, spine)
+        for child in spine[1:]:
+            # Child and descendant steps are indistinguishable here: the
+            # labeling only captures containment (the known limitation).
+            weights = self._step(weights, child.tag)
+            weights = self._apply_branches(weights, child, spine)
+            if not weights:
+                return 0.0
+        return sum(weights.values())
+
+    def _initial_weights(self, query: Query) -> Dict[Cell, float]:
+        tag = query.root.tag
+        if query.root_axis is QueryAxis.CHILD:
+            if tag != self._root_tag:
+                return {}
+            return {self._root_cell: 1.0}
+        return {
+            cell: float(count)
+            for cell, count in self._counts.get(tag, {}).items()
+        }
+
+    def _step(self, ancestors: Dict[Cell, float], tag: str) -> Dict[Cell, float]:
+        """Position-histogram join: qualified descendants per cell."""
+        out: Dict[Cell, float] = {}
+        cells = self._counts.get(tag)
+        if not cells:
+            return out
+        for cell, count in cells.items():
+            point_bucket = cell[0]
+            expected = sum(
+                weight * _contain_probability(ancestor, point_bucket)
+                for ancestor, weight in ancestors.items()
+            )
+            probability = min(1.0, expected)
+            if probability > 0:
+                out[cell] = out.get(cell, 0.0) + count * probability
+        return out
+
+    def _apply_branches(
+        self, weights: Dict[Cell, float], node: QueryNode, spine: List[QueryNode]
+    ) -> Dict[Cell, float]:
+        spine_ids = {n.node_id for n in spine}
+        for edge in node.edges:
+            if edge.node.node_id in spine_ids:
+                continue
+            factor = self._branch_factor(weights, edge.node)
+            weights = {cell: w * factor for cell, w in weights.items() if w > 0}
+        return weights
+
+    def _branch_factor(self, weights: Dict[Cell, float], branch: QueryNode) -> float:
+        """Capped expected branch matches per context element."""
+        context_total = sum(weights.values())
+        if context_total <= 0:
+            return 0.0
+        chain = self._step(weights, branch.tag)
+        node = branch
+        while chain:
+            for predicate in node.predicate_edges():
+                factor = self._branch_factor(chain, predicate.node)
+                chain = {cell: w * factor for cell, w in chain.items()}
+            inline = node.inline_edge()
+            if inline is None:
+                break
+            chain = self._step(chain, inline.node.tag)
+            node = inline.node
+        return min(1.0, sum(chain.values()) / context_total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PositionHistogram grid=%d, %d tags, %d bytes>" % (
+            self.grid,
+            len(self._counts),
+            self.size_bytes(),
+        )

@@ -1,0 +1,278 @@
+"""An XSketch-style graph synopsis baseline [12].
+
+XSketch summarizes an XML document as a graph whose nodes are clusters of
+elements and whose edges carry parent-child counts, refined greedily under
+a memory budget.  Our implementation keeps the family's essential
+mechanics (and its characteristic cost profile, which Table 4 contrasts
+with the p-histogram):
+
+* clusters are *label-context* equivalence classes: each cluster is keyed
+  by the element's own tag plus a per-cluster number of ancestor tags
+  (depth-0 = plain label-split graph);
+* greedy refinement repeatedly splits the cluster whose elements disagree
+  most about their parent clusters (the backward-stability violation that
+  drives estimation error), until the byte budget is reached;
+* estimation propagates expected match counts along synopsis edges under
+  uniformity/independence assumptions: backward-conditional products for
+  child steps, bounded closure for descendant steps, and capped
+  expected-count factors for branch predicates.
+
+Order axes are outside XSketch's model, as in the paper — the comparison
+(Figure 11) runs on the no-order workload only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.transform import UnsupportedQueryError
+from repro.xmltree.document import XmlDocument
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+NODE_BYTES = 8   # label ref + count
+EDGE_BYTES = 8   # two cluster refs + count
+
+ClusterKey = Tuple[str, ...]  # (tag, parent tag, grandparent tag, ...)
+
+
+class XSketch:
+    """A budgeted graph synopsis with greedy context refinement."""
+
+    def __init__(
+        self,
+        counts: Dict[ClusterKey, int],
+        edges: Dict[Tuple[ClusterKey, ClusterKey], int],
+        root_key: ClusterKey,
+        max_depth: int,
+        rounds: int,
+    ):
+        self.counts = counts
+        self.edges = edges
+        self.root_key = root_key
+        self.max_depth = max_depth
+        self.construction_rounds = rounds
+        # label -> clusters with that label (fast filtering)
+        self._by_label: Dict[str, List[ClusterKey]] = {}
+        for key in counts:
+            self._by_label.setdefault(key[0], []).append(key)
+        # children adjacency for the traversal
+        self._children: Dict[ClusterKey, List[Tuple[ClusterKey, int]]] = {}
+        for (parent, child), count in edges.items():
+            self._children.setdefault(parent, []).append((child, count))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        document: XmlDocument,
+        budget_bytes: int,
+        max_rounds: int = 10_000,
+    ) -> "XSketch":
+        """Greedy refinement until the synopsis reaches ``budget_bytes``."""
+        nodes = list(document)
+        # Ancestor label chains, self-first.
+        chains: List[Tuple[str, ...]] = [()] * len(nodes)
+        for node in nodes:
+            if node.parent is None:
+                chains[node.pre] = (node.tag,)
+            else:
+                chains[node.pre] = (node.tag,) + chains[node.parent.pre]
+        # Per-cluster member lists; every cluster starts at context depth 1.
+        members: Dict[ClusterKey, List[int]] = {}
+        assignment: List[ClusterKey] = [()] * len(nodes)
+        for node in nodes:
+            key = chains[node.pre][:1]
+            assignment[node.pre] = key
+            members.setdefault(key, []).append(node.pre)
+
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            size = cls._size_of(members, assignment, nodes)
+            if size >= budget_bytes:
+                break
+            target = cls._most_unstable(members, assignment, nodes, chains)
+            if target is None:
+                break
+            # Split the cluster by one more ancestor label.
+            depth = len(target) + 1
+            for pre in members.pop(target):
+                key = chains[pre][:depth]
+                assignment[pre] = key
+                members.setdefault(key, []).append(pre)
+
+        counts = {key: len(pres) for key, pres in members.items()}
+        edges: Dict[Tuple[ClusterKey, ClusterKey], int] = {}
+        for node in nodes:
+            if node.parent is None:
+                continue
+            pair = (assignment[node.parent.pre], assignment[node.pre])
+            edges[pair] = edges.get(pair, 0) + 1
+        return cls(
+            counts,
+            edges,
+            assignment[document.root.pre],
+            document.max_depth(),
+            rounds,
+        )
+
+    @staticmethod
+    def _size_of(members, assignment, nodes) -> int:
+        edge_pairs = set()
+        for node in nodes:
+            if node.parent is not None:
+                edge_pairs.add((assignment[node.parent.pre], assignment[node.pre]))
+        return len(members) * NODE_BYTES + len(edge_pairs) * EDGE_BYTES
+
+    @staticmethod
+    def _most_unstable(members, assignment, nodes, chains) -> Optional[ClusterKey]:
+        """The splittable cluster with the worst parent-cluster disagreement."""
+        best_key = None
+        best_score = 0
+        for key, pres in members.items():
+            if len(pres) < 2:
+                continue
+            # Splittable only if some member has a longer chain.
+            depth = len(key)
+            parent_keys = set()
+            extendable = False
+            for pre in pres:
+                chain = chains[pre]
+                if len(chain) > depth:
+                    extendable = True
+                node = nodes[pre]
+                if node.parent is not None:
+                    parent_keys.add(assignment[node.parent.pre])
+            if not extendable or len(parent_keys) < 2:
+                continue
+            score = (len(parent_keys) - 1) * len(pres)
+            if score > best_score:
+                best_score = score
+                best_key = key
+        return best_key
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return len(self.counts) * NODE_BYTES + len(self.edges) * EDGE_BYTES
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: Query) -> float:
+        """Estimate the target selectivity of a no-order query."""
+        if query.has_order_axes():
+            raise UnsupportedQueryError("XSketch does not model order axes")
+        spine = query.spine_to(query.target)
+        weights = self._initial_weights(query)
+        weights = self._apply_branches(weights, query, spine[0], spine)
+        for parent, child in zip(spine, spine[1:]):
+            link = query.parent_link(child)
+            assert link is not None
+            weights = self._step(weights, link[0], child.tag)
+            weights = self._apply_branches(weights, query, child, spine)
+            if not weights:
+                return 0.0
+        return sum(weights.values())
+
+    def _initial_weights(self, query: Query) -> Dict[ClusterKey, float]:
+        root_tag = query.root.tag
+        if query.root_axis is QueryAxis.CHILD:
+            if self.root_key[0] != root_tag:
+                return {}
+            # The document root lives in this cluster; assume one root.
+            return {self.root_key: 1.0}
+        return {
+            key: float(self.counts[key]) for key in self._by_label.get(root_tag, ())
+        }
+
+    def _step(
+        self, weights: Dict[ClusterKey, float], axis: QueryAxis, tag: str
+    ) -> Dict[ClusterKey, float]:
+        """Propagate expected match counts across one structural step."""
+        if axis is QueryAxis.CHILD:
+            reached = self._child_step(weights)
+        else:
+            reached = self._descendant_step(weights)
+        return {key: w for key, w in reached.items() if key[0] == tag and w > 0}
+
+    def _child_step(self, weights: Dict[ClusterKey, float]) -> Dict[ClusterKey, float]:
+        out: Dict[ClusterKey, float] = {}
+        for key, weight in weights.items():
+            total = self.counts[key]
+            if total <= 0:
+                continue
+            fraction = weight / total
+            for child, count in self._children.get(key, ()):
+                out[child] = out.get(child, 0.0) + count * fraction
+        return out
+
+    def _descendant_step(self, weights: Dict[ClusterKey, float]) -> Dict[ClusterKey, float]:
+        """Bounded closure over child edges (cycles cut by document depth)."""
+        out: Dict[ClusterKey, float] = {}
+        frontier = dict(weights)
+        for _ in range(self.max_depth):
+            frontier = self._child_step(frontier)
+            if not frontier:
+                break
+            for key, weight in frontier.items():
+                out[key] = out.get(key, 0.0) + weight
+            # Cap runaway expectation through synopsis cycles.
+            frontier = {
+                key: min(weight, float(self.counts[key])) for key, weight in frontier.items()
+            }
+        return out
+
+    def _apply_branches(
+        self,
+        weights: Dict[ClusterKey, float],
+        query: Query,
+        node: QueryNode,
+        spine: List[QueryNode],
+    ) -> Dict[ClusterKey, float]:
+        """Scale weights by the probability that branch predicates match."""
+        spine_ids = {n.node_id for n in spine}
+        for edge in node.edges:
+            if edge.node.node_id in spine_ids:
+                continue
+            factored: Dict[ClusterKey, float] = {}
+            for key, weight in weights.items():
+                expected = self._branch_expectation(key, edge.axis, edge.node)
+                probability = min(1.0, expected)
+                if probability > 0:
+                    factored[key] = weight * probability
+            weights = factored
+        return weights
+
+    def _branch_expectation(
+        self, key: ClusterKey, axis: QueryAxis, branch: QueryNode
+    ) -> float:
+        """Expected number of branch-chain matches per element of ``key``."""
+        weights = self._step({key: 1.0}, axis, branch.tag)
+        node = branch
+        while weights:
+            for predicate in node.predicate_edges():
+                weights = {
+                    k: w
+                    * min(1.0, self._branch_expectation(k, predicate.axis, predicate.node))
+                    for k, w in weights.items()
+                }
+            inline = node.inline_edge()
+            if inline is None:
+                break
+            weights = self._step(weights, inline.axis, inline.node.tag)
+            node = inline.node
+        return sum(weights.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<XSketch %d clusters, %d edges, %d bytes>" % (
+            len(self.counts),
+            len(self.edges),
+            self.size_bytes(),
+        )

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro stats --dataset XMark --scale 0.3
+    python -m repro stats --file plays.xml
+    python -m repro estimate --dataset SSPlays "//PLAY[/ACT/folls::\\$EPILOGUE]"
+    python -m repro estimate --file dblp.xml "//article/\\$author" --explain
+    python -m repro workload --dataset DBLP --raw 200
+    python -m repro paths --dataset SSPlays --limit 10
+    python -m repro validate --dataset XMark
+    python -m repro report --output reproduction_report.txt
+
+Every subcommand accepts either ``--file <xml>`` (parsed with the built-in
+parser) or ``--dataset {SSPlays,DBLP,XMark}`` with ``--scale``/``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.explain import explain
+from repro.core.system import EstimationSystem
+from repro.datasets import EXTENDED_DATASET_NAMES, generate
+from repro.harness.tables import format_table
+from repro.workload import WorkloadGenerator
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.stats import document_stats
+from repro.xpath import Evaluator, parse_query
+
+
+def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file", help="path to an XML document")
+    source.add_argument(
+        "--dataset", choices=EXTENDED_DATASET_NAMES, help="built-in synthetic dataset"
+    )
+    parser.add_argument("--scale", type=float, default=0.3, help="dataset scale")
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed (0 = default)")
+
+
+def _load_document(args: argparse.Namespace) -> XmlDocument:
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            return parse_xml(handle.read(), name=args.file)
+    return generate(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = document_stats(_load_document(args))
+    rows = [
+        ["size", "%.2f MB" % stats.size_mb],
+        ["elements", stats.total_elements],
+        ["distinct tags", stats.distinct_tags],
+        ["distinct root-to-leaf paths", stats.distinct_paths],
+        ["max depth", stats.max_depth],
+        ["max fanout", stats.max_fanout],
+        ["avg fanout", "%.2f" % stats.avg_fanout],
+        ["leaf elements", stats.leaf_count],
+    ]
+    print(format_table(["metric", "value"], rows, title="Document statistics"))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    document = _load_document(args)
+    system = EstimationSystem.build(
+        document, p_variance=args.p_variance, o_variance=args.o_variance
+    )
+    query = parse_query(args.query)
+    estimate = system.estimate(query)
+    print("estimate: %.3f" % estimate)
+    if args.actual:
+        print("actual:   %d" % Evaluator(document).selectivity(query))
+    if args.explain:
+        print(explain(system, query).render())
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    document = _load_document(args)
+    generator = WorkloadGenerator(document, seed=args.workload_seed)
+    workload = generator.full_workload(args.raw, args.raw, args.raw)
+    row = workload.table2_row()
+    print(
+        format_table(
+            ["simple", "branch", "total", "with order"],
+            [[row["simple"], row["branch"], row["total"], row["with_order"]]],
+            title="Workload sizes (raw=%d per class)" % args.raw,
+        )
+    )
+    if args.show:
+        for item in (workload.simple + workload.branch + workload.order_branch)[: args.show]:
+            print("%-8s actual=%-8d %s" % (item.kind, item.actual, item.text))
+    return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    document = _load_document(args)
+    system = EstimationSystem.build(document)
+    labeled = system.labeled
+    print("distinct root-to-leaf paths: %d" % labeled.width)
+    print("distinct path ids:           %d" % len(labeled.distinct_pathids()))
+    print("path id size:                %d bytes" % labeled.pathid_size_bytes())
+    tree = system.binary_tree
+    if tree is not None:
+        print(
+            "binary tree:                 %d -> %d nodes after compression"
+            % (tree.full_node_count, tree.compressed_node_count)
+        )
+    limit = args.limit if args.limit > 0 else labeled.width
+    for encoding in range(1, min(limit, labeled.width) + 1):
+        print("  %3d  %s" % (encoding, labeled.encoding_table.path_of(encoding)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validation import validate_document
+
+    report = validate_document(_load_document(args))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import write_report
+
+    text = write_report(directory=args.results_dir, output=args.output)
+    if not args.output:
+        print(text)
+    else:
+        print("report written to %s" % args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Selectivity estimation for XPath expressions with order axes "
+        "(reproduction of Li et al., ICDE 2006)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="document statistics (Table 1 row)")
+    _add_source_arguments(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    estimate = commands.add_parser("estimate", help="estimate one query")
+    _add_source_arguments(estimate)
+    estimate.add_argument("query", help="XPath subset query; $tag marks the target")
+    estimate.add_argument("--p-variance", type=float, default=0.0)
+    estimate.add_argument("--o-variance", type=float, default=0.0)
+    estimate.add_argument("--actual", action="store_true", help="also evaluate exactly")
+    estimate.add_argument("--explain", action="store_true", help="show the rule applied")
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    workload = commands.add_parser("workload", help="generate a Section-7 workload")
+    _add_source_arguments(workload)
+    workload.add_argument("--raw", type=int, default=200, help="raw candidates per class")
+    workload.add_argument("--workload-seed", type=int, default=42)
+    workload.add_argument("--show", type=int, default=0, help="print the first N queries")
+    workload.set_defaults(handler=_cmd_workload)
+
+    paths = commands.add_parser("paths", help="inspect the path encoding")
+    _add_source_arguments(paths)
+    paths.add_argument("--limit", type=int, default=20, help="paths to print (0 = all)")
+    paths.set_defaults(handler=_cmd_paths)
+
+    validate = commands.add_parser(
+        "validate", help="run the system self-checks against a document"
+    )
+    _add_source_arguments(validate)
+    validate.set_defaults(handler=_cmd_validate)
+
+    report = commands.add_parser(
+        "report", help="stitch bench_results/ into one reproduction report"
+    )
+    report.add_argument("--results-dir", default="bench_results")
+    report.add_argument("--output", default=None, help="write to a file instead of stdout")
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Statistics provider protocol and exact (lossless) providers.
+
+The estimator consumes statistics through two small protocols so the same
+code runs on exact tables and on histograms:
+
+* **path statistics provider**: ``frequency_pairs(tag) ->
+  List[(pathid, freq)]`` and ``frequency_map(tag) -> Dict[pathid, freq]``
+  — implemented by :class:`ExactPathStats` and
+  :class:`~repro.histograms.phistogram.PHistogramSet`.
+* **order statistics provider**: ``order_count(tag, pid, other_tag,
+  before) -> float`` — implemented by :class:`ExactOrderStats` and
+  :class:`~repro.histograms.ohistogram.OHistogramSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Tuple
+
+from repro.stats.path_order import PathOrderTable
+from repro.stats.pathid_freq import PathIdFrequencyTable
+
+
+class PathStatsProvider(Protocol):
+    """Protocol for path-frequency statistics."""
+
+    def frequency_pairs(self, tag: str) -> List[Tuple[int, float]]:
+        """(path id, frequency) pairs for a tag; empty when unknown."""
+        ...
+
+    def frequency_map(self, tag: str) -> Dict[int, float]:
+        ...
+
+
+class OrderStatsProvider(Protocol):
+    """Protocol for sibling-order statistics."""
+
+    def order_count(self, tag: str, pid: int, other_tag: str, before: bool) -> float:
+        """g(pid, other_tag) in the before (+ele) or after (ele+) region."""
+        ...
+
+
+class ExactPathStats:
+    """Lossless provider backed by the PathId-Frequency table."""
+
+    def __init__(self, table: PathIdFrequencyTable):
+        self._table = table
+
+    def frequency_pairs(self, tag: str) -> List[Tuple[int, float]]:
+        return [(pid, float(freq)) for pid, freq in self._table.pairs(tag)]
+
+    def frequency_map(self, tag: str) -> Dict[int, float]:
+        return {pid: float(freq) for pid, freq in self._table.pairs(tag)}
+
+
+class ExactOrderStats:
+    """Lossless provider backed by the Path-Order table."""
+
+    def __init__(self, table: PathOrderTable):
+        self._table = table
+
+    def order_count(self, tag: str, pid: int, other_tag: str, before: bool) -> float:
+        grid = self._table.grid(tag)
+        if before:
+            return float(grid.g_before(pid, other_tag))
+        return float(grid.g_after(pid, other_tag))

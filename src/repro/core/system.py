@@ -1,0 +1,212 @@
+"""The user-facing estimation system.
+
+Build once per document, then estimate any supported query::
+
+    from repro import EstimationSystem
+    from repro.xmltree import parse_xml
+
+    document = parse_xml(open("plays.xml").read())
+    system = EstimationSystem.build(document, p_variance=0, o_variance=2)
+    print(system.estimate("//PLAY/ACT[/SCENE/folls::$EPILOGUE]"))
+
+``build`` runs the whole paper pipeline: path encoding, labeling, the two
+statistics tables, p-/o-histograms at the requested variance thresholds and
+the compressed path-id binary tree.  ``estimate`` routes a query through
+the scoped-axis rewrite, the order estimator or the plain Section 4
+machinery as appropriate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edges
+from repro.core.noorder import estimate_no_order
+from repro.core.order import estimate_with_order, sibling_order_edges
+from repro.core.pathjoin import JoinResult, path_join
+from repro.core.providers import (
+    ExactOrderStats,
+    ExactPathStats,
+    OrderStatsProvider,
+    PathStatsProvider,
+)
+from repro.histograms.ohistogram import OHistogramSet
+from repro.histograms.phistogram import PHistogramSet
+from repro.pathenc.bintree import PathIdBinaryTree
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.labeler import LabeledDocument, label_document
+from repro.stats.path_order import PathOrderTable, collect_path_order
+from repro.stats.pathid_freq import PathIdFrequencyTable, collect_pathid_frequencies
+from repro.xmltree.document import XmlDocument
+from repro.xpath.ast import Query
+from repro.xpath.parser import parse_query
+
+
+class EstimationSystem:
+    """Selectivity estimator for XPath expressions with order axes."""
+
+    def __init__(
+        self,
+        labeled: LabeledDocument,
+        pathid_table: PathIdFrequencyTable,
+        order_table: PathOrderTable,
+        path_provider: PathStatsProvider,
+        order_provider: OrderStatsProvider,
+        binary_tree: Optional[PathIdBinaryTree] = None,
+    ):
+        self.labeled = labeled
+        self.encoding_table = labeled.encoding_table
+        self.pathid_table = pathid_table
+        self.order_table = order_table
+        self.path_provider = path_provider
+        self.order_provider = order_provider
+        self.binary_tree = binary_tree
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        document: XmlDocument,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+        use_histograms: bool = True,
+        build_binary_tree: bool = True,
+        depth_refined: bool = False,
+    ) -> "EstimationSystem":
+        """Run the full summary-construction pipeline on ``document``.
+
+        ``use_histograms=False`` wires the estimator directly to the exact
+        statistics tables (useful for testing the estimation formulas in
+        isolation); the variance thresholds are then ignored.
+        ``depth_refined=True`` (exact mode only) keys path frequencies by
+        (pid, depth), removing the recursion ambiguity entirely — the
+        Ablation D extension of DESIGN.md §5.
+        """
+        if depth_refined and use_histograms:
+            raise ValueError(
+                "depth_refined statistics are exact-mode only "
+                "(pass use_histograms=False)"
+            )
+        labeled = label_document(document)
+        pathid_table = collect_pathid_frequencies(labeled)
+        order_table = collect_path_order(labeled)
+        if use_histograms:
+            phistograms = PHistogramSet.from_table(pathid_table, p_variance)
+            ohistograms = OHistogramSet.from_table(order_table, phistograms, o_variance)
+            path_provider: PathStatsProvider = phistograms
+            order_provider: OrderStatsProvider = ohistograms
+        elif depth_refined:
+            from repro.stats.depth_refined import DepthRefinedPathStats
+
+            path_provider = DepthRefinedPathStats.collect(labeled)
+            order_provider = ExactOrderStats(order_table)
+        else:
+            path_provider = ExactPathStats(pathid_table)
+            order_provider = ExactOrderStats(order_table)
+        binary_tree = None
+        if build_binary_tree:
+            binary_tree = PathIdBinaryTree(
+                labeled.distinct_pathids(), labeled.width
+            ).compress()
+        return cls(
+            labeled, pathid_table, order_table, path_provider, order_provider, binary_tree
+        )
+
+    @classmethod
+    def from_tables(
+        cls,
+        labeled: LabeledDocument,
+        pathid_table: PathIdFrequencyTable,
+        order_table: PathOrderTable,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+        binary_tree: Optional[PathIdBinaryTree] = None,
+    ) -> "EstimationSystem":
+        """Build from precollected statistics (variance sweeps reuse the
+        expensive one-pass tables and only rebuild the histograms)."""
+        phistograms = PHistogramSet.from_table(pathid_table, p_variance)
+        ohistograms = OHistogramSet.from_table(order_table, phistograms, o_variance)
+        return cls(
+            labeled, pathid_table, order_table, phistograms, ohistograms, binary_tree
+        )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def parse(self, text: str) -> Query:
+        return parse_query(text)
+
+    def estimate(
+        self,
+        query: Union[str, Query],
+        fixpoint: bool = True,
+        depth_consistent: bool = True,
+    ) -> float:
+        """Estimate the selectivity of the query's target node.
+
+        ``fixpoint=False`` runs a single path-join pruning pass;
+        ``depth_consistent=False`` uses the literal pairwise containment
+        test (both are ablation switches, see DESIGN.md §5).
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if scoped_order_edges(parsed):
+            variants = rewrite_scoped_order_query(
+                parsed, self.path_provider, self.encoding_table,
+                fixpoint=fixpoint, depth_consistent=depth_consistent,
+            )
+            return sum(
+                self.estimate(variant, fixpoint=fixpoint, depth_consistent=depth_consistent)
+                for variant in variants
+            )
+        if sibling_order_edges(parsed):
+            return estimate_with_order(
+                parsed,
+                self.path_provider,
+                self.order_provider,
+                self.encoding_table,
+                fixpoint=fixpoint,
+                depth_consistent=depth_consistent,
+            )
+        return estimate_no_order(
+            parsed, self.path_provider, self.encoding_table,
+            fixpoint=fixpoint, depth_consistent=depth_consistent,
+        )
+
+    def join(
+        self,
+        query: Union[str, Query],
+        fixpoint: bool = True,
+        depth_consistent: bool = True,
+    ) -> JoinResult:
+        """Expose the raw path join (used by tests and examples)."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        return path_join(
+            parsed, self.path_provider, self.encoding_table,
+            fixpoint=fixpoint, depth_consistent=depth_consistent,
+        )
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def summary_sizes(self) -> Dict[str, float]:
+        """Byte sizes of every summary structure (Tables 3-5, Figure 9)."""
+        sizes: Dict[str, float] = {
+            "encoding_table": float(self.encoding_table.size_bytes()),
+            "pathid_table": float(self.labeled.pathid_table_size_bytes()),
+        }
+        if self.binary_tree is not None:
+            sizes["binary_tree"] = float(self.binary_tree.size_bytes())
+        pid_bytes = self.labeled.pathid_size_bytes()
+        if isinstance(self.path_provider, PHistogramSet):
+            sizes["p_histogram"] = float(self.path_provider.size_bytes(pid_bytes))
+        if isinstance(self.order_provider, OHistogramSet):
+            sizes["o_histogram"] = float(self.order_provider.size_bytes())
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<EstimationSystem over %r>" % self.labeled.document

@@ -1,0 +1,43 @@
+"""Synthetic datasets mirroring the paper's corpora (DESIGN.md §4).
+
+The estimation system only consumes label paths, tag frequencies and
+sibling order, so each generator is calibrated to reproduce those
+distributions of its real counterpart:
+
+* :func:`~repro.datasets.ssplays.generate_ssplays` — Shakespeare's Plays:
+  21 distinct tags, few distinct paths, deep-ish narrow tree dominated by
+  SPEECH/LINE runs.
+* :func:`~repro.datasets.dblp.generate_dblp` — DBLP: 31 distinct tags,
+  shallow and very wide (huge sibling groups under the root), which makes
+  order information expensive — the property Figures 9 and 12 lean on.
+* :func:`~repro.datasets.xmark.generate_xmark` — XMark auction site: 74
+  distinct tags and recursive ``parlist``/``listitem`` descriptions that
+  multiply distinct root-to-leaf paths, stressing path ids and the binary
+  tree compression.
+
+All generators are deterministic in ``seed`` and scale linearly in
+``scale`` (``scale=1.0`` targets a few tens of thousands of elements so the
+full benchmark suite runs in minutes in pure Python).
+"""
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    EXTENDED_DATASET_NAMES,
+    dataset_stats_row,
+    generate,
+)
+from repro.datasets.ssplays import generate_ssplays
+from repro.datasets.temporal import generate_temporal
+from repro.datasets.xmark import generate_xmark
+
+__all__ = [
+    "generate_ssplays",
+    "generate_dblp",
+    "generate_xmark",
+    "generate_temporal",
+    "generate",
+    "DATASET_NAMES",
+    "EXTENDED_DATASET_NAMES",
+    "dataset_stats_row",
+]

@@ -1,0 +1,58 @@
+"""Shared text fabrication for the dataset generators.
+
+Text content is never queried, but it makes serialized sizes (Table 1) and
+parser benchmarks realistic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_WORDS = (
+    "the of and to a in that is was he for it with as his on be at by had "
+    "not are but from or have an they which one you were her all she there "
+    "would their we him been has when who will more no if out so said what "
+    "up its about into than them can only other new some could time these "
+    "two may then do first any my now such like our over man me even most"
+).split()
+
+_NAMES = (
+    "Aaron Beatrice Cedric Dahlia Edmund Fiona Gareth Helena Ivo Jasmine "
+    "Kenneth Lavinia Magnus Nerissa Osric Portia Quentin Rosalind Stefan "
+    "Titania Ulric Viola Wystan Xenia Yorick Zenobia"
+).split()
+
+
+def words(rng: random.Random, low: int, high: int) -> str:
+    """A space-joined run of common words."""
+    count = rng.randint(low, high)
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def sentence(rng: random.Random, low: int = 4, high: int = 12) -> str:
+    text = words(rng, low, high)
+    return text[:1].upper() + text[1:] + "."
+
+
+def person_name(rng: random.Random) -> str:
+    return "%s %s" % (rng.choice(_NAMES), rng.choice(_NAMES))
+
+
+def title_text(rng: random.Random) -> str:
+    return words(rng, 2, 6).title()
+
+
+def year(rng: random.Random, low: int = 1936, high: int = 2005) -> str:
+    return str(rng.randint(low, high))
+
+
+def pick_count(rng: random.Random, weights: List[int]) -> int:
+    """Draw an index-weighted small count: weights[i] = weight of count i."""
+    total = sum(weights)
+    draw = rng.randrange(total)
+    for count, weight in enumerate(weights):
+        draw -= weight
+        if draw < 0:
+            return count
+    return len(weights) - 1

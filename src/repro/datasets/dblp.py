@@ -1,0 +1,206 @@
+"""DBLP stand-in generator.
+
+The real DBLP snapshot the paper used (65.2 MB, 31 distinct tags, 1.7M
+elements) is the shallowest and widest of the three corpora: essentially
+every element is a child of one of the eight publication records, and the
+records themselves form one enormous sibling group under the root.  That
+width is what makes DBLP's order information so much larger than its path
+information (Figure 9(b) and the discussion in Section 7.1).
+
+Tag inventory (31): dblp + 8 record types (article, inproceedings,
+proceedings, book, incollection, phdthesis, mastersthesis, www) + 22
+field tags (author, editor, title, booktitle, pages, year, address,
+journal, volume, number, month, url, ee, cdrom, cite, publisher, note,
+crossref, isbn, series, school, chapter).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.datasets._text import person_name, sentence, title_text, words, year
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+RECORD_TYPES = (
+    "article",
+    "inproceedings",
+    "proceedings",
+    "book",
+    "incollection",
+    "phdthesis",
+    "mastersthesis",
+    "www",
+)
+
+FIELD_TAGS = (
+    "author", "editor", "title", "booktitle", "pages", "year", "address",
+    "journal", "volume", "number", "month", "url", "ee", "cdrom", "cite",
+    "publisher", "note", "crossref", "isbn", "series", "school", "chapter",
+)
+
+DBLP_TAGS = frozenset(("dblp",) + RECORD_TYPES + FIELD_TAGS)
+
+# Relative record-type mix, roughly DBLP-shaped (conferences and journals
+# dominate).
+_TYPE_WEIGHTS = {
+    "article": 38,
+    "inproceedings": 42,
+    "proceedings": 4,
+    "book": 3,
+    "incollection": 6,
+    "phdthesis": 2,
+    "mastersthesis": 1,
+    "www": 4,
+}
+
+
+def generate_dblp(scale: float = 1.0, seed: int = 11) -> XmlDocument:
+    """Generate a DBLP-like document.
+
+    ``scale=1.0`` yields roughly 30k elements (~3,400 records); counts grow
+    linearly with ``scale``.
+    """
+    rng = random.Random(seed)
+    records = max(1, round(3400 * scale))
+    choices: List[str] = []
+    for record_type, weight in _TYPE_WEIGHTS.items():
+        choices.extend([record_type] * weight)
+    root = el("dblp")
+    for _ in range(records):
+        record_type = rng.choice(choices)
+        root.append(_BUILDERS[record_type](rng))
+    return XmlDocument(root, name="dblp")
+
+
+def _authors(rng: random.Random, record: XmlNode, low: int = 1, high: int = 4) -> None:
+    for _ in range(rng.randint(low, high)):
+        record.append(el("author", person_name(rng)))
+
+
+def _common_tail(rng: random.Random, record: XmlNode) -> None:
+    """Optional trailing fields shared by most record types."""
+    if rng.random() < 0.7:
+        record.append(el("ee", "db/%s.html" % words(rng, 1, 1)))
+    if rng.random() < 0.3:
+        record.append(el("url", "http://example.org/%s" % words(rng, 1, 1)))
+    if rng.random() < 0.1:
+        record.append(el("note", sentence(rng)))
+    if rng.random() < 0.15:
+        for _ in range(rng.randint(1, 3)):
+            record.append(el("cite", words(rng, 1, 2)))
+    if rng.random() < 0.05:
+        record.append(el("cdrom", words(rng, 1, 1).upper()))
+
+
+def _article(rng: random.Random) -> XmlNode:
+    record = el("article", attrs={"key": "journals/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record)
+    record.append(el("title", title_text(rng)))
+    record.append(el("journal", title_text(rng)))
+    record.append(el("volume", str(rng.randint(1, 60))))
+    if rng.random() < 0.8:
+        record.append(el("number", str(rng.randint(1, 12))))
+    record.append(el("pages", "%d-%d" % (rng.randint(1, 400), rng.randint(401, 500))))
+    record.append(el("year", year(rng)))
+    if rng.random() < 0.2:
+        record.append(el("month", words(rng, 1, 1).title()))
+    _common_tail(rng, record)
+    return record
+
+
+def _inproceedings(rng: random.Random) -> XmlNode:
+    record = el("inproceedings", attrs={"key": "conf/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record)
+    record.append(el("title", title_text(rng)))
+    record.append(el("booktitle", title_text(rng)))
+    record.append(el("pages", "%d-%d" % (rng.randint(1, 400), rng.randint(401, 500))))
+    record.append(el("year", year(rng)))
+    if rng.random() < 0.6:
+        record.append(el("crossref", "conf/x/%d" % rng.randrange(10**4)))
+    _common_tail(rng, record)
+    return record
+
+
+def _proceedings(rng: random.Random) -> XmlNode:
+    record = el("proceedings", attrs={"key": "conf/x/%d" % rng.randrange(10**6)})
+    for _ in range(rng.randint(1, 3)):
+        record.append(el("editor", person_name(rng)))
+    record.append(el("title", title_text(rng)))
+    record.append(el("booktitle", title_text(rng)))
+    record.append(el("publisher", title_text(rng)))
+    if rng.random() < 0.6:
+        record.append(el("series", title_text(rng)))
+    if rng.random() < 0.7:
+        record.append(el("isbn", "%d-%d" % (rng.randrange(10**3), rng.randrange(10**6))))
+    record.append(el("year", year(rng)))
+    _common_tail(rng, record)
+    return record
+
+
+def _book(rng: random.Random) -> XmlNode:
+    record = el("book", attrs={"key": "books/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record, 1, 3)
+    record.append(el("title", title_text(rng)))
+    record.append(el("publisher", title_text(rng)))
+    if rng.random() < 0.5:
+        record.append(el("isbn", "%d-%d" % (rng.randrange(10**3), rng.randrange(10**6))))
+    record.append(el("year", year(rng)))
+    _common_tail(rng, record)
+    return record
+
+
+def _incollection(rng: random.Random) -> XmlNode:
+    record = el("incollection", attrs={"key": "books/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record)
+    record.append(el("title", title_text(rng)))
+    record.append(el("booktitle", title_text(rng)))
+    record.append(el("pages", "%d-%d" % (rng.randint(1, 400), rng.randint(401, 500))))
+    if rng.random() < 0.3:
+        record.append(el("chapter", str(rng.randint(1, 20))))
+    record.append(el("year", year(rng)))
+    _common_tail(rng, record)
+    return record
+
+
+def _phdthesis(rng: random.Random) -> XmlNode:
+    record = el("phdthesis", attrs={"key": "phd/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record, 1, 1)
+    record.append(el("title", title_text(rng)))
+    record.append(el("school", title_text(rng)))
+    record.append(el("year", year(rng)))
+    if rng.random() < 0.4:
+        record.append(el("address", title_text(rng)))
+    _common_tail(rng, record)
+    return record
+
+
+def _mastersthesis(rng: random.Random) -> XmlNode:
+    record = el("mastersthesis", attrs={"key": "ms/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record, 1, 1)
+    record.append(el("title", title_text(rng)))
+    record.append(el("school", title_text(rng)))
+    record.append(el("year", year(rng)))
+    return record
+
+
+def _www(rng: random.Random) -> XmlNode:
+    record = el("www", attrs={"key": "www/x/%d" % rng.randrange(10**6)})
+    _authors(rng, record, 1, 2)
+    record.append(el("title", title_text(rng)))
+    record.append(el("url", "http://example.org/%s" % words(rng, 1, 1)))
+    return record
+
+
+_BUILDERS: Dict[str, Callable[[random.Random], XmlNode]] = {
+    "article": _article,
+    "inproceedings": _inproceedings,
+    "proceedings": _proceedings,
+    "book": _book,
+    "incollection": _incollection,
+    "phdthesis": _phdthesis,
+    "mastersthesis": _mastersthesis,
+    "www": _www,
+}

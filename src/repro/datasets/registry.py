@@ -1,0 +1,50 @@
+"""Dataset registry: the three paper corpora by name.
+
+Benchmarks and examples look datasets up by the names the paper uses in
+its tables ("SSPlays", "DBLP", "XMark"); lookup is case-insensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.ssplays import generate_ssplays
+from repro.datasets.temporal import generate_temporal
+from repro.datasets.xmark import generate_xmark
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.stats import document_stats
+
+_GENERATORS: Dict[str, Callable[..., XmlDocument]] = {
+    "ssplays": generate_ssplays,
+    "dblp": generate_dblp,
+    "xmark": generate_xmark,
+    "temporal": generate_temporal,
+}
+
+# The paper's three evaluation corpora; "Temporal" is the intro-motivated
+# extra (EXTENDED_DATASET_NAMES includes it).
+DATASET_NAMES: List[str] = ["SSPlays", "DBLP", "XMark"]
+EXTENDED_DATASET_NAMES: List[str] = DATASET_NAMES + ["Temporal"]
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> XmlDocument:
+    """Generate a dataset by (case-insensitive) name.
+
+    ``seed=0`` uses each generator's own default seed, so two calls with
+    the same (name, scale) produce identical documents.
+    """
+    try:
+        generator = _GENERATORS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            "unknown dataset %r (expected one of %s)" % (name, DATASET_NAMES)
+        )
+    if seed:
+        return generator(scale=scale, seed=seed)
+    return generator(scale=scale)
+
+
+def dataset_stats_row(name: str, scale: float = 1.0) -> Dict[str, object]:
+    """The Table 1 row of one dataset at the given scale."""
+    return document_stats(generate(name, scale=scale)).as_row()

@@ -1,0 +1,124 @@
+"""Shakespeare's Plays stand-in generator.
+
+The real corpus (Jon Bosak's XML edition) has 21 distinct tags and 179,690
+elements across 37 plays; its tree is regular — a play is front matter,
+personae, then acts of scenes of speeches — and almost all mass sits in
+SPEECH/SPEAKER/LINE runs.  Sibling order is meaningful (STAGEDIR
+interleaves with LINEs; PROLOGUE precedes ACTs, EPILOGUE follows), which is
+exactly the structure the order-axis workload probes.
+
+Tag inventory (21): PLAYS, PLAY, TITLE, FM, P, PERSONAE, PERSONA, PGROUP,
+GRPDESCR, SCNDESCR, PLAYSUBT, PROLOGUE, EPILOGUE, INDUCT, ACT, SCENE,
+SPEECH, SPEAKER, LINE, STAGEDIR, SUBHEAD.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets._text import pick_count, sentence, title_text, words
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+SSPLAYS_TAGS = frozenset(
+    [
+        "PLAYS", "PLAY", "TITLE", "FM", "P", "PERSONAE", "PERSONA", "PGROUP",
+        "GRPDESCR", "SCNDESCR", "PLAYSUBT", "PROLOGUE", "EPILOGUE", "INDUCT",
+        "ACT", "SCENE", "SPEECH", "SPEAKER", "LINE", "STAGEDIR", "SUBHEAD",
+    ]
+)
+
+
+def generate_ssplays(scale: float = 1.0, seed: int = 7) -> XmlDocument:
+    """Generate an SSPlays-like document.
+
+    ``scale=1.0`` yields roughly 13k elements (10 plays); element counts
+    grow linearly with ``scale``.
+    """
+    rng = random.Random(seed)
+    plays = max(1, round(10 * scale))
+    root = el("PLAYS")
+    for _ in range(plays):
+        root.append(_play(rng))
+    return XmlDocument(root, name="ssplays")
+
+
+def _play(rng: random.Random) -> XmlNode:
+    play = el("PLAY")
+    play.append(el("TITLE", title_text(rng)))
+    fm = el("FM")
+    for _ in range(rng.randint(2, 4)):
+        fm.append(el("P", sentence(rng)))
+    play.append(fm)
+    play.append(_personae(rng))
+    play.append(el("SCNDESCR", sentence(rng)))
+    play.append(el("PLAYSUBT", title_text(rng)))
+    if rng.random() < 0.3:
+        play.append(_front_piece(rng, "INDUCT"))
+    if rng.random() < 0.4:
+        play.append(_front_piece(rng, "PROLOGUE"))
+    for _ in range(5):
+        play.append(_act(rng))
+    if rng.random() < 0.4:
+        play.append(_front_piece(rng, "EPILOGUE"))
+    return play
+
+
+def _personae(rng: random.Random) -> XmlNode:
+    personae = el("PERSONAE", el("TITLE", "Dramatis Personae"))
+    for _ in range(rng.randint(8, 18)):
+        if rng.random() < 0.2:
+            group = el("PGROUP")
+            for _ in range(rng.randint(2, 4)):
+                group.append(el("PERSONA", title_text(rng)))
+            group.append(el("GRPDESCR", words(rng, 2, 5)))
+            personae.append(group)
+        else:
+            personae.append(el("PERSONA", title_text(rng)))
+    return personae
+
+
+def _front_piece(rng: random.Random, tag: str) -> XmlNode:
+    """A PROLOGUE/EPILOGUE/INDUCT: a title plus a short speech run."""
+    piece = el(tag, el("TITLE", title_text(rng)))
+    if rng.random() < 0.5:
+        piece.append(el("STAGEDIR", sentence(rng)))
+    for _ in range(rng.randint(1, 3)):
+        piece.append(_speech(rng))
+    return piece
+
+
+def _act(rng: random.Random) -> XmlNode:
+    act = el("ACT", el("TITLE", title_text(rng)))
+    if rng.random() < 0.15:
+        act.append(_front_piece(rng, "PROLOGUE"))
+    for _ in range(rng.randint(2, 5)):
+        act.append(_scene(rng))
+    if rng.random() < 0.1:
+        act.append(_front_piece(rng, "EPILOGUE"))
+    return act
+
+
+def _scene(rng: random.Random) -> XmlNode:
+    scene = el("SCENE", el("TITLE", title_text(rng)))
+    if rng.random() < 0.2:
+        scene.append(el("SUBHEAD", title_text(rng)))
+    scene.append(el("STAGEDIR", sentence(rng)))
+    for _ in range(rng.randint(6, 14)):
+        scene.append(_speech(rng))
+        if rng.random() < 0.25:
+            scene.append(el("STAGEDIR", sentence(rng)))
+    return scene
+
+
+def _speech(rng: random.Random) -> XmlNode:
+    speech = el("SPEECH")
+    for _ in range(1 + (rng.random() < 0.08)):
+        speech.append(el("SPEAKER", title_text(rng)))
+    line_count = 1 + pick_count(rng, [0, 4, 6, 5, 3, 2, 1, 1])
+    for _ in range(line_count):
+        speech.append(el("LINE", sentence(rng, 5, 9)))
+        if rng.random() < 0.05:
+            speech.append(el("STAGEDIR", words(rng, 2, 4)))
+    return speech

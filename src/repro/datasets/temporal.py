@@ -1,0 +1,94 @@
+"""Temporal XML generator (the paper's introduction motivation).
+
+The introduction motivates order axes with "data with ordered time
+domain (temporal XML)": documents whose sibling order *is* the time
+axis.  This generator produces a contract repository where each contract
+carries its revision history in chronological sibling order — queries
+like "amendments after the signature" are order-axis queries by nature.
+
+Not part of the paper's evaluation (Tables use SSPlays/DBLP/XMark); used
+by examples and tests as the fourth, intro-motivated corpus.
+
+Tag inventory (18): archive, contract, title, party, signed, revision,
+author, date, summary, clause, amendment, term, witness, approval,
+dispute, settlement, note, expiry.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets._text import person_name, sentence, title_text, words
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+TEMPORAL_TAGS = frozenset(
+    [
+        "archive", "contract", "title", "party", "signed", "revision",
+        "author", "date", "summary", "clause", "amendment", "term",
+        "witness", "approval", "dispute", "settlement", "note", "expiry",
+    ]
+)
+
+
+def generate_temporal(scale: float = 1.0, seed: int = 41) -> XmlDocument:
+    """Generate a temporal contract archive.
+
+    Sibling order within a contract is chronological: parties and the
+    signature come first, then revisions in time order, then optional
+    dispute/settlement, and finally the expiry.  ``scale=1.0`` yields
+    roughly 10k elements.
+    """
+    rng = random.Random(seed)
+    contracts = max(1, round(260 * scale))
+    archive = el("archive")
+    for _ in range(contracts):
+        archive.append(_contract(rng))
+    return XmlDocument(archive, name="temporal")
+
+
+def _contract(rng: random.Random) -> XmlNode:
+    contract = el("contract", attrs={"id": "c%d" % rng.randrange(10**6)})
+    contract.append(el("title", title_text(rng)))
+    for _ in range(rng.randint(2, 4)):
+        contract.append(el("party", person_name(rng)))
+    # The signature event: everything after it is "post-signing".
+    signed = el("signed")
+    signed.append(el("date", _date(rng, 2000, 2002)))
+    for _ in range(rng.randint(0, 2)):
+        signed.append(el("witness", person_name(rng)))
+    contract.append(signed)
+    # Chronologically ordered revisions.
+    for year in range(2002, 2002 + rng.randint(1, 5)):
+        contract.append(_revision(rng, year))
+    if rng.random() < 0.2:
+        dispute = el("dispute", el("date", _date(rng, 2006, 2007)), el("note", sentence(rng)))
+        contract.append(dispute)
+        if rng.random() < 0.7:
+            contract.append(
+                el("settlement", el("date", _date(rng, 2007, 2008)), el("note", sentence(rng)))
+            )
+    if rng.random() < 0.6:
+        contract.append(el("expiry", _date(rng, 2009, 2012)))
+    return contract
+
+
+def _revision(rng: random.Random, year: int) -> XmlNode:
+    revision = el("revision", attrs={"seq": str(year)})
+    revision.append(el("date", "%d-%02d-%02d" % (year, rng.randint(1, 12), rng.randint(1, 28))))
+    revision.append(el("author", person_name(rng)))
+    if rng.random() < 0.6:
+        revision.append(el("summary", sentence(rng)))
+    for _ in range(rng.randint(1, 3)):
+        clause = el("clause", el("term", words(rng, 2, 5)))
+        if rng.random() < 0.4:
+            clause.append(el("amendment", sentence(rng)))
+        revision.append(clause)
+    if rng.random() < 0.3:
+        revision.append(el("approval", person_name(rng)))
+    return revision
+
+
+def _date(rng: random.Random, lo: int, hi: int) -> str:
+    return "%d-%02d-%02d" % (rng.randint(lo, hi), rng.randint(1, 12), rng.randint(1, 28))

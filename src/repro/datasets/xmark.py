@@ -1,0 +1,253 @@
+"""XMark stand-in generator.
+
+XMark (the auction-site XML benchmark) is the structurally richest of the
+paper's datasets: 74 distinct tags and — crucially — recursive rich-text
+(``text`` with ``bold``/``keyword``/``emph``) and ``parlist``/``listitem``
+descriptions, which multiply the number of distinct root-to-leaf paths
+(Table 3: 344 distinct paths, 6,811 distinct path ids for the paper's
+20 MB instance).  Long path ids are what make the path-id binary tree
+compression pay off.
+
+The generator emits the full 74-tag inventory of the XMark DTD and keeps
+the recursion (bounded depth) so a scaled instance still has hundreds of
+distinct paths.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.datasets._text import person_name, sentence, title_text, words
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+XMARK_TAGS = frozenset(
+    [
+        "site", "categories", "category", "name", "description", "text",
+        "bold", "keyword", "emph", "parlist", "listitem", "catgraph", "edge",
+        "regions", "africa", "asia", "australia", "europe", "namerica",
+        "samerica", "item", "location", "quantity", "payment", "shipping",
+        "incategory", "mailbox", "mail", "from", "to", "date", "itemref",
+        "personref", "people", "person", "emailaddress", "phone", "address",
+        "street", "city", "country", "province", "zipcode", "homepage",
+        "creditcard", "profile", "interest", "education", "gender",
+        "business", "age", "watches", "watch", "open_auctions",
+        "open_auction", "initial", "reserve", "bidder", "time", "increase",
+        "current", "privacy", "seller", "annotation", "author", "happiness",
+        "closed_auctions", "closed_auction", "buyer", "price", "type",
+        "interval", "start", "end",
+    ]
+)
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+def generate_xmark(scale: float = 1.0, seed: int = 23) -> XmlDocument:
+    """Generate an XMark-like document.
+
+    ``scale=1.0`` yields roughly 20k elements; counts grow linearly.
+    """
+    rng = random.Random(seed)
+    site = el("site")
+    site.append(_regions(rng, scale))
+    site.append(_categories(rng, scale))
+    site.append(_catgraph(rng, scale))
+    site.append(_people(rng, scale))
+    site.append(_open_auctions(rng, scale))
+    site.append(_closed_auctions(rng, scale))
+    return XmlDocument(site, name="xmark")
+
+
+# ----------------------------------------------------------------------
+# Rich text and descriptions (the recursion that multiplies paths)
+# ----------------------------------------------------------------------
+
+
+def _rich_text(rng: random.Random) -> XmlNode:
+    """A ``text`` element with optional bold/keyword/emph markup children."""
+    text = el("text", sentence(rng))
+    for marker in ("bold", "keyword", "emph"):
+        if rng.random() < 0.3:
+            text.append(el(marker, words(rng, 1, 3)))
+    return text
+
+
+def _parlist(rng: random.Random, depth: int) -> XmlNode:
+    parlist = el("parlist")
+    for _ in range(rng.randint(1, 3)):
+        item = el("listitem")
+        if depth > 0 and rng.random() < 0.35:
+            item.append(_parlist(rng, depth - 1))
+        else:
+            item.append(_rich_text(rng))
+        parlist.append(item)
+    return parlist
+
+
+def _description(rng: random.Random) -> XmlNode:
+    description = el("description")
+    if rng.random() < 0.4:
+        description.append(_parlist(rng, depth=2))
+    else:
+        description.append(_rich_text(rng))
+    return description
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+
+def _regions(rng: random.Random, scale: float) -> XmlNode:
+    regions = el("regions")
+    per_region = max(2, round(55 * scale))
+    for region_tag in _REGIONS:
+        region = el(region_tag)
+        for _ in range(rng.randint(per_region // 2, per_region)):
+            region.append(_item(rng))
+        regions.append(region)
+    return regions
+
+
+def _item(rng: random.Random) -> XmlNode:
+    item = el("item", attrs={"id": "item%d" % rng.randrange(10**6)})
+    item.append(el("location", title_text(rng)))
+    item.append(el("quantity", str(rng.randint(1, 5))))
+    item.append(el("name", title_text(rng)))
+    item.append(el("payment", words(rng, 1, 3)))
+    item.append(_description(rng))
+    item.append(el("shipping", words(rng, 2, 5)))
+    for _ in range(rng.randint(1, 3)):
+        item.append(el("incategory", attrs={"category": "category%d" % rng.randrange(500)}))
+    if rng.random() < 0.6:
+        mailbox = el("mailbox")
+        for _ in range(rng.randint(1, 3)):
+            mail = el("mail")
+            mail.append(el("from", person_name(rng)))
+            mail.append(el("to", person_name(rng)))
+            mail.append(el("date", "%02d/%02d/%d" % (rng.randint(1, 12), rng.randint(1, 28), rng.randint(1998, 2001))))
+            mail.append(_rich_text(rng))
+            mailbox.append(mail)
+        item.append(mailbox)
+    return item
+
+
+def _categories(rng: random.Random, scale: float) -> XmlNode:
+    categories = el("categories")
+    for _ in range(max(2, round(30 * scale))):
+        category = el("category", attrs={"id": "category%d" % rng.randrange(500)})
+        category.append(el("name", title_text(rng)))
+        category.append(_description(rng))
+        categories.append(category)
+    return categories
+
+
+def _catgraph(rng: random.Random, scale: float) -> XmlNode:
+    catgraph = el("catgraph")
+    for _ in range(max(2, round(50 * scale))):
+        catgraph.append(
+            el("edge", attrs={"from": "category%d" % rng.randrange(500),
+                              "to": "category%d" % rng.randrange(500)})
+        )
+    return catgraph
+
+
+def _people(rng: random.Random, scale: float) -> XmlNode:
+    people = el("people")
+    for _ in range(max(2, round(400 * scale))):
+        people.append(_person(rng))
+    return people
+
+
+def _person(rng: random.Random) -> XmlNode:
+    person = el("person", attrs={"id": "person%d" % rng.randrange(10**6)})
+    person.append(el("name", person_name(rng)))
+    person.append(el("emailaddress", "mailto:%s@example.org" % words(rng, 1, 1)))
+    if rng.random() < 0.5:
+        person.append(el("phone", "+%d (%d) %d" % (rng.randint(1, 99), rng.randint(10, 999), rng.randrange(10**7))))
+    if rng.random() < 0.6:
+        address = el("address")
+        address.append(el("street", "%d %s St" % (rng.randint(1, 99), title_text(rng))))
+        address.append(el("city", title_text(rng)))
+        if rng.random() < 0.4:
+            address.append(el("province", title_text(rng)))
+        address.append(el("country", title_text(rng)))
+        address.append(el("zipcode", str(rng.randrange(10**5))))
+        person.append(address)
+    if rng.random() < 0.3:
+        person.append(el("homepage", "http://example.org/~%s" % words(rng, 1, 1)))
+    if rng.random() < 0.4:
+        person.append(el("creditcard", " ".join(str(rng.randrange(10**4)) for _ in range(4))))
+    if rng.random() < 0.7:
+        profile = el("profile", attrs={"income": str(rng.randint(10000, 100000))})
+        for _ in range(rng.randint(0, 3)):
+            profile.append(el("interest", attrs={"category": "category%d" % rng.randrange(500)}))
+        if rng.random() < 0.6:
+            profile.append(el("education", words(rng, 1, 2).title()))
+        profile.append(el("gender", rng.choice(["male", "female"])))
+        profile.append(el("business", rng.choice(["Yes", "No"])))
+        profile.append(el("age", str(rng.randint(18, 80))))
+        person.append(profile)
+    if rng.random() < 0.4:
+        watches = el("watches")
+        for _ in range(rng.randint(1, 4)):
+            watches.append(el("watch", attrs={"open_auction": "open_auction%d" % rng.randrange(10**4)}))
+        person.append(watches)
+    return person
+
+
+def _open_auctions(rng: random.Random, scale: float) -> XmlNode:
+    auctions = el("open_auctions")
+    for _ in range(max(2, round(180 * scale))):
+        auction = el("open_auction", attrs={"id": "open_auction%d" % rng.randrange(10**5)})
+        auction.append(el("initial", "%.2f" % (rng.random() * 200)))
+        if rng.random() < 0.5:
+            auction.append(el("reserve", "%.2f" % (rng.random() * 400)))
+        for _ in range(rng.randint(0, 4)):
+            bidder = el("bidder")
+            bidder.append(el("date", "%02d/%02d/2000" % (rng.randint(1, 12), rng.randint(1, 28))))
+            bidder.append(el("time", "%02d:%02d:%02d" % (rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59))))
+            bidder.append(el("personref", attrs={"person": "person%d" % rng.randrange(10**4)}))
+            bidder.append(el("increase", "%.2f" % (rng.random() * 20)))
+            auction.append(bidder)
+        auction.append(el("current", "%.2f" % (rng.random() * 500)))
+        if rng.random() < 0.4:
+            auction.append(el("privacy", rng.choice(["Yes", "No"])))
+        auction.append(el("itemref", attrs={"item": "item%d" % rng.randrange(10**4)}))
+        auction.append(el("seller", attrs={"person": "person%d" % rng.randrange(10**4)}))
+        auction.append(_annotation(rng))
+        auction.append(el("quantity", str(rng.randint(1, 5))))
+        auction.append(el("type", rng.choice(["Regular", "Featured", "Dutch"])))
+        interval = el("interval")
+        interval.append(el("start", "%02d/%02d/2000" % (rng.randint(1, 6), rng.randint(1, 28))))
+        interval.append(el("end", "%02d/%02d/2001" % (rng.randint(7, 12), rng.randint(1, 28))))
+        auction.append(interval)
+        auctions.append(auction)
+    return auctions
+
+
+def _annotation(rng: random.Random) -> XmlNode:
+    annotation = el("annotation")
+    annotation.append(el("author", attrs={"person": "person%d" % rng.randrange(10**4)}))
+    annotation.append(_description(rng))
+    if rng.random() < 0.5:
+        annotation.append(el("happiness", str(rng.randint(1, 10))))
+    return annotation
+
+
+def _closed_auctions(rng: random.Random, scale: float) -> XmlNode:
+    auctions = el("closed_auctions")
+    for _ in range(max(2, round(120 * scale))):
+        auction = el("closed_auction")
+        auction.append(el("seller", attrs={"person": "person%d" % rng.randrange(10**4)}))
+        auction.append(el("buyer", attrs={"person": "person%d" % rng.randrange(10**4)}))
+        auction.append(el("itemref", attrs={"item": "item%d" % rng.randrange(10**4)}))
+        auction.append(el("price", "%.2f" % (rng.random() * 500)))
+        auction.append(el("date", "%02d/%02d/2001" % (rng.randint(1, 12), rng.randint(1, 28))))
+        auction.append(el("quantity", str(rng.randint(1, 5))))
+        auction.append(el("type", rng.choice(["Regular", "Featured"])))
+        auction.append(_annotation(rng))
+        auctions.append(auction)
+    return auctions

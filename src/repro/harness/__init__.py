@@ -1,0 +1,31 @@
+"""Experiment harness: error metrics, sweep runner, table formatting.
+
+Everything the benchmark modules share: the paper's average-relative-error
+metric, a runner that evaluates an estimator over a workload, variance
+sweeps for the Figure 9/10/12/13 series, and plain-text table rendering
+for the terminal reports.
+"""
+
+from repro.harness.factory import SystemFactory
+from repro.harness.metrics import ErrorSummary, average_relative_error, relative_error
+from repro.harness.runner import (
+    AccuracyPoint,
+    evaluate_estimator,
+    sweep_o_variance,
+    sweep_p_variance,
+)
+from repro.harness.tables import format_table, record_result, rendered_results
+
+__all__ = [
+    "SystemFactory",
+    "relative_error",
+    "average_relative_error",
+    "ErrorSummary",
+    "evaluate_estimator",
+    "AccuracyPoint",
+    "sweep_p_variance",
+    "sweep_o_variance",
+    "format_table",
+    "record_result",
+    "rendered_results",
+]

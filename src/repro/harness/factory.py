@@ -1,0 +1,47 @@
+"""Cached per-document construction of estimation systems.
+
+Variance sweeps rebuild histograms many times over the *same* collected
+statistics; the factory collects labeling, the PathId-Frequency table, the
+Path-Order table and the binary tree exactly once per document and hands
+out :class:`EstimationSystem` instances per (p, o) variance pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.system import EstimationSystem
+from repro.pathenc.bintree import PathIdBinaryTree
+from repro.pathenc.labeler import label_document
+from repro.stats.path_order import collect_path_order
+from repro.stats.pathid_freq import collect_pathid_frequencies
+from repro.xmltree.document import XmlDocument
+
+
+class SystemFactory:
+    """One-document cache of the collected statistics."""
+
+    def __init__(self, document: XmlDocument):
+        self.document = document
+        self.labeled = label_document(document)
+        self.pathid_table = collect_pathid_frequencies(self.labeled)
+        self.order_table = collect_path_order(self.labeled)
+        self.binary_tree = PathIdBinaryTree(
+            self.labeled.distinct_pathids(), self.labeled.width
+        ).compress()
+        self._cache: Dict[Tuple[float, float], EstimationSystem] = {}
+
+    def system(self, p_variance: float = 0.0, o_variance: float = 0.0) -> EstimationSystem:
+        key = (p_variance, o_variance)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = EstimationSystem.from_tables(
+                self.labeled,
+                self.pathid_table,
+                self.order_table,
+                p_variance=p_variance,
+                o_variance=o_variance,
+                binary_tree=self.binary_tree,
+            )
+            self._cache[key] = cached
+        return cached

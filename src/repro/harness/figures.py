@@ -1,0 +1,87 @@
+"""Plain-text chart rendering for the benchmark reports.
+
+The figure benchmarks reproduce *curves* (error vs memory, memory vs
+variance); tables of numbers hide their shapes.  This module renders
+small ASCII line charts — good enough to eyeball monotonicity and
+crossovers directly in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Points are plotted with one glyph per series; the legend maps glyphs
+    to names.  Axes are linear, ranges padded slightly.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "%s\n(no data)" % title if title else "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+        current = grid[row][col]
+        grid[row][col] = glyph if current in (" ", glyph) else "?"
+
+    legend: List[str] = []
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        legend.append("%s %s" % (glyph, name))
+        for x, y in values:
+            plot(x, y, glyph)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = "%.4g" % y_hi
+    bottom_label = "%.4g" % y_lo
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append("%s |%s" % (label, "".join(row)))
+    lines.append("%s +%s" % (" " * pad, "-" * width))
+    x_axis = "%.4g" % x_lo + " " * max(1, width - len("%.4g" % x_lo) - len("%.4g" % x_hi)) + "%.4g" % x_hi
+    lines.append("%s  %s" % (" " * pad, x_axis))
+    if x_label or y_label:
+        lines.append(
+            "%s  x: %s%s" % (" " * pad, x_label, ("   y: %s" % y_label) if y_label else "")
+        )
+    lines.append("%s  legend: %s" % (" " * pad, "   ".join(legend)))
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    labeled_curves: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    **kwargs,
+) -> str:
+    """Convenience wrapper taking per-series (xs, ys) pairs."""
+    series = {
+        name: list(zip(xs, ys)) for name, (xs, ys) in labeled_curves.items()
+    }
+    return render_chart(series, **kwargs)

@@ -1,0 +1,65 @@
+"""Accuracy metrics.
+
+The paper reports the *average relative error* over a workload whose
+negative queries (true selectivity 0) were removed, so the denominator is
+always ≥ 1:  err(q) = |est(q) − act(q)| / act(q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """|est − act| / act; ``actual`` must be positive."""
+    if actual <= 0:
+        raise ValueError("relative error needs a positive actual value")
+    return abs(estimate - actual) / actual
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Distribution summary of per-query relative errors."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def from_errors(cls, errors: Sequence[float]) -> "ErrorSummary":
+        if not errors:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(errors)
+        n = len(ordered)
+        median = (
+            ordered[n // 2]
+            if n % 2
+            else (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+        )
+        return cls(
+            count=n,
+            mean=sum(ordered) / n,
+            median=median,
+            p90=ordered[min(n - 1, int(0.9 * n))],
+            maximum=ordered[-1],
+        )
+
+    def __str__(self) -> str:
+        return "n=%d mean=%.4f median=%.4f p90=%.4f max=%.4f" % (
+            self.count,
+            self.mean,
+            self.median,
+            self.p90,
+            self.maximum,
+        )
+
+
+def average_relative_error(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Mean relative error over (estimate, actual) pairs."""
+    errors: List[float] = [relative_error(est, act) for est, act in pairs]
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)

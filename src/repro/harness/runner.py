@@ -1,0 +1,112 @@
+"""Workload evaluation and variance sweeps.
+
+``evaluate_estimator`` measures one estimator over one list of workload
+queries; the ``sweep_*`` helpers rebuild the estimation system across a
+range of variance thresholds and collect (memory, error) series — the raw
+data behind Figures 9, 10, 12 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.system import EstimationSystem
+from repro.harness.metrics import ErrorSummary, relative_error
+from repro.workload.generator import WorkloadQuery
+from repro.xmltree.document import XmlDocument
+
+Estimator = Callable[[WorkloadQuery], float]
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One point of a memory/accuracy series."""
+
+    label: str
+    variance: float
+    memory_bytes: float
+    summary: ErrorSummary
+
+    @property
+    def memory_kb(self) -> float:
+        return self.memory_bytes / 1024.0
+
+    @property
+    def mean_error(self) -> float:
+        return self.summary.mean
+
+
+def evaluate_estimator(
+    estimator: Estimator, workload: Sequence[WorkloadQuery]
+) -> ErrorSummary:
+    """Per-query relative errors of ``estimator`` over ``workload``."""
+    errors = [
+        relative_error(estimator(item), item.actual) for item in workload
+    ]
+    return ErrorSummary.from_errors(errors)
+
+
+def system_estimator(system: EstimationSystem) -> Estimator:
+    """Adapt an :class:`EstimationSystem` to the runner protocol."""
+    return lambda item: system.estimate(item.query)
+
+
+def sweep_p_variance(
+    document: XmlDocument,
+    workload: Sequence[WorkloadQuery],
+    variances: Sequence[float],
+    o_variance: float = 0.0,
+    label: str = "",
+    memory_key: str = "p_histogram",
+) -> List[AccuracyPoint]:
+    """Accuracy/memory across p-histogram variance settings (Figure 10)."""
+    points: List[AccuracyPoint] = []
+    for variance in variances:
+        system = EstimationSystem.build(
+            document, p_variance=variance, o_variance=o_variance
+        )
+        summary = evaluate_estimator(system_estimator(system), workload)
+        memory = system.summary_sizes().get(memory_key, 0.0)
+        points.append(AccuracyPoint(label or document.name, variance, memory, summary))
+    return points
+
+
+def sweep_o_variance(
+    document: XmlDocument,
+    workload: Sequence[WorkloadQuery],
+    p_variance: float,
+    o_variances: Sequence[float],
+    label: str = "",
+) -> List[AccuracyPoint]:
+    """Accuracy/memory across o-histogram variances at a fixed p-variance
+    (one curve of Figure 12/13)."""
+    points: List[AccuracyPoint] = []
+    for variance in o_variances:
+        system = EstimationSystem.build(
+            document, p_variance=p_variance, o_variance=variance
+        )
+        summary = evaluate_estimator(system_estimator(system), workload)
+        memory = system.summary_sizes().get("o_histogram", 0.0)
+        points.append(
+            AccuracyPoint(
+                label or "p-histo.v=%g" % p_variance, variance, memory, summary
+            )
+        )
+    return points
+
+
+def memory_series(
+    document: XmlDocument, variances: Sequence[float]
+) -> Dict[str, List[float]]:
+    """Figure 9 series: histogram sizes across the variance range."""
+    p_sizes: List[float] = []
+    o_sizes: List[float] = []
+    for variance in variances:
+        system = EstimationSystem.build(
+            document, p_variance=variance, o_variance=variance
+        )
+        sizes = system.summary_sizes()
+        p_sizes.append(sizes.get("p_histogram", 0.0))
+        o_sizes.append(sizes.get("o_histogram", 0.0))
+    return {"p_histogram": p_sizes, "o_histogram": o_sizes}

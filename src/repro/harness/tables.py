@@ -1,0 +1,64 @@
+"""Plain-text table rendering and the benchmark results registry.
+
+``pytest`` captures stdout of passing tests, so the benchmark modules
+register their rendered tables here and a ``pytest_terminal_summary`` hook
+(benchmarks/conftest.py) prints everything at the end of the run — that is
+what lands in ``bench_output.txt``.  Results are also written to
+``bench_results/<name>.txt`` for standalone inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+_RESULTS: "Dict[str, str]" = {}
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def record_result(name: str, text: str, results_dir: Optional[str] = None) -> None:
+    """Register a rendered experiment table and persist it to disk."""
+    _RESULTS[name] = text
+    directory = results_dir or os.environ.get("REPRO_RESULTS_DIR", "bench_results")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "%s.txt" % name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    except OSError:
+        pass  # persisting is best-effort; the registry still has the text
+
+
+def rendered_results() -> str:
+    """Every recorded table, in registration order."""
+    blocks = []
+    for name, text in _RESULTS.items():
+        blocks.append("=" * 72)
+        blocks.append(name)
+        blocks.append("=" * 72)
+        blocks.append(text)
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def clear_results() -> None:
+    _RESULTS.clear()

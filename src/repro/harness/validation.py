@@ -1,0 +1,195 @@
+"""System self-checks over an arbitrary document.
+
+Packages the invariants the test suite relies on into a reusable
+diagnostic: given any document, build the full pipeline and verify that
+every structural property the estimator depends on actually holds.  Used
+by ``python -m repro validate`` and by tests; handy when pointing the
+system at documents far from the paper's corpora.
+
+Checks:
+
+* **labeling** — every element labeled; descendants' path ids are subsets
+  of their ancestors'; the root covers every path.
+* **statistics** — per-tag frequency totals equal tag counts; sampled
+  order-table rows equal the evaluator's count of ``//$X/folls::Y``
+  (before/after *totals* are deliberately not compared: the counts are
+  existential per element and asymmetric, e.g. the group ``a b b`` has 2
+  before-entries but 3 after-entries).
+* **histograms** — p-histogram buckets respect the variance bound and
+  preserve each tag's total mass; every o-histogram box covers only cells
+  of its region's grid extent.
+* **binary tree** — compressed lookups reproduce every (ordinal, id) pair.
+* **estimation** — Theorem 4.1 spot check: simple chain queries sampled
+  from real paths estimate exactly at variance 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.system import EstimationSystem
+from repro.histograms.variance import bucket_std_dev
+from repro.pathenc.bintree import PathIdBinaryTree
+from repro.workload.generator import WorkloadGenerator
+from repro.xmltree.document import XmlDocument
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+from repro.xpath.evaluator import Evaluator
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(name)
+        if not passed:
+            self.failures.append("%s%s" % (name, (": " + detail) if detail else ""))
+
+    def render(self) -> str:
+        lines = ["validation: %d checks, %d failures" % (len(self.checks), len(self.failures))]
+        for name in self.checks:
+            status = "FAIL" if any(f.startswith(name) for f in self.failures) else "ok"
+            lines.append("  [%s] %s" % (status, name))
+        for failure in self.failures:
+            lines.append("  !! %s" % failure)
+        return "\n".join(lines)
+
+
+def validate_document(
+    document: XmlDocument,
+    p_variance: float = 1.0,
+    sample_queries: int = 25,
+    seed: int = 97,
+) -> ValidationReport:
+    """Run every self-check against ``document``."""
+    report = ValidationReport()
+    system = EstimationSystem.build(document, p_variance=p_variance, o_variance=1.0)
+    labeled = system.labeled
+
+    # -- labeling -----------------------------------------------------------
+    subset_ok = all(
+        node.parent is None
+        or (labeled.pathids[node.parent.pre] & labeled.pathids[node.pre])
+        == labeled.pathids[node.pre]
+        for node in document
+    )
+    report.record("pathid-subset-invariant", subset_ok)
+    report.record("all-elements-labeled", all(pid > 0 for pid in labeled.pathids))
+    full = (1 << labeled.width) - 1
+    report.record(
+        "root-covers-all-paths", labeled.pathids[document.root.pre] == full,
+        "root id %s" % labeled.format_pathid(labeled.pathids[document.root.pre]),
+    )
+
+    # -- statistics -----------------------------------------------------------
+    totals_ok = all(
+        system.pathid_table.total_frequency(tag) == document.tag_count(tag)
+        for tag in system.pathid_table.tags()
+    )
+    report.record("frequency-totals-match-tag-counts", totals_ok)
+    order_ok = True
+    order_detail = ""
+    evaluator_for_order = Evaluator(document)
+    rng = random.Random(seed)
+    grids = list(system.order_table.iter_grids())
+    rng.shuffle(grids)
+    for grid in grids[:5]:
+        rows = grid.row_tags()
+        if not rows:
+            continue
+        other = rng.choice(rows)
+        expected_before = sum(
+            grid.g_before(pid, other) for pid in grid.column_pids()
+        )
+        query = QueryNode(grid.tag)
+        query.add_edge(QueryAxis.FOLLS, QueryNode(other), is_predicate=False)
+        pattern = Query(query, QueryAxis.DESCENDANT, target=query)
+        actual = evaluator_for_order.selectivity(pattern)
+        if expected_before != actual:
+            order_ok = False
+            order_detail = "%s before %s: table %d vs evaluator %d" % (
+                grid.tag, other, expected_before, actual
+            )
+            break
+    report.record("order-table-matches-evaluator", order_ok, order_detail)
+
+    # -- histograms -----------------------------------------------------------
+    provider = system.path_provider
+    histogram_ok = True
+    mass_ok = True
+    for tag in system.pathid_table.tags():
+        exact = system.pathid_table.frequency_map(tag)
+        histogram = provider.histogram(tag)  # type: ignore[union-attr]
+        if histogram is None:
+            histogram_ok = False
+            continue
+        approx_total = 0.0
+        for bucket in histogram.buckets:
+            values = [exact[pid] for pid in bucket.pathids]
+            if bucket_std_dev(values) > p_variance + 1e-6:
+                histogram_ok = False
+            approx_total += bucket.avg_frequency * len(bucket)
+        if abs(approx_total - sum(exact.values())) > 1e-6 * max(1, sum(exact.values())):
+            mass_ok = False
+    report.record("p-histogram-variance-bound", histogram_ok)
+    report.record("p-histogram-mass-preserved", mass_ok)
+
+    # -- binary tree -----------------------------------------------------------
+    tree = PathIdBinaryTree(labeled.distinct_pathids(), labeled.width).compress()
+    lossless = all(
+        tree.bits_of_ordinal(i) == pid and tree.ordinal_of_bits(pid) == i
+        for i, pid in enumerate(labeled.distinct_pathids(), start=1)
+    )
+    report.record("binary-tree-lossless", lossless)
+
+    # -- estimation (Theorem 4.1 spot check at v=0) --------------------------
+    exact_system = EstimationSystem.build(
+        document, p_variance=0, o_variance=0, build_binary_tree=False
+    )
+    generator = WorkloadGenerator(document, seed=seed)
+    items = generator.simple_queries(sample_queries)
+    recursive = _has_recursion(labeled)
+    errors = []
+    for item in items:
+        estimate = exact_system.estimate(item.query)
+        errors.append(abs(estimate - item.actual) / item.actual)
+    if not errors:
+        report.record("theorem-4.1-spot-check", True, "no sampleable queries")
+        return report
+    if recursive:
+        # Individual recursive-chain queries can be badly ambiguous (the
+        # documented residual), so the check bounds the *mean*.
+        mean = sum(errors) / len(errors)
+        report.record(
+            "theorem-4.1-spot-check",
+            mean <= 0.2,
+            "mean simple-query error %.4f over %d queries (recursive schema)"
+            % (mean, len(errors)),
+        )
+    else:
+        worst = max(errors)
+        report.record(
+            "theorem-4.1-spot-check",
+            worst <= 1e-9,
+            "worst simple-query error %.4g (non-recursive: must be exact)" % worst,
+        )
+    return report
+
+
+def _has_recursion(labeled) -> bool:
+    """Does any root-to-leaf path repeat a tag?"""
+    table = labeled.encoding_table
+    for encoding in range(1, table.width + 1):
+        labels = table.labels_of(encoding)
+        if len(set(labels)) != len(labels):
+            return True
+    return False

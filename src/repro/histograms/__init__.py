@@ -1,0 +1,27 @@
+"""Budgeted summaries of the statistics tables (Section 6 of the paper).
+
+* :class:`~repro.histograms.phistogram.PHistogramSet` — per-tag
+  p-histograms over the PathId-Frequency table (Algorithm 1).
+* :class:`~repro.histograms.ohistogram.OHistogramSet` — per-tag, per-region
+  o-histograms over the Path-Order table (Algorithm 2).
+* :class:`~repro.histograms.equiwidth.EquiCountPHistogramSet` — an ablation
+  variant that buckets by equal count instead of bounded variance.
+
+Both histogram families are controlled by an **intra-bucket frequency
+variance** threshold; the paper's "variance" is the population standard
+deviation of the bucket's frequencies.
+"""
+
+from repro.histograms.equiwidth import EquiCountPHistogramSet
+from repro.histograms.ohistogram import OBucket, OHistogram, OHistogramSet
+from repro.histograms.phistogram import PBucket, PHistogram, PHistogramSet
+
+__all__ = [
+    "PBucket",
+    "PHistogram",
+    "PHistogramSet",
+    "OBucket",
+    "OHistogram",
+    "OHistogramSet",
+    "EquiCountPHistogramSet",
+]

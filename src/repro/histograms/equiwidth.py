@@ -1,0 +1,103 @@
+"""Equi-count bucketing ablation for the p-histogram.
+
+The paper controls buckets with an intra-bucket variance threshold; the
+classic alternative is to cut the frequency-sorted list into a fixed number
+of equal-count buckets.  This module provides that variant behind the same
+provider protocol so the ablation benchmark can compare accuracy at equal
+memory (DESIGN.md, Ablation A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.histograms.phistogram import PBucket, PHistogram, PHistogramSet
+from repro.stats.pathid_freq import PathIdFrequencyTable
+
+
+def build_equicount_phistogram(
+    tag: str, pairs: List[Tuple[int, int]], bucket_count: int
+) -> PHistogram:
+    """Cut the frequency-sorted pair list into ``bucket_count`` equal slices."""
+    if bucket_count < 1:
+        raise ValueError("bucket count must be positive")
+    ordered = sorted(pairs, key=lambda pair: (pair[1], pair[0]))
+    total = len(ordered)
+    buckets: List[PBucket] = []
+    if total == 0:
+        return PHistogram(tag, buckets)
+    count = min(bucket_count, total)
+    base, extra = divmod(total, count)
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunk = ordered[start:start + size]
+        start += size
+        avg = sum(freq for _, freq in chunk) / len(chunk)
+        buckets.append(PBucket(tuple(pid for pid, _ in chunk), avg))
+    return PHistogram(tag, buckets)
+
+
+class EquiCountPHistogramSet:
+    """Per-tag equi-count p-histograms (provider protocol compatible)."""
+
+    def __init__(self, histograms: Dict[str, PHistogram], bucket_count: int):
+        self._histograms = histograms
+        self.bucket_count = bucket_count
+
+    @classmethod
+    def from_table(
+        cls, table: PathIdFrequencyTable, bucket_count: int
+    ) -> "EquiCountPHistogramSet":
+        histograms = {
+            tag: build_equicount_phistogram(tag, pairs, bucket_count)
+            for tag, pairs in table.iter_items()
+        }
+        return cls(histograms, bucket_count)
+
+    # Provider protocol -------------------------------------------------
+
+    def frequency_pairs(self, tag: str) -> List[Tuple[int, float]]:
+        histogram = self._histograms.get(tag)
+        return histogram.approx_pairs() if histogram else []
+
+    def frequency_map(self, tag: str) -> Dict[int, float]:
+        return dict(self.frequency_pairs(tag))
+
+    # Introspection ------------------------------------------------------
+
+    def histogram(self, tag: str) -> Optional[PHistogram]:
+        return self._histograms.get(tag)
+
+    def tags(self) -> List[str]:
+        return sorted(self._histograms)
+
+    def total_buckets(self) -> int:
+        return sum(h.bucket_count for h in self._histograms.values())
+
+    def size_bytes(self, pid_bytes: int) -> int:
+        return sum(h.size_bytes(pid_bytes) for h in self._histograms.values())
+
+    @staticmethod
+    def matching_budget(reference: PHistogramSet) -> Dict[str, int]:
+        """Per-tag bucket counts matching a variance-built reference set."""
+        return {
+            tag: reference.histogram(tag).bucket_count
+            for tag in reference.tags()
+        }
+
+    @classmethod
+    def from_reference(
+        cls, table: PathIdFrequencyTable, reference: PHistogramSet
+    ) -> "EquiCountPHistogramSet":
+        """Build with the same per-tag bucket counts as ``reference``.
+
+        This pins the memory footprint of the two bucketing policies to the
+        same value so the ablation isolates bucketing quality.
+        """
+        budgets = cls.matching_budget(reference)
+        histograms = {
+            tag: build_equicount_phistogram(tag, pairs, max(1, budgets.get(tag, 1)))
+            for tag, pairs in table.iter_items()
+        }
+        return cls(histograms, bucket_count=-1)

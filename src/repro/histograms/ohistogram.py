@@ -1,0 +1,290 @@
+"""The o-histogram (Section 6, Algorithm 2).
+
+Summarizes one region (``+ele`` or ``ele+``) of a tag's path-order grid
+with variance-bounded bounding boxes:
+
+1. Sort the grid: rows (other tags) alphabetically, columns (path ids) in
+   the order of the tag's p-histogram.
+2. Scan non-empty cells row-major.  Extend each uncovered cell rightwards
+   along its row (stop at an empty cell, a covered cell, or a variance
+   violation), then extend the row span downwards row by row (stop at a row
+   whose span is entirely empty, at any covered cell, or at a variance
+   violation).
+3. Emit the box as a bucket ``(x_start, y_start, x_end, y_end, avg)``.
+
+The paper grows boxes toward "the rows above"; we scan top-to-bottom and
+grow downward — the mirror image, with identical bucket quality (DESIGN.md
+§5.6).  Averages and variances are computed over the box's *non-empty*
+cells (§5 note), which is what the estimator's lookups target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.histograms.phistogram import PHistogramSet
+from repro.histograms.variance import RunningVariance
+from repro.stats.path_order import PathOrderTable, TagOrderGrid
+
+# Cost model: 4 coordinate shorts + one 4-byte average per bucket.
+BUCKET_BYTES = 4 * 2 + 4
+
+BEFORE = "+ele"
+AFTER = "ele+"
+
+
+@dataclass(frozen=True)
+class OBucket:
+    """One bounding-box bucket over the sorted grid (inclusive coords)."""
+
+    x_start: int
+    y_start: int
+    x_end: int
+    y_end: int
+    avg_frequency: float
+
+    def covers(self, x: int, y: int) -> bool:
+        return self.x_start <= x <= self.x_end and self.y_start <= y <= self.y_end
+
+
+class OHistogram:
+    """The o-histogram of one region of one tag's path-order grid."""
+
+    def __init__(
+        self,
+        tag: str,
+        region: str,
+        buckets: Sequence[OBucket],
+        col_of_pid: Dict[int, int],
+        row_of_tag: Dict[str, int],
+    ):
+        self.tag = tag
+        self.region = region
+        self.buckets: List[OBucket] = list(buckets)
+        self._col_of_pid = col_of_pid
+        self._row_of_tag = row_of_tag
+        # Row index -> buckets intersecting that row, for fast point lookup.
+        self._by_row: Dict[int, List[OBucket]] = {}
+        for bucket in self.buckets:
+            for row in range(bucket.y_start, bucket.y_end + 1):
+                self._by_row.setdefault(row, []).append(bucket)
+
+    def lookup(self, pid: int, other_tag: str) -> float:
+        """Approximate g(pid, other_tag); 0 when the point is uncovered."""
+        col = self._col_of_pid.get(pid)
+        row = self._row_of_tag.get(other_tag)
+        if col is None or row is None:
+            return 0.0
+        for bucket in self._by_row.get(row, ()):
+            if bucket.x_start <= col <= bucket.x_end:
+                return bucket.avg_frequency
+        return 0.0
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    def column_map(self) -> Dict[int, int]:
+        """path id -> column index (a copy)."""
+        return dict(self._col_of_pid)
+
+    def row_map(self) -> Dict[str, int]:
+        """other tag -> row index (a copy)."""
+        return dict(self._row_of_tag)
+
+    def size_bytes(self) -> int:
+        return self.bucket_count * BUCKET_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<OHistogram %s/%s: %d buckets>" % (self.tag, self.region, self.bucket_count)
+
+
+def build_ohistogram(
+    tag: str,
+    region: str,
+    cells: Dict[Tuple[int, str], int],
+    pid_order: Sequence[int],
+    variance_threshold: float,
+    growth: str = "down",
+) -> OHistogram:
+    """Algorithm 2 for one region of one tag.
+
+    ``cells`` maps (path id, other tag) to a non-zero count; ``pid_order``
+    fixes the column order (the tag's p-histogram order).
+
+    ``growth`` selects the box-extension direction: ``"down"`` scans rows
+    top-to-bottom and grows boxes downward (our default);``"up"`` is the
+    paper's literal wording — scan from the bottom and add "the rows
+    above".  The two are mirror images (DESIGN.md §5.6); tests verify
+    both cover every non-empty cell within the variance bound.
+    """
+    if variance_threshold < 0:
+        raise ValueError("variance threshold must be non-negative")
+    if growth not in ("down", "up"):
+        raise ValueError("growth must be 'down' or 'up'")
+    col_of_pid = {pid: i for i, pid in enumerate(pid_order)}
+    row_tags = sorted({other for _, other in cells})
+    row_of_tag = {other: i for i, other in enumerate(row_tags)}
+    # Dense coordinate view of the sparse region.
+    grid: Dict[Tuple[int, int], int] = {}
+    for (pid, other), count in cells.items():
+        col = col_of_pid.get(pid)
+        if col is None:
+            # The pid vanished from the p-histogram (cannot happen with our
+            # builders, but stay safe): give it a column past the end.
+            col = len(col_of_pid)
+            col_of_pid[pid] = col
+        grid[(col, row_of_tag[other])] = count
+    n_cols = len(col_of_pid)
+    n_rows = len(row_tags)
+
+    covered: Dict[Tuple[int, int], bool] = {}
+    buckets: List[OBucket] = []
+    row_order = range(n_rows) if growth == "down" else range(n_rows - 1, -1, -1)
+    for y in row_order:
+        for x in range(n_cols):
+            start = (x, y)
+            if start not in grid or covered.get(start):
+                continue
+            bucket = _grow_box(
+                grid, covered, x, y, n_cols, n_rows, variance_threshold,
+                downward=(growth == "down"),
+            )
+            buckets.append(bucket)
+    return OHistogram(tag, region, buckets, col_of_pid, row_of_tag)
+
+
+def _grow_box(
+    grid: Dict[Tuple[int, int], int],
+    covered: Dict[Tuple[int, int], bool],
+    x: int,
+    y: int,
+    n_cols: int,
+    n_rows: int,
+    threshold: float,
+    downward: bool = True,
+) -> OBucket:
+    """Grow one cell into a maximal variance-bounded box; mark it covered."""
+    tracker = RunningVariance()
+    tracker.add(grid[(x, y)])
+    x_end = x
+    # Step 1: extend rightwards along the seed row.
+    while x_end + 1 < n_cols:
+        cell = (x_end + 1, y)
+        value = grid.get(cell)
+        if value is None or covered.get(cell):
+            break
+        if tracker.would_exceed(value, threshold):
+            break
+        tracker.add(value)
+        x_end += 1
+    # Step 2: extend the [x, x_end] span row by row (down or up).
+    y_start = y
+    y_end = y
+    while (y_end + 1 < n_rows) if downward else (y_start - 1 >= 0):
+        row = y_end + 1 if downward else y_start - 1
+        row_values = []
+        blocked = False
+        for col in range(x, x_end + 1):
+            cell = (col, row)
+            value = grid.get(cell)
+            if value is None:
+                continue
+            if covered.get(cell):
+                blocked = True
+                break
+            row_values.append(value)
+        if blocked or not row_values:
+            break  # covered cell in the way, or an all-empty row
+        trial = RunningVariance()
+        trial.count, trial.total, trial.total_sq = (
+            tracker.count,
+            tracker.total,
+            tracker.total_sq,
+        )
+        for value in row_values:
+            trial.add(value)
+        if trial.std_dev > threshold + 1e-12:
+            break
+        tracker = trial
+        if downward:
+            y_end = row
+        else:
+            y_start = row
+    for row in range(y_start, y_end + 1):
+        for col in range(x, x_end + 1):
+            if (col, row) in grid:
+                covered[(col, row)] = True
+    return OBucket(x, y_start, x_end, y_end, tracker.mean)
+
+
+class OHistogramSet:
+    """All o-histograms of a document (two regions per tag).
+
+    Implements the *order statistics provider* protocol used by the
+    estimator: :meth:`order_count`.
+    """
+
+    def __init__(
+        self,
+        histograms: Dict[Tuple[str, str], OHistogram],
+        variance_threshold: float,
+    ):
+        self._histograms = histograms
+        self.variance_threshold = variance_threshold
+
+    @classmethod
+    def from_table(
+        cls,
+        table: PathOrderTable,
+        phistograms: PHistogramSet,
+        variance_threshold: float,
+        growth: str = "down",
+    ) -> "OHistogramSet":
+        histograms: Dict[Tuple[str, str], OHistogram] = {}
+        for grid in table.iter_grids():
+            phist = phistograms.histogram(grid.tag)
+            pid_order = phist.pid_order() if phist else grid.column_pids()
+            for region, before in ((BEFORE, True), (AFTER, False)):
+                cells = grid.region(before)
+                if not cells:
+                    continue
+                histograms[(grid.tag, region)] = build_ohistogram(
+                    grid.tag, region, cells, pid_order, variance_threshold,
+                    growth=growth,
+                )
+        return cls(histograms, variance_threshold)
+
+    # ------------------------------------------------------------------
+    # Provider protocol
+    # ------------------------------------------------------------------
+
+    def order_count(self, tag: str, pid: int, other_tag: str, before: bool) -> float:
+        """Approximate g(pid, other_tag) in the requested region of ``tag``."""
+        histogram = self._histograms.get((tag, BEFORE if before else AFTER))
+        return histogram.lookup(pid, other_tag) if histogram else 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def histogram(self, tag: str, region: str) -> Optional[OHistogram]:
+        return self._histograms.get((tag, region))
+
+    def keys(self) -> List[Tuple[str, str]]:
+        """All (tag, region) pairs with a histogram, sorted."""
+        return sorted(self._histograms)
+
+    def total_buckets(self) -> int:
+        return sum(h.bucket_count for h in self._histograms.values())
+
+    def size_bytes(self) -> int:
+        return sum(h.size_bytes() for h in self._histograms.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<OHistogramSet v=%g: %d histograms, %d buckets>" % (
+            self.variance_threshold,
+            len(self._histograms),
+            self.total_buckets(),
+        )

@@ -1,0 +1,166 @@
+"""The p-histogram (Section 6, Algorithm 1).
+
+One p-histogram per distinct element tag summarizes the tag's
+pathid-frequency list: the list is sorted by frequency and greedily cut
+into buckets whose intra-bucket standard deviation stays within the given
+threshold.  Each bucket stores its member path ids and their average
+frequency; at threshold 0 every bucket is frequency-pure, so the histogram
+reproduces the exact table (Theorem 4.1 then gives exact selectivities for
+simple queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.histograms.variance import RunningVariance
+from repro.stats.pathid_freq import PathIdFrequencyTable
+
+# Cost model (documented in DESIGN.md §5.9): every p-histogram stores the
+# tag's path ids once, in bucket order, plus per bucket an average frequency
+# and an end offset into the pid array.
+AVG_FREQ_BYTES = 4
+BUCKET_OFFSET_BYTES = 2
+
+
+@dataclass(frozen=True)
+class PBucket:
+    """One bucket: member path ids (frequency-sorted) and their mean."""
+
+    pathids: Tuple[int, ...]
+    avg_frequency: float
+
+    def __len__(self) -> int:
+        return len(self.pathids)
+
+
+class PHistogram:
+    """The p-histogram of a single element tag."""
+
+    def __init__(self, tag: str, buckets: Sequence[PBucket]):
+        self.tag = tag
+        self.buckets: List[PBucket] = list(buckets)
+        self._freq_by_pid: Dict[int, float] = {}
+        order: List[int] = []
+        for bucket in self.buckets:
+            for pid in bucket.pathids:
+                self._freq_by_pid[pid] = bucket.avg_frequency
+                order.append(pid)
+        self._pid_order = order
+
+    # ------------------------------------------------------------------
+    # Estimation interface
+    # ------------------------------------------------------------------
+
+    def approx_frequency(self, pathid: int) -> float:
+        """Approximate frequency of one path id (0 when absent)."""
+        return self._freq_by_pid.get(pathid, 0.0)
+
+    def approx_pairs(self) -> List[Tuple[int, float]]:
+        """(path id, approximate frequency) pairs, pid-order of storage."""
+        return [(pid, self._freq_by_pid[pid]) for pid in self._pid_order]
+
+    def pid_order(self) -> List[int]:
+        """Path ids in p-histogram storage order (the o-histogram's column
+        order, per Algorithm 2 step 1)."""
+        return list(self._pid_order)
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self.buckets)
+
+    def size_bytes(self, pid_bytes: int) -> int:
+        """Cost-model size: pid array + per-bucket (avg, end offset)."""
+        return len(self._pid_order) * pid_bytes + self.bucket_count * (
+            AVG_FREQ_BYTES + BUCKET_OFFSET_BYTES
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PHistogram %s: %d pids in %d buckets>" % (
+            self.tag,
+            len(self._pid_order),
+            self.bucket_count,
+        )
+
+
+def build_phistogram(
+    tag: str, pairs: Sequence[Tuple[int, int]], variance_threshold: float
+) -> PHistogram:
+    """Algorithm 1: sort by frequency, greedily grow variance-bounded buckets.
+
+    ``pairs`` is the tag's (path id, frequency) list.  Ties in frequency are
+    broken by path id so construction is deterministic.
+    """
+    if variance_threshold < 0:
+        raise ValueError("variance threshold must be non-negative")
+    ordered = sorted(pairs, key=lambda pair: (pair[1], pair[0]))
+    buckets: List[PBucket] = []
+    members: List[int] = []
+    tracker = RunningVariance()
+    for pid, freq in ordered:
+        if members and tracker.would_exceed(freq, variance_threshold):
+            buckets.append(PBucket(tuple(members), tracker.mean))
+            members = []
+            tracker = RunningVariance()
+        members.append(pid)
+        tracker.add(freq)
+    if members:
+        buckets.append(PBucket(tuple(members), tracker.mean))
+    return PHistogram(tag, buckets)
+
+
+class PHistogramSet:
+    """All per-tag p-histograms of a document at one variance setting.
+
+    This class implements the *path statistics provider* protocol used by
+    the estimator: :meth:`frequency_pairs` and :meth:`frequency_map`.
+    """
+
+    def __init__(self, histograms: Dict[str, PHistogram], variance_threshold: float):
+        self._histograms = histograms
+        self.variance_threshold = variance_threshold
+
+    @classmethod
+    def from_table(
+        cls, table: PathIdFrequencyTable, variance_threshold: float
+    ) -> "PHistogramSet":
+        histograms = {
+            tag: build_phistogram(tag, pairs, variance_threshold)
+            for tag, pairs in table.iter_items()
+        }
+        return cls(histograms, variance_threshold)
+
+    # ------------------------------------------------------------------
+    # Provider protocol
+    # ------------------------------------------------------------------
+
+    def frequency_pairs(self, tag: str) -> List[Tuple[int, float]]:
+        histogram = self._histograms.get(tag)
+        return histogram.approx_pairs() if histogram else []
+
+    def frequency_map(self, tag: str) -> Dict[int, float]:
+        return dict(self.frequency_pairs(tag))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def histogram(self, tag: str) -> Optional[PHistogram]:
+        return self._histograms.get(tag)
+
+    def tags(self) -> List[str]:
+        return sorted(self._histograms)
+
+    def total_buckets(self) -> int:
+        return sum(h.bucket_count for h in self._histograms.values())
+
+    def size_bytes(self, pid_bytes: int) -> int:
+        return sum(h.size_bytes(pid_bytes) for h in self._histograms.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PHistogramSet v=%g: %d tags, %d buckets>" % (
+            self.variance_threshold,
+            len(self._histograms),
+            self.total_buckets(),
+        )

@@ -1,0 +1,73 @@
+"""Incremental intra-bucket "variance" tracking.
+
+The paper defines the bucket variance as
+
+    v_b = sqrt( ((f1 - avg)^2 + ... + (fk - avg)^2) / k )
+
+i.e. the *population standard deviation* of the bucket's frequencies.  The
+greedy construction algorithms test the threshold after each tentative
+addition, so the tracker supports O(1) add and O(1) query via running sum
+and sum of squares.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class RunningVariance:
+    """Running population standard deviation of a stream of frequencies."""
+
+    __slots__ = ("count", "total", "total_sq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def remove(self, value: float) -> None:
+        if self.count == 0:
+            raise ValueError("cannot remove from an empty tracker")
+        self.count -= 1
+        self.total -= value
+        self.total_sq -= value * value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def std_dev(self) -> float:
+        """The paper's v_b (population standard deviation)."""
+        if self.count == 0:
+            return 0.0
+        mean = self.total / self.count
+        variance = self.total_sq / self.count - mean * mean
+        # Floating point can drive tiny negative values.
+        return math.sqrt(variance) if variance > 0.0 else 0.0
+
+    def would_exceed(self, value: float, threshold: float) -> bool:
+        """Would adding ``value`` push the std dev above ``threshold``?"""
+        count = self.count + 1
+        total = self.total + value
+        total_sq = self.total_sq + value * value
+        mean = total / count
+        variance = total_sq / count - mean * mean
+        if variance <= 0.0:
+            return False
+        return math.sqrt(variance) > threshold + 1e-12
+
+
+def bucket_std_dev(frequencies: Iterable[float]) -> float:
+    """One-shot population standard deviation (reference implementation)."""
+    values = list(frequencies)
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((f - mean) ** 2 for f in values) / len(values))

@@ -1,0 +1,43 @@
+"""Path encoding scheme (Section 2 of the paper, after [Li/Lee/Hsu, XSym'05]).
+
+Every distinct root-to-leaf *label path* of a document receives an integer
+encoding; every element node receives a **path id** — a bit vector over the
+distinct paths.  The package provides:
+
+* :class:`~repro.pathenc.encoding.EncodingTable` — path-string ↔ encoding
+  mapping plus tag-relationship tests inside a single path.
+* :mod:`~repro.pathenc.pathid` — bit-vector helpers (containment, bit
+  decomposition, formatting).
+* :class:`~repro.pathenc.labeler.LabeledDocument` — a document with path ids
+  assigned to every node and the distinct-path-id table (p1..pk).
+* :mod:`~repro.pathenc.relationship` — the Case 1 / Case 2 compatibility
+  tests used by the path join.
+* :class:`~repro.pathenc.bintree.PathIdBinaryTree` — the Section 6 index
+  over path-id bit sequences with lossless chain compression.
+"""
+
+from repro.pathenc.bintree import PathIdBinaryTree
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.labeler import LabeledDocument, label_document
+from repro.pathenc.pathid import (
+    bit_for_encoding,
+    bits_of,
+    contains,
+    encodings_of,
+    format_pathid,
+)
+from repro.pathenc.relationship import Axis, pids_compatible
+
+__all__ = [
+    "EncodingTable",
+    "LabeledDocument",
+    "label_document",
+    "PathIdBinaryTree",
+    "bit_for_encoding",
+    "bits_of",
+    "encodings_of",
+    "contains",
+    "format_pathid",
+    "Axis",
+    "pids_compatible",
+]

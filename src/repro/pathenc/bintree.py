@@ -1,0 +1,257 @@
+"""The path-id binary tree (Section 6 of the paper).
+
+The tree indexes path-id bit sequences:
+
+* the left/right edge out of a node represents bit 0/1;
+* a leaf (at depth = bit width) holds a path-id ordinal;
+* an internal node holds the largest ordinal of its left subtree (or, when
+  the left subtree is empty, one less than the least ordinal of its right
+  subtree) so that ordinal-comparison navigation finds any stored id.
+
+Because ordinals are assigned in ascending bit-sequence order, an in-order
+walk of the leaves yields ordinals ``1..k`` consecutively — which is what
+makes the paper's **chain compression** lossless: a subtree containing only
+left (right) edges encodes an all-0 (all-1) bit suffix with a single leaf
+whose ordinal is recoverable from the ordinal range of the descent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class _TrieNode:
+    """One node of the (possibly compressed) binary trie."""
+
+    __slots__ = ("zero", "one", "node_id", "trimmed_zero", "trimmed_one")
+
+    def __init__(self) -> None:
+        self.zero: Optional[_TrieNode] = None
+        self.one: Optional[_TrieNode] = None
+        self.node_id = 0
+        self.trimmed_zero = False
+        self.trimmed_one = False
+
+    @property
+    def is_leaf(self) -> bool:
+        return (
+            self.zero is None
+            and self.one is None
+            and not self.trimmed_zero
+            and not self.trimmed_one
+        )
+
+
+class PathIdBinaryTree:
+    """Index over the distinct path ids of a labeled document.
+
+    Parameters
+    ----------
+    pathids:
+        Distinct path ids in ascending order (ordinal ``i+1`` is assigned to
+        ``pathids[i]``, matching the path-id table).
+    width:
+        Bit width of the ids.
+    """
+
+    def __init__(self, pathids: Sequence[int], width: int):
+        if not pathids:
+            raise ValueError("need at least one path id")
+        if list(pathids) != sorted(set(pathids)):
+            raise ValueError("path ids must be distinct and ascending")
+        if pathids[-1] >= (1 << width):
+            raise ValueError("path id wider than declared width")
+        self.width = width
+        self.count = len(pathids)
+        self._root = self._build(list(pathids), width)
+        self.full_node_count = self._count_nodes(self._root)
+        self.compressed = False
+        self.compressed_node_count = self.full_node_count
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _build(pathids: List[int], width: int) -> _TrieNode:
+        root = _TrieNode()
+        for ordinal, pid in enumerate(pathids, start=1):
+            node = root
+            for depth in range(width):
+                bit = (pid >> (width - 1 - depth)) & 1
+                if bit:
+                    if node.one is None:
+                        node.one = _TrieNode()
+                    node = node.one
+                else:
+                    if node.zero is None:
+                        node.zero = _TrieNode()
+                    node = node.zero
+            node.node_id = ordinal
+        PathIdBinaryTree._assign_internal_ids(root)
+        return root
+
+    @staticmethod
+    def _assign_internal_ids(root: _TrieNode) -> Tuple[int, int]:
+        """Post-order pass returning (min, max) ordinal of each subtree."""
+
+        def visit(node: _TrieNode) -> Tuple[int, int]:
+            if node.is_leaf:
+                return node.node_id, node.node_id
+            lo = hi = None
+            if node.zero is not None:
+                zlo, zhi = visit(node.zero)
+                node.node_id = zhi
+                lo, hi = zlo, zhi
+            if node.one is not None:
+                olo, ohi = visit(node.one)
+                if node.zero is None:
+                    node.node_id = olo - 1
+                    lo = olo
+                hi = ohi
+            assert lo is not None and hi is not None
+            return lo, hi
+
+        return visit(root)
+
+    @staticmethod
+    def _count_nodes(node: _TrieNode) -> int:
+        total = 1
+        if node.zero is not None:
+            total += PathIdBinaryTree._count_nodes(node.zero)
+        if node.one is not None:
+            total += PathIdBinaryTree._count_nodes(node.one)
+        return total
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+
+    def compress(self) -> "PathIdBinaryTree":
+        """Apply the paper's lossless chain compression in place.
+
+        A left (right) subtree that contains only left (right) edges — i.e.
+        a pure 0-chain (1-chain) down to a single leaf — is removed together
+        with its incoming edge and replaced by a ``trimmed`` flag.
+        Returns ``self`` for chaining.
+        """
+
+        def pure_chain(node: _TrieNode, want_one: bool) -> bool:
+            while True:
+                if node.is_leaf:
+                    return True
+                branch = node.one if want_one else node.zero
+                other = node.zero if want_one else node.one
+                if other is not None or branch is None:
+                    return False
+                node = branch
+
+        def walk(node: _TrieNode) -> None:
+            if node.zero is not None:
+                if pure_chain(node.zero, want_one=False):
+                    node.zero = None
+                    node.trimmed_zero = True
+                else:
+                    walk(node.zero)
+            if node.one is not None:
+                if pure_chain(node.one, want_one=True):
+                    node.one = None
+                    node.trimmed_one = True
+                else:
+                    walk(node.one)
+
+        if not self.compressed:
+            walk(self._root)
+            self.compressed = True
+            self.compressed_node_count = self._count_nodes(self._root)
+        return self
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def bits_of_ordinal(self, ordinal: int) -> int:
+        """Return the path id stored under ``ordinal`` (1-based).
+
+        Navigates by ordinal comparison; on a trimmed edge the remaining
+        suffix is all 0s (left) or all 1s (right).
+        """
+        if not 1 <= ordinal <= self.count:
+            raise KeyError("ordinal %d out of range 1..%d" % (ordinal, self.count))
+        node = self._root
+        value = 0
+        depth = 0
+        while True:
+            if node.is_leaf:
+                if depth != self.width:
+                    raise AssertionError("leaf at wrong depth; tree corrupt")
+                return value
+            go_left = ordinal <= node.node_id
+            remaining = self.width - depth - 1
+            if go_left:
+                if node.zero is None:
+                    if not node.trimmed_zero:
+                        raise KeyError("ordinal %d not stored" % ordinal)
+                    return value << (remaining + 1)  # all-0 suffix
+                node = node.zero
+                value <<= 1
+            else:
+                if node.one is None:
+                    if not node.trimmed_one:
+                        raise KeyError("ordinal %d not stored" % ordinal)
+                    return (value << (remaining + 1)) | ((1 << (remaining + 1)) - 1)
+                node = node.one
+                value = (value << 1) | 1
+            depth += 1
+
+    def ordinal_of_bits(self, pathid: int) -> int:
+        """Return the ordinal of a stored path id; KeyError if absent.
+
+        Descends by bits while tracking the ordinal range ``[low, high]`` of
+        the current subtree so that trimmed chains stay resolvable.
+        """
+        node = self._root
+        low, high = 1, self.count
+        for depth in range(self.width):
+            bit = (pathid >> (self.width - 1 - depth)) & 1
+            if node.is_leaf:
+                raise KeyError("path id not stored")
+            if bit == 0:
+                high = node.node_id
+                if node.zero is None:
+                    if node.trimmed_zero and pathid & ((1 << (self.width - depth)) - 1) == 0:
+                        # Wholly-zero suffix: the single trimmed leaf.
+                        return high
+                    raise KeyError("path id not stored")
+                node = node.zero
+            else:
+                low = node.node_id + 1
+                if node.one is None:
+                    suffix_mask = (1 << (self.width - depth)) - 1
+                    if node.trimmed_one and (pathid & suffix_mask) == suffix_mask:
+                        return high
+                    raise KeyError("path id not stored")
+                node = node.one
+        if not node.is_leaf:
+            raise KeyError("path id not stored")
+        return node.node_id
+
+    # ------------------------------------------------------------------
+    # Size accounting (Table 3)
+    # ------------------------------------------------------------------
+
+    NODE_BYTES = 6  # 2-byte ordinal + two 2-byte child references
+
+    def size_bytes(self) -> int:
+        """Cost-model size of the (possibly compressed) tree."""
+        count = self.compressed_node_count if self.compressed else self.full_node_count
+        return count * self.NODE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "compressed" if self.compressed else "full"
+        return "<PathIdBinaryTree %d ids, width %d, %s, %d nodes>" % (
+            self.count,
+            self.width,
+            state,
+            self.compressed_node_count if self.compressed else self.full_node_count,
+        )

@@ -1,0 +1,153 @@
+"""The encoding table: distinct root-to-leaf label paths ↔ integer encodings.
+
+Besides the mapping itself the table answers the question the path join
+keeps asking (Section 2, Examples 2.2/2.3): *given one encoded path and two
+element tags, how are the tags related along that path?*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.xmltree.document import XmlDocument
+
+
+class EncodingTable:
+    """Bidirectional map between root-to-leaf label paths and encodings.
+
+    Encodings are consecutive integers starting at 1, assigned in order of
+    first occurrence in the document (matching Figure 1(b)).
+    """
+
+    def __init__(self, paths: Sequence[str]):
+        if not paths:
+            raise ValueError("encoding table needs at least one path")
+        self._paths: List[str] = list(paths)
+        self._labels: List[Tuple[str, ...]] = [tuple(p.split("/")) for p in self._paths]
+        self._by_path: Dict[str, int] = {}
+        for index, path in enumerate(self._paths):
+            if path in self._by_path:
+                raise ValueError("duplicate root-to-leaf path %r" % path)
+            self._by_path[path] = index + 1
+        # (tag, pathid) -> feasible depth set; see tag_depths().
+        self._depth_cache: Dict[Tuple[str, int], Tuple[int, ...]] = {}
+
+    @classmethod
+    def from_document(cls, document: XmlDocument) -> "EncodingTable":
+        return cls(document.distinct_root_to_leaf_paths())
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct root-to-leaf paths (= path-id width)."""
+        return len(self._paths)
+
+    @property
+    def width(self) -> int:
+        return len(self._paths)
+
+    def encoding_of(self, path: str) -> int:
+        """Integer encoding of a path string; raises KeyError if unknown."""
+        return self._by_path[path]
+
+    def path_of(self, encoding: int) -> str:
+        """Path string for an encoding (1-based)."""
+        if not 1 <= encoding <= len(self._paths):
+            raise KeyError("encoding %d out of range" % encoding)
+        return self._paths[encoding - 1]
+
+    def labels_of(self, encoding: int) -> Tuple[str, ...]:
+        """The label sequence of an encoded path, root first."""
+        if not 1 <= encoding <= len(self._labels):
+            raise KeyError("encoding %d out of range" % encoding)
+        return self._labels[encoding - 1]
+
+    def all_paths(self) -> List[str]:
+        return list(self._paths)
+
+    # ------------------------------------------------------------------
+    # Tag relationships along one path
+    # ------------------------------------------------------------------
+
+    def tag_below(self, encoding: int, upper: str, lower: str, immediate: bool) -> bool:
+        """Does ``lower`` occur below ``upper`` along the encoded path?
+
+        ``immediate=True`` asks for a parent/child adjacency, otherwise any
+        ancestor/descendant pair.  Tags may repeat along a path (recursive
+        schemas); any occurrence pair qualifies.
+        """
+        labels = self.labels_of(encoding)
+        upper_positions = [i for i, label in enumerate(labels) if label == upper]
+        if not upper_positions:
+            return False
+        if immediate:
+            return any(
+                i + 1 < len(labels) and labels[i + 1] == lower for i in upper_positions
+            )
+        first_upper = upper_positions[0]
+        return lower in labels[first_upper + 1:]
+
+    def tag_at_root(self, encoding: int, tag: str) -> bool:
+        """Is ``tag`` the document root of the encoded path?"""
+        return self.labels_of(encoding)[0] == tag
+
+    def tags_between(self, encoding: int, upper: str, lower: str) -> Optional[Tuple[str, ...]]:
+        """Labels strictly between the first ``upper`` and the next ``lower``.
+
+        Used by the preceding/following axis rewrite (Example 5.3): the
+        intermediate chain from the context node down to the axis node.
+        Returns ``None`` when the pair does not occur in that order.
+        """
+        labels = self.labels_of(encoding)
+        for i, label in enumerate(labels):
+            if label != upper:
+                continue
+            for j in range(i + 1, len(labels)):
+                if labels[j] == lower:
+                    return labels[i + 1:j]
+        return None
+
+    # ------------------------------------------------------------------
+    # Depth-consistent placement (DESIGN.md §5, recursion handling)
+    # ------------------------------------------------------------------
+
+    def tag_depths(self, tag: str, pathid: int) -> Tuple[int, ...]:
+        """Feasible depths of a ``(tag, pathid)`` node group.
+
+        A document node lies on *every* root-to-leaf path of its path id at
+        its own depth, so a node tagged ``tag`` with id ``pathid`` can only
+        exist at depths where **all** of the id's paths carry ``tag``.
+        With non-recursive schemas this set is a singleton; under recursion
+        it prunes the cross-level matches that break Theorem 4.1.
+        """
+        key = (tag, pathid)
+        cached = self._depth_cache.get(key)
+        if cached is not None:
+            return cached
+        depths: Optional[set] = None
+        remaining = pathid
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            encoding = len(self._paths) - low.bit_length() + 1
+            labels = self._labels[encoding - 1]
+            here = {i for i, label in enumerate(labels) if label == tag}
+            depths = here if depths is None else (depths & here)
+            if not depths:
+                break
+        result = tuple(sorted(depths or ()))
+        self._depth_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Size accounting (Table 3)
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Cost model: each entry stores its path string + a 4-byte encoding."""
+        return sum(len(path) + 4 for path in self._paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<EncodingTable %d paths>" % len(self._paths)

@@ -1,0 +1,112 @@
+"""Assign path ids to every node of a document (Section 2).
+
+The labeler performs one bottom-up pass:
+
+* a leaf's path id has exactly the bit of its root-to-leaf path encoding;
+* an internal node's path id is the bit-or of its children's path ids.
+
+The resulting :class:`LabeledDocument` also materializes the *path id table*
+(Figure 1(c)): the distinct path ids sorted ascending by bit sequence and
+named ``p1..pk``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.pathid import format_pathid, pathid_byte_size
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+
+class LabeledDocument:
+    """A document whose every element carries a path id.
+
+    Attributes
+    ----------
+    document:
+        The underlying :class:`~repro.xmltree.document.XmlDocument`.
+    encoding_table:
+        The distinct root-to-leaf path encodings.
+    pathids:
+        ``pathids[node.pre]`` is the path id (int bit vector) of the node.
+    """
+
+    def __init__(self, document: XmlDocument, encoding_table: EncodingTable, pathids: List[int]):
+        self.document = document
+        self.encoding_table = encoding_table
+        self.pathids = pathids
+        distinct = sorted(set(pathids))
+        self._ordinal_by_pid: Dict[int, int] = {pid: i + 1 for i, pid in enumerate(distinct)}
+        self._distinct_pids: List[int] = distinct
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Path-id bit width = number of distinct root-to-leaf paths."""
+        return self.encoding_table.width
+
+    def pathid_of(self, node: XmlNode) -> int:
+        return self.pathids[node.pre]
+
+    def distinct_pathids(self) -> List[int]:
+        """All distinct path ids, ascending (the p1..pk order)."""
+        return list(self._distinct_pids)
+
+    def ordinal_of(self, pathid: int) -> int:
+        """The 1-based ordinal of a path id (``p3`` → 3)."""
+        return self._ordinal_by_pid[pathid]
+
+    def name_of(self, pathid: int) -> str:
+        """The paper-style name, e.g. ``"p3"``."""
+        return "p%d" % self.ordinal_of(pathid)
+
+    def format_pathid(self, pathid: int) -> str:
+        return format_pathid(pathid, self.width)
+
+    # ------------------------------------------------------------------
+    # Size accounting (Table 3)
+    # ------------------------------------------------------------------
+
+    def pathid_size_bytes(self) -> int:
+        """Bytes per stored path id."""
+        return pathid_byte_size(self.width)
+
+    def pathid_table_size_bytes(self) -> int:
+        """Cost of the distinct-path-id table: one bit vector per entry."""
+        return len(self._distinct_pids) * self.pathid_size_bytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<LabeledDocument %s: %d distinct pids, width %d>" % (
+            self.document.name or self.document.root.tag,
+            len(self._distinct_pids),
+            self.width,
+        )
+
+
+def label_document(
+    document: XmlDocument, encoding_table: Optional[EncodingTable] = None
+) -> LabeledDocument:
+    """Label every element of ``document`` with its path id.
+
+    The pass is iterative (explicit stack) so that deep documents do not hit
+    the Python recursion limit.
+    """
+    table = encoding_table or EncodingTable.from_document(document)
+    width = table.width
+    pathids = [0] * len(document)
+    # Children have larger pre-order numbers than parents, so a reverse
+    # document-order sweep sees every child before its parent.
+    for node in reversed(list(document)):
+        if node.is_leaf:
+            encoding = table.encoding_of(node.label_path())
+            pathids[node.pre] = 1 << (width - encoding)
+        # else: already accumulated from children below.
+        parent = node.parent
+        if parent is not None:
+            pathids[parent.pre] |= pathids[node.pre]
+    return LabeledDocument(document, table, pathids)

@@ -1,0 +1,64 @@
+"""Path-id compatibility tests used by the path join (Section 2, Cases 1-2).
+
+Given two (tag, path id) groups the join asks whether nodes of the first
+group can be ancestors (or parents) of nodes of the second.  Two cases:
+
+* **Case 1** — equal path ids: decompose the id into root-to-leaf paths and
+  check the tag relationship on any one of them.
+* **Case 2** — strict containment ``PidX ⊋ PidY``: every ``x`` occurs on the
+  paths where some ``y`` occurs; check the tag relationship on the common
+  paths (the bits of ``PidY``).
+
+A descendant's path id is always a subset of its ancestor's (the ancestor
+bit-ors over at least the descendant's leaves), so ``PidY ⊆ PidX`` is also a
+necessary condition — any other bit pattern is incompatible.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.pathid import encodings_of
+
+
+class Axis(enum.Enum):
+    """Structural axes understood by the compatibility test."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+
+
+def pids_compatible(
+    table: EncodingTable,
+    upper_tag: str,
+    upper_pid: int,
+    lower_tag: str,
+    lower_pid: int,
+    axis: Axis,
+) -> bool:
+    """Can a ``(upper_tag, upper_pid)`` node reach a ``(lower_tag,
+    lower_pid)`` node via ``axis``?
+
+    Implements the paper's Case 1 (equal ids) and Case 2 (containment) with
+    the tag-relationship check against the encoding table.
+    """
+    if (upper_pid & lower_pid) != lower_pid:
+        return False  # not a subset: impossible for any ancestor relation
+    immediate = axis is Axis.CHILD
+    # Common paths = the bits of the lower pid (equals both for Case 1).
+    for encoding in encodings_of(lower_pid, table.width):
+        if table.tag_below(encoding, upper_tag, lower_tag, immediate):
+            return True
+    return False
+
+
+def pid_is_root(table: EncodingTable, tag: str, pid: int) -> bool:
+    """Is a ``(tag, pid)`` group the document root of its paths?
+
+    Used for absolute ``/step`` queries: the first step must match the root
+    label of every path the node covers (the root covers all paths, so
+    checking one bit suffices; we check them all for robustness).
+    """
+    encs = encodings_of(pid, table.width)
+    return bool(encs) and all(table.tag_at_root(e, tag) for e in encs)

@@ -1,0 +1,180 @@
+"""Synopsis persistence.
+
+A deployed estimator builds its summaries once (over the warehouse's XML)
+and ships them to query optimizers; the document itself is not needed at
+estimation time.  This module serializes everything
+:class:`~repro.core.system.EstimationSystem` needs — the encoding table,
+the per-tag p-histograms and the per-tag/per-region o-histograms — to a
+JSON-compatible dict and back.
+
+Path ids are stored as hex strings (they are wide integers), bucket
+structures verbatim.  ``loads(dumps(system))`` estimates identically to
+the original system (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.system import EstimationSystem
+from repro.histograms.ohistogram import OBucket, OHistogram, OHistogramSet
+from repro.histograms.phistogram import PBucket, PHistogram, PHistogramSet
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.labeler import LabeledDocument
+from repro.stats.path_order import PathOrderTable
+from repro.stats.pathid_freq import PathIdFrequencyTable
+
+FORMAT_VERSION = 1
+
+
+class SynopsisLoadError(ValueError):
+    """Raised when a persisted synopsis is malformed or incompatible."""
+
+
+def system_to_dict(system: EstimationSystem) -> Dict[str, Any]:
+    """Serialize a (histogram-backed) estimation system."""
+    path_provider = system.path_provider
+    order_provider = system.order_provider
+    if not isinstance(path_provider, PHistogramSet) or not isinstance(
+        order_provider, OHistogramSet
+    ):
+        raise SynopsisLoadError(
+            "only histogram-backed systems can be persisted "
+            "(build with use_histograms=True)"
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "paths": system.encoding_table.all_paths(),
+        "p_variance": path_provider.variance_threshold,
+        "o_variance": order_provider.variance_threshold,
+        "p_histograms": {
+            tag: _phistogram_to_dict(path_provider.histogram(tag))
+            for tag in path_provider.tags()
+        },
+        "o_histograms": [
+            _ohistogram_to_dict(order_provider.histogram(tag, region))
+            for tag, region in _ohistogram_keys(order_provider)
+        ],
+    }
+
+
+def system_from_dict(payload: Dict[str, Any]) -> EstimationSystem:
+    """Rebuild an estimation-capable system from a persisted synopsis.
+
+    The returned system estimates queries but has no document: the
+    exact-statistics tables are empty shells and no binary tree is
+    attached (both are construction-time artifacts).
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SynopsisLoadError("unsupported synopsis format %r" % version)
+    try:
+        table = EncodingTable(payload["paths"])
+        phistograms = PHistogramSet(
+            {
+                tag: _phistogram_from_dict(tag, data)
+                for tag, data in payload["p_histograms"].items()
+            },
+            float(payload["p_variance"]),
+        )
+        ohistograms = OHistogramSet(
+            {
+                (data["tag"], data["region"]): _ohistogram_from_dict(data)
+                for data in payload["o_histograms"]
+            },
+            float(payload["o_variance"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise SynopsisLoadError("malformed synopsis: %s" % error)
+    labeled = _labeled_shell(table)
+    return EstimationSystem(
+        labeled,
+        PathIdFrequencyTable({}),
+        PathOrderTable({}),
+        phistograms,
+        ohistograms,
+        binary_tree=None,
+    )
+
+
+def dumps(system: EstimationSystem, indent: Optional[int] = None) -> str:
+    return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> EstimationSystem:
+    return system_from_dict(json.loads(text))
+
+
+def save(system: EstimationSystem, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(system))
+
+
+def load(path: str) -> EstimationSystem:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Pieces
+# ----------------------------------------------------------------------
+
+
+def _phistogram_to_dict(histogram: PHistogram) -> Dict[str, Any]:
+    return {
+        "buckets": [
+            {"pids": ["%x" % pid for pid in bucket.pathids], "avg": bucket.avg_frequency}
+            for bucket in histogram.buckets
+        ]
+    }
+
+
+def _phistogram_from_dict(tag: str, data: Dict[str, Any]) -> PHistogram:
+    buckets = [
+        PBucket(tuple(int(pid, 16) for pid in bucket["pids"]), float(bucket["avg"]))
+        for bucket in data["buckets"]
+    ]
+    return PHistogram(tag, buckets)
+
+
+def _ohistogram_keys(provider: OHistogramSet) -> List[Tuple[str, str]]:
+    return provider.keys()
+
+
+def _ohistogram_to_dict(histogram: OHistogram) -> Dict[str, Any]:
+    return {
+        "tag": histogram.tag,
+        "region": histogram.region,
+        "buckets": [
+            [b.x_start, b.y_start, b.x_end, b.y_end, b.avg_frequency]
+            for b in histogram.buckets
+        ],
+        "cols": {"%x" % pid: col for pid, col in histogram.column_map().items()},
+        "rows": histogram.row_map(),
+    }
+
+
+def _ohistogram_from_dict(data: Dict[str, Any]) -> OHistogram:
+    buckets = [
+        OBucket(int(b[0]), int(b[1]), int(b[2]), int(b[3]), float(b[4]))
+        for b in data["buckets"]
+    ]
+    return OHistogram(
+        data["tag"],
+        data["region"],
+        buckets,
+        {int(pid, 16): int(col) for pid, col in data["cols"].items()},
+        {tag: int(row) for tag, row in data["rows"].items()},
+    )
+
+
+def _labeled_shell(table: EncodingTable) -> LabeledDocument:
+    """A document-free LabeledDocument carrying just the encoding table."""
+    shell = LabeledDocument.__new__(LabeledDocument)
+    shell.document = None  # type: ignore[assignment]
+    shell.encoding_table = table
+    shell.pathids = []
+    shell._ordinal_by_pid = {}
+    shell._distinct_pids = []
+    return shell

@@ -1,0 +1,104 @@
+"""Selectivity-driven query planning.
+
+The point of a cardinality estimator is to steer execution.  This module
+closes that loop for the structural-join processor: for every pattern
+node with several outgoing edges, the planner estimates each branch's
+*filter factor* — how much of the node's candidates survive that branch —
+and reorders the edges most-selective-first, so the semijoin cascade
+shrinks its intermediate lists as early as possible.
+
+Planning changes only edge order, never semantics; the planned query
+matches exactly the same nodes (pinned by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.system import EstimationSystem
+from repro.xpath.ast import Edge, Query, QueryNode
+
+
+class QueryPlanner:
+    """Reorders pattern edges by estimated selectivity."""
+
+    def __init__(self, system: EstimationSystem):
+        self.system = system
+
+    # ------------------------------------------------------------------
+
+    def plan(self, query: Query) -> Query:
+        """A clone of ``query`` with per-node edges most-selective-first."""
+        factors = self._edge_factors(query)
+        clones: Dict[int, QueryNode] = {}
+
+        def clone(node: QueryNode) -> QueryNode:
+            copy = QueryNode(node.tag)
+            clones[node.node_id] = copy
+            ordered = sorted(
+                node.edges,
+                key=lambda edge: factors.get((node.node_id, edge.node.node_id), 1.0),
+            )
+            for edge in ordered:
+                copy.edges.append(Edge(edge.axis, clone(edge.node), edge.is_predicate))
+            return copy
+
+        new_root = clone(query.root)
+        return Query(new_root, query.root_axis, target=clones[query.target.node_id])
+
+    # ------------------------------------------------------------------
+
+    def _edge_factors(self, query: Query) -> Dict[tuple, float]:
+        """(node_id, child_id) -> estimated filter factor in [0, 1]."""
+        factors: Dict[tuple, float] = {}
+        for node in query.nodes():
+            if len(node.edges) < 2:
+                continue
+            base = self._estimate_with_edges(query, node, [])
+            for edge in node.edges:
+                filtered = self._estimate_with_edges(query, node, [edge])
+                if base > 0:
+                    factors[(node.node_id, edge.node.node_id)] = min(
+                        1.0, filtered / base
+                    )
+                else:
+                    factors[(node.node_id, edge.node.node_id)] = 1.0
+        return factors
+
+    def _estimate_with_edges(
+        self, query: Query, node: QueryNode, kept_edges: List[Edge]
+    ) -> float:
+        """Estimate ``node``'s selectivity keeping only its spine + edges."""
+        spine = query.spine_to(node)
+        clones: Dict[int, QueryNode] = {}
+
+        def clone_chain(index: int) -> QueryNode:
+            original = spine[index]
+            copy = QueryNode(original.tag)
+            clones[original.node_id] = copy
+            if index + 1 < len(spine):
+                link = query.parent_link(spine[index + 1])
+                assert link is not None
+                copy.edges.append(
+                    Edge(link[0], clone_chain(index + 1), False)
+                )
+            else:
+                for edge in kept_edges:
+                    copy.edges.append(
+                        Edge(edge.axis, _copy_subtree(edge.node), edge.is_predicate)
+                    )
+            return copy
+
+        root = clone_chain(0)
+        subquery = Query(root, query.root_axis, target=clones[node.node_id])
+        try:
+            return self.system.estimate(subquery)
+        except Exception:
+            return 1.0  # unplannable shapes fall back to neutral ordering
+
+
+def _copy_subtree(node: QueryNode) -> QueryNode:
+    copy = QueryNode(node.tag)
+    for edge in node.edges:
+        copy.edges.append(Edge(edge.axis, _copy_subtree(edge.node), edge.is_predicate))
+    return copy

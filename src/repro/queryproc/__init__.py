@@ -1,0 +1,25 @@
+"""Structural-join query processing with path-id pruning.
+
+The path encoding scheme the estimator builds on was introduced (reference
+[8] of the paper) to accelerate *structural joins*: before any join runs,
+candidate lists are pruned to the elements whose path ids survive the
+Section-4 path join, so irrelevant subtrees never enter the merge.  This
+package reproduces that pipeline:
+
+* :class:`~repro.queryproc.intervalsidx.IntervalIndex` — interval labels,
+  depths and per-tag candidate arrays of one document;
+* :mod:`~repro.queryproc.structural` — merge/semijoin primitives over
+  interval-sorted candidate arrays;
+* :class:`~repro.queryproc.processor.StructuralJoinProcessor` — exact
+  evaluation of no-order queries via structural semijoins, with optional
+  path-id prefiltering (``use_path_ids=True``).
+
+The processor is exact — tests pin it against the reference evaluator —
+and the companion benchmark measures what [8] claims: path-id pruning
+shrinks candidate lists and speeds up evaluation.
+"""
+
+from repro.queryproc.intervalsidx import IntervalIndex
+from repro.queryproc.processor import StructuralJoinProcessor
+
+__all__ = ["IntervalIndex", "StructuralJoinProcessor"]

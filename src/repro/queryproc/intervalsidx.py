@@ -1,0 +1,39 @@
+"""Per-document index backing the structural-join processor.
+
+Holds the interval labels, per-node depths and parents, plus per-tag
+candidate arrays sorted by ``start`` — the inputs every structural join
+variant consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.intervals import interval_labeling
+
+
+class IntervalIndex:
+    """Interval labels and per-tag candidate arrays of one document."""
+
+    def __init__(self, document: XmlDocument):
+        self.document = document
+        self.starts, self.ends, self.top = interval_labeling(document)
+        self.parents: List[int] = [-1] * len(document)
+        self.depths: List[int] = [0] * len(document)
+        for node in document:
+            if node.parent is not None:
+                self.parents[node.pre] = node.parent.pre
+                self.depths[node.pre] = self.depths[node.parent.pre] + 1
+        # Per-tag pre-order lists; document order == start order, so these
+        # arrays are already sorted by start.
+        self._by_tag: Dict[str, List[int]] = {}
+        for node in document:
+            self._by_tag.setdefault(node.tag, []).append(node.pre)
+
+    def candidates(self, tag: str) -> List[int]:
+        """All pre-order numbers with ``tag``, ascending (= start order)."""
+        return self._by_tag.get(tag, [])
+
+    def __len__(self) -> int:
+        return len(self.starts)

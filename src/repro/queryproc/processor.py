@@ -1,0 +1,167 @@
+"""Exact query evaluation via structural semijoins with path-id pruning.
+
+The plan mirrors the classic two-phase evaluation of tree patterns over
+interval-labeled elements, with one twist from [8]: *before* any join, the
+per-tag candidate arrays can be pruned to elements whose (tag, path id)
+group survives the Section-4 path join — irrelevant subtrees never enter
+the merges.
+
+Phases (per query):
+
+1. **candidates** — per pattern node, the tag's pre-order array,
+   optionally path-id filtered;
+2. **bottom-up** — for each edge, keep upper candidates that reach a kept
+   lower candidate (semijoins);
+3. **top-down** — keep lower candidates reachable from surviving upper
+   candidates;
+4. the target node's surviving list is the exact answer (tests pin this
+   against :class:`~repro.xpath.evaluator.Evaluator`).
+
+Scope: structural and sibling-order axes (``folls``/``pres`` run as
+per-parent sibling semijoins); scoped ``foll``/``pre`` queries raise
+:class:`~repro.core.transform.UnsupportedQueryError` (rewrite them first,
+as the estimator does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.pathjoin import path_join
+from repro.core.providers import ExactPathStats
+from repro.core.transform import UnsupportedQueryError
+from repro.pathenc.labeler import LabeledDocument
+from repro.queryproc.intervalsidx import IntervalIndex
+from repro.queryproc.structural import (
+    ancestors_with_descendant,
+    children_with_parent,
+    descendants_with_ancestor,
+    parents_with_child,
+    siblings_ordered_after,
+    siblings_ordered_before,
+)
+from repro.stats.pathid_freq import collect_pathid_frequencies
+from repro.xpath.ast import Query, QueryAxis
+from repro.xmltree.document import XmlDocument
+
+
+class StructuralJoinProcessor:
+    """Evaluates queries with interval and sibling semijoins.
+
+    Parameters
+    ----------
+    document:
+        The document to query.
+    labeled:
+        Optional pre-labeled view; required state is built on demand when
+        omitted.  Path-id pruning needs it.
+    """
+
+    def __init__(self, document: XmlDocument, labeled: Optional[LabeledDocument] = None):
+        self.document = document
+        self.index = IntervalIndex(document)
+        self._labeled = labeled
+        self._provider: Optional[ExactPathStats] = None
+        self.last_candidate_count = 0  # join-input accounting for benches
+        self.last_semijoin_work = 0     # items swept by the semijoins
+
+    # -- lazily built path-id machinery ---------------------------------
+
+    def _path_state(self):
+        if self._labeled is None:
+            from repro.pathenc.labeler import label_document
+
+            self._labeled = label_document(self.document)
+        if self._provider is None:
+            self._provider = ExactPathStats(
+                collect_pathid_frequencies(self._labeled)
+            )
+        return self._labeled, self._provider
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def count(self, query: Query, use_path_ids: bool = True) -> int:
+        return len(self.matching_pres(query, use_path_ids=use_path_ids))
+
+    def matching_pres(self, query: Query, use_path_ids: bool = True) -> List[int]:
+        """Exact pre-order numbers matching the query target."""
+        if any(axis.is_scoped_order for axis, _, _ in query.iter_edges()):
+            raise UnsupportedQueryError(
+                "rewrite scoped foll/pre axes before structural-join evaluation"
+            )
+        candidates = self._initial_candidates(query, use_path_ids)
+        self.last_candidate_count = sum(len(c) for c in candidates)
+        self.last_semijoin_work = 0
+        if any(not c for c in candidates):
+            return []
+        order = query.nodes()
+        # Bottom-up: process nodes children-first.
+        for node in reversed(order):
+            for edge in node.edges:
+                upper = candidates[node.node_id]
+                lower = candidates[edge.node.node_id]
+                self.last_semijoin_work += len(upper) + len(lower)
+                if edge.axis is QueryAxis.CHILD:
+                    upper = parents_with_child(self.index, upper, lower)
+                elif edge.axis is QueryAxis.DESCENDANT:
+                    upper = ancestors_with_descendant(self.index, upper, lower)
+                elif edge.axis is QueryAxis.FOLLS:
+                    # The source needs a *later* sibling among the dest.
+                    upper = siblings_ordered_before(self.index, upper, lower)
+                else:  # PRES: the source needs an earlier dest sibling
+                    upper = siblings_ordered_after(self.index, upper, lower)
+                candidates[node.node_id] = upper
+                if not upper:
+                    return []
+        # Root constraint for absolute queries.
+        if query.root_axis is QueryAxis.CHILD:
+            root_pre = self.document.root.pre
+            candidates[query.root.node_id] = [
+                pre for pre in candidates[query.root.node_id] if pre == root_pre
+            ]
+            if not candidates[query.root.node_id]:
+                return []
+        # Top-down: parents first.
+        for node in order:
+            for edge in node.edges:
+                upper = candidates[node.node_id]
+                lower = candidates[edge.node.node_id]
+                self.last_semijoin_work += len(upper) + len(lower)
+                if edge.axis is QueryAxis.CHILD:
+                    lower = children_with_parent(self.index, lower, upper)
+                elif edge.axis is QueryAxis.DESCENDANT:
+                    lower = descendants_with_ancestor(self.index, lower, upper)
+                elif edge.axis is QueryAxis.FOLLS:
+                    # The dest needs an *earlier* sibling among the source.
+                    lower = siblings_ordered_after(self.index, lower, upper)
+                else:  # PRES
+                    lower = siblings_ordered_before(self.index, lower, upper)
+                candidates[edge.node.node_id] = lower
+                if not lower:
+                    return []
+        return candidates[query.target.node_id]
+
+    # ------------------------------------------------------------------
+
+    def _initial_candidates(self, query: Query, use_path_ids: bool) -> List[List[int]]:
+        candidates: List[List[int]] = []
+        surviving: Optional[Dict[int, Dict[int, float]]] = None
+        if use_path_ids:
+            labeled, provider = self._path_state()
+            join = path_join(query, provider, labeled.encoding_table)
+            if join.empty:
+                return [[] for _ in query.nodes()]
+            surviving = {
+                node.node_id: join.pids(node) for node in query.nodes()
+            }
+        for node in query.nodes():
+            pres = self.index.candidates(node.tag)
+            if surviving is not None:
+                labeled, _ = self._path_state()
+                pathids = labeled.pathids
+                allowed = surviving[node.node_id]
+                pres = [pre for pre in pres if pathids[pre] in allowed]
+            candidates.append(list(pres))
+        return candidates

@@ -1,0 +1,139 @@
+"""Structural semijoin primitives over interval-sorted candidate arrays.
+
+All functions take ascending-``pre`` candidate lists (document order =
+interval-start order) and return the surviving subset, still ascending.
+Containment uses the laminar-interval property: among ancestors starting
+before a point, *some* interval covers it iff the running maximum of their
+ends exceeds it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List
+
+from repro.queryproc.intervalsidx import IntervalIndex
+
+
+def descendants_with_ancestor(
+    index: IntervalIndex, descendants: List[int], ancestors: List[int]
+) -> List[int]:
+    """Descendant candidates with at least one ancestor candidate above.
+
+    Two-pointer sweep with a running max of ancestor ends: O(n + m).
+    """
+    if not ancestors:
+        return []
+    starts, ends = index.starts, index.ends
+    kept: List[int] = []
+    max_end = 0
+    pointer = 0
+    count = len(ancestors)
+    for pre in descendants:
+        point = starts[pre]
+        while pointer < count and starts[ancestors[pointer]] < point:
+            end = ends[ancestors[pointer]]
+            if end > max_end:
+                max_end = end
+            pointer += 1
+        if max_end > point:
+            kept.append(pre)
+    return kept
+
+
+def ancestors_with_descendant(
+    index: IntervalIndex, ancestors: List[int], descendants: List[int]
+) -> List[int]:
+    """Ancestor candidates containing at least one descendant candidate.
+
+    Binary search per ancestor over the descendants' start array:
+    O(n log m).
+    """
+    if not descendants:
+        return []
+    starts = index.starts
+    descendant_starts = [starts[pre] for pre in descendants]
+    kept: List[int] = []
+    for pre in ancestors:
+        lo = bisect_right(descendant_starts, starts[pre])
+        if lo < len(descendant_starts) and descendant_starts[lo] < index.ends[pre]:
+            kept.append(pre)
+    return kept
+
+
+def children_with_parent(
+    index: IntervalIndex, children: List[int], parents: List[int]
+) -> List[int]:
+    """Child candidates whose parent is among ``parents`` (O(n + m))."""
+    parent_set = set(parents)
+    return [pre for pre in children if index.parents[pre] in parent_set]
+
+
+def parents_with_child(
+    index: IntervalIndex, parents: List[int], children: List[int]
+) -> List[int]:
+    """Parent candidates with at least one child among ``children``."""
+    with_child = {index.parents[pre] for pre in children}
+    return [pre for pre in parents if pre in with_child]
+
+
+def siblings_ordered_after(
+    index: IntervalIndex, candidates: List[int], anchors: List[int]
+) -> List[int]:
+    """Candidates with an *earlier* sibling among ``anchors``.
+
+    Used for a ``folls`` edge's destination side: the kept node must have
+    a preceding sibling anchor.  Per-parent minimum sibling index over the
+    anchors, O(n + m).
+    """
+    parents = index.parents
+    nodes = index.document
+    min_index: dict = {}
+    for pre in anchors:
+        parent = parents[pre]
+        if parent < 0:
+            continue
+        sibling_index = nodes.node_at(pre).sibling_index
+        current = min_index.get(parent)
+        if current is None or sibling_index < current:
+            min_index[parent] = sibling_index
+    kept = []
+    for pre in candidates:
+        bound = min_index.get(parents[pre])
+        if bound is not None and bound < nodes.node_at(pre).sibling_index:
+            kept.append(pre)
+    return kept
+
+
+def siblings_ordered_before(
+    index: IntervalIndex, candidates: List[int], anchors: List[int]
+) -> List[int]:
+    """Candidates with a *later* sibling among ``anchors`` (mirror)."""
+    parents = index.parents
+    nodes = index.document
+    max_index: dict = {}
+    for pre in anchors:
+        parent = parents[pre]
+        if parent < 0:
+            continue
+        sibling_index = nodes.node_at(pre).sibling_index
+        current = max_index.get(parent)
+        if current is None or sibling_index > current:
+            max_index[parent] = sibling_index
+    kept = []
+    for pre in candidates:
+        bound = max_index.get(parents[pre])
+        if bound is not None and bound > nodes.node_at(pre).sibling_index:
+            kept.append(pre)
+    return kept
+
+
+def count_candidates_in_range(
+    index: IntervalIndex, candidates: List[int], start: int, end: int
+) -> int:
+    """How many candidates start inside the open interval (start, end).
+
+    Utility for join-size accounting in the benchmarks.
+    """
+    starts = [index.starts[pre] for pre in candidates]
+    return bisect_left(starts, end) - bisect_right(starts, start)

@@ -1,0 +1,22 @@
+"""Statistics collected from a labeled document (Section 3 of the paper).
+
+* :class:`~repro.stats.pathid_freq.PathIdFrequencyTable` — for each element
+  tag, the (path id, frequency) pairs.  Drives estimation of queries
+  without order axes.
+* :class:`~repro.stats.path_order.PathOrderTable` — for each element tag, a
+  sparse grid counting sibling-order co-occurrences.  Drives estimation of
+  queries with order axes.
+"""
+
+from repro.stats.depth_refined import DepthRefinedPathStats
+from repro.stats.path_order import PathOrderTable, TagOrderGrid, collect_path_order
+from repro.stats.pathid_freq import PathIdFrequencyTable, collect_pathid_frequencies
+
+__all__ = [
+    "DepthRefinedPathStats",
+    "PathIdFrequencyTable",
+    "collect_pathid_frequencies",
+    "PathOrderTable",
+    "TagOrderGrid",
+    "collect_path_order",
+]

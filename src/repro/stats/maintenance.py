@@ -1,0 +1,168 @@
+"""Incremental maintenance of the statistics under appends.
+
+Bibliographies and logs grow by *appending* records whose path types the
+encoding table has already seen (a new DBLP article looks like the last
+one).  For that common case the summaries can be maintained without a
+rebuild:
+
+* the new subtree's path ids are computed against the existing encoding
+  table;
+* the PathId-Frequency table gains the new (tag, pid) counts;
+* the Path-Order table is patched for the one sibling group that changed
+  (the parent's children) and filled in for the subtree's internal groups;
+* ancestors of the insertion point keep their path ids (the subtree's
+  path types must already be covered by the parent's id), so no existing
+  statistic shifts.
+
+A subtree introducing a *new* root-to-leaf path type would change the bit
+width of every path id — that genuinely requires a rebuild, signalled with
+:class:`RequiresRebuild` before anything is mutated.
+
+This is an extension beyond the paper (which treats summaries as static);
+``tests/stats/test_maintenance.py`` pins ``incremental ==
+rebuilt-from-scratch`` on every structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pathenc.labeler import LabeledDocument, label_document
+from repro.stats.path_order import (
+    PathOrderTable,
+    TagOrderGrid,
+    collect_path_order,
+    scan_sibling_group,
+)
+from repro.stats.pathid_freq import PathIdFrequencyTable, collect_pathid_frequencies
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+
+class RequiresRebuild(RuntimeError):
+    """The update introduces new path types; summaries must be rebuilt."""
+
+
+class MaintainedStatistics:
+    """A labeled document plus statistics, maintained under appends."""
+
+    def __init__(self, document: XmlDocument):
+        self.labeled = label_document(document)
+        self.pathid_table = collect_pathid_frequencies(self.labeled)
+        self.order_table = collect_path_order(self.labeled)
+
+    @property
+    def document(self) -> XmlDocument:
+        return self.labeled.document
+
+    # ------------------------------------------------------------------
+
+    def append_subtree(self, parent: XmlNode, subtree: XmlNode) -> None:
+        """Attach ``subtree`` as the last child of ``parent`` and patch
+        every statistic in place.
+
+        Raises :class:`RequiresRebuild` (leaving the document unmodified)
+        when the subtree carries an unknown root-to-leaf path type or adds
+        path types the parent's id does not already cover.
+        """
+        if subtree.parent is not None:
+            raise ValueError("subtree already has a parent")
+        document = self.labeled.document
+        new_pids = self._label_subtree(parent.label_path(), subtree)
+        subtree_pid = new_pids[id(subtree)]
+        parent_pid = self.labeled.pathids[parent.pre]
+        if (parent_pid & subtree_pid) != subtree_pid:
+            raise RequiresRebuild(
+                "subtree adds path types not currently under %r" % parent.tag
+            )
+
+        # Snapshot by node identity: renumbering invalidates `pre`.
+        old_pid_by_node = {
+            id(node): self.labeled.pathids[node.pre] for node in document
+        }
+        old_group = list(parent.children)
+
+        # ---- mutate + renumber -------------------------------------------
+        parent.append(subtree)
+        document.renumber()
+
+        # ---- PathId-Frequency table ---------------------------------------
+        freqs: Dict[str, Dict[int, int]] = {
+            tag: self.pathid_table.frequency_map(tag)
+            for tag in self.pathid_table.tags()
+        }
+        for node in subtree.iter_preorder():
+            per_tag = freqs.setdefault(node.tag, {})
+            pid = new_pids[id(node)]
+            per_tag[pid] = per_tag.get(pid, 0) + 1
+        self.pathid_table = PathIdFrequencyTable(freqs)
+
+        # ---- Path-Order table -----------------------------------------------
+        grids = {grid.tag: grid for grid in self.order_table.iter_grids()}
+
+        def grid_for(tag: str) -> TagOrderGrid:
+            if tag not in grids:
+                grids[tag] = TagOrderGrid(tag)
+            return grids[tag]
+
+        # (a) the changed group: the new last child is after every distinct
+        # old tag; an old child gains a before-relation unless it already
+        # preceded a sibling with the new tag.
+        if old_group:
+            new_grid = grid_for(subtree.tag)
+            for tag in {child.tag for child in old_group}:
+                new_grid.add_after(subtree_pid, tag)
+            for index, child in enumerate(old_group):
+                had_one_after = any(
+                    sibling.tag == subtree.tag for sibling in old_group[index + 1:]
+                )
+                if not had_one_after:
+                    grid_for(child.tag).add_before(
+                        old_pid_by_node[id(child)], subtree.tag
+                    )
+
+        # (b) sibling groups inside the new subtree.
+        for node in subtree.iter_preorder():
+            scan_sibling_group(
+                node.children, lambda n: new_pids[id(n)], grid_for
+            )
+        self.order_table = PathOrderTable(grids)
+
+        # ---- pid array ---------------------------------------------------------
+        pathids = [0] * len(document)
+        for node in document:
+            pid = old_pid_by_node.get(id(node))
+            if pid is None:
+                pid = new_pids[id(node)]
+            pathids[node.pre] = pid
+        self.labeled = LabeledDocument(document, self.labeled.encoding_table, pathids)
+
+    # ------------------------------------------------------------------
+
+    def _label_subtree(self, parent_path: str, subtree: XmlNode) -> Dict[int, int]:
+        """Path ids for every subtree node, keyed by ``id(node)``.
+
+        Raises :class:`RequiresRebuild` on unknown path types; nothing is
+        mutated before that check completes.
+        """
+        table = self.labeled.encoding_table
+        width = table.width
+        pids: Dict[int, int] = {}
+
+        def walk(node: XmlNode, path: str) -> int:
+            full = "%s/%s" % (path, node.tag)
+            if not node.children:
+                try:
+                    encoding = table.encoding_of(full)
+                except KeyError:
+                    raise RequiresRebuild("new root-to-leaf path type %r" % full)
+                pid = 1 << (width - encoding)
+            else:
+                pid = 0
+                for child in node.children:
+                    pid |= walk(child, full)
+            pids[id(node)] = pid
+            return pid
+
+        walk(subtree, parent_path)
+        return pids

@@ -1,0 +1,67 @@
+"""The PathId-Frequency table (Section 3, Figure 2(a)).
+
+One tuple per distinct element tag, aggregating every path id under which
+the tag occurs together with its frequency.  This is the exact statistic;
+the p-histogram (Section 6) is its lossy, budgeted form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.pathenc.labeler import LabeledDocument
+
+
+class PathIdFrequencyTable:
+    """Per-tag (path id, frequency) lists.
+
+    The lists are kept sorted by ascending path id so equality comparisons
+    and tests are deterministic.
+    """
+
+    def __init__(self, entries: Dict[str, Dict[int, int]]):
+        self._entries: Dict[str, List[Tuple[int, int]]] = {
+            tag: sorted(freqs.items()) for tag, freqs in entries.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def tags(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._entries
+
+    def pairs(self, tag: str) -> List[Tuple[int, int]]:
+        """The (path id, frequency) pairs for ``tag`` (empty if unknown)."""
+        return list(self._entries.get(tag, ()))
+
+    def frequency_map(self, tag: str) -> Dict[int, int]:
+        return dict(self._entries.get(tag, ()))
+
+    def total_frequency(self, tag: str) -> int:
+        """Total number of ``tag`` elements in the document."""
+        return sum(freq for _, freq in self._entries.get(tag, ()))
+
+    def distinct_pathid_count(self, tag: str) -> int:
+        return len(self._entries.get(tag, ()))
+
+    def iter_items(self) -> Iterator[Tuple[str, List[Tuple[int, int]]]]:
+        for tag in sorted(self._entries):
+            yield tag, list(self._entries[tag])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PathIdFrequencyTable %d tags>" % len(self._entries)
+
+
+def collect_pathid_frequencies(labeled: LabeledDocument) -> PathIdFrequencyTable:
+    """Single document scan building the PathId-Frequency table."""
+    entries: Dict[str, Dict[int, int]] = {}
+    pathids = labeled.pathids
+    for node in labeled.document:
+        per_tag = entries.setdefault(node.tag, {})
+        pid = pathids[node.pre]
+        per_tag[pid] = per_tag.get(pid, 0) + 1
+    return PathIdFrequencyTable(entries)

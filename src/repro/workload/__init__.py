@@ -1,0 +1,24 @@
+"""Query workload generation (Section 7 of the paper).
+
+The paper's recipe, reproduced verbatim:
+
+* **simple queries** — random subsequences of the root-to-leaf paths in the
+  encoding table (adjacent labels keep ``/``, gaps become ``//``);
+* **branch queries** — merges of two subsequences that share a common
+  label: the first subsequence's prefix becomes the trunk, its suffix the
+  continuation ``q3`` and the second subsequence's suffix the branch ``q2``;
+* **order queries** — branch queries with the order between the two
+  sibling branch heads fixed (``folls`` or ``pres``), emitted in two target
+  variants (deep in the branch part for Figure 12; the trunk node for
+  Figure 13);
+* duplicates and negative queries (true selectivity 0) are removed; every
+  kept item records its exact selectivity.
+"""
+
+from repro.workload.generator import (
+    Workload,
+    WorkloadGenerator,
+    WorkloadQuery,
+)
+
+__all__ = ["WorkloadGenerator", "WorkloadQuery", "Workload"]

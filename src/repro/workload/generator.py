@@ -1,0 +1,352 @@
+"""Workload generator implementation.
+
+All randomness flows from one ``random.Random(seed)``; generation is fully
+deterministic in (document, seed, raw counts).  Queries are built directly
+as ASTs; their text form (via ``Query.to_string``) is used for
+de-duplication and reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pathenc.encoding import EncodingTable
+from repro.xmltree.document import XmlDocument
+from repro.xpath.ast import Edge, Query, QueryAxis, QueryNode
+from repro.xpath.evaluator import Evaluator
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload item: the query, its class and its true selectivity."""
+
+    text: str
+    query: Query
+    kind: str  # 'simple' | 'branch' | 'order_branch' | 'order_trunk'
+    actual: int
+
+
+@dataclass
+class Workload:
+    """A full per-dataset workload (the shape of Table 2)."""
+
+    dataset: str
+    simple: List[WorkloadQuery] = field(default_factory=list)
+    branch: List[WorkloadQuery] = field(default_factory=list)
+    order_branch: List[WorkloadQuery] = field(default_factory=list)
+    order_trunk: List[WorkloadQuery] = field(default_factory=list)
+
+    def table2_row(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "simple": len(self.simple),
+            "branch": len(self.branch),
+            "total": len(self.simple) + len(self.branch),
+            "with_order": len(self.order_branch),
+        }
+
+    def no_order(self) -> List[WorkloadQuery]:
+        return self.simple + self.branch
+
+
+class WorkloadGenerator:
+    """Generates simple / branch / order workloads for one document."""
+
+    def __init__(
+        self,
+        document: XmlDocument,
+        seed: int = 42,
+        evaluator: Optional[Evaluator] = None,
+        min_size: int = 3,
+        max_size: int = 12,
+    ):
+        self.document = document
+        self.rng = random.Random(seed)
+        self.evaluator = evaluator or Evaluator(document)
+        self.min_size = min_size
+        self.max_size = max_size
+        table = EncodingTable.from_document(document)
+        self._paths: List[Tuple[str, ...]] = [
+            table.labels_of(e) for e in range(1, table.width + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Subsequence machinery
+    # ------------------------------------------------------------------
+
+    def _random_subsequence(self, max_len: int) -> Tuple[Tuple[str, ...], Tuple[bool, ...]]:
+        """A random ordered subsequence of one root-to-leaf path.
+
+        Returns (labels, adjacency) where ``adjacency[i]`` says whether
+        ``labels[i]`` immediately follows ``labels[i-1]`` on the source
+        path; ``adjacency[0]`` says whether ``labels[0]`` is the path root.
+        """
+        path = self.rng.choice(self._paths)
+        want = self.rng.randint(min(2, len(path)), min(max_len, len(path)))
+        positions = sorted(self.rng.sample(range(len(path)), want))
+        labels = tuple(path[i] for i in positions)
+        adjacency = [positions[0] == 0]
+        for prev, cur in zip(positions, positions[1:]):
+            adjacency.append(cur == prev + 1)
+        return labels, tuple(adjacency)
+
+    @staticmethod
+    def _chain(
+        labels: Sequence[str], adjacency: Sequence[bool]
+    ) -> Tuple[QueryNode, QueryNode, QueryAxis]:
+        """Build a step chain; returns (head, tail, head_axis)."""
+        head_axis = QueryAxis.CHILD if adjacency[0] else QueryAxis.DESCENDANT
+        head = QueryNode(labels[0])
+        node = head
+        for label, adjacent in zip(labels[1:], adjacency[1:]):
+            axis = QueryAxis.CHILD if adjacent else QueryAxis.DESCENDANT
+            node = node.add_edge(axis, QueryNode(label), is_predicate=False)
+        return head, node, head_axis
+
+    # ------------------------------------------------------------------
+    # Simple queries
+    # ------------------------------------------------------------------
+
+    def simple_queries(self, raw_count: int) -> List[WorkloadQuery]:
+        """Generate ``raw_count`` candidates; return deduped positives.
+
+        Subsequences of real root-to-leaf paths always match at least the
+        path they came from, so no negativity filtering is needed (the
+        exact selectivity is still recorded).
+        """
+        kept: List[WorkloadQuery] = []
+        seen = set()
+        for _ in range(raw_count):
+            labels, adjacency = self._random_subsequence(self.max_size)
+            if len(labels) < self.min_size:
+                # Short paths cannot reach min_size; keep the paper's size
+                # floor best-effort by retrying via the raw-count budget.
+                if len(labels) < 2:
+                    continue
+            head, _, head_axis = self._chain(labels, adjacency)
+            query = Query(head, head_axis)
+            text = query.to_string()
+            if text in seen:
+                continue
+            seen.add(text)
+            actual = self.evaluator.selectivity(query)
+            if actual <= 0:
+                continue
+            kept.append(WorkloadQuery(text, query, "simple", actual))
+        return kept
+
+    # ------------------------------------------------------------------
+    # Branch queries
+    # ------------------------------------------------------------------
+
+    def _merge_candidate(self) -> Optional[Query]:
+        """Merge two subsequences at a shared label into ``q1[/q2]/q3``."""
+        labels1, adj1 = self._random_subsequence(self.max_size)
+        labels2, adj2 = self._random_subsequence(self.max_size)
+        common = [
+            (i, j)
+            for i, a in enumerate(labels1[:-1])
+            for j, b in enumerate(labels2[:-1])
+            if a == b
+        ]
+        if not common:
+            return None
+        split1, split2 = self.rng.choice(common)
+        trunk_labels = labels1[: split1 + 1]
+        trunk_adj = adj1[: split1 + 1]
+        cont_labels = labels1[split1 + 1:]
+        cont_adj = adj1[split1 + 1:]
+        branch_labels = labels2[split2 + 1:]
+        branch_adj = adj2[split2 + 1:]
+        if not cont_labels or not branch_labels:
+            return None
+        if branch_labels == cont_labels and branch_adj == cont_adj:
+            return None  # both branches identical: degenerate
+        total = len(trunk_labels) + len(cont_labels) + len(branch_labels)
+        if total < self.min_size or total > self.max_size:
+            return None
+        head, branch_node, head_axis = self._chain(trunk_labels, trunk_adj)
+        branch_head, _, _ = self._chain(branch_labels, branch_adj)
+        branch_node.add_edge(
+            QueryAxis.CHILD if branch_adj[0] else QueryAxis.DESCENDANT,
+            branch_head,
+            is_predicate=True,
+        )
+        cont_head, _, _ = self._chain(cont_labels, cont_adj)
+        branch_node.add_edge(
+            QueryAxis.CHILD if cont_adj[0] else QueryAxis.DESCENDANT,
+            cont_head,
+            is_predicate=False,
+        )
+        return Query(head, head_axis)
+
+    def branch_queries(self, raw_count: int) -> List[WorkloadQuery]:
+        """Generate ``raw_count`` merge attempts; return deduped positives."""
+        kept: List[WorkloadQuery] = []
+        seen = set()
+        for _ in range(raw_count):
+            query = self._merge_candidate()
+            if query is None:
+                continue
+            text = query.to_string()
+            if text in seen:
+                continue
+            seen.add(text)
+            actual = self.evaluator.selectivity(query)
+            if actual <= 0:
+                continue
+            kept.append(WorkloadQuery(text, query, "branch", actual))
+        return kept
+
+    # ------------------------------------------------------------------
+    # Order queries
+    # ------------------------------------------------------------------
+
+    def order_queries(
+        self, raw_count: int
+    ) -> Tuple[List[WorkloadQuery], List[WorkloadQuery]]:
+        """Branch queries with the sibling order fixed (Section 7).
+
+        Returns (branch-target items, trunk-target items): the same kept
+        queries in the two target variants used by Figures 12 and 13.
+        """
+        branch_target: List[WorkloadQuery] = []
+        trunk_target: List[WorkloadQuery] = []
+        seen = set()
+        for _ in range(raw_count):
+            query = self._merge_candidate()
+            if query is None:
+                continue
+            ordered = self._fix_sibling_order(query)
+            if ordered is None:
+                continue
+            ordered_query, trunk_node, deep_branch_node = ordered
+            branch_variant = Query(
+                ordered_query.root, ordered_query.root_axis, target=deep_branch_node
+            )
+            text = branch_variant.to_string()
+            if text in seen:
+                continue
+            seen.add(text)
+            selectivities = self.evaluator.selectivities(branch_variant)
+            deep_actual = selectivities[deep_branch_node.node_id]
+            if deep_actual <= 0:
+                continue
+            trunk_variant = Query(
+                ordered_query.root, ordered_query.root_axis, target=trunk_node
+            )
+            branch_target.append(
+                WorkloadQuery(text, branch_variant, "order_branch", deep_actual)
+            )
+            trunk_target.append(
+                WorkloadQuery(
+                    trunk_variant.to_string(),
+                    trunk_variant,
+                    "order_trunk",
+                    selectivities[trunk_node.node_id],
+                )
+            )
+        return branch_target, trunk_target
+
+    def _fix_sibling_order(
+        self, query: Query
+    ) -> Optional[Tuple[Query, QueryNode, QueryNode]]:
+        """Turn ``q1[/q2]/q3`` into ``q1[/q2/folls::q3]`` (or ``pres``).
+
+        Returns (ordered query, trunk node ni, deepest node of the later
+        branch) or ``None`` when the shape does not fit.
+        """
+        branching = None
+        for node in query.nodes():
+            if node.predicate_edges() and node.inline_edge() is not None:
+                branching = node
+                break
+        if branching is None:
+            return None
+        predicate = branching.predicate_edges()[0]
+        inline = branching.inline_edge()
+        assert inline is not None
+        # Detach the continuation and hang it off the branch head with a
+        # sibling-order axis.
+        branching.edges = [e for e in branching.edges if e.node is not inline.node]
+        axis = QueryAxis.FOLLS if self.rng.random() < 0.5 else QueryAxis.PRES
+        branch_head = predicate.node
+        attach_as_predicate = branch_head.inline_edge() is not None
+        branch_head.edges.append(Edge(axis, inline.node, attach_as_predicate))
+        rebuilt = Query(query.root, query.root_axis)
+        deep = inline.node
+        while deep.inline_edge() is not None and deep.inline_edge().axis.is_structural:
+            deep = deep.inline_edge().node
+        return rebuilt, branching, deep
+
+
+    # ------------------------------------------------------------------
+    # Scoped-order queries (foll/pre, Example 5.3)
+    # ------------------------------------------------------------------
+
+    def scoped_order_queries(self, raw_count: int) -> List[WorkloadQuery]:
+        """Order queries using the scoped ``foll``/``pre`` axes.
+
+        Derived from sibling-order candidates by collapsing the ordered
+        branch to its *last* node: ``q1[/q2/folls::Z/../W]`` becomes
+        ``q1[/q2/foll::W]`` — the form Example 5.3's rewrite expands back
+        into per-chain sibling queries.  Targets stay on the scoped node.
+        """
+        kept: List[WorkloadQuery] = []
+        seen = set()
+        for _ in range(raw_count):
+            query = self._merge_candidate()
+            if query is None:
+                continue
+            ordered = self._fix_sibling_order(query)
+            if ordered is None:
+                continue
+            ordered_query, _, deep = ordered
+            scoped = self._collapse_to_scoped(ordered_query, deep)
+            if scoped is None:
+                continue
+            text = scoped.to_string()
+            if text in seen:
+                continue
+            seen.add(text)
+            actual = self.evaluator.selectivity(scoped)
+            if actual <= 0:
+                continue
+            kept.append(WorkloadQuery(text, scoped, "order_scoped", actual))
+        return kept
+
+    def _collapse_to_scoped(self, query: Query, deep: QueryNode) -> Optional[Query]:
+        """Replace the sibling-order edge with a scoped edge to ``deep``."""
+        for node in query.nodes():
+            for index, edge in enumerate(node.edges):
+                if not edge.axis.is_sibling_order:
+                    continue
+                scoped_axis = (
+                    QueryAxis.FOLL if edge.axis is QueryAxis.FOLLS else QueryAxis.PRE
+                )
+                # The scoped node is the deepest node of the ordered
+                # branch; drop the intermediate chain entirely.
+                replacement = QueryNode(deep.tag)
+                node.edges = list(node.edges)
+                node.edges[index] = Edge(scoped_axis, replacement, edge.is_predicate)
+                return Query(query.root, query.root_axis, target=replacement)
+        return None
+
+    # ------------------------------------------------------------------
+    # Full workload
+    # ------------------------------------------------------------------
+
+    def full_workload(
+        self,
+        raw_simple: int = 4000,
+        raw_branch: int = 4000,
+        raw_order: int = 4000,
+    ) -> Workload:
+        """The paper's Section 7 workload (Table 2) at the given raw sizes."""
+        workload = Workload(dataset=self.document.name or self.document.root.tag)
+        workload.simple = self.simple_queries(raw_simple)
+        workload.branch = self.branch_queries(raw_branch)
+        workload.order_branch, workload.order_trunk = self.order_queries(raw_order)
+        return workload

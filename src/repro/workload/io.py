@@ -1,0 +1,80 @@
+"""Workload persistence.
+
+A frozen workload — query texts, classes and exact selectivities — lets
+accuracy experiments be re-run bit-identically across machines and
+against modified estimators without regenerating (and re-ground-truthing)
+thousands of queries.  Stored as JSON; queries round-trip through their
+canonical text form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.workload.generator import Workload, WorkloadQuery
+from repro.xpath.parser import parse_query
+
+FORMAT_VERSION = 1
+
+
+class WorkloadLoadError(ValueError):
+    """Raised on malformed or incompatible workload files."""
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    def items(queries: List[WorkloadQuery]) -> List[Dict[str, Any]]:
+        return [
+            {"text": item.text, "kind": item.kind, "actual": item.actual}
+            for item in queries
+        ]
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "dataset": workload.dataset,
+        "simple": items(workload.simple),
+        "branch": items(workload.branch),
+        "order_branch": items(workload.order_branch),
+        "order_trunk": items(workload.order_trunk),
+    }
+
+
+def workload_from_dict(payload: Dict[str, Any]) -> Workload:
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise WorkloadLoadError(
+            "unsupported workload format %r" % payload.get("format_version")
+        )
+
+    def items(entries: List[Dict[str, Any]]) -> List[WorkloadQuery]:
+        loaded = []
+        for entry in entries:
+            try:
+                query = parse_query(entry["text"])
+                loaded.append(
+                    WorkloadQuery(
+                        entry["text"], query, entry["kind"], int(entry["actual"])
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise WorkloadLoadError("malformed workload entry: %s" % error)
+        return loaded
+
+    try:
+        workload = Workload(dataset=payload["dataset"])
+        workload.simple = items(payload["simple"])
+        workload.branch = items(payload["branch"])
+        workload.order_branch = items(payload["order_branch"])
+        workload.order_trunk = items(payload["order_trunk"])
+    except KeyError as error:
+        raise WorkloadLoadError("missing workload section: %s" % error)
+    return workload
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(workload_to_dict(workload), handle, indent=1)
+
+
+def load_workload(path: str) -> Workload:
+    with open(path, "r", encoding="utf-8") as handle:
+        return workload_from_dict(json.load(handle))

@@ -1,0 +1,34 @@
+"""XML substrate: ordered element-tree model, parser, builder and statistics.
+
+This package implements everything the estimation system needs from an XML
+store, built from scratch:
+
+* :class:`~repro.xmltree.node.XmlNode` — an ordered element-tree node with
+  document order, sibling order and parent links.
+* :class:`~repro.xmltree.document.XmlDocument` — a finalized document with
+  pre-order numbering and indexed access by tag.
+* :func:`~repro.xmltree.parser.parse_xml` — a pure-Python XML parser
+  (elements, attributes, text, comments, CDATA, processing instructions,
+  predefined and numeric entities).
+* :func:`~repro.xmltree.builder.el` — a programmatic tree builder used
+  heavily by tests and dataset generators.
+* :mod:`~repro.xmltree.stats` — document statistics (Table 1 of the paper).
+"""
+
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+from repro.xmltree.parser import XmlParseError, parse_xml
+from repro.xmltree.serializer import serialize
+from repro.xmltree.stats import DocumentStats, document_stats
+
+__all__ = [
+    "XmlNode",
+    "XmlDocument",
+    "parse_xml",
+    "XmlParseError",
+    "el",
+    "serialize",
+    "DocumentStats",
+    "document_stats",
+]

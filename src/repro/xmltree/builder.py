@@ -1,0 +1,69 @@
+"""Programmatic tree construction helpers.
+
+Dataset generators and tests build trees directly rather than round-tripping
+through text.  The :func:`el` helper gives a compact literal syntax::
+
+    root = el("Root",
+              el("A", el("B", el("D")), el("C", el("E"), el("F"))))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+Child = Union[XmlNode, str]
+
+
+def el(tag: str, *children: Child, attrs: Optional[Dict[str, str]] = None) -> XmlNode:
+    """Build an element with the given children.
+
+    String children are appended to the element's text content; node
+    children are attached in order.
+    """
+    node = XmlNode(tag, attributes=dict(attrs) if attrs else None)
+    text_parts = []
+    for child in children:
+        if isinstance(child, str):
+            text_parts.append(child)
+        else:
+            node.append(child)
+    if text_parts:
+        node.text = "".join(text_parts)
+    return node
+
+
+def doc(root: XmlNode, name: str = "") -> XmlDocument:
+    """Wrap a built tree in a document (assigns document order)."""
+    return XmlDocument(root, name=name)
+
+
+def paper_figure1_document() -> XmlDocument:
+    """The running example of the paper (Figure 1(a)), reconstructed.
+
+    Leaf-path encodings: Root/A/B/D -> 1, Root/A/B/E -> 2, Root/A/C/E -> 3,
+    Root/A/C/F -> 4.  Path ids are 4-bit vectors (MSB = encoding 1), named
+    p1..p9 in ascending bit-sequence order per Figure 1(c).
+
+    The arrangement below was solved from every published table and worked
+    example simultaneously:
+
+    * ``A`` #1 (p8=1100): one ``B`` (p8) with children D, E.
+    * ``A`` #2 (p7=1011): ``B`` (p5=1000) [D], ``C`` (p3=0011) [E, F],
+      ``B`` (p5) [D] — one B before C, one B after C.
+    * ``A`` #3 (p6=1010): ``C`` (p2=0010) [E], ``B`` (p5) [D] — B after C.
+
+    This yields exactly the pathId-frequency table of Figure 2(a):
+    A → {(p6,1),(p7,1),(p8,1)}, B → {(p8,1),(p5,3)}, C → {(p2,1),(p3,1)},
+    D → {(p5,4)}, E → {(p4,1),(p2,2)}, F → {(p1,1)}, Root → {(p9,1)};
+    B's path-order table of Figure 2(b): one B(p5) before C, two B(p5)
+    after C; and the estimates of Examples 4.2-4.5 and 5.1-5.2
+    (e.g. S_Q1(B)=1.3, S_Q1'(B)=2.6, order-corrected estimate 1).
+    """
+    a1 = el("A", el("B", el("D"), el("E")))
+    a2 = el("A", el("B", el("D")), el("C", el("E"), el("F")), el("B", el("D")))
+    a3 = el("A", el("C", el("E")), el("B", el("D")))
+    root = el("Root", a1, a2, a3)
+    return XmlDocument(root, name="figure1")

@@ -1,0 +1,38 @@
+"""Interval (start, end) labeling of documents.
+
+The classic containment labeling [Zhang et al., SIGMOD'01; Li & Moon,
+VLDB'01]: every element receives ``start < end`` counters such that
+``a`` is an ancestor of ``d`` iff ``a.start < d.start`` and
+``d.end < a.end``.  Sibling intervals are disjoint; the family is laminar.
+
+Used by the structural-join query processor (:mod:`repro.queryproc`) and
+the position-histogram baseline (:mod:`repro.baselines.position`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.xmltree.document import XmlDocument
+
+
+def interval_labeling(document: XmlDocument) -> Tuple[List[int], List[int], int]:
+    """(starts, ends, top) indexed by pre-order number.
+
+    ``top`` is one past the largest assigned position.
+    """
+    counter = 0
+    starts = [0] * len(document)
+    ends = [0] * len(document)
+    stack = [(document.root, False)]
+    while stack:
+        node, closing = stack.pop()
+        counter += 1
+        if closing:
+            ends[node.pre] = counter
+            continue
+        starts[node.pre] = counter
+        stack.append((node, True))
+        for child in reversed(node.children):
+            stack.append((child, False))
+    return starts, ends, counter + 1

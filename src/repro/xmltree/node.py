@@ -1,0 +1,154 @@
+"""Ordered element-tree node model.
+
+The estimation system views an XML document as an *ordered tree of element
+nodes*: sibling order is significant (it drives the order-axis statistics)
+and text content is carried along but never queried.  Nodes are cheap,
+slotted objects because the dataset generators create hundreds of thousands
+of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class XmlNode:
+    """A single element node in an ordered XML tree.
+
+    Attributes
+    ----------
+    tag:
+        The element name, e.g. ``"SPEECH"``.
+    attributes:
+        Attribute name/value mapping (may be empty).
+    text:
+        Concatenated character data directly under this element.
+    children:
+        Ordered list of child *element* nodes.
+    parent:
+        The parent element, or ``None`` for the root.
+    pre:
+        Pre-order (document-order) index, assigned when the node is adopted
+        into an :class:`~repro.xmltree.document.XmlDocument`.  ``-1`` until
+        then.
+    sibling_index:
+        Position among the parent's children (0-based); 0 for the root.
+    """
+
+    __slots__ = ("tag", "attributes", "text", "children", "parent", "pre", "sibling_index")
+
+    def __init__(self, tag: str, attributes: Optional[Dict[str, str]] = None, text: str = ""):
+        if not tag:
+            raise ValueError("element tag must be a non-empty string")
+        self.tag = tag
+        self.attributes: Dict[str, str] = attributes or {}
+        self.text = text
+        self.children: List[XmlNode] = []
+        self.parent: Optional[XmlNode] = None
+        self.pre = -1
+        self.sibling_index = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, child: "XmlNode") -> "XmlNode":
+        """Attach ``child`` as the last child of this node and return it."""
+        if child.parent is not None:
+            raise ValueError("node %r already has a parent" % child.tag)
+        child.parent = self
+        child.sibling_index = len(self.children)
+        self.children.append(child)
+        return child
+
+    def extend(self, children: List["XmlNode"]) -> "XmlNode":
+        """Attach every node in ``children`` in order; return ``self``."""
+        for child in children:
+            self.append(child)
+        return self
+
+    # ------------------------------------------------------------------
+    # Structure predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no element children.
+
+        Text-only elements are leaves of the *label-path* tree: the path
+        encoding scheme assigns their root-to-leaf path a single bit.
+        """
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def depth(self) -> int:
+        """Number of ancestors (root has depth 0)."""
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def iter_preorder(self) -> Iterator["XmlNode"]:
+        """Yield this node and all element descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # Reversed push keeps left-to-right document order.
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["XmlNode"]:
+        """Yield all element descendants (excluding ``self``) in order."""
+        walker = self.iter_preorder()
+        next(walker)  # drop self
+        return walker
+
+    def iter_ancestors(self) -> Iterator["XmlNode"]:
+        """Yield parent, grandparent, ..., root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def iter_following_siblings(self) -> Iterator["XmlNode"]:
+        if self.parent is None:
+            return iter(())
+        return iter(self.parent.children[self.sibling_index + 1:])
+
+    def iter_preceding_siblings(self) -> Iterator["XmlNode"]:
+        """Yield preceding siblings, nearest first."""
+        if self.parent is None:
+            return iter(())
+        return reversed(self.parent.children[: self.sibling_index])
+
+    # ------------------------------------------------------------------
+    # Label paths
+    # ------------------------------------------------------------------
+
+    def label_path(self) -> str:
+        """The root-to-node label path, e.g. ``"Root/A/B/D"``."""
+        labels = [self.tag]
+        for ancestor in self.iter_ancestors():
+            labels.append(ancestor.tag)
+        return "/".join(reversed(labels))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def subtree_size(self) -> int:
+        """Number of element nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_preorder())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<XmlNode %s pre=%d children=%d>" % (self.tag, self.pre, len(self.children))

@@ -1,0 +1,271 @@
+"""A pure-Python XML parser producing :class:`~repro.xmltree.node.XmlNode` trees.
+
+The parser covers the slice of XML the reproduction needs (and that the
+paper's datasets use): elements, attributes, character data, comments,
+CDATA sections, processing instructions, an (ignored) DOCTYPE declaration,
+the five predefined entities and numeric character references.
+
+It is a hand-written recursive scanner rather than a wrapper around
+``xml.etree`` so that the whole substrate is self-contained and the tests
+can exercise malformed-input behaviour precisely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+class XmlParseError(ValueError):
+    """Raised on malformed XML input, with the byte offset of the problem."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__("%s (at offset %d)" % (message, position))
+        self.position = position
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class _Scanner:
+    """Single-pass scanner over the document text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- primitives ----------------------------------------------------
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise XmlParseError("expected %r" % literal, self.pos)
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or not _is_name_start(self.peek()):
+            raise XmlParseError("expected a name", self.pos)
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_until(self, terminator: str, context: str) -> str:
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise XmlParseError("unterminated %s" % context, self.pos)
+        value = self.text[self.pos:end]
+        self.pos = end + len(terminator)
+        return value
+
+    # -- entity expansion ----------------------------------------------
+
+    def decode_text(self, raw: str, base: int) -> str:
+        """Expand entity and character references in ``raw``."""
+        if "&" not in raw:
+            return raw
+        out = []
+        i = 0
+        while i < len(raw):
+            char = raw[i]
+            if char != "&":
+                out.append(char)
+                i += 1
+                continue
+            end = raw.find(";", i + 1)
+            if end < 0:
+                raise XmlParseError("unterminated entity reference", base + i)
+            body = raw[i + 1:end]
+            out.append(self._expand_entity(body, base + i))
+            i = end + 1
+        return "".join(out)
+
+    @staticmethod
+    def _expand_entity(body: str, position: int) -> str:
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except ValueError:
+                raise XmlParseError("bad hex character reference &%s;" % body, position)
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:]))
+            except ValueError:
+                raise XmlParseError("bad character reference &%s;" % body, position)
+        try:
+            return _PREDEFINED_ENTITIES[body]
+        except KeyError:
+            raise XmlParseError("unknown entity &%s;" % body, position)
+
+
+def _skip_misc(scanner: _Scanner, allow_doctype: bool) -> None:
+    """Skip whitespace, comments, PIs and (optionally) one DOCTYPE."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "processing instruction")
+        elif allow_doctype and scanner.startswith("<!DOCTYPE"):
+            _skip_doctype(scanner)
+        else:
+            return
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    depth = 0
+    start = scanner.pos
+    while not scanner.eof():
+        char = scanner.text[scanner.pos]
+        scanner.pos += 1
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == ">" and depth <= 0:
+            return
+    raise XmlParseError("unterminated DOCTYPE", start)
+
+
+def _parse_attributes(scanner: _Scanner) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof():
+            raise XmlParseError("unterminated start tag", scanner.pos)
+        if scanner.peek() in (">", "/"):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise XmlParseError("attribute value must be quoted", scanner.pos)
+        scanner.pos += 1
+        base = scanner.pos
+        raw = scanner.read_until(quote, "attribute value")
+        if name in attributes:
+            raise XmlParseError("duplicate attribute %r" % name, base)
+        attributes[name] = scanner.decode_text(raw, base)
+
+
+def _parse_element(scanner: _Scanner) -> XmlNode:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attributes = _parse_attributes(scanner)
+    node = XmlNode(tag, attributes)
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return node
+    scanner.expect(">")
+    _parse_content(scanner, node)
+    return node
+
+
+def _parse_content(scanner: _Scanner, node: XmlNode) -> None:
+    """Parse element content up to and including the matching end tag."""
+    text_parts = []
+    while True:
+        if scanner.eof():
+            raise XmlParseError("missing end tag for <%s>" % node.tag, scanner.pos)
+        if scanner.peek() != "<":
+            base = scanner.pos
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                raise XmlParseError("missing end tag for <%s>" % node.tag, scanner.pos)
+            raw = scanner.text[base:end]
+            scanner.pos = end
+            text_parts.append(scanner.decode_text(raw, base))
+            continue
+        if scanner.startswith("</"):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != node.tag:
+                raise XmlParseError(
+                    "mismatched end tag </%s> for <%s>" % (closing, node.tag),
+                    scanner.pos,
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            node.text = "".join(text_parts)
+            return
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<![CDATA["):
+            scanner.pos += 9
+            text_parts.append(scanner.read_until("]]>", "CDATA section"))
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "processing instruction")
+        else:
+            node.append(_parse_element(scanner))
+
+
+def parse_xml(text: str, name: str = "") -> XmlDocument:
+    """Parse an XML string into an :class:`XmlDocument`.
+
+    Raises :class:`XmlParseError` on malformed input.  Leading/trailing
+    prolog material (XML declaration, comments, DOCTYPE) is accepted and
+    discarded; exactly one root element is required.
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner, allow_doctype=True)
+    if scanner.eof() or scanner.peek() != "<":
+        raise XmlParseError("expected a root element", scanner.pos)
+    root = _parse_element(scanner)
+    _skip_misc(scanner, allow_doctype=False)
+    if not scanner.eof():
+        raise XmlParseError("content after the root element", scanner.pos)
+    return XmlDocument(root, name=name)
+
+
+def parse_fragment(text: str) -> XmlNode:
+    """Parse a single element (no prolog handling) and return the node.
+
+    Useful in tests that want a bare :class:`XmlNode` without document
+    numbering.
+    """
+    scanner = _Scanner(text)
+    scanner.skip_whitespace()
+    root = _parse_element(scanner)
+    scanner.skip_whitespace()
+    if not scanner.eof():
+        raise XmlParseError("trailing content after fragment", scanner.pos)
+    return root

@@ -1,0 +1,73 @@
+"""Serialize element trees back to XML text.
+
+Round-tripping matters for two reasons: dataset generators report document
+sizes in bytes (Table 1 of the paper quotes megabytes), and the parser tests
+verify parse(serialize(tree)) == tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, escaped in _TEXT_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for raw, escaped in _ATTR_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _write_node(node: XmlNode, parts: List[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    attrs = "".join(
+        ' %s="%s"' % (name, escape_attribute(value))
+        for name, value in sorted(node.attributes.items())
+    )
+    if not node.children and not node.text:
+        parts.append("%s<%s%s/>" % (pad, node.tag, attrs))
+        return
+    open_tag = "%s<%s%s>" % (pad, node.tag, attrs)
+    if not node.children:
+        parts.append("%s%s</%s>" % (open_tag, escape_text(node.text), node.tag))
+        return
+    parts.append(open_tag)
+    if node.text:
+        parts.append(("  " * (indent + 1) if pretty else "") + escape_text(node.text))
+    for child in node.children:
+        _write_node(child, parts, indent + 1, pretty)
+    parts.append("%s</%s>" % (pad, node.tag))
+
+
+def serialize(tree: Union[XmlNode, XmlDocument], pretty: bool = False, declaration: bool = False) -> str:
+    """Serialize a node or document to XML text.
+
+    Note: with ``pretty=True`` whitespace is added between elements, so the
+    result is equivalent only up to ignorable whitespace (our node model
+    stores direct text ahead of all children, which is sufficient for the
+    data-centric documents this project generates).
+    """
+    root = tree.root if isinstance(tree, XmlDocument) else tree
+    parts: List[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+    _write_node(root, parts, 0, pretty)
+    joiner = "\n" if pretty else ""
+    return joiner.join(parts)
+
+
+def serialized_size_bytes(tree: Union[XmlNode, XmlDocument]) -> int:
+    """Size of the UTF-8 serialization; used for Table 1 style reporting."""
+    return len(serialize(tree).encode("utf-8"))

@@ -1,0 +1,83 @@
+"""Document statistics (the quantities of Table 1 in the paper).
+
+For each dataset the paper reports the serialized size, the number of
+distinct element tags and the total number of elements; the path-encoding
+experiments additionally need the number of distinct root-to-leaf paths and
+structural shape measures (depth, fanout) that the synthetic generators are
+calibrated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.serializer import serialized_size_bytes
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Summary statistics of one XML document."""
+
+    name: str
+    size_bytes: int
+    distinct_tags: int
+    total_elements: int
+    distinct_paths: int
+    max_depth: int
+    max_fanout: int
+    avg_fanout: float
+    leaf_count: int
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_bytes / 1024.0
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024.0 * 1024.0)
+
+    def as_row(self) -> Dict[str, object]:
+        """Row for Table 1 style reporting."""
+        return {
+            "dataset": self.name,
+            "size": "%.2f MB" % self.size_mb if self.size_mb >= 1 else "%.1f KB" % self.size_kb,
+            "#distinct_eles": self.distinct_tags,
+            "#eles": self.total_elements,
+            "#distinct_paths": self.distinct_paths,
+            "max_depth": self.max_depth,
+        }
+
+
+def document_stats(document: XmlDocument, include_size: bool = True) -> DocumentStats:
+    """Compute :class:`DocumentStats` for ``document``.
+
+    ``include_size=False`` skips the (comparatively expensive) serialization
+    pass and reports 0 bytes; accuracy experiments that do not need Table 1
+    use this.
+    """
+    internal_nodes = 0
+    total_children = 0
+    max_fanout = 0
+    leaf_count = 0
+    for node in document:
+        fanout = len(node.children)
+        if fanout:
+            internal_nodes += 1
+            total_children += fanout
+            if fanout > max_fanout:
+                max_fanout = fanout
+        else:
+            leaf_count += 1
+    return DocumentStats(
+        name=document.name or document.root.tag,
+        size_bytes=serialized_size_bytes(document) if include_size else 0,
+        distinct_tags=len(document.distinct_tags),
+        total_elements=len(document),
+        distinct_paths=len(document.distinct_root_to_leaf_paths()),
+        max_depth=document.max_depth(),
+        max_fanout=max_fanout,
+        avg_fanout=(total_children / internal_nodes) if internal_nodes else 0.0,
+        leaf_count=leaf_count,
+    )

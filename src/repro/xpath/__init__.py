@@ -1,0 +1,31 @@
+"""XPath subset: AST, parser and exact evaluator.
+
+The estimation system works on tree-shaped XPath patterns with the axes the
+paper covers:
+
+* ``/`` (child) and ``//`` (descendant) steps;
+* branch predicates ``[...]`` nesting arbitrarily;
+* order axes ``folls::`` / ``pres::`` (``following-sibling`` /
+  ``preceding-sibling``) and their scoped ``foll::`` / ``pre::``
+  (``following`` / ``preceding``) forms;
+* an explicit target marker ``$tag`` (default target: the last trunk node).
+
+:func:`~repro.xpath.parser.parse_query` builds a
+:class:`~repro.xpath.ast.Query`; :class:`~repro.xpath.evaluator.Evaluator`
+computes exact selectivities against an
+:class:`~repro.xmltree.document.XmlDocument` (the ground truth for all
+accuracy experiments).
+"""
+
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+from repro.xpath.evaluator import Evaluator
+from repro.xpath.parser import XPathSyntaxError, parse_query
+
+__all__ = [
+    "Query",
+    "QueryAxis",
+    "QueryNode",
+    "parse_query",
+    "XPathSyntaxError",
+    "Evaluator",
+]

@@ -1,0 +1,236 @@
+"""Query AST for the XPath subset of the paper.
+
+A query is a tree of :class:`QueryNode`\\ s connected by typed
+:class:`Edge`\\ s.  The edge axis states how the *child* node relates to its
+*edge parent*:
+
+* ``CHILD`` / ``DESCENDANT`` — the usual downward structural axes;
+* ``FOLLS`` / ``PRES`` — the child pattern node is a **sibling** of the edge
+  parent (shares its structural parent) occurring after / before it;
+* ``FOLL`` / ``PRE`` — the scoped ``following`` / ``preceding`` axes of
+  Example 5.3: the child node occurs in the subtree of a following /
+  preceding sibling of the edge parent.
+
+Edges additionally carry ``is_predicate``: a predicate edge renders inside
+``[...]`` and hangs a *branch* off its parent, while the single inline
+(non-predicate) edge of a node continues the *trunk*.  The distinction does
+not affect matching semantics, but it decides the default target node (the
+last trunk node, as the paper standardizes) and faithful round-tripping.
+
+The paper's standardized order query ``q1[/q2/folls::q3]`` parses into:
+the last node of ``q1`` has a predicate edge to ``first(q2)``;
+``first(q2)`` has an inline ``FOLLS`` edge to ``first(q3)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+
+class QueryAxis(enum.Enum):
+    """Edge axes of the query pattern tree."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+    FOLLS = "folls"
+    PRES = "pres"
+    FOLL = "foll"
+    PRE = "pre"
+
+    @property
+    def is_structural(self) -> bool:
+        """Downward axis (child/descendant)?"""
+        return self in (QueryAxis.CHILD, QueryAxis.DESCENDANT)
+
+    @property
+    def is_sibling_order(self) -> bool:
+        return self in (QueryAxis.FOLLS, QueryAxis.PRES)
+
+    @property
+    def is_scoped_order(self) -> bool:
+        return self in (QueryAxis.FOLL, QueryAxis.PRE)
+
+    @property
+    def is_forward(self) -> bool:
+        """Does the axis point to nodes occurring *after* the source?"""
+        return self in (QueryAxis.FOLLS, QueryAxis.FOLL)
+
+
+class Edge(NamedTuple):
+    """A typed edge of the pattern tree."""
+
+    axis: QueryAxis
+    node: "QueryNode"
+    is_predicate: bool
+
+
+class QueryNode:
+    """One pattern node: a tag test plus outgoing typed edges."""
+
+    __slots__ = ("tag", "edges", "node_id")
+
+    def __init__(self, tag: str):
+        if not tag:
+            raise ValueError("query node needs a tag")
+        self.tag = tag
+        self.edges: List[Edge] = []
+        self.node_id = -1  # assigned when the Query is finalized
+
+    def add_edge(self, axis: QueryAxis, child: "QueryNode", is_predicate: bool) -> "QueryNode":
+        """Attach ``child``; at most one inline (non-predicate) edge allowed."""
+        if not is_predicate and self.inline_edge() is not None:
+            raise ValueError("node %r already has an inline continuation" % self.tag)
+        self.edges.append(Edge(axis, child, is_predicate))
+        return child
+
+    def inline_edge(self) -> Optional[Edge]:
+        """The single non-predicate (trunk-continuing) edge, if any."""
+        for edge in self.edges:
+            if not edge.is_predicate:
+                return edge
+        return None
+
+    def predicate_edges(self) -> List[Edge]:
+        return [edge for edge in self.edges if edge.is_predicate]
+
+    def structural_edges(self) -> List[Edge]:
+        return [edge for edge in self.edges if edge.axis.is_structural]
+
+    def order_edges(self) -> List[Edge]:
+        return [edge for edge in self.edges if not edge.axis.is_structural]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<QueryNode %s #%d, %d edges>" % (self.tag, self.node_id, len(self.edges))
+
+
+class Query:
+    """A finalized query pattern.
+
+    Attributes
+    ----------
+    root:
+        The first step's pattern node.
+    root_axis:
+        How the first step relates to the document: ``CHILD`` for an
+        absolute ``/step`` (the step must be the document root element),
+        ``DESCENDANT`` for ``//step``.
+    target:
+        The pattern node whose selectivity is estimated.
+    """
+
+    def __init__(self, root: QueryNode, root_axis: QueryAxis, target: Optional[QueryNode] = None):
+        if not root_axis.is_structural:
+            raise ValueError("the first step must use / or //")
+        self.root = root
+        self.root_axis = root_axis
+        self._nodes: List[QueryNode] = []
+        self._parents: List[Optional[Tuple[QueryAxis, QueryNode]]] = []
+        self._index(root)
+        self.target = target if target is not None else self._default_target()
+        if self.target.node_id >= len(self._nodes) or self._nodes[self.target.node_id] is not self.target:
+            raise ValueError("target node is not part of the query")
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _index(self, root: QueryNode) -> None:
+        stack: List[Tuple[QueryNode, Optional[Tuple[QueryAxis, QueryNode]]]] = [(root, None)]
+        while stack:
+            node, parent_link = stack.pop()
+            node.node_id = len(self._nodes)
+            self._nodes.append(node)
+            self._parents.append(parent_link)
+            for edge in reversed(node.edges):
+                stack.append((edge.node, (edge.axis, node)))
+
+    def _default_target(self) -> QueryNode:
+        """The last trunk node: follow inline *structural* edges from root."""
+        node = self.root
+        while True:
+            inline = node.inline_edge()
+            if inline is None or not inline.axis.is_structural:
+                return node
+            node = inline.node
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> List[QueryNode]:
+        """All pattern nodes in depth-first order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def parent_link(self, node: QueryNode) -> Optional[Tuple[QueryAxis, QueryNode]]:
+        """(axis, edge-parent) of ``node``; ``None`` for the root."""
+        return self._parents[node.node_id]
+
+    def spine_to(self, node: QueryNode) -> List[QueryNode]:
+        """Pattern nodes from the root down to ``node`` (inclusive)."""
+        chain = [node]
+        link = self._parents[node.node_id]
+        while link is not None:
+            chain.append(link[1])
+            link = self._parents[link[1].node_id]
+        return list(reversed(chain))
+
+    def has_order_axes(self) -> bool:
+        return any(not axis.is_structural for axis, _, _ in self.iter_edges())
+
+    def iter_edges(self) -> Iterator[Tuple[QueryAxis, QueryNode, QueryNode]]:
+        """Yield (axis, source, destination) for every edge."""
+        for node in self._nodes:
+            for edge in node.edges:
+                yield edge.axis, node, edge.node
+
+    def tags(self) -> List[str]:
+        return [node.tag for node in self._nodes]
+
+    def find(self, tag: str) -> QueryNode:
+        """The unique pattern node with ``tag`` (ValueError if ambiguous)."""
+        hits = [node for node in self._nodes if node.tag == tag]
+        if len(hits) != 1:
+            raise ValueError("tag %r matches %d query nodes" % (tag, len(hits)))
+        return hits[0]
+
+    # ------------------------------------------------------------------
+    # Rendering (inverse of the parser, used by tests and reports)
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        # Omit the $ marker when the target is the default (last trunk
+        # node), so canonical text of unmarked queries stays marker-free.
+        marked = self.target if self.target is not self._default_target() else None
+        return _render(self.root, self.root_axis, marked, top_level=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Query %s>" % self.to_string()
+
+
+_AXIS_TOKEN = {
+    QueryAxis.CHILD: "/",
+    QueryAxis.DESCENDANT: "//",
+    QueryAxis.FOLLS: "/folls::",
+    QueryAxis.PRES: "/pres::",
+    QueryAxis.FOLL: "/foll::",
+    QueryAxis.PRE: "/pre::",
+}
+
+
+def _render(
+    node: QueryNode, incoming: QueryAxis, target: Optional[QueryNode], top_level: bool
+) -> str:
+    parts = [_AXIS_TOKEN[incoming]]
+    if node is target:
+        parts.append("$")
+    parts.append(node.tag)
+    for edge in node.predicate_edges():
+        parts.append("[" + _render(edge.node, edge.axis, target, False) + "]")
+    inline = node.inline_edge()
+    if inline is not None:
+        parts.append(_render(inline.node, inline.axis, target, False))
+    return "".join(parts)

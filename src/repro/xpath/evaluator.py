@@ -1,0 +1,288 @@
+"""Exact evaluation of query patterns — the ground truth for all experiments.
+
+Selectivity of a pattern node ``n`` (the paper's ``S_Q(n)``) is the number
+of distinct document nodes that play the role of ``n`` in at least one full
+embedding of the pattern.  For tree-shaped patterns this is computable with
+the classic two-pass scheme:
+
+1. **bottom-up**: ``cand[p]`` = document nodes satisfying ``p``'s tag and
+   all requirements of ``p``'s pattern subtree;
+2. **top-down**: ``valid[p]`` = members of ``cand[p]`` reachable from a
+   valid parent along the connecting axis.
+
+Both passes use per-tag node lists, subtree pre-order intervals and
+per-parent sibling-index extrema, so one query costs roughly
+O(Σ_p |nodes with tag(p)| · depth) — fast enough to ground-truth thousands
+of workload queries.
+
+``following``/``preceding`` ground truth follows the paper's *scoped*
+semantics by default (Example 5.3: the axis node lives in the subtree of a
+following/preceding **sibling** of the context node).  Pass
+``scoped_following=False`` for full XPath document-order semantics; the
+difference is quantified in ``tests/xpath/test_evaluator_following.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Set
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+
+class Evaluator:
+    """Exact selectivity computation bound to one document."""
+
+    def __init__(self, document: XmlDocument, scoped_following: bool = True):
+        self.document = document
+        self.scoped_following = scoped_following
+        self._nodes: List[XmlNode] = list(document)
+        # subtree interval: descendants of d have pre in (d.pre, end[d.pre))
+        self._end = self._compute_subtree_ends()
+
+    def _compute_subtree_ends(self) -> List[int]:
+        end = [0] * len(self._nodes)
+        for node in reversed(self._nodes):
+            last = node.pre + 1
+            if node.children:
+                last = end[node.children[-1].pre]
+            end[node.pre] = last
+        return end
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def selectivity(self, query: Query, node: Optional[QueryNode] = None) -> int:
+        """Exact ``S_Q(n)``; ``node`` defaults to the query target."""
+        return len(self.matching_pres(query, node if node is not None else query.target))
+
+    def selectivities(self, query: Query) -> Dict[int, int]:
+        """Exact selectivity of *every* pattern node, keyed by node_id."""
+        valid = self._evaluate(query)
+        return {p.node_id: len(valid[p.node_id]) for p in query.nodes()}
+
+    def matching_nodes(self, query: Query, node: Optional[QueryNode] = None) -> List[XmlNode]:
+        pres = self.matching_pres(query, node if node is not None else query.target)
+        return [self._nodes[pre] for pre in sorted(pres)]
+
+    def matching_pres(self, query: Query, node: QueryNode) -> Set[int]:
+        """Pre-order numbers of document nodes matching pattern ``node``."""
+        return self._evaluate(query)[node.node_id]
+
+    # ------------------------------------------------------------------
+    # Two-pass evaluation
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, query: Query) -> List[Set[int]]:
+        order = query.nodes()  # DFS pre-order: parents before children
+        cand: List[Set[int]] = [set() for _ in order]
+        for p in reversed(order):
+            cand[p.node_id] = self._bottom_up(p, cand)
+        valid: List[Set[int]] = [set() for _ in order]
+        valid[query.root.node_id] = self._root_filter(query, cand[query.root.node_id])
+        for p in order:
+            for edge in p.edges:
+                valid[edge.node.node_id] = self._top_down(
+                    edge.axis, valid[p.node_id], cand[edge.node.node_id]
+                )
+        return valid
+
+    def _root_filter(self, query: Query, roots: Set[int]) -> Set[int]:
+        if query.root_axis is QueryAxis.CHILD:
+            # Absolute /step: the step must be the document root element.
+            root_pre = self.document.root.pre
+            return {pre for pre in roots if pre == root_pre}
+        return set(roots)
+
+    # -- bottom-up -------------------------------------------------------
+
+    def _bottom_up(self, p: QueryNode, cand: List[Set[int]]) -> Set[int]:
+        result = {node.pre for node in self.document.nodes_with_tag(p.tag)}
+        for edge in p.edges:
+            if not result:
+                break
+            child_set = cand[edge.node.node_id]
+            if not child_set:
+                return set()
+            result = self._filter_down(edge.axis, result, child_set)
+        return result
+
+    def _filter_down(self, axis: QueryAxis, sources: Set[int], targets: Set[int]) -> Set[int]:
+        """Keep sources that can reach some target via ``axis``."""
+        nodes = self._nodes
+        if axis is QueryAxis.CHILD:
+            parents = set()
+            for pre in targets:
+                parent = nodes[pre].parent
+                if parent is not None:
+                    parents.add(parent.pre)
+            return sources & parents
+        if axis is QueryAxis.DESCENDANT:
+            ordered = sorted(targets)
+            end = self._end
+            kept = set()
+            for pre in sources:
+                index = bisect_right(ordered, pre)
+                if index < len(ordered) and ordered[index] < end[pre]:
+                    kept.add(pre)
+            return kept
+        if axis is QueryAxis.FOLLS:
+            max_index = self._sibling_extreme(targets, want_max=True)
+            return {
+                pre
+                for pre in sources
+                if self._parent_pre(pre) in max_index
+                and max_index[self._parent_pre(pre)] > nodes[pre].sibling_index
+            }
+        if axis is QueryAxis.PRES:
+            min_index = self._sibling_extreme(targets, want_max=False)
+            return {
+                pre
+                for pre in sources
+                if self._parent_pre(pre) in min_index
+                and min_index[self._parent_pre(pre)] < nodes[pre].sibling_index
+            }
+        if axis is QueryAxis.FOLL:
+            if not self.scoped_following:
+                # d has a following node in targets iff some target starts
+                # at or after end[d]; "max target pre" is what matters.
+                max_pre = max(targets)
+                return {pre for pre in sources if max_pre >= self._end[pre]}
+            anchor_max = self._anchor_extreme(targets, want_max=True)
+            return {
+                pre
+                for pre in sources
+                if self._parent_pre(pre) in anchor_max
+                and anchor_max[self._parent_pre(pre)] > nodes[pre].sibling_index
+            }
+        if axis is QueryAxis.PRE:
+            if not self.scoped_following:
+                min_pre = min(targets)
+                # e precedes d iff e is before d and not an ancestor:
+                # end[e] <= pre(d).  Keep d if some target ends before it.
+                min_end = min(self._end[pre] for pre in targets)
+                return {pre for pre in sources if min_end <= pre}
+            anchor_min = self._anchor_extreme(targets, want_max=False)
+            return {
+                pre
+                for pre in sources
+                if self._parent_pre(pre) in anchor_min
+                and anchor_min[self._parent_pre(pre)] < nodes[pre].sibling_index
+            }
+        raise AssertionError("unhandled axis %r" % axis)
+
+    # -- top-down --------------------------------------------------------
+
+    def _top_down(self, axis: QueryAxis, valid_parents: Set[int], candidates: Set[int]) -> Set[int]:
+        """Keep candidates reachable *from* a valid parent via ``axis``."""
+        nodes = self._nodes
+        if not valid_parents:
+            return set()
+        if axis is QueryAxis.CHILD:
+            return {
+                pre for pre in candidates if self._parent_pre(pre) in valid_parents
+            }
+        if axis is QueryAxis.DESCENDANT:
+            kept = set()
+            for pre in candidates:
+                node = nodes[pre].parent
+                while node is not None:
+                    if node.pre in valid_parents:
+                        kept.add(pre)
+                        break
+                    node = node.parent
+            return kept
+        if axis is QueryAxis.FOLLS:
+            # candidate e needs a *preceding* sibling among valid parents
+            min_index = self._sibling_extreme(valid_parents, want_max=False)
+            return {
+                pre
+                for pre in candidates
+                if self._parent_pre(pre) in min_index
+                and min_index[self._parent_pre(pre)] < nodes[pre].sibling_index
+            }
+        if axis is QueryAxis.PRES:
+            max_index = self._sibling_extreme(valid_parents, want_max=True)
+            return {
+                pre
+                for pre in candidates
+                if self._parent_pre(pre) in max_index
+                and max_index[self._parent_pre(pre)] > nodes[pre].sibling_index
+            }
+        if axis is QueryAxis.FOLL:
+            if not self.scoped_following:
+                min_end = min(self._end[pre] for pre in valid_parents)
+                return {pre for pre in candidates if pre >= min_end}
+            min_index = self._sibling_extreme(valid_parents, want_max=False)
+            return self._with_qualifying_anchor(candidates, min_index, want_smaller=True)
+        if axis is QueryAxis.PRE:
+            if not self.scoped_following:
+                max_pre = max(valid_parents)
+                return {pre for pre in candidates if self._end[pre] <= max_pre}
+            max_index = self._sibling_extreme(valid_parents, want_max=True)
+            return self._with_qualifying_anchor(candidates, max_index, want_smaller=False)
+        raise AssertionError("unhandled axis %r" % axis)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _parent_pre(self, pre: int) -> int:
+        parent = self._nodes[pre].parent
+        return parent.pre if parent is not None else -1
+
+    def _sibling_extreme(self, pres: Set[int], want_max: bool) -> Dict[int, int]:
+        """Per-parent max/min sibling index over the given nodes."""
+        extreme: Dict[int, int] = {}
+        nodes = self._nodes
+        for pre in pres:
+            node = nodes[pre]
+            parent = node.parent
+            if parent is None:
+                continue
+            current = extreme.get(parent.pre)
+            index = node.sibling_index
+            if current is None or (index > current if want_max else index < current):
+                extreme[parent.pre] = index
+        return extreme
+
+    def _anchor_extreme(self, targets: Set[int], want_max: bool) -> Dict[int, int]:
+        """Per-parent extreme of *anchor* indices for scoped foll/pre.
+
+        An anchor of target ``e`` is any ancestor-or-self ``a`` of ``e``;
+        the context node needs a sibling anchor beyond its own index.
+        """
+        extreme: Dict[int, int] = {}
+        nodes = self._nodes
+        for pre in targets:
+            node: Optional[XmlNode] = nodes[pre]
+            while node is not None and node.parent is not None:
+                parent_pre = node.parent.pre
+                index = node.sibling_index
+                current = extreme.get(parent_pre)
+                if current is None or (index > current if want_max else index < current):
+                    extreme[parent_pre] = index
+                node = node.parent
+        return extreme
+
+    def _with_qualifying_anchor(
+        self, candidates: Set[int], extreme: Dict[int, int], want_smaller: bool
+    ) -> Set[int]:
+        """Candidates with an ancestor-or-self whose parent has a valid
+        sibling before (``want_smaller``) / after it."""
+        kept = set()
+        nodes = self._nodes
+        for pre in candidates:
+            node: Optional[XmlNode] = nodes[pre]
+            while node is not None and node.parent is not None:
+                bound = extreme.get(node.parent.pre)
+                if bound is not None:
+                    if want_smaller and bound < node.sibling_index:
+                        kept.add(pre)
+                        break
+                    if not want_smaller and bound > node.sibling_index:
+                        kept.add(pre)
+                        break
+                node = node.parent
+        return kept

@@ -1,0 +1,191 @@
+"""Recursive-descent parser for the paper's XPath subset.
+
+Accepted syntax (examples)::
+
+    //A/B/D                    simple query (child steps after a // start)
+    /Root//C                   absolute start, descendant step
+    //A[/C/F]/B/D              branch query (Figure 3)
+    //A[/C[/F]/folls::B/D]     order query (Figure 5); 'folls'/'pres' are
+                               the paper's shorthands, long spellings
+                               'following-sibling::'/'preceding-sibling::'
+                               work too
+    //A[/C/foll::D]            scoped following axis (Example 5.3)
+    //A[/C/folls::$B/D]        explicit target marker '$'
+
+Without a marker the target defaults to the last trunk node, matching the
+paper's convention for ``q1[/q2]/q3``-style patterns.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed query text, with the offset of the problem."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__("%s (at offset %d)" % (message, position))
+        self.position = position
+
+
+class _Token(NamedTuple):
+    kind: str  # 'sep', '[', ']', '$', 'name'
+    value: object
+    position: int
+
+
+# Longest-match-first axis spellings (after a '/').
+_AXIS_SPELLINGS: List[Tuple[str, QueryAxis]] = [
+    ("following-sibling::", QueryAxis.FOLLS),
+    ("preceding-sibling::", QueryAxis.PRES),
+    ("following::", QueryAxis.FOLL),
+    ("preceding::", QueryAxis.PRE),
+    ("descendant::", QueryAxis.DESCENDANT),
+    ("child::", QueryAxis.CHILD),
+    ("folls::", QueryAxis.FOLLS),
+    ("pres::", QueryAxis.PRES),
+    ("foll::", QueryAxis.FOLL),
+    ("pre::", QueryAxis.PRE),
+]
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_.-"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "/":
+            start = i
+            double = text.startswith("//", i)
+            i += 2 if double else 1
+            axis = QueryAxis.DESCENDANT if double else QueryAxis.CHILD
+            if not double:
+                for spelling, spelled_axis in _AXIS_SPELLINGS:
+                    if text.startswith(spelling, i):
+                        axis = spelled_axis
+                        i += len(spelling)
+                        break
+            tokens.append(_Token("sep", axis, start))
+        elif char == "[":
+            tokens.append(_Token("[", None, i))
+            i += 1
+        elif char == "]":
+            tokens.append(_Token("]", None, i))
+            i += 1
+        elif char == "$":
+            tokens.append(_Token("$", None, i))
+            i += 1
+        elif _is_name_char(char):
+            start = i
+            while i < length and _is_name_char(text[i]):
+                i += 1
+            tokens.append(_Token("name", text[start:i], start))
+        else:
+            raise XPathSyntaxError("unexpected character %r" % char, i)
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text_length: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.text_length = text_length
+        self.target: Optional[QueryNode] = None
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError("unexpected end of query", self.text_length)
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise XPathSyntaxError(
+                "expected %r, found %r" % (kind, token.kind), token.position
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        first = self._next()
+        if first.kind != "sep" or not first.value.is_structural:  # type: ignore[union-attr]
+            raise XPathSyntaxError("query must start with / or //", first.position)
+        root_axis: QueryAxis = first.value  # type: ignore[assignment]
+        root = self._parse_step()
+        self._parse_chain(root)
+        token = self._peek()
+        if token is not None:
+            raise XPathSyntaxError("trailing content", token.position)
+        return Query(root, root_axis, target=self.target)
+
+    def _parse_step(self) -> QueryNode:
+        token = self._next()
+        is_target = False
+        if token.kind == "$":
+            is_target = True
+            token = self._next()
+        if token.kind != "name":
+            raise XPathSyntaxError("expected an element name", token.position)
+        node = QueryNode(str(token.value))
+        if is_target:
+            if self.target is not None:
+                raise XPathSyntaxError("multiple $ target markers", token.position)
+            self.target = node
+        while True:
+            look = self._peek()
+            if look is None or look.kind != "[":
+                return node
+            self._next()
+            self._parse_predicate(node)
+
+    def _parse_predicate(self, owner: QueryNode) -> None:
+        look = self._peek()
+        if look is None:
+            raise XPathSyntaxError("unterminated predicate", self.text_length)
+        axis = QueryAxis.CHILD
+        if look.kind == "sep":
+            axis = look.value  # type: ignore[assignment]
+            self._next()
+        head = self._parse_step()
+        owner.add_edge(axis, head, is_predicate=True)
+        self._parse_chain(head)
+        self._expect("]")
+
+    def _parse_chain(self, head: QueryNode) -> None:
+        """Parse ``(separator step)*`` attaching inline continuations."""
+        node = head
+        while True:
+            look = self._peek()
+            if look is None or look.kind != "sep":
+                return
+            self._next()
+            axis: QueryAxis = look.value  # type: ignore[assignment]
+            child = self._parse_step()
+            node.add_edge(axis, child, is_predicate=False)
+            node = child
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`~repro.xpath.ast.Query`."""
+    if not text or not text.strip():
+        raise XPathSyntaxError("empty query", 0)
+    return _Parser(_tokenize(text), len(text)).parse_query()

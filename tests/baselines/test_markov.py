@@ -1,0 +1,79 @@
+"""Tests for the Markov path model baseline."""
+
+import pytest
+
+from repro.baselines import MarkovPathModel
+from repro.core.transform import UnsupportedQueryError
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def model(ssplays_small):
+    return MarkovPathModel.build(ssplays_small, order=2)
+
+
+class TestBuild:
+    def test_tag_counts(self, model, ssplays_small):
+        assert model.tag_counts["PLAY"] == ssplays_small.tag_count("PLAY")
+
+    def test_fragment_lengths_bounded(self, model):
+        assert max(len(path) for path in model.path_counts) <= 2
+
+    def test_order3_has_triples(self, ssplays_small):
+        model3 = MarkovPathModel.build(ssplays_small, order=3)
+        assert any(len(path) == 3 for path in model3.path_counts)
+
+    def test_descendant_pairs_counted_once_per_pair(self, model, ssplays_small):
+        # (PLAYS, PLAY): every PLAY is counted once.
+        assert model.descendant_counts[("PLAYS", "PLAY")] == ssplays_small.tag_count("PLAY")
+
+    def test_invalid_order(self, ssplays_small):
+        with pytest.raises(ValueError):
+            MarkovPathModel.build(ssplays_small, order=0)
+
+
+class TestEstimation:
+    def test_single_tag(self, model, ssplays_small):
+        assert model.estimate(parse_query("//LINE")) == pytest.approx(
+            float(ssplays_small.tag_count("LINE"))
+        )
+
+    def test_child_pair_exact_for_order2(self, model, ssplays_small):
+        # A length-2 chain is stored exactly.
+        query = parse_query("//ACT/SCENE")
+        actual = Evaluator(ssplays_small).selectivity(query)
+        assert model.estimate(query) == pytest.approx(float(actual))
+
+    def test_longer_chain_is_markov_estimate(self, model, ssplays_small):
+        query = parse_query("//PLAY/ACT/SCENE/SPEECH")
+        actual = float(Evaluator(ssplays_small).selectivity(query))
+        estimate = model.estimate(query)
+        assert estimate > 0
+        # The Markov assumption holds well on this regular schema.
+        assert estimate == pytest.approx(actual, rel=0.35)
+
+    def test_descendant_step(self, model, ssplays_small):
+        query = parse_query("//PLAY//SPEAKER")
+        actual = float(Evaluator(ssplays_small).selectivity(query))
+        assert model.estimate(query) == pytest.approx(actual, rel=0.25)
+
+    def test_missing_path_gives_zero(self, model):
+        assert model.estimate(parse_query("//LINE/ACT")) == 0.0
+
+    def test_order_axes_rejected(self, model):
+        with pytest.raises(UnsupportedQueryError):
+            model.estimate(parse_query("//ACT[/SCENE/folls::SCENE]"))
+
+    def test_branch_factor_at_most_one(self, model):
+        plain = model.estimate(parse_query("//SCENE/SPEECH"))
+        branched = model.estimate(parse_query("//SCENE[/TITLE]/SPEECH"))
+        assert 0 <= branched <= plain + 1e-9
+
+
+class TestSize:
+    def test_size_grows_with_order(self, ssplays_small):
+        sizes = [
+            MarkovPathModel.build(ssplays_small, order=k).size_bytes()
+            for k in (1, 2, 3)
+        ]
+        assert sizes == sorted(sizes)

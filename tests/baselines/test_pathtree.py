@@ -1,0 +1,64 @@
+"""Tests for the path-tree (DataGuide) baseline."""
+
+import pytest
+
+from repro.baselines import PathTree
+from repro.core.transform import UnsupportedQueryError
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def tree(figure1):
+    return PathTree.build(figure1)
+
+
+class TestBuild:
+    def test_node_count_figure1(self, tree):
+        # Path types: Root, Root/A, Root/A/B, Root/A/B/D, Root/A/B/E,
+        # Root/A/C, Root/A/C/E, Root/A/C/F.
+        assert len(tree) == 8
+
+    def test_counts_per_path_type(self, tree):
+        assert tree.count_at("Root") == 1
+        assert tree.count_at("Root/A") == 3
+        assert tree.count_at("Root/A/B") == 4
+        assert tree.count_at("Root/A/B/D") == 4
+        assert tree.count_at("Root/A/C/E") == 2
+        assert tree.count_at("Root/Z") == 0
+        assert tree.count_at("X") == 0
+
+
+class TestEstimation:
+    @pytest.mark.parametrize(
+        "text",
+        ["//A", "//B", "//A/B", "//A//E", "/Root/A/C", "//C/F", "/Root//D"],
+    )
+    def test_simple_queries_exact(self, tree, figure1, text):
+        query = parse_query(text)
+        actual = Evaluator(figure1).selectivity(query)
+        assert tree.estimate(query) == pytest.approx(float(actual))
+
+    def test_branch_schema_existence_overestimates(self, tree, figure1):
+        # //C[/E]/$F: the path tree cannot separate C instances, but the
+        # estimate must still be an upper bound of the truth here.
+        query = parse_query("//C[/E]/$F")
+        actual = Evaluator(figure1).selectivity(query)
+        assert tree.estimate(query) >= actual
+
+    def test_order_axes_rejected(self, tree):
+        with pytest.raises(UnsupportedQueryError):
+            tree.estimate(parse_query("//A[/B/folls::C]"))
+
+    def test_size_positive(self, tree):
+        assert tree.size_bytes() == len(tree) * 8
+
+
+class TestOnDataset(object):
+    def test_simple_exactness_holds_at_scale(self, dblp_small):
+        tree = PathTree.build(dblp_small)
+        evaluator = Evaluator(dblp_small)
+        for text in ("//article/author", "//dblp/book", "//inproceedings//cite"):
+            query = parse_query(text)
+            assert tree.estimate(query) == pytest.approx(
+                float(evaluator.selectivity(query))
+            )

@@ -1,0 +1,98 @@
+"""Tests for the position-histogram baseline [16]."""
+
+import pytest
+
+from repro.baselines.position import PositionHistogram
+from repro.xmltree.intervals import interval_labeling
+from repro.core.transform import UnsupportedQueryError
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def histogram(ssplays_small):
+    return PositionHistogram(ssplays_small, grid=12)
+
+
+class TestIntervalLabeling:
+    def test_nesting(self, figure1):
+        starts, ends, top = interval_labeling(figure1)
+        for node in figure1:
+            assert starts[node.pre] < ends[node.pre] <= top
+            for child in node.children:
+                assert starts[node.pre] < starts[child.pre]
+                assert ends[child.pre] < ends[node.pre]
+
+    def test_siblings_disjoint(self, figure1):
+        starts, ends, _ = interval_labeling(figure1)
+        for node in figure1:
+            for left, right in zip(node.children, node.children[1:]):
+                assert ends[left.pre] < starts[right.pre]
+
+
+class TestConstruction:
+    def test_totals(self, histogram, ssplays_small):
+        for tag in ("PLAY", "SPEECH", "LINE"):
+            assert histogram.total(tag) == ssplays_small.tag_count(tag)
+
+    def test_invalid_grid(self, ssplays_small):
+        with pytest.raises(ValueError):
+            PositionHistogram(ssplays_small, grid=0)
+
+    def test_size_grows_with_grid(self, ssplays_small):
+        coarse = PositionHistogram(ssplays_small, grid=2)
+        fine = PositionHistogram(ssplays_small, grid=32)
+        assert coarse.size_bytes() <= fine.size_bytes()
+
+
+class TestEstimation:
+    def test_single_tag_exact(self, histogram, ssplays_small):
+        assert histogram.estimate(parse_query("//LINE")) == pytest.approx(
+            float(ssplays_small.tag_count("LINE"))
+        )
+
+    def test_absolute_root(self, histogram):
+        assert histogram.estimate(parse_query("/PLAYS/PLAY")) > 0
+        assert histogram.estimate(parse_query("/PLAY")) == 0.0
+
+    def test_descendant_step_reasonable(self, histogram, ssplays_small):
+        query = parse_query("//PLAY//SPEAKER")
+        actual = float(Evaluator(ssplays_small).selectivity(query))
+        assert histogram.estimate(query) == pytest.approx(actual, rel=0.5)
+
+    def test_child_treated_as_descendant(self, histogram):
+        # The documented limitation: / and // estimates coincide.
+        child = histogram.estimate(parse_query("//PLAY/TITLE"))
+        descendant = histogram.estimate(parse_query("//PLAY//TITLE"))
+        assert child == pytest.approx(descendant)
+
+    def test_branch_factor_bounded(self, histogram):
+        plain = histogram.estimate(parse_query("//SCENE//SPEECH"))
+        branched = histogram.estimate(parse_query("//SCENE[//SUBHEAD]//SPEECH"))
+        assert 0 <= branched <= plain + 1e-9
+
+    def test_missing_tags(self, histogram):
+        assert histogram.estimate(parse_query("//NOPE//X")) == 0.0
+
+    def test_order_rejected(self, histogram):
+        with pytest.raises(UnsupportedQueryError):
+            histogram.estimate(parse_query("//ACT[/SCENE/folls::SCENE]"))
+
+    def test_finer_grid_not_worse_on_average(self, ssplays_small):
+        queries = [
+            parse_query(text)
+            for text in ("//PLAY//SPEECH", "//ACT//LINE", "//SCENE//SPEAKER",
+                          "//PLAY//STAGEDIR")
+        ]
+        evaluator = Evaluator(ssplays_small)
+        actuals = [float(evaluator.selectivity(q)) for q in queries]
+
+        def error(grid):
+            histogram = PositionHistogram(ssplays_small, grid=grid)
+            return sum(
+                abs(histogram.estimate(q) - a) / a
+                for q, a in zip(queries, actuals) if a
+            )
+
+        assert error(24) <= error(2) + 1e-6

@@ -1,0 +1,97 @@
+"""Tests for the XSketch-style graph synopsis."""
+
+import pytest
+
+from repro.baselines import XSketch
+from repro.core.transform import UnsupportedQueryError
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def sketch(ssplays_small):
+    return XSketch.build(ssplays_small, budget_bytes=4096)
+
+
+class TestBuild:
+    def test_counts_cover_document(self, sketch, ssplays_small):
+        assert sum(sketch.counts.values()) == len(ssplays_small)
+
+    def test_edges_cover_parent_child_pairs(self, sketch, ssplays_small):
+        assert sum(sketch.edges.values()) == len(ssplays_small) - 1
+
+    def test_budget_controls_size(self, ssplays_small):
+        small = XSketch.build(ssplays_small, budget_bytes=400)
+        large = XSketch.build(ssplays_small, budget_bytes=8192)
+        assert small.size_bytes() <= large.size_bytes()
+        assert len(small.counts) <= len(large.counts)
+
+    def test_label_split_base(self, ssplays_small):
+        base = XSketch.build(ssplays_small, budget_bytes=0)
+        labels = {key[0] for key in base.counts}
+        assert len(base.counts) == len(labels)  # one cluster per tag
+
+    def test_refinement_happens_with_budget(self, ssplays_small):
+        base = XSketch.build(ssplays_small, budget_bytes=0)
+        refined = XSketch.build(ssplays_small, budget_bytes=8192)
+        assert len(refined.counts) > len(base.counts)
+
+
+class TestEstimation:
+    def test_root_count(self, sketch):
+        assert sketch.estimate(parse_query("//PLAYS")) == pytest.approx(1.0)
+
+    def test_tag_counts_exact(self, sketch, ssplays_small):
+        for tag in ("PLAY", "ACT", "SPEECH"):
+            query = parse_query("//%s" % tag)
+            assert sketch.estimate(query) == pytest.approx(
+                float(ssplays_small.tag_count(tag))
+            )
+
+    def test_stable_chain_exact(self, sketch, ssplays_small):
+        # ACT/SCENE is backward-stable: every SCENE under an ACT.
+        query = parse_query("//ACT/SCENE")
+        actual = Evaluator(ssplays_small).selectivity(query)
+        assert sketch.estimate(query) == pytest.approx(float(actual), rel=0.05)
+
+    def test_descendant_step(self, sketch, ssplays_small):
+        query = parse_query("//PLAY//SPEAKER")
+        actual = Evaluator(ssplays_small).selectivity(query)
+        assert sketch.estimate(query) == pytest.approx(float(actual), rel=0.2)
+
+    def test_absolute_root(self, sketch):
+        assert sketch.estimate(parse_query("/PLAYS/PLAY")) > 0
+        assert sketch.estimate(parse_query("/PLAY")) == 0.0
+
+    def test_branch_factor_bounded(self, sketch):
+        plain = sketch.estimate(parse_query("//SCENE/SPEECH"))
+        filtered = sketch.estimate(parse_query("//SCENE[/STAGEDIR]/SPEECH"))
+        assert 0 < filtered <= plain * 1.0001
+
+    def test_unknown_tag(self, sketch):
+        assert sketch.estimate(parse_query("//NOPE/X")) == 0.0
+
+    def test_order_axes_rejected(self, sketch):
+        with pytest.raises(UnsupportedQueryError):
+            sketch.estimate(parse_query("//ACT[/SCENE/folls::EPILOGUE]"))
+
+
+class TestAccuracyImprovesWithBudget(object):
+    def test_refinement_reduces_error(self, ssplays_small):
+        queries = [
+            parse_query(text)
+            for text in ("//PLAY/ACT/SCENE/SPEECH/LINE", "//PERSONAE/PGROUP/PERSONA",
+                          "//ACT/SCENE/STAGEDIR", "//SCENE/SPEECH/SPEAKER")
+        ]
+        evaluator = Evaluator(ssplays_small)
+        actuals = [float(evaluator.selectivity(q)) for q in queries]
+
+        def mean_error(sketch):
+            errors = []
+            for query, actual in zip(queries, actuals):
+                if actual:
+                    errors.append(abs(sketch.estimate(query) - actual) / actual)
+            return sum(errors) / len(errors)
+
+        coarse = XSketch.build(ssplays_small, budget_bytes=0)
+        fine = XSketch.build(ssplays_small, budget_bytes=16384)
+        assert mean_error(fine) <= mean_error(coarse) + 1e-9

@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, labeled documents, workloads) are session
+scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dblp, generate_ssplays, generate_xmark
+from repro.pathenc import label_document
+from repro.xmltree.builder import paper_figure1_document
+from repro.xpath import Evaluator
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The paper's running example document (Figure 1)."""
+    return paper_figure1_document()
+
+
+@pytest.fixture(scope="session")
+def figure1_labeled(figure1):
+    return label_document(figure1)
+
+
+@pytest.fixture(scope="session")
+def figure1_evaluator(figure1):
+    return Evaluator(figure1)
+
+
+@pytest.fixture(scope="session")
+def ssplays_small():
+    return generate_ssplays(scale=0.2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def dblp_small():
+    return generate_dblp(scale=0.05, seed=3)
+
+
+@pytest.fixture(scope="session")
+def xmark_small():
+    return generate_xmark(scale=0.2, seed=3)
+
+
+# Path-id constants of the Figure 1 example (4-bit, MSB = encoding 1).
+P = {
+    1: 0b0001,
+    2: 0b0010,
+    3: 0b0011,
+    4: 0b0100,
+    5: 0b1000,
+    6: 0b1010,
+    7: 0b1011,
+    8: 0b1100,
+    9: 0b1111,
+}
+
+
+@pytest.fixture(scope="session")
+def pid():
+    """Figure 1(c) path-id constants: pid[3] == p3 == 0011."""
+    return dict(P)

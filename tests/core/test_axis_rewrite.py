@@ -1,0 +1,96 @@
+"""Tests for the foll/pre → folls/pres rewrite (Example 5.3)."""
+
+import pytest
+
+from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edges
+from repro.core.providers import ExactPathStats
+from repro.core.transform import UnsupportedQueryError
+from repro.stats import collect_pathid_frequencies
+from repro.pathenc import label_document
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import parse_query
+
+
+@pytest.fixture(scope="module")
+def env(figure1_labeled):
+    return (
+        ExactPathStats(collect_pathid_frequencies(figure1_labeled)),
+        figure1_labeled.encoding_table,
+    )
+
+
+class TestExample53:
+    def test_single_chain(self, env, pid):
+        provider, table = env
+        variants = rewrite_scoped_order_query(
+            parse_query("//A[/C/foll::$D]"), provider, table
+        )
+        assert [v.to_string() for v in variants] == ["//A[/C/folls::B/$D]"]
+
+    def test_target_preserved(self, env):
+        provider, table = env
+        variants = rewrite_scoped_order_query(
+            parse_query("//A[/C/foll::$D]"), provider, table
+        )
+        assert variants[0].target.tag == "D"
+
+    def test_no_scoped_edges_identity(self, env):
+        provider, table = env
+        query = parse_query("//A/B")
+        assert rewrite_scoped_order_query(query, provider, table) == [query]
+
+    def test_preceding_direction(self, env):
+        provider, table = env
+        variants = rewrite_scoped_order_query(
+            parse_query("//A[/B/pre::$F]"), provider, table
+        )
+        assert [v.to_string() for v in variants] == ["//A[/B/pres::C/$F]"]
+
+    def test_unsatisfiable_yields_empty(self, env):
+        provider, table = env
+        variants = rewrite_scoped_order_query(
+            parse_query("//F[/E/foll::Zebra]"), provider, table
+        )
+        assert variants == []
+
+    def test_multiple_scoped_edges_rejected(self, env):
+        provider, table = env
+        with pytest.raises(UnsupportedQueryError):
+            rewrite_scoped_order_query(
+                parse_query("//A[/B/foll::C][/D/foll::E]"), provider, table
+            )
+
+
+class TestMultipleChains:
+    def test_two_distinct_chains(self):
+        # t under both u/t and v/t: foll::t from w expands to two queries.
+        root = el(
+            "r",
+            el("g", el("w"), el("u", el("t")), el("v", el("t"))),
+            el("g", el("w"), el("u", el("t"))),
+        )
+        labeled = label_document(XmlDocument(root))
+        provider = ExactPathStats(collect_pathid_frequencies(labeled))
+        variants = rewrite_scoped_order_query(
+            parse_query("//g[/w/foll::$t]"), provider, labeled.encoding_table
+        )
+        texts = sorted(v.to_string() for v in variants)
+        assert texts == ["//g[/w/folls::u/$t]", "//g[/w/folls::v/$t]"]
+
+    def test_direct_sibling_chain_is_empty(self):
+        root = el("r", el("g", el("w"), el("t")))
+        labeled = label_document(XmlDocument(root))
+        provider = ExactPathStats(collect_pathid_frequencies(labeled))
+        variants = rewrite_scoped_order_query(
+            parse_query("//g[/w/foll::$t]"), provider, labeled.encoding_table
+        )
+        assert [v.to_string() for v in variants] == ["//g[/w/folls::$t]"]
+
+
+class TestEdgeCollection:
+    def test_scoped_order_edges(self):
+        query = parse_query("//A[/B/foll::C]")
+        edges = scoped_order_edges(query)
+        assert len(edges) == 1
+        assert edges[0][1].tag == "B" and edges[0][2].tag == "C"

@@ -1,0 +1,93 @@
+"""Tests for Section 4 estimation (Theorem 4.1 and Equation 2)."""
+
+import pytest
+
+from repro.core.noorder import (
+    branching_ancestor,
+    estimate_no_order,
+    is_trunk_target,
+    prune_to_spine,
+)
+from repro.core.providers import ExactPathStats
+from repro.stats import collect_pathid_frequencies
+from repro.xpath import parse_query
+
+
+@pytest.fixture(scope="module")
+def env(figure1_labeled):
+    table = collect_pathid_frequencies(figure1_labeled)
+    return ExactPathStats(table), figure1_labeled.encoding_table
+
+
+class TestTrunkDetection:
+    def test_simple_chain_is_all_trunk(self):
+        query = parse_query("//A/B/C")
+        for node in query.nodes():
+            assert is_trunk_target(query, node)
+
+    def test_branch_parts(self):
+        query = parse_query("//A[/B/C]/D/E")
+        assert is_trunk_target(query, query.root)
+        assert not is_trunk_target(query, query.find("B"))
+        assert not is_trunk_target(query, query.find("C"))
+        # D and E hang below the branching node A -> branch part too.
+        assert not is_trunk_target(query, query.find("D"))
+
+    def test_branching_ancestor_is_deepest(self):
+        query = parse_query("//A[/X]/B[/Y]/C")
+        assert branching_ancestor(query, query.find("C")) is query.find("B")
+        assert branching_ancestor(query, query.find("X")) is query.root
+
+    def test_branches_below_target_do_not_matter(self):
+        query = parse_query("//A/B[/C][/D]")
+        assert is_trunk_target(query, query.find("B"))
+
+
+class TestPruneToSpine:
+    def test_drops_other_branches(self):
+        query = parse_query("//A[/C/F]/B/D")
+        pruned = prune_to_spine(query, query.find("B"))
+        assert pruned.to_string() == "//A/$B/D"
+
+    def test_keeps_target_subtree(self):
+        query = parse_query("//A[/X]/B[/C]/D")
+        pruned = prune_to_spine(query, query.find("B"))
+        assert pruned.to_string() == "//A/$B[/C]/D"
+
+    def test_deep_branch_target(self):
+        query = parse_query("//A[/C[/F]/E]/B")
+        pruned = prune_to_spine(query, query.find("E"))
+        assert pruned.to_string() == "//A[/C/$E]"
+
+
+class TestEstimates:
+    def test_theorem_4_1(self, env, figure1_evaluator):
+        provider, table = env
+        for text in ("//A/B", "//A//E", "/Root/A/C"):
+            query = parse_query(text)
+            estimate = estimate_no_order(query, provider, table)
+            assert estimate == pytest.approx(
+                float(figure1_evaluator.selectivity(query))
+            )
+
+    def test_equation_2_compensates(self, env, figure1_evaluator):
+        provider, table = env
+        query = parse_query("//C[/$E]/F")
+        assert estimate_no_order(query, provider, table) == pytest.approx(1.0)
+
+    def test_negative_query(self, env):
+        provider, table = env
+        assert estimate_no_order(parse_query("//F/E"), provider, table) == 0.0
+
+    def test_recursive_branching(self, env):
+        provider, table = env
+        # Two nested branching nodes exercise the recursive Eq-2 rule.
+        query = parse_query("//A[/B]/C[/F]/$E")
+        estimate = estimate_no_order(query, provider, table)
+        assert estimate >= 0.0
+
+    def test_explicit_target_param(self, env):
+        provider, table = env
+        query = parse_query("//A[/C/F]/B/D")
+        b_estimate = estimate_no_order(query, provider, table, target=query.find("B"))
+        assert b_estimate == pytest.approx(4 / 3)

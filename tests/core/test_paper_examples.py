@@ -1,0 +1,111 @@
+"""Every worked example of the paper, end to end, on the Figure 1 document.
+
+These tests pin the reproduction to the published numbers: if any of them
+breaks, the system no longer computes what the paper computes.
+"""
+
+import pytest
+
+from repro import EstimationSystem
+from repro.xpath import parse_query
+
+
+@pytest.fixture(scope="module")
+def system(figure1):
+    return EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+
+
+class TestSection2:
+    def test_example_2_1_pathid_table(self, system, pid):
+        assert system.labeled.distinct_pathids() == [pid[i] for i in range(1, 10)]
+
+    def test_example_2_2_a_parent_of_b_at_p8(self, system, pid):
+        # Checked indirectly: the join keeps (A:p8, B:p8) for //A/B.
+        join = system.join(parse_query("//A/B"))
+        assert pid[8] in join.pids(parse_query("//A/B").root) or True
+        result = system.join("//A/B")
+        a_pids = set(result.pids(result.query.root))
+        assert pid[8] in a_pids
+
+
+class TestSection3:
+    def test_figure_2a(self, system, pid):
+        table = system.pathid_table
+        assert table.frequency_map("A") == {pid[6]: 1, pid[7]: 1, pid[8]: 1}
+        assert table.frequency_map("E") == {pid[2]: 2, pid[4]: 1}
+
+    def test_figure_2b(self, system, pid):
+        grid = system.order_table.grid("B")
+        assert grid.g_before(pid[5], "C") == 1
+        assert grid.g_after(pid[5], "C") == 2
+
+
+class TestSection4:
+    def test_example_4_1_path_join(self, system, pid):
+        """Figure 3: Q1 = //A[/C/F]/B/D after the join."""
+        query = parse_query("//A[/C/F]/B/D")
+        join = system.join(query)
+        assert join.pids(query.root) == {pid[7]: 1}
+        assert join.pids(query.find("C")) == {pid[3]: 1}
+        assert join.pids(query.find("F")) == {pid[1]: 1}
+        assert join.pids(query.find("B")) == {pid[5]: 3}
+        assert join.pids(query.find("D")) == {pid[5]: 4}
+
+    def test_example_4_2_simple_query(self, system):
+        """//A//C: selectivity 2 for both A and C."""
+        assert system.estimate("//$A//C") == 2
+        assert system.estimate("//A//$C") == 2
+
+    def test_example_4_3_branch_overestimation_basis(self, system, pid):
+        """Q2 = //C[/E]/F: the raw join keeps (p2,2) for E."""
+        query = parse_query("//C[/$E]/F")
+        join = system.join(query)
+        assert join.pids(query.target) == {pid[2]: 2}
+
+    def test_example_4_5_branch_estimation(self, system):
+        """Equation 2 corrects E's estimate to 1."""
+        assert system.estimate("//C[/$E]/F") == pytest.approx(1.0)
+        # C itself (trunk) stays exact.
+        assert system.estimate("//$C[/E]/F") == pytest.approx(1.0)
+
+
+class TestSection5:
+    def test_example_5_1_sibling_target(self, system):
+        """S(B) for A[/C[/F]/folls::B/D] = 2 * 1.3 / 2.6 = 1."""
+        assert system.estimate("//A[/C[/F]/folls::$B/D]") == pytest.approx(1.0)
+
+    def test_example_5_1_intermediates(self, system):
+        # S_Q1(B) ~ 1.3 and S_Q1'(B) ~ 2.6 via the no-order machinery.
+        assert system.estimate("//A[/C/F]/$B/D") == pytest.approx(4 / 3)
+        assert system.estimate("//A[/C]/$B/D") == pytest.approx(8 / 3)
+
+    def test_example_5_2_deep_target(self, system):
+        """S(D) = 1.3 * 2 / 2.6 = 1."""
+        assert system.estimate("//A[/C[/F]/folls::B/$D]") == pytest.approx(1.0)
+
+    def test_trunk_target_equation_5(self, system):
+        assert system.estimate("//$A[/C[/F]/folls::B/D]") == pytest.approx(1.0)
+
+    def test_example_5_3_following_rewrite(self, system, figure1_evaluator):
+        """//A[/C/foll::D] rewrites through B and matches the evaluator."""
+        query = parse_query("//A[/C/foll::$D]")
+        estimate = system.estimate(query)
+        actual = figure1_evaluator.selectivity(query)
+        assert estimate == pytest.approx(float(actual)) == 2.0
+
+
+class TestExactnessOnFigure1:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "//A", "//B", "//C", "//D", "//E", "//F",
+            "/Root/A", "//A/B", "//A/B/D", "//A/C/E", "//B/E",
+            "//A//E", "/Root//D",
+        ],
+    )
+    def test_simple_queries_exact(self, system, figure1_evaluator, text):
+        """Theorem 4.1 at v=0: simple queries are exact."""
+        query = parse_query(text)
+        assert system.estimate(query) == pytest.approx(
+            float(figure1_evaluator.selectivity(query))
+        )

@@ -1,0 +1,135 @@
+"""Tests for the path join: constraints, pruning, fixpoint, depth mode."""
+
+import pytest
+
+from repro.core.pathjoin import derive_constraints, path_join
+from repro.core.providers import ExactPathStats
+from repro.pathenc.relationship import Axis
+from repro.stats import collect_pathid_frequencies
+from repro.xpath import parse_query
+
+
+@pytest.fixture(scope="module")
+def env(figure1_labeled):
+    table = collect_pathid_frequencies(figure1_labeled)
+    return ExactPathStats(table), figure1_labeled.encoding_table
+
+
+class TestConstraintDerivation:
+    def axes(self, text):
+        return [
+            (upper.tag, axis, lower.tag)
+            for upper, axis, lower in derive_constraints(parse_query(text))
+        ]
+
+    def test_structural_edges(self):
+        assert self.axes("//A/B//C") == [
+            ("A", Axis.CHILD, "B"),
+            ("B", Axis.DESCENDANT, "C"),
+        ]
+
+    def test_sibling_order_edge_lifts_to_parent(self):
+        constraints = self.axes("//A[/C/folls::B]")
+        assert ("A", Axis.CHILD, "C") in constraints
+        assert ("A", Axis.CHILD, "B") in constraints
+
+    def test_sibling_order_with_descendant_parent(self):
+        constraints = self.axes("//A[//C/folls::B]")
+        assert ("A", Axis.DESCENDANT, "B") in constraints
+
+    def test_scoped_order_becomes_descendant(self):
+        constraints = self.axes("//A[/C/foll::D]")
+        assert ("A", Axis.DESCENDANT, "D") in constraints
+
+    def test_order_on_root_skipped(self):
+        # No structural parent: no upper constraint derivable.
+        constraints = self.axes("//C/folls::B")
+        assert constraints == []
+
+
+class TestPruning:
+    def test_figure3_both_directions(self, env, pid):
+        provider, table = env
+        query = parse_query("//A[/C/F]/B/D")
+        join = path_join(query, provider, table)
+        assert set(join.pids(query.root)) == {pid[7]}
+        assert set(join.pids(query.find("C"))) == {pid[3]}
+
+    def test_negative_query_empties_everything(self, env):
+        provider, table = env
+        query = parse_query("//F/E")
+        join = path_join(query, provider, table)
+        assert join.empty
+        assert join.frequency(query.root) == 0
+
+    def test_unknown_tag(self, env):
+        provider, table = env
+        join = path_join(parse_query("//A/Zebra"), provider, table)
+        assert join.empty
+
+    def test_absolute_root_filter(self, env, pid):
+        provider, table = env
+        query = parse_query("/Root/A")
+        join = path_join(query, provider, table)
+        assert set(join.pids(query.root)) == {pid[9]}
+        assert path_join(parse_query("/A"), provider, table).empty
+
+    def test_frequency_sums_remaining(self, env):
+        provider, table = env
+        query = parse_query("//A/B")
+        join = path_join(query, provider, table)
+        assert join.frequency(query.find("B")) == 4  # p5 x3 + p8 x1
+
+
+class TestFixpointVsSinglePass:
+    def test_single_pass_can_keep_more(self, env):
+        """A chain where pruning must propagate backwards."""
+        provider, table = env
+        # //Root/A/C/F: C loses p2 (no F below), then A must lose p6.
+        query = parse_query("/Root/A/C/F")
+        multi = path_join(query, provider, table, fixpoint=True)
+        single = path_join(query, provider, table, fixpoint=False)
+        a = query.find("A")
+        assert set(multi.pids(a)) <= set(single.pids(a))
+
+    def test_fixpoint_is_stable(self, env):
+        provider, table = env
+        query = parse_query("//A[/C/F]/B/D")
+        first = path_join(query, provider, table, fixpoint=True)
+        again = path_join(query, provider, table, fixpoint=True)
+        for node in query.nodes():
+            assert first.pids(node) == again.pids(node)
+
+
+class TestDepthConsistency:
+    @pytest.fixture()
+    def recursive_env(self):
+        from repro.pathenc import label_document
+        from repro.xmltree.builder import el
+        from repro.xmltree.document import XmlDocument
+
+        # r/x/x/y plus r/x/z: the outer x is not below any x.
+        root = el("r", el("x", el("x", el("y")), el("z")))
+        labeled = label_document(XmlDocument(root))
+        provider = ExactPathStats(collect_pathid_frequencies(labeled))
+        return provider, labeled.encoding_table
+
+    def test_depth_mode_prunes_cross_level_matches(self, recursive_env):
+        provider, table = recursive_env
+        query = parse_query("//x/$x")
+        join = path_join(query, provider, table, depth_consistent=True)
+        # Only the inner x (depth 2) matches the lower position.
+        assert join.frequency(query.target) == 1
+
+    def test_pairwise_mode_overcounts(self, recursive_env):
+        provider, table = recursive_env
+        query = parse_query("//x/$x")
+        join = path_join(query, provider, table, depth_consistent=False)
+        assert join.frequency(query.target) >= 1
+
+    def test_depths_exposed(self, recursive_env):
+        provider, table = recursive_env
+        query = parse_query("//x/$x")
+        join = path_join(query, provider, table, depth_consistent=True)
+        depths = join.depths(query.target)
+        assert all(2 in ds or 1 in ds for ds in depths.values())

@@ -1,0 +1,79 @@
+"""Tests for the EstimationSystem facade."""
+
+import pytest
+
+from repro import EstimationSystem
+from repro.core.providers import ExactPathStats
+from repro.histograms.phistogram import PHistogramSet
+from repro.xpath import parse_query
+
+
+class TestBuild:
+    def test_histogram_mode_default(self, figure1):
+        system = EstimationSystem.build(figure1)
+        assert isinstance(system.path_provider, PHistogramSet)
+        assert system.binary_tree is not None
+        assert system.binary_tree.compressed
+
+    def test_exact_mode(self, figure1):
+        system = EstimationSystem.build(figure1, use_histograms=False)
+        assert isinstance(system.path_provider, ExactPathStats)
+
+    def test_skip_binary_tree(self, figure1):
+        system = EstimationSystem.build(figure1, build_binary_tree=False)
+        assert system.binary_tree is None
+        assert "binary_tree" not in system.summary_sizes()
+
+    def test_histogram_v0_equals_exact(self, figure1):
+        hist = EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+        exact = EstimationSystem.build(figure1, use_histograms=False)
+        for text in ("//A/B", "//C[/$E]/F", "//A[/C[/F]/folls::$B/D]"):
+            assert hist.estimate(text) == pytest.approx(exact.estimate(text))
+
+
+class TestEstimateRouting:
+    def test_string_and_query_inputs_agree(self, figure1):
+        system = EstimationSystem.build(figure1)
+        text = "//A[/C/F]/B/$D"
+        assert system.estimate(text) == system.estimate(parse_query(text))
+
+    def test_order_route(self, figure1):
+        system = EstimationSystem.build(figure1)
+        assert system.estimate("//A[/C/folls::$B]") > 0
+
+    def test_scoped_route_sums_variants(self, figure1):
+        system = EstimationSystem.build(figure1)
+        assert system.estimate("//A[/C/foll::$D]") == pytest.approx(2.0)
+
+    def test_negative_scoped(self, figure1):
+        system = EstimationSystem.build(figure1)
+        assert system.estimate("//A[/F/foll::$E]") == 0.0
+
+
+class TestSummarySizes:
+    def test_all_keys_present(self, figure1):
+        sizes = EstimationSystem.build(figure1).summary_sizes()
+        for key in ("encoding_table", "pathid_table", "binary_tree",
+                    "p_histogram", "o_histogram"):
+            assert sizes[key] > 0
+
+    def test_histogram_sizes_shrink_with_variance(self, ssplays_small):
+        tight = EstimationSystem.build(ssplays_small, p_variance=0, o_variance=0)
+        loose = EstimationSystem.build(ssplays_small, p_variance=10, o_variance=10)
+        assert loose.summary_sizes()["p_histogram"] <= tight.summary_sizes()["p_histogram"]
+        assert loose.summary_sizes()["o_histogram"] <= tight.summary_sizes()["o_histogram"]
+
+    def test_exact_mode_has_no_histogram_sizes(self, figure1):
+        sizes = EstimationSystem.build(figure1, use_histograms=False).summary_sizes()
+        assert "p_histogram" not in sizes and "o_histogram" not in sizes
+
+
+class TestAblationSwitches:
+    def test_single_pass_flag_runs(self, figure1):
+        system = EstimationSystem.build(figure1)
+        value = system.estimate("//A[/C/F]/B/$D", fixpoint=False)
+        assert value >= system.estimate("//A[/C/F]/B/$D")
+
+    def test_pairwise_flag_runs(self, figure1):
+        system = EstimationSystem.build(figure1)
+        assert system.estimate("//A/B", depth_consistent=False) == pytest.approx(4.0)

@@ -1,0 +1,92 @@
+"""Tests for query-pattern transformations."""
+
+import pytest
+
+from repro.core.transform import (
+    UnsupportedQueryError,
+    clone_query,
+    pattern_subtree_ids,
+)
+from repro.xpath import parse_query
+from repro.xpath.ast import QueryAxis
+
+
+class TestCloneIdentity:
+    def test_plain_clone_roundtrips(self):
+        query = parse_query("//A[/B[/C]/D]/E")
+        clone, mapping = clone_query(query)
+        assert clone.to_string() == query.to_string()
+        assert clone.root is not query.root
+        for node in query.nodes():
+            assert mapping[node.node_id].tag == node.tag
+
+    def test_target_mapping(self):
+        query = parse_query("//A[/$B]/C")
+        clone, mapping = clone_query(query)
+        assert clone.target is mapping[query.find("B").node_id]
+
+    def test_explicit_target_override(self):
+        query = parse_query("//A[/B]/C")
+        clone, _ = clone_query(query, target=query.find("B"))
+        assert clone.target.tag == "B"
+
+
+class TestDropSubtree:
+    def test_drop_strips_structural_edges(self):
+        query = parse_query("//A[/B[/X]/Y]/C")
+        b = query.find("B")
+        clone, _ = clone_query(query, drop_subtree_of={b.node_id})
+        assert clone.to_string() == "//A[/B]/C"
+
+    def test_drop_keeps_order_edges(self):
+        query = parse_query("//A[/B[/X]/folls::C/D]")
+        b = query.find("B")
+        clone, _ = clone_query(query, drop_subtree_of={b.node_id})
+        assert clone.to_string() == "//A[/B/folls::C/D]"
+
+    def test_dropping_target_subtree_fails(self):
+        query = parse_query("//A[/B/$X]")
+        with pytest.raises(UnsupportedQueryError):
+            clone_query(query, drop_subtree_of={query.find("B").node_id})
+
+
+class TestOrderLifting:
+    def test_folls_becomes_sibling_predicate(self):
+        query = parse_query("//A[/B/folls::C/D]")
+        clone, _ = clone_query(query, order_to_structural=True)
+        # C/D re-attaches to A (B's structural parent) as a predicate.
+        rendered = clone.to_string()
+        assert "folls" not in rendered
+        assert rendered == "//A[/B][/C/D]"
+
+    def test_descendant_parent_keeps_axis(self):
+        query = parse_query("//A[//B/folls::C]")
+        clone, _ = clone_query(query, order_to_structural=True)
+        a = clone.root
+        axes = {e.node.tag: e.axis for e in a.predicate_edges()}
+        assert axes["C"] is QueryAxis.DESCENDANT
+
+    def test_scoped_becomes_descendant(self):
+        query = parse_query("//A[/B/foll::C]")
+        clone, _ = clone_query(query, order_to_structural=True)
+        axes = {e.node.tag: e.axis for e in clone.root.predicate_edges()}
+        assert axes["C"] is QueryAxis.DESCENDANT
+
+    def test_order_on_root_rejected(self):
+        query = parse_query("//B/folls::C")
+        with pytest.raises(UnsupportedQueryError):
+            clone_query(query, order_to_structural=True)
+
+
+class TestSubtreeIds:
+    def test_structural_only(self):
+        query = parse_query("//A[/B/folls::C/D]")
+        b = query.find("B")
+        ids = pattern_subtree_ids(query, b, cross_order=False)
+        assert {query.nodes()[i].tag for i in ids} == {"B"}
+
+    def test_cross_order(self):
+        query = parse_query("//A[/B/folls::C/D]")
+        b = query.find("B")
+        ids = pattern_subtree_ids(query, b, cross_order=True)
+        assert {query.nodes()[i].tag for i in ids} == {"B", "C", "D"}

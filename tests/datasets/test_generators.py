@@ -1,0 +1,82 @@
+"""Tests for the synthetic dataset generators (Table 1 calibration)."""
+
+import pytest
+
+from repro.datasets import generate, generate_dblp, generate_ssplays, generate_xmark
+from repro.datasets.dblp import DBLP_TAGS
+from repro.datasets.registry import DATASET_NAMES, dataset_stats_row
+from repro.datasets.ssplays import SSPLAYS_TAGS
+from repro.datasets.xmark import XMARK_TAGS
+from repro.xmltree.stats import document_stats
+
+
+class TestTagInventories:
+    def test_declared_sizes(self):
+        assert len(SSPLAYS_TAGS) == 21
+        assert len(DBLP_TAGS) == 31
+        assert len(XMARK_TAGS) == 74
+
+    def test_ssplays_emits_full_inventory(self):
+        doc = generate_ssplays(scale=1.0, seed=1)
+        assert set(doc.distinct_tags) == set(SSPLAYS_TAGS)
+
+    def test_dblp_emits_full_inventory(self):
+        doc = generate_dblp(scale=0.5, seed=1)
+        assert set(doc.distinct_tags) == set(DBLP_TAGS)
+
+    def test_xmark_emits_full_inventory(self):
+        doc = generate_xmark(scale=1.0, seed=1)
+        assert set(doc.distinct_tags) == set(XMARK_TAGS)
+
+
+class TestDeterminismAndScaling:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_same_seed_same_document(self, name):
+        a = generate(name, scale=0.1)
+        b = generate(name, scale=0.1)
+        assert len(a) == len(b)
+        assert [n.tag for n in a] == [n.tag for n in b]
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_different_seed_differs(self, name):
+        a = generate(name, scale=0.1, seed=1)
+        b = generate(name, scale=0.1, seed=2)
+        assert [n.tag for n in a] != [n.tag for n in b]
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_scale_roughly_linear(self, name):
+        small = len(generate(name, scale=0.1))
+        large = len(generate(name, scale=0.4))
+        assert 2.0 < large / small < 8.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate("unknown")
+
+
+class TestShapes:
+    def test_dblp_is_shallow_and_wide(self, dblp_small):
+        stats = document_stats(dblp_small, include_size=False)
+        assert stats.max_depth == 2
+        assert stats.max_fanout > 100  # the record group under the root
+
+    def test_xmark_is_path_rich(self, xmark_small):
+        stats = document_stats(xmark_small, include_size=False)
+        assert stats.distinct_paths > 100
+        assert stats.max_depth >= 8  # parlist/listitem recursion
+
+    def test_ssplays_is_regular(self, ssplays_small):
+        stats = document_stats(ssplays_small, include_size=False)
+        assert stats.distinct_paths < 60
+        assert stats.max_depth == 5
+
+    def test_relative_sizes_mirror_table1(self):
+        sizes = {name: len(generate(name, scale=0.25)) for name in DATASET_NAMES}
+        assert sizes["DBLP"] > sizes["XMark"] > sizes["SSPlays"] * 0.5
+
+    def test_stats_row(self):
+        row = dataset_stats_row("SSPlays", scale=0.1)
+        assert row["dataset"] == "ssplays"
+        # A single play may miss rare tags (INDUCT/EPILOGUE are optional);
+        # the full inventory is asserted at scale 1.0 above.
+        assert 18 <= row["#distinct_eles"] <= 21

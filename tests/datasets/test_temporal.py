@@ -1,0 +1,71 @@
+"""Tests for the temporal (intro-motivated) dataset."""
+
+import pytest
+
+from repro.core.system import EstimationSystem
+from repro.datasets import generate, generate_temporal
+from repro.datasets.temporal import TEMPORAL_TAGS
+from repro.harness.metrics import relative_error
+from repro.workload import WorkloadGenerator
+from repro.xmltree.stats import document_stats
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return generate_temporal(scale=0.3, seed=2)
+
+
+class TestShape:
+    def test_tag_inventory(self):
+        document = generate_temporal(scale=1.0, seed=1)
+        assert set(document.distinct_tags) == set(TEMPORAL_TAGS)
+        assert len(TEMPORAL_TAGS) == 18
+
+    def test_registry_lookup(self):
+        assert generate("Temporal", scale=0.1).root.tag == "archive"
+
+    def test_chronology_in_sibling_order(self, archive):
+        # Within every contract: signed precedes every revision, and
+        # revisions are ordered by their seq attribute.
+        for contract in archive.nodes_with_tag("contract"):
+            kinds = [child.tag for child in contract.children]
+            if "signed" in kinds and "revision" in kinds:
+                assert kinds.index("signed") < kinds.index("revision")
+            seqs = [
+                int(child.attributes["seq"])
+                for child in contract.children
+                if child.tag == "revision"
+            ]
+            assert seqs == sorted(seqs)
+
+    def test_shallow_stats(self, archive):
+        stats = document_stats(archive, include_size=False)
+        assert stats.max_depth == 4
+        assert stats.distinct_paths < 30
+
+
+class TestOrderQueries:
+    """The dataset's raison d'être: time-as-sibling-order queries."""
+
+    @pytest.mark.parametrize(
+        "text,meaning",
+        [
+            ("//contract[/signed/folls::$revision]", "revisions after signing"),
+            ("//contract[/$revision/folls::dispute]", "revisions before a dispute"),
+            ("//contract[/dispute/folls::$settlement]", "settlements after a dispute"),
+            ("//contract[/$revision/folls::expiry]", "revisions before expiry"),
+        ],
+    )
+    def test_estimates_track_truth(self, archive, text, meaning):
+        system = EstimationSystem.build(archive, p_variance=0, o_variance=0)
+        query = parse_query(text)
+        actual = Evaluator(archive).selectivity(query)
+        assert actual > 0, meaning
+        estimate = system.estimate(query)
+        assert relative_error(estimate, actual) < 0.25, meaning
+
+    def test_workload_generation_works(self, archive):
+        generator = WorkloadGenerator(archive, seed=5)
+        workload = generator.full_workload(80, 80, 80)
+        assert workload.table2_row()["with_order"] > 0

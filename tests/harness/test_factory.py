@@ -1,0 +1,40 @@
+"""Tests for the cached system factory."""
+
+import pytest
+
+from repro.core.system import EstimationSystem
+from repro.harness import SystemFactory
+
+
+@pytest.fixture(scope="module")
+def factory(ssplays_small):
+    return SystemFactory(ssplays_small)
+
+
+class TestCaching:
+    def test_same_variances_same_instance(self, factory):
+        assert factory.system(0, 2) is factory.system(0, 2)
+
+    def test_different_variances_different_instances(self, factory):
+        assert factory.system(0, 0) is not factory.system(1, 0)
+
+    def test_shared_collected_tables(self, factory):
+        a = factory.system(0, 0)
+        b = factory.system(5, 5)
+        assert a.pathid_table is b.pathid_table
+        assert a.order_table is b.order_table
+        assert a.binary_tree is b.binary_tree
+
+
+class TestEquivalenceWithDirectBuild(object):
+    def test_matches_estimation_system_build(self, factory, ssplays_small):
+        direct = EstimationSystem.build(ssplays_small, p_variance=1, o_variance=3)
+        cached = factory.system(1, 3)
+        for text in ("//PLAY/ACT/$SCENE", "//SCENE[/TITLE]/$SPEECH",
+                     "//PLAY[/ACT/folls::$EPILOGUE]"):
+            assert cached.estimate(text) == pytest.approx(direct.estimate(text))
+
+    def test_sizes_match(self, factory, ssplays_small):
+        direct = EstimationSystem.build(ssplays_small, p_variance=2, o_variance=2)
+        cached = factory.system(2, 2)
+        assert cached.summary_sizes() == direct.summary_sizes()

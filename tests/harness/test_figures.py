@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.figures import render_chart, render_series_chart
+
+
+class TestRenderChart:
+    def test_empty(self):
+        assert "(no data)" in render_chart({})
+        assert render_chart({}, title="T").startswith("T")
+
+    def test_contains_glyphs_and_legend(self):
+        text = render_chart(
+            {"up": [(0, 0), (1, 1)], "down": [(0, 1), (1, 0)]},
+            width=20,
+            height=8,
+        )
+        assert "o up" in text and "x down" in text
+        assert "o" in text.splitlines()[0] or any("o" in line for line in text.splitlines())
+
+    def test_axis_labels(self):
+        text = render_chart(
+            {"s": [(1, 2), (3, 4)]}, x_label="memory", y_label="error", title="T"
+        )
+        assert text.startswith("T")
+        assert "x: memory" in text and "y: error" in text
+
+    def test_extreme_corners_plotted(self):
+        text = render_chart({"s": [(0, 0), (10, 5)]}, width=30, height=10)
+        lines = [line for line in text.splitlines() if "|" in line]
+        # Max y in the top plot row, min y in the bottom plot row.
+        assert "o" in lines[0]
+        assert "o" in lines[-1]
+
+    def test_single_point(self):
+        text = render_chart({"s": [(2, 3)]})
+        assert "o" in text
+
+    def test_collision_marker(self):
+        text = render_chart(
+            {"a": [(0, 0)], "b": [(0, 0)]}, width=10, height=5
+        )
+        assert "?" in text
+
+    def test_y_range_labels(self):
+        text = render_chart({"s": [(0, 0.25), (1, 0.75)]}, width=10, height=5)
+        assert "0.75" in text and "0.25" in text
+
+
+class TestRenderSeriesChart:
+    def test_wrapper_equivalent(self):
+        direct = render_chart({"s": [(1, 2), (3, 4)]}, width=12, height=6)
+        wrapped = render_series_chart({"s": ([1, 3], [2, 4])}, width=12, height=6)
+        assert direct == wrapped
+
+    def test_monotone_curve_shape(self):
+        xs = list(range(10))
+        ys = [9 - x for x in xs]
+        text = render_series_chart({"falling": (xs, ys)}, width=20, height=10)
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        first_cols = [row.index("o") for row in rows if "o" in row]
+        # Glyph positions move rightwards as we go down the chart.
+        assert first_cols == sorted(first_cols)

@@ -1,0 +1,65 @@
+"""Tests for the accuracy metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.metrics import ErrorSummary, average_relative_error, relative_error
+
+
+class TestRelativeError:
+    def test_exact_is_zero(self):
+        assert relative_error(5, 5) == 0.0
+
+    def test_overestimate(self):
+        assert relative_error(15, 10) == pytest.approx(0.5)
+
+    def test_underestimate_symmetric(self):
+        assert relative_error(5, 10) == pytest.approx(0.5)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1, 0)
+
+    @given(st.floats(min_value=0, max_value=1e9), st.floats(min_value=0.1, max_value=1e9))
+    def test_nonnegative(self, est, act):
+        assert relative_error(est, act) >= 0
+
+
+class TestAverage:
+    def test_empty(self):
+        assert average_relative_error([]) == 0.0
+
+    def test_mixed(self):
+        pairs = [(10, 10), (20, 10), (5, 10)]
+        assert average_relative_error(pairs) == pytest.approx((0 + 1 + 0.5) / 3)
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        summary = ErrorSummary.from_errors([])
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_odd_median(self):
+        summary = ErrorSummary.from_errors([0.1, 0.5, 0.9])
+        assert summary.median == 0.5
+
+    def test_even_median(self):
+        summary = ErrorSummary.from_errors([0.1, 0.3, 0.5, 0.7])
+        assert summary.median == pytest.approx(0.4)
+
+    def test_percentiles_ordered(self):
+        errors = [i / 100 for i in range(100)]
+        summary = ErrorSummary.from_errors(errors)
+        assert summary.median <= summary.p90 <= summary.maximum
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=80))
+    def test_summary_bounds(self, errors):
+        summary = ErrorSummary.from_errors(errors)
+        assert min(errors) - 1e-9 <= summary.mean <= max(errors) + 1e-9
+        assert summary.maximum == max(errors)
+        assert summary.count == len(errors)
+
+    def test_str_contains_fields(self):
+        text = str(ErrorSummary.from_errors([0.25]))
+        assert "mean=0.25" in text and "n=1" in text

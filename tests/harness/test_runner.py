@@ -1,0 +1,65 @@
+"""Tests for the sweep runner."""
+
+import pytest
+
+from repro.harness.runner import (
+    evaluate_estimator,
+    memory_series,
+    sweep_o_variance,
+    sweep_p_variance,
+    system_estimator,
+)
+from repro.core.system import EstimationSystem
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def small_env(ssplays_small):
+    gen = WorkloadGenerator(ssplays_small, seed=2)
+    workload = gen.simple_queries(60) + gen.branch_queries(60)
+    return ssplays_small, workload
+
+
+class TestEvaluate:
+    def test_exact_system_on_simple_queries(self, small_env):
+        document, workload = small_env
+        simple_only = [w for w in workload if w.kind == "simple"]
+        system = EstimationSystem.build(document, p_variance=0)
+        summary = evaluate_estimator(system_estimator(system), simple_only)
+        assert summary.mean == pytest.approx(0.0, abs=1e-9)
+        assert summary.count == len(simple_only)
+
+
+class TestSweeps:
+    def test_p_variance_memory_monotone(self, small_env):
+        document, workload = small_env
+        points = sweep_p_variance(document, workload, variances=[0, 2, 8])
+        memories = [p.memory_bytes for p in points]
+        assert memories == sorted(memories, reverse=True)
+        assert all(p.summary.count == len(workload) for p in points)
+
+    def test_error_grows_with_variance_overall(self, small_env):
+        document, workload = small_env
+        points = sweep_p_variance(document, workload, variances=[0, 10])
+        assert points[0].mean_error <= points[-1].mean_error + 1e-9
+
+    def test_o_variance_sweep_shapes(self, small_env, ssplays_small):
+        gen = WorkloadGenerator(ssplays_small, seed=5)
+        order_branch, _ = gen.order_queries(80)
+        points = sweep_o_variance(
+            ssplays_small, order_branch[:25], p_variance=0, o_variances=[0, 4]
+        )
+        memories = [p.memory_bytes for p in points]
+        assert memories == sorted(memories, reverse=True)
+        assert points[0].label == "p-histo.v=0"
+
+    def test_memory_series_keys(self, ssplays_small):
+        series = memory_series(ssplays_small, variances=[0, 5])
+        assert set(series) == {"p_histogram", "o_histogram"}
+        assert series["p_histogram"][0] >= series["p_histogram"][1]
+
+    def test_accuracy_point_properties(self, small_env):
+        document, workload = small_env
+        point = sweep_p_variance(document, workload[:10], variances=[1])[0]
+        assert point.memory_kb == pytest.approx(point.memory_bytes / 1024.0)
+        assert point.mean_error == point.summary.mean

@@ -1,0 +1,48 @@
+"""Tests for table rendering and the results registry."""
+
+import os
+
+from repro.harness.tables import (
+    clear_results,
+    format_table,
+    record_result,
+    rendered_results,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["long-name", 23]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[-1]
+        widths = {len(line) for line in lines if line and not line.startswith("-")}
+        assert len(widths) == 1  # every row padded to equal width
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRegistry:
+    def test_record_and_render(self, tmp_path):
+        clear_results()
+        record_result("t1", "hello", results_dir=str(tmp_path))
+        record_result("t2", "world", results_dir=str(tmp_path))
+        rendered = rendered_results()
+        assert "t1" in rendered and "hello" in rendered
+        assert rendered.index("t1") < rendered.index("t2")
+        assert (tmp_path / "t1.txt").read_text().strip() == "hello"
+        clear_results()
+        assert rendered_results() == ""
+
+    def test_env_var_directory(self, tmp_path, monkeypatch):
+        clear_results()
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "envdir"))
+        record_result("t3", "via-env")
+        assert (tmp_path / "envdir" / "t3.txt").exists()
+        clear_results()

@@ -1,0 +1,51 @@
+"""Tests for the self-check validator."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.validation import ValidationReport, validate_document
+from repro.xmltree.builder import el, paper_figure1_document
+from repro.xmltree.document import XmlDocument
+
+
+class TestReport:
+    def test_record_and_ok(self):
+        report = ValidationReport()
+        report.record("a", True)
+        assert report.ok
+        report.record("b", False, "boom")
+        assert not report.ok
+        rendered = report.render()
+        assert "[ok] a" in rendered and "[FAIL] b" in rendered and "boom" in rendered
+
+
+class TestValidateDocuments:
+    @pytest.mark.parametrize(
+        "document_fixture",
+        ["figure1", "ssplays_small", "dblp_small", "xmark_small"],
+    )
+    def test_all_checks_pass(self, document_fixture, request):
+        document = request.getfixturevalue(document_fixture)
+        report = validate_document(document, sample_queries=10)
+        assert report.ok, report.render()
+
+    def test_tiny_document(self):
+        report = validate_document(XmlDocument(el("r", el("a"), el("a"))))
+        assert report.ok, report.render()
+
+    def test_check_inventory(self, figure1):
+        report = validate_document(figure1, sample_queries=5)
+        assert "theorem-4.1-spot-check" in report.checks
+        assert "order-table-matches-evaluator" in report.checks
+        assert len(report.checks) == 9
+
+
+class TestCliValidate:
+    def test_cli_exit_zero_on_pass(self, tmp_path, capsys):
+        from repro.xmltree.serializer import serialize
+
+        path = tmp_path / "doc.xml"
+        path.write_text(serialize(paper_figure1_document()), encoding="utf-8")
+        code = main(["validate", "--file", str(path)])
+        assert code == 0
+        assert "0 failures" in capsys.readouterr().out

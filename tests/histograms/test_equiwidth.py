@@ -1,0 +1,65 @@
+"""Tests for the equi-count bucketing ablation."""
+
+import pytest
+
+from repro.histograms.equiwidth import (
+    EquiCountPHistogramSet,
+    build_equicount_phistogram,
+)
+from repro.histograms.phistogram import PHistogramSet
+from repro.pathenc import label_document
+from repro.stats import collect_pathid_frequencies
+
+
+class TestBuild:
+    def test_exact_when_buckets_cover_all(self):
+        pairs = [(1, 3), (2, 5), (3, 9)]
+        histogram = build_equicount_phistogram("t", pairs, 3)
+        for pid, freq in pairs:
+            assert histogram.approx_frequency(pid) == freq
+
+    def test_single_bucket_averages(self):
+        pairs = [(1, 2), (2, 4)]
+        histogram = build_equicount_phistogram("t", pairs, 1)
+        assert histogram.bucket_count == 1
+        assert histogram.approx_frequency(1) == 3.0
+
+    def test_bucket_sizes_balanced(self):
+        pairs = [(i, i) for i in range(1, 11)]
+        histogram = build_equicount_phistogram("t", pairs, 3)
+        sizes = sorted(len(b) for b in histogram.buckets)
+        assert sizes == [3, 3, 4]
+
+    def test_more_buckets_than_pairs(self):
+        pairs = [(1, 1), (2, 2)]
+        histogram = build_equicount_phistogram("t", pairs, 10)
+        assert histogram.bucket_count == 2
+
+    def test_empty_pairs(self):
+        histogram = build_equicount_phistogram("t", [], 4)
+        assert histogram.bucket_count == 0
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            build_equicount_phistogram("t", [(1, 1)], 0)
+
+
+class TestFromReference:
+    def test_matches_reference_bucket_counts(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        table = collect_pathid_frequencies(labeled)
+        reference = PHistogramSet.from_table(table, 2)
+        ablation = EquiCountPHistogramSet.from_reference(table, reference)
+        for tag in reference.tags():
+            assert (
+                ablation.histogram(tag).bucket_count
+                == reference.histogram(tag).bucket_count
+            )
+        pid_bytes = labeled.pathid_size_bytes()
+        assert ablation.size_bytes(pid_bytes) == reference.size_bytes(pid_bytes)
+
+    def test_provider_protocol(self, figure1_labeled):
+        table = collect_pathid_frequencies(figure1_labeled)
+        ablation = EquiCountPHistogramSet.from_table(table, 2)
+        assert ablation.frequency_pairs("missing") == []
+        assert set(ablation.frequency_map("B")) == set(table.frequency_map("B"))

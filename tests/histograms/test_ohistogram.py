@@ -1,0 +1,142 @@
+"""Tests for the o-histogram (Algorithm 2, Figure 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histograms.ohistogram import OHistogramSet, build_ohistogram
+from repro.histograms.phistogram import PHistogramSet
+from repro.histograms.variance import bucket_std_dev
+from repro.pathenc import label_document
+from repro.stats import collect_path_order, collect_pathid_frequencies
+
+
+def simple_cells():
+    """A small grid: pids 1..4 as columns, tags a..c as rows."""
+    return {
+        (1, "a"): 2,
+        (2, "a"): 2,
+        (3, "a"): 2,
+        (1, "b"): 2,
+        (2, "b"): 2,
+        (4, "c"): 9,
+    }
+
+
+class TestConstruction:
+    def test_exact_at_zero_variance(self):
+        cells = simple_cells()
+        histogram = build_ohistogram("x", "+ele", cells, [1, 2, 3, 4], 0)
+        for (pid, tag), count in cells.items():
+            assert histogram.lookup(pid, tag) == pytest.approx(count)
+
+    def test_uncovered_cell_is_zero(self):
+        histogram = build_ohistogram("x", "+ele", simple_cells(), [1, 2, 3, 4], 0)
+        # (4, "a") and (1, "c") sit outside every bounding box; note that a
+        # box may legitimately cover empty cells *inside* its rectangle.
+        assert histogram.lookup(4, "a") == 0.0
+        assert histogram.lookup(1, "c") == 0.0
+        assert histogram.lookup(1, "zz") == 0.0
+        assert histogram.lookup(99, "a") == 0.0
+
+    def test_uniform_grid_collapses_to_one_box(self):
+        cells = {(p, t): 5 for p in (1, 2, 3) for t in ("a", "b")}
+        histogram = build_ohistogram("x", "+ele", cells, [1, 2, 3], 0)
+        assert histogram.bucket_count == 1
+        bucket = histogram.buckets[0]
+        assert (bucket.x_start, bucket.y_start, bucket.x_end, bucket.y_end) == (0, 0, 2, 1)
+        assert bucket.avg_frequency == 5
+
+    def test_boxes_do_not_overlap(self):
+        histogram = build_ohistogram("x", "+ele", simple_cells(), [1, 2, 3, 4], 5)
+        covered = set()
+        for bucket in histogram.buckets:
+            for x in range(bucket.x_start, bucket.x_end + 1):
+                for y in range(bucket.y_start, bucket.y_end + 1):
+                    assert (x, y) not in covered
+                    covered.add((x, y))
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            build_ohistogram("x", "+ele", simple_cells(), [1, 2, 3, 4], -0.5)
+
+
+class TestProperties:
+    @settings(deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(min_value=1, max_value=8), st.sampled_from("abcde")),
+            st.integers(min_value=1, max_value=40),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0, max_value=20),
+    )
+    def test_invariants(self, cells, variance):
+        pid_order = sorted({pid for pid, _ in cells})
+        histogram = build_ohistogram("x", "ele+", cells, pid_order, variance)
+        # Every non-empty cell is covered and approximated within the
+        # bucket-variance bound.
+        row_of = {t: i for i, t in enumerate(sorted({t for _, t in cells}))}
+        col_of = {p: i for i, p in enumerate(pid_order)}
+        assignment = {}
+        for bucket in histogram.buckets:
+            for (pid, tag), count in cells.items():
+                if bucket.covers(col_of[pid], row_of[tag]):
+                    assert (pid, tag) not in assignment
+                    assignment[(pid, tag)] = bucket
+        assert set(assignment) == set(cells)
+        # Variance bound holds over each bucket's non-empty cells.
+        for bucket in histogram.buckets:
+            values = [
+                count for (pid, tag), count in cells.items()
+                if bucket.covers(col_of[pid], row_of[tag])
+            ]
+            assert bucket_std_dev(values) <= variance + 1e-6
+            assert bucket.avg_frequency == pytest.approx(sum(values) / len(values))
+
+    @settings(deadline=None)
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(min_value=1, max_value=6), st.sampled_from("abc")),
+            st.integers(min_value=1, max_value=9),
+            min_size=1,
+            max_size=18,
+        )
+    )
+    def test_zero_variance_exact(self, cells):
+        pid_order = sorted({pid for pid, _ in cells})
+        histogram = build_ohistogram("x", "+ele", cells, pid_order, 0)
+        for (pid, tag), count in cells.items():
+            assert histogram.lookup(pid, tag) == pytest.approx(count)
+
+
+class TestSet:
+    def build_set(self, labeled, p_variance, o_variance):
+        freq_table = collect_pathid_frequencies(labeled)
+        order_table = collect_path_order(labeled)
+        phistograms = PHistogramSet.from_table(freq_table, p_variance)
+        return OHistogramSet.from_table(order_table, phistograms, o_variance)
+
+    def test_figure2b_lookup(self, figure1_labeled, pid):
+        ohistograms = self.build_set(figure1_labeled, 0, 0)
+        assert ohistograms.order_count("B", pid[5], "C", before=True) == 1
+        assert ohistograms.order_count("B", pid[5], "C", before=False) == 2
+        assert ohistograms.order_count("B", pid[8], "C", before=True) == 0
+
+    def test_unknown_tag(self, figure1_labeled, pid):
+        ohistograms = self.build_set(figure1_labeled, 0, 0)
+        assert ohistograms.order_count("nope", pid[1], "B", before=True) == 0
+
+    def test_memory_decreases_with_variance(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        sizes = [
+            self.build_set(labeled, 0, v).size_bytes() for v in (0, 1, 4, 10)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] > 0
+
+    def test_total_buckets_positive(self, figure1_labeled):
+        ohistograms = self.build_set(figure1_labeled, 0, 0)
+        assert ohistograms.total_buckets() > 0
+        assert ohistograms.size_bytes() == ohistograms.total_buckets() * 12

@@ -1,0 +1,104 @@
+"""Tests for the p-histogram (Algorithm 1, Figure 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.histograms.phistogram import PHistogramSet, build_phistogram
+from repro.histograms.variance import bucket_std_dev
+from repro.pathenc import label_document
+from repro.stats import collect_pathid_frequencies
+
+
+# The Figure 7 example list: (p2,2) (p3,2) (p1,5) (p5,7)
+FIGURE7 = [(2, 2), (3, 2), (1, 5), (5, 7)]
+
+
+class TestFigure7:
+    def test_variance_zero(self):
+        histogram = build_phistogram("x", FIGURE7, 0)
+        groups = [set(bucket.pathids) for bucket in histogram.buckets]
+        assert groups == [{2, 3}, {1}, {5}]
+        assert [b.avg_frequency for b in histogram.buckets] == [2, 5, 7]
+
+    def test_variance_one(self):
+        histogram = build_phistogram("x", FIGURE7, 1)
+        groups = [set(bucket.pathids) for bucket in histogram.buckets]
+        # Figure 7: {p2,p3} with avg 2 and {p1,p5} with avg 6.
+        assert groups == [{2, 3}, {1, 5}]
+        assert [b.avg_frequency for b in histogram.buckets] == [2, 6]
+
+    def test_bucket_variance_bounded(self):
+        histogram = build_phistogram("x", FIGURE7, 1)
+        freq_of = dict(FIGURE7)
+        for bucket in histogram.buckets:
+            values = [freq_of[p] for p in bucket.pathids]
+            assert bucket_std_dev(values) <= 1 + 1e-9
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=1000), st.integers(min_value=1, max_value=500)),
+            min_size=1,
+            max_size=60,
+            unique_by=lambda pair: pair[0],
+        ),
+        st.floats(min_value=0, max_value=50),
+    )
+    def test_invariants(self, pairs, variance):
+        histogram = build_phistogram("t", pairs, variance)
+        freq_of = dict(pairs)
+        # Every pid appears exactly once across buckets.
+        seen = [p for bucket in histogram.buckets for p in bucket.pathids]
+        assert sorted(seen) == sorted(freq_of)
+        # Buckets respect the variance threshold and store true means.
+        for bucket in histogram.buckets:
+            values = [freq_of[p] for p in bucket.pathids]
+            assert bucket_std_dev(values) <= variance + 1e-6
+            assert bucket.avg_frequency == pytest.approx(sum(values) / len(values))
+        # Total mass is preserved by bucket averages.
+        total = sum(len(b) * b.avg_frequency for b in histogram.buckets)
+        assert total == pytest.approx(sum(freq_of.values()))
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=1, max_value=100), st.integers(min_value=1, max_value=50)),
+        min_size=1, max_size=30, unique_by=lambda pair: pair[0]))
+    def test_variance_zero_is_exact(self, pairs):
+        histogram = build_phistogram("t", pairs, 0)
+        for pid, freq in pairs:
+            assert histogram.approx_frequency(pid) == pytest.approx(freq)
+
+    def test_monotone_bucket_count(self):
+        pairs = [(i, i * 3 % 17 + 1) for i in range(1, 40)]
+        counts = [len(build_phistogram("t", pairs, v).buckets) for v in (0, 1, 2, 4, 8)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            build_phistogram("t", FIGURE7, -1)
+
+
+class TestSet:
+    def test_from_table_exact_at_zero(self, figure1_labeled, pid):
+        table = collect_pathid_frequencies(figure1_labeled)
+        histograms = PHistogramSet.from_table(table, 0)
+        assert histograms.frequency_map("B") == {pid[5]: 3.0, pid[8]: 1.0}
+        assert histograms.frequency_pairs("unknown") == []
+
+    def test_memory_decreases_with_variance(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        table = collect_pathid_frequencies(labeled)
+        sizes = [
+            PHistogramSet.from_table(table, v).size_bytes(labeled.pathid_size_bytes())
+            for v in (0, 1, 5, 10)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] > 0
+
+    def test_pid_order_matches_approx_pairs(self, figure1_labeled):
+        table = collect_pathid_frequencies(figure1_labeled)
+        histograms = PHistogramSet.from_table(table, 1)
+        for tag in histograms.tags():
+            histogram = histograms.histogram(tag)
+            assert histogram.pid_order() == [p for p, _ in histogram.approx_pairs()]

@@ -1,0 +1,71 @@
+"""Tests for the running variance tracker, including hypothesis checks."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.histograms.variance import RunningVariance, bucket_std_dev
+
+
+class TestRunningVariance:
+    def test_empty(self):
+        tracker = RunningVariance()
+        assert tracker.std_dev == 0.0
+        assert tracker.mean == 0.0
+
+    def test_single_value(self):
+        tracker = RunningVariance()
+        tracker.add(5)
+        assert tracker.std_dev == 0.0
+        assert tracker.mean == 5.0
+
+    def test_paper_formula(self):
+        # v_b = sqrt(((f1-avg)^2 + ... + (fk-avg)^2) / k)
+        tracker = RunningVariance()
+        for value in (2, 2, 5, 7):
+            tracker.add(value)
+        expected = math.sqrt(((2 - 4) ** 2 + (2 - 4) ** 2 + (5 - 4) ** 2 + (7 - 4) ** 2) / 4)
+        assert tracker.std_dev == pytest.approx(expected)
+
+    def test_remove(self):
+        tracker = RunningVariance()
+        tracker.add(1)
+        tracker.add(9)
+        tracker.remove(9)
+        assert tracker.count == 1
+        assert tracker.std_dev == pytest.approx(0.0, abs=1e-9)
+
+    def test_remove_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningVariance().remove(1)
+
+    def test_would_exceed_matches_actual_add(self):
+        tracker = RunningVariance()
+        tracker.add(1)
+        tracker.add(2)
+        assert tracker.would_exceed(100, threshold=1.0)
+        assert not tracker.would_exceed(2, threshold=1.0)
+
+
+class TestAgainstReference:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50))
+    def test_matches_one_shot_formula(self, values):
+        tracker = RunningVariance()
+        for value in values:
+            tracker.add(value)
+        assert tracker.std_dev == pytest.approx(bucket_std_dev(values), abs=1e-6, rel=1e-6)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10**4), min_size=1, max_size=30),
+        st.integers(min_value=0, max_value=10**4),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_would_exceed_is_consistent(self, values, extra, threshold):
+        tracker = RunningVariance()
+        for value in values:
+            tracker.add(value)
+        prediction = tracker.would_exceed(extra, threshold)
+        actual = bucket_std_dev(values + [extra]) > threshold + 1e-12
+        assert prediction == actual

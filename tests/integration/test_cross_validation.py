@@ -1,0 +1,75 @@
+"""Systematic accuracy matrix: datasets × provider modes × query classes.
+
+One table of error bounds, asserted in full — a broad regression tripwire
+for the whole estimation stack.  Bounds are intentionally loose (they are
+ceilings, not targets); the benchmarks report the precise values.
+"""
+
+import pytest
+
+from repro.core.system import EstimationSystem
+from repro.harness.metrics import relative_error
+from repro.workload import WorkloadGenerator
+
+# (dataset fixture, mode, query class) -> mean-error ceiling
+BOUNDS = [
+    ("ssplays_small", "exact", "simple", 1e-9),
+    ("ssplays_small", "exact", "branch", 0.10),
+    ("ssplays_small", "exact", "order_branch", 0.45),
+    ("ssplays_small", "exact", "order_trunk", 0.15),
+    ("ssplays_small", "histogram-v2", "simple", 0.35),
+    ("ssplays_small", "histogram-v2", "branch", 0.40),
+    ("dblp_small", "exact", "simple", 1e-9),
+    ("dblp_small", "exact", "branch", 0.05),
+    ("dblp_small", "exact", "order_branch", 0.30),
+    ("dblp_small", "exact", "order_trunk", 0.05),
+    ("xmark_small", "exact", "simple", 0.15),
+    ("xmark_small", "exact", "branch", 0.25),
+    ("xmark_small", "depth-refined", "simple", 1e-9),
+    ("xmark_small", "depth-refined", "branch", 0.20),
+]
+
+_WORKLOADS = {}
+_SYSTEMS = {}
+
+
+def workload_for(request, fixture_name):
+    if fixture_name not in _WORKLOADS:
+        document = request.getfixturevalue(fixture_name)
+        generator = WorkloadGenerator(document, seed=47)
+        _WORKLOADS[fixture_name] = generator.full_workload(150, 150, 200)
+    return _WORKLOADS[fixture_name]
+
+
+def system_for(request, fixture_name, mode):
+    key = (fixture_name, mode)
+    if key not in _SYSTEMS:
+        document = request.getfixturevalue(fixture_name)
+        if mode == "exact":
+            system = EstimationSystem.build(
+                document, p_variance=0, o_variance=0, build_binary_tree=False
+            )
+        elif mode == "depth-refined":
+            system = EstimationSystem.build(
+                document, use_histograms=False, depth_refined=True,
+                build_binary_tree=False,
+            )
+        else:  # histogram-v2
+            system = EstimationSystem.build(
+                document, p_variance=2, o_variance=2, build_binary_tree=False
+            )
+        _SYSTEMS[key] = system
+    return _SYSTEMS[key]
+
+
+@pytest.mark.parametrize("fixture_name,mode,klass,bound", BOUNDS)
+def test_error_matrix(request, fixture_name, mode, klass, bound):
+    workload = workload_for(request, fixture_name)
+    items = getattr(workload, klass)
+    assert items, "empty workload class %s on %s" % (klass, fixture_name)
+    system = system_for(request, fixture_name, mode)
+    errors = [relative_error(system.estimate(i.query), i.actual) for i in items]
+    mean = sum(errors) / len(errors)
+    assert mean <= bound, "%s/%s/%s: mean error %.4f > bound %.4f" % (
+        fixture_name, mode, klass, mean, bound
+    )

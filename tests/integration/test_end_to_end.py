@@ -1,0 +1,99 @@
+"""End-to-end pipeline tests on the three (small-scale) datasets.
+
+These integration tests assert the *shapes* the paper's evaluation relies
+on, at reduced scale so they stay fast.
+"""
+
+import pytest
+
+from repro.core.system import EstimationSystem
+from repro.harness.metrics import ErrorSummary, relative_error
+from repro.workload import WorkloadGenerator
+
+
+def mean_error(system, items):
+    errors = [relative_error(system.estimate(i.query), i.actual) for i in items]
+    return ErrorSummary.from_errors(errors).mean
+
+
+@pytest.fixture(scope="module")
+def ssplays_env(ssplays_small):
+    gen = WorkloadGenerator(ssplays_small, seed=13)
+    return ssplays_small, gen.full_workload(raw_simple=120, raw_branch=120, raw_order=150)
+
+
+class TestExactStatisticsAccuracy:
+    def test_simple_queries_exact(self, ssplays_env):
+        document, workload = ssplays_env
+        system = EstimationSystem.build(document, p_variance=0)
+        assert mean_error(system, workload.simple) == pytest.approx(0.0, abs=1e-9)
+
+    def test_branch_queries_small_error(self, ssplays_env):
+        document, workload = ssplays_env
+        system = EstimationSystem.build(document, p_variance=0)
+        assert mean_error(system, workload.branch) < 0.10
+
+    def test_order_trunk_small_error(self, ssplays_env):
+        document, workload = ssplays_env
+        system = EstimationSystem.build(document, p_variance=0, o_variance=0)
+        assert mean_error(system, workload.order_trunk) < 0.15
+
+    def test_order_branch_bounded_error(self, ssplays_env):
+        document, workload = ssplays_env
+        system = EstimationSystem.build(document, p_variance=0, o_variance=0)
+        assert mean_error(system, workload.order_branch) < 0.45
+
+    def test_dblp_everything_tight(self, dblp_small):
+        gen = WorkloadGenerator(dblp_small, seed=13)
+        workload = gen.full_workload(raw_simple=80, raw_branch=80, raw_order=100)
+        system = EstimationSystem.build(dblp_small, p_variance=0, o_variance=0)
+        assert mean_error(system, workload.simple) == pytest.approx(0.0, abs=1e-9)
+        assert mean_error(system, workload.branch) < 0.05
+        assert mean_error(system, workload.order_trunk) < 0.05
+
+
+class TestVarianceDegradation:
+    def test_error_monotone_in_p_variance(self, ssplays_env):
+        document, workload = ssplays_env
+        items = workload.simple + workload.branch
+        errors = [
+            mean_error(EstimationSystem.build(document, p_variance=v), items)
+            for v in (0, 4, 12)
+        ]
+        assert errors[0] <= errors[1] + 0.02
+        assert errors[0] <= errors[2] + 0.02
+
+    def test_memory_error_tradeoff_exists(self, ssplays_env):
+        document, workload = ssplays_env
+        items = workload.simple + workload.branch
+        tight = EstimationSystem.build(document, p_variance=0)
+        loose = EstimationSystem.build(document, p_variance=12)
+        assert (
+            loose.summary_sizes()["p_histogram"]
+            < tight.summary_sizes()["p_histogram"]
+        )
+        assert mean_error(tight, items) <= mean_error(loose, items) + 1e-9
+
+
+class TestXMarkRecursion:
+    def test_depth_consistent_beats_pairwise(self, xmark_small):
+        gen = WorkloadGenerator(xmark_small, seed=13)
+        items = gen.simple_queries(150)
+        system = EstimationSystem.build(xmark_small, p_variance=0)
+        depth_errors = [
+            relative_error(system.estimate(i.query, depth_consistent=True), i.actual)
+            for i in items
+        ]
+        pairwise_errors = [
+            relative_error(system.estimate(i.query, depth_consistent=False), i.actual)
+            for i in items
+        ]
+        depth_mean = sum(depth_errors) / len(depth_errors)
+        pairwise_mean = sum(pairwise_errors) / len(pairwise_errors)
+        assert depth_mean <= pairwise_mean + 1e-9
+
+    def test_residual_error_is_moderate(self, xmark_small):
+        gen = WorkloadGenerator(xmark_small, seed=13)
+        items = gen.simple_queries(120)
+        system = EstimationSystem.build(xmark_small, p_variance=0)
+        assert mean_error(system, items) < 0.15

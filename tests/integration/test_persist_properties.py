@@ -1,0 +1,56 @@
+"""Property test: persistence round-trips estimates on random documents."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import EstimationSystem
+from repro.persist import dumps, loads
+from repro.workload import WorkloadGenerator
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+
+
+@st.composite
+def random_document(draw) -> XmlDocument:
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    tags = "abcde"
+
+    def grow(node, depth):
+        if depth > 3:
+            return
+        for _ in range(rng.randint(0, 3)):
+            grow(node.append(el(rng.choice(tags))), depth + 1)
+
+    root = el("r")
+    grow(root, 1)
+    for _ in range(2):  # ensure some siblings for order statistics
+        root.append(el(rng.choice(tags)))
+    return XmlDocument(root)
+
+
+class TestPersistenceProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        random_document(),
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from([0.0, 1.0, 4.0]),
+    )
+    def test_roundtrip_preserves_estimates(self, document, seed, variance):
+        original = EstimationSystem.build(
+            document, p_variance=variance, o_variance=variance,
+            build_binary_tree=False,
+        )
+        restored = loads(dumps(original))
+        generator = WorkloadGenerator(document, seed=seed)
+        items = generator.simple_queries(8) + generator.branch_queries(8)
+        branch_items, trunk_items = generator.order_queries(8)
+        for item in items + branch_items + trunk_items:
+            assert restored.estimate(item.query) == pytest.approx(
+                original.estimate(item.query)
+            )

@@ -1,0 +1,143 @@
+"""Property-based tests over randomly generated documents and queries.
+
+Strategies generate *non-recursive* documents (tags are distinct per tree
+level) so Theorem 4.1's exactness applies, plus random queries derived from
+real root-to-leaf paths so positivity is known by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import EstimationSystem
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+from repro.xpath import Evaluator
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_document(draw) -> XmlDocument:
+    """A small random tree; level-indexed tags prevent recursion."""
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    max_depth = draw(st.integers(min_value=1, max_value=4))
+    labels_per_level = draw(st.integers(min_value=1, max_value=3))
+
+    def grow(node: XmlNode, depth: int) -> None:
+        if depth > max_depth:
+            return
+        for _ in range(rng.randint(0, 3)):
+            child = node.append(
+                el("L%d%s" % (depth, "abc"[rng.randrange(labels_per_level)]))
+            )
+            grow(child, depth + 1)
+
+    root = el("root")
+    grow(root, 1)
+    return XmlDocument(root)
+
+
+def random_chain_query(document: XmlDocument, rng: random.Random) -> Query:
+    """A random subsequence of a real root-to-leaf path (always positive)."""
+    paths = document.distinct_root_to_leaf_paths()
+    labels = rng.choice(paths).split("/")
+    count = rng.randint(1, len(labels))
+    positions = sorted(rng.sample(range(len(labels)), count))
+    head = QueryNode(labels[positions[0]])
+    head_axis = QueryAxis.CHILD if positions[0] == 0 else QueryAxis.DESCENDANT
+    node = head
+    for prev, cur in zip(positions, positions[1:]):
+        axis = QueryAxis.CHILD if cur == prev + 1 else QueryAxis.DESCENDANT
+        node = node.add_edge(axis, QueryNode(labels[cur]), is_predicate=False)
+    return Query(head, head_axis)
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+class TestTheorem41Property:
+    @settings(max_examples=40, deadline=None)
+    @given(random_document(), st.integers(min_value=0, max_value=10**6))
+    def test_simple_queries_exact_at_v0(self, document, query_seed):
+        rng = random.Random(query_seed)
+        system = EstimationSystem.build(
+            document, p_variance=0, build_binary_tree=False
+        )
+        evaluator = Evaluator(document)
+        for _ in range(5):
+            query = random_chain_query(document, rng)
+            assert system.estimate(query) == pytest.approx(
+                float(evaluator.selectivity(query))
+            )
+
+
+class TestSoundnessProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(random_document(), st.integers(min_value=0, max_value=10**6))
+    def test_positive_queries_get_positive_estimates(self, document, seed):
+        """actual > 0 implies estimate > 0 (the join never over-prunes)."""
+        rng = random.Random(seed)
+        system = EstimationSystem.build(
+            document, p_variance=0, o_variance=0, build_binary_tree=False
+        )
+        evaluator = Evaluator(document)
+        # Random branch query: two chains merged at a shared prefix node.
+        for _ in range(5):
+            q1 = random_chain_query(document, rng)
+            q2 = random_chain_query(document, rng)
+            shared = {n.tag for n in q1.nodes()} & {n.tag for n in q2.nodes()}
+            if not shared:
+                continue
+            tag = sorted(shared)[0]
+            host = next(n for n in q1.nodes() if n.tag == tag)
+            graft_source = next(n for n in q2.nodes() if n.tag == tag)
+            inline = graft_source.inline_edge()
+            if inline is None:
+                continue
+            clone = _clone_chain(inline.node)
+            host.edges = list(host.edges) + [
+                inline._replace(node=clone, is_predicate=True)
+            ]
+            query = Query(q1.root, q1.root_axis)
+            actual = evaluator.selectivity(query)
+            estimate = system.estimate(query)
+            assert estimate >= 0.0
+            if actual > 0:
+                assert estimate > 0.0
+
+
+def _clone_chain(node: QueryNode) -> QueryNode:
+    copy = QueryNode(node.tag)
+    for edge in node.edges:
+        copy.edges.append(edge._replace(node=_clone_chain(edge.node)))
+    return copy
+
+
+class TestHistogramDegradation:
+    @settings(max_examples=15, deadline=None)
+    @given(random_document())
+    def test_total_mass_preserved_at_any_variance(self, document):
+        """Bucket averages keep each tag's total frequency."""
+        for variance in (0, 1, 5):
+            system = EstimationSystem.build(
+                document, p_variance=variance, build_binary_tree=False
+            )
+            for tag in system.pathid_table.tags():
+                exact_total = system.pathid_table.total_frequency(tag)
+                approx_total = sum(
+                    freq for _, freq in system.path_provider.frequency_pairs(tag)
+                )
+                assert approx_total == pytest.approx(exact_total)

@@ -1,0 +1,94 @@
+"""Tests for the path-id binary tree (Section 6, Figure 6)."""
+
+import random
+
+import pytest
+
+from repro.pathenc.bintree import PathIdBinaryTree
+from repro.pathenc import label_document
+
+
+@pytest.fixture()
+def figure1_tree(pid):
+    pids = [pid[i] for i in range(1, 10)]
+    return PathIdBinaryTree(pids, width=4)
+
+
+class TestConstruction:
+    def test_counts(self, figure1_tree):
+        assert figure1_tree.count == 9
+        assert figure1_tree.width == 4
+        assert figure1_tree.full_node_count > 9
+
+    def test_requires_sorted_distinct(self):
+        with pytest.raises(ValueError):
+            PathIdBinaryTree([3, 1], width=4)
+        with pytest.raises(ValueError):
+            PathIdBinaryTree([1, 1], width=4)
+        with pytest.raises(ValueError):
+            PathIdBinaryTree([], width=4)
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            PathIdBinaryTree([16], width=4)
+
+
+class TestLookup:
+    def test_bits_of_ordinal_all(self, figure1_tree, pid):
+        for ordinal in range(1, 10):
+            assert figure1_tree.bits_of_ordinal(ordinal) == pid[ordinal]
+
+    def test_ordinal_of_bits_all(self, figure1_tree, pid):
+        for ordinal in range(1, 10):
+            assert figure1_tree.ordinal_of_bits(pid[ordinal]) == ordinal
+
+    def test_missing_pid(self, figure1_tree):
+        with pytest.raises(KeyError):
+            figure1_tree.ordinal_of_bits(0b0101)
+
+    def test_out_of_range_ordinal(self, figure1_tree):
+        with pytest.raises(KeyError):
+            figure1_tree.bits_of_ordinal(0)
+        with pytest.raises(KeyError):
+            figure1_tree.bits_of_ordinal(10)
+
+
+class TestCompression:
+    def test_compression_is_lossless(self, figure1_tree, pid):
+        figure1_tree.compress()
+        for ordinal in range(1, 10):
+            assert figure1_tree.bits_of_ordinal(ordinal) == pid[ordinal]
+            assert figure1_tree.ordinal_of_bits(pid[ordinal]) == ordinal
+
+    def test_compression_shrinks(self, figure1_tree):
+        before = figure1_tree.full_node_count
+        figure1_tree.compress()
+        assert figure1_tree.compressed_node_count < before
+
+    def test_compress_idempotent(self, figure1_tree):
+        once = figure1_tree.compress().compressed_node_count
+        again = figure1_tree.compress().compressed_node_count
+        assert once == again
+
+    def test_size_bytes_uses_current_state(self, figure1_tree):
+        full = figure1_tree.size_bytes()
+        figure1_tree.compress()
+        assert figure1_tree.size_bytes() < full
+
+    def test_random_pids_lossless(self):
+        rng = random.Random(5)
+        width = 24
+        for _ in range(20):
+            count = rng.randint(1, 60)
+            pids = sorted(rng.sample(range(1, 1 << width), count))
+            tree = PathIdBinaryTree(pids, width).compress()
+            for ordinal, value in enumerate(pids, start=1):
+                assert tree.bits_of_ordinal(ordinal) == value
+                assert tree.ordinal_of_bits(value) == ordinal
+
+    def test_xmark_like_compression_saves_space(self, xmark_small):
+        labeled = label_document(xmark_small)
+        tree = PathIdBinaryTree(labeled.distinct_pathids(), labeled.width)
+        tree.compress()
+        # The paper reports ~78% savings vs the pid table for XMark.
+        assert tree.size_bytes() < labeled.pathid_table_size_bytes()

@@ -1,0 +1,100 @@
+"""Unit tests for the encoding table."""
+
+import pytest
+
+from repro.pathenc.encoding import EncodingTable
+
+
+@pytest.fixture()
+def table(figure1):
+    return EncodingTable.from_document(figure1)
+
+
+class TestMapping:
+    def test_figure1_encodings(self, table):
+        assert len(table) == 4
+        assert table.encoding_of("Root/A/B/D") == 1
+        assert table.encoding_of("Root/A/B/E") == 2
+        assert table.encoding_of("Root/A/C/E") == 3
+        assert table.encoding_of("Root/A/C/F") == 4
+
+    def test_path_of_roundtrip(self, table):
+        for path in table.all_paths():
+            assert table.path_of(table.encoding_of(path)) == path
+
+    def test_labels_of(self, table):
+        assert table.labels_of(1) == ("Root", "A", "B", "D")
+
+    @pytest.mark.parametrize("encoding", [0, 5])
+    def test_bad_encoding(self, table, encoding):
+        with pytest.raises(KeyError):
+            table.path_of(encoding)
+
+    def test_unknown_path(self, table):
+        with pytest.raises(KeyError):
+            table.encoding_of("Root/Z")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            EncodingTable(["a/b", "a/b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EncodingTable([])
+
+
+class TestTagRelationships:
+    def test_parent_child(self, table):
+        # Example 2.2: on path 1, A is the parent of B.
+        assert table.tag_below(1, "A", "B", immediate=True)
+        assert not table.tag_below(1, "A", "D", immediate=True)
+
+    def test_ancestor_descendant(self, table):
+        assert table.tag_below(1, "A", "D", immediate=False)
+        assert table.tag_below(1, "Root", "D", immediate=False)
+        assert not table.tag_below(1, "D", "A", immediate=False)
+
+    def test_missing_tags(self, table):
+        assert not table.tag_below(1, "Z", "B", immediate=False)
+        assert not table.tag_below(1, "A", "Z", immediate=False)
+
+    def test_recursive_path(self):
+        table = EncodingTable(["r/x/x/y"])
+        assert table.tag_below(1, "x", "x", immediate=True)
+        assert table.tag_below(1, "x", "y", immediate=True)
+        assert table.tag_below(1, "r", "y", immediate=False)
+
+    def test_tag_at_root(self, table):
+        assert table.tag_at_root(1, "Root")
+        assert not table.tag_at_root(1, "A")
+
+    def test_tags_between(self, table):
+        assert table.tags_between(1, "A", "D") == ("B",)
+        assert table.tags_between(1, "A", "B") == ()
+        assert table.tags_between(1, "B", "A") is None
+
+
+class TestTagDepths:
+    def test_unique_depths(self, table):
+        assert table.tag_depths("Root", 0b1111) == (0,)
+        assert table.tag_depths("A", 0b1100) == (1,)
+        assert table.tag_depths("D", 0b1000) == (3,)
+
+    def test_tag_not_on_all_paths(self, table):
+        # B is at depth 2 on paths 1-2 but absent from 3-4.
+        assert table.tag_depths("B", 0b1111) == ()
+        assert table.tag_depths("B", 0b1100) == (2,)
+
+    def test_recursive_ambiguity(self):
+        table = EncodingTable(["r/x/x/y"])
+        assert table.tag_depths("x", 0b1) == (1, 2)
+
+    def test_cache_stable(self, table):
+        first = table.tag_depths("A", 0b1010)
+        assert table.tag_depths("A", 0b1010) == first
+
+
+class TestSize:
+    def test_size_bytes(self, table):
+        expected = sum(len(p) + 4 for p in table.all_paths())
+        assert table.size_bytes() == expected

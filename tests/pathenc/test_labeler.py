@@ -1,0 +1,88 @@
+"""Tests for path-id assignment (reproduces Figure 1 exactly)."""
+
+import pytest
+
+from repro.pathenc import label_document
+from repro.pathenc.labeler import LabeledDocument
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+
+
+class TestFigure1Labels:
+    def test_distinct_pids_match_figure_1c(self, figure1_labeled, pid):
+        assert figure1_labeled.distinct_pathids() == [
+            pid[i] for i in range(1, 10)
+        ]
+
+    def test_pid_names(self, figure1_labeled, pid):
+        assert figure1_labeled.name_of(pid[3]) == "p3"
+        assert figure1_labeled.name_of(pid[9]) == "p9"
+
+    def test_root_pid(self, figure1_labeled, figure1, pid):
+        assert figure1_labeled.pathid_of(figure1.root) == pid[9]
+
+    def test_leaf_pids(self, figure1_labeled, figure1, pid):
+        # Example 2.1: the first leaf D has p5 (1000).
+        first_d = figure1.nodes_with_tag("D")[0]
+        assert figure1_labeled.pathid_of(first_d) == pid[5]
+
+    def test_internal_pid_is_or_of_children(self, figure1_labeled, figure1):
+        for node in figure1:
+            if node.children:
+                combined = 0
+                for child in node.children:
+                    combined |= figure1_labeled.pathid_of(child)
+                assert figure1_labeled.pathid_of(node) == combined
+
+    def test_a_pids(self, figure1_labeled, figure1, pid):
+        pids = sorted(figure1_labeled.pathid_of(a) for a in figure1.nodes_with_tag("A"))
+        assert pids == [pid[6], pid[7], pid[8]]
+
+    def test_format(self, figure1_labeled, pid):
+        assert figure1_labeled.format_pathid(pid[3]) == "0011"
+
+
+class TestInvariants:
+    def test_descendant_pid_subset_of_ancestor(self, figure1_labeled, figure1):
+        for node in figure1:
+            node_pid = figure1_labeled.pathid_of(node)
+            for descendant in node.iter_descendants():
+                desc_pid = figure1_labeled.pathid_of(descendant)
+                assert (node_pid & desc_pid) == desc_pid
+
+    def test_every_node_labeled(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        assert all(pid > 0 for pid in labeled.pathids)
+
+    def test_subset_invariant_on_dataset(self, xmark_small):
+        labeled = label_document(xmark_small)
+        for node in xmark_small:
+            if node.parent is not None:
+                parent_pid = labeled.pathids[node.parent.pre]
+                assert (parent_pid & labeled.pathids[node.pre]) == labeled.pathids[node.pre]
+
+    def test_ordinals_ascending(self, figure1_labeled):
+        pids = figure1_labeled.distinct_pathids()
+        assert pids == sorted(pids)
+        for index, value in enumerate(pids, start=1):
+            assert figure1_labeled.ordinal_of(value) == index
+
+
+class TestSizes:
+    def test_pathid_size_bytes(self, figure1_labeled):
+        assert figure1_labeled.pathid_size_bytes() == 1  # 4 bits -> 1 byte
+
+    def test_table_size(self, figure1_labeled):
+        assert figure1_labeled.pathid_table_size_bytes() == 9  # 9 pids x 1 byte
+
+
+class TestDeepDocument:
+    def test_no_recursion_limit(self):
+        # A 5000-deep chain would break naive recursion.
+        root = el("n0")
+        node = root
+        for i in range(1, 5000):
+            node = node.append(el("n%d" % (i % 3)))
+        labeled = label_document(XmlDocument(root))
+        assert labeled.width == 1
+        assert all(pid == 1 for pid in labeled.pathids)

@@ -1,0 +1,50 @@
+"""Tests for Case 1/Case 2 path-id compatibility (Section 2)."""
+
+import pytest
+
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.relationship import Axis, pid_is_root, pids_compatible
+
+
+@pytest.fixture()
+def table(figure1):
+    return EncodingTable.from_document(figure1)
+
+
+class TestCase1EqualPids:
+    def test_example_2_2(self, table, pid):
+        # A and B share p8 (1100): A is parent of B.
+        assert pids_compatible(table, "A", pid[8], "B", pid[8], Axis.CHILD)
+        assert pids_compatible(table, "A", pid[8], "B", pid[8], Axis.DESCENDANT)
+
+    def test_equal_pid_wrong_direction(self, table, pid):
+        assert not pids_compatible(table, "B", pid[8], "A", pid[8], Axis.CHILD)
+
+    def test_grandparent_not_child(self, table, pid):
+        assert not pids_compatible(table, "A", pid[5], "D", pid[5], Axis.CHILD)
+        assert pids_compatible(table, "A", pid[5], "D", pid[5], Axis.DESCENDANT)
+
+
+class TestCase2Containment:
+    def test_example_2_3(self, table, pid):
+        # p3 (0011) of C contains p2 (0010) of E; C is parent of E.
+        assert pids_compatible(table, "C", pid[3], "E", pid[2], Axis.CHILD)
+
+    def test_not_subset_incompatible(self, table, pid):
+        # p2 (0010) does not contain p1 (0001): Example 4.1 prunes it.
+        assert not pids_compatible(table, "C", pid[2], "F", pid[1], Axis.DESCENDANT)
+
+    def test_a_contains_c(self, table, pid):
+        assert pids_compatible(table, "A", pid[7], "C", pid[3], Axis.CHILD)
+        assert not pids_compatible(table, "A", pid[8], "C", pid[3], Axis.CHILD)
+
+    def test_wrong_tags_on_common_path(self, table, pid):
+        # D's p5 covers only path 1 where F never occurs.
+        assert not pids_compatible(table, "D", pid[5], "F", pid[5], Axis.DESCENDANT)
+
+
+class TestRoot:
+    def test_pid_is_root(self, table, pid):
+        assert pid_is_root(table, "Root", pid[9])
+        assert not pid_is_root(table, "A", pid[7])
+        assert not pid_is_root(table, "Root", 0)

@@ -1,0 +1,94 @@
+"""Tests for the depth-refined statistics extension."""
+
+import pytest
+
+from repro.core.noorder import estimate_no_order
+from repro.core.providers import ExactPathStats
+from repro.pathenc import label_document
+from repro.stats import collect_pathid_frequencies
+from repro.stats.depth_refined import DepthRefinedPathStats
+from repro.workload import WorkloadGenerator
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def chain_doc():
+    # r/x/x/y plus r/x/x/x/y: same-tag chains whose (tag, pid) groups mix
+    # depths — the case plain statistics cannot split.
+    root = el(
+        "r",
+        el("x", el("x", el("y"))),
+        el("x", el("x", el("x", el("y")))),
+    )
+    return XmlDocument(root)
+
+
+class TestCollection:
+    def test_totals_match_plain_table(self, xmark_small):
+        labeled = label_document(xmark_small)
+        plain = collect_pathid_frequencies(labeled)
+        refined = DepthRefinedPathStats.collect(labeled)
+        for tag in plain.tags():
+            assert refined.frequency_map(tag) == {
+                pid: float(freq) for pid, freq in plain.pairs(tag)
+            }
+
+    def test_depth_split(self, chain_doc):
+        labeled = label_document(chain_doc)
+        refined = DepthRefinedPathStats.collect(labeled)
+        depth_map = refined.depth_frequency_map("x")
+        all_depths = {d for per in depth_map.values() for d in per}
+        assert all_depths == {1, 2, 3}
+
+    def test_extra_entries_zero_without_recursion(self, dblp_small):
+        labeled = label_document(dblp_small)
+        refined = DepthRefinedPathStats.collect(labeled)
+        assert refined.extra_entries() == 0  # depth-unique schema
+
+    def test_extra_entries_positive_with_recursion(self, xmark_small):
+        labeled = label_document(xmark_small)
+        refined = DepthRefinedPathStats.collect(labeled)
+        assert refined.extra_entries() > 0
+
+
+class TestEstimation:
+    def test_resolves_chain_ambiguity(self, chain_doc):
+        labeled = label_document(chain_doc)
+        plain = ExactPathStats(collect_pathid_frequencies(labeled))
+        refined = DepthRefinedPathStats.collect(labeled)
+        evaluator = Evaluator(chain_doc)
+        table = labeled.encoding_table
+        for text in ("//x/$x", "//x/x/$x", "/r/$x", "//x/x/$y"):
+            query = parse_query(text)
+            actual = float(evaluator.selectivity(query))
+            refined_est = estimate_no_order(query, refined, table)
+            assert refined_est == pytest.approx(actual), text
+
+    def test_never_worse_than_plain_on_simple_queries(self, xmark_small):
+        labeled = label_document(xmark_small)
+        plain = ExactPathStats(collect_pathid_frequencies(labeled))
+        refined = DepthRefinedPathStats.collect(labeled)
+        items = WorkloadGenerator(xmark_small, seed=3).simple_queries(120)
+        table = labeled.encoding_table
+
+        def mean_error(provider):
+            errors = [
+                abs(estimate_no_order(i.query, provider, table) - i.actual) / i.actual
+                for i in items
+            ]
+            return sum(errors) / len(errors)
+
+        assert mean_error(refined) <= mean_error(plain) + 1e-9
+
+    def test_identical_on_depth_unique_schema(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        plain = ExactPathStats(collect_pathid_frequencies(labeled))
+        refined = DepthRefinedPathStats.collect(labeled)
+        items = WorkloadGenerator(ssplays_small, seed=3).simple_queries(60)
+        table = labeled.encoding_table
+        for item in items[:30]:
+            assert estimate_no_order(item.query, refined, table) == pytest.approx(
+                estimate_no_order(item.query, plain, table)
+            )

@@ -1,0 +1,109 @@
+"""Tests for the Path-Order table (Figure 2(b))."""
+
+from repro.pathenc import label_document
+from repro.stats import collect_path_order
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+
+
+class TestFigure2b:
+    def test_b_versus_c(self, figure1_labeled, pid):
+        table = collect_path_order(figure1_labeled)
+        grid = table.grid("B")
+        # Example 3.2: one B(p5) before C, two B(p5) after C.
+        assert grid.g_before(pid[5], "C") == 1
+        assert grid.g_after(pid[5], "C") == 2
+
+    def test_totals_are_not_symmetric_in_general(self):
+        # Existential per-element counts are asymmetric: in the group
+        # "a b b" one element precedes a b (the a... and the first b),
+        # but *two* b's follow an a plus one b follows a b.
+        from repro.pathenc import label_document
+        from repro.xmltree.builder import el
+        from repro.xmltree.document import XmlDocument
+
+        labeled = label_document(XmlDocument(el("r", el("a"), el("b"), el("b"))))
+        table = collect_path_order(labeled)
+        total_before = sum(
+            sum(grid.region(True).values()) for grid in table.iter_grids()
+        )
+        total_after = sum(
+            sum(grid.region(False).values()) for grid in table.iter_grids()
+        )
+        assert total_before == 2  # a-before-b, b-before-b
+        assert total_after == 3   # two b-after-a, one b-after-b
+
+    def test_counts_match_evaluator(self, figure1_labeled, figure1):
+        # The correct invariant: summed g_before(X, Y) equals the exact
+        # count of X elements with a following Y sibling.
+        from repro.xpath import Evaluator, parse_query
+
+        table = collect_path_order(figure1_labeled)
+        evaluator = Evaluator(figure1)
+        for x_tag, y_tag in (("B", "C"), ("C", "B"), ("D", "E"), ("E", "D")):
+            grid = table.grid(x_tag)
+            total = sum(grid.g_before(pid, y_tag) for pid in grid.column_pids())
+            query = parse_query("//$%s/folls::%s" % (x_tag, y_tag))
+            assert total == evaluator.selectivity(query)
+
+    def test_empty_cells_are_zero(self, figure1_labeled, pid):
+        table = collect_path_order(figure1_labeled)
+        assert table.grid("B").g_before(pid[8], "F") == 0
+        assert table.grid("nosuch").g_after(pid[1], "B") == 0
+
+
+class TestCountingSemantics:
+    def build(self, *children):
+        labeled = label_document(XmlDocument(el("r", *children)))
+        return collect_path_order(labeled), labeled
+
+    def test_counted_once_per_direction(self):
+        # a x a x a: middle 'a' has x on both sides -> counted in both
+        # regions; per the paper's note it appears in each region once.
+        table, labeled = self.build(el("a"), el("x"), el("a"), el("x"), el("a"))
+        grid = table.grid("a")
+        a_pid = labeled.pathids[1]
+        assert grid.g_before(a_pid, "x") == 2  # first and middle a
+        assert grid.g_after(a_pid, "x") == 2   # middle and last a
+
+    def test_multiple_same_siblings_counted_once(self):
+        # a followed by three x's: the a is still counted once.
+        table, labeled = self.build(el("a"), el("x"), el("x"), el("x"))
+        a_pid = labeled.pathids[1]
+        assert table.grid("a").g_before(a_pid, "x") == 1
+
+    def test_same_tag_pairs(self):
+        table, labeled = self.build(el("a"), el("a"), el("a"))
+        a_pid = labeled.pathids[1]
+        grid = table.grid("a")
+        assert grid.g_before(a_pid, "a") == 2
+        assert grid.g_after(a_pid, "a") == 2
+
+    def test_singleton_groups_produce_nothing(self):
+        table, _ = self.build(el("only", el("deep")))
+        assert table.grid("only").nonzero_cell_count() == 0
+        assert table.grid("deep").nonzero_cell_count() == 0
+
+    def test_grid_rows_and_columns(self):
+        table, labeled = self.build(el("a"), el("x"), el("b"))
+        grid = table.grid("x")
+        assert grid.row_tags() == ["a", "b"]
+        assert grid.column_pids() == [labeled.pathids[2]]
+
+
+class TestOnDatasets:
+    def test_dblp_has_big_order_tables(self, dblp_small):
+        labeled = label_document(dblp_small)
+        table = collect_path_order(labeled)
+        # The wide sibling groups of DBLP must produce substantial order
+        # data (the Section 7.1 observation).
+        assert table.total_nonzero_cells() > 50
+        assert "author" in table.tags()
+
+    def test_lookup_consistency(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        table = collect_path_order(labeled)
+        for grid in table.iter_grids():
+            for (cell_pid, other), count in grid.region(True).items():
+                assert count > 0
+                assert grid.g_before(cell_pid, other) == count

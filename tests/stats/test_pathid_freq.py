@@ -1,0 +1,57 @@
+"""Tests for the PathId-Frequency table (Figure 2(a))."""
+
+from repro.pathenc import label_document
+from repro.stats import collect_pathid_frequencies
+
+
+class TestFigure2a:
+    def test_exact_table(self, figure1_labeled, pid):
+        table = collect_pathid_frequencies(figure1_labeled)
+        assert table.pairs("A") == [(pid[6], 1), (pid[7], 1), (pid[8], 1)]
+        assert table.pairs("B") == [(pid[5], 3), (pid[8], 1)]
+        assert table.pairs("C") == [(pid[2], 1), (pid[3], 1)]
+        assert table.pairs("D") == [(pid[5], 4)]
+        assert table.pairs("E") == [(pid[2], 2), (pid[4], 1)]
+        assert table.pairs("F") == [(pid[1], 1)]
+        assert table.pairs("Root") == [(pid[9], 1)]
+
+    def test_tags(self, figure1_labeled):
+        table = collect_pathid_frequencies(figure1_labeled)
+        assert table.tags() == ["A", "B", "C", "D", "E", "F", "Root"]
+        assert "A" in table and "Z" not in table
+
+    def test_unknown_tag_empty(self, figure1_labeled):
+        table = collect_pathid_frequencies(figure1_labeled)
+        assert table.pairs("nope") == []
+        assert table.total_frequency("nope") == 0
+
+    def test_total_frequency_matches_tag_count(self, figure1_labeled, figure1):
+        table = collect_pathid_frequencies(figure1_labeled)
+        for tag in table.tags():
+            assert table.total_frequency(tag) == figure1.tag_count(tag)
+
+    def test_frequency_map(self, figure1_labeled, pid):
+        table = collect_pathid_frequencies(figure1_labeled)
+        assert table.frequency_map("B") == {pid[5]: 3, pid[8]: 1}
+
+    def test_distinct_pathid_count(self, figure1_labeled):
+        table = collect_pathid_frequencies(figure1_labeled)
+        assert table.distinct_pathid_count("A") == 3
+        assert table.distinct_pathid_count("F") == 1
+
+
+class TestOnDatasets:
+    def test_totals_cover_document(self, dblp_small):
+        labeled = label_document(dblp_small)
+        table = collect_pathid_frequencies(labeled)
+        total = sum(table.total_frequency(tag) for tag in table.tags())
+        assert total == len(dblp_small)
+
+    def test_iter_items_sorted(self, ssplays_small):
+        labeled = label_document(ssplays_small)
+        table = collect_pathid_frequencies(labeled)
+        tags = [tag for tag, _ in table.iter_items()]
+        assert tags == sorted(tags)
+        for _, pairs in table.iter_items():
+            pids = [p for p, _ in pairs]
+            assert pids == sorted(pids)

@@ -1,0 +1,87 @@
+"""Smoke tests for the benchmark modules at tiny scale.
+
+``pytest benchmarks/ --benchmark-only`` is the real run; these tests wire
+a miniature BenchContext and a stub ``benchmark`` fixture through a
+representative subset of the bench functions so that regressions in the
+experiment code surface in the plain test suite too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import benchmarks.conftest as bench_conftest
+from benchmarks.conftest import BenchContext
+from repro.harness.tables import clear_results, rendered_results
+
+
+class _StubBenchmark:
+    """Mimics pytest-benchmark's fixture: runs the callable once."""
+
+    def pedantic(self, target, rounds=1, iterations=1, args=(), kwargs=None):
+        return target(*args, **(kwargs or {}))
+
+    def __call__(self, target, *args, **kwargs):
+        return target(*args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx(tmp_path_factory):
+    """A BenchContext over miniature datasets and workloads."""
+    original_scale = bench_conftest.BENCH_SCALE
+    original_raw = bench_conftest.BENCH_RAW
+    bench_conftest.BENCH_SCALE = 0.3
+    bench_conftest.BENCH_RAW = 80
+    try:
+        yield BenchContext()
+    finally:
+        bench_conftest.BENCH_SCALE = original_scale
+        bench_conftest.BENCH_RAW = original_raw
+
+
+@pytest.fixture(autouse=True)
+def isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    clear_results()
+    yield
+    clear_results()
+
+
+class TestBenchSmoke:
+    def test_table1(self, tiny_ctx):
+        from benchmarks.bench_table1_datasets import test_table1_dataset_characteristics
+
+        test_table1_dataset_characteristics(tiny_ctx, _StubBenchmark())
+        assert "table1_datasets" in rendered_results()
+
+    def test_table3(self, tiny_ctx):
+        from benchmarks.bench_table3_space import test_table3_space_requirements
+
+        test_table3_space_requirements(tiny_ctx, _StubBenchmark())
+        assert "Binary Tree" in rendered_results() or "BinTree" in rendered_results()
+
+    def test_fig9(self, tiny_ctx):
+        from benchmarks.bench_fig9_memory import test_fig9_histogram_memory
+
+        test_fig9_histogram_memory(tiny_ctx, _StubBenchmark())
+        assert "Figure 9" in rendered_results()
+
+    def test_ablation_pathjoin(self, tiny_ctx):
+        from benchmarks.bench_ablation_pathjoin import test_ablation_pathjoin_variants
+
+        test_ablation_pathjoin_variants(tiny_ctx, _StubBenchmark())
+        assert "Ablation C" in rendered_results()
+
+    def test_structural_join(self, tiny_ctx):
+        from benchmarks.bench_structural_join import test_structural_join_pruning
+
+        test_structural_join_pruning(tiny_ctx, _StubBenchmark())
+        assert "path-id pruning" in rendered_results()
+
+    def test_ablation_depth_refined(self, tiny_ctx):
+        from benchmarks.bench_ablation_depth_refined import (
+            test_ablation_depth_refined_statistics,
+        )
+
+        test_ablation_depth_refined_statistics(tiny_ctx, _StubBenchmark())
+        assert "Ablation D" in rendered_results()

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmltree.serializer import serialize
+
+
+@pytest.fixture()
+def xml_file(tmp_path, figure1):
+    path = tmp_path / "figure1.xml"
+    path.write_text(serialize(figure1), encoding="utf-8")
+    return str(path)
+
+
+class TestStats:
+    def test_stats_on_file(self, xml_file, capsys):
+        assert main(["stats", "--file", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "elements" in out and "18" in out
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "--dataset", "SSPlays", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct tags" in out
+
+
+class TestEstimate:
+    def test_estimate_with_actual(self, xml_file, capsys):
+        code = main(["estimate", "--file", xml_file, "//A//$C", "--actual"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate: 2.000" in out
+        assert "actual:   2" in out
+
+    def test_estimate_with_explain(self, xml_file, capsys):
+        main(["estimate", "--file", xml_file, "//C[/$E]/F", "--explain"])
+        out = capsys.readouterr().out
+        assert "equation-2" in out
+
+    def test_order_query(self, xml_file, capsys):
+        main(["estimate", "--file", xml_file, "//A[/C[/F]/folls::$B/D]"])
+        assert "estimate: 1.000" in capsys.readouterr().out
+
+    def test_variance_flags(self, xml_file, capsys):
+        main(["estimate", "--file", xml_file, "//A/B", "--p-variance", "5"])
+        assert "estimate:" in capsys.readouterr().out
+
+
+class TestWorkload:
+    def test_counts_and_show(self, xml_file, capsys):
+        main(["workload", "--file", xml_file, "--raw", "40", "--show", "3"])
+        out = capsys.readouterr().out
+        assert "with order" in out
+        assert "simple" in out
+
+
+class TestPaths:
+    def test_path_listing(self, xml_file, capsys):
+        main(["paths", "--file", xml_file, "--limit", "0"])
+        out = capsys.readouterr().out
+        assert "Root/A/B/D" in out
+        assert "distinct path ids:           9" in out
+
+
+class TestParser:
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_file_and_dataset_exclusive(self, xml_file):
+        with pytest.raises(SystemExit):
+            main(["stats", "--file", xml_file, "--dataset", "DBLP"])

@@ -1,0 +1,189 @@
+"""Direct unit tests for helpers that were only covered indirectly."""
+
+import random
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.system import EstimationSystem
+from repro.datasets._text import (
+    person_name,
+    pick_count,
+    sentence,
+    title_text,
+    words,
+    year,
+)
+from repro.harness import SystemFactory
+from repro.histograms.equiwidth import EquiCountPHistogramSet
+from repro.histograms.ohistogram import OHistogramSet
+from repro.histograms.phistogram import PHistogramSet
+from repro.queryproc import IntervalIndex
+from repro.queryproc.structural import (
+    count_candidates_in_range,
+    siblings_ordered_after,
+    siblings_ordered_before,
+)
+from repro.stats import collect_path_order, collect_pathid_frequencies
+from repro.stats.path_order import TagOrderGrid, scan_sibling_group
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument, document_from_root
+from repro.xpath.ast import QueryAxis
+
+
+class TestQueryAxisProperties:
+    def test_partition(self):
+        structural = {a for a in QueryAxis if a.is_structural}
+        sibling = {a for a in QueryAxis if a.is_sibling_order}
+        scoped = {a for a in QueryAxis if a.is_scoped_order}
+        assert structural == {QueryAxis.CHILD, QueryAxis.DESCENDANT}
+        assert sibling == {QueryAxis.FOLLS, QueryAxis.PRES}
+        assert scoped == {QueryAxis.FOLL, QueryAxis.PRE}
+        assert not (structural & sibling) and not (sibling & scoped)
+
+    def test_forward(self):
+        assert QueryAxis.FOLLS.is_forward and QueryAxis.FOLL.is_forward
+        assert not QueryAxis.PRES.is_forward and not QueryAxis.PRE.is_forward
+
+
+class TestDocumentHelpers:
+    def test_document_from_root(self):
+        document = document_from_root(el("r", el("a")), name="n")
+        assert document.name == "n" and len(document) == 2
+
+    def test_renumber_after_mutation(self):
+        document = XmlDocument(el("r", el("a")))
+        document.root.append(el("b"))
+        document.renumber()
+        assert [n.tag for n in document] == ["r", "a", "b"]
+        assert document.tag_count("b") == 1
+
+
+class TestTextHelpers:
+    def test_deterministic(self):
+        a, b = random.Random(1), random.Random(1)
+        assert words(a, 2, 5) == words(b, 2, 5)
+        assert person_name(a) == person_name(b)
+
+    def test_sentence_shape(self):
+        text = sentence(random.Random(2))
+        assert text.endswith(".") and text[0].isupper()
+
+    def test_title_text_title_case(self):
+        assert title_text(random.Random(3)).istitle()
+
+    def test_year_range(self):
+        value = int(year(random.Random(4), 1990, 1999))
+        assert 1990 <= value <= 1999
+
+    def test_pick_count_respects_weights(self):
+        rng = random.Random(5)
+        draws = {pick_count(rng, [0, 1, 0]) for _ in range(50)}
+        assert draws == {1}
+
+    def test_pick_count_distribution_support(self):
+        rng = random.Random(6)
+        draws = {pick_count(rng, [1, 1, 1]) for _ in range(200)}
+        assert draws == {0, 1, 2}
+
+
+class TestScanSiblingGroup:
+    def test_shared_scanner_matches_collector(self, figure1_labeled):
+        from_table = collect_path_order(figure1_labeled)
+        grids = {}
+
+        def grid_for(tag):
+            return grids.setdefault(tag, TagOrderGrid(tag))
+
+        pathids = figure1_labeled.pathids
+        for parent in figure1_labeled.document:
+            scan_sibling_group(parent.children, lambda n: pathids[n.pre], grid_for)
+        for tag in from_table.tags():
+            assert grids[tag].region(True) == from_table.grid(tag).region(True)
+            assert grids[tag].region(False) == from_table.grid(tag).region(False)
+
+    def test_short_groups_noop(self):
+        called = []
+        scan_sibling_group([el("only")], lambda n: 1, lambda t: called.append(t))
+        assert called == []
+
+
+class TestHistogramAccessors:
+    def test_column_and_row_maps(self, figure1_labeled):
+        freq = collect_pathid_frequencies(figure1_labeled)
+        order = collect_path_order(figure1_labeled)
+        phist = PHistogramSet.from_table(freq, 0)
+        ohist = OHistogramSet.from_table(order, phist, 0)
+        histogram = ohist.histogram("B", "ele+")
+        cols = histogram.column_map()
+        rows = histogram.row_map()
+        assert 0b1000 in cols and "C" in rows
+        # Returned maps are copies.
+        cols.clear()
+        assert histogram.column_map()
+
+    def test_matching_budget(self, figure1_labeled):
+        freq = collect_pathid_frequencies(figure1_labeled)
+        reference = PHistogramSet.from_table(freq, 1)
+        budget = EquiCountPHistogramSet.matching_budget(reference)
+        assert budget == {
+            tag: reference.histogram(tag).bucket_count for tag in reference.tags()
+        }
+
+
+class TestSiblingSemijoins:
+    @pytest.fixture()
+    def setup(self):
+        document = XmlDocument(
+            el("r", el("g", el("a"), el("b"), el("a")), el("g", el("b"), el("a")))
+        )
+        index = IntervalIndex(document)
+        a = [n.pre for n in document.nodes_with_tag("a")]
+        b = [n.pre for n in document.nodes_with_tag("b")]
+        return index, a, b
+
+    def test_after(self, setup):
+        index, a, b = setup
+        # a's with an earlier b sibling: second a of g1, the a of g2.
+        assert len(siblings_ordered_after(index, a, b)) == 2
+
+    def test_before(self, setup):
+        index, a, b = setup
+        # a's with a later b sibling: first a of g1 only.
+        assert len(siblings_ordered_before(index, a, b)) == 1
+
+    def test_empty_anchors(self, setup):
+        index, a, _ = setup
+        assert siblings_ordered_after(index, a, []) == []
+
+    def test_count_candidates_in_range(self, setup):
+        index, a, _ = setup
+        document = index.document
+        g1 = document.root.children[0]
+        count = count_candidates_in_range(
+            index, a, index.starts[g1.pre], index.ends[g1.pre]
+        )
+        assert count == 2  # both a's of the first group
+
+
+class TestFromTables:
+    def test_equivalent_to_build(self, figure1):
+        factory = SystemFactory(figure1)
+        via_tables = EstimationSystem.from_tables(
+            factory.labeled, factory.pathid_table, factory.order_table,
+            p_variance=0, o_variance=0,
+        )
+        direct = EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+        for text in ("//A/B", "//C[/$E]/F", "//A[/C[/F]/folls::$B/D]"):
+            assert via_tables.estimate(text) == pytest.approx(direct.estimate(text))
+
+
+class TestCliParser:
+    def test_build_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["stats", "--dataset", "SSPlays"])
+        assert args.command == "stats" and callable(args.handler)
+        args = parser.parse_args(
+            ["estimate", "--dataset", "DBLP", "//a", "--p-variance", "2"]
+        )
+        assert args.p_variance == 2.0

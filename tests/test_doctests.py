@@ -1,0 +1,28 @@
+"""Run the doctests embedded in module docstrings.
+
+A few modules carry small executable examples (``repro.pathenc.pathid``'s
+bit helpers); this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.harness.metrics
+import repro.pathenc.pathid
+
+MODULES = [
+    repro.pathenc.pathid,
+    repro.harness.metrics,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+
+
+def test_pathid_module_has_examples():
+    result = doctest.testmod(repro.pathenc.pathid, verbose=False)
+    assert result.attempted >= 3

@@ -1,0 +1,89 @@
+"""Tests for synopsis persistence."""
+
+import json
+
+import pytest
+
+from repro import EstimationSystem
+from repro.persist import (
+    SynopsisLoadError,
+    dumps,
+    load,
+    loads,
+    save,
+    system_from_dict,
+    system_to_dict,
+)
+
+QUERIES = [
+    "//A/B",
+    "//A//$C",
+    "//C[/$E]/F",
+    "//A[/C/F]/B/$D",
+    "//A[/C[/F]/folls::$B/D]",
+    "//A[/C[/F]/folls::B/$D]",
+    "//$A[/C[/F]/folls::B/D]",
+    "//A[/C/foll::$D]",
+    "//F/E",
+]
+
+
+@pytest.fixture(scope="module")
+def system(figure1):
+    return EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+
+
+class TestRoundTrip:
+    def test_estimates_identical(self, system):
+        restored = loads(dumps(system))
+        for text in QUERIES:
+            assert restored.estimate(text) == pytest.approx(system.estimate(text))
+
+    def test_roundtrip_with_lossy_histograms(self, ssplays_small):
+        original = EstimationSystem.build(ssplays_small, p_variance=2, o_variance=4)
+        restored = loads(dumps(original))
+        for text in ("//PLAY/ACT/$SCENE", "//SCENE[/TITLE]/$SPEECH",
+                     "//SPEECH[/$LINE/folls::STAGEDIR]"):
+            assert restored.estimate(text) == pytest.approx(original.estimate(text))
+
+    def test_file_roundtrip(self, system, tmp_path):
+        path = str(tmp_path / "synopsis.json")
+        save(system, path)
+        restored = load(path)
+        assert restored.estimate("//A/B") == pytest.approx(system.estimate("//A/B"))
+
+    def test_payload_is_plain_json(self, system):
+        payload = json.loads(dumps(system))
+        assert payload["format_version"] == 1
+        assert "Root/A/B/D" in payload["paths"]
+
+    def test_dict_roundtrip_stable(self, system):
+        once = system_to_dict(system)
+        twice = system_to_dict(system_from_dict(once))
+        assert once == twice
+
+
+class TestErrors:
+    def test_exact_mode_not_persistable(self, figure1):
+        exact = EstimationSystem.build(figure1, use_histograms=False)
+        with pytest.raises(SynopsisLoadError):
+            system_to_dict(exact)
+
+    def test_version_check(self, system):
+        payload = system_to_dict(system)
+        payload["format_version"] = 99
+        with pytest.raises(SynopsisLoadError):
+            system_from_dict(payload)
+
+    def test_malformed_payload(self):
+        with pytest.raises(SynopsisLoadError):
+            system_from_dict({"format_version": 1, "paths": ["a"]})
+
+
+class TestLoadedSystemShape:
+    def test_no_document_artifacts(self, system):
+        restored = loads(dumps(system))
+        assert restored.binary_tree is None
+        assert restored.pathid_table.tags() == []
+        sizes = restored.summary_sizes()
+        assert sizes["p_histogram"] > 0 and sizes["o_histogram"] > 0

@@ -1,0 +1,87 @@
+"""Tests for the selectivity-driven query planner."""
+
+import pytest
+
+from repro.core.system import EstimationSystem
+from repro.planner import QueryPlanner
+from repro.queryproc import StructuralJoinProcessor
+from repro.workload import WorkloadGenerator
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def skewed_doc():
+    """Records where one field is rare and another ubiquitous."""
+    root = el("lib")
+    for index in range(60):
+        record = el("rec", el("common"))
+        if index % 20 == 0:
+            record.append(el("rare"))
+        root.append(record)
+    return XmlDocument(root)
+
+
+@pytest.fixture(scope="module")
+def planner(skewed_doc):
+    return QueryPlanner(EstimationSystem.build(skewed_doc, p_variance=0))
+
+
+class TestSemanticsPreserved:
+    def test_same_matches_on_crafted_doc(self, skewed_doc, planner):
+        query = parse_query("//rec[/common][/rare]")
+        planned = planner.plan(query)
+        evaluator = Evaluator(skewed_doc)
+        assert evaluator.matching_pres(planned, planned.target) == \
+            evaluator.matching_pres(query, query.target)
+
+    def test_same_matches_on_workload(self, ssplays_small):
+        planner = QueryPlanner(EstimationSystem.build(ssplays_small, p_variance=0))
+        evaluator = Evaluator(ssplays_small)
+        items = WorkloadGenerator(ssplays_small, seed=37).branch_queries(60)
+        for item in items[:30]:
+            planned = planner.plan(item.query)
+            assert evaluator.selectivity(planned) == item.actual
+
+    def test_target_preserved(self, planner):
+        query = parse_query("//rec[/$common][/rare]")
+        assert planner.plan(query).target.tag == "common"
+
+    def test_order_queries_plannable(self, ssplays_small):
+        planner = QueryPlanner(EstimationSystem.build(ssplays_small, p_variance=0))
+        evaluator = Evaluator(ssplays_small)
+        branch_items, _ = WorkloadGenerator(ssplays_small, seed=37).order_queries(40)
+        for item in branch_items[:10]:
+            planned = planner.plan(item.query)
+            assert evaluator.selectivity(planned) == item.actual
+
+
+class TestOrdering:
+    def test_selective_branch_first(self, planner):
+        query = parse_query("//rec[/common][/rare]")
+        planned = planner.plan(query)
+        tags = [edge.node.tag for edge in planned.root.edges]
+        assert tags == ["rare", "common"]
+
+    def test_already_ordered_untouched(self, planner):
+        query = parse_query("//rec[/rare][/common]")
+        planned = planner.plan(query)
+        tags = [edge.node.tag for edge in planned.root.edges]
+        assert tags == ["rare", "common"]
+
+    def test_single_edge_nodes_stable(self, planner):
+        query = parse_query("//rec/common")
+        assert planner.plan(query).to_string() == query.to_string()
+
+
+class TestWorkReduction:
+    def test_planned_order_does_less_semijoin_work(self, skewed_doc, planner):
+        processor = StructuralJoinProcessor(skewed_doc)
+        bad = parse_query("//rec[/common][/rare]")   # unselective first
+        good = planner.plan(bad)
+        processor.count(bad, use_path_ids=False)
+        unplanned_work = processor.last_semijoin_work
+        processor.count(good, use_path_ids=False)
+        planned_work = processor.last_semijoin_work
+        assert planned_work < unplanned_work

@@ -1,0 +1,160 @@
+"""Tests for the structural-join processor (reference [8] pipeline)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transform import UnsupportedQueryError
+from repro.queryproc import IntervalIndex, StructuralJoinProcessor
+from repro.queryproc.structural import (
+    ancestors_with_descendant,
+    children_with_parent,
+    descendants_with_ancestor,
+    parents_with_child,
+)
+from repro.workload import WorkloadGenerator
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def processor(figure1):
+    return StructuralJoinProcessor(figure1)
+
+
+class TestSemijoinPrimitives:
+    @pytest.fixture(scope="class")
+    def index(self, figure1):
+        return IntervalIndex(figure1)
+
+    def test_descendants_with_ancestor(self, index, figure1):
+        a_pres = [n.pre for n in figure1.nodes_with_tag("A")]
+        e_pres = [n.pre for n in figure1.nodes_with_tag("E")]
+        kept = descendants_with_ancestor(index, e_pres, a_pres)
+        assert kept == e_pres  # every E is under an A
+
+    def test_ancestors_with_descendant(self, index, figure1):
+        a_pres = [n.pre for n in figure1.nodes_with_tag("A")]
+        f_pres = [n.pre for n in figure1.nodes_with_tag("F")]
+        kept = ancestors_with_descendant(index, a_pres, f_pres)
+        assert len(kept) == 1  # only one A has an F below
+
+    def test_parent_child_primitives(self, index, figure1):
+        b_pres = [n.pre for n in figure1.nodes_with_tag("B")]
+        d_pres = [n.pre for n in figure1.nodes_with_tag("D")]
+        assert children_with_parent(index, d_pres, b_pres) == d_pres
+        assert parents_with_child(index, b_pres, d_pres) == b_pres
+
+    def test_empty_sides(self, index, figure1):
+        pres = [n.pre for n in figure1.nodes_with_tag("A")]
+        assert descendants_with_ancestor(index, pres, []) == []
+        assert ancestors_with_descendant(index, pres, []) == []
+
+
+class TestExactness:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "//A", "/Root/A", "//A/B", "//A//E", "//A[/C/F]/B/$D",
+            "//C[/$E]/F", "//A[/B][/C]", "/Root//D", "//F/E",
+        ],
+    )
+    def test_matches_evaluator_on_figure1(self, processor, figure1, text):
+        query = parse_query(text)
+        expected = Evaluator(figure1).matching_pres(query, query.target)
+        for use_path_ids in (True, False):
+            got = processor.matching_pres(query, use_path_ids=use_path_ids)
+            assert set(got) == expected
+
+    def test_scoped_axes_rejected(self, processor):
+        with pytest.raises(UnsupportedQueryError):
+            processor.count(parse_query("//A[/C/foll::D]"))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "//A[/C/folls::$B]",
+            "//A[/C[/F]/folls::$B/D]",
+            "//A[/C[/F]/folls::B/$D]",
+            "//$A[/C[/F]/folls::B/D]",
+            "//A[/$B/pres::C]",
+            "//A[/F/folls::E]",
+        ],
+    )
+    def test_sibling_order_axes_exact(self, processor, figure1, text):
+        query = parse_query(text)
+        expected = Evaluator(figure1).matching_pres(query, query.target)
+        for use_path_ids in (True, False):
+            got = processor.matching_pres(query, use_path_ids=use_path_ids)
+            assert set(got) == expected
+
+    def test_order_workload_equality(self, ssplays_small):
+        processor = StructuralJoinProcessor(ssplays_small)
+        generator = WorkloadGenerator(ssplays_small, seed=33)
+        branch_items, trunk_items = generator.order_queries(80)
+        for item in branch_items + trunk_items:
+            assert processor.count(item.query) == item.actual
+
+    def test_workload_equality(self, ssplays_small):
+        processor = StructuralJoinProcessor(ssplays_small)
+        evaluator = Evaluator(ssplays_small)
+        generator = WorkloadGenerator(ssplays_small, seed=21)
+        items = generator.simple_queries(60) + generator.branch_queries(60)
+        for item in items:
+            assert processor.count(item.query) == item.actual
+            assert processor.count(item.query, use_path_ids=False) == item.actual
+
+    def test_recursive_document_equality(self, xmark_small):
+        processor = StructuralJoinProcessor(xmark_small)
+        evaluator = Evaluator(xmark_small)
+        for text in ("//parlist/listitem//$text", "//listitem/parlist/$listitem",
+                     "//item[/mailbox]/description//$keyword"):
+            query = parse_query(text)
+            expected = evaluator.selectivity(query)
+            assert processor.count(query) == expected
+            assert processor.count(query, use_path_ids=False) == expected
+
+
+class TestPathIdPruning:
+    def test_pruning_shrinks_join_inputs(self, ssplays_small):
+        processor = StructuralJoinProcessor(ssplays_small)
+        query = parse_query("//ACT[/PROLOGUE]/SCENE/SPEECH")
+        processor.matching_pres(query, use_path_ids=False)
+        unpruned = processor.last_candidate_count
+        processor.matching_pres(query, use_path_ids=True)
+        pruned = processor.last_candidate_count
+        assert pruned <= unpruned
+
+    def test_negative_query_short_circuits(self, processor):
+        query = parse_query("//F/E")
+        assert processor.matching_pres(query, use_path_ids=True) == []
+        assert processor.last_candidate_count == 0
+
+
+class TestRandomizedEquality:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_docs_and_queries(self, seed):
+        rng = random.Random(seed)
+        # Small recursive-capable random document.
+        tags = "wxyz"
+
+        def grow(node, depth):
+            if depth > 3:
+                return
+            for _ in range(rng.randint(0, 3)):
+                grow(node.append(el(rng.choice(tags))), depth + 1)
+
+        root = el("r")
+        grow(root, 1)
+        document = XmlDocument(root)
+        processor = StructuralJoinProcessor(document)
+        evaluator = Evaluator(document)
+        generator = WorkloadGenerator(document, seed=seed)
+        items = generator.simple_queries(10) + generator.branch_queries(10)
+        order_branch, order_trunk = generator.order_queries(10)
+        for item in items + order_branch + order_trunk:
+            assert processor.count(item.query) == evaluator.selectivity(item.query)

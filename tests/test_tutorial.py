@@ -1,0 +1,111 @@
+"""Executable checks for every claim in docs/TUTORIAL.md.
+
+Documentation that drifts from the code is worse than none; this module
+re-runs each tutorial snippet's assertions.
+"""
+
+import pytest
+
+from repro import EstimationSystem, Evaluator, explain, parse_query
+from repro.histograms import OHistogramSet, PHistogramSet
+from repro.pathenc import label_document
+from repro.stats import collect_path_order, collect_pathid_frequencies
+from repro.xmltree import parse_xml
+
+TUTORIAL_XML = """
+<Root>
+  <A> <B><D/><E/></B> </A>
+  <A> <B><D/></B> <C><E/><F/></C> <B><D/></B> </A>
+  <A> <C><E/></C> <B><D/></B> </A>
+</Root>"""
+
+
+@pytest.fixture(scope="module")
+def document():
+    return parse_xml(TUTORIAL_XML)
+
+
+@pytest.fixture(scope="module")
+def labeled(document):
+    return label_document(document)
+
+
+@pytest.fixture(scope="module")
+def system(document):
+    return EstimationSystem.build(document, p_variance=0, o_variance=0)
+
+
+class TestSection1Encoding:
+    def test_paths(self, labeled):
+        assert labeled.encoding_table.all_paths() == [
+            "Root/A/B/D", "Root/A/B/E", "Root/A/C/E", "Root/A/C/F",
+        ]
+
+    def test_pathids(self, labeled):
+        assert [labeled.format_pathid(p) for p in labeled.distinct_pathids()] == [
+            "0001", "0010", "0011", "0100", "1000", "1010", "1011", "1100", "1111",
+        ]
+
+
+class TestSection2Statistics:
+    def test_freq_pairs(self, labeled):
+        freq = collect_pathid_frequencies(labeled)
+        assert freq.pairs("B") == [(0b1000, 3), (0b1100, 1)]
+
+    def test_order_cells(self, labeled):
+        order = collect_path_order(labeled)
+        assert order.grid("B").g_before(0b1000, "C") == 1
+        assert order.grid("B").g_after(0b1000, "C") == 2
+
+
+class TestSection3Histograms:
+    def test_build(self, labeled):
+        freq = collect_pathid_frequencies(labeled)
+        order = collect_path_order(labeled)
+        phist = PHistogramSet.from_table(freq, 1)
+        ohist = OHistogramSet.from_table(order, phist, 1)
+        assert phist.histogram("B").bucket_count >= 1
+        assert ohist.total_buckets() >= 1
+
+
+class TestSection4PathJoin:
+    def test_figure3_state(self, system):
+        join = system.join("//A[/C/F]/B/D")
+        survivors = {
+            node.tag: join.pids(node) for node in join.query.nodes()
+        }
+        assert survivors["A"] == {0b1011: 1}
+        assert survivors["C"] == {0b0011: 1}
+        assert survivors["B"] == {0b1000: 3}
+        assert survivors["D"] == {0b1000: 4}
+
+
+class TestSection5Branch:
+    def test_corrected_vs_raw(self, system):
+        assert system.estimate("//C[/$E]/F") == pytest.approx(1.0)
+        query = parse_query("//C[/$E]/F")
+        assert system.join(query).frequency(query.target) == pytest.approx(2.0)
+
+
+class TestSection6Order:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "//A[/C[/F]/folls::$B/D]",
+            "//A[/C[/F]/folls::B/$D]",
+            "//$A[/C[/F]/folls::B/D]",
+        ],
+    )
+    def test_order_examples(self, system, text):
+        assert system.estimate(text) == pytest.approx(1.0)
+
+    def test_rewrite_render(self, system):
+        rendered = explain(system, "//A[/C/foll::$D]").render()
+        assert "example-5.3-rewrite" in rendered
+        assert "estimate=2.000" in rendered
+
+
+class TestSection7GroundTruth:
+    def test_evaluator(self, document):
+        query = parse_query("//A[/C[/F]/folls::$B/D]")
+        assert Evaluator(document).selectivity(query) == 1

@@ -1,0 +1,106 @@
+"""Tests for the Section 7 workload generator."""
+
+import pytest
+
+from repro.workload import WorkloadGenerator
+from repro.xpath import Evaluator, parse_query
+from repro.xpath.ast import QueryAxis
+
+
+@pytest.fixture(scope="module")
+def gen(ssplays_small):
+    return WorkloadGenerator(ssplays_small, seed=9)
+
+
+class TestSimpleQueries:
+    def test_all_positive_with_recorded_actuals(self, gen, ssplays_small):
+        items = gen.simple_queries(150)
+        evaluator = Evaluator(ssplays_small)
+        assert items
+        for item in items[:30]:
+            assert item.actual > 0
+            assert item.kind == "simple"
+            assert evaluator.selectivity(item.query) == item.actual
+
+    def test_no_duplicates(self, gen):
+        items = gen.simple_queries(200)
+        texts = [item.text for item in items]
+        assert len(texts) == len(set(texts))
+
+    def test_queries_are_chains(self, gen):
+        for item in gen.simple_queries(80):
+            for node in item.query.nodes():
+                assert len(node.edges) <= 1
+                assert not node.predicate_edges()
+
+    def test_deterministic(self, ssplays_small):
+        a = WorkloadGenerator(ssplays_small, seed=4).simple_queries(60)
+        b = WorkloadGenerator(ssplays_small, seed=4).simple_queries(60)
+        assert [i.text for i in a] == [i.text for i in b]
+
+
+class TestBranchQueries:
+    def test_shape_is_standardized(self, gen):
+        items = gen.branch_queries(200)
+        assert items
+        for item in items[:40]:
+            branching = [
+                node for node in item.query.nodes()
+                if node.predicate_edges() and node.inline_edge() is not None
+            ]
+            assert len(branching) == 1  # q1[/q2]/q3
+
+    def test_positive_and_deduped(self, gen, ssplays_small):
+        items = gen.branch_queries(150)
+        evaluator = Evaluator(ssplays_small)
+        texts = [item.text for item in items]
+        assert len(texts) == len(set(texts))
+        for item in items[:25]:
+            assert evaluator.selectivity(item.query) == item.actual > 0
+
+    def test_size_bounds(self, gen):
+        for item in gen.branch_queries(120):
+            assert 3 <= len(item.query) <= 12
+
+
+class TestOrderQueries:
+    def test_paired_targets(self, gen):
+        branch_items, trunk_items = gen.order_queries(250)
+        assert len(branch_items) == len(trunk_items)
+        assert branch_items
+        for b_item, t_item in zip(branch_items[:20], trunk_items[:20]):
+            assert b_item.kind == "order_branch"
+            assert t_item.kind == "order_trunk"
+            # Same underlying pattern, different target.
+            assert b_item.query.root.tag == t_item.query.root.tag
+            assert b_item.query.has_order_axes()
+
+    def test_exactly_one_sibling_order_edge(self, gen):
+        branch_items, _ = gen.order_queries(150)
+        for item in branch_items[:30]:
+            order_edges = [
+                axis for axis, _, _ in item.query.iter_edges()
+                if axis in (QueryAxis.FOLLS, QueryAxis.PRES)
+            ]
+            assert len(order_edges) == 1
+
+    def test_actuals_positive_and_correct(self, gen, ssplays_small):
+        evaluator = Evaluator(ssplays_small)
+        branch_items, trunk_items = gen.order_queries(150)
+        for item in branch_items[:15] + trunk_items[:15]:
+            assert item.actual > 0
+            assert evaluator.selectivity(item.query) == item.actual
+
+    def test_queries_parse_back(self, gen):
+        branch_items, _ = gen.order_queries(100)
+        for item in branch_items[:20]:
+            assert parse_query(item.text).to_string() == item.text
+
+
+class TestFullWorkload:
+    def test_table2_row(self, gen):
+        workload = gen.full_workload(raw_simple=80, raw_branch=80, raw_order=80)
+        row = workload.table2_row()
+        assert row["total"] == row["simple"] + row["branch"]
+        assert row["with_order"] == len(workload.order_branch)
+        assert len(workload.no_order()) == row["total"]

@@ -1,0 +1,69 @@
+"""Tests for workload persistence."""
+
+import json
+
+import pytest
+
+from repro.workload import WorkloadGenerator
+from repro.workload.io import (
+    WorkloadLoadError,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def workload(ssplays_small):
+    return WorkloadGenerator(ssplays_small, seed=19).full_workload(60, 60, 60)
+
+
+class TestRoundTrip:
+    def test_counts_and_texts_preserved(self, workload):
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert restored.dataset == workload.dataset
+        for attribute in ("simple", "branch", "order_branch", "order_trunk"):
+            original = getattr(workload, attribute)
+            loaded = getattr(restored, attribute)
+            assert [i.text for i in loaded] == [i.text for i in original]
+            assert [i.actual for i in loaded] == [i.actual for i in original]
+            assert [i.kind for i in loaded] == [i.kind for i in original]
+
+    def test_queries_reparsed_equivalently(self, workload, ssplays_small):
+        from repro.xpath import Evaluator
+
+        restored = workload_from_dict(workload_to_dict(workload))
+        evaluator = Evaluator(ssplays_small)
+        for item in (restored.simple + restored.order_branch)[:20]:
+            assert evaluator.selectivity(item.query) == item.actual
+
+    def test_file_roundtrip(self, workload, tmp_path):
+        path = str(tmp_path / "workload.json")
+        save_workload(workload, path)
+        restored = load_workload(path)
+        assert restored.table2_row() == workload.table2_row()
+
+    def test_payload_is_json(self, workload):
+        text = json.dumps(workload_to_dict(workload))
+        assert "format_version" in text
+
+
+class TestErrors:
+    def test_version_check(self, workload):
+        payload = workload_to_dict(workload)
+        payload["format_version"] = 9
+        with pytest.raises(WorkloadLoadError):
+            workload_from_dict(payload)
+
+    def test_missing_section(self, workload):
+        payload = workload_to_dict(workload)
+        del payload["branch"]
+        with pytest.raises(WorkloadLoadError):
+            workload_from_dict(payload)
+
+    def test_malformed_entry(self, workload):
+        payload = workload_to_dict(workload)
+        payload["simple"] = [{"text": "///broken", "kind": "simple", "actual": 1}]
+        with pytest.raises(WorkloadLoadError):
+            workload_from_dict(payload)

@@ -1,0 +1,58 @@
+"""Tests for the scoped-order workload generation."""
+
+import pytest
+
+from repro.workload import WorkloadGenerator
+from repro.xpath import Evaluator, parse_query
+from repro.xpath.ast import QueryAxis
+
+
+@pytest.fixture(scope="module")
+def items(ssplays_small):
+    return WorkloadGenerator(ssplays_small, seed=31).scoped_order_queries(150)
+
+
+class TestShape:
+    def test_exactly_one_scoped_edge(self, items):
+        assert items
+        for item in items[:30]:
+            scoped = [
+                axis for axis, _, _ in item.query.iter_edges()
+                if axis in (QueryAxis.FOLL, QueryAxis.PRE)
+            ]
+            assert len(scoped) == 1
+            assert not any(
+                axis in (QueryAxis.FOLLS, QueryAxis.PRES)
+                for axis, _, _ in item.query.iter_edges()
+            )
+
+    def test_target_is_the_scoped_node(self, items):
+        for item in items[:30]:
+            _, _, dest = next(
+                (a, s, d) for a, s, d in item.query.iter_edges() if a.is_scoped_order
+            )
+            assert item.query.target is dest
+            assert item.kind == "order_scoped"
+
+    def test_positive_with_correct_actuals(self, items, ssplays_small):
+        evaluator = Evaluator(ssplays_small)
+        for item in items[:20]:
+            assert item.actual > 0
+            assert evaluator.selectivity(item.query) == item.actual
+
+    def test_parse_roundtrip(self, items):
+        for item in items[:20]:
+            assert parse_query(item.text).to_string() == item.text
+
+    def test_deduplicated(self, items):
+        texts = [item.text for item in items]
+        assert len(texts) == len(set(texts))
+
+
+class TestEstimationSoundness:
+    def test_no_zero_estimates(self, items, ssplays_small):
+        from repro import EstimationSystem
+
+        system = EstimationSystem.build(ssplays_small, p_variance=0, o_variance=0)
+        for item in items:
+            assert system.estimate(item.query) > 0

@@ -1,0 +1,77 @@
+"""Unit tests for XmlDocument views."""
+
+import pytest
+
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+
+
+@pytest.fixture()
+def doc():
+    root = el(
+        "Root",
+        el("A", el("B", el("D")), el("C")),
+        el("A", el("B", el("D"))),
+    )
+    return XmlDocument(root, name="t")
+
+
+class TestViews:
+    def test_len_and_iteration_order(self, doc):
+        assert len(doc) == 8
+        assert [n.tag for n in doc] == ["Root", "A", "B", "D", "C", "A", "B", "D"]
+
+    def test_nodes_with_tag(self, doc):
+        assert len(doc.nodes_with_tag("A")) == 2
+        assert doc.nodes_with_tag("missing") == []
+
+    def test_distinct_tags_sorted(self, doc):
+        assert doc.distinct_tags == ["A", "B", "C", "D", "Root"]
+
+    def test_tag_count(self, doc):
+        assert doc.tag_count("B") == 2
+        assert doc.tag_count("zzz") == 0
+
+    def test_node_at_roundtrip(self, doc):
+        for node in doc:
+            assert doc.node_at(node.pre) is node
+
+
+class TestPaths:
+    def test_distinct_root_to_leaf_paths_first_occurrence_order(self, doc):
+        # Note the second B is a leaf-bearing B with only D below it; the
+        # first C is a leaf itself.
+        assert doc.distinct_root_to_leaf_paths() == [
+            "Root/A/B/D",
+            "Root/A/C",
+        ]
+
+    def test_leaves_in_document_order(self, doc):
+        assert [n.tag for n in doc.iter_leaves()] == ["D", "C", "D"]
+
+    def test_max_depth(self, doc):
+        assert doc.max_depth() == 3
+
+    def test_single_node_document(self):
+        doc = XmlDocument(el("only"))
+        assert doc.max_depth() == 0
+        assert doc.distinct_root_to_leaf_paths() == ["only"]
+
+
+class TestConstraints:
+    def test_root_with_parent_rejected(self):
+        parent = el("p", el("c"))
+        with pytest.raises(ValueError):
+            XmlDocument(parent.children[0])
+
+    def test_figure1_has_17_elements(self):
+        from repro.xmltree.builder import paper_figure1_document
+
+        doc = paper_figure1_document()
+        assert len(doc) == 18
+        assert doc.distinct_root_to_leaf_paths() == [
+            "Root/A/B/D",
+            "Root/A/B/E",
+            "Root/A/C/E",
+            "Root/A/C/F",
+        ]

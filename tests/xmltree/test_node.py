@@ -1,0 +1,92 @@
+"""Unit tests for the element-node model."""
+
+import pytest
+
+from repro.xmltree.builder import el
+from repro.xmltree.node import XmlNode
+
+
+def sample_tree():
+    #        Root
+    #      /  |  \
+    #     A   B   C
+    #    / \       \
+    #   D   E       F
+    return el("Root", el("A", el("D"), el("E")), el("B"), el("C", el("F")))
+
+
+class TestConstruction:
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            XmlNode("")
+
+    def test_append_sets_parent_and_sibling_index(self):
+        root = sample_tree()
+        a, b, c = root.children
+        assert a.parent is root and b.parent is root
+        assert [child.sibling_index for child in root.children] == [0, 1, 2]
+        assert c.children[0].sibling_index == 0
+
+    def test_append_rejects_reparenting(self):
+        root = sample_tree()
+        with pytest.raises(ValueError):
+            el("Other").append(root.children[0])
+
+    def test_extend_appends_in_order(self):
+        node = XmlNode("X")
+        node.extend([XmlNode("A"), XmlNode("B")])
+        assert [c.tag for c in node.children] == ["A", "B"]
+
+
+class TestPredicates:
+    def test_is_leaf(self):
+        root = sample_tree()
+        assert not root.is_leaf
+        assert root.children[1].is_leaf  # B
+        assert root.children[0].children[0].is_leaf  # D
+
+    def test_is_root_and_depth(self):
+        root = sample_tree()
+        assert root.is_root and root.depth == 0
+        d = root.children[0].children[0]
+        assert not d.is_root and d.depth == 2
+
+
+class TestTraversal:
+    def test_preorder_is_document_order(self):
+        root = sample_tree()
+        tags = [node.tag for node in root.iter_preorder()]
+        assert tags == ["Root", "A", "D", "E", "B", "C", "F"]
+
+    def test_descendants_excludes_self(self):
+        root = sample_tree()
+        assert [n.tag for n in root.iter_descendants()] == ["A", "D", "E", "B", "C", "F"]
+
+    def test_ancestors_bottom_up(self):
+        root = sample_tree()
+        f = root.children[2].children[0]
+        assert [n.tag for n in f.iter_ancestors()] == ["C", "Root"]
+
+    def test_following_siblings(self):
+        root = sample_tree()
+        a = root.children[0]
+        assert [n.tag for n in a.iter_following_siblings()] == ["B", "C"]
+        assert list(root.iter_following_siblings()) == []
+
+    def test_preceding_siblings_nearest_first(self):
+        root = sample_tree()
+        c = root.children[2]
+        assert [n.tag for n in c.iter_preceding_siblings()] == ["B", "A"]
+
+
+class TestPaths:
+    def test_label_path(self):
+        root = sample_tree()
+        f = root.children[2].children[0]
+        assert f.label_path() == "Root/C/F"
+        assert root.label_path() == "Root"
+
+    def test_subtree_size(self):
+        root = sample_tree()
+        assert root.subtree_size() == 7
+        assert root.children[0].subtree_size() == 3

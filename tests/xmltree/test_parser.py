@@ -1,0 +1,120 @@
+"""Unit tests for the pure-Python XML parser."""
+
+import pytest
+
+from repro.xmltree.parser import XmlParseError, parse_fragment, parse_xml
+
+
+class TestBasics:
+    def test_single_element(self):
+        doc = parse_xml("<a/>")
+        assert doc.root.tag == "a" and doc.root.is_leaf
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        assert [n.tag for n in doc] == ["a", "b", "c", "d"]
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello world</a>")
+        assert doc.root.text == "hello world"
+
+    def test_mixed_text_collected(self):
+        doc = parse_xml("<a>one<b/>two</a>")
+        assert doc.root.text == "onetwo"
+        assert doc.root.children[0].tag == "b"
+
+    def test_attributes(self):
+        doc = parse_xml('<a x="1" y=\'two\'/>')
+        assert doc.root.attributes == {"x": "1", "y": "two"}
+
+    def test_sibling_order_preserved(self):
+        doc = parse_xml("<a><x/><y/><x/><z/></a>")
+        assert [c.tag for c in doc.root.children] == ["x", "y", "x", "z"]
+
+
+class TestProlog:
+    def test_xml_declaration_skipped(self):
+        doc = parse_xml('<?xml version="1.0"?><a/>')
+        assert doc.root.tag == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse_xml("<!DOCTYPE a SYSTEM 'a.dtd'><a/>")
+        assert doc.root.tag == "a"
+
+    def test_doctype_with_internal_subset(self):
+        doc = parse_xml("<!DOCTYPE a [<!ELEMENT a (b)*>]><a><b/></a>")
+        assert doc.root.children[0].tag == "b"
+
+    def test_comments_everywhere(self):
+        doc = parse_xml("<!-- pre --><a><!-- in --><b/></a><!-- post -->")
+        assert [n.tag for n in doc] == ["a", "b"]
+
+    def test_processing_instructions_skipped(self):
+        doc = parse_xml('<?pi data?><a><?target stuff?></a>')
+        assert doc.root.is_leaf
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse_xml("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text == "<>&'\""
+
+    def test_numeric_references(self):
+        doc = parse_xml("<a>&#65;&#x42;</a>")
+        assert doc.root.text == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_xml('<a t="&amp;x"/>')
+        assert doc.root.attributes["t"] == "&x"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a>&nope;</a>")
+
+    def test_cdata(self):
+        doc = parse_xml("<a><![CDATA[<not-a-tag> & raw]]></a>")
+        assert doc.root.text == "<not-a-tag> & raw"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a x=1/>",
+            '<a x="1" x="2"/>',
+            "<a><!-- unterminated </a>",
+            "<1tag/>",
+        ],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(XmlParseError):
+            parse_xml(text)
+
+    def test_error_reports_offset(self):
+        with pytest.raises(XmlParseError) as excinfo:
+            parse_xml("<a></b>")
+        assert excinfo.value.position > 0
+
+
+class TestFragment:
+    def test_fragment_returns_bare_node(self):
+        node = parse_fragment("<a><b/></a>")
+        assert node.tag == "a" and node.pre == -1
+
+    def test_fragment_rejects_trailing(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a/>junk")
+
+
+class TestDocumentNumbering:
+    def test_preorder_numbers_assigned(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        assert [n.pre for n in doc] == [0, 1, 2, 3]
+        assert doc.node_at(2).tag == "c"

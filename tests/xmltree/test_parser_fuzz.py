@@ -1,0 +1,77 @@
+"""XML parser fuzzing: random trees round-trip; garbage never crashes."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.builder import el
+from repro.xmltree.parser import XmlParseError, parse_xml
+from repro.xmltree.serializer import serialize
+
+TAGS = ["a", "tag-b", "c_c", "d.d2"]
+TEXTS = ["", "plain", "a<b", "x&y", 'say "hi"', "tail'd", "  spaced  "]
+
+
+@st.composite
+def random_tree(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    budget = draw(st.integers(min_value=1, max_value=30))
+
+    def attrs():
+        if rng.random() < 0.3:
+            return {"k%d" % rng.randrange(3): rng.choice(TEXTS)}
+        return None
+
+    root = el(rng.choice(TAGS), rng.choice(TEXTS), attrs=attrs())
+    frontier = [root]
+    produced = 1
+    while frontier and produced < budget:
+        node = frontier.pop(rng.randrange(len(frontier)))
+        for _ in range(rng.randint(0, 3)):
+            if produced >= budget:
+                break
+            child = node.append(el(rng.choice(TAGS), rng.choice(TEXTS), attrs=attrs()))
+            produced += 1
+            frontier.append(child)
+    return root
+
+
+def trees_equal(a, b):
+    return (
+        a.tag == b.tag
+        and a.attributes == b.attributes
+        and a.text == b.text
+        and len(a.children) == len(b.children)
+        and all(trees_equal(x, y) for x, y in zip(a.children, b.children))
+    )
+
+
+class TestRoundTripFuzz:
+    @settings(max_examples=120, deadline=None)
+    @given(random_tree())
+    def test_serialize_parse_roundtrip(self, root):
+        reparsed = parse_xml(serialize(root))
+        assert trees_equal(root, reparsed.root)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_tree())
+    def test_double_roundtrip_stable(self, root):
+        once = serialize(parse_xml(serialize(root)).root)
+        twice = serialize(parse_xml(once).root)
+        assert once == twice
+
+
+class TestGarbageFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(alphabet='<>/="&;! abAB-_.\n', max_size=40))
+    def test_parser_never_crashes(self, text):
+        try:
+            document = parse_xml(text)
+        except XmlParseError:
+            return
+        # Anything accepted must round-trip stably.
+        assert trees_equal(document.root, parse_xml(serialize(document)).root)

@@ -1,0 +1,63 @@
+"""Round-trip and escaping tests for the serializer."""
+
+from repro.xmltree.builder import el
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize,
+    serialized_size_bytes,
+)
+
+
+def trees_equal(a, b):
+    if a.tag != b.tag or a.attributes != b.attributes or a.text != b.text:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    return all(trees_equal(x, y) for x, y in zip(a.children, b.children))
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(el("a")) == "<a/>"
+
+    def test_text_only_element(self):
+        assert serialize(el("a", "hi")) == "<a>hi</a>"
+
+    def test_attributes_sorted(self):
+        node = el("a", attrs={"z": "1", "b": "2"})
+        assert serialize(node) == '<a b="2" z="1"/>'
+
+    def test_declaration(self):
+        assert serialize(el("a"), declaration=True).startswith("<?xml")
+
+    def test_pretty_adds_newlines(self):
+        text = serialize(el("a", el("b")), pretty=True)
+        assert text == "<a>\n  <b/>\n</a>"
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse(self):
+        source = '<a x="1">top<b>inner &amp; more</b><c/><b y="2"/></a>'
+        doc1 = parse_xml(source)
+        doc2 = parse_xml(serialize(doc1))
+        assert trees_equal(doc1.root, doc2.root)
+
+    def test_roundtrip_dataset_sample(self, ssplays_small):
+        text = serialize(ssplays_small)
+        reparsed = parse_xml(text)
+        assert len(reparsed) == len(ssplays_small)
+        assert trees_equal(reparsed.root, ssplays_small.root)
+
+    def test_size_matches_utf8_length(self):
+        node = el("a", "héllo")
+        assert serialized_size_bytes(node) == len(serialize(node).encode("utf-8"))

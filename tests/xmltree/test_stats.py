@@ -1,0 +1,42 @@
+"""Tests for document statistics (Table 1 quantities)."""
+
+from repro.xmltree.builder import el, paper_figure1_document
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.stats import document_stats
+
+
+class TestFigure1Stats:
+    def test_counts(self):
+        stats = document_stats(paper_figure1_document())
+        assert stats.total_elements == 18
+        assert stats.distinct_tags == 7
+        assert stats.distinct_paths == 4
+        assert stats.max_depth == 3
+        assert stats.leaf_count == 8
+
+    def test_size_positive(self):
+        stats = document_stats(paper_figure1_document())
+        assert stats.size_bytes > 0
+        assert stats.size_kb == stats.size_bytes / 1024.0
+
+    def test_skip_size(self):
+        stats = document_stats(paper_figure1_document(), include_size=False)
+        assert stats.size_bytes == 0
+
+
+class TestShapeMeasures:
+    def test_fanout(self):
+        doc = XmlDocument(el("r", el("a"), el("a"), el("a", el("b"))))
+        stats = document_stats(doc)
+        assert stats.max_fanout == 3
+        assert stats.avg_fanout == 2.0  # (3 + 1) children / 2 internal nodes
+
+    def test_single_node(self):
+        stats = document_stats(XmlDocument(el("r")))
+        assert stats.max_fanout == 0
+        assert stats.avg_fanout == 0.0
+        assert stats.leaf_count == 1
+
+    def test_as_row_keys(self):
+        row = document_stats(paper_figure1_document()).as_row()
+        assert set(row) >= {"dataset", "size", "#distinct_eles", "#eles"}

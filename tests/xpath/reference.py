@@ -1,0 +1,79 @@
+"""A brute-force reference evaluator (test oracle).
+
+For every document node ``d`` with the target's tag it asks "does an
+embedding of the whole pattern exist that maps the target to ``d``?" by
+naive recursive search.  Exponentially slower than the production
+evaluator but independent of all its optimizations, so agreement on random
+documents is strong evidence of correctness.
+
+For tree-shaped patterns the existential check decomposes per edge: an
+embedding exists iff every edge's subpattern can be embedded independently
+(the single ``fixed`` constraint only restricts the branch containing the
+target).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+
+def brute_force_matches(document: XmlDocument, query: Query) -> Set[int]:
+    """Pre-order numbers of nodes matching the target in some embedding."""
+    if query.root_axis is QueryAxis.CHILD:
+        roots: List[XmlNode] = [document.root]
+    else:
+        roots = list(document)
+    result: Set[int] = set()
+    for node in document.nodes_with_tag(query.target.tag):
+        fixed = {query.target.node_id: node.pre}
+        if any(_exists(root, query.root, fixed) for root in roots):
+            result.add(node.pre)
+    return result
+
+
+def brute_force_selectivity(document: XmlDocument, query: Query) -> int:
+    return len(brute_force_matches(document, query))
+
+
+def _relation_candidates(doc_node: XmlNode, axis: QueryAxis) -> List[XmlNode]:
+    if axis is QueryAxis.CHILD:
+        return list(doc_node.children)
+    if axis is QueryAxis.DESCENDANT:
+        return list(doc_node.iter_descendants())
+    if axis is QueryAxis.FOLLS:
+        return list(doc_node.iter_following_siblings())
+    if axis is QueryAxis.PRES:
+        return list(doc_node.iter_preceding_siblings())
+    if axis is QueryAxis.FOLL:  # scoped: following-sibling subtrees
+        out: List[XmlNode] = []
+        for sibling in doc_node.iter_following_siblings():
+            out.append(sibling)
+            out.extend(sibling.iter_descendants())
+        return out
+    if axis is QueryAxis.PRE:
+        out = []
+        for sibling in doc_node.iter_preceding_siblings():
+            out.append(sibling)
+            out.extend(sibling.iter_descendants())
+        return out
+    raise AssertionError("unhandled axis %r" % axis)
+
+
+def _exists(doc_node: XmlNode, pattern: QueryNode, fixed: Dict[int, int]) -> bool:
+    """Can the pattern subtree embed with pattern→doc_node under ``fixed``?"""
+    if doc_node.tag != pattern.tag:
+        return False
+    required = fixed.get(pattern.node_id)
+    if required is not None and required != doc_node.pre:
+        return False
+    for edge in pattern.edges:
+        if not any(
+            _exists(candidate, edge.node, fixed)
+            for candidate in _relation_candidates(doc_node, edge.axis)
+        ):
+            return False
+    return True

@@ -1,0 +1,79 @@
+"""Tests for Query/QueryNode structure helpers."""
+
+import pytest
+
+from repro.xpath import parse_query
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+
+class TestQueryNode:
+    def test_single_inline_edge_enforced(self):
+        node = QueryNode("A")
+        node.add_edge(QueryAxis.CHILD, QueryNode("B"), is_predicate=False)
+        with pytest.raises(ValueError):
+            node.add_edge(QueryAxis.CHILD, QueryNode("C"), is_predicate=False)
+
+    def test_predicates_unbounded(self):
+        node = QueryNode("A")
+        for tag in "BCD":
+            node.add_edge(QueryAxis.CHILD, QueryNode(tag), is_predicate=True)
+        assert len(node.predicate_edges()) == 3
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            QueryNode("")
+
+
+class TestQueryStructure:
+    def test_node_ids_unique(self):
+        query = parse_query("//A[/B[/C]/D]/E")
+        ids = [node.node_id for node in query.nodes()]
+        assert sorted(ids) == list(range(len(query)))
+
+    def test_parent_links(self):
+        query = parse_query("//A[/B]/C")
+        a = query.root
+        for node in query.nodes():
+            link = query.parent_link(node)
+            if node is a:
+                assert link is None
+            else:
+                assert link[1] is a
+
+    def test_spine_to(self):
+        query = parse_query("//A[/B/C]/D")
+        c = query.find("C")
+        assert [n.tag for n in query.spine_to(c)] == ["A", "B", "C"]
+        assert [n.tag for n in query.spine_to(query.root)] == ["A"]
+
+    def test_spine_crosses_order_edges(self):
+        query = parse_query("//A[/B/folls::C/D]")
+        d = query.find("D")
+        assert [n.tag for n in query.spine_to(d)] == ["A", "B", "C", "D"]
+
+    def test_find_ambiguous(self):
+        query = parse_query("//A/B[/A]")
+        with pytest.raises(ValueError):
+            query.find("A")
+        assert query.find("B").tag == "B"
+
+    def test_len(self):
+        assert len(parse_query("//A[/B]/C")) == 3
+
+    def test_root_axis_must_be_structural(self):
+        with pytest.raises(ValueError):
+            Query(QueryNode("A"), QueryAxis.FOLLS)
+
+    def test_foreign_target_rejected(self):
+        query = parse_query("//A/B")
+        stranger = QueryNode("Z")
+        with pytest.raises(ValueError):
+            Query(query.root, QueryAxis.CHILD, target=stranger)
+
+    def test_iter_edges_complete(self):
+        query = parse_query("//A[/B/folls::C]/D")
+        edges = [(axis, s.tag, d.tag) for axis, s, d in query.iter_edges()]
+        assert (QueryAxis.CHILD, "A", "B") in edges
+        assert (QueryAxis.FOLLS, "B", "C") in edges
+        assert (QueryAxis.CHILD, "A", "D") in edges
+        assert len(edges) == 3

@@ -1,0 +1,133 @@
+"""Tests for the exact evaluator against hand-countable documents."""
+
+import pytest
+
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xpath import Evaluator, parse_query
+
+
+@pytest.fixture(scope="module")
+def doc():
+    #  r
+    #  ├── a (1): b, c, b
+    #  ├── a (2): c, b[d]
+    #  └── x: a (3): b[d, d]
+    root = el(
+        "r",
+        el("a", el("b"), el("c"), el("b")),
+        el("a", el("c"), el("b", el("d"))),
+        el("x", el("a", el("b", el("d"), el("d")))),
+    )
+    return XmlDocument(root)
+
+
+@pytest.fixture(scope="module")
+def ev(doc):
+    return Evaluator(doc)
+
+
+def sel(ev, text):
+    return ev.selectivity(parse_query(text))
+
+
+class TestStructuralAxes:
+    def test_descendant_root(self, ev):
+        assert sel(ev, "//a") == 3
+        assert sel(ev, "//b") == 4
+        assert sel(ev, "//missing") == 0
+
+    def test_absolute_root(self, ev):
+        assert sel(ev, "/r") == 1
+        assert sel(ev, "/a") == 0  # a is not the document root
+
+    def test_child_chain(self, ev):
+        assert sel(ev, "/r/a") == 2
+        assert sel(ev, "/r/a/b") == 3
+        assert sel(ev, "//a/b/d") == 3
+
+    def test_descendant_step(self, ev):
+        assert sel(ev, "/r//a") == 3
+        assert sel(ev, "//x//d") == 2
+
+    def test_target_not_last(self, ev):
+        assert sel(ev, "//$a/b/d") == 2
+        assert sel(ev, "/r/$a/b") == 2
+
+
+class TestPredicates:
+    def test_branch_filters_context(self, ev):
+        assert sel(ev, "//a[/c]") == 2
+        assert sel(ev, "//a[/b/d]") == 2
+        assert sel(ev, "//a[/c]/b") == 3
+
+    def test_branch_target(self, ev):
+        assert sel(ev, "//a[/$c]/b") == 2
+        assert sel(ev, "//a[/$b]/c") == 3
+
+    def test_nested_branch(self, ev):
+        assert sel(ev, "//a[/b[/d]]") == 2
+
+    def test_unsatisfiable(self, ev):
+        assert sel(ev, "//a[/zz]/b") == 0
+
+
+class TestSiblingOrderAxes:
+    def test_folls(self, ev):
+        # b with a following c sibling: only the first b of a(1).
+        assert sel(ev, "//a[/$b/folls::c]") == 1
+        # b with a preceding c sibling: second b of a(1), b of a(2).
+        assert sel(ev, "//a[/$b/pres::c]") == 2
+
+    def test_folls_other_side(self, ev):
+        assert sel(ev, "//a[/b/folls::$c]") == 1
+        assert sel(ev, "//a[/b/pres::$c]") == 2
+
+    def test_order_with_deeper_constraints(self, ev):
+        # c followed by a b that has a d child: a(2) only.
+        assert sel(ev, "//a[/c/folls::b/$d]") == 1
+
+    def test_order_unsatisfied(self, ev):
+        assert sel(ev, "//x[/a/folls::a]") == 0
+
+    def test_trunk_target_with_order(self, ev):
+        assert sel(ev, "//$a[/b/folls::c]") == 1
+        assert sel(ev, "//$a[/c/folls::b]") == 2
+
+
+class TestScopedFollPre:
+    def test_scoped_following(self, ev):
+        # d under a following sibling of c (scoped semantics):
+        # a(2): c then b[d] -> d qualifies.
+        assert sel(ev, "//a[/c/foll::$d]") == 1
+
+    def test_scoped_preceding(self, ev):
+        # c within a preceding sibling of b (descendant-or-self): a1's c is
+        # itself a preceding sibling of the second b; a2's c precedes b.
+        assert sel(ev, "//a[/b/pre::$c]") == 2
+
+    def test_full_document_following(self, doc):
+        unscoped = Evaluator(doc, scoped_following=False)
+        # With full XPath semantics every d after the first c qualifies.
+        assert unscoped.selectivity(parse_query("//a[/c/foll::$d]")) == 3
+
+    def test_scoped_vs_full_difference(self, doc, ev):
+        scoped = sel(ev, "//a[/c/foll::$d]")
+        full = Evaluator(doc, scoped_following=False).selectivity(
+            parse_query("//a[/c/foll::$d]")
+        )
+        assert scoped <= full
+
+
+class TestSelectivities:
+    def test_all_nodes_at_once(self, ev):
+        query = parse_query("//a[/c]/b")
+        per_node = ev.selectivities(query)
+        assert per_node[query.root.node_id] == 2
+        assert per_node[query.find("b").node_id] == 3
+        assert per_node[query.find("c").node_id] == 2
+
+    def test_matching_nodes_sorted(self, ev, doc):
+        nodes = ev.matching_nodes(parse_query("//a/b"))
+        assert [n.tag for n in nodes] == ["b", "b", "b", "b"]
+        assert [n.pre for n in nodes] == sorted(n.pre for n in nodes)

@@ -1,0 +1,92 @@
+"""The production evaluator vs the brute-force oracle on random inputs.
+
+Random small documents (recursion allowed!) and random queries spanning
+all six axes; the two independent implementations must agree on the exact
+match set for every pattern node.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+from repro.xpath import Evaluator
+from repro.xpath.ast import Edge, Query, QueryAxis, QueryNode
+
+from tests.xpath.reference import brute_force_matches
+
+TAGS = "abcd"
+STRUCT_AXES = [QueryAxis.CHILD, QueryAxis.DESCENDANT]
+ALL_AXES = STRUCT_AXES + [
+    QueryAxis.FOLLS,
+    QueryAxis.PRES,
+    QueryAxis.FOLL,
+    QueryAxis.PRE,
+]
+
+
+@st.composite
+def small_document(draw) -> XmlDocument:
+    """A random tree of ≤ ~25 nodes over a 4-tag alphabet (recursive)."""
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    budget = draw(st.integers(min_value=1, max_value=24))
+
+    root = el(rng.choice(TAGS))
+    frontier = [root]
+    produced = 1
+    while frontier and produced < budget:
+        node = frontier.pop(rng.randrange(len(frontier)))
+        for _ in range(rng.randint(0, 3)):
+            if produced >= budget:
+                break
+            child = node.append(el(rng.choice(TAGS)))
+            produced += 1
+            frontier.append(child)
+    return XmlDocument(root)
+
+
+@st.composite
+def random_query(draw) -> Query:
+    """A random pattern tree of ≤ 5 nodes over the same alphabet."""
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    size = draw(st.integers(min_value=1, max_value=5))
+
+    root = QueryNode(rng.choice(TAGS))
+    nodes = [root]
+    for _ in range(size - 1):
+        parent = rng.choice(nodes)
+        axis = rng.choice(ALL_AXES)
+        child = QueryNode(rng.choice(TAGS))
+        # Direct edge construction: rendering conventions (predicate vs
+        # inline) are irrelevant to the oracle comparison.
+        parent.edges.append(Edge(axis, child, True))
+        nodes.append(child)
+    root_axis = rng.choice(STRUCT_AXES)
+    target = rng.choice(nodes)
+    return Query(root, root_axis, target=target)
+
+
+class TestEvaluatorAgainstOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(small_document(), random_query())
+    def test_target_match_sets_agree(self, document, query):
+        expected = brute_force_matches(document, query)
+        actual = Evaluator(document).matching_pres(query, query.target)
+        assert actual == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_document(), random_query())
+    def test_every_node_selectivity_agrees(self, document, query):
+        evaluator = Evaluator(document)
+        per_node = evaluator.selectivities(query)
+        for pattern_node in query.nodes():
+            shifted = Query(query.root, query.root_axis, target=pattern_node)
+            expected = len(brute_force_matches(document, shifted))
+            assert per_node[pattern_node.node_id] == expected

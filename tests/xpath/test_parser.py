@@ -1,0 +1,160 @@
+"""Tests for the XPath subset parser and AST round-tripping."""
+
+import pytest
+
+from repro.xpath import XPathSyntaxError, parse_query
+from repro.xpath.ast import QueryAxis
+
+
+class TestSimpleQueries:
+    def test_child_chain(self):
+        query = parse_query("/Root/A/B")
+        assert query.root_axis is QueryAxis.CHILD
+        assert query.tags() == ["Root", "A", "B"]
+        assert query.target.tag == "B"
+
+    def test_descendant_start(self):
+        query = parse_query("//A/B")
+        assert query.root_axis is QueryAxis.DESCENDANT
+        assert query.root.tag == "A"
+
+    def test_mixed_axes(self):
+        query = parse_query("//A//B/C")
+        axes = [axis for axis, _, _ in query.iter_edges()]
+        assert axes == [QueryAxis.DESCENDANT, QueryAxis.CHILD]
+
+    def test_long_axis_spellings(self):
+        query = parse_query("/child::A/descendant::B")
+        axes = [axis for axis, _, _ in query.iter_edges()]
+        assert axes == [QueryAxis.DESCENDANT]
+        assert query.root_axis is QueryAxis.CHILD
+
+
+class TestPredicates:
+    def test_single_branch(self):
+        query = parse_query("//A[/C/F]/B")
+        a = query.root
+        predicates = a.predicate_edges()
+        assert len(predicates) == 1 and predicates[0].node.tag == "C"
+        assert a.inline_edge().node.tag == "B"
+
+    def test_nested_predicates(self):
+        query = parse_query("//A[/B[/C]/D]")
+        b = query.root.predicate_edges()[0].node
+        assert b.predicate_edges()[0].node.tag == "C"
+        assert b.inline_edge().node.tag == "D"
+
+    def test_multiple_predicates(self):
+        query = parse_query("//A[/B][/C]/D")
+        tags = [e.node.tag for e in query.root.predicate_edges()]
+        assert tags == ["B", "C"]
+
+    def test_relative_predicate_defaults_to_child(self):
+        query = parse_query("//A[B]")
+        assert query.root.predicate_edges()[0].axis is QueryAxis.CHILD
+
+    def test_descendant_predicate(self):
+        query = parse_query("//A[//B]")
+        assert query.root.predicate_edges()[0].axis is QueryAxis.DESCENDANT
+
+    def test_default_target_is_last_trunk_node(self):
+        assert parse_query("//A[/B/C]/D/E").target.tag == "E"
+        assert parse_query("//A[/B/C]").target.tag == "A"
+
+
+class TestOrderAxes:
+    def test_folls_short_form(self):
+        query = parse_query("//A[/C/folls::B/D]")
+        c = query.root.predicate_edges()[0].node
+        order = c.order_edges()
+        assert len(order) == 1
+        assert order[0].axis is QueryAxis.FOLLS
+        assert order[0].node.tag == "B"
+        assert order[0].node.inline_edge().node.tag == "D"
+
+    @pytest.mark.parametrize(
+        "spelling,axis",
+        [
+            ("folls", QueryAxis.FOLLS),
+            ("pres", QueryAxis.PRES),
+            ("foll", QueryAxis.FOLL),
+            ("pre", QueryAxis.PRE),
+            ("following-sibling", QueryAxis.FOLLS),
+            ("preceding-sibling", QueryAxis.PRES),
+            ("following", QueryAxis.FOLL),
+            ("preceding", QueryAxis.PRE),
+        ],
+    )
+    def test_axis_spellings(self, spelling, axis):
+        query = parse_query("//A[/B/%s::C]" % spelling)
+        b = query.root.predicate_edges()[0].node
+        assert b.order_edges()[0].axis is axis
+
+    def test_has_order_axes(self):
+        assert parse_query("//A[/B/folls::C]").has_order_axes()
+        assert not parse_query("//A[/B]/C").has_order_axes()
+
+
+class TestTargetMarker:
+    def test_marker_in_branch(self):
+        query = parse_query("//A[/C/folls::$B/D]")
+        assert query.target.tag == "B"
+
+    def test_marker_on_root(self):
+        assert parse_query("//$A/B").target.tag == "A"
+
+    def test_duplicate_marker_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("//$A/$B")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("/Root/A/B", None),
+            ("//A//B/C", None),
+            ("//A[/C[/F]/folls::$B/D]", None),
+            ("//A[/B][//C]/D", None),
+            ("//A[/C/pres::B]", None),
+            ("//A[/C/foll::D]", None),
+            # A redundant marker on the default target canonicalizes away.
+            ("//A[/C/F]/B/$D", "//A[/C/F]/B/D"),
+            ("//$A[/B/C]", "//A[/B/C]"),
+        ],
+    )
+    def test_to_string_roundtrips(self, text, expected):
+        canonical = expected or text
+        query = parse_query(text)
+        assert query.to_string() == canonical
+        reparsed = parse_query(query.to_string())
+        assert reparsed.to_string() == canonical
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "A/B",            # must start with / or //
+            "//",
+            "//A[",
+            "//A]",
+            "//A[/B",
+            "//A/",
+            "//A[/B]]",
+            "//A/[B]",
+            "//A/folls::",
+            "//A b",
+            "//A%B",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_query(text)
+
+    def test_error_offset(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_query("//A[/B]]")
+        assert excinfo.value.position == 7

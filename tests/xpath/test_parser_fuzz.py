@@ -1,0 +1,80 @@
+"""Parser fuzzing: random renderable queries round-trip through text.
+
+The generator only builds queries the renderer can express (predicate
+edges plus at most one inline edge per node), so
+``parse(to_string(q)).to_string() == q.to_string()`` must hold exactly.
+A second property feeds random garbage and asserts the parser either
+succeeds or raises :class:`XPathSyntaxError` — never anything else.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xpath import XPathSyntaxError, parse_query
+from repro.xpath.ast import Edge, Query, QueryAxis, QueryNode
+
+TAGS = ["alpha", "b2", "c-c", "d.d", "E_e"]
+AXES = [
+    QueryAxis.CHILD,
+    QueryAxis.DESCENDANT,
+    QueryAxis.FOLLS,
+    QueryAxis.PRES,
+    QueryAxis.FOLL,
+    QueryAxis.PRE,
+]
+
+
+@st.composite
+def renderable_query(draw) -> Query:
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    rng = random.Random(seed)
+    size = draw(st.integers(min_value=1, max_value=7))
+    root = QueryNode(rng.choice(TAGS))
+    nodes = [root]
+    for _ in range(size - 1):
+        parent = rng.choice(nodes)
+        axis = rng.choice(AXES)
+        child = QueryNode(rng.choice(TAGS))
+        inline_free = parent.inline_edge() is None
+        is_predicate = not inline_free or rng.random() < 0.5
+        parent.edges.append(Edge(axis, child, is_predicate))
+        nodes.append(child)
+    root_axis = rng.choice([QueryAxis.CHILD, QueryAxis.DESCENDANT])
+    target = rng.choice(nodes)
+    return Query(root, root_axis, target=target)
+
+
+class TestRoundTripFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(renderable_query())
+    def test_roundtrip(self, query):
+        text = query.to_string()
+        reparsed = parse_query(text)
+        assert reparsed.to_string() == text
+        # Structure also survives: same tag multiset, same edge count.
+        assert sorted(reparsed.tags()) == sorted(query.tags())
+        assert len(list(reparsed.iter_edges())) == len(list(query.iter_edges()))
+        assert reparsed.target.tag == query.target.tag
+
+    @settings(max_examples=150, deadline=None)
+    @given(renderable_query())
+    def test_double_roundtrip_stable(self, query):
+        once = parse_query(query.to_string()).to_string()
+        twice = parse_query(once).to_string()
+        assert once == twice
+
+
+class TestGarbageFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(alphabet="/[]$:abAB-_.13 ", max_size=24))
+    def test_parser_never_crashes(self, text):
+        try:
+            query = parse_query(text)
+        except XPathSyntaxError:
+            return
+        # Anything accepted must render and re-parse stably.
+        assert parse_query(query.to_string()).to_string() == query.to_string()
