@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro paths --dataset SSPlays --limit 10
     python -m repro validate --dataset XMark
     python -m repro report --output reproduction_report.txt
+    python -m repro snapshot --dataset SSPlays --output snapshots/
+    python -m repro serve --snapshot-dir snapshots/ --port 8750
 
 Every subcommand accepts either ``--file <xml>`` (parsed with the built-in
 parser) or ``--dataset {SSPlays,DBLP,XMark}`` with ``--scale``/``--seed``.
@@ -18,6 +20,8 @@ parser) or ``--dataset {SSPlays,DBLP,XMark}`` with ``--scale``/``--seed``.
 from __future__ import annotations
 
 import argparse
+import functools
+import os
 import sys
 from typing import List, Optional
 
@@ -30,6 +34,10 @@ from repro.xmltree.document import XmlDocument
 from repro.xmltree.parser import parse_xml
 from repro.xmltree.stats import document_stats
 from repro.xpath import Evaluator, parse_query
+
+# Repeated workload queries (estimate loops, validate sweeps) hit the
+# parser with the same few hundred texts; parse each distinct text once.
+_parse_cached = functools.lru_cache(maxsize=1024)(parse_query)
 
 
 def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
@@ -70,7 +78,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     system = EstimationSystem.build(
         document, p_variance=args.p_variance, o_variance=args.o_variance
     )
-    query = parse_query(args.query)
+    query = _parse_cached(args.query)
     estimate = system.estimate(query)
     print("estimate: %.3f" % estimate)
     if args.actual:
@@ -125,6 +133,76 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro import persist
+
+    document = _load_document(args)
+    system = EstimationSystem.build(
+        document, p_variance=args.p_variance, o_variance=args.o_variance
+    )
+    name = args.name
+    if name is None:
+        name = args.dataset or os.path.splitext(os.path.basename(args.file))[0]
+    output = args.output
+    if output.endswith(os.sep) or os.path.isdir(output):
+        os.makedirs(output, exist_ok=True)
+        output = os.path.join(output, name + ".json")
+    else:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    persist.save(system, output)
+    print(
+        "snapshot %r written to %s (%d bytes)"
+        % (name, output, os.path.getsize(output))
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        EstimationService,
+        PlanCache,
+        ServiceServer,
+        SynopsisRegistry,
+    )
+
+    if not os.path.isdir(args.snapshot_dir):
+        print("error: snapshot dir %r does not exist" % args.snapshot_dir,
+              file=sys.stderr)
+        return 1
+    registry = SynopsisRegistry(
+        args.snapshot_dir, check_interval=args.reload_interval
+    )
+    names = registry.scan()
+    for name, error in sorted(registry.scan_errors.items()):
+        print(
+            "warning: skipping snapshot %r: %s" % (name, error),
+            file=sys.stderr,
+        )
+    if not names:
+        print(
+            "warning: no *.json snapshots in %r yet (write some with "
+            "'python -m repro snapshot'); new files are picked up live"
+            % args.snapshot_dir,
+            file=sys.stderr,
+        )
+    service = EstimationService(registry, plan_cache=PlanCache(args.plan_cache))
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(
+        "serving %d synopsis(es) [%s] on http://%s:%d (plan cache %d)"
+        % (len(names), ", ".join(names), server.host, server.port, args.plan_cache),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import write_report
 
@@ -174,6 +252,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_source_arguments(validate)
     validate.set_defaults(handler=_cmd_validate)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="build a synopsis and persist it for serving"
+    )
+    _add_source_arguments(snapshot)
+    snapshot.add_argument("--p-variance", type=float, default=0.0)
+    snapshot.add_argument("--o-variance", type=float, default=0.0)
+    snapshot.add_argument(
+        "--output", default="snapshots" + os.sep,
+        help="output file, or directory (trailing separator / existing dir) "
+        "to write <name>.json into",
+    )
+    snapshot.add_argument(
+        "--name", default=None,
+        help="synopsis name (default: dataset name or XML file stem)",
+    )
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
+    serve = commands.add_parser(
+        "serve", help="serve estimates over JSON/HTTP from persisted synopses"
+    )
+    serve.add_argument(
+        "--snapshot-dir", required=True, help="directory of *.json synopses"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--plan-cache", type=int, default=512,
+        help="compiled-plan LRU capacity (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--reload-interval", type=float, default=0.0,
+        help="seconds between snapshot freshness checks (0 = every request)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="stitch bench_results/ into one reproduction report"

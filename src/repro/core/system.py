@@ -39,7 +39,15 @@ from repro.stats.path_order import PathOrderTable, collect_path_order
 from repro.stats.pathid_freq import PathIdFrequencyTable, collect_pathid_frequencies
 from repro.xmltree.document import XmlDocument
 from repro.xpath.ast import Query
-from repro.xpath.parser import parse_query
+from repro.xpath.parser import parse_query, parse_query_cached
+
+#: Estimation routes, in the order ``estimate`` checks for them.  A query
+#: takes exactly one: scoped ``foll``/``pre`` axes go through the Example
+#: 5.3 rewrite, sibling ``folls``/``pres`` axes through the Section 5
+#: order estimator, everything else through the Section 4 machinery.
+ROUTE_SCOPED = "scoped"
+ROUTE_ORDER = "order"
+ROUTE_NO_ORDER = "no_order"
 
 
 class EstimationSystem:
@@ -140,6 +148,21 @@ class EstimationSystem:
     def parse(self, text: str) -> Query:
         return parse_query(text)
 
+    @staticmethod
+    def select_route(query: Query) -> str:
+        """Which estimation route ``estimate`` would take for ``query``.
+
+        One of :data:`ROUTE_SCOPED`, :data:`ROUTE_ORDER`,
+        :data:`ROUTE_NO_ORDER`.  Route selection depends only on the query
+        shape, so callers (the service plan cache) can compute it once per
+        distinct query text.
+        """
+        if scoped_order_edges(query):
+            return ROUTE_SCOPED
+        if sibling_order_edges(query):
+            return ROUTE_ORDER
+        return ROUTE_NO_ORDER
+
     def estimate(
         self,
         query: Union[str, Query],
@@ -152,8 +175,27 @@ class EstimationSystem:
         ``depth_consistent=False`` uses the literal pairwise containment
         test (both are ablation switches, see DESIGN.md §5).
         """
-        parsed = parse_query(query) if isinstance(query, str) else query
-        if scoped_order_edges(parsed):
+        parsed = parse_query_cached(query) if isinstance(query, str) else query
+        return self.estimate_routed(
+            parsed,
+            self.select_route(parsed),
+            fixpoint=fixpoint,
+            depth_consistent=depth_consistent,
+        )
+
+    def estimate_routed(
+        self,
+        parsed: Query,
+        route: str,
+        fixpoint: bool = True,
+        depth_consistent: bool = True,
+    ) -> float:
+        """Estimate along a precomputed route, skipping edge re-scans.
+
+        ``route`` must be ``select_route(parsed)``; the service's compiled
+        plans call this directly with the cached (AST, route) pair.
+        """
+        if route == ROUTE_SCOPED:
             variants = rewrite_scoped_order_query(
                 parsed, self.path_provider, self.encoding_table,
                 fixpoint=fixpoint, depth_consistent=depth_consistent,
@@ -162,7 +204,7 @@ class EstimationSystem:
                 self.estimate(variant, fixpoint=fixpoint, depth_consistent=depth_consistent)
                 for variant in variants
             )
-        if sibling_order_edges(parsed):
+        if route == ROUTE_ORDER:
             return estimate_with_order(
                 parsed,
                 self.path_provider,
@@ -171,6 +213,8 @@ class EstimationSystem:
                 fixpoint=fixpoint,
                 depth_consistent=depth_consistent,
             )
+        if route != ROUTE_NO_ORDER:
+            raise ValueError("unknown estimation route %r" % route)
         return estimate_no_order(
             parsed, self.path_provider, self.encoding_table,
             fixpoint=fixpoint, depth_consistent=depth_consistent,

@@ -28,7 +28,16 @@ from repro.stats.pathid_freq import PathIdFrequencyTable
 FORMAT_VERSION = 1
 
 
-class SynopsisLoadError(ValueError):
+class PersistError(ValueError):
+    """Base error for synopsis (de)serialization failures.
+
+    Raised instead of leaking ``KeyError``/``TypeError``/``JSONDecodeError``
+    from the payload internals, so callers (the CLI, the estimation
+    service) can report one clear failure mode.
+    """
+
+
+class SynopsisLoadError(PersistError):
     """Raised when a persisted synopsis is malformed or incompatible."""
 
 
@@ -66,7 +75,13 @@ def system_from_dict(payload: Dict[str, Any]) -> EstimationSystem:
     exact-statistics tables are empty shells and no binary tree is
     attached (both are construction-time artifacts).
     """
+    if not isinstance(payload, dict):
+        raise SynopsisLoadError(
+            "synopsis payload must be a JSON object, got %s" % type(payload).__name__
+        )
     version = payload.get("format_version")
+    if version is None:
+        raise SynopsisLoadError("synopsis payload has no format_version field")
     if version != FORMAT_VERSION:
         raise SynopsisLoadError("unsupported synopsis format %r" % version)
     try:
@@ -85,7 +100,7 @@ def system_from_dict(payload: Dict[str, Any]) -> EstimationSystem:
             },
             float(payload["o_variance"]),
         )
-    except (KeyError, TypeError) as error:
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
         raise SynopsisLoadError("malformed synopsis: %s" % error)
     labeled = _labeled_shell(table)
     return EstimationSystem(
@@ -103,7 +118,11 @@ def dumps(system: EstimationSystem, indent: Optional[int] = None) -> str:
 
 
 def loads(text: str) -> EstimationSystem:
-    return system_from_dict(json.loads(text))
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SynopsisLoadError("synopsis is not valid JSON: %s" % error)
+    return system_from_dict(payload)
 
 
 def save(system: EstimationSystem, path: str) -> None:

@@ -1,0 +1,50 @@
+"""Estimation service: a long-lived synopsis-serving daemon.
+
+The paper's deployment story is that a compact synopsis replaces the
+document at optimization time — summaries are built once and shipped to
+query optimizers.  This package is that shipping lane, stdlib only:
+
+* :mod:`repro.service.registry` — loads persisted synopses from a
+  snapshot directory, hot-reloads them when the files change, and hosts
+  *live* synopses maintained in place under appends
+  (:mod:`repro.stats.maintenance`);
+* :mod:`repro.service.plancache` — an LRU of compiled plans (parsed AST,
+  chosen estimation route, scoped-axis rewrite variants, memoized
+  estimate) so hot queries skip parsing and routing entirely;
+* :mod:`repro.service.metrics` — request/error counters, a latency ring
+  buffer with p50/p95/p99, per-synopsis QPS and the cache hit rate;
+* :mod:`repro.service.server` — a threaded JSON-over-HTTP front end
+  (``POST /estimate``, ``GET /synopses``, ``GET /healthz``,
+  ``GET /metrics``);
+* :mod:`repro.service.client` — a small blocking client for the above.
+
+Run one with ``python -m repro serve --snapshot-dir <dir>`` after writing
+snapshots with ``python -m repro snapshot``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.metrics import LatencySummary, ServiceMetrics
+from repro.service.plancache import CompiledPlan, PlanCache, compile_plan
+from repro.service.registry import (
+    LiveSynopsis,
+    SynopsisEntry,
+    SynopsisRegistry,
+    UnknownSynopsisError,
+)
+from repro.service.server import EstimationService, ServiceServer
+
+__all__ = [
+    "CompiledPlan",
+    "EstimationService",
+    "LatencySummary",
+    "LiveSynopsis",
+    "PlanCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceServer",
+    "SynopsisEntry",
+    "SynopsisRegistry",
+    "UnknownSynopsisError",
+    "compile_plan",
+]

@@ -1,0 +1,197 @@
+"""Service metrics: counters, latency percentiles, per-synopsis QPS.
+
+Follows the conventions of :mod:`repro.harness.metrics` (a frozen
+dataclass summary built from a sample sequence, percentile index
+``min(n-1, int(q*n))`` over the sorted samples) but observes *request
+latencies* instead of relative errors, and keeps only a bounded ring of
+recent samples so a long-lived server stays O(1) in memory.
+
+Everything is thread-safe; the HTTP handler threads call ``observe`` and
+``GET /metrics`` renders ``snapshot()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+DEFAULT_RING_CAPACITY = 4096
+DEFAULT_QPS_WINDOW = 30.0
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Same index convention as harness.metrics.ErrorSummary.p90."""
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of request latencies, in milliseconds."""
+
+    count: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_samples(cls, seconds: Sequence[float]) -> "LatencySummary":
+        if not seconds:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(value * 1000.0 for value in seconds)
+        return cls(
+            count=len(ordered),
+            p50_ms=_percentile(ordered, 0.50),
+            p95_ms=_percentile(ordered, 0.95),
+            p99_ms=_percentile(ordered, 0.99),
+            max_ms=ordered[-1],
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+    def __str__(self) -> str:
+        return "n=%d p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms" % (
+            self.count,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.max_ms,
+        )
+
+
+class LatencyRing:
+    """Bounded ring of the most recent latency samples (seconds)."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY):
+        self._samples: "deque[float]" = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def summary(self) -> LatencySummary:
+        with self._lock:
+            samples = list(self._samples)
+        return LatencySummary.from_samples(samples)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+class _SynopsisCounters:
+    """Per-synopsis request accounting and a QPS timestamp window."""
+
+    __slots__ = ("requests", "queries", "errors", "stamps")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.queries = 0
+        self.errors = 0
+        self.stamps: "deque[float]" = deque()
+
+
+class ServiceMetrics:
+    """Aggregated serving metrics, rendered by ``GET /metrics``.
+
+    One ``observe`` per HTTP estimate request; ``queries`` counts the
+    individual estimates inside it (a batch of 10 is one request, ten
+    queries).  QPS is requests over a sliding ``qps_window`` seconds.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        qps_window: float = DEFAULT_QPS_WINDOW,
+    ):
+        self._clock = clock
+        self._started = clock()
+        self._qps_window = qps_window
+        self._lock = threading.Lock()
+        self._ring = LatencyRing(ring_capacity)
+        self._requests = 0
+        self._queries = 0
+        self._errors = 0
+        self._per_synopsis: Dict[str, _SynopsisCounters] = {}
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        synopsis: Optional[str],
+        latency_s: float,
+        queries: int = 1,
+        error: bool = False,
+    ) -> None:
+        """Record one estimate request against ``synopsis`` (None when the
+        request failed before a synopsis was resolved)."""
+        now = self._clock()
+        self._ring.observe(latency_s)
+        with self._lock:
+            self._requests += 1
+            self._queries += queries
+            if error:
+                self._errors += 1
+            if synopsis is not None:
+                counters = self._per_synopsis.setdefault(synopsis, _SynopsisCounters())
+                counters.requests += 1
+                counters.queries += queries
+                if error:
+                    counters.errors += 1
+                counters.stamps.append(now)
+                self._trim(counters, now)
+
+    def _trim(self, counters: _SynopsisCounters, now: float) -> None:
+        horizon = now - self._qps_window
+        while counters.stamps and counters.stamps[0] < horizon:
+            counters.stamps.popleft()
+
+    # ------------------------------------------------------------------
+
+    def latency(self) -> LatencySummary:
+        return self._ring.summary()
+
+    def snapshot(self, plan_cache_stats: Optional[object] = None) -> Dict[str, object]:
+        """A JSON-ready metrics document."""
+        now = self._clock()
+        with self._lock:
+            per_synopsis: Dict[str, object] = {}
+            for name in sorted(self._per_synopsis):
+                counters = self._per_synopsis[name]
+                self._trim(counters, now)
+                window = min(self._qps_window, max(now - self._started, 1e-9))
+                per_synopsis[name] = {
+                    "requests": counters.requests,
+                    "queries": counters.queries,
+                    "errors": counters.errors,
+                    "qps": len(counters.stamps) / window,
+                }
+            payload: Dict[str, object] = {
+                "uptime_s": now - self._started,
+                "requests_total": self._requests,
+                "queries_total": self._queries,
+                "errors_total": self._errors,
+                "latency_ms": self.latency().as_dict(),
+                "synopses": per_synopsis,
+            }
+        if plan_cache_stats is not None:
+            payload["plan_cache"] = (
+                plan_cache_stats.as_dict()
+                if hasattr(plan_cache_stats, "as_dict")
+                else plan_cache_stats
+            )
+        return payload

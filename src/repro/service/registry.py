@@ -1,0 +1,315 @@
+"""Synopsis registry: named estimation systems with hot reload.
+
+A registry serves :class:`~repro.core.system.EstimationSystem` instances
+under stable names.  Three kinds of entry coexist:
+
+* **file-backed** — loaded from ``<snapshot_dir>/<name>.json`` via
+  :func:`repro.persist.load`; ``get`` re-stats the file and reloads it
+  when the (mtime, size) pair changes, so a snapshot can be rewritten
+  underneath a running server without a restart.  A half-written or
+  malformed replacement never takes down the entry: the previous system
+  keeps serving and the failure is surfaced in ``describe()``;
+* **in-memory** — registered programmatically (tests, benchmarks);
+* **live** — a :class:`LiveSynopsis` wrapping
+  :class:`~repro.stats.maintenance.MaintainedStatistics`: appends patch
+  the statistics in place and the served system is rebuilt from the
+  maintained tables, again without a restart.
+
+Every successful reload or append bumps the entry's ``generation``; the
+plan cache keys on it, so stale compiled plans die with the generation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro import persist
+from repro.core.system import EstimationSystem
+from repro.persist import PersistError
+from repro.stats.maintenance import MaintainedStatistics
+from repro.xmltree.document import XmlDocument
+from repro.xmltree.node import XmlNode
+
+SNAPSHOT_SUFFIX = ".json"
+
+
+class UnknownSynopsisError(KeyError):
+    """Requested synopsis name is not registered (and no snapshot exists)."""
+
+
+class LiveSynopsis:
+    """A synopsis maintained in place under appends (no restart needed).
+
+    Wraps :class:`MaintainedStatistics`; ``append_subtree`` patches the
+    statistics tables incrementally and rebuilds the histogram-backed
+    estimation system from them at the configured variance thresholds.
+    """
+
+    def __init__(
+        self,
+        document: XmlDocument,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+    ):
+        self.maintained = MaintainedStatistics(document)
+        self.p_variance = p_variance
+        self.o_variance = o_variance
+        self.system = self._rebuild()
+
+    def _rebuild(self) -> EstimationSystem:
+        self.system = EstimationSystem.from_tables(
+            self.maintained.labeled,
+            self.maintained.pathid_table,
+            self.maintained.order_table,
+            p_variance=self.p_variance,
+            o_variance=self.o_variance,
+        )
+        return self.system
+
+    def append_subtree(self, parent: XmlNode, subtree: XmlNode) -> EstimationSystem:
+        """Append and refresh the served system (RequiresRebuild passes
+        through untouched — the caller decides whether to rebuild)."""
+        self.maintained.append_subtree(parent, subtree)
+        return self._rebuild()
+
+
+class SynopsisEntry:
+    """One registered synopsis and its serving state."""
+
+    __slots__ = (
+        "name",
+        "system",
+        "generation",
+        "path",
+        "stamp",
+        "live",
+        "load_error",
+        "last_check",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        system: EstimationSystem,
+        path: Optional[str] = None,
+        stamp: Optional[tuple] = None,
+        live: Optional[LiveSynopsis] = None,
+    ):
+        self.name = name
+        self.system = system
+        self.generation = 1
+        self.path = path
+        self.stamp = stamp  # (mtime_ns, size) of the loaded snapshot file
+        self.live = live
+        self.load_error: Optional[str] = None
+        self.last_check = float("-inf")
+
+    @property
+    def source(self) -> str:
+        if self.live is not None:
+            return "live"
+        return self.path if self.path is not None else "memory"
+
+    def describe(self) -> Dict[str, object]:
+        table = self.system.encoding_table
+        info: Dict[str, object] = {
+            "name": self.name,
+            "generation": self.generation,
+            "source": self.source,
+            "paths": len(table.all_paths()),
+            "pathid_bits": table.width,
+            "tags": len(self.system.path_provider.tags()),
+        }
+        if self.load_error is not None:
+            info["load_error"] = self.load_error
+        return info
+
+
+def _stat_stamp(path: str) -> tuple:
+    status = os.stat(path)
+    return (status.st_mtime_ns, status.st_size)
+
+
+class SynopsisRegistry:
+    """Thread-safe name → synopsis map with mtime-based hot reload.
+
+    ``check_interval`` throttles the per-``get`` ``os.stat`` (0 = stat on
+    every request; a busy server may prefer ~1s).  All mutation happens
+    under one reentrant lock; estimation itself runs outside it.
+    """
+
+    def __init__(
+        self,
+        snapshot_dir: Optional[str] = None,
+        check_interval: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.snapshot_dir = snapshot_dir
+        self.check_interval = check_interval
+        self._clock = clock
+        self._entries: Dict[str, SynopsisEntry] = {}
+        self._lock = threading.RLock()
+        self.scan_errors: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, system: EstimationSystem) -> SynopsisEntry:
+        """Register an in-memory system (tests, benchmarks, embedding)."""
+        with self._lock:
+            entry = SynopsisEntry(name, system)
+            self._entries[name] = entry
+            return entry
+
+    def register_live(
+        self,
+        name: str,
+        document: XmlDocument,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+    ) -> SynopsisEntry:
+        """Register a live synopsis maintained under appends."""
+        live = LiveSynopsis(document, p_variance, o_variance)
+        with self._lock:
+            entry = SynopsisEntry(name, live.system, live=live)
+            self._entries[name] = entry
+            return entry
+
+    def append(self, name: str, parent: XmlNode, subtree: XmlNode) -> SynopsisEntry:
+        """Append to a live synopsis; the next ``get`` serves the update."""
+        with self._lock:
+            entry = self._require(name)
+            if entry.live is None:
+                raise ValueError(
+                    "synopsis %r is not live (register_live to maintain appends)" % name
+                )
+            entry.system = entry.live.append_subtree(parent, subtree)
+            entry.generation += 1
+            return entry
+
+    def scan(self) -> List[str]:
+        """Load (or refresh) every ``*.json`` snapshot in the directory.
+
+        An unloadable file must not take down the daemon (nor block the
+        other synopses): it is skipped and recorded in ``scan_errors``.
+        """
+        if self.snapshot_dir is None:
+            return []
+        names = []
+        with self._lock:
+            self.scan_errors = {}
+            for filename in sorted(os.listdir(self.snapshot_dir)):
+                if not filename.endswith(SNAPSHOT_SUFFIX):
+                    continue
+                name = filename[: -len(SNAPSHOT_SUFFIX)]
+                try:
+                    self._load_or_refresh(
+                        name, os.path.join(self.snapshot_dir, filename)
+                    )
+                except (PersistError, OSError) as error:
+                    self.scan_errors[name] = str(error)
+                    continue
+                names.append(name)
+        return names
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> SynopsisEntry:
+        """The entry for ``name``, hot-reloaded if its snapshot changed."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                entry = self._load_unregistered(name)
+            elif entry.path is not None:
+                self._maybe_reload(entry)
+            return entry
+
+    def system(self, name: str) -> EstimationSystem:
+        return self.get(name).system
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [self._entries[name].describe() for name in sorted(self._entries)]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require(self, name: str) -> SynopsisEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownSynopsisError(name)
+        return entry
+
+    def _snapshot_path(self, name: str) -> Optional[str]:
+        if self.snapshot_dir is None:
+            return None
+        return os.path.join(self.snapshot_dir, name + SNAPSHOT_SUFFIX)
+
+    def _load_unregistered(self, name: str) -> SynopsisEntry:
+        """A name we have not seen: pick up a snapshot that appeared after
+        the initial scan, otherwise fail."""
+        path = self._snapshot_path(name)
+        if path is None or not os.path.exists(path):
+            raise UnknownSynopsisError(name)
+        try:
+            return self._load_or_refresh(name, path)
+        except (PersistError, OSError) as error:
+            # A file with the right name but an unreadable payload is not
+            # a servable synopsis; 404 rather than an internal error.
+            raise UnknownSynopsisError("%s (unloadable: %s)" % (name, error))
+
+    def _load_or_refresh(self, name: str, path: str) -> SynopsisEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            stamp = _stat_stamp(path)
+            system = persist.load(path)
+            entry = SynopsisEntry(name, system, path=path, stamp=stamp)
+            entry.last_check = self._clock()
+            self._entries[name] = entry
+            return entry
+        self._maybe_reload(entry, force=True)
+        return entry
+
+    def _maybe_reload(self, entry: SynopsisEntry, force: bool = False) -> None:
+        now = self._clock()
+        if not force and now - entry.last_check < self.check_interval:
+            return
+        entry.last_check = now
+        try:
+            stamp = _stat_stamp(entry.path)  # type: ignore[arg-type]
+        except OSError as error:
+            # Snapshot deleted mid-flight: keep serving the loaded system.
+            entry.load_error = "snapshot unreadable: %s" % error
+            return
+        if stamp == entry.stamp:
+            return
+        try:
+            system = persist.load(entry.path)  # type: ignore[arg-type]
+        except (PersistError, OSError) as error:
+            # Half-written or malformed replacement: keep the old system
+            # and surface the failure instead of flapping.
+            entry.load_error = "reload failed: %s" % error
+            return
+        entry.system = system
+        entry.stamp = stamp
+        entry.generation += 1
+        entry.load_error = None

@@ -1,0 +1,272 @@
+"""Threaded JSON-over-HTTP front end for the synopsis registry.
+
+Endpoints
+---------
+
+``POST /estimate``
+    Body ``{"synopsis": name, "query": text}`` for a single estimate or
+    ``{"synopsis": name, "queries": [text, ...]}`` for a batch.  Replies
+    with the estimate(s), the route taken and whether the compiled plan
+    came from the cache.
+``GET /synopses``
+    The registry inventory (name, generation, source, sizes).
+``GET /healthz``
+    Liveness: ``{"status": "ok", "synopses": N}``.
+``GET /metrics``
+    Counters, latency percentiles, per-synopsis QPS, cache hit rate.
+
+The server is :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, stdlib only.  Estimation runs outside the registry lock; the
+plan cache and metrics are thread-safe, so concurrent clients see exactly
+the numbers a direct :meth:`EstimationSystem.estimate` would produce.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.transform import UnsupportedQueryError
+from repro.service.metrics import ServiceMetrics
+from repro.service.plancache import PlanCache
+from repro.service.registry import SynopsisRegistry, UnknownSynopsisError
+from repro.xpath.parser import XPathSyntaxError
+
+DEFAULT_PORT = 8750
+
+
+class RequestError(ValueError):
+    """A client-side request problem, mapped to an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class EstimationService:
+    """Registry + plan cache + metrics behind one estimate() entry point.
+
+    This is the transport-free core: the HTTP handler, the benchmark load
+    generator and the tests all talk to the same object.
+    """
+
+    def __init__(
+        self,
+        registry: SynopsisRegistry,
+        plan_cache: Optional[PlanCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.registry = registry
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, synopsis: str, text: str) -> Dict[str, Any]:
+        """One estimate as a JSON-ready dict (no metrics side effects)."""
+        entry = self.registry.get(synopsis)
+        plan, hit = self.plan_cache.get_or_compile(
+            entry.name, entry.generation, entry.system, text
+        )
+        return {
+            "query": text,
+            "estimate": plan.execute(entry.system),
+            "route": plan.route,
+            "cached": hit,
+        }
+
+    def handle_estimate(self, payload: Any) -> Dict[str, Any]:
+        """Validate and serve one ``POST /estimate`` body; observes
+        metrics (including for failed requests) and raises
+        :class:`RequestError` with the proper HTTP status on bad input."""
+        started = time.perf_counter()
+        synopsis: Optional[str] = None
+        queries: List[str] = []
+        try:
+            synopsis, queries, batched = self._parse_estimate_payload(payload)
+            results = [self.estimate(synopsis, text) for text in queries]
+        except UnknownSynopsisError as error:
+            self._observe_failure(None, started, len(queries))
+            raise RequestError(404, "unknown synopsis %s" % error)
+        except XPathSyntaxError as error:
+            self._observe_failure(synopsis, started, len(queries))
+            raise RequestError(400, "bad query: %s" % error)
+        except UnsupportedQueryError as error:
+            self._observe_failure(synopsis, started, len(queries))
+            raise RequestError(400, "unsupported query: %s" % error)
+        except RequestError:
+            self._observe_failure(synopsis, started, len(queries))
+            raise
+        generation = self.registry.get(synopsis).generation
+        self.metrics.observe(
+            synopsis, time.perf_counter() - started, queries=len(results)
+        )
+        body: Dict[str, Any] = {"synopsis": synopsis, "generation": generation}
+        if batched:
+            body["results"] = results
+            body["count"] = len(results)
+        else:
+            body.update(results[0])
+        return body
+
+    @staticmethod
+    def _parse_estimate_payload(payload: Any) -> Tuple[str, List[str], bool]:
+        if not isinstance(payload, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        synopsis = payload.get("synopsis")
+        if not isinstance(synopsis, str) or not synopsis:
+            raise RequestError(400, "missing 'synopsis' field")
+        if "queries" in payload:
+            queries = payload["queries"]
+            if not isinstance(queries, list) or not all(
+                isinstance(text, str) for text in queries
+            ):
+                raise RequestError(400, "'queries' must be a list of strings")
+            if not queries:
+                raise RequestError(400, "'queries' must not be empty")
+            return synopsis, queries, True
+        text = payload.get("query")
+        if not isinstance(text, str) or not text:
+            raise RequestError(400, "missing 'query' field")
+        return synopsis, [text], False
+
+    def _observe_failure(
+        self, synopsis: Optional[str], started: float, queries: int
+    ) -> None:
+        self.metrics.observe(
+            synopsis,
+            time.perf_counter() - started,
+            queries=max(1, queries),
+            error=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Read-only endpoints
+    # ------------------------------------------------------------------
+
+    def synopses(self) -> Dict[str, Any]:
+        return {"synopses": self.registry.describe()}
+
+    def healthz(self) -> Dict[str, Any]:
+        return {"status": "ok", "synopses": len(self.registry)}
+
+    def metrics_document(self) -> Dict[str, Any]:
+        return self.metrics.snapshot(self.plan_cache.stats())
+
+
+def _make_handler(service: EstimationService) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-estimation-service"
+        protocol_version = "HTTP/1.1"
+        # Sub-millisecond replies must not sit behind Nagle waiting for
+        # the client's delayed ACK.
+        disable_nagle_algorithm = True
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # request logging would swamp pytest output
+
+        # -- plumbing --------------------------------------------------
+
+        def _reply(self, status: int, body: Dict[str, Any]) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_json(self) -> Any:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise RequestError(400, "empty request body")
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise RequestError(400, "invalid JSON body: %s" % error)
+
+        # -- endpoints -------------------------------------------------
+
+        def do_GET(self) -> None:
+            try:
+                if self.path == "/healthz":
+                    self._reply(200, service.healthz())
+                elif self.path == "/synopses":
+                    self._reply(200, service.synopses())
+                elif self.path == "/metrics":
+                    self._reply(200, service.metrics_document())
+                else:
+                    self._reply(404, {"error": "no such endpoint %r" % self.path})
+            except Exception as error:  # pragma: no cover - defensive
+                self._reply(500, {"error": "internal error: %s" % error})
+
+        def do_POST(self) -> None:
+            try:
+                if self.path != "/estimate":
+                    self._reply(404, {"error": "no such endpoint %r" % self.path})
+                    return
+                self._reply(200, service.handle_estimate(self._read_json()))
+            except RequestError as error:
+                self._reply(error.status, {"error": str(error)})
+            except Exception as error:  # pragma: no cover - defensive
+                self._reply(500, {"error": "internal error: %s" % error})
+
+    return Handler
+
+
+class ServiceServer:
+    """A running (threaded) HTTP server around an :class:`EstimationService`.
+
+    ``port=0`` binds an ephemeral port; read it back from ``.port``.
+    Usable as a context manager::
+
+        with ServiceServer(service, port=0) as server:
+            client = ServiceClient(port=server.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        service: EstimationService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ):
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+        self.httpd.daemon_threads = True
+        self.host, self.port = self.httpd.server_address[0], self.httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "ServiceServer":
+        """Serve in a background daemon thread (tests, benchmarks)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self.httpd.serve_forever()
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -19,13 +19,14 @@ accuracy experiments).
 
 from repro.xpath.ast import Query, QueryAxis, QueryNode
 from repro.xpath.evaluator import Evaluator
-from repro.xpath.parser import XPathSyntaxError, parse_query
+from repro.xpath.parser import XPathSyntaxError, parse_query, parse_query_cached
 
 __all__ = [
     "Query",
     "QueryAxis",
     "QueryNode",
     "parse_query",
+    "parse_query_cached",
     "XPathSyntaxError",
     "Evaluator",
 ]

@@ -18,6 +18,7 @@ paper's convention for ``q1[/q2]/q3``-style patterns.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, NamedTuple, Optional, Tuple
 
 from repro.xpath.ast import Query, QueryAxis, QueryNode
@@ -189,3 +190,14 @@ def parse_query(text: str) -> Query:
     if not text or not text.strip():
         raise XPathSyntaxError("empty query", 0)
     return _Parser(_tokenize(text), len(text)).parse_query()
+
+
+@lru_cache(maxsize=4096)
+def parse_query_cached(text: str) -> Query:
+    """Memoized :func:`parse_query` for repeated workload queries.
+
+    Queries are immutable after finalization (estimation clones before any
+    rewrite), so one shared AST per distinct text is safe — including
+    across threads and across estimation systems.
+    """
+    return parse_query(text)

@@ -1,0 +1,99 @@
+"""Service metrics: latency summaries, counters, QPS windows."""
+
+import threading
+
+import pytest
+
+from repro.service import LatencySummary, ServiceMetrics
+from repro.service.metrics import LatencyRing
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0 and summary.p99_ms == 0.0
+
+    def test_percentile_convention_matches_harness(self):
+        # Same index rule as harness.metrics.ErrorSummary: sorted[int(q*n)].
+        seconds = [i / 1000.0 for i in range(1, 101)]  # 1..100 ms
+        summary = LatencySummary.from_samples(seconds)
+        assert summary.count == 100
+        assert summary.p50_ms == pytest.approx(51.0)
+        assert summary.p95_ms == pytest.approx(96.0)
+        assert summary.p99_ms == pytest.approx(100.0)
+        assert summary.max_ms == pytest.approx(100.0)
+
+    def test_ordering_is_irrelevant(self):
+        a = LatencySummary.from_samples([0.003, 0.001, 0.002])
+        b = LatencySummary.from_samples([0.001, 0.002, 0.003])
+        assert a == b
+
+
+class TestLatencyRing:
+    def test_bounded(self):
+        ring = LatencyRing(capacity=10)
+        for i in range(100):
+            ring.observe(i / 1000.0)
+        assert len(ring) == 10
+        # Only the most recent 10 samples (90..99 ms) survive.
+        assert ring.summary().p50_ms >= 90.0
+
+
+class TestServiceMetrics:
+    def make(self, start=0.0):
+        fake = [start]
+        metrics = ServiceMetrics(clock=lambda: fake[0], qps_window=10.0)
+        return metrics, fake
+
+    def test_counters(self):
+        metrics, fake = self.make()
+        fake[0] = 1.0
+        metrics.observe("a", 0.002, queries=1)
+        metrics.observe("a", 0.004, queries=3)
+        metrics.observe("b", 0.001, queries=1, error=True)
+        doc = metrics.snapshot()
+        assert doc["requests_total"] == 3
+        assert doc["queries_total"] == 5
+        assert doc["errors_total"] == 1
+        assert doc["synopses"]["a"]["requests"] == 2
+        assert doc["synopses"]["a"]["queries"] == 4
+        assert doc["synopses"]["b"]["errors"] == 1
+        assert doc["latency_ms"]["count"] == 3
+
+    def test_unattributed_error(self):
+        metrics, fake = self.make()
+        metrics.observe(None, 0.001, error=True)
+        doc = metrics.snapshot()
+        assert doc["errors_total"] == 1 and doc["synopses"] == {}
+
+    def test_qps_window_expires(self):
+        metrics, fake = self.make()
+        for i in range(20):
+            fake[0] = float(i) * 0.1
+            metrics.observe("a", 0.001)
+        fake[0] = 5.0
+        in_window = metrics.snapshot()["synopses"]["a"]["qps"]
+        assert in_window == pytest.approx(20 / 5.0)
+        fake[0] = 100.0  # every stamp is now outside the window
+        assert metrics.snapshot()["synopses"]["a"]["qps"] == 0.0
+
+    def test_plan_cache_stats_embedded(self):
+        metrics, _ = self.make()
+        doc = metrics.snapshot({"hits": 1})
+        assert doc["plan_cache"] == {"hits": 1}
+
+    def test_concurrent_observe_is_consistent(self):
+        metrics, fake = self.make()
+        threads = [
+            threading.Thread(
+                target=lambda: [metrics.observe("a", 0.001) for _ in range(200)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        doc = metrics.snapshot()
+        assert doc["requests_total"] == 1600
+        assert doc["synopses"]["a"]["requests"] == 1600

@@ -1,0 +1,192 @@
+"""Registry: scanning, hot reload, failure tolerance, live appends."""
+
+import os
+import time
+
+import pytest
+
+from repro import EstimationSystem, persist
+from repro.service import SynopsisRegistry, UnknownSynopsisError
+from repro.stats.maintenance import RequiresRebuild
+from repro.xmltree.builder import el
+from repro.xmltree.document import XmlDocument
+
+QUERY = "//A/B"
+
+
+def _touch(path, offset_ns=1):
+    """Force a distinct mtime even on coarse-grained filesystems."""
+    stamp = time.time_ns() + offset_ns
+    os.utime(path, ns=(stamp, stamp))
+
+
+class TestScanAndGet:
+    def test_scan_loads_all_snapshots(self, snapshot_dir):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        assert registry.scan() == ["SSPlays", "fig1"]
+        assert registry.names() == ["SSPlays", "fig1"]
+        assert len(registry) == 2
+
+    def test_served_estimates_match_direct(self, snapshot_dir, figure1_system):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        served = registry.system("fig1")
+        assert served.estimate(QUERY) == pytest.approx(figure1_system.estimate(QUERY))
+
+    def test_unknown_name(self, snapshot_dir):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        with pytest.raises(UnknownSynopsisError):
+            registry.get("nope")
+
+    def test_snapshot_appearing_after_scan(self, snapshot_dir, figure1_system):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        persist.save(figure1_system, str(snapshot_dir / "late.json"))
+        assert registry.get("late").system.estimate(QUERY) == pytest.approx(
+            figure1_system.estimate(QUERY)
+        )
+
+    def test_scan_skips_unloadable_snapshot(self, snapshot_dir):
+        (snapshot_dir / "broken.json").write_text("{not json", encoding="utf-8")
+        registry = SynopsisRegistry(str(snapshot_dir))
+        assert registry.scan() == ["SSPlays", "fig1"]
+        assert "broken" in registry.scan_errors
+        assert "not valid JSON" in registry.scan_errors["broken"]
+        # The bad file is also not servable through the late-load path.
+        with pytest.raises(UnknownSynopsisError):
+            registry.get("broken")
+
+    def test_late_unloadable_snapshot_is_unknown(self, snapshot_dir):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        (snapshot_dir / "late.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(UnknownSynopsisError):
+            registry.get("late")
+
+    def test_describe_shape(self, snapshot_dir):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        info = {entry["name"]: entry for entry in registry.describe()}
+        assert info["fig1"]["generation"] == 1
+        assert info["fig1"]["paths"] == 4
+        assert str(snapshot_dir) in info["fig1"]["source"]
+
+
+class TestHotReload:
+    def test_rewritten_snapshot_is_picked_up(self, snapshot_dir, figure1, figure1_system):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        before = registry.get("fig1")
+        assert before.generation == 1
+
+        coarse = EstimationSystem.build(figure1, p_variance=1e9, o_variance=1e9)
+        path = str(snapshot_dir / "fig1.json")
+        persist.save(coarse, path)
+        _touch(path)
+
+        after = registry.get("fig1")
+        assert after.generation == 2
+        assert after.system.estimate(QUERY) == pytest.approx(coarse.estimate(QUERY))
+
+    def test_unchanged_snapshot_is_not_reloaded(self, snapshot_dir):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        first = registry.get("fig1").system
+        assert registry.get("fig1").system is first
+
+    def test_malformed_overwrite_keeps_serving(self, snapshot_dir, figure1_system):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        path = str(snapshot_dir / "fig1.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        _touch(path)
+
+        entry = registry.get("fig1")
+        assert entry.generation == 1
+        assert entry.load_error is not None and "reload failed" in entry.load_error
+        assert entry.system.estimate(QUERY) == pytest.approx(
+            figure1_system.estimate(QUERY)
+        )
+        assert "load_error" in entry.describe()
+
+    def test_deleted_snapshot_keeps_serving(self, snapshot_dir, figure1_system):
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        os.unlink(str(snapshot_dir / "fig1.json"))
+        entry = registry.get("fig1")
+        assert entry.system.estimate(QUERY) == pytest.approx(
+            figure1_system.estimate(QUERY)
+        )
+        assert "unreadable" in entry.load_error
+
+    def test_check_interval_throttles_stat(self, snapshot_dir, figure1):
+        fake = [0.0]
+        registry = SynopsisRegistry(
+            str(snapshot_dir), check_interval=10.0, clock=lambda: fake[0]
+        )
+        registry.scan()
+        path = str(snapshot_dir / "fig1.json")
+        persist.save(EstimationSystem.build(figure1, p_variance=1e9), path)
+        _touch(path)
+        # Within the interval: stale entry is served without a stat.
+        fake[0] = 5.0
+        assert registry.get("fig1").generation == 1
+        # Past the interval: the change is noticed.
+        fake[0] = 20.0
+        assert registry.get("fig1").generation == 2
+
+
+def _library_document():
+    root = el(
+        "lib",
+        el("rec", el("author"), el("title")),
+        el("rec", el("author"), el("author"), el("title")),
+    )
+    return XmlDocument(root)
+
+
+class TestLiveSynopsis:
+    def test_append_updates_estimates_without_restart(self):
+        registry = SynopsisRegistry()
+        entry = registry.register_live("lib", _library_document())
+        assert entry.system.estimate("//rec/$author") == pytest.approx(3.0)
+
+        registry.append(
+            "lib", entry.live.maintained.document.root,
+            el("rec", el("author"), el("title")),
+        )
+        entry = registry.get("lib")
+        assert entry.generation == 2
+        assert entry.system.estimate("//rec/$author") == pytest.approx(4.0)
+        assert entry.describe()["source"] == "live"
+
+    def test_append_matches_full_rebuild(self):
+        registry = SynopsisRegistry()
+        entry = registry.register_live("lib", _library_document())
+        registry.append(
+            "lib", entry.live.maintained.document.root,
+            el("rec", el("author"), el("title")),
+        )
+        rebuilt = EstimationSystem.build(entry.live.maintained.document)
+        for query in ("//rec/$author", "//lib/rec", "//rec[/author]/$title"):
+            assert registry.system("lib").estimate(query) == pytest.approx(
+                rebuilt.estimate(query)
+            )
+
+    def test_new_path_type_requires_rebuild(self):
+        registry = SynopsisRegistry()
+        entry = registry.register_live("lib", _library_document())
+        with pytest.raises(RequiresRebuild):
+            registry.append(
+                "lib", entry.live.maintained.document.root, el("rec", el("editor"))
+            )
+        # Nothing was mutated: the old estimate still holds.
+        assert registry.system("lib").estimate("//rec/$author") == pytest.approx(3.0)
+
+    def test_append_to_non_live_entry(self, figure1_system):
+        registry = SynopsisRegistry()
+        registry.register("fig1", figure1_system)
+        with pytest.raises(ValueError):
+            registry.append("fig1", None, el("x"))

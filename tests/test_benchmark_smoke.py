@@ -85,3 +85,9 @@ class TestBenchSmoke:
 
         test_ablation_depth_refined_statistics(tiny_ctx, _StubBenchmark())
         assert "Ablation D" in rendered_results()
+
+    def test_service_throughput(self, tiny_ctx):
+        from benchmarks.bench_service_throughput import test_service_throughput
+
+        test_service_throughput(tiny_ctx, _StubBenchmark())
+        assert "service throughput" in rendered_results()

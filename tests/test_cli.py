@@ -63,6 +63,43 @@ class TestPaths:
         assert "distinct path ids:           9" in out
 
 
+class TestSnapshot:
+    def test_snapshot_into_directory(self, xml_file, tmp_path, capsys):
+        from repro import persist
+
+        out_dir = tmp_path / "snaps"
+        out_dir.mkdir()
+        assert main(["snapshot", "--file", xml_file, "--output", str(out_dir),
+                     "--name", "fig1"]) == 0
+        assert "snapshot 'fig1' written" in capsys.readouterr().out
+        restored = persist.load(str(out_dir / "fig1.json"))
+        assert restored.estimate("//A/B") == 4.0
+
+    def test_snapshot_default_name_from_file_stem(self, xml_file, tmp_path, capsys):
+        out_dir = str(tmp_path) + "/deep/"
+        assert main(["snapshot", "--file", xml_file, "--output", out_dir]) == 0
+        assert (tmp_path / "deep" / "figure1.json").exists()
+
+    def test_snapshot_to_explicit_file(self, tmp_path, capsys):
+        from repro import persist
+
+        target = tmp_path / "ss.json"
+        assert main(["snapshot", "--dataset", "SSPlays", "--scale", "0.1",
+                     "--output", str(target)]) == 0
+        assert persist.load(str(target)).estimate("//PLAY") > 0
+
+
+class TestServe:
+    def test_missing_snapshot_dir_fails_cleanly(self, tmp_path, capsys):
+        code = main(["serve", "--snapshot-dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_requires_snapshot_dir(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+
 class TestParser:
     def test_requires_source(self):
         with pytest.raises(SystemExit):

@@ -6,6 +6,7 @@ import pytest
 
 from repro import EstimationSystem
 from repro.persist import (
+    PersistError,
     SynopsisLoadError,
     dumps,
     load,
@@ -78,6 +79,34 @@ class TestErrors:
     def test_malformed_payload(self):
         with pytest.raises(SynopsisLoadError):
             system_from_dict({"format_version": 1, "paths": ["a"]})
+
+    def test_synopsis_load_error_is_persist_error(self):
+        assert issubclass(SynopsisLoadError, PersistError)
+        assert issubclass(PersistError, ValueError)
+
+    def test_absent_version(self, system):
+        payload = system_to_dict(system)
+        del payload["format_version"]
+        with pytest.raises(PersistError, match="no format_version"):
+            system_from_dict(payload)
+
+    def test_non_dict_payload(self):
+        with pytest.raises(PersistError, match="JSON object"):
+            system_from_dict(["not", "a", "dict"])
+
+    def test_loads_rejects_invalid_json(self):
+        with pytest.raises(PersistError, match="not valid JSON"):
+            loads("{broken")
+
+    def test_loads_rejects_non_object_json(self):
+        with pytest.raises(PersistError, match="JSON object"):
+            loads("[1, 2, 3]")
+
+    def test_corrupt_field_types(self, system):
+        payload = system_to_dict(system)
+        payload["p_histograms"] = {"A": {"buckets": [{"pids": ["zz"], "avg": 1}]}}
+        with pytest.raises(PersistError, match="malformed synopsis"):
+            system_from_dict(payload)
 
 
 class TestLoadedSystemShape:
