@@ -9,34 +9,82 @@ harness.
 
 Quickstart::
 
-    from repro import EstimationSystem
-    from repro.xmltree import parse_xml
+    import repro
 
-    document = parse_xml("<Root><A><B/><C/></A></Root>")
-    system = EstimationSystem.build(document)
+    system = repro.build_synopsis("<Root><A><B/><C/></A></Root>")
     system.estimate("//A/$B")               # -> 1.0
     system.estimate("//A[/B/folls::$C]")    # order axis
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+``build_synopsis`` accepts XML text, a filesystem path, or a parsed
+``XmlDocument``; pass ``workers=N`` to scan a large document in parallel
+shards (the result is bit-identical either way).  See docs/API.md for the
+full surface and DESIGN.md for the system inventory.
 """
 
-from repro.core.explain import EstimateReport, explain
+import warnings
+
+from repro.build.builder import SynopsisBuilder, build_synopsis
 from repro.core.system import EstimationSystem
-from repro.xmltree import XmlDocument, XmlNode, parse_xml
-from repro.xpath import Evaluator, Query, parse_query
+from repro.errors import (
+    BuildError,
+    ParseError,
+    PersistError,
+    QuerySyntaxError,
+    ReproError,
+)
+from repro.xmltree.parser import parse_xml
+from repro.xpath.parser import parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The supported public surface.  Anything imported from ``repro`` that is
+#: not listed here still works for now but raises a DeprecationWarning —
+#: import it from its home submodule instead.
 __all__ = [
     "EstimationSystem",
-    "explain",
-    "EstimateReport",
-    "XmlDocument",
-    "XmlNode",
+    "SynopsisBuilder",
+    "build_synopsis",
     "parse_xml",
-    "Evaluator",
-    "Query",
     "parse_query",
+    "ReproError",
+    "ParseError",
+    "QuerySyntaxError",
+    "PersistError",
+    "BuildError",
     "__version__",
 ]
+
+#: Legacy top-level names (pre-1.1 surface) -> (module, attribute).  Kept
+#: importable through ``__getattr__`` so existing code keeps running, but
+#: each emits a DeprecationWarning on first use per process.
+_DEPRECATED = {
+    "XmlDocument": ("repro.xmltree.document", "XmlDocument"),
+    "XmlNode": ("repro.xmltree.node", "XmlNode"),
+    "Evaluator": ("repro.xpath.evaluator", "Evaluator"),
+    "Query": ("repro.xpath.ast", "Query"),
+    "explain": ("repro.core.explain", "explain"),
+    "EstimateReport": ("repro.core.explain", "EstimateReport"),
+}
+
+
+def __getattr__(name):
+    """PEP 562 shim: resolve legacy names with a one-time deprecation warning."""
+    target = _DEPRECATED.get(name)
+    if target is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    module_name, attribute = target
+    warnings.warn(
+        "importing %r from 'repro' is deprecated; import it from %r instead"
+        % (name, module_name),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: warn once per process, not per access
+    return value
+
+
+def __dir__():
+    return sorted(set(__all__) | set(_DEPRECATED) | set(globals()))

@@ -1,0 +1,40 @@
+"""Streaming, sharded synopsis construction (see DESIGN notes in builder).
+
+The public surface is :class:`SynopsisBuilder` and :func:`build_synopsis`
+(both re-exported from :mod:`repro`); the lower layers — event stream
+collection, text chunking, partial-table merging — are exported here for
+tests and for pipelines that want to run the map/reduce steps themselves.
+"""
+
+from repro.build.builder import SynopsisBuilder, build_synopsis
+from repro.build.chunker import (
+    DEFAULT_SHARD_BYTES,
+    DocumentOutline,
+    group_spans,
+    outline,
+    split_text,
+)
+from repro.build.merge import SynopsisTables, bit_remapper, merge_partials
+from repro.build.stream import (
+    PartialSynopsis,
+    SiblingRecord,
+    StreamingCollector,
+    scan_text,
+)
+
+__all__ = [
+    "SynopsisBuilder",
+    "build_synopsis",
+    "DEFAULT_SHARD_BYTES",
+    "DocumentOutline",
+    "group_spans",
+    "outline",
+    "split_text",
+    "SynopsisTables",
+    "bit_remapper",
+    "merge_partials",
+    "PartialSynopsis",
+    "SiblingRecord",
+    "StreamingCollector",
+    "scan_text",
+]

@@ -1,0 +1,253 @@
+"""The synopsis construction facade: streaming, sharded, or from a tree.
+
+:class:`SynopsisBuilder` owns the construction-time knobs (variance
+thresholds, histogram/binary-tree switches, ``workers``, the shard byte
+cap) and builds :class:`~repro.core.system.EstimationSystem` instances
+from any source shape:
+
+* :meth:`from_text` — one streaming scan (``workers=1``) or a chunked
+  ``multiprocessing`` fan-out (``workers>1``) over the XML text; the
+  document tree is never materialized either way;
+* :meth:`from_file` — :meth:`from_text` over a file's contents;
+* :meth:`from_shards` — pre-cut fragment texts (for example produced by
+  an upstream pipeline or another machine), reduced with the same merge;
+* :meth:`from_document` — the classic in-memory tree pipeline, for
+  callers that already hold an :class:`~repro.xmltree.document.XmlDocument`.
+
+:func:`build_synopsis` is the one-call convenience the package exports:
+it dispatches on the source's type (XML text / filesystem path /
+document) and returns a ready estimation system.
+
+Parallel builds are **bit-identical** to serial and to tree builds: the
+chunker cuts contiguous top-level spans, every worker scans its shard in
+isolation, and the reducer re-aligns shard-local encodings before merging
+(see :mod:`repro.build.merge`).  If a worker pool cannot be spawned (no
+``fork``/``spawn`` support in the host environment), the builder degrades
+to scanning the shards serially in-process and still merges the same
+partials.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.build.chunker import DEFAULT_SHARD_BYTES, split_text
+from repro.build.merge import SynopsisTables, merge_partials
+from repro.build.stream import PartialSynopsis, scan_text
+from repro.errors import BuildError
+from repro.xmltree.document import XmlDocument
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports build)
+    from repro.core.system import EstimationSystem
+
+SourceType = Union[str, "os.PathLike[str]", XmlDocument]
+
+
+def _scan_shard(job: Tuple[str, Tuple[str, ...]]) -> PartialSynopsis:
+    """Worker entry point: scan one shard text under its prefix labels.
+
+    Module level so it pickles under both ``fork`` and ``spawn`` start
+    methods.
+    """
+    text, prefix = job
+    return scan_text(text, prefix)
+
+
+class SynopsisBuilder:
+    """Builds estimation systems without materializing document trees.
+
+    Parameters mirror :meth:`EstimationSystem.build`; the additions are
+
+    workers:
+        Scan processes.  ``1`` streams the whole text on the calling
+        thread; ``N > 1`` chunks the text and fans the shards out over a
+        ``multiprocessing`` pool of ``N`` processes.
+    shard_bytes:
+        Shard-size cap for the chunker (default 4 MiB).  Peak memory of a
+        parallel build is roughly ``workers * shard_bytes`` of shard text
+        plus the partial tables, independent of document size.
+    """
+
+    def __init__(
+        self,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+        use_histograms: bool = True,
+        build_binary_tree: bool = True,
+        workers: int = 1,
+        shard_bytes: int = DEFAULT_SHARD_BYTES,
+    ):
+        if workers < 1:
+            raise BuildError("workers must be >= 1, got %r" % (workers,))
+        if shard_bytes < 1:
+            raise BuildError("shard_bytes must be positive, got %r" % (shard_bytes,))
+        self.p_variance = p_variance
+        self.o_variance = o_variance
+        self.use_histograms = use_histograms
+        self.build_binary_tree = build_binary_tree
+        self.workers = workers
+        self.shard_bytes = shard_bytes
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def build(self, source: SourceType, name: str = "") -> "EstimationSystem":
+        """Dispatch on the source shape: document, XML text, or path."""
+        if isinstance(source, XmlDocument):
+            return self.from_document(source)
+        if isinstance(source, os.PathLike):
+            return self.from_file(os.fspath(source), name=name)
+        if isinstance(source, str):
+            if source.lstrip()[:1] == "<":
+                return self.from_text(source, name=name)
+            if os.path.exists(source):
+                return self.from_file(source, name=name)
+            raise BuildError(
+                "source string is neither XML text (no leading '<') nor an "
+                "existing file: %r" % source[:80]
+            )
+        raise BuildError(
+            "unsupported synopsis source type %s" % type(source).__name__
+        )
+
+    def from_text(self, text: str, name: str = "") -> "EstimationSystem":
+        """Build from XML text with ``workers`` scan processes."""
+        return self._finalize(self.collect_text(text), name=name)
+
+    def from_file(self, path: str, name: str = "") -> "EstimationSystem":
+        """Build from an XML file (streamed; the tree is never built).
+
+        The synopsis name defaults to the file's stem.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if not name:
+            name = os.path.splitext(os.path.basename(path))[0]
+        return self.from_text(text, name=name)
+
+    def from_shards(
+        self, shards: Iterable[str], root_tag: str, name: str = ""
+    ) -> "EstimationSystem":
+        """Build from pre-cut fragment texts under a shared root tag.
+
+        Each shard is a run of *complete* top-level subtrees of the
+        document, and the iterable must yield them in document order —
+        the reducer trusts that order for both the encoding table and the
+        root sibling group.
+        """
+        shard_list = list(shards)
+        if not shard_list:
+            raise BuildError("from_shards needs at least one shard")
+        partials = self._scan_all(shard_list, (root_tag,))
+        return self._finalize(merge_partials(partials, root_tag=root_tag), name=name)
+
+    def from_document(self, document: XmlDocument) -> "EstimationSystem":
+        """The classic tree pipeline (document already materialized)."""
+        from repro.core.system import EstimationSystem
+
+        return EstimationSystem.build(
+            document,
+            p_variance=self.p_variance,
+            o_variance=self.o_variance,
+            use_histograms=self.use_histograms,
+            build_binary_tree=self.build_binary_tree,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics collection (no system construction)
+    # ------------------------------------------------------------------
+
+    def collect_text(self, text: str) -> SynopsisTables:
+        """Collect the exact tables from text; streaming or sharded."""
+        if self.workers == 1:
+            return merge_partials([scan_text(text)])
+        try:
+            root_tag, shards = split_text(text, shard_bytes=self._shard_target(text))
+        except BuildError:
+            # Unshardable shape (e.g. a root with a single huge child):
+            # fall back to the single-pass scan.
+            return merge_partials([scan_text(text)])
+        if len(shards) == 1:
+            return merge_partials([scan_text(text)])
+        partials = self._scan_all(shards, (root_tag,))
+        return merge_partials(partials, root_tag=root_tag)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _shard_target(self, text: str) -> int:
+        """Shard size: honour the cap, but aim for ~2 shards per worker
+        so a skewed document still keeps every worker busy."""
+        balanced = max(1, len(text) // (self.workers * 2))
+        return min(self.shard_bytes, balanced) if self.workers > 1 else self.shard_bytes
+
+    def _scan_all(
+        self, shards: Sequence[str], prefix: Tuple[str, ...]
+    ) -> List[PartialSynopsis]:
+        jobs = [(shard, prefix) for shard in shards]
+        if self.workers > 1 and len(jobs) > 1:
+            try:
+                import multiprocessing
+
+                with multiprocessing.Pool(min(self.workers, len(jobs))) as pool:
+                    return pool.map(_scan_shard, jobs)
+            except (ImportError, OSError):
+                # Hosts without process support (restricted sandboxes)
+                # still get the sharded-and-merged result, just serially.
+                pass
+        return [_scan_shard(job) for job in jobs]
+
+    def _finalize(self, tables: SynopsisTables, name: str = "") -> "EstimationSystem":
+        from repro.core.system import EstimationSystem
+
+        return EstimationSystem.from_statistics(
+            tables.encoding_table,
+            tables.pathid_table,
+            tables.order_table,
+            distinct_pathids=tables.distinct_pathids,
+            p_variance=self.p_variance,
+            o_variance=self.o_variance,
+            use_histograms=self.use_histograms,
+            build_binary_tree=self.build_binary_tree,
+            name=name,
+        )
+
+
+def build_synopsis(
+    source: SourceType,
+    p_variance: float = 0.0,
+    o_variance: float = 0.0,
+    use_histograms: bool = True,
+    build_binary_tree: bool = True,
+    workers: int = 1,
+    shard_bytes: int = DEFAULT_SHARD_BYTES,
+    name: str = "",
+) -> "EstimationSystem":
+    """Build an :class:`EstimationSystem` from any source in one call.
+
+    ``source`` may be XML text (anything whose first non-space character
+    is ``<``), a filesystem path (``str`` or ``os.PathLike``), or an
+    already-parsed :class:`~repro.xmltree.document.XmlDocument`.  Text and
+    file sources are *streamed* — the document tree is never built — and
+    ``workers > 1`` scans large documents in parallel shards.  The result
+    is bit-identical across all source shapes and worker counts.
+
+    This is the package's recommended entry point::
+
+        import repro
+
+        system = repro.build_synopsis("catalog.xml", workers=4)
+        system.estimate("//item/$name")
+    """
+    builder = SynopsisBuilder(
+        p_variance=p_variance,
+        o_variance=o_variance,
+        use_histograms=use_histograms,
+        build_binary_tree=build_binary_tree,
+        workers=workers,
+        shard_bytes=shard_bytes,
+    )
+    return builder.build(source, name=name)

@@ -1,0 +1,157 @@
+"""Memory-bounded splitting of XML text into parallel-scannable shards.
+
+Path-level statistics are naturally shardable (Arion et al., *Path
+Summaries and Path Partitioning*): cutting a document under its root
+yields fragments whose partial tables simply merge.  The chunker finds the
+byte spans of the root's top-level subtrees with a purely lexical skip
+(no tree, no attribute decoding — dominated by ``str.find``) and groups
+*contiguous* spans into shards:
+
+* ``shard_bytes`` caps a shard's text size (the memory bound — a worker
+  never holds more than one shard's text plus its partial tables);
+* ``shard_count`` balances the document into roughly equal shards when no
+  byte cap is given.
+
+Shards stay in document order, which is what keeps the merged encoding
+table's first-occurrence order — and therefore every path id — identical
+to a single scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import BuildError
+from repro.xmltree.parser import (
+    XmlParseError,
+    _Scanner,
+    _skip_attributes,
+    _skip_element,
+    _skip_misc,
+)
+
+#: Default shard-size cap: large enough that per-shard fixed costs
+#: (process dispatch, table pickling) stay negligible, small enough that a
+#: pool of workers load-balances a skewed document.
+DEFAULT_SHARD_BYTES = 4 * 1024 * 1024
+
+
+class DocumentOutline(NamedTuple):
+    """The root tag and the byte spans of its top-level subtrees."""
+
+    root_tag: str
+    spans: List[Tuple[int, int]]  # (start, end) of each root child
+
+
+def outline(text: str) -> DocumentOutline:
+    """Locate the root element and the spans of its direct children.
+
+    Raises :class:`~repro.xmltree.parser.XmlParseError` on text that is
+    not a well-formed-enough document (full well-formedness of a shard's
+    interior is checked later, by the scan that consumes it).
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner, allow_doctype=True)
+    if scanner.eof() or scanner.peek() != "<":
+        raise XmlParseError("expected a root element", scanner.pos)
+    scanner.expect("<")
+    root_tag = scanner.read_name()
+    _skip_attributes(scanner)
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return DocumentOutline(root_tag, [])
+    scanner.expect(">")
+    spans: List[Tuple[int, int]] = []
+    while True:
+        angle = text.find("<", scanner.pos)
+        if angle < 0:
+            raise XmlParseError("missing end tag for <%s>" % root_tag, scanner.pos)
+        scanner.pos = angle
+        if scanner.startswith("</"):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != root_tag:
+                raise XmlParseError(
+                    "mismatched end tag </%s> for <%s>" % (closing, root_tag), angle
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            break
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<![CDATA["):
+            scanner.pos += 9
+            scanner.read_until("]]>", "CDATA section")
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "processing instruction")
+        else:
+            start = scanner.pos
+            _skip_element(scanner)
+            spans.append((start, scanner.pos))
+    _skip_misc(scanner, allow_doctype=False)
+    if not scanner.eof():
+        raise XmlParseError("content after the root element", scanner.pos)
+    return DocumentOutline(root_tag, spans)
+
+
+def split_text(
+    text: str,
+    shard_count: Optional[int] = None,
+    shard_bytes: Optional[int] = None,
+) -> Tuple[str, List[str]]:
+    """Split document text into ``(root_tag, shard_texts)``.
+
+    Each shard text is a contiguous slice covering one or more top-level
+    subtrees (inter-subtree character data rides along; the fragment
+    scanner ignores it).  A document whose root has at most one child
+    cannot be split and comes back as a single shard containing all of
+    its children.
+    """
+    if shard_count is None and shard_bytes is None:
+        raise BuildError("split_text needs shard_count or shard_bytes")
+    parsed = outline(text)
+    if not parsed.spans:
+        raise BuildError(
+            "document root <%s> has no child elements to shard" % parsed.root_tag
+        )
+    groups = group_spans(parsed.spans, shard_count=shard_count, shard_bytes=shard_bytes)
+    shards = [text[spans[0][0]:spans[-1][1]] for spans in groups]
+    return parsed.root_tag, shards
+
+
+def group_spans(
+    spans: List[Tuple[int, int]],
+    shard_count: Optional[int] = None,
+    shard_bytes: Optional[int] = None,
+) -> List[List[Tuple[int, int]]]:
+    """Group contiguous spans into shards, preserving order.
+
+    With ``shard_bytes`` set, a shard closes once it reaches that many
+    bytes (a single over-sized subtree still becomes its own shard — it
+    cannot be split below subtree granularity).  Otherwise the total byte
+    length is balanced across ``shard_count`` shards.
+    """
+    if not spans:
+        return []
+    if shard_bytes is None:
+        total = spans[-1][1] - spans[0][0]
+        target = max(1, total // max(1, shard_count or 1))
+    else:
+        target = max(1, shard_bytes)
+    groups: List[List[Tuple[int, int]]] = []
+    current: List[Tuple[int, int]] = []
+    current_bytes = 0
+    for span in spans:
+        current.append(span)
+        current_bytes += span[1] - span[0]
+        if current_bytes >= target and (
+            shard_bytes is not None or len(groups) + 1 < (shard_count or 1)
+        ):
+            groups.append(current)
+            current = []
+            current_bytes = 0
+    if current:
+        groups.append(current)
+    return groups

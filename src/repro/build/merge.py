@@ -1,0 +1,152 @@
+"""Reduce provisional partial synopses into final whole-document tables.
+
+Three steps, all exact:
+
+1. **Encoding-table union** — concatenate the shard-local path lists in
+   shard (= document) order, keeping first occurrences.  Because shards
+   are contiguous document slices, this reproduces the tree pipeline's
+   first-occurrence order exactly.
+2. **Bit remap** — shard-local provisional bit ``e_local - 1`` becomes
+   final bit ``width - e_global`` (MSB = encoding 1, the
+   :mod:`repro.pathenc` layout).  Every path id in every table is pushed
+   through the injective per-shard bit map (memoized per distinct id —
+   synopsis tables hold few distinct ids relative to element count).
+3. **Table merge** — remapped partial tables sum via
+   :meth:`PathIdFrequencyTable.merge` / :meth:`PathOrderTable.merge`.
+   The root element's tuple and its split sibling group exist in *no*
+   shard; the reducer reconstitutes both from the shards' top-level
+   (tag, pid) sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from repro.errors import BuildError
+from repro.build.stream import PartialSynopsis, SiblingRecord
+from repro.pathenc.encoding import EncodingTable
+from repro.stats.path_order import PathOrderTable, TagOrderGrid, scan_sibling_group
+from repro.stats.pathid_freq import PathIdFrequencyTable
+
+
+class SynopsisTables(NamedTuple):
+    """Everything the estimation system needs, in the final bit layout."""
+
+    encoding_table: EncodingTable
+    pathid_table: PathIdFrequencyTable
+    order_table: PathOrderTable
+    distinct_pathids: List[int]
+    element_count: int
+
+
+def bit_remapper(bit_map: Sequence[int]) -> Callable[[int], int]:
+    """A memoized path-id translator from ``bit_map[local] -> final`` bits."""
+    cache: Dict[int, int] = {}
+
+    def remap(pid: int) -> int:
+        mapped = cache.get(pid)
+        if mapped is None:
+            mapped = 0
+            rest = pid
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                mapped |= 1 << bit_map[low.bit_length() - 1]
+            cache[pid] = mapped
+        return mapped
+
+    return remap
+
+
+def merge_partials(
+    partials: Sequence[PartialSynopsis],
+    root_tag: Optional[str] = None,
+) -> SynopsisTables:
+    """Reduce ordered partials to one synopsis' exact tables.
+
+    ``root_tag`` must be given exactly when the partials are shard scans
+    (their ``top`` sequences are set): the reducer then re-creates the
+    root's frequency tuple and its children's sibling-group order cells.
+    For a single whole-document partial pass ``root_tag=None``.
+    """
+    if not partials:
+        raise BuildError("no partial synopses to merge")
+    sharded = partials[0].top is not None
+    if sharded != (root_tag is not None):
+        raise BuildError(
+            "root_tag must be provided for shard partials and only for them"
+        )
+    # 1. Global encoding table: first occurrence across shards in order.
+    paths: List[str] = []
+    index: Dict[str, int] = {}
+    for partial in partials:
+        if (partial.top is not None) != sharded:
+            raise BuildError("cannot mix shard and whole-document partials")
+        for path in partial.paths:
+            if path not in index:
+                paths.append(path)
+                index[path] = len(paths)
+    width = len(paths)
+    # 2+3. Remap each partial into the final layout and merge.
+    freq_parts: List[PathIdFrequencyTable] = []
+    order_parts: List[PathOrderTable] = []
+    top_sequence: List[SiblingRecord] = []
+    element_count = 0
+    for partial in partials:
+        bit_map = [width - index[path] for path in partial.paths]
+        remap = bit_remapper(bit_map)
+        freq_parts.append(PathIdFrequencyTable(partial.freq).remap_pathids(remap))
+        order_parts.append(PathOrderTable(partial.grids).remap_pathids(remap))
+        element_count += partial.element_count
+        if partial.top:
+            top_sequence.extend(
+                SiblingRecord(record.tag, remap(record.pid)) for record in partial.top
+            )
+    pathid_table = freq_parts[0].merge(*freq_parts[1:])
+    order_table = order_parts[0].merge(*order_parts[1:])
+    if sharded:
+        pathid_table, order_table = _reconstitute_root(
+            root_tag, top_sequence, pathid_table, order_table
+        )
+        element_count += 1
+    return SynopsisTables(
+        EncodingTable(paths),
+        pathid_table,
+        order_table,
+        pathid_table.distinct_pathids(),
+        element_count,
+    )
+
+
+def _reconstitute_root(
+    root_tag: str,
+    top_sequence: List[SiblingRecord],
+    pathid_table: PathIdFrequencyTable,
+    order_table: PathOrderTable,
+) -> "tuple[PathIdFrequencyTable, PathOrderTable]":
+    """Add the statistics no shard could see: the root element itself.
+
+    The root's path id is the OR of its children's (an internal node's id
+    accumulates its subtree's leaf bits), and the root's children form the
+    one sibling group that straddles shard boundaries.
+    """
+    if not top_sequence:
+        raise BuildError("shard partials carried no top-level subtrees")
+    root_pid = 0
+    for record in top_sequence:
+        root_pid |= record.pid
+    root_freq = PathIdFrequencyTable({root_tag: {root_pid: 1}})
+    grids: Dict[str, TagOrderGrid] = {}
+
+    def grid_for(tag: str) -> TagOrderGrid:
+        grid = grids.get(tag)
+        if grid is None:
+            grid = TagOrderGrid(tag)
+            grids[tag] = grid
+        return grid
+
+    scan_sibling_group(top_sequence, lambda record: record.pid, grid_for)
+    return (
+        pathid_table.merge(root_freq),
+        order_table.merge(PathOrderTable(grids)),
+    )

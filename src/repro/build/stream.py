@@ -1,0 +1,203 @@
+"""Single-pass streaming statistics collection over an XML event stream.
+
+The paper collects both statistics tables "in one document scan"
+(Section 3); the tree pipeline approximates that with one parse plus three
+tree walks (labeling, PathId-Frequency, Path-Order), holding the whole
+:class:`~repro.xmltree.document.XmlDocument` in memory.  This module does
+the literal thing: it consumes the :func:`repro.xmltree.parser.scan_events`
+token stream and maintains *only*
+
+* the open-element stack (tag + path-id accumulator per frame),
+* the (tag, path id) sequence of each **open** sibling group — needed
+  because an element's *before* relations depend on siblings that have
+  not arrived yet, and
+* the output statistics themselves.
+
+Peak memory is therefore bounded by the document's depth, its widest
+open sibling-group chain and the synopsis size — not by the element count.
+
+Path-id bit layout
+------------------
+
+The final layout puts encoding ``e`` at bit ``width - e`` (MSB = encoding
+1), but ``width`` is unknown until the scan ends, so the collector interns
+paths on first *leaf close* and uses the provisional layout
+``bit = encoding - 1``.  :mod:`repro.build.merge` translates provisional
+partials into the final layout — the same remap that aligns shard-local
+encodings during a parallel build.  First-leaf-close order equals
+first-occurrence order of ``XmlDocument.distinct_root_to_leaf_paths``
+(a leaf closes before any later leaf opens), which is what makes the
+streaming build *bit-identical* to the tree build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import BuildError
+from repro.stats.path_order import TagOrderGrid, scan_sibling_group
+from repro.xmltree.parser import EVENT_START, scan_events
+
+
+class SiblingRecord(NamedTuple):
+    """A completed element as seen by its parent's sibling group."""
+
+    tag: str
+    pid: int
+
+
+class _Frame:
+    """One open element: its tag, path-id accumulator and child records."""
+
+    __slots__ = ("tag", "pid", "children")
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.pid = 0  # stays 0 for label-path leaves
+        self.children: List[SiblingRecord] = []
+
+
+class PartialSynopsis:
+    """Provisional-layout statistics from one streamed scan.
+
+    Attributes
+    ----------
+    paths:
+        Shard-local encoding table: distinct root-to-leaf label paths in
+        first-occurrence (leaf close) order; encoding ``e`` is
+        ``paths[e-1]`` and owns provisional bit ``e - 1``.
+    freq:
+        ``{tag: {pid: count}}`` in the provisional layout.
+    grids:
+        Per-tag :class:`TagOrderGrid` for every *complete* sibling group.
+    top:
+        Shard mode only: the (tag, pid) record of each top-level subtree
+        in document order.  The reducer stitches the root's split sibling
+        group back together from these.  ``None`` for a whole-document
+        scan.
+    element_count:
+        Elements contributing to ``freq`` (excludes the synthetic root of
+        shard mode — the reducer adds it back exactly once).
+    """
+
+    __slots__ = ("paths", "freq", "grids", "top", "element_count")
+
+    def __init__(
+        self,
+        paths: List[str],
+        freq: Dict[str, Dict[int, int]],
+        grids: Dict[str, TagOrderGrid],
+        top: Optional[List[SiblingRecord]],
+        element_count: int,
+    ):
+        self.paths = paths
+        self.freq = freq
+        self.grids = grids
+        self.top = top
+        self.element_count = element_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PartialSynopsis %d paths, %d tags, %d elements>" % (
+            len(self.paths),
+            len(self.freq),
+            self.element_count,
+        )
+
+
+class StreamingCollector:
+    """Feed start/end element events; harvest a :class:`PartialSynopsis`.
+
+    ``prefix`` is the label path *enclosing* the streamed fragment.  Empty
+    for a whole document; ``[root_tag]`` for a shard of top-level
+    subtrees, so the shard's leaves still intern full root-to-leaf paths.
+    """
+
+    def __init__(self, prefix: Sequence[str] = ()):
+        self._labels: List[str] = list(prefix)
+        self._stack: List[_Frame] = []
+        self._paths: List[str] = []
+        self._path_index: Dict[str, int] = {}
+        self._freq: Dict[str, Dict[int, int]] = {}
+        self._grids: Dict[str, TagOrderGrid] = {}
+        self._top: Optional[List[SiblingRecord]] = [] if prefix else None
+        self._element_count = 0
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+
+    def start(self, tag: str) -> None:
+        self._labels.append(tag)
+        self._stack.append(_Frame(tag))
+
+    def end(self, tag: str) -> None:
+        frame = self._stack.pop()
+        self._labels.pop()
+        if frame.pid:
+            pid = frame.pid
+        else:
+            # A label-path leaf: its path id is the single bit of its
+            # root-to-leaf path, interned on first occurrence.
+            path = "/".join(self._labels) + "/" + tag if self._labels else tag
+            encoding = self._path_index.get(path)
+            if encoding is None:
+                self._paths.append(path)
+                encoding = len(self._paths)
+                self._path_index[path] = encoding
+            pid = 1 << (encoding - 1)
+        per_tag = self._freq.setdefault(tag, {})
+        per_tag[pid] = per_tag.get(pid, 0) + 1
+        self._element_count += 1
+        # This element's own sibling group is now complete.
+        scan_sibling_group(frame.children, lambda record: record.pid, self._grid_for)
+        if self._stack:
+            parent = self._stack[-1]
+            parent.pid |= pid
+            parent.children.append(SiblingRecord(tag, pid))
+        elif self._top is not None:
+            self._top.append(SiblingRecord(tag, pid))
+
+    def consume(self, events: Iterable[Tuple[str, str]]) -> "StreamingCollector":
+        start, end = self.start, self.end
+        for kind, tag in events:
+            if kind == EVENT_START:
+                start(tag)
+            else:
+                end(tag)
+        return self
+
+    # ------------------------------------------------------------------
+    # Harvest
+    # ------------------------------------------------------------------
+
+    def finish(self) -> PartialSynopsis:
+        if self._stack:
+            raise BuildError(
+                "scan ended with %d unclosed element(s); first open: <%s>"
+                % (len(self._stack), self._stack[0].tag)
+            )
+        if not self._paths:
+            raise BuildError("scan produced no elements")
+        return PartialSynopsis(
+            self._paths, self._freq, self._grids, self._top, self._element_count
+        )
+
+    # ------------------------------------------------------------------
+
+    def _grid_for(self, tag: str) -> TagOrderGrid:
+        grid = self._grids.get(tag)
+        if grid is None:
+            grid = TagOrderGrid(tag)
+            self._grids[tag] = grid
+        return grid
+
+
+def scan_text(text: str, prefix: Sequence[str] = ()) -> PartialSynopsis:
+    """One streamed scan of ``text`` into a provisional partial synopsis.
+
+    ``prefix`` empty: ``text`` must be a whole document (one root).
+    ``prefix`` non-empty: ``text`` is a fragment — a run of sibling
+    subtrees living directly under the prefix path (shard mode).
+    """
+    collector = StreamingCollector(prefix)
+    return collector.consume(scan_events(text, fragment=bool(prefix))).finish()

@@ -135,14 +135,28 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro import persist
+    from repro.build.builder import build_synopsis
 
-    document = _load_document(args)
-    system = EstimationSystem.build(
-        document, p_variance=args.p_variance, o_variance=args.o_variance
-    )
     name = args.name
     if name is None:
         name = args.dataset or os.path.splitext(os.path.basename(args.file))[0]
+    if args.file:
+        # Stream (and with --workers > 1, shard) the file directly —
+        # the document tree is never materialized.
+        system = build_synopsis(
+            args.file,
+            p_variance=args.p_variance,
+            o_variance=args.o_variance,
+            workers=args.workers,
+            name=name,
+        )
+    else:
+        system = build_synopsis(
+            generate(args.dataset, scale=args.scale, seed=args.seed),
+            p_variance=args.p_variance,
+            o_variance=args.o_variance,
+            name=name,
+        )
     output = args.output
     if output.endswith(os.sep) or os.path.isdir(output):
         os.makedirs(output, exist_ok=True)
@@ -267,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument(
         "--name", default=None,
         help="synopsis name (default: dataset name or XML file stem)",
+    )
+    snapshot.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel scan processes for --file sources (the built "
+        "synopsis is bit-identical regardless)",
     )
     snapshot.set_defaults(handler=_cmd_snapshot)
 

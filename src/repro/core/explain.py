@@ -16,9 +16,8 @@ from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edg
 from repro.core.noorder import branching_ancestor, estimate_no_order, prune_to_spine
 from repro.core.order import _OrderEstimator, sibling_order_edges
 from repro.core.pathjoin import path_join
-from repro.core.system import EstimationSystem
+from repro.core.system import EstimationSystem, _coerce_query
 from repro.xpath.ast import Query, QueryAxis
-from repro.xpath.parser import parse_query
 
 
 @dataclass
@@ -46,7 +45,7 @@ class EstimateReport:
 
 def explain(system: EstimationSystem, query: Union[str, Query]) -> EstimateReport:
     """Explain how ``system`` estimates ``query``'s target selectivity."""
-    parsed = parse_query(query) if isinstance(query, str) else query
+    parsed = _coerce_query(query)
     if scoped_order_edges(parsed):
         variants = rewrite_scoped_order_query(
             parsed, system.path_provider, system.encoding_table

@@ -14,11 +14,17 @@ statistics tables, p-/o-histograms at the requested variance thresholds and
 the compressed path-id binary tree.  ``estimate`` routes a query through
 the scoped-axis rewrite, the order estimator or the plain Section 4
 machinery as appropriate.
+
+``build`` also accepts XML text or a filesystem path instead of a parsed
+document; those sources stream through :mod:`repro.build` (optionally
+sharded over ``workers`` processes) without ever materializing the tree,
+and produce bit-identical synopses.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import os
+from typing import Dict, List, Optional, Union
 
 from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edges
 from repro.core.noorder import estimate_no_order
@@ -50,6 +56,23 @@ ROUTE_ORDER = "order"
 ROUTE_NO_ORDER = "no_order"
 
 
+def _coerce_query(query: Union[str, Query]) -> Query:
+    """Accept query text or a parsed AST anywhere a query is expected.
+
+    Strings go through the shared ``lru_cache``'d parser (queries are
+    immutable once finalized, so repeated texts share one AST).  Used by
+    every public query-taking entry point — ``estimate``, ``join``,
+    ``select_route``, ``explain`` — so they are uniformly polymorphic.
+    """
+    if isinstance(query, str):
+        return parse_query_cached(query)
+    if isinstance(query, Query):
+        return query
+    raise TypeError(
+        "expected query text or a parsed Query, got %s" % type(query).__name__
+    )
+
+
 class EstimationSystem:
     """Selectivity estimator for XPath expressions with order axes."""
 
@@ -61,6 +84,7 @@ class EstimationSystem:
         path_provider: PathStatsProvider,
         order_provider: OrderStatsProvider,
         binary_tree: Optional[PathIdBinaryTree] = None,
+        name: str = "",
     ):
         self.labeled = labeled
         self.encoding_table = labeled.encoding_table
@@ -69,6 +93,9 @@ class EstimationSystem:
         self.path_provider = path_provider
         self.order_provider = order_provider
         self.binary_tree = binary_tree
+        self.name = name or (
+            labeled.document.name if labeled.document is not None else ""
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -77,14 +104,20 @@ class EstimationSystem:
     @classmethod
     def build(
         cls,
-        document: XmlDocument,
+        document: Union[XmlDocument, str, "os.PathLike[str]"],
         p_variance: float = 0.0,
         o_variance: float = 0.0,
         use_histograms: bool = True,
         build_binary_tree: bool = True,
         depth_refined: bool = False,
+        workers: int = 1,
     ) -> "EstimationSystem":
         """Run the full summary-construction pipeline on ``document``.
+
+        ``document`` may also be XML text or a filesystem path; those
+        sources stream through :class:`repro.build.SynopsisBuilder`
+        (sharded over ``workers`` processes when ``workers > 1``) and
+        yield a bit-identical synopsis without materializing the tree.
 
         ``use_histograms=False`` wires the estimator directly to the exact
         statistics tables (useful for testing the estimation formulas in
@@ -98,6 +131,22 @@ class EstimationSystem:
                 "depth_refined statistics are exact-mode only "
                 "(pass use_histograms=False)"
             )
+        if not isinstance(document, XmlDocument):
+            from repro.build.builder import SynopsisBuilder
+            from repro.errors import BuildError
+
+            if depth_refined:
+                raise BuildError(
+                    "depth_refined statistics need per-node depths and are "
+                    "only available for the in-memory tree pipeline"
+                )
+            return SynopsisBuilder(
+                p_variance=p_variance,
+                o_variance=o_variance,
+                use_histograms=use_histograms,
+                build_binary_tree=build_binary_tree,
+                workers=workers,
+            ).build(document)
         labeled = label_document(document)
         pathid_table = collect_pathid_frequencies(labeled)
         order_table = collect_path_order(labeled)
@@ -121,6 +170,53 @@ class EstimationSystem:
             ).compress()
         return cls(
             labeled, pathid_table, order_table, path_provider, order_provider, binary_tree
+        )
+
+    @classmethod
+    def from_statistics(
+        cls,
+        encoding_table: EncodingTable,
+        pathid_table: PathIdFrequencyTable,
+        order_table: PathOrderTable,
+        distinct_pathids: Optional[List[int]] = None,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+        use_histograms: bool = True,
+        build_binary_tree: bool = True,
+        name: str = "",
+    ) -> "EstimationSystem":
+        """Build from exact tables alone — no document, no per-node labels.
+
+        The construction path of the streaming/sharded builder
+        (:mod:`repro.build`): everything downstream of the tables
+        (histograms, binary tree, size accounting) only needs the encoding
+        table and the distinct path ids, which the frequency table itself
+        carries.
+        """
+        if distinct_pathids is None:
+            distinct_pathids = pathid_table.distinct_pathids()
+        labeled = LabeledDocument.from_summary(encoding_table, distinct_pathids)
+        if use_histograms:
+            phistograms = PHistogramSet.from_table(pathid_table, p_variance)
+            ohistograms = OHistogramSet.from_table(order_table, phistograms, o_variance)
+            path_provider: PathStatsProvider = phistograms
+            order_provider: OrderStatsProvider = ohistograms
+        else:
+            path_provider = ExactPathStats(pathid_table)
+            order_provider = ExactOrderStats(order_table)
+        binary_tree = None
+        if build_binary_tree:
+            binary_tree = PathIdBinaryTree(
+                list(distinct_pathids), encoding_table.width
+            ).compress()
+        return cls(
+            labeled,
+            pathid_table,
+            order_table,
+            path_provider,
+            order_provider,
+            binary_tree,
+            name=name,
         )
 
     @classmethod
@@ -149,7 +245,7 @@ class EstimationSystem:
         return parse_query(text)
 
     @staticmethod
-    def select_route(query: Query) -> str:
+    def select_route(query: Union[str, Query]) -> str:
         """Which estimation route ``estimate`` would take for ``query``.
 
         One of :data:`ROUTE_SCOPED`, :data:`ROUTE_ORDER`,
@@ -157,9 +253,10 @@ class EstimationSystem:
         shape, so callers (the service plan cache) can compute it once per
         distinct query text.
         """
-        if scoped_order_edges(query):
+        parsed = _coerce_query(query)
+        if scoped_order_edges(parsed):
             return ROUTE_SCOPED
-        if sibling_order_edges(query):
+        if sibling_order_edges(parsed):
             return ROUTE_ORDER
         return ROUTE_NO_ORDER
 
@@ -175,7 +272,7 @@ class EstimationSystem:
         ``depth_consistent=False`` uses the literal pairwise containment
         test (both are ablation switches, see DESIGN.md §5).
         """
-        parsed = parse_query_cached(query) if isinstance(query, str) else query
+        parsed = _coerce_query(query)
         return self.estimate_routed(
             parsed,
             self.select_route(parsed),
@@ -227,7 +324,7 @@ class EstimationSystem:
         depth_consistent: bool = True,
     ) -> JoinResult:
         """Expose the raw path join (used by tests and examples)."""
-        parsed = parse_query(query) if isinstance(query, str) else query
+        parsed = _coerce_query(query)
         return path_join(
             parsed, self.path_provider, self.encoding_table,
             fixpoint=fixpoint, depth_consistent=depth_consistent,

@@ -1,0 +1,62 @@
+"""The root exception hierarchy of the reproduction.
+
+Every failure the package raises on purpose derives from
+:class:`ReproError`, so embedders can catch one base class at the
+boundary and the HTTP service can map any failure to a stable
+``error.kind`` string (each class carries its slug in ``kind``):
+
+* :class:`ParseError` (``"parse"``) — malformed XML input; the concrete
+  :class:`repro.xmltree.parser.XmlParseError` adds the byte offset;
+* :class:`QuerySyntaxError` (``"query_syntax"``) — malformed query text;
+  the concrete :class:`repro.xpath.parser.XPathSyntaxError` adds the
+  offset;
+* :class:`PersistError` (``"persist"``) — synopsis (de)serialization
+  failures (:class:`repro.persist.SynopsisLoadError` is its load-side
+  subclass);
+* :class:`BuildError` (``"build"``) — streaming/sharded synopsis
+  construction failures (bad source, unbalanced shards, unsupported
+  build options).
+
+All of them also subclass :class:`ValueError`: the concrete classes
+predate the hierarchy and were plain ``ValueError`` subclasses, so
+existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every intentional failure raised by :mod:`repro`."""
+
+    #: Stable machine-readable slug for this failure family; the service
+    #: returns it as ``error.kind`` and never renames existing values.
+    kind = "error"
+
+
+class ParseError(ReproError, ValueError):
+    """Malformed XML document text."""
+
+    kind = "parse"
+
+
+class QuerySyntaxError(ReproError, ValueError):
+    """Malformed XPath query text."""
+
+    kind = "query_syntax"
+
+
+class PersistError(ReproError, ValueError):
+    """Synopsis serialization or deserialization failure."""
+
+    kind = "persist"
+
+
+class BuildError(ReproError, ValueError):
+    """Synopsis construction failure (streaming scan, sharding, merge)."""
+
+    kind = "build"
+
+
+def error_kind(error: BaseException) -> str:
+    """The stable ``error.kind`` slug for any exception."""
+    return getattr(error, "kind", "internal") if isinstance(error, ReproError) else "internal"

@@ -29,6 +29,7 @@ PREFERRED_ORDER = [
     "ablation_depth_refined",
     "baselines_panorama",
     "throughput",
+    "build_throughput",
     "service_throughput",
     "structural_join_pruning",
     "scoped_axes",

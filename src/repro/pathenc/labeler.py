@@ -41,6 +41,27 @@ class LabeledDocument:
         self._ordinal_by_pid: Dict[int, int] = {pid: i + 1 for i, pid in enumerate(distinct)}
         self._distinct_pids: List[int] = distinct
 
+    @classmethod
+    def from_summary(
+        cls, encoding_table: EncodingTable, distinct_pathids: List[int]
+    ) -> "LabeledDocument":
+        """A document-free labeled view over summary data alone.
+
+        The streaming builder (:mod:`repro.build`) and the synopsis loader
+        (:mod:`repro.persist`) never materialize the tree, yet the
+        estimation system still needs the encoding table, the distinct
+        path-id table and the size accounting this class carries.
+        ``document`` is ``None`` and ``pathids`` is empty on the result.
+        """
+        summary = cls.__new__(cls)
+        summary.document = None  # type: ignore[assignment]
+        summary.encoding_table = encoding_table
+        summary.pathids = []
+        distinct = sorted(set(distinct_pathids))
+        summary._ordinal_by_pid = {pid: i + 1 for i, pid in enumerate(distinct)}
+        summary._distinct_pids = distinct
+        return summary
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
@@ -81,8 +102,11 @@ class LabeledDocument:
         return len(self._distinct_pids) * self.pathid_size_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        source = "<summary>"
+        if self.document is not None:
+            source = self.document.name or self.document.root.tag
         return "<LabeledDocument %s: %d distinct pids, width %d>" % (
-            self.document.name or self.document.root.tag,
+            source,
             len(self._distinct_pids),
             self.width,
         )

@@ -18,22 +18,28 @@ import json
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.system import EstimationSystem
+from repro.errors import PersistError as _BasePersistError
 from repro.histograms.ohistogram import OBucket, OHistogram, OHistogramSet
 from repro.histograms.phistogram import PBucket, PHistogram, PHistogramSet
 from repro.pathenc.encoding import EncodingTable
 from repro.pathenc.labeler import LabeledDocument
-from repro.stats.path_order import PathOrderTable
+from repro.stats.path_order import PathOrderTable, TagOrderGrid
 from repro.stats.pathid_freq import PathIdFrequencyTable
 
 FORMAT_VERSION = 1
 
+#: Shard-payload format (see partial_to_dict); versioned independently of
+#: the synopsis format so the two can evolve separately.
+PARTIAL_FORMAT_VERSION = 1
 
-class PersistError(ValueError):
+
+class PersistError(_BasePersistError):
     """Base error for synopsis (de)serialization failures.
 
     Raised instead of leaking ``KeyError``/``TypeError``/``JSONDecodeError``
     from the payload internals, so callers (the CLI, the estimation
-    service) can report one clear failure mode.
+    service) can report one clear failure mode.  Part of the
+    :class:`repro.errors.ReproError` hierarchy (``kind == "persist"``).
     """
 
 
@@ -113,6 +119,69 @@ def system_from_dict(payload: Dict[str, Any]) -> EstimationSystem:
     )
 
 
+def partial_to_dict(partial: "PartialSynopsis") -> Dict[str, Any]:
+    """Serialize one shard's provisional partial synopsis.
+
+    This is the wire format for distributed builds: map workers (possibly
+    on other machines) stream their shards, ship these payloads, and a
+    single reducer feeds the decoded partials — in document order — to
+    :func:`repro.build.merge.merge_partials`.
+    """
+    return {
+        "partial_format_version": PARTIAL_FORMAT_VERSION,
+        "paths": list(partial.paths),
+        "freq": {
+            tag: {"%x" % pid: count for pid, count in per_tag.items()}
+            for tag, per_tag in partial.freq.items()
+        },
+        "grids": {
+            tag: [
+                ["%x" % pid, other_tag, count, before]
+                for (pid, other_tag, before), count in grid.cells()
+            ]
+            for tag, grid in partial.grids.items()
+        },
+        "top": (
+            None
+            if partial.top is None
+            else [[record.tag, "%x" % record.pid] for record in partial.top]
+        ),
+        "element_count": partial.element_count,
+    }
+
+
+def partial_from_dict(payload: Dict[str, Any]) -> "PartialSynopsis":
+    """Decode a shard payload produced by :func:`partial_to_dict`."""
+    from repro.build.stream import PartialSynopsis, SiblingRecord
+
+    if not isinstance(payload, dict):
+        raise SynopsisLoadError(
+            "partial payload must be a JSON object, got %s" % type(payload).__name__
+        )
+    version = payload.get("partial_format_version")
+    if version != PARTIAL_FORMAT_VERSION:
+        raise SynopsisLoadError("unsupported partial format %r" % version)
+    try:
+        paths = [str(path) for path in payload["paths"]]
+        freq = {
+            tag: {int(pid, 16): int(count) for pid, count in per_tag.items()}
+            for tag, per_tag in payload["freq"].items()
+        }
+        grids: Dict[str, TagOrderGrid] = {}
+        for tag, cells in payload["grids"].items():
+            grid = TagOrderGrid(tag)
+            for pid, other_tag, count, before in cells:
+                grid.add_count(int(pid, 16), other_tag, int(count), bool(before))
+            grids[tag] = grid
+        top = payload["top"]
+        if top is not None:
+            top = [SiblingRecord(tag, int(pid, 16)) for tag, pid in top]
+        element_count = int(payload["element_count"])
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise SynopsisLoadError("malformed partial: %s" % error)
+    return PartialSynopsis(paths, freq, grids, top, element_count)
+
+
 def dumps(system: EstimationSystem, indent: Optional[int] = None) -> str:
     return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
 
@@ -190,10 +259,4 @@ def _ohistogram_from_dict(data: Dict[str, Any]) -> OHistogram:
 
 def _labeled_shell(table: EncodingTable) -> LabeledDocument:
     """A document-free LabeledDocument carrying just the encoding table."""
-    shell = LabeledDocument.__new__(LabeledDocument)
-    shell.document = None  # type: ignore[assignment]
-    shell.encoding_table = table
-    shell.pathids = []
-    shell._ordinal_by_pid = {}
-    shell._distinct_pids = []
-    return shell
+    return LabeledDocument.from_summary(table, [])

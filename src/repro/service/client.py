@@ -25,12 +25,18 @@ from repro.service.server import DEFAULT_PORT
 
 
 class ServiceError(RuntimeError):
-    """Non-2xx reply from the service."""
+    """Non-2xx reply from the service.
 
-    def __init__(self, status: int, message: str):
-        super().__init__("HTTP %d: %s" % (status, message))
+    ``kind`` is the service's stable error slug (``error.kind`` in the
+    response body — e.g. ``"unknown_synopsis"``, ``"query_syntax"``),
+    or ``"internal"`` when the body carried none.
+    """
+
+    def __init__(self, status: int, message: str, kind: str = "internal"):
+        super().__init__("HTTP %d [%s]: %s" % (status, kind, message))
         self.status = status
         self.message = message
+        self.kind = kind
 
 
 class ServiceClient:
@@ -104,9 +110,14 @@ class ServiceClient:
             except (UnicodeDecodeError, json.JSONDecodeError):
                 document = {}
             if response.status >= 400:
-                raise ServiceError(
-                    response.status, str(document.get("error", raw[:200]))
-                )
+                error = document.get("error", raw[:200])
+                if isinstance(error, dict):  # structured {"kind", "message"}
+                    raise ServiceError(
+                        response.status,
+                        str(error.get("message", "")),
+                        str(error.get("kind", "internal")),
+                    )
+                raise ServiceError(response.status, str(error))
             return document
         finally:
             if not self.keep_alive:

@@ -165,6 +165,31 @@ class SynopsisRegistry:
             self._entries[name] = entry
             return entry
 
+    def register_source(
+        self,
+        name: str,
+        source,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+        workers: int = 1,
+    ) -> SynopsisEntry:
+        """Build a synopsis from raw XML (text, path, or document) and
+        register it — the streaming builder, so the tree is never held.
+
+        ``workers > 1`` shards the scan across a process pool; the served
+        system is bit-identical regardless of worker count.
+        """
+        from repro.build.builder import build_synopsis
+
+        system = build_synopsis(
+            source,
+            p_variance=p_variance,
+            o_variance=o_variance,
+            workers=workers,
+            name=name,
+        )
+        return self.register(name, system)
+
     def register_live(
         self,
         name: str,

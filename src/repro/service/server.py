@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.transform import UnsupportedQueryError
+from repro.errors import ReproError, error_kind
 from repro.service.metrics import ServiceMetrics
 from repro.service.plancache import PlanCache
 from repro.service.registry import SynopsisRegistry, UnknownSynopsisError
@@ -39,11 +40,22 @@ DEFAULT_PORT = 8750
 
 
 class RequestError(ValueError):
-    """A client-side request problem, mapped to an HTTP status."""
+    """A client-side request problem, mapped to an HTTP status.
 
-    def __init__(self, status: int, message: str):
+    ``kind`` is the stable machine-readable slug carried in the response's
+    ``error.kind`` field (the human-readable message may change between
+    releases; the kind will not).
+    """
+
+    def __init__(self, status: int, message: str, kind: str = "bad_request"):
         super().__init__(message)
         self.status = status
+        self.kind = kind
+
+
+def error_body(kind: str, message: str) -> Dict[str, Any]:
+    """The wire shape of every error response: ``{"error": {kind, message}}``."""
+    return {"error": {"kind": kind, "message": message}}
 
 
 class EstimationService:
@@ -92,13 +104,18 @@ class EstimationService:
             results = [self.estimate(synopsis, text) for text in queries]
         except UnknownSynopsisError as error:
             self._observe_failure(None, started, len(queries))
-            raise RequestError(404, "unknown synopsis %s" % error)
+            raise RequestError(404, "unknown synopsis %s" % error, "unknown_synopsis")
         except XPathSyntaxError as error:
             self._observe_failure(synopsis, started, len(queries))
-            raise RequestError(400, "bad query: %s" % error)
+            raise RequestError(400, "bad query: %s" % error, error_kind(error))
         except UnsupportedQueryError as error:
             self._observe_failure(synopsis, started, len(queries))
-            raise RequestError(400, "unsupported query: %s" % error)
+            raise RequestError(400, "unsupported query: %s" % error, "unsupported_query")
+        except ReproError as error:
+            # Build/persist failures surfaced through the registry keep
+            # their hierarchy slug (error.kind = "build", "persist", ...).
+            self._observe_failure(synopsis, started, len(queries))
+            raise RequestError(500, str(error), error_kind(error))
         except RequestError:
             self._observe_failure(synopsis, started, len(queries))
             raise
@@ -201,20 +218,24 @@ def _make_handler(service: EstimationService) -> type:
                 elif self.path == "/metrics":
                     self._reply(200, service.metrics_document())
                 else:
-                    self._reply(404, {"error": "no such endpoint %r" % self.path})
+                    self._reply(
+                        404, error_body("not_found", "no such endpoint %r" % self.path)
+                    )
             except Exception as error:  # pragma: no cover - defensive
-                self._reply(500, {"error": "internal error: %s" % error})
+                self._reply(500, error_body("internal", "internal error: %s" % error))
 
         def do_POST(self) -> None:
             try:
                 if self.path != "/estimate":
-                    self._reply(404, {"error": "no such endpoint %r" % self.path})
+                    self._reply(
+                        404, error_body("not_found", "no such endpoint %r" % self.path)
+                    )
                     return
                 self._reply(200, service.handle_estimate(self._read_json()))
             except RequestError as error:
-                self._reply(error.status, {"error": str(error)})
+                self._reply(error.status, error_body(error.kind, str(error)))
             except Exception as error:  # pragma: no cover - defensive
-                self._reply(500, {"error": "internal error: %s" % error})
+                self._reply(500, error_body("internal", "internal error: %s" % error))
 
     return Handler
 

@@ -11,11 +11,17 @@ two regions:
 
 An ``X`` that has ``Y`` siblings on both sides is counted in both regions
 (the paper's note after Example 3.2).
+
+Like the PathId-Frequency table, the grids are mergeable: each sibling
+group contributes its cells independently, so grids collected over
+document shards reduce to the whole-document grids with
+:meth:`PathOrderTable.merge` (associative and commutative), provided all
+inputs share one encoding-table bit layout (:meth:`remap_pathids`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Set, Tuple
 
 from repro.pathenc.labeler import LabeledDocument
 
@@ -40,6 +46,12 @@ class TagOrderGrid:
         key = (pid, other_tag)
         self._after[key] = self._after.get(key, 0) + 1
 
+    def add_count(self, pid: int, other_tag: str, count: int, before: bool) -> None:
+        """Add ``count`` to one cell directly (shard merge bulk path)."""
+        region = self._before if before else self._after
+        key = (pid, other_tag)
+        region[key] = region.get(key, 0) + count
+
     # -- lookups -----------------------------------------------------------
 
     def g_before(self, pid: int, other_tag: str) -> int:
@@ -53,6 +65,20 @@ class TagOrderGrid:
     def region(self, before: bool) -> Dict[Cell, int]:
         """The raw cells of one region (a copy)."""
         return dict(self._before if before else self._after)
+
+    def cells(self) -> List[Tuple[Tuple[int, str, bool], int]]:
+        """Every non-zero cell as ``((pid, other_tag, before), count)``,
+        in a deterministic order (serialization)."""
+        items = [
+            ((pid, other_tag, True), count)
+            for (pid, other_tag), count in self._before.items()
+        ]
+        items.extend(
+            ((pid, other_tag, False), count)
+            for (pid, other_tag), count in self._after.items()
+        )
+        items.sort(key=lambda cell: (cell[0][0], cell[0][1], not cell[0][2]))
+        return items
 
     def nonzero_cell_count(self) -> int:
         return len(self._before) + len(self._after)
@@ -68,6 +94,42 @@ class TagOrderGrid:
         pids: Set[int] = {pid for pid, _ in self._before}
         pids.update(pid for pid, _ in self._after)
         return sorted(pids)
+
+    def merged_with(self, *others: "TagOrderGrid") -> "TagOrderGrid":
+        """A new grid summing this grid's cells with ``others``'."""
+        merged = TagOrderGrid(self.tag)
+        for grid in (self,) + others:
+            for (pid, other_tag), count in grid._before.items():
+                merged.add_count(pid, other_tag, count, before=True)
+            for (pid, other_tag), count in grid._after.items():
+                merged.add_count(pid, other_tag, count, before=False)
+        return merged
+
+    def remapped(self, remap: Callable[[int], int]) -> "TagOrderGrid":
+        """A new grid with every cell's path id passed through ``remap``."""
+        grid = TagOrderGrid(self.tag)
+        grid._before = {
+            (remap(pid), other): count for (pid, other), count in self._before.items()
+        }
+        grid._after = {
+            (remap(pid), other): count for (pid, other), count in self._after.items()
+        }
+        return grid
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TagOrderGrid):
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self._before == other._before
+            and self._after == other._after
+        )
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment] - mutable collector
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<TagOrderGrid %s: %d before-cells, %d after-cells>" % (
@@ -97,6 +159,42 @@ class PathOrderTable:
 
     def total_nonzero_cells(self) -> int:
         return sum(grid.nonzero_cell_count() for grid in self._grids.values())
+
+    # ------------------------------------------------------------------
+    # Merging and remapping (sharded construction)
+    # ------------------------------------------------------------------
+
+    def merge(self, *others: "PathOrderTable") -> "PathOrderTable":
+        """Sum this table's grids with ``others``' into a new table.
+
+        All tables must use the same encoding-table bit layout; remap
+        shard-local tables first (:meth:`remap_pathids`).  Associative and
+        commutative.  Grids that exist in one input but carry no cells
+        survive the merge, matching a direct whole-document collection.
+        """
+        merged: Dict[str, TagOrderGrid] = {}
+        for table in (self,) + others:
+            for tag, grid in table._grids.items():
+                existing = merged.get(tag)
+                merged[tag] = grid.merged_with() if existing is None else existing.merged_with(grid)
+        return PathOrderTable(merged)
+
+    def remap_pathids(self, remap: Callable[[int], int]) -> "PathOrderTable":
+        """A new table with every grid's path ids passed through ``remap``."""
+        return PathOrderTable(
+            {tag: grid.remapped(remap) for tag, grid in self._grids.items()}
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathOrderTable):
+            return NotImplemented
+        return self._grids == other._grids
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment] - mutable collector
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<PathOrderTable %d tags, %d cells>" % (

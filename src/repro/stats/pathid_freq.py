@@ -3,11 +3,17 @@
 One tuple per distinct element tag, aggregating every path id under which
 the tag occurs together with its frequency.  This is the exact statistic;
 the p-histogram (Section 6) is its lossy, budgeted form.
+
+Tables are *mergeable*: frequencies of disjoint node sets simply add, so
+partial tables collected over document shards (or over many documents
+sharing one encoding table) reduce to the whole-corpus table with
+:meth:`PathIdFrequencyTable.merge` — the foundation of the parallel
+builder in :mod:`repro.build`.  ``merge`` is associative and commutative.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Set, Tuple
 
 from repro.pathenc.labeler import LabeledDocument
 
@@ -51,6 +57,70 @@ class PathIdFrequencyTable:
     def iter_items(self) -> Iterator[Tuple[str, List[Tuple[int, int]]]]:
         for tag in sorted(self._entries):
             yield tag, list(self._entries[tag])
+
+    def distinct_pathids(self) -> List[int]:
+        """All distinct path ids across every tag, ascending.
+
+        Every element contributes exactly one (tag, pid) count, so this is
+        the document's distinct-path-id set (the p1..pk table) — which lets
+        a streaming build recover it without keeping per-node labels.
+        """
+        pids: Set[int] = set()
+        for pairs in self._entries.values():
+            pids.update(pid for pid, _ in pairs)
+        return sorted(pids)
+
+    def total_elements(self) -> int:
+        """Total element count (each element is counted exactly once)."""
+        return sum(
+            freq for pairs in self._entries.values() for _, freq in pairs
+        )
+
+    # ------------------------------------------------------------------
+    # Merging and remapping (sharded construction)
+    # ------------------------------------------------------------------
+
+    def merge(self, *others: "PathIdFrequencyTable") -> "PathIdFrequencyTable":
+        """Sum this table with ``others`` into a new table.
+
+        All tables must use the same encoding-table bit layout (remap
+        first when they do not — see :meth:`remap_pathids`).  Associative
+        and commutative, so shard reductions may group and reorder freely.
+        """
+        merged: Dict[str, Dict[int, int]] = {
+            tag: dict(pairs) for tag, pairs in self._entries.items()
+        }
+        for other in others:
+            for tag, pairs in other._entries.items():
+                per_tag = merged.setdefault(tag, {})
+                for pid, freq in pairs:
+                    per_tag[pid] = per_tag.get(pid, 0) + freq
+        return PathIdFrequencyTable(merged)
+
+    def remap_pathids(self, remap: Callable[[int], int]) -> "PathIdFrequencyTable":
+        """A new table with every path id passed through ``remap``.
+
+        Used to translate a shard-local bit layout into the merged
+        encoding table's layout.  ``remap`` must be injective; colliding
+        ids would silently sum.
+        """
+        return PathIdFrequencyTable(
+            {
+                tag: {remap(pid): freq for pid, freq in pairs}
+                for tag, pairs in self._entries.items()
+            }
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathIdFrequencyTable):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment] - mutable-by-convention
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<PathIdFrequencyTable %d tags>" % len(self._entries)

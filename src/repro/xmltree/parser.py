@@ -8,12 +8,19 @@ the five predefined entities and numeric character references.
 It is a hand-written recursive scanner rather than a wrapper around
 ``xml.etree`` so that the whole substrate is self-contained and the tests
 can exercise malformed-input behaviour precisely.
+
+Besides the tree-building :func:`parse_xml`, the same tokenization is
+exposed as the event stream :func:`scan_events` (start/end element pairs,
+no tree, no attribute decoding) — the substrate of the streaming synopsis
+builder in :mod:`repro.build`, whose memory stays bounded by the open
+element stack instead of the document size.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.errors import ParseError
 from repro.xmltree.document import XmlDocument
 from repro.xmltree.node import XmlNode
 
@@ -29,7 +36,7 @@ _NAME_START_EXTRA = set("_:")
 _NAME_EXTRA = set("_:.-")
 
 
-class XmlParseError(ValueError):
+class XmlParseError(ParseError):
     """Raised on malformed XML input, with the byte offset of the problem."""
 
     def __init__(self, message: str, position: int):
@@ -254,6 +261,191 @@ def parse_xml(text: str, name: str = "") -> XmlDocument:
     if not scanner.eof():
         raise XmlParseError("content after the root element", scanner.pos)
     return XmlDocument(root, name=name)
+
+
+# ----------------------------------------------------------------------
+# Event scanning (no tree construction)
+# ----------------------------------------------------------------------
+
+#: Event kinds yielded by :func:`scan_events`.
+EVENT_START = "start"
+EVENT_END = "end"
+
+
+def _skip_attributes(scanner: _Scanner) -> None:
+    """Advance past the attribute list of a start tag without storing it.
+
+    The streaming statistics collectors only consume element structure, so
+    attribute values are skipped (quotes respected) rather than decoded.
+    """
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof():
+            raise XmlParseError("unterminated start tag", scanner.pos)
+        if scanner.peek() in (">", "/"):
+            return
+        scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise XmlParseError("attribute value must be quoted", scanner.pos)
+        scanner.pos += 1
+        scanner.read_until(quote, "attribute value")
+
+
+def _skip_element(scanner: _Scanner) -> str:
+    """Skip one whole element (positioned at its ``<``); return its tag.
+
+    Purely lexical: tracks nesting depth and honours comments, CDATA and
+    processing instructions, but does not verify that end tags match.  The
+    shard chunker uses this to find top-level subtree byte spans without
+    scanning their interiors tag-by-tag.
+    """
+    scanner.expect("<")
+    tag = scanner.read_name()
+    _skip_attributes(scanner)
+    if scanner.startswith("/>"):
+        scanner.pos += 2
+        return tag
+    scanner.expect(">")
+    depth = 1
+    text = scanner.text
+    find = text.find
+    while depth:
+        angle = find("<", scanner.pos)
+        if angle < 0:
+            raise XmlParseError("missing end tag for <%s>" % tag, scanner.pos)
+        scanner.pos = angle
+        lead = text[angle + 1 : angle + 2]
+        if lead == "/":
+            gt = find(">", angle + 2)
+            if gt < 0:
+                raise XmlParseError("unterminated end tag", angle)
+            scanner.pos = gt + 1
+            depth -= 1
+        elif lead == "!":
+            if scanner.startswith("<!--"):
+                scanner.pos += 4
+                scanner.read_until("-->", "comment")
+            elif scanner.startswith("<![CDATA["):
+                scanner.pos += 9
+                scanner.read_until("]]>", "CDATA section")
+            else:
+                raise XmlParseError("unexpected markup declaration", angle)
+        elif lead == "?":
+            scanner.pos += 2
+            scanner.read_until("?>", "processing instruction")
+        else:
+            gt = find(">", angle + 1)
+            if gt < 0:
+                raise XmlParseError("unterminated start tag", angle)
+            head = text[angle:gt]
+            if '"' in head or "'" in head:
+                # A quoted attribute value may hide the real ">" (or a
+                # "<"); fall back to the attribute-aware skip.
+                scanner.pos = angle + 1
+                scanner.read_name()
+                _skip_attributes(scanner)
+                if scanner.startswith("/>"):
+                    scanner.pos += 2
+                else:
+                    scanner.expect(">")
+                    depth += 1
+            else:
+                scanner.pos = gt + 1
+                if not head.endswith("/"):
+                    depth += 1
+    return tag
+
+
+def scan_events(text: str, fragment: bool = False) -> Iterator[Tuple[str, str]]:
+    """Yield ``(EVENT_START, tag)`` / ``(EVENT_END, tag)`` pairs.
+
+    The single-pass, constant-memory view of the document the tree parser
+    would build: the same prolog handling and well-formedness checks
+    (matching end tags, one root), but no nodes, no attribute dictionaries
+    and no text decoding.  ``fragment=True`` accepts a *sequence* of
+    top-level elements with arbitrary character data between them — the
+    shape of a document shard cut out by :mod:`repro.build.chunker`.
+
+    Raises :class:`XmlParseError` on malformed input.
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner, allow_doctype=True)
+    if not fragment and (scanner.eof() or scanner.peek() != "<"):
+        raise XmlParseError("expected a root element", scanner.pos)
+    stack: List[str] = []
+    while True:
+        if scanner.eof():
+            if stack:
+                raise XmlParseError(
+                    "missing end tag for <%s>" % stack[-1], scanner.pos
+                )
+            if fragment:
+                return
+            raise XmlParseError("expected a root element", scanner.pos)
+        if scanner.peek() != "<":
+            # Character data; at the top level of a fragment it is the
+            # inter-sibling text the chunker sliced along with the spans.
+            if not stack and not fragment:
+                raise XmlParseError("content after the root element", scanner.pos)
+            angle = scanner.text.find("<", scanner.pos)
+            if angle < 0:
+                if stack:
+                    raise XmlParseError(
+                        "missing end tag for <%s>" % stack[-1], scanner.pos
+                    )
+                scanner.pos = scanner.length
+                continue
+            scanner.pos = angle
+            continue
+        if scanner.startswith("</"):
+            position = scanner.pos
+            scanner.pos += 2
+            closing = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            if not stack:
+                raise XmlParseError("unexpected end tag </%s>" % closing, position)
+            if closing != stack[-1]:
+                raise XmlParseError(
+                    "mismatched end tag </%s> for <%s>" % (closing, stack[-1]),
+                    position,
+                )
+            stack.pop()
+            yield EVENT_END, closing
+            if not stack and not fragment:
+                break
+        elif scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<![CDATA["):
+            if not stack:
+                raise XmlParseError("CDATA outside the root element", scanner.pos)
+            scanner.pos += 9
+            scanner.read_until("]]>", "CDATA section")
+        elif scanner.startswith("<?"):
+            scanner.pos += 2
+            scanner.read_until("?>", "processing instruction")
+        else:
+            scanner.pos += 1
+            tag = scanner.read_name()
+            _skip_attributes(scanner)
+            if scanner.startswith("/>"):
+                scanner.pos += 2
+                yield EVENT_START, tag
+                yield EVENT_END, tag
+                if not stack and not fragment:
+                    break
+            else:
+                scanner.expect(">")
+                yield EVENT_START, tag
+                stack.append(tag)
+    _skip_misc(scanner, allow_doctype=False)
+    if not scanner.eof():
+        raise XmlParseError("content after the root element", scanner.pos)
 
 
 def parse_fragment(text: str) -> XmlNode:

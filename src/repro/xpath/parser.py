@@ -21,10 +21,11 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import List, NamedTuple, Optional, Tuple
 
+from repro.errors import QuerySyntaxError
 from repro.xpath.ast import Query, QueryAxis, QueryNode
 
 
-class XPathSyntaxError(ValueError):
+class XPathSyntaxError(QuerySyntaxError):
     """Raised on malformed query text, with the offset of the problem."""
 
     def __init__(self, message: str, position: int):

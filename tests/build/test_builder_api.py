@@ -1,0 +1,120 @@
+"""SynopsisBuilder / build_synopsis dispatch, knobs and failure modes."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.build import SynopsisBuilder, build_synopsis
+from repro.core.system import EstimationSystem
+from repro.errors import BuildError, ParseError
+from repro.xmltree.parser import parse_xml
+from repro.xmltree.serializer import serialize
+
+TEXT = "<R><A><B/><C/></A><A><B/></A><D>x</D></R>"
+
+
+class TestDispatch:
+    def test_text_source(self):
+        assert build_synopsis(TEXT).estimate("//A/$B") == 2.0
+
+    def test_leading_whitespace_text(self):
+        assert build_synopsis("\n  " + TEXT).estimate("//A/$B") == 2.0
+
+    def test_path_source(self, tmp_path):
+        target = tmp_path / "doc.xml"
+        target.write_text(TEXT, encoding="utf-8")
+        system = build_synopsis(str(target))
+        assert system.estimate("//A/$B") == 2.0
+        assert system.name == "doc"
+
+    def test_pathlike_source(self, tmp_path):
+        target = tmp_path / "doc.xml"
+        target.write_text(TEXT, encoding="utf-8")
+        assert build_synopsis(pathlib.Path(target)).estimate("//A/$B") == 2.0
+
+    def test_document_source(self):
+        document = parse_xml(TEXT)
+        assert build_synopsis(document).estimate("//A/$B") == 2.0
+
+    def test_name_is_kept(self):
+        assert build_synopsis(TEXT, name="toy").name == "toy"
+
+    def test_missing_file_is_build_error(self):
+        with pytest.raises(BuildError):
+            build_synopsis("no/such/file.xml")
+
+    def test_unsupported_type_is_build_error(self):
+        with pytest.raises(BuildError):
+            build_synopsis(42)
+
+    def test_malformed_text_is_parse_error(self):
+        with pytest.raises(ParseError):
+            build_synopsis("<R><A></R>")
+
+
+class TestKnobs:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(BuildError):
+            SynopsisBuilder(workers=0)
+        with pytest.raises(BuildError):
+            SynopsisBuilder(shard_bytes=0)
+
+    def test_variances_forwarded(self, ssplays_small):
+        text = serialize(ssplays_small)
+        loose = build_synopsis(text, p_variance=1e9, o_variance=1e9)
+        exact = build_synopsis(text)
+        assert len(loose.path_provider.tags()) == len(exact.path_provider.tags())
+
+    def test_no_histograms_mode(self):
+        system = build_synopsis(TEXT, use_histograms=False)
+        assert system.estimate("//A/$B") == 2.0
+
+    def test_no_binary_tree(self):
+        assert build_synopsis(TEXT, build_binary_tree=False).binary_tree is None
+        assert build_synopsis(TEXT).binary_tree is not None
+
+    def test_workers_do_not_change_result_on_tiny_doc(self):
+        serial = build_synopsis(TEXT)
+        parallel = build_synopsis(TEXT, workers=8, shard_bytes=4)
+        assert parallel.pathid_table == serial.pathid_table
+        assert parallel.order_table == serial.order_table
+
+    def test_unshardable_doc_falls_back_to_single_scan(self):
+        text = "<R><Only><B/><C/></Only></R>"
+        serial = build_synopsis(text)
+        parallel = build_synopsis(text, workers=4, shard_bytes=2)
+        assert parallel.pathid_table == serial.pathid_table
+
+
+class TestEstimationSystemBuildFacade:
+    def test_build_accepts_text(self):
+        system = EstimationSystem.build(TEXT)
+        assert system.estimate("//A/$B") == 2.0
+
+    def test_build_accepts_path(self, tmp_path):
+        target = tmp_path / "doc.xml"
+        target.write_text(TEXT, encoding="utf-8")
+        assert EstimationSystem.build(str(target), workers=2).estimate("//A/$B") == 2.0
+
+    def test_build_document_unchanged(self):
+        document = parse_xml(TEXT)
+        system = EstimationSystem.build(document)
+        assert system.labeled.document is document
+
+    def test_depth_refined_requires_document(self):
+        with pytest.raises(BuildError):
+            EstimationSystem.build(TEXT, depth_refined=True, use_histograms=False)
+
+    def test_from_statistics_derives_distinct_pids(self):
+        reference = build_synopsis(TEXT)
+        rebuilt = EstimationSystem.from_statistics(
+            reference.encoding_table,
+            reference.pathid_table,
+            reference.order_table,
+        )
+        assert rebuilt.estimate("//A/$B") == reference.estimate("//A/$B")
+        assert (
+            rebuilt.labeled.distinct_pathids() == reference.labeled.distinct_pathids()
+        )

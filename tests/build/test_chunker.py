@@ -1,0 +1,93 @@
+"""The chunker: lexical outlining and contiguous span grouping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.build.chunker import group_spans, outline, split_text
+from repro.errors import BuildError
+from repro.xmltree.parser import XmlParseError, parse_xml
+
+
+class TestOutline:
+    def test_finds_root_and_child_spans(self):
+        text = "<r><a><b/></a><c/></r>"
+        parsed = outline(text)
+        assert parsed.root_tag == "r"
+        assert [text[s:e] for s, e in parsed.spans] == ["<a><b/></a>", "<c/>"]
+
+    def test_prolog_and_trailing_misc(self):
+        text = '<?xml version="1.0"?><!-- pre --><r><a/></r><!-- post -->'
+        parsed = outline(text)
+        assert parsed.root_tag == "r"
+        assert len(parsed.spans) == 1
+
+    def test_comments_between_children_excluded(self):
+        text = "<r><!-- x --><a/>text<b/><!-- y --></r>"
+        parsed = outline(text)
+        assert [text[s:e] for s, e in parsed.spans] == ["<a/>", "<b/>"]
+
+    def test_childless_root(self):
+        assert outline("<r/>").spans == []
+        assert outline("<r>only text</r>").spans == []
+
+    def test_attribute_with_angle_bracket(self):
+        text = '<r><a x="</a>"><b/></a><c/></r>'
+        parsed = outline(text)
+        assert [text[s:e] for s, e in parsed.spans] == ['<a x="</a>"><b/></a>', "<c/>"]
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(XmlParseError):
+            outline("<r><a/>")
+        with pytest.raises(XmlParseError):
+            outline("<r></s>")
+        with pytest.raises(XmlParseError):
+            outline("no markup")
+
+
+class TestSplitText:
+    def test_split_covers_all_children(self):
+        text = "<r>" + "".join("<a>%d</a>" % i for i in range(10)) + "</r>"
+        root_tag, shards = split_text(text, shard_count=3)
+        assert root_tag == "r"
+        assert len(shards) == 3
+        # Re-parsing the concatenated shards yields every child.
+        rejoined = parse_xml("<r>" + "".join(shards) + "</r>")
+        assert len(rejoined.root.children) == 10
+
+    def test_shard_bytes_bounds_shard_size(self):
+        child = "<a>xxxxxxxx</a>"
+        text = "<r>" + child * 50 + "</r>"
+        _, shards = split_text(text, shard_bytes=4 * len(child))
+        assert all(len(shard) <= 4 * len(child) for shard in shards)
+        assert sum(shard.count("<a>") for shard in shards) == 50
+
+    def test_oversized_child_becomes_own_shard(self):
+        text = "<r><a>" + "y" * 100 + "</a><b/><c/></r>"
+        _, shards = split_text(text, shard_bytes=10)
+        assert shards[0].startswith("<a>") and shards[0].endswith("</a>")
+        assert shards[1:] == ["<b/><c/>"]
+
+    def test_requires_some_limit(self):
+        with pytest.raises(BuildError):
+            split_text("<r><a/></r>")
+
+    def test_childless_root_is_unshardable(self):
+        with pytest.raises(BuildError):
+            split_text("<r>text only</r>", shard_count=2)
+
+
+class TestGroupSpans:
+    def test_balanced_grouping_is_contiguous_and_complete(self):
+        spans = [(i * 10, i * 10 + 10) for i in range(7)]
+        groups = group_spans(spans, shard_count=3)
+        assert [span for group in groups for span in group] == spans
+        assert len(groups) == 3
+
+    def test_count_larger_than_spans(self):
+        spans = [(0, 5), (5, 9)]
+        groups = group_spans(spans, shard_count=10)
+        assert [span for group in groups for span in group] == spans
+
+    def test_empty(self):
+        assert group_spans([], shard_count=4) == []

@@ -1,0 +1,99 @@
+"""Streaming and sharded builds are bit-identical to the tree pipeline.
+
+This is the tentpole property: on every bundled dataset the
+stream-collected synopsis — and any contiguous sharding of it — matches
+the in-memory tree build on the encoding table, both statistics tables,
+the distinct path-id list and therefore every estimate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.build import SynopsisBuilder, build_synopsis, scan_text, split_text
+from repro.build.merge import merge_partials
+from repro.core.system import EstimationSystem
+from repro.workload import WorkloadGenerator
+from repro.xmltree.serializer import serialize
+
+
+def assert_same_synopsis(built, reference):
+    assert (
+        built.encoding_table.all_paths() == reference.encoding_table.all_paths()
+    )
+    assert built.pathid_table == reference.pathid_table
+    assert built.order_table == reference.order_table
+    assert built.labeled.distinct_pathids() == reference.labeled.distinct_pathids()
+
+
+@pytest.fixture(
+    scope="module",
+    params=["figure1", "ssplays_small", "dblp_small", "xmark_small"],
+)
+def dataset(request):
+    document = request.getfixturevalue(request.param)
+    return document, serialize(document), EstimationSystem.build(document)
+
+
+class TestStreamingEquivalence:
+    def test_streaming_build_matches_tree_build(self, dataset):
+        _, text, reference = dataset
+        assert_same_synopsis(build_synopsis(text), reference)
+
+    def test_sharded_build_matches_tree_build(self, dataset):
+        _, text, reference = dataset
+        builder = SynopsisBuilder(workers=4, shard_bytes=max(1, len(text) // 7))
+        assert_same_synopsis(builder.from_text(text), reference)
+
+    def test_workload_estimates_identical(self, dataset):
+        document, text, reference = dataset
+        streamed = build_synopsis(text)
+        sharded = build_synopsis(text, workers=3, shard_bytes=max(1, len(text) // 5))
+        workload = WorkloadGenerator(document, seed=7).full_workload(40, 40, 40)
+        queries = workload.simple + workload.branch + workload.order_branch
+        assert queries
+        for item in queries:
+            expected = reference.estimate(item.text)
+            assert streamed.estimate(item.text) == expected
+            assert sharded.estimate(item.text) == expected
+
+    def test_random_contiguous_splits_are_identical(self, dataset):
+        """Any grouping of the root's children into contiguous document-order
+        shards reduces to the same synopsis."""
+        _, text, reference = dataset
+        try:
+            root_tag, shards = split_text(text, shard_count=6)
+        except Exception:
+            pytest.skip("document cannot be sharded")
+        rng = random.Random(13)
+        for _ in range(4):
+            # Re-cut the shard list at random boundaries (still contiguous).
+            pieces = []
+            pool = list(shards)
+            while pool:
+                take = rng.randint(1, len(pool))
+                pieces.append("".join(pool[:take]))
+                pool = pool[take:]
+            builder = SynopsisBuilder()
+            assert_same_synopsis(
+                builder.from_shards(pieces, root_tag), reference
+            )
+
+
+class TestSingleShardAndPrefix:
+    def test_single_partial_whole_document(self, figure1):
+        text = serialize(figure1)
+        tables = merge_partials([scan_text(text)])
+        reference = EstimationSystem.build(figure1)
+        assert tables.encoding_table.all_paths() == reference.encoding_table.all_paths()
+        assert tables.pathid_table == reference.pathid_table
+        assert tables.order_table == reference.order_table
+        assert tables.element_count == len(figure1)
+
+    def test_element_count_matches_document(self, ssplays_small):
+        text = serialize(ssplays_small)
+        assert merge_partials([scan_text(text)]).element_count == len(ssplays_small)
+        builder = SynopsisBuilder(workers=2, shard_bytes=max(1, len(text) // 3))
+        assert builder.collect_text(text).element_count == len(ssplays_small)

@@ -1,0 +1,142 @@
+"""Partial-table merge algebra and the shard wire format."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import persist
+from repro.build import merge_partials, scan_text, split_text
+from repro.errors import BuildError
+from repro.stats.path_order import PathOrderTable, TagOrderGrid
+from repro.stats.pathid_freq import PathIdFrequencyTable
+from repro.xmltree.serializer import serialize
+
+
+def random_freq_table(rng):
+    tags = ["a", "b", "c", "d"]
+    return PathIdFrequencyTable(
+        {
+            tag: {
+                rng.getrandbits(8) | 1: rng.randint(1, 50)
+                for _ in range(rng.randint(1, 5))
+            }
+            for tag in rng.sample(tags, rng.randint(1, len(tags)))
+        }
+    )
+
+
+def random_order_table(rng):
+    grids = {}
+    for tag in rng.sample(["a", "b", "c"], rng.randint(1, 3)):
+        grid = TagOrderGrid(tag)
+        for _ in range(rng.randint(0, 6)):
+            grid.add_count(
+                rng.getrandbits(6) | 1,
+                rng.choice(["x", "y", "z"]),
+                rng.randint(1, 9),
+                rng.random() < 0.5,
+            )
+        grids[tag] = grid
+    return PathOrderTable(grids)
+
+
+class TestMergeAlgebra:
+    def test_freq_merge_is_order_independent(self):
+        rng = random.Random(5)
+        tables = [random_freq_table(rng) for _ in range(4)]
+        merged = tables[0].merge(*tables[1:])
+        shuffled = list(tables)
+        rng.shuffle(shuffled)
+        assert shuffled[0].merge(*shuffled[1:]) == merged
+
+    def test_freq_merge_is_associative(self):
+        rng = random.Random(6)
+        a, b, c = (random_freq_table(rng) for _ in range(3))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_order_merge_is_order_independent(self):
+        rng = random.Random(7)
+        tables = [random_order_table(rng) for _ in range(4)]
+        merged = tables[0].merge(*tables[1:])
+        shuffled = list(tables)
+        rng.shuffle(shuffled)
+        assert shuffled[0].merge(*shuffled[1:]) == merged
+
+    def test_order_merge_is_associative(self):
+        rng = random.Random(8)
+        a, b, c = (random_order_table(rng) for _ in range(3))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_remap_requires_consistency(self):
+        table = PathIdFrequencyTable({"a": {0b01: 2, 0b10: 3}})
+        remapped = table.remap_pathids(lambda pid: pid << 4)
+        assert remapped.frequency_map("a") == {0b010000: 2, 0b100000: 3}
+
+
+class TestMergePartials:
+    def test_empty_input_rejected(self):
+        with pytest.raises(BuildError):
+            merge_partials([])
+
+    def test_root_tag_shard_consistency_enforced(self, figure1):
+        text = serialize(figure1)
+        whole = scan_text(text)
+        with pytest.raises(BuildError):
+            merge_partials([whole], root_tag="PLAY")  # whole doc + root_tag
+        root_tag, shards = split_text(text, shard_count=2)
+        fragments = [scan_text(shard, (root_tag,)) for shard in shards]
+        with pytest.raises(BuildError):
+            merge_partials(fragments)  # shards without root_tag
+        with pytest.raises(BuildError):
+            merge_partials([fragments[0], whole], root_tag=root_tag)  # mixed
+
+    def test_grouping_of_shards_does_not_matter(self, dblp_small):
+        """Scanning k shards then merging equals scanning fewer, coarser
+        shards — the reduce step is agnostic to the cut granularity."""
+        text = serialize(dblp_small)
+        root_tag, shards = split_text(text, shard_count=8)
+        fine = merge_partials(
+            [scan_text(s, (root_tag,)) for s in shards], root_tag=root_tag
+        )
+        coarse_texts = ["".join(shards[:3]), "".join(shards[3:])]
+        coarse = merge_partials(
+            [scan_text(s, (root_tag,)) for s in coarse_texts], root_tag=root_tag
+        )
+        assert fine.encoding_table.all_paths() == coarse.encoding_table.all_paths()
+        assert fine.pathid_table == coarse.pathid_table
+        assert fine.order_table == coarse.order_table
+        assert fine.element_count == coarse.element_count
+
+
+class TestPartialWireFormat:
+    def test_round_trip_preserves_merge_result(self, ssplays_small):
+        text = serialize(ssplays_small)
+        root_tag, shards = split_text(text, shard_count=4)
+        partials = [scan_text(shard, (root_tag,)) for shard in shards]
+        direct = merge_partials(partials, root_tag=root_tag)
+        wired = [
+            persist.partial_from_dict(
+                json.loads(json.dumps(persist.partial_to_dict(p)))
+            )
+            for p in partials
+        ]
+        via_wire = merge_partials(wired, root_tag=root_tag)
+        assert via_wire.encoding_table.all_paths() == direct.encoding_table.all_paths()
+        assert via_wire.pathid_table == direct.pathid_table
+        assert via_wire.order_table == direct.order_table
+        assert via_wire.element_count == direct.element_count
+
+    def test_version_checked(self):
+        with pytest.raises(persist.PersistError):
+            persist.partial_from_dict({"partial_format_version": 99})
+        with pytest.raises(persist.PersistError):
+            persist.partial_from_dict([])
+
+    def test_malformed_payload_is_persist_error(self, figure1):
+        payload = persist.partial_to_dict(scan_text(serialize(figure1)))
+        payload["freq"] = {"a": {"zz": "not hex"}}
+        with pytest.raises(persist.PersistError):
+            persist.partial_from_dict(payload)

@@ -1,0 +1,81 @@
+"""The event scanner: tokenization without tree construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xmltree.parser import EVENT_END, EVENT_START, XmlParseError, scan_events
+
+
+def events(text, **kwargs):
+    return list(scan_events(text, **kwargs))
+
+
+class TestScanEvents:
+    def test_single_element(self):
+        assert events("<a/>") == [(EVENT_START, "a"), (EVENT_END, "a")]
+
+    def test_nesting_order(self):
+        assert events("<a><b/><c>t</c></a>") == [
+            (EVENT_START, "a"),
+            (EVENT_START, "b"),
+            (EVENT_END, "b"),
+            (EVENT_START, "c"),
+            (EVENT_END, "c"),
+            (EVENT_END, "a"),
+        ]
+
+    def test_attributes_skipped(self):
+        assert events('<a x="1" y="<&gt;"><b z="/>"/></a>') == [
+            (EVENT_START, "a"),
+            (EVENT_START, "b"),
+            (EVENT_END, "b"),
+            (EVENT_END, "a"),
+        ]
+
+    def test_prolog_comments_cdata_pi(self):
+        text = (
+            '<?xml version="1.0"?><!DOCTYPE a><!-- c -->'
+            "<a><?pi data?><![CDATA[<not><tags>]]><!-- <b/> --><b/></a>"
+        )
+        assert events(text) == [
+            (EVENT_START, "a"),
+            (EVENT_START, "b"),
+            (EVENT_END, "b"),
+            (EVENT_END, "a"),
+        ]
+
+    def test_mismatched_end_tag_raises(self):
+        with pytest.raises(XmlParseError):
+            events("<a><b></a></b>")
+
+    def test_unclosed_element_raises(self):
+        with pytest.raises(XmlParseError):
+            events("<a><b/>")
+
+    def test_trailing_content_raises(self):
+        with pytest.raises(XmlParseError):
+            events("<a/><b/>")
+
+    def test_parse_errors_are_repro_parse_errors(self):
+        with pytest.raises(ParseError):
+            events("<a><b/>")
+
+    def test_fragment_accepts_sibling_run(self):
+        assert events("<a/>junk<b><c/></b>", fragment=True) == [
+            (EVENT_START, "a"),
+            (EVENT_END, "a"),
+            (EVENT_START, "b"),
+            (EVENT_START, "c"),
+            (EVENT_END, "c"),
+            (EVENT_END, "b"),
+        ]
+
+    def test_event_stream_matches_tree_preorder(self, ssplays_small):
+        from repro.xmltree.serializer import serialize
+
+        text = serialize(ssplays_small)
+        starts = [tag for kind, tag in scan_events(text) if kind == EVENT_START]
+        preorder = [node.tag for node in ssplays_small]
+        assert starts == preorder

@@ -91,3 +91,11 @@ class TestBenchSmoke:
 
         test_service_throughput(tiny_ctx, _StubBenchmark())
         assert "service throughput" in rendered_results()
+
+    def test_build_throughput(self, tiny_ctx, monkeypatch):
+        import benchmarks.bench_build_throughput as bench
+
+        # Keep the tiled document tiny; the real run tiles to ~6 MB.
+        monkeypatch.setattr(bench, "TARGET_BYTES", 200_000)
+        bench.test_build_throughput(tiny_ctx, _StubBenchmark())
+        assert "build_throughput" in rendered_results()

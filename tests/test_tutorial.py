@@ -6,8 +6,10 @@ re-runs each tutorial snippet's assertions.
 
 import pytest
 
-from repro import EstimationSystem, Evaluator, explain, parse_query
+from repro import EstimationSystem, parse_query
+from repro.core.explain import explain
 from repro.histograms import OHistogramSet, PHistogramSet
+from repro.xpath import Evaluator
 from repro.pathenc import label_document
 from repro.stats import collect_path_order, collect_pathid_frequencies
 from repro.xmltree import parse_xml
