@@ -1,0 +1,159 @@
+"""Lenient XML event scanning: recover past malformed regions.
+
+Real warehouse feeds contain damage — truncated uploads, unescaped
+ampersands, tools that drop end tags — and a synopsis build over
+terabytes should not abort at byte 40 billion because one record is
+torn.  :func:`lenient_events` produces the same ``(start, tag)`` /
+``(end, tag)`` stream as :func:`repro.xmltree.parser.scan_events`, but
+instead of raising :class:`~repro.xmltree.parser.XmlParseError` it
+*recovers*:
+
+* a malformed start tag (``<`` followed by non-markup, bad attributes)
+  is treated as character data — the scanner resumes at the next ``<``;
+* a malformed or unexpected end tag is dropped;
+* a mismatched end tag implicitly closes the elements it skipped over
+  (the HTML parser's adoption rule, which matches how most truncation
+  damage reads);
+* unterminated comments/CDATA/PIs swallow the rest of the input;
+* elements still open at end of input are closed synthetically.
+
+Every recovery is reported through ``on_recover(offset, message)``, so a
+build can count and log the damage it scanned past.  The event stream is
+always *balanced* (every start eventually gets its end), which is the
+only contract the streaming statistics collector needs.
+
+This is the substrate of ``build_synopsis(..., lenient=True)`` and
+``python -m repro snapshot --lenient``; estimates from a recovered scan
+are exact for the undamaged regions and best-effort inside the damage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.xmltree.parser import (
+    EVENT_END,
+    EVENT_START,
+    _Scanner,
+    _skip_attributes,
+    _skip_misc,
+    XmlParseError,
+)
+
+RecoverCallback = Callable[[int, str], None]
+
+
+def _ignore(offset: int, message: str) -> None:
+    pass
+
+
+def lenient_events(
+    text: str,
+    fragment: bool = False,
+    on_recover: Optional[RecoverCallback] = None,
+) -> Iterator[Tuple[str, str]]:
+    """Best-effort start/end element events over possibly-damaged XML.
+
+    ``fragment`` has the same meaning as in ``scan_events`` (a run of
+    top-level siblings rather than one rooted document); lenient mode
+    does not enforce the one-root / no-trailing-content rules either
+    way, since damaged input routinely violates them.
+    """
+    recover = on_recover if on_recover is not None else _ignore
+    scanner = _Scanner(text)
+    try:
+        _skip_misc(scanner, allow_doctype=True)
+    except XmlParseError as error:
+        recover(error.position, error.raw_message)
+        scanner.pos = scanner.length
+    stack: List[str] = []
+    while not scanner.eof():
+        if scanner.peek() != "<":
+            angle = text.find("<", scanner.pos)
+            scanner.pos = scanner.length if angle < 0 else angle
+            continue
+        if scanner.startswith("</"):
+            position = scanner.pos
+            scanner.pos += 2
+            try:
+                closing = scanner.read_name()
+                scanner.skip_whitespace()
+                scanner.expect(">")
+            except XmlParseError as error:
+                recover(position, "malformed end tag: %s" % error.raw_message)
+                scanner.pos = _next_markup(text, position + 2)
+                continue
+            if closing in stack:
+                while stack[-1] != closing:
+                    recover(position, "missing end tag for <%s>" % stack[-1])
+                    yield EVENT_END, stack.pop()
+                stack.pop()
+                yield EVENT_END, closing
+            else:
+                recover(position, "unexpected end tag </%s>" % closing)
+        elif scanner.startswith("<!--"):
+            position = scanner.pos
+            scanner.pos += 4
+            _read_until_or_eof(scanner, "-->", position, "unterminated comment", recover)
+        elif scanner.startswith("<![CDATA["):
+            position = scanner.pos
+            scanner.pos += 9
+            _read_until_or_eof(
+                scanner, "]]>", position, "unterminated CDATA section", recover
+            )
+        elif scanner.startswith("<?"):
+            position = scanner.pos
+            scanner.pos += 2
+            _read_until_or_eof(
+                scanner, "?>", position, "unterminated processing instruction", recover
+            )
+        elif scanner.startswith("<!"):
+            # A stray markup declaration mid-document (a DOCTYPE where
+            # none belongs, half a comment): skip the declaration.
+            position = scanner.pos
+            recover(position, "unexpected markup declaration")
+            gt = text.find(">", position + 2)
+            scanner.pos = scanner.length if gt < 0 else gt + 1
+        else:
+            position = scanner.pos
+            scanner.pos += 1
+            try:
+                tag = scanner.read_name()
+                _skip_attributes(scanner)
+                if scanner.startswith("/>"):
+                    scanner.pos += 2
+                    yield EVENT_START, tag
+                    yield EVENT_END, tag
+                else:
+                    scanner.expect(">")
+                    yield EVENT_START, tag
+                    stack.append(tag)
+            except XmlParseError as error:
+                # Not actually markup (``a < b``) or a torn start tag:
+                # treat the "<" as character data and resume at the next
+                # angle bracket.
+                recover(position, "malformed start tag: %s" % error.raw_message)
+                scanner.pos = _next_markup(text, position + 1)
+    while stack:
+        recover(scanner.length, "missing end tag for <%s> at end of input" % stack[-1])
+        yield EVENT_END, stack.pop()
+
+
+def _next_markup(text: str, start: int) -> int:
+    angle = text.find("<", start)
+    return len(text) if angle < 0 else angle
+
+
+def _read_until_or_eof(
+    scanner: _Scanner,
+    terminator: str,
+    position: int,
+    message: str,
+    recover: RecoverCallback,
+) -> None:
+    end = scanner.text.find(terminator, scanner.pos)
+    if end < 0:
+        recover(position, message)
+        scanner.pos = scanner.length
+        return
+    scanner.pos = end + len(terminator)

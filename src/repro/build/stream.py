@@ -192,12 +192,28 @@ class StreamingCollector:
         return grid
 
 
-def scan_text(text: str, prefix: Sequence[str] = ()) -> PartialSynopsis:
+def scan_text(
+    text: str,
+    prefix: Sequence[str] = (),
+    lenient: bool = False,
+    on_recover=None,
+) -> PartialSynopsis:
     """One streamed scan of ``text`` into a provisional partial synopsis.
 
     ``prefix`` empty: ``text`` must be a whole document (one root).
     ``prefix`` non-empty: ``text`` is a fragment — a run of sibling
     subtrees living directly under the prefix path (shard mode).
+
+    ``lenient=True`` scans damaged input with
+    :func:`repro.build.lenient.lenient_events` instead of aborting on
+    the first malformed region; each recovery is reported through
+    ``on_recover(offset, message)``.
     """
     collector = StreamingCollector(prefix)
-    return collector.consume(scan_events(text, fragment=bool(prefix))).finish()
+    if lenient:
+        from repro.build.lenient import lenient_events
+
+        events = lenient_events(text, fragment=bool(prefix), on_recover=on_recover)
+    else:
+        events = scan_events(text, fragment=bool(prefix))
+    return collector.consume(events).finish()

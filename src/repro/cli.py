@@ -148,6 +148,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             p_variance=args.p_variance,
             o_variance=args.o_variance,
             workers=args.workers,
+            lenient=args.lenient,
             name=name,
         )
     else:
@@ -201,7 +202,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             % args.snapshot_dir,
             file=sys.stderr,
         )
-    service = EstimationService(registry, plan_cache=PlanCache(args.plan_cache))
+    from repro.reliability import AdmissionGate
+
+    service = EstimationService(
+        registry,
+        plan_cache=PlanCache(args.plan_cache),
+        gate=AdmissionGate(max_inflight=args.max_inflight),
+        request_deadline_s=args.deadline or None,
+    )
     server = ServiceServer(service, host=args.host, port=args.port)
     print(
         "serving %d synopsis(es) [%s] on http://%s:%d (plan cache %d)"
@@ -213,6 +221,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        # Graceful: shed new work, let in-flight estimates finish.
+        service.gate.close()
+        service.gate.drain(args.drain_timeout)
         server.httpd.server_close()
     return 0
 
@@ -287,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel scan processes for --file sources (the built "
         "synopsis is bit-identical regardless)",
     )
+    snapshot.add_argument(
+        "--lenient", action="store_true",
+        help="recover past malformed XML in --file sources instead of "
+        "aborting (damage is skipped; estimates stay exact elsewhere)",
+    )
     snapshot.set_defaults(handler=_cmd_snapshot)
 
     serve = commands.add_parser(
@@ -306,6 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--reload-interval", type=float, default=0.0,
         help="seconds between snapshot freshness checks (0 = every request)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="concurrent estimates before requests are shed with 503",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=0.0,
+        help="per-request time budget in seconds; exceeded requests get "
+        "504 (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="seconds to wait for in-flight requests on shutdown",
     )
     serve.set_defaults(handler=_cmd_serve)
 

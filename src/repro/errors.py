@@ -15,11 +15,21 @@ boundary and the HTTP service can map any failure to a stable
   subclass);
 * :class:`BuildError` (``"build"``) — streaming/sharded synopsis
   construction failures (bad source, unbalanced shards, unsupported
-  build options).
+  build options);
+* :class:`ReliabilityError` (``"reliability"``) — fault-handling
+  outcomes surfaced by :mod:`repro.reliability`: the concrete
+  :class:`repro.reliability.policy.DeadlineExceededError`
+  (``"deadline_exceeded"``),
+  :class:`repro.reliability.breaker.CircuitOpenError`
+  (``"circuit_open"``) and
+  :class:`repro.reliability.shedding.OverloadedError`
+  (``"overloaded"``).
 
-All of them also subclass :class:`ValueError`: the concrete classes
-predate the hierarchy and were plain ``ValueError`` subclasses, so
-existing ``except ValueError`` call sites keep working.
+All of them except :class:`ReliabilityError` also subclass
+:class:`ValueError`: the concrete classes predate the hierarchy and were
+plain ``ValueError`` subclasses, so existing ``except ValueError`` call
+sites keep working.  The reliability family is new and models runtime
+conditions, not bad values, so it subclasses :class:`RuntimeError`.
 """
 
 from __future__ import annotations
@@ -55,6 +65,18 @@ class BuildError(ReproError, ValueError):
     """Synopsis construction failure (streaming scan, sharding, merge)."""
 
     kind = "build"
+
+
+class ReliabilityError(ReproError, RuntimeError):
+    """A fault-handling outcome: deadline, open circuit, overload, ...
+
+    Raised by :mod:`repro.reliability` when a guard refuses or abandons
+    work on purpose — the condition is about the *runtime* (time budget
+    spent, dependency unhealthy, server saturated), never about the
+    request's content.
+    """
+
+    kind = "reliability"
 
 
 def error_kind(error: BaseException) -> str:

@@ -10,12 +10,23 @@ JSON-compatible dict and back.
 Path ids are stored as hex strings (they are wide integers), bucket
 structures verbatim.  ``loads(dumps(system))`` estimates identically to
 the original system (pinned by tests).
+
+Integrity: every snapshot written by :func:`dumps`/:func:`save` embeds a
+CRC32 checksum of its canonical payload (``"checksum": "crc32:..."``),
+and :func:`save` writes atomically (same-directory temp file +
+``os.replace``), so a reader — in particular the hot-reloading
+:class:`~repro.service.registry.SynopsisRegistry` — only ever sees a
+complete old snapshot or a complete new one.  Loading verifies the
+checksum when present and raises :class:`SnapshotCorruptError` on
+mismatch; checksum-less snapshots (pre-1.2 writers) still load.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.reliability import integrity
 
 from repro.core.system import EstimationSystem
 from repro.errors import PersistError as _BasePersistError
@@ -45,6 +56,15 @@ class PersistError(_BasePersistError):
 
 class SynopsisLoadError(PersistError):
     """Raised when a persisted synopsis is malformed or incompatible."""
+
+
+class SnapshotCorruptError(SynopsisLoadError):
+    """The snapshot's embedded checksum does not match its payload.
+
+    Distinguished from plain :class:`SynopsisLoadError` so operators can
+    tell "bytes rotted / write was torn" (restore from a good copy or
+    rebuild — see docs/OPERATIONS.md) apart from "format mismatch".
+    """
 
 
 def system_to_dict(system: EstimationSystem) -> Dict[str, Any]:
@@ -85,6 +105,7 @@ def system_from_dict(payload: Dict[str, Any]) -> EstimationSystem:
         raise SynopsisLoadError(
             "synopsis payload must be a JSON object, got %s" % type(payload).__name__
         )
+    payload = _verify_checksum(payload)
     version = payload.get("format_version")
     if version is None:
         raise SynopsisLoadError("synopsis payload has no format_version field")
@@ -182,8 +203,28 @@ def partial_from_dict(payload: Dict[str, Any]) -> "PartialSynopsis":
     return PartialSynopsis(paths, freq, grids, top, element_count)
 
 
+def _verify_checksum(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip and verify an embedded checksum; corrupt payloads raise.
+
+    Snapshots written before checksums existed carry no ``checksum`` key
+    and are accepted unverified.
+    """
+    expected = payload.get("checksum")
+    if expected is None:
+        return payload
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    if not isinstance(expected, str) or not integrity.verify_payload(body, expected):
+        raise SnapshotCorruptError(
+            "synopsis checksum mismatch (expected %r, payload hashes to %r) — "
+            "the snapshot is truncated or corrupt" % (expected, integrity.checksum_payload(body))
+        )
+    return body
+
+
 def dumps(system: EstimationSystem, indent: Optional[int] = None) -> str:
-    return json.dumps(system_to_dict(system), indent=indent, sort_keys=True)
+    payload = system_to_dict(system)
+    payload["checksum"] = integrity.checksum_payload(payload)
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def loads(text: str) -> EstimationSystem:
@@ -195,8 +236,9 @@ def loads(text: str) -> EstimationSystem:
 
 
 def save(system: EstimationSystem, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(system))
+    """Persist atomically: a crash (or a concurrent reader) never sees a
+    half-written snapshot at ``path``."""
+    integrity.atomic_write_text(path, dumps(system))
 
 
 def load(path: str) -> EstimationSystem:

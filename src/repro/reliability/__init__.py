@@ -1,0 +1,47 @@
+"""Reliability subsystem: the system's answer to a fault-full world.
+
+The serving and build layers assume snapshots can be torn, workers can
+die, handlers can stall and clients can stampede — and keep producing
+correct estimates anyway.  This package holds the shared primitives:
+
+* :mod:`repro.reliability.policy` — :class:`Deadline` time budgets and
+  :class:`RetryPolicy` exponential backoff (used by the service client
+  and the build supervisor);
+* :mod:`repro.reliability.breaker` — a consecutive-failure
+  :class:`CircuitBreaker` with timed half-open probes;
+* :mod:`repro.reliability.shedding` — :class:`AdmissionGate`: bounded
+  in-flight concurrency, load shedding with ``Retry-After``, graceful
+  drain for shutdown;
+* :mod:`repro.reliability.integrity` — CRC32 snapshot checksums and
+  atomic temp-file+rename writes;
+* :mod:`repro.reliability.faults` — the deterministic fault-injection
+  harness behind ``tests/reliability/`` (IO errors, truncated snapshots,
+  slow handlers, crashed pool workers).
+
+See docs/OPERATIONS.md for the operator-facing runbook: failure modes,
+degraded-health semantics and tuning guidance.
+"""
+
+from repro.errors import ReliabilityError
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.reliability.policy import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    Deadline,
+    DeadlineExceededError,
+    RetryPolicy,
+)
+from repro.reliability.shedding import AdmissionGate, OverloadedError
+
+__all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DEFAULT_RETRY_POLICY",
+    "Deadline",
+    "DeadlineExceededError",
+    "NO_RETRY",
+    "OverloadedError",
+    "ReliabilityError",
+    "RetryPolicy",
+]

@@ -1,0 +1,113 @@
+"""A circuit breaker: stop hammering a dependency that keeps failing.
+
+Classic three-state machine (closed → open → half-open), sized for the
+estimation client: after ``failure_threshold`` *consecutive* failures the
+circuit opens and every call is refused instantly with
+:class:`CircuitOpenError` (no connection attempt, no backoff sleep) until
+``recovery_after_s`` has passed; then exactly one probe call is let
+through (half-open).  A successful probe closes the circuit, a failed one
+re-opens it for another full recovery window.
+
+Thread-safe; the clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ReliabilityError
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(ReliabilityError):
+    """The breaker is open: the dependency is presumed down; not calling."""
+
+    kind = "circuit_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_after_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                "failure_threshold must be >= 1, got %r" % (failure_threshold,)
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_after_s = recovery_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._sync_state()
+
+    def _sync_state(self) -> str:
+        """(Holding the lock.)  Promote open → half-open when due."""
+        if self._state == STATE_OPEN and (
+            self._clock() - self._opened_at >= self.recovery_after_s
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probing = False
+        return self._state
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits one probe.)"""
+        with self._lock:
+            state = self._sync_state()
+            if state == STATE_CLOSED:
+                return True
+            if state == STATE_HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def check(self, what: str = "dependency") -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            raise CircuitOpenError(
+                "circuit for %s is open after %d consecutive failure(s)"
+                % (what, self._consecutive_failures)
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = STATE_CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            state = self._sync_state()
+            if state == STATE_HALF_OPEN or (
+                state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<CircuitBreaker %s failures=%d/%d>" % (
+            self.state,
+            self._consecutive_failures,
+            self.failure_threshold,
+        )

@@ -1,0 +1,81 @@
+"""Snapshot integrity primitives: CRC32 checksums and atomic file writes.
+
+Synopsis snapshots are rewritten underneath a serving daemon (hot
+reload), so two failure modes are routine, not exotic: a *partial* write
+observed mid-rename, and silent corruption of bytes at rest.  The two
+helpers here close both holes:
+
+* :func:`checksum_text` / :func:`checksum_payload` — CRC32 rendered as
+  ``"crc32:%08x"``, the checksum format embedded in snapshot envelopes
+  (CRC32 is plenty for torn/truncated-write detection and is stdlib);
+* :func:`atomic_write_text` — write to a same-directory temp file,
+  flush + fsync, then :func:`os.replace`, so readers only ever observe
+  the old bytes or the complete new bytes, never a prefix.
+
+Both write stages are fault-injection points (``"persist.write"``
+transforms the text — truncation faults use it — and
+``"persist.replace"`` fires just before the rename), so the test suite
+can produce torn snapshots deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from typing import Any, Dict
+
+from repro.reliability import faults
+
+CHECKSUM_PREFIX = "crc32:"
+
+
+def checksum_text(text: str) -> str:
+    """``"crc32:%08x"`` of the UTF-8 bytes of ``text``."""
+    return "%s%08x" % (CHECKSUM_PREFIX, zlib.crc32(text.encode("utf-8")))
+
+
+def checksum_payload(payload: Dict[str, Any]) -> str:
+    """Checksum of a JSON payload under its canonical rendering.
+
+    Canonical = ``json.dumps(payload, sort_keys=True)`` with default
+    separators; both the writer and the verifier render the same dict to
+    the same string, so the checksum survives re-indentation and key
+    reordering of the file on disk.
+    """
+    return checksum_text(json.dumps(payload, sort_keys=True))
+
+
+def verify_payload(payload: Dict[str, Any], expected: str) -> bool:
+    """Does ``payload`` hash to ``expected``?  (Unknown schemes fail.)"""
+    if not expected.startswith(CHECKSUM_PREFIX):
+        return False
+    return checksum_payload(payload) == expected
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` so readers never see a partial file.
+
+    The temp file lives in the destination directory (``os.replace`` must
+    not cross filesystems) and is fsynced before the rename; on any
+    failure the temp file is removed and the destination is untouched.
+    """
+    text = faults.fire("persist.write", text)
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.fire("persist.replace")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

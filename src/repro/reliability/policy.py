@@ -1,0 +1,140 @@
+"""Deadlines and retry policies: the time-budget vocabulary of the system.
+
+Production path-summary services treat a request's time budget as a
+first-class value that travels with the work (client call, server
+handler, pool job).  Two small immutable-ish objects model it:
+
+* :class:`Deadline` — an absolute point on a monotonic clock; everything
+  downstream asks ``remaining()`` instead of carrying its own timeout;
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  optional deterministic-by-seed jitter; it *yields* sleep durations and
+  leaves the sleeping to the caller, so tests can run it with a fake
+  clock and zero wall time.
+
+Both take an injectable ``clock`` (default :func:`time.monotonic`) — the
+same convention as :class:`repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ReliabilityError
+
+
+class DeadlineExceededError(ReliabilityError):
+    """The work's time budget ran out before it completed."""
+
+    kind = "deadline_exceeded"
+
+
+class Deadline:
+    """An absolute expiry on a monotonic clock.
+
+    ``Deadline.after(0.5)`` expires half a second from now; ``None`` as a
+    budget means "no deadline" and every query returns the infinite
+    answer.  Comparisons use the injected clock, so tests can advance
+    time explicitly.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        budget_s: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``budget_s`` seconds from now (None = unbounded)."""
+        if budget_s is None:
+            return cls(None, clock)
+        return cls(clock() + budget_s, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unbounded; never negative)."""
+        if self.expires_at is None:
+            return float("inf")
+        return max(0.0, self.expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and self._clock() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceededError("%s exceeded its deadline" % what)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.expires_at is None:
+            return "<Deadline unbounded>"
+        return "<Deadline %.3fs remaining>" % self.remaining()
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    ``backoffs()`` yields the sleep to take *before* each retry —
+    ``max_attempts - 1`` values for ``base * multiplier**n`` capped at
+    ``max_backoff_s``.  With ``jitter > 0`` each value is scaled by a
+    uniform factor in ``[1 - jitter, 1]`` drawn from a policy-owned
+    :class:`random.Random` (seedable, so fault-injection tests are
+    deterministic).
+
+    The policy is stateless across calls; every ``backoffs()`` iterator
+    is an independent attempt sequence.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_backoff_s: float = 0.05,
+        multiplier: float = 2.0,
+        max_backoff_s: float = 2.0,
+        jitter: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %r" % (max_attempts,))
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1], got %r" % (jitter,))
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.multiplier = multiplier
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self._random = random.Random(seed)
+
+    def backoffs(self) -> Iterator[float]:
+        """The sleep durations between attempts (empty when attempts=1)."""
+        delay = self.base_backoff_s
+        for _ in range(self.max_attempts - 1):
+            value = min(delay, self.max_backoff_s)
+            if self.jitter:
+                value *= 1.0 - self.jitter * self._random.random()
+            yield value
+            delay *= self.multiplier
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RetryPolicy attempts=%d base=%gs x%g cap=%gs>" % (
+            self.max_attempts,
+            self.base_backoff_s,
+            self.multiplier,
+            self.max_backoff_s,
+        )
+
+
+#: A sensible client-side default: 4 attempts, 50ms doubling to 400ms.
+DEFAULT_RETRY_POLICY = RetryPolicy(max_attempts=4)
+
+#: A policy that never retries (single attempt, no sleeps).
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -1,0 +1,181 @@
+"""Admission control: bounded in-flight work, load shedding, draining.
+
+An overloaded estimation server must refuse work it cannot finish in
+time; queueing unboundedly just converts overload into timeouts for
+*everyone*.  :class:`AdmissionGate` is the one object the HTTP handler
+consults:
+
+* at most ``max_inflight`` requests execute concurrently; up to
+  ``max_queue`` more may *briefly* wait (``queue_timeout_s``) for a slot;
+* anything beyond that is **shed** immediately —
+  :meth:`enter` raises :class:`OverloadedError`, which the server maps to
+  ``503`` with a ``Retry-After`` header;
+* :meth:`close` flips the gate to reject-everything (graceful shutdown),
+  and :meth:`drain` blocks until the last in-flight request leaves.
+
+The gate is a condition variable around two integers — no per-request
+allocation on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+import time
+
+from repro.errors import ReliabilityError
+
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_QUEUE = 0
+DEFAULT_QUEUE_TIMEOUT_S = 0.05
+
+
+class OverloadedError(ReliabilityError):
+    """The server is saturated (or closing); the request was shed.
+
+    ``retry_after_s`` is the client-facing backoff hint carried on the
+    ``Retry-After`` response header.
+    """
+
+    kind = "overloaded"
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionGate:
+    """Bounded-concurrency admission with shedding and graceful drain."""
+
+    def __init__(
+        self,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        queue_timeout_s: float = DEFAULT_QUEUE_TIMEOUT_S,
+        retry_after_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1, got %r" % (max_inflight,))
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0, got %r" % (max_queue,))
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self._clock = clock
+        self._condition = threading.Condition(threading.Lock())
+        self._inflight = 0
+        self._queued = 0
+        self._shed_total = 0
+        self._admitted_total = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def enter(self) -> None:
+        """Claim an execution slot or raise :class:`OverloadedError`.
+
+        Every successful ``enter`` must be paired with :meth:`leave`
+        (use ``try/finally`` — the request handler owns the pairing).
+        """
+        with self._condition:
+            if self._closed:
+                self._shed_total += 1
+                raise OverloadedError(
+                    "server is shutting down", self.retry_after_s
+                )
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._admitted_total += 1
+                return
+            if self._queued >= self.max_queue:
+                self._shed_total += 1
+                raise OverloadedError(
+                    "server at capacity (%d in flight, %d queued)"
+                    % (self._inflight, self._queued),
+                    self.retry_after_s,
+                )
+            # Briefly wait for a slot; shed if none frees up in time.
+            self._queued += 1
+            try:
+                deadline = self._clock() + self.queue_timeout_s
+                while self._inflight >= self.max_inflight and not self._closed:
+                    budget = deadline - self._clock()
+                    if budget <= 0 or not self._condition.wait(timeout=budget):
+                        break
+                if self._closed or self._inflight >= self.max_inflight:
+                    self._shed_total += 1
+                    raise OverloadedError(
+                        "server at capacity (queued %.0fms without a slot)"
+                        % (self.queue_timeout_s * 1000.0),
+                        self.retry_after_s,
+                    )
+                self._inflight += 1
+                self._admitted_total += 1
+            finally:
+                self._queued -= 1
+
+    def leave(self) -> None:
+        with self._condition:
+            self._inflight -= 1
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Reject all future admissions (in-flight work is unaffected)."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait for in-flight work to finish; True if fully drained."""
+        deadline = None if timeout_s is None else self._clock() + timeout_s
+        with self._condition:
+            while self._inflight > 0:
+                budget = None if deadline is None else deadline - self._clock()
+                if budget is not None and budget <= 0:
+                    return False
+                self._condition.wait(timeout=budget)
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._condition:
+            return self._inflight
+
+    @property
+    def shed_total(self) -> int:
+        with self._condition:
+            return self._shed_total
+
+    @property
+    def admitted_total(self) -> int:
+        with self._condition:
+            return self._admitted_total
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def stats(self) -> dict:
+        with self._condition:
+            return {
+                "inflight": self._inflight,
+                "queued": self._queued,
+                "max_inflight": self.max_inflight,
+                "admitted_total": self._admitted_total,
+                "shed_total": self._shed_total,
+                "closed": self._closed,
+            }

@@ -12,6 +12,26 @@ connection-per-call client that can be shared freely.
     client.estimate("SSPlays", "//PLAY/ACT/$SCENE")     # -> float
     client.estimate_batch("SSPlays", ["//PLAY", "//ACT"])
     client.metrics()["latency_ms"]["p95_ms"]
+
+Failure handling
+----------------
+
+Every failure surfaces as :class:`ServiceError` with a stable ``kind``:
+the server's ``error.kind`` slug for non-2xx replies, or a client-side
+transport slug — ``"connection"`` (refused/reset/broken pipe),
+``"timeout"`` (socket timeout) or ``"bad_response"`` (a 2xx body that is
+not valid JSON, e.g. an intermediary's HTML error page).  No raw
+``socket``/``http.client``/``json`` exception escapes.
+
+Optionally the client retries: pass ``retry=RetryPolicy(...)`` and
+transient failures (transport errors and 502/503/504, honouring the
+server's ``Retry-After`` hint) are retried with exponential backoff,
+bounded by ``retry_budget_s``.  Pass ``breaker=CircuitBreaker(...)`` to
+stop hammering a down server: after the threshold of consecutive
+failures, calls fail fast with
+:class:`~repro.reliability.breaker.CircuitOpenError` until the recovery
+window elapses.  Estimates are pure reads, so every request is safe to
+retry.
 """
 
 from __future__ import annotations
@@ -19,24 +39,49 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, Dict, List, Optional
 
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.policy import Deadline, RetryPolicy
 from repro.service.server import DEFAULT_PORT
+
+#: Statuses worth retrying: the server (or an intermediary) said "not
+#: right now", not "never".
+RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
+#: Client-side transport kinds (always retryable; no reply was received).
+TRANSPORT_KINDS = frozenset({"connection", "timeout"})
 
 
 class ServiceError(RuntimeError):
-    """Non-2xx reply from the service.
+    """A failed service call.
 
-    ``kind`` is the service's stable error slug (``error.kind`` in the
-    response body — e.g. ``"unknown_synopsis"``, ``"query_syntax"``),
-    or ``"internal"`` when the body carried none.
+    ``kind`` is the stable error slug: the service's ``error.kind`` from
+    the response body (e.g. ``"unknown_synopsis"``, ``"query_syntax"``,
+    ``"overloaded"``), ``"internal"`` when a non-2xx body carried none,
+    or a client-side transport slug (``"connection"``, ``"timeout"``,
+    ``"bad_response"``).  ``status`` is the HTTP status, or ``0`` when no
+    reply was received.  ``retry_after_s`` carries the server's
+    ``Retry-After`` hint when one was sent.
     """
 
-    def __init__(self, status: int, message: str, kind: str = "internal"):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        kind: str = "internal",
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__("HTTP %d [%s]: %s" % (status, kind, message))
         self.status = status
         self.message = message
         self.kind = kind
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:
+        return self.kind in TRANSPORT_KINDS or self.status in RETRYABLE_STATUSES
 
 
 class ServiceClient:
@@ -48,11 +93,19 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         timeout: float = 30.0,
         keep_alive: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        retry_budget_s: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep=time.sleep,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.keep_alive = keep_alive
+        self.retry = retry
+        self.retry_budget_s = retry_budget_s
+        self.breaker = breaker
+        self._sleep = sleep
         self._connection: Optional[http.client.HTTPConnection] = None
 
     def close(self) -> None:
@@ -85,39 +138,106 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
+        """One logical request: retries (when configured) around
+        :meth:`_request_once`, behind the circuit breaker."""
+        deadline = Deadline.after(self.retry_budget_s)
+        backoffs = self.retry.backoffs() if self.retry is not None else iter(())
+        while True:
+            if self.breaker is not None:
+                self.breaker.check("estimation service %s:%d" % (self.host, self.port))
+            try:
+                document = self._request_once(method, path, payload)
+            except ServiceError as error:
+                dependency_failed = error.retryable or error.status >= 500
+                if self.breaker is not None:
+                    if dependency_failed:
+                        self.breaker.record_failure()
+                    else:
+                        # 4xx means the service answered: it is healthy,
+                        # the request was bad.
+                        self.breaker.record_success()
+                if not error.retryable:
+                    raise
+                pause = next(backoffs, None)
+                if pause is None:
+                    raise
+                if error.retry_after_s is not None:
+                    pause = max(pause, error.retry_after_s)
+                if deadline.remaining() < pause:
+                    raise
+                self._sleep(pause)
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return document
+
+    def _request_once(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
         body = None
         headers: Dict[str, str] = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         response = None
-        for attempt in (1, 2):
-            connection = self._connect()
-            try:
-                connection.request(method, path, body=body, headers=headers)
-                response = connection.getresponse()
-                break
-            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
-                # A kept-alive connection the server has since closed;
-                # reconnect once, then give up.
-                self.close()
-                if not self.keep_alive or attempt == 2:
-                    raise
         try:
+            for attempt in (1, 2):
+                connection = self._connect()
+                try:
+                    connection.request(method, path, body=body, headers=headers)
+                    response = connection.getresponse()
+                    break
+                except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                    # A kept-alive connection the server has since
+                    # closed; reconnect once, then give up.
+                    self.close()
+                    if not self.keep_alive or attempt == 2:
+                        raise
             raw = response.read()
+        except socket.timeout:
+            self.close()
+            raise ServiceError(
+                0, "no reply within %.3gs" % self.timeout, "timeout"
+            )
+        except (http.client.HTTPException, ConnectionError, OSError) as error:
+            self.close()
+            raise ServiceError(
+                0,
+                "cannot reach %s:%d: %s" % (self.host, self.port, error),
+                "connection",
+            )
+        try:
             try:
                 document = json.loads(raw.decode("utf-8")) if raw else {}
+                decoded = True
             except (UnicodeDecodeError, json.JSONDecodeError):
                 document = {}
+                decoded = False
             if response.status >= 400:
-                error = document.get("error", raw[:200])
+                retry_after = _parse_retry_after(
+                    response.getheader("Retry-After")
+                )
+                error = document.get("error") if decoded else None
                 if isinstance(error, dict):  # structured {"kind", "message"}
                     raise ServiceError(
                         response.status,
                         str(error.get("message", "")),
                         str(error.get("kind", "internal")),
+                        retry_after_s=retry_after,
                     )
-                raise ServiceError(response.status, str(error))
+                raise ServiceError(
+                    response.status,
+                    str(error if error is not None else raw[:200]),
+                    retry_after_s=retry_after,
+                )
+            if not decoded:
+                # A 2xx that is not JSON (a proxy's splash page, a torn
+                # reply): stable kind instead of a downstream KeyError.
+                raise ServiceError(
+                    response.status,
+                    "response body is not JSON: %r..." % raw[:80],
+                    "bad_response",
+                )
             return document
         finally:
             if not self.keep_alive:
@@ -148,3 +268,13 @@ class ServiceClient:
             "POST", "/estimate", {"synopsis": synopsis, "queries": list(queries)}
         )
         return [float(result["estimate"]) for result in reply["results"]]
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Numeric ``Retry-After`` seconds (HTTP-date form is ignored)."""
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

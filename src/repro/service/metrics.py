@@ -126,6 +126,7 @@ class ServiceMetrics:
         self._requests = 0
         self._queries = 0
         self._errors = 0
+        self._counters: Dict[str, int] = {}
         self._per_synopsis: Dict[str, _SynopsisCounters] = {}
 
     # ------------------------------------------------------------------
@@ -154,6 +155,17 @@ class ServiceMetrics:
                     counters.errors += 1
                 counters.stamps.append(now)
                 self._trim(counters, now)
+
+    def incr(self, name: str, delta: int = 1) -> None:
+        """Bump a named reliability counter (``shed_total``,
+        ``deadline_exceeded_total``, ``reload_failures``, ...); rendered
+        under ``counters`` in the metrics document."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def _trim(self, counters: _SynopsisCounters, now: float) -> None:
         horizon = now - self._qps_window
@@ -185,6 +197,7 @@ class ServiceMetrics:
                 "requests_total": self._requests,
                 "queries_total": self._queries,
                 "errors_total": self._errors,
+                "counters": dict(self._counters),
                 "latency_ms": self.latency().as_dict(),
                 "synopses": per_synopsis,
             }

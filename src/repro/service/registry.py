@@ -4,11 +4,15 @@ A registry serves :class:`~repro.core.system.EstimationSystem` instances
 under stable names.  Three kinds of entry coexist:
 
 * **file-backed** — loaded from ``<snapshot_dir>/<name>.json`` via
-  :func:`repro.persist.load`; ``get`` re-stats the file and reloads it
-  when the (mtime, size) pair changes, so a snapshot can be rewritten
-  underneath a running server without a restart.  A half-written or
-  malformed replacement never takes down the entry: the previous system
-  keeps serving and the failure is surfaced in ``describe()``;
+  :func:`repro.persist.loads`; ``get`` re-reads the file and reloads it
+  when its ``(mtime_ns, size, crc32)`` stamp changes — the content
+  checksum catches same-mtime overwrites that a stat-only stamp misses —
+  so a snapshot can be rewritten underneath a running server without a
+  restart.  A truncated, corrupt (embedded-checksum mismatch) or
+  malformed replacement never takes down the entry: the previous
+  **last-good** system keeps serving, the entry reports itself degraded
+  (``describe()``, ``/healthz``) and ``reload_failures`` counts the
+  rejected swaps;
 * **in-memory** — registered programmatically (tests, benchmarks);
 * **live** — a :class:`LiveSynopsis` wrapping
   :class:`~repro.stats.maintenance.MaintainedStatistics`: appends patch
@@ -24,11 +28,13 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import persist
 from repro.core.system import EstimationSystem
 from repro.persist import PersistError
+from repro.reliability import faults
 from repro.stats.maintenance import MaintainedStatistics
 from repro.xmltree.document import XmlDocument
 from repro.xmltree.node import XmlNode
@@ -102,7 +108,8 @@ class SynopsisEntry:
         self.system = system
         self.generation = 1
         self.path = path
-        self.stamp = stamp  # (mtime_ns, size) of the loaded snapshot file
+        # (mtime_ns, size, crc32) of the loaded snapshot file's content.
+        self.stamp = stamp
         self.live = live
         self.load_error: Optional[str] = None
         self.last_check = float("-inf")
@@ -112,6 +119,11 @@ class SynopsisEntry:
         if self.live is not None:
             return "live"
         return self.path if self.path is not None else "memory"
+
+    @property
+    def degraded(self) -> bool:
+        """Serving last-good state because the newest snapshot is bad."""
+        return self.load_error is not None
 
     def describe(self) -> Dict[str, object]:
         table = self.system.encoding_table
@@ -125,12 +137,23 @@ class SynopsisEntry:
         }
         if self.load_error is not None:
             info["load_error"] = self.load_error
+            info["degraded"] = True
         return info
 
 
-def _stat_stamp(path: str) -> tuple:
+def _read_snapshot(path: str) -> Tuple[str, tuple]:
+    """One read of the snapshot file: its text and its content stamp.
+
+    The stamp is ``(mtime_ns, size, crc32)``; including the content
+    checksum catches editors and build pipelines that rewrite a file
+    without advancing its mtime (coarse filesystem clocks, ``mtime``
+    restoring copies), which a stat-only stamp would miss.
+    """
+    faults.fire("registry.load", path)
     status = os.stat(path)
-    return (status.st_mtime_ns, status.st_size)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return text, (status.st_mtime_ns, status.st_size, zlib.crc32(text.encode("utf-8")))
 
 
 class SynopsisRegistry:
@@ -153,6 +176,9 @@ class SynopsisRegistry:
         self._entries: Dict[str, SynopsisEntry] = {}
         self._lock = threading.RLock()
         self.scan_errors: Dict[str, str] = {}
+        #: Rejected hot-reload swaps (bad replacement kept out, last-good
+        #: still serving).  Exposed via the service's /healthz + /metrics.
+        self.reload_failures = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -266,6 +292,15 @@ class SynopsisRegistry:
         with self._lock:
             return [self._entries[name].describe() for name in sorted(self._entries)]
 
+    def degraded(self) -> Dict[str, str]:
+        """Entries serving last-good state, with the reason (name → error)."""
+        with self._lock:
+            return {
+                name: entry.load_error
+                for name, entry in sorted(self._entries.items())
+                if entry.load_error is not None
+            }
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._entries
@@ -305,8 +340,8 @@ class SynopsisRegistry:
     def _load_or_refresh(self, name: str, path: str) -> SynopsisEntry:
         entry = self._entries.get(name)
         if entry is None:
-            stamp = _stat_stamp(path)
-            system = persist.load(path)
+            text, stamp = _read_snapshot(path)
+            system = persist.loads(text)
             entry = SynopsisEntry(name, system, path=path, stamp=stamp)
             entry.last_check = self._clock()
             self._entries[name] = entry
@@ -320,18 +355,28 @@ class SynopsisRegistry:
             return
         entry.last_check = now
         try:
-            stamp = _stat_stamp(entry.path)  # type: ignore[arg-type]
+            text, stamp = _read_snapshot(entry.path)  # type: ignore[arg-type]
         except OSError as error:
-            # Snapshot deleted mid-flight: keep serving the loaded system.
+            # Snapshot deleted or unreadable mid-flight: keep serving the
+            # last-good system, degraded.
+            if entry.load_error is None:
+                self.reload_failures += 1
             entry.load_error = "snapshot unreadable: %s" % error
             return
         if stamp == entry.stamp:
+            # Disk matches what we serve; a transient read failure (if
+            # any) is over, so the entry is healthy again.
+            entry.load_error = None
             return
         try:
-            system = persist.load(entry.path)  # type: ignore[arg-type]
-        except (PersistError, OSError) as error:
-            # Half-written or malformed replacement: keep the old system
-            # and surface the failure instead of flapping.
+            system = persist.loads(text)
+        except PersistError as error:
+            # Truncated, corrupt (checksum mismatch) or malformed
+            # replacement: keep the last-good system and surface the
+            # failure instead of flapping.  The stamp is *not* advanced,
+            # so a fixed snapshot is picked up on the next check.
+            if entry.load_error is None:
+                self.reload_failures += 1
             entry.load_error = "reload failed: %s" % error
             return
         entry.system = system

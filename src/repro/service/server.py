@@ -11,14 +11,27 @@ Endpoints
 ``GET /synopses``
     The registry inventory (name, generation, source, sizes).
 ``GET /healthz``
-    Liveness: ``{"status": "ok", "synopses": N}``.
+    Liveness *and* degradation: ``{"status": "ok" | "degraded",
+    "synopses": N, "reload_failures": N}`` plus, when degraded, the
+    name → reason map of entries serving last-good state.
 ``GET /metrics``
-    Counters, latency percentiles, per-synopsis QPS, cache hit rate.
+    Counters, latency percentiles, per-synopsis QPS, cache hit rate and
+    the reliability block (in-flight, shed, deadline counters).
 
 The server is :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, stdlib only.  Estimation runs outside the registry lock; the
 plan cache and metrics are thread-safe, so concurrent clients see exactly
 the numbers a direct :meth:`EstimationSystem.estimate` would produce.
+
+Reliability: every ``POST /estimate`` passes the service's
+:class:`~repro.reliability.shedding.AdmissionGate` — beyond
+``max_inflight`` concurrent estimates the request is shed with ``503``
+and a ``Retry-After`` header instead of queueing unboundedly — and runs
+under an optional per-request deadline (``504`` with kind
+``deadline_exceeded`` when the budget runs out mid-batch).  Read-only
+endpoints bypass the gate so health and metrics stay observable during
+overload.  :meth:`ServiceServer.close` drains in-flight requests before
+tearing the socket down.
 """
 
 from __future__ import annotations
@@ -31,6 +44,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.transform import UnsupportedQueryError
 from repro.errors import ReproError, error_kind
+from repro.reliability import faults
+from repro.reliability.policy import Deadline, DeadlineExceededError
+from repro.reliability.shedding import AdmissionGate, OverloadedError
 from repro.service.metrics import ServiceMetrics
 from repro.service.plancache import PlanCache
 from repro.service.registry import SynopsisRegistry, UnknownSynopsisError
@@ -70,10 +86,14 @@ class EstimationService:
         registry: SynopsisRegistry,
         plan_cache: Optional[PlanCache] = None,
         metrics: Optional[ServiceMetrics] = None,
+        gate: Optional[AdmissionGate] = None,
+        request_deadline_s: Optional[float] = None,
     ):
         self.registry = registry
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.gate = gate if gate is not None else AdmissionGate()
+        self.request_deadline_s = request_deadline_s
 
     # ------------------------------------------------------------------
     # Estimation
@@ -97,11 +117,25 @@ class EstimationService:
         metrics (including for failed requests) and raises
         :class:`RequestError` with the proper HTTP status on bad input."""
         started = time.perf_counter()
+        deadline = Deadline.after(self.request_deadline_s)
         synopsis: Optional[str] = None
         queries: List[str] = []
+        results: List[Dict[str, Any]] = []
         try:
+            faults.fire("server.handle", payload)
             synopsis, queries, batched = self._parse_estimate_payload(payload)
-            results = [self.estimate(synopsis, text) for text in queries]
+            for text in queries:
+                deadline.check("estimate request")
+                results.append(self.estimate(synopsis, text))
+        except DeadlineExceededError:
+            self.metrics.incr("deadline_exceeded_total")
+            self._observe_failure(synopsis, started, len(queries))
+            raise RequestError(
+                504,
+                "request exceeded its %.3fs deadline after %d of %d queries"
+                % (self.request_deadline_s or 0.0, len(results), len(queries)),
+                "deadline_exceeded",
+            )
         except UnknownSynopsisError as error:
             self._observe_failure(None, started, len(queries))
             raise RequestError(404, "unknown synopsis %s" % error, "unknown_synopsis")
@@ -170,10 +204,30 @@ class EstimationService:
         return {"synopses": self.registry.describe()}
 
     def healthz(self) -> Dict[str, Any]:
-        return {"status": "ok", "synopses": len(self.registry)}
+        """Liveness plus degradation: a registry entry stuck on last-good
+        state (corrupt/unreadable replacement snapshot) flips the status
+        to ``"degraded"`` without taking the endpoint to non-200 — the
+        server *is* serving, just not the newest synopsis."""
+        degraded = {}
+        reload_failures = 0
+        if hasattr(self.registry, "degraded"):
+            degraded = self.registry.degraded()
+        reload_failures = getattr(self.registry, "reload_failures", 0)
+        body: Dict[str, Any] = {
+            "status": "degraded" if degraded else "ok",
+            "synopses": len(self.registry),
+            "reload_failures": reload_failures,
+        }
+        if degraded:
+            body["degraded"] = degraded
+        return body
 
     def metrics_document(self) -> Dict[str, Any]:
-        return self.metrics.snapshot(self.plan_cache.stats())
+        document = self.metrics.snapshot(self.plan_cache.stats())
+        reliability = dict(self.gate.stats())
+        reliability["reload_failures"] = getattr(self.registry, "reload_failures", 0)
+        document["reliability"] = reliability
+        return document
 
 
 def _make_handler(service: EstimationService) -> type:
@@ -189,11 +243,18 @@ def _make_handler(service: EstimationService) -> type:
 
         # -- plumbing --------------------------------------------------
 
-        def _reply(self, status: int, body: Dict[str, Any]) -> None:
+        def _reply(
+            self,
+            status: int,
+            body: Dict[str, Any],
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             data = json.dumps(body).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
 
@@ -231,7 +292,29 @@ def _make_handler(service: EstimationService) -> type:
                         404, error_body("not_found", "no such endpoint %r" % self.path)
                     )
                     return
-                self._reply(200, service.handle_estimate(self._read_json()))
+                # Admission first: an overloaded (or draining) server
+                # sheds with 503 + Retry-After instead of queueing the
+                # request behind work it cannot finish in time.
+                try:
+                    service.gate.enter()
+                except OverloadedError as error:
+                    # Drain the unread body so a keep-alive client can
+                    # reuse the connection for its retry (leftover bytes
+                    # would be misparsed as the next request line).
+                    length = int(self.headers.get("Content-Length", 0) or 0)
+                    if length:
+                        self.rfile.read(length)
+                    service.metrics.incr("shed_total")
+                    self._reply(
+                        503,
+                        error_body(error.kind, str(error)),
+                        headers={"Retry-After": "%g" % error.retry_after_s},
+                    )
+                    return
+                try:
+                    self._reply(200, service.handle_estimate(self._read_json()))
+                finally:
+                    service.gate.leave()
             except RequestError as error:
                 self._reply(error.status, error_body(error.kind, str(error)))
             except Exception as error:  # pragma: no cover - defensive
@@ -279,8 +362,17 @@ class ServiceServer:
         """Serve on the calling thread (the CLI entry point)."""
         self.httpd.serve_forever()
 
-    def close(self) -> None:
+    def close(self, drain_timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: stop admitting, drain in-flight estimates,
+        then tear the listener down.
+
+        New ``POST /estimate`` requests are shed (503) the moment the
+        gate closes; requests already executing get up to
+        ``drain_timeout_s`` to finish and write their responses.
+        """
+        self.service.gate.close()
         self.httpd.shutdown()
+        self.service.gate.drain(drain_timeout_s)
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -41,7 +41,15 @@ class XmlParseError(ParseError):
 
     def __init__(self, message: str, position: int):
         super().__init__("%s (at offset %d)" % (message, position))
+        self.raw_message = message
         self.position = position
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` (the
+        # single formatted string), which does not match this two-argument
+        # signature — and a parse error must survive the trip back from a
+        # multiprocessing pool worker intact.
+        return (type(self), (self.raw_message, self.position))
 
 
 def _is_name_start(char: str) -> bool:

@@ -30,7 +30,13 @@ class XPathSyntaxError(QuerySyntaxError):
 
     def __init__(self, message: str, position: int):
         super().__init__("%s (at offset %d)" % (message, position))
+        self.raw_message = message
         self.position = position
+
+    def __reduce__(self):
+        # Mirrors XmlParseError: two-argument __init__ needs explicit
+        # pickle support so the error survives process boundaries.
+        return (type(self), (self.raw_message, self.position))
 
 
 class _Token(NamedTuple):

@@ -1,0 +1,28 @@
+"""Shared fixtures for the reliability / fault-injection suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EstimationSystem, persist
+from repro.service import EstimationService, ServiceServer, SynopsisRegistry
+
+
+@pytest.fixture(scope="module")
+def figure1_system(figure1):
+    return EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+
+
+@pytest.fixture()
+def snapshot_dir(tmp_path, figure1_system):
+    persist.save(figure1_system, str(tmp_path / "fig1.json"))
+    return tmp_path
+
+
+@pytest.fixture()
+def running_server(snapshot_dir):
+    registry = SynopsisRegistry(str(snapshot_dir))
+    registry.scan()
+    service = EstimationService(registry)
+    with ServiceServer(service, port=0) as server:
+        yield server

@@ -1,0 +1,80 @@
+"""CircuitBreaker: closed -> open -> half-open -> closed, on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability import CircuitBreaker, CircuitOpenError
+
+from .test_policy import FakeClock
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, recovery_after_s=10.0, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.check()  # no raise
+
+    def test_opens_after_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check("estimation service")
+        assert info.value.kind == "circuit_open"
+        assert "estimation service" in str(info.value)
+
+    def test_success_resets_the_failure_run(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else keeps failing fast
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_reopens_for_a_full_window(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)

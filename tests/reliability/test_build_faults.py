@@ -1,0 +1,121 @@
+"""Build fault recovery: crashed/hung workers, shard errors, fallback.
+
+The acceptance property: a killed pool worker still yields a synopsis
+bit-identical to the fault-free build — retries and the in-process
+fallback change wall-clock, never bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import persist
+from repro.build.builder import ShardScanError, SynopsisBuilder, build_synopsis
+from repro.errors import BuildError, ParseError
+from repro.reliability import faults
+from repro.reliability.faults import FailFault, FaultInjector
+from repro.xmltree.parser import XmlParseError
+from repro.xpath.parser import XPathSyntaxError
+
+TEXT = "<R>" + "".join(
+    "<A><B>x</B><C>y</C></A><D>z</D>" for _ in range(120)
+) + "</R>"
+
+
+@pytest.fixture(scope="module")
+def reference_bytes():
+    return persist.dumps(build_synopsis(TEXT, name="t"))
+
+
+class TestWorkerCrash:
+    def test_killed_worker_yields_bit_identical_synopsis(self, reference_bytes):
+        with faults.worker_faults(kind="crash", times=2):
+            survived = build_synopsis(
+                TEXT, workers=3, shard_bytes=256, worker_retries=2, name="t"
+            )
+        assert persist.dumps(survived) == reference_bytes
+
+    def test_hung_worker_is_abandoned_and_retried(self, reference_bytes):
+        with faults.worker_faults(kind="delay", times=1, delay_s=30.0):
+            survived = build_synopsis(
+                TEXT,
+                workers=3,
+                shard_bytes=256,
+                shard_timeout_s=1.0,
+                worker_retries=2,
+                name="t",
+            )
+        assert persist.dumps(survived) == reference_bytes
+
+    def test_exhausted_retries_fall_back_in_process(self, reference_bytes):
+        # Every pool round loses a worker; the in-process fallback still
+        # delivers the same bytes.
+        with faults.worker_faults(kind="crash", times=50):
+            survived = build_synopsis(
+                TEXT, workers=2, shard_bytes=256, worker_retries=1, name="t"
+            )
+        assert persist.dumps(survived) == reference_bytes
+
+
+class TestShardErrors:
+    def test_in_process_fault_site_can_fail_a_build(self):
+        injector = FaultInjector().plan("build.scan", FailFault(XmlParseError, "torn", 7))
+        with faults.inject(injector):
+            with pytest.raises(ShardScanError) as info:
+                SynopsisBuilder().from_shards(["<A>x</A>", "<A>y</A>"], root_tag="R")
+        assert info.value.shard_index == 0
+        assert info.value.offset == 7
+        assert isinstance(info.value, BuildError)
+
+    def test_malformed_shard_reports_index_and_offset(self):
+        shards = ["<A>x</A>", "<A><B</A>"]
+        with pytest.raises(ShardScanError) as info:
+            SynopsisBuilder().from_shards(shards, root_tag="R")
+        assert info.value.shard_index == 1
+        assert info.value.offset is not None
+        assert "shard 1" in str(info.value)
+
+    def test_whole_document_path_keeps_raw_parse_error(self):
+        # The classic single-scan API contract: malformed text raises
+        # ParseError (not a shard wrapper) so `except ValueError` and
+        # `except ParseError` call sites keep working.
+        with pytest.raises(ParseError) as info:
+            build_synopsis("<R><A></R>")
+        assert not isinstance(info.value, ShardScanError)
+
+    def test_shard_scan_error_survives_pickling(self):
+        error = ShardScanError(3, 42, ValueError("boom"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, ShardScanError)
+        assert clone.shard_index == 3
+        assert clone.offset == 42
+        assert str(clone) == str(error)
+
+
+class TestExceptionPickling:
+    # Pool workers ship their exceptions to the parent via pickle; the
+    # two positional-argument parse errors need custom __reduce__.
+
+    def test_xml_parse_error_round_trips(self):
+        error = XmlParseError("bad tag", 42)
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, XmlParseError)
+        assert clone.position == 42
+        assert str(clone) == str(error)
+
+    def test_xpath_syntax_error_round_trips(self):
+        error = XPathSyntaxError("bad step", 7)
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, XPathSyntaxError)
+        assert clone.position == 7
+        assert str(clone) == str(error)
+
+
+class TestBuilderValidation:
+    def test_knob_validation(self):
+        with pytest.raises(BuildError):
+            SynopsisBuilder(shard_timeout_s=0)
+        with pytest.raises(BuildError):
+            SynopsisBuilder(worker_retries=-1)

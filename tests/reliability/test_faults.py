@@ -1,0 +1,133 @@
+"""The fault-injection harness itself: schedules, effects, scoping."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.reliability import faults
+from repro.reliability.faults import (
+    CorruptFault,
+    DelayFault,
+    FailFault,
+    Fault,
+    FaultInjector,
+    TruncateFault,
+    WORKER_FAULT_ENV,
+)
+
+
+class TestSchedules:
+    def test_no_injector_is_a_passthrough(self):
+        assert faults.fire("anything", "payload") == "payload"
+
+    def test_times_limits_firings(self):
+        injector = FaultInjector().plan("site", FailFault(OSError, times=2))
+        with faults.inject(injector):
+            for _ in range(2):
+                with pytest.raises(OSError):
+                    faults.fire("site")
+            faults.fire("site")  # exhausted: no raise
+        assert injector.calls("site") == 3
+        assert injector.fired("site") == 2
+
+    def test_every_selects_the_kth_calls(self):
+        injector = FaultInjector().plan("site", FailFault(OSError, times=None, every=3))
+        hits = []
+        with faults.inject(injector):
+            for call in range(1, 10):
+                try:
+                    faults.fire("site")
+                except OSError:
+                    hits.append(call)
+        assert hits == [3, 6, 9]
+
+    def test_sites_are_independent(self):
+        injector = FaultInjector().plan("a", FailFault(OSError))
+        with faults.inject(injector):
+            faults.fire("b")  # unplanned site: no-op
+            with pytest.raises(OSError):
+                faults.fire("a")
+
+    def test_log_records_site_call_and_class(self):
+        injector = FaultInjector().plan("site", TruncateFault(keep=1))
+        with faults.inject(injector):
+            faults.fire("site", "abc")
+        assert injector.log == [("site", 1, "TruncateFault")]
+
+    def test_injectors_nest_and_restore(self):
+        outer = FaultInjector()
+        inner = FaultInjector()
+        with faults.inject(outer):
+            with faults.inject(inner):
+                faults.fire("site")
+            faults.fire("site")
+        assert inner.calls("site") == 1
+        assert outer.calls("site") == 1
+        assert faults.fire("site", "x") == "x"  # nothing active anymore
+
+    def test_every_validation(self):
+        with pytest.raises(ValueError):
+            Fault(every=0)
+
+
+class TestEffects:
+    def test_fail_fault_raises_fresh_instances(self):
+        fault = FailFault(ValueError, "boom", times=2)
+        first = pytest.raises(ValueError, fault.apply, None).value
+        second = pytest.raises(ValueError, fault.apply, None).value
+        assert first is not second
+        assert str(first) == "boom"
+
+    def test_truncate_fault_keeps_a_prefix(self):
+        assert TruncateFault(keep=3).apply("abcdef") == "abc"
+        assert TruncateFault(keep=3).apply(None) is None
+
+    def test_corrupt_fault_flips_one_character(self):
+        text = "0123456789"
+        damaged = CorruptFault().apply(text)
+        assert len(damaged) == len(text)
+        assert damaged != text
+        differing = [i for i, (a, b) in enumerate(zip(text, damaged)) if a != b]
+        assert len(differing) == 1
+
+    def test_delay_fault_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        DelayFault(0.25).apply("x")
+        assert slept == [0.25]
+
+
+class TestWorkerFaults:
+    def test_env_plan_set_and_restored(self):
+        assert WORKER_FAULT_ENV not in os.environ
+        with faults.worker_faults(kind="crash", times=2) as directory:
+            spec = json.loads(os.environ[WORKER_FAULT_ENV])
+            assert spec["kind"] == "crash"
+            assert spec["times"] == 2
+            assert spec["dir"] == directory
+            assert os.path.isdir(directory)
+        assert WORKER_FAULT_ENV not in os.environ
+        assert not os.path.exists(directory)
+
+    def test_marker_files_give_exactly_n_firings(self, monkeypatch):
+        # A "delay" plan with zero sleep exercises the claim protocol
+        # in-process: exactly `times` calls claim a marker.
+        with faults.worker_faults(kind="delay", times=2, delay_s=0.0) as directory:
+            for _ in range(5):
+                faults.worker_fault_point()
+            assert len(os.listdir(directory)) == 2
+
+    def test_fault_point_without_plan_is_free(self):
+        faults.worker_fault_point()  # no env: no-op, no raise
+
+    def test_malformed_env_plan_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(WORKER_FAULT_ENV, "{not json")
+        faults.worker_fault_point()  # no raise
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            with faults.worker_faults(kind="explode"):
+                pass

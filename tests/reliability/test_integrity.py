@@ -1,0 +1,110 @@
+"""Snapshot integrity: checksums, atomic writes, corrupt-load detection."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import persist
+from repro.persist import SnapshotCorruptError, SynopsisLoadError
+from repro.reliability import faults, integrity
+from repro.reliability.faults import FailFault, FaultInjector, TruncateFault
+
+
+class TestChecksums:
+    def test_text_checksum_format(self):
+        value = integrity.checksum_text("hello")
+        assert value.startswith("crc32:")
+        assert len(value) == len("crc32:") + 8
+
+    def test_payload_checksum_survives_reformatting(self):
+        payload = {"b": 1, "a": [1.5, 2.25]}
+        reordered = json.loads(json.dumps(payload, indent=4, sort_keys=False))
+        assert integrity.checksum_payload(payload) == integrity.checksum_payload(
+            reordered
+        )
+
+    def test_verify_payload(self):
+        payload = {"x": 1}
+        good = integrity.checksum_payload(payload)
+        assert integrity.verify_payload(payload, good)
+        assert not integrity.verify_payload({"x": 2}, good)
+        assert not integrity.verify_payload(payload, "md5:abc")  # unknown scheme
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        integrity.atomic_write_text(path, "one")
+        integrity.atomic_write_text(path, "two")
+        with open(path) as handle:
+            assert handle.read() == "two"
+        assert os.listdir(str(tmp_path)) == ["out.txt"]  # no temp debris
+
+    def test_failed_replace_leaves_old_content_and_no_temp(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        integrity.atomic_write_text(path, "old")
+        injector = FaultInjector().plan("persist.replace", FailFault(OSError, "disk full"))
+        with faults.inject(injector):
+            with pytest.raises(OSError):
+                integrity.atomic_write_text(path, "new")
+        with open(path) as handle:
+            assert handle.read() == "old"
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+
+class TestSnapshotChecksum:
+    def test_dumps_embeds_a_checksum(self, figure1_system):
+        payload = json.loads(persist.dumps(figure1_system))
+        assert payload["checksum"].startswith("crc32:")
+        body = {k: v for k, v in payload.items() if k != "checksum"}
+        assert integrity.verify_payload(body, payload["checksum"])
+
+    def test_round_trip_verifies(self, figure1_system):
+        restored = persist.loads(persist.dumps(figure1_system))
+        assert restored.estimate("//A/B") == figure1_system.estimate("//A/B")
+
+    def test_flipped_value_is_detected(self, figure1_system):
+        # Mutate one non-checksum field, keeping valid JSON: the envelope
+        # parses but the embedded checksum no longer matches.
+        damaged = json.loads(persist.dumps(figure1_system))
+        for key, value in damaged.items():
+            if key != "checksum" and isinstance(value, (int, str)):
+                damaged[key] = value + (1 if isinstance(value, int) else "x")
+                break
+        with pytest.raises(SnapshotCorruptError) as info:
+            persist.loads(json.dumps(damaged))
+        assert "checksum" in str(info.value)
+        assert info.value.kind == "persist"
+        assert isinstance(info.value, SynopsisLoadError)
+
+    def test_truncated_snapshot_is_a_load_error(self, figure1_system):
+        text = persist.dumps(figure1_system)
+        with pytest.raises(SynopsisLoadError):
+            persist.loads(text[: len(text) // 2])
+
+    def test_pre_checksum_snapshot_still_loads(self, figure1_system):
+        # Snapshots written before the integrity layer carry no checksum
+        # field; they load unverified rather than failing.
+        payload = json.loads(persist.dumps(figure1_system))
+        del payload["checksum"]
+        restored = persist.loads(json.dumps(payload))
+        assert restored.estimate("//A/B") == figure1_system.estimate("//A/B")
+
+    def test_save_is_atomic_under_write_faults(self, tmp_path, figure1_system):
+        path = str(tmp_path / "snap.json")
+        persist.save(figure1_system, path)
+        good = persist.load(path)
+        # A torn write (truncation between write and rename would be
+        # invisible -- the truncation happens to the text itself, and the
+        # rename publishes the torn bytes): the checksum catches it.
+        injector = FaultInjector().plan("persist.write", TruncateFault(keep=200))
+        with faults.inject(injector):
+            persist.save(figure1_system, path)
+        with pytest.raises(SynopsisLoadError):
+            persist.load(path)
+        # Rewriting properly heals the file in place.
+        persist.save(figure1_system, path)
+        assert persist.load(path).estimate("//A/B") == good.estimate("//A/B")

@@ -1,0 +1,139 @@
+"""Lenient scanning: recover past malformed XML instead of aborting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.build.builder import SynopsisBuilder, build_synopsis
+from repro.build.lenient import lenient_events
+from repro.build.stream import scan_text
+from repro.errors import ParseError
+
+
+def events_of(text, **kwargs):
+    return list(lenient_events(text, **kwargs))
+
+
+class TestRecoveryRules:
+    def test_well_formed_input_is_unchanged(self):
+        assert events_of("<R><A/><B>t</B></R>") == [
+            ("start", "R"),
+            ("start", "A"),
+            ("end", "A"),
+            ("start", "B"),
+            ("end", "B"),
+            ("end", "R"),
+        ]
+
+    def test_missing_end_tags_closed_at_eof(self):
+        incidents = []
+        events = events_of("<R><A><B>", on_recover=lambda o, m: incidents.append(m))
+        assert events == [
+            ("start", "R"),
+            ("start", "A"),
+            ("start", "B"),
+            ("end", "B"),
+            ("end", "A"),
+            ("end", "R"),
+        ]
+        assert len(incidents) == 3
+        assert all("missing end tag" in message for message in incidents)
+
+    def test_mismatched_end_tag_closes_through(self):
+        # </R> closes the skipped-over <A> implicitly (truncation damage).
+        events = events_of("<R><A><B></B></R>")
+        assert events == [
+            ("start", "R"),
+            ("start", "A"),
+            ("start", "B"),
+            ("end", "B"),
+            ("end", "A"),
+            ("end", "R"),
+        ]
+
+    def test_unexpected_end_tag_is_dropped(self):
+        incidents = []
+        events = events_of(
+            "<R></X><A/></R>", on_recover=lambda o, m: incidents.append(m)
+        )
+        assert events == [
+            ("start", "R"),
+            ("start", "A"),
+            ("end", "A"),
+            ("end", "R"),
+        ]
+        assert incidents == ["unexpected end tag </X>"]
+
+    def test_bare_angle_bracket_is_text(self):
+        incidents = []
+        events = events_of(
+            "<R>a < b<A/></R>", on_recover=lambda o, m: incidents.append((o, m))
+        )
+        assert events == [
+            ("start", "R"),
+            ("start", "A"),
+            ("end", "A"),
+            ("end", "R"),
+        ]
+        offset, message = incidents[0]
+        assert "malformed start tag" in message
+        assert offset == "<R>a < b<A/></R>".index("<", 1)  # the stray '<'
+
+    def test_unterminated_comment_swallows_rest(self):
+        events = events_of("<R><A/><!-- torn ")
+        assert events == [
+            ("start", "R"),
+            ("start", "A"),
+            ("end", "A"),
+            ("end", "R"),
+        ]
+
+    def test_malformed_end_tag_is_skipped(self):
+        events = events_of("<R><A/></ ></R>")
+        assert ("end", "R") == events[-1]
+        assert ("start", "A") in events
+
+    def test_stray_markup_declaration_is_skipped(self):
+        events = events_of("<R><!ELEMENT R ANY><A/></R>")
+        assert events == [
+            ("start", "R"),
+            ("start", "A"),
+            ("end", "A"),
+            ("end", "R"),
+        ]
+
+
+class TestLenientBuilds:
+    DAMAGED = "<R><A><B>x</B><A><B>y</B></A></R>"  # first <A> never closes
+
+    def test_strict_build_raises(self):
+        with pytest.raises(ParseError):
+            build_synopsis(self.DAMAGED)
+
+    def test_lenient_build_succeeds(self):
+        system = build_synopsis(self.DAMAGED, lenient=True)
+        assert system.estimate("//A/B") > 0
+
+    def test_builder_records_recoveries(self):
+        builder = SynopsisBuilder(lenient=True)
+        builder.from_text(self.DAMAGED)
+        assert builder.last_recoveries
+        offsets = [offset for offset, _ in builder.last_recoveries]
+        assert all(0 <= offset <= len(self.DAMAGED) for offset in offsets)
+        # A clean build resets the incident list.
+        builder.from_text("<R><A/></R>")
+        assert builder.last_recoveries == []
+
+    def test_scan_text_lenient_matches_strict_on_clean_input(self):
+        clean = "<R><A><B>x</B></A><A><B>y</B></A></R>"
+        strict = scan_text(clean)
+        lenient = scan_text(clean, lenient=True)
+        assert lenient.paths == strict.paths
+        assert lenient.freq == strict.freq
+        assert lenient.element_count == strict.element_count
+
+    def test_lenient_survives_unsplittable_damage_with_workers(self):
+        # Damaged top-level structure defeats the chunker; the lenient
+        # build falls back to a single-pass recovery scan.
+        system = build_synopsis(self.DAMAGED, lenient=True, workers=4, shard_bytes=4)
+        assert system.estimate("//A/B") > 0

@@ -1,0 +1,107 @@
+"""Deadline and RetryPolicy: the time-budget vocabulary, on fake clocks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ReliabilityError, ReproError
+from repro.reliability import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    Deadline,
+    DeadlineExceededError,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.after(None)
+        assert deadline.remaining() == math.inf
+        assert not deadline.expired()
+        deadline.check()  # no raise
+
+    def test_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.advance(0.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_stable_kind(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.check("shard scan")
+        assert info.value.kind == "deadline_exceeded"
+        assert "shard scan" in str(info.value)
+        # The reliability family is catchable at both hierarchy roots.
+        assert isinstance(info.value, ReliabilityError)
+        assert isinstance(info.value, ReproError)
+        assert isinstance(info.value, RuntimeError)
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.1, clock)
+        clock.advance(100.0)
+        assert deadline.remaining() == 0.0
+
+
+class TestRetryPolicy:
+    def test_exponential_sequence(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.05, multiplier=2.0)
+        assert list(policy.backoffs()) == pytest.approx([0.05, 0.1, 0.2])
+
+    def test_capped_at_max_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_backoff_s=1.0, multiplier=10.0, max_backoff_s=3.0
+        )
+        assert list(policy.backoffs()) == pytest.approx([1.0, 3.0, 3.0, 3.0, 3.0])
+
+    def test_single_attempt_yields_no_sleeps(self):
+        assert list(NO_RETRY.backoffs()) == []
+
+    def test_default_policy_is_four_attempts(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 4
+        assert len(list(DEFAULT_RETRY_POLICY.backoffs())) == 3
+
+    def test_jitter_is_deterministic_by_seed(self):
+        first = list(
+            RetryPolicy(max_attempts=5, jitter=0.5, seed=42).backoffs()
+        )
+        second = list(
+            RetryPolicy(max_attempts=5, jitter=0.5, seed=42).backoffs()
+        )
+        assert first == second
+        # Jitter only shrinks, never grows, each sleep.
+        plain = list(RetryPolicy(max_attempts=5).backoffs())
+        for jittered, base in zip(first, plain):
+            assert 0.5 * base <= jittered <= base
+
+    def test_each_backoffs_iterator_is_independent(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert list(policy.backoffs()) == list(policy.backoffs())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)

@@ -1,0 +1,125 @@
+"""AdmissionGate: bounded in-flight work, shedding, closing, draining."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ReliabilityError
+from repro.reliability import AdmissionGate, OverloadedError
+
+
+class TestAdmission:
+    def test_admits_up_to_max_inflight(self):
+        gate = AdmissionGate(max_inflight=2)
+        gate.enter()
+        gate.enter()
+        assert gate.inflight == 2
+        with pytest.raises(OverloadedError) as info:
+            gate.enter()
+        assert info.value.kind == "overloaded"
+        assert isinstance(info.value, ReliabilityError)
+        assert gate.shed_total == 1
+        assert gate.admitted_total == 2
+
+    def test_leave_frees_a_slot(self):
+        gate = AdmissionGate(max_inflight=1)
+        gate.enter()
+        gate.leave()
+        gate.enter()  # no raise
+        assert gate.inflight == 1
+
+    def test_retry_after_hint_travels_on_the_error(self):
+        gate = AdmissionGate(max_inflight=1, retry_after_s=2.5)
+        gate.enter()
+        with pytest.raises(OverloadedError) as info:
+            gate.enter()
+        assert info.value.retry_after_s == 2.5
+
+    def test_queued_request_gets_the_freed_slot(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1, queue_timeout_s=5.0)
+        gate.enter()
+        admitted = threading.Event()
+
+        def queued():
+            gate.enter()
+            admitted.set()
+
+        waiter = threading.Thread(target=queued)
+        waiter.start()
+        assert not admitted.wait(timeout=0.1)
+        gate.leave()
+        assert admitted.wait(timeout=5.0)
+        waiter.join()
+        assert gate.shed_total == 0
+
+    def test_queue_wait_times_out_and_sheds(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=1, queue_timeout_s=0.02)
+        gate.enter()
+        with pytest.raises(OverloadedError):
+            gate.enter()
+        assert gate.shed_total == 1
+
+    def test_queue_overflow_sheds_immediately(self):
+        gate = AdmissionGate(max_inflight=1, max_queue=0)
+        gate.enter()
+        with pytest.raises(OverloadedError):
+            gate.enter()
+
+
+class TestLifecycle:
+    def test_closed_gate_sheds_everything(self):
+        gate = AdmissionGate(max_inflight=8)
+        gate.close()
+        assert gate.closed
+        with pytest.raises(OverloadedError) as info:
+            gate.enter()
+        assert "shutting down" in str(info.value)
+
+    def test_close_leaves_inflight_work_alone(self):
+        gate = AdmissionGate(max_inflight=2)
+        gate.enter()
+        gate.close()
+        assert gate.inflight == 1
+        gate.leave()
+        assert gate.inflight == 0
+
+    def test_drain_waits_for_inflight(self):
+        gate = AdmissionGate(max_inflight=2)
+        gate.enter()
+        gate.close()
+        done = threading.Event()
+
+        def finish_later():
+            done.wait()
+            gate.leave()
+
+        worker = threading.Thread(target=finish_later)
+        worker.start()
+        assert gate.drain(timeout_s=0.05) is False  # still in flight
+        done.set()
+        assert gate.drain(timeout_s=5.0) is True
+        worker.join()
+
+    def test_drain_of_idle_gate_is_immediate(self):
+        assert AdmissionGate().drain(timeout_s=0.0) is True
+
+    def test_stats_shape(self):
+        gate = AdmissionGate(max_inflight=3)
+        gate.enter()
+        stats = gate.stats()
+        assert stats == {
+            "inflight": 1,
+            "queued": 0,
+            "max_inflight": 3,
+            "admitted_total": 1,
+            "shed_total": 0,
+            "closed": False,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionGate(max_queue=-1)

@@ -32,6 +32,7 @@ class TestEndpoints:
         assert client_for(running_server).healthz() == {
             "status": "ok",
             "synopses": 2,
+            "reload_failures": 0,
         }
 
     def test_synopses(self, running_server):

@@ -92,6 +92,15 @@ class TestBenchSmoke:
         test_service_throughput(tiny_ctx, _StubBenchmark())
         assert "service throughput" in rendered_results()
 
+    def test_service_degraded(self, tiny_ctx, monkeypatch):
+        import benchmarks.bench_service_degraded as bench
+
+        # Shrink the sweep: fewer queries and shorter stalls.
+        monkeypatch.setattr(bench, "MAX_QUERIES", 24)
+        monkeypatch.setattr(bench, "FAULT_DELAY_S", 0.02)
+        bench.test_service_degraded(tiny_ctx, _StubBenchmark())
+        assert "injected" in rendered_results()
+
     def test_build_throughput(self, tiny_ctx, monkeypatch):
         import benchmarks.bench_build_throughput as bench
 

@@ -88,6 +88,18 @@ class TestSnapshot:
                      "--output", str(target)]) == 0
         assert persist.load(str(target)).estimate("//PLAY") > 0
 
+    def test_snapshot_lenient_recovers_damaged_file(self, tmp_path, capsys):
+        from repro import persist
+        from repro.errors import ParseError
+
+        damaged = tmp_path / "torn.xml"
+        damaged.write_text("<R><A><B>x</B><A><B>y</B></A></R>")  # <A> never closes
+        with pytest.raises(ParseError):
+            main(["snapshot", "--file", str(damaged), "--output", str(tmp_path) + "/"])
+        assert main(["snapshot", "--file", str(damaged), "--lenient",
+                     "--output", str(tmp_path) + "/"]) == 0
+        assert persist.load(str(tmp_path / "torn.json")).estimate("//A/B") > 0
+
 
 class TestServe:
     def test_missing_snapshot_dir_fails_cleanly(self, tmp_path, capsys):
