@@ -14,6 +14,7 @@ Quickstart::
     system = repro.build_synopsis("<Root><A><B/><C/></A></Root>")
     system.estimate("//A/$B")               # -> 1.0
     system.estimate("//A[/B/folls::$C]")    # order axis
+    system.query("//A/$B", trace=True)      # -> EstimateResult with span tree
 
 ``build_synopsis`` accepts XML text, a filesystem path, or a parsed
 ``XmlDocument``; pass ``workers=N`` to scan a large document in parallel
@@ -24,9 +25,11 @@ full surface and DESIGN.md for the system inventory.
 import warnings
 
 from repro.build.builder import SynopsisBuilder, build_synopsis
+from repro.core.result import EstimateResult
 from repro.core.system import EstimationSystem
 from repro.errors import (
     BuildError,
+    ObservabilityError,
     ParseError,
     PersistError,
     QuerySyntaxError,
@@ -35,12 +38,13 @@ from repro.errors import (
 from repro.xmltree.parser import parse_xml
 from repro.xpath.parser import parse_query
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The supported public surface.  Anything imported from ``repro`` that is
 #: not listed here still works for now but raises a DeprecationWarning —
 #: import it from its home submodule instead.
 __all__ = [
+    "EstimateResult",
     "EstimationSystem",
     "SynopsisBuilder",
     "build_synopsis",
@@ -51,6 +55,7 @@ __all__ = [
     "QuerySyntaxError",
     "PersistError",
     "BuildError",
+    "ObservabilityError",
     "__version__",
 ]
 

@@ -1,0 +1,44 @@
+"""Backward-compatibility shims for the keyword-only API redesign.
+
+The tuning parameters of the public constructors/factories
+(:meth:`EstimationSystem.build`, :class:`SynopsisBuilder`,
+:class:`ServiceClient`, :func:`repro.service.serve`) became keyword-only;
+:func:`positional_shim` keeps old positional call sites working for one
+deprecation cycle, mapping ``*args`` overflow back onto the named
+parameters while emitting a :class:`DeprecationWarning` that names the
+first offending parameter.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence, Tuple
+
+
+def positional_shim(
+    where: str,
+    args: Sequence[object],
+    names: Sequence[str],
+    defaults: Sequence[object],
+) -> Tuple[object, ...]:
+    """Map deprecated positional ``args`` onto keyword-only parameters.
+
+    ``names``/``defaults`` describe the keyword-only parameters in their
+    historical positional order; the returned tuple has one value per
+    name (positional value when given, current default otherwise).
+    Raises :class:`TypeError` on overflow, mirroring a plain signature.
+    """
+    if len(args) > len(names):
+        raise TypeError(
+            "%s() takes at most %d positional tuning arguments (%d given)"
+            % (where, len(names), len(args))
+        )
+    warnings.warn(
+        "%s: passing %s positionally is deprecated; use keyword arguments"
+        % (where, ", ".join(repr(n) for n in names[: len(args)])),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = list(defaults)
+    merged[: len(args)] = args
+    return tuple(merged)

@@ -48,10 +48,12 @@ import os
 import time
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro._compat import positional_shim
 from repro.build.chunker import DEFAULT_SHARD_BYTES, split_text
 from repro.build.merge import SynopsisTables, merge_partials
 from repro.build.stream import PartialSynopsis, scan_text
 from repro.errors import BuildError, ParseError
+from repro.obs.trace import NULL_TRACER
 from repro.reliability import faults
 from repro.xmltree.document import XmlDocument
 
@@ -149,6 +151,7 @@ class SynopsisBuilder:
 
     def __init__(
         self,
+        *args,
         p_variance: float = 0.0,
         o_variance: float = 0.0,
         use_histograms: bool = True,
@@ -158,7 +161,21 @@ class SynopsisBuilder:
         shard_timeout_s: float = DEFAULT_SHARD_TIMEOUT_S,
         worker_retries: int = DEFAULT_WORKER_RETRIES,
         lenient: bool = False,
+        tracer=NULL_TRACER,
     ):
+        if args:
+            (p_variance, o_variance, use_histograms, build_binary_tree,
+             workers, shard_bytes, shard_timeout_s, worker_retries,
+             lenient) = positional_shim(
+                "SynopsisBuilder",
+                args,
+                ("p_variance", "o_variance", "use_histograms",
+                 "build_binary_tree", "workers", "shard_bytes",
+                 "shard_timeout_s", "worker_retries", "lenient"),
+                (p_variance, o_variance, use_histograms, build_binary_tree,
+                 workers, shard_bytes, shard_timeout_s, worker_retries,
+                 lenient),
+            )
         if workers < 1:
             raise BuildError("workers must be >= 1, got %r" % (workers,))
         if shard_bytes < 1:
@@ -180,6 +197,9 @@ class SynopsisBuilder:
         self.shard_timeout_s = shard_timeout_s
         self.worker_retries = worker_retries
         self.lenient = lenient
+        #: Build-phase tracer; a live :class:`repro.obs.trace.Tracer`
+        #: accrues per-shard ``scan`` spans and a ``merge`` span.
+        self.tracer = tracer
         #: ``(offset, message)`` recovery incidents from the most recent
         #: lenient in-process scan (offsets are scan-local).
         self.last_recoveries: List[Tuple[int, str]] = []
@@ -237,7 +257,7 @@ class SynopsisBuilder:
             raise BuildError("from_shards needs at least one shard")
         self.last_recoveries = []
         partials = self._scan_all(shard_list, (root_tag,))
-        return self._finalize(merge_partials(partials, root_tag=root_tag), name=name)
+        return self._finalize(self._merge_traced(partials, root_tag=root_tag), name=name)
 
     def from_document(self, document: XmlDocument) -> "EstimationSystem":
         """The classic tree pipeline (document already materialized)."""
@@ -259,7 +279,7 @@ class SynopsisBuilder:
         """Collect the exact tables from text; streaming or sharded."""
         self.last_recoveries = []
         if self.workers == 1:
-            return merge_partials([self._scan_local((0, text, (), self.lenient))])
+            return self._merge_traced([self._scan_local((0, text, (), self.lenient))])
         try:
             root_tag, shards = split_text(text, shard_bytes=self._shard_target(text))
         except ParseError:
@@ -267,15 +287,22 @@ class SynopsisBuilder:
             # input can only be scanned leniently in one pass.
             if not self.lenient:
                 raise
-            return merge_partials([self._scan_local((0, text, (), True))])
+            return self._merge_traced([self._scan_local((0, text, (), True))])
         except BuildError:
             # Unshardable shape (e.g. a root with a single huge child):
             # fall back to the single-pass scan.
-            return merge_partials([self._scan_local((0, text, (), self.lenient))])
+            return self._merge_traced([self._scan_local((0, text, (), self.lenient))])
         if len(shards) == 1:
-            return merge_partials([self._scan_local((0, text, (), self.lenient))])
+            return self._merge_traced([self._scan_local((0, text, (), self.lenient))])
         partials = self._scan_all(shards, (root_tag,))
-        return merge_partials(partials, root_tag=root_tag)
+        return self._merge_traced(partials, root_tag=root_tag)
+
+    def _merge_traced(self, partials, root_tag=None) -> SynopsisTables:
+        with self.tracer.span("merge") as span:
+            span.incr("partials", len(partials))
+            if root_tag is None:
+                return merge_partials(partials)
+            return merge_partials(partials, root_tag=root_tag)
 
     # ------------------------------------------------------------------
     # Internals
@@ -338,23 +365,26 @@ class SynopsisBuilder:
             futures = {job[0]: executor.submit(_scan_shard, job) for job in jobs}
             by_index = {job[0]: job for job in jobs}
             stop_waiting_at = time.monotonic() + self.shard_timeout_s
-            for index, future in futures.items():
-                remaining = stop_waiting_at - time.monotonic()
-                try:
-                    results[index] = future.result(timeout=max(0.0, remaining))
-                except ParseError as error:
-                    raise ShardScanError(
-                        index, getattr(error, "position", None), error
-                    ) from error
-                except BuildError:
-                    raise
-                except concurrent.futures.TimeoutError:
-                    failed.append(by_index[index])
-                except Exception:
-                    # BrokenProcessPool (a worker died and took the pool
-                    # with it), a cancelled future, pickling trouble:
-                    # all retriable with a fresh pool.
-                    failed.append(by_index[index])
+            with self.tracer.aggregate("scan") as scan_span:
+                for index, future in futures.items():
+                    remaining = stop_waiting_at - time.monotonic()
+                    try:
+                        results[index] = future.result(timeout=max(0.0, remaining))
+                        scan_span.incr("shards")
+                        scan_span.incr("bytes_scanned", len(by_index[index][1]))
+                    except ParseError as error:
+                        raise ShardScanError(
+                            index, getattr(error, "position", None), error
+                        ) from error
+                    except BuildError:
+                        raise
+                    except concurrent.futures.TimeoutError:
+                        failed.append(by_index[index])
+                    except Exception:
+                        # BrokenProcessPool (a worker died and took the
+                        # pool with it), a cancelled future, pickling
+                        # trouble: all retriable with a fresh pool.
+                        failed.append(by_index[index])
         finally:
             _shutdown_executor(executor)
         return failed
@@ -363,12 +393,15 @@ class SynopsisBuilder:
         """In-process scan: the fault point may fail, stall, or damage
         the text; lenient recoveries are recorded with exact offsets."""
         index, text, prefix, lenient = job
-        text = faults.fire("build.scan", text)
-        if lenient:
-            return scan_text(
-                text, prefix, lenient=True, on_recover=self._record_recovery
-            )
-        return scan_text(text, prefix)
+        with self.tracer.aggregate("scan") as span:
+            span.incr("shards")
+            span.incr("bytes_scanned", len(text))
+            text = faults.fire("build.scan", text)
+            if lenient:
+                return scan_text(
+                    text, prefix, lenient=True, on_recover=self._record_recovery
+                )
+            return scan_text(text, prefix)
 
     def _scan_shard_guarded(self, job: _ShardJob) -> PartialSynopsis:
         try:
@@ -401,6 +434,7 @@ class SynopsisBuilder:
 
 def build_synopsis(
     source: SourceType,
+    *args,
     p_variance: float = 0.0,
     o_variance: float = 0.0,
     use_histograms: bool = True,
@@ -411,6 +445,7 @@ def build_synopsis(
     worker_retries: int = DEFAULT_WORKER_RETRIES,
     lenient: bool = False,
     name: str = "",
+    tracer=NULL_TRACER,
 ) -> "EstimationSystem":
     """Build an :class:`EstimationSystem` from any source in one call.
 
@@ -428,6 +463,19 @@ def build_synopsis(
         system = repro.build_synopsis("catalog.xml", workers=4)
         system.estimate("//item/$name")
     """
+    if args:
+        (p_variance, o_variance, use_histograms, build_binary_tree,
+         workers, shard_bytes, shard_timeout_s, worker_retries,
+         lenient, name) = positional_shim(
+            "build_synopsis",
+            args,
+            ("p_variance", "o_variance", "use_histograms",
+             "build_binary_tree", "workers", "shard_bytes",
+             "shard_timeout_s", "worker_retries", "lenient", "name"),
+            (p_variance, o_variance, use_histograms, build_binary_tree,
+             workers, shard_bytes, shard_timeout_s, worker_retries,
+             lenient, name),
+        )
     builder = SynopsisBuilder(
         p_variance=p_variance,
         o_variance=o_variance,
@@ -438,5 +486,6 @@ def build_synopsis(
         shard_timeout_s=shard_timeout_s,
         worker_retries=worker_retries,
         lenient=lenient,
+        tracer=tracer,
     )
     return builder.build(source, name=name)

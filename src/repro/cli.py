@@ -204,11 +204,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     from repro.reliability import AdmissionGate
 
+    from repro.obs.slowlog import SlowQueryLog
+
     service = EstimationService(
         registry,
         plan_cache=PlanCache(args.plan_cache),
         gate=AdmissionGate(max_inflight=args.max_inflight),
         request_deadline_s=args.deadline or None,
+        slow_log=SlowQueryLog(
+            capacity=args.slowlog_capacity,
+            threshold_ms=args.slowlog_threshold_ms,
+            top_k=args.slowlog_top_k,
+        ),
+        trace_sample_rate=args.trace_sample_rate,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
     print(
@@ -225,6 +233,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.gate.close()
         service.gate.drain(args.drain_timeout)
         server.httpd.server_close()
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        try:
+            document = client.slowlog(limit=args.limit)
+        except ServiceError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+    section = {
+        "recent": "recent",
+        "latency": "top_latency",
+        "error": "top_error",
+    }[args.by]
+    records = document.get(section, [])
+    print(
+        "slowlog @ %s:%d — %d observed, threshold %.3gms, showing %s"
+        % (
+            args.host,
+            args.port,
+            document.get("observed", 0),
+            document.get("threshold_ms", 0.0),
+            section,
+        )
+    )
+    if not records:
+        print("(empty)")
+        return 0
+    headers = ["seq", "ms", "synopsis", "route", "estimate", "rel_err", "query"]
+    rows = []
+    for record in records:
+        rel = record.get("rel_error")
+        rows.append(
+            [
+                str(record.get("seq", "")),
+                "%.3f" % record.get("elapsed_ms", 0.0),
+                record.get("synopsis", ""),
+                record.get("route", ""),
+                "%.3f" % record.get("estimate", 0.0)
+                if record.get("estimate") is not None
+                else "-",
+                "%.3f" % rel if rel is not None else "-",
+                record.get("query", ""),
+            ]
+        )
+    print(format_table(headers, rows))
     return 0
 
 
@@ -336,7 +393,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=5.0,
         help="seconds to wait for in-flight requests on shutdown",
     )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=0.0,
+        help="fraction of requests traced server-side (0 = only "
+        "requests that ask with \"trace\": true; 1 = every request)",
+    )
+    serve.add_argument(
+        "--slowlog-capacity", type=int, default=256,
+        help="slow-query ring size (entries over --slowlog-threshold-ms)",
+    )
+    serve.add_argument(
+        "--slowlog-threshold-ms", type=float, default=0.0,
+        help="latency floor for the slow-query ring (top-K boards see "
+        "every query regardless)",
+    )
+    serve.add_argument(
+        "--slowlog-top-k", type=int, default=32,
+        help="size of the top-by-latency / top-by-error boards",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    slowlog = commands.add_parser(
+        "slowlog", help="show a running server's slow-query log"
+    )
+    slowlog.add_argument("--host", default="127.0.0.1")
+    slowlog.add_argument("--port", type=int, default=8750)
+    slowlog.add_argument(
+        "--limit", type=int, default=10, help="entries to show per section"
+    )
+    slowlog.add_argument(
+        "--by", choices=("recent", "latency", "error"), default="latency",
+        help="which board to print",
+    )
+    slowlog.set_defaults(handler=_cmd_slowlog)
 
     report = commands.add_parser(
         "report", help="stitch bench_results/ into one reproduction report"

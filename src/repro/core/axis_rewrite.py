@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.pathjoin import path_join
 from repro.core.providers import PathStatsProvider
 from repro.core.transform import UnsupportedQueryError, clone_query
+from repro.obs.trace import NULL_TRACER
 from repro.pathenc.encoding import EncodingTable
 from repro.pathenc.pathid import encodings_of
 from repro.xpath.ast import Edge, Query, QueryAxis, QueryNode
@@ -40,6 +41,7 @@ def rewrite_scoped_order_query(
     table: EncodingTable,
     fixpoint: bool = True,
     depth_consistent: bool = True,
+    tracer=NULL_TRACER,
 ) -> List[Query]:
     """Convert one ``foll``/``pre`` edge into a set of sibling-axis queries.
 
@@ -63,6 +65,7 @@ def rewrite_scoped_order_query(
     join = path_join(
         counterpart, provider, table,
         fixpoint=fixpoint, depth_consistent=depth_consistent,
+        tracer=tracer,
     )
     if join.empty:
         return []

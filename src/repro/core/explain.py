@@ -44,7 +44,16 @@ class EstimateReport:
 
 
 def explain(system: EstimationSystem, query: Union[str, Query]) -> EstimateReport:
-    """Explain how ``system`` estimates ``query``'s target selectivity."""
+    """Explain how ``system`` estimates ``query``'s target selectivity.
+
+    .. deprecated-path:: ``explain`` re-runs the estimator to reconstruct
+       the decision; for the quantities the system *actually* computed —
+       per-span timings, bucket/cell counters, the route taken — prefer
+       ``system.query(text, trace=True)``, which returns an
+       :class:`~repro.core.result.EstimateResult` whose ``.trace`` holds
+       the span tree of the real execution.  ``explain`` stays for the
+       formula-level narrative (which paper rule fired, with its inputs).
+    """
     parsed = _coerce_query(query)
     if scoped_order_edges(parsed):
         variants = rewrite_scoped_order_query(

@@ -26,6 +26,7 @@ from typing import Optional, Set
 
 from repro.core.pathjoin import JoinResult, path_join
 from repro.core.providers import PathStatsProvider
+from repro.obs.trace import NULL_TRACER
 from repro.pathenc.encoding import EncodingTable
 from repro.xpath.ast import Query, QueryNode
 
@@ -82,11 +83,19 @@ def estimate_no_order(
     target: Optional[QueryNode] = None,
     fixpoint: bool = True,
     depth_consistent: bool = True,
+    tracer=NULL_TRACER,
 ) -> float:
     """Estimate ``S_Q(target)`` for a query without order axes."""
     node = target if target is not None else query.target
-    join = path_join(query, provider, table, fixpoint=fixpoint, depth_consistent=depth_consistent)
-    return _estimate(query, node, join, provider, table, fixpoint, depth_consistent)
+    join = path_join(
+        query,
+        provider,
+        table,
+        fixpoint=fixpoint,
+        depth_consistent=depth_consistent,
+        tracer=tracer,
+    )
+    return _estimate(query, node, join, provider, table, fixpoint, depth_consistent, tracer)
 
 
 def _estimate(
@@ -97,6 +106,7 @@ def _estimate(
     table: EncodingTable,
     fixpoint: bool,
     depth_consistent: bool,
+    tracer=NULL_TRACER,
 ) -> float:
     if join.empty:
         return 0.0
@@ -104,7 +114,14 @@ def _estimate(
     if branching is None:
         return join.frequency(node)  # Theorem 4.1
     pruned = prune_to_spine(query, node)
-    pruned_join = path_join(pruned, provider, table, fixpoint=fixpoint, depth_consistent=depth_consistent)
+    pruned_join = path_join(
+        pruned,
+        provider,
+        table,
+        fixpoint=fixpoint,
+        depth_consistent=depth_consistent,
+        tracer=tracer,
+    )
     if pruned_join.empty:
         return 0.0
     f_prime_n = pruned_join.frequency(pruned.target)
@@ -114,7 +131,9 @@ def _estimate(
     if f_prime_ni <= 0.0:
         return 0.0
     # S_Q(ni), recursively (equals f_Q(ni) when ni is trunk).
-    s_ni = _estimate(query, branching, join, provider, table, fixpoint, depth_consistent)
+    s_ni = _estimate(
+        query, branching, join, provider, table, fixpoint, depth_consistent, tracer
+    )
     return f_prime_n * s_ni / f_prime_ni
 
 

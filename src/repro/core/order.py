@@ -30,6 +30,7 @@ from repro.core.noorder import estimate_no_order
 from repro.core.pathjoin import path_join
 from repro.core.providers import OrderStatsProvider, PathStatsProvider
 from repro.core.transform import UnsupportedQueryError, clone_query, pattern_subtree_ids
+from repro.obs.trace import NULL_TRACER
 from repro.pathenc.encoding import EncodingTable
 from repro.xpath.ast import Query, QueryAxis, QueryNode
 
@@ -51,6 +52,7 @@ def estimate_with_order(
     target: Optional[QueryNode] = None,
     fixpoint: bool = True,
     depth_consistent: bool = True,
+    tracer=NULL_TRACER,
 ) -> float:
     """Estimate ``S_Q⃗(target)`` for a query with one sibling-order edge."""
     node = target if target is not None else query.target
@@ -64,17 +66,18 @@ def estimate_with_order(
         return estimate_no_order(
             query, path_provider, table, target=node,
             fixpoint=fixpoint, depth_consistent=depth_consistent,
+            tracer=tracer,
         )
     if len(edges) > 1:
         return _estimate_multi_edge(
             query, edges, path_provider, order_provider, table, node,
-            fixpoint, depth_consistent,
+            fixpoint, depth_consistent, tracer,
         )
     axis, source, dest = edges[0]
     earlier, later = (source, dest) if axis is QueryAxis.FOLLS else (dest, source)
     estimator = _OrderEstimator(
         query, earlier, later, path_provider, order_provider, table,
-        fixpoint, depth_consistent,
+        fixpoint, depth_consistent, tracer,
     )
     return estimator.estimate(node)
 
@@ -88,6 +91,7 @@ def _estimate_multi_edge(
     node: QueryNode,
     fixpoint: bool,
     depth_consistent: bool,
+    tracer=NULL_TRACER,
 ) -> float:
     """Generalized Equation 5 for multiple sibling-order axes.
 
@@ -116,6 +120,7 @@ def _estimate_multi_edge(
                 target=mapping[node.node_id],
                 fixpoint=fixpoint,
                 depth_consistent=depth_consistent,
+                tracer=tracer,
             )
         )
     return min(estimates)
@@ -142,6 +147,7 @@ class _OrderEstimator:
         table: EncodingTable,
         fixpoint: bool,
         depth_consistent: bool = True,
+        tracer=NULL_TRACER,
     ):
         self.query = query
         self.earlier = earlier
@@ -151,6 +157,7 @@ class _OrderEstimator:
         self.table = table
         self.fixpoint = fixpoint
         self.depth_consistent = depth_consistent
+        self.tracer = tracer
         # The order-free counterpart Q of the full query.
         self.counterpart, self.counterpart_map = clone_query(
             query, order_to_structural=True
@@ -223,6 +230,7 @@ class _OrderEstimator:
             target=mapped,
             fixpoint=self.fixpoint,
             depth_consistent=self.depth_consistent,
+            tracer=self.tracer,
         )
 
     def _order_ratio_parts(
@@ -242,6 +250,7 @@ class _OrderEstimator:
         join = path_join(
             simplified, self.paths, self.table,
             fixpoint=self.fixpoint, depth_consistent=self.depth_consistent,
+            tracer=self.tracer,
         )
         if join.empty:
             return 0.0, 0.0
@@ -255,5 +264,6 @@ class _OrderEstimator:
         s_prime = estimate_no_order(
             simplified, self.paths, self.table, target=sibling_clone,
             fixpoint=self.fixpoint, depth_consistent=self.depth_consistent,
+            tracer=self.tracer,
         )
         return s_order_prime, s_prime

@@ -37,6 +37,7 @@ import weakref
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.providers import PathStatsProvider
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
 from repro.pathenc.encoding import EncodingTable
 from repro.pathenc.relationship import Axis, pids_compatible
 from repro.xpath.ast import Query, QueryAxis, QueryNode
@@ -224,11 +225,26 @@ def path_join(
     fixpoint: bool = True,
     depth_consistent: bool = True,
     max_rounds: int = 64,
+    tracer=NULL_TRACER,
 ) -> JoinResult:
-    """Run the path join and return the surviving id sets."""
-    if depth_consistent:
-        return _depth_join(query, provider, table, fixpoint, max_rounds)
-    return _pairwise_join(query, provider, table, fixpoint, max_rounds)
+    """Run the path join and return the surviving id sets.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer` or the default no-op
+    :data:`~repro.obs.trace.NULL_TRACER`) accrues a ``join`` aggregate
+    span with ``pathid-match`` nested under it; repeated joins inside
+    one estimate merge into one span each.
+    """
+    with tracer.aggregate("join") as span:
+        if depth_consistent:
+            result = _depth_join(
+                query, provider, table, fixpoint, max_rounds, tracer, span
+            )
+        else:
+            result = _pairwise_join(
+                query, provider, table, fixpoint, max_rounds, tracer, span
+            )
+        span.incr("surviving_pids", sum(len(pids) for pids in result._surviving))
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -285,19 +301,25 @@ def _depth_join(
     table: EncodingTable,
     fixpoint: bool,
     max_rounds: int,
+    tracer=NULL_TRACER,
+    join_span=NULL_SPAN,
 ) -> JoinResult:
     nodes = query.nodes()
     freqs: List[Dict[int, float]] = []
     depths: List[Dict[int, Set[int]]] = []
     dfreqs: List[Optional[Dict[int, Dict[int, float]]]] = []
-    for node in nodes:
-        node_freqs, node_depths, node_dfreqs = _initial_state(provider, table, node.tag)
-        # Shared references: the constraint loop replaces (never mutates)
-        # these dicts and the per-placement sets, so no defensive copy is
-        # needed.
-        freqs.append(node_freqs)
-        depths.append(node_depths)
-        dfreqs.append(node_dfreqs)
+    with tracer.aggregate("pathid-match") as match_span:
+        for node in nodes:
+            node_freqs, node_depths, node_dfreqs = _initial_state(
+                provider, table, node.tag
+            )
+            # Shared references: the constraint loop replaces (never
+            # mutates) these dicts and the per-placement sets, so no
+            # defensive copy is needed.
+            freqs.append(node_freqs)
+            depths.append(node_depths)
+            dfreqs.append(node_dfreqs)
+            match_span.incr("pids_matched", len(node_freqs))
 
     if query.root_axis is QueryAxis.CHILD:
         root_id = query.root.node_id
@@ -335,6 +357,7 @@ def _depth_join(
     last_seen: List[Tuple[int, int]] = [(-1, -1)] * len(schedule)
     rounds = max_rounds if fixpoint else 1
     for _ in range(rounds):
+        join_span.incr("rounds")
         changed = False
         for index, ((upper, axis, lower), support) in enumerate(schedule):
             uid, lid = upper.node_id, lower.node_id
@@ -500,11 +523,15 @@ def _pairwise_join(
     table: EncodingTable,
     fixpoint: bool,
     max_rounds: int,
+    tracer=NULL_TRACER,
+    join_span=NULL_SPAN,
 ) -> JoinResult:
     nodes = query.nodes()
-    surviving: List[Dict[int, float]] = [
-        dict(provider.frequency_pairs(node.tag)) for node in nodes
-    ]
+    with tracer.aggregate("pathid-match") as match_span:
+        surviving: List[Dict[int, float]] = [
+            dict(provider.frequency_pairs(node.tag)) for node in nodes
+        ]
+        match_span.incr("pids_matched", sum(len(pids) for pids in surviving))
     if query.root_axis is QueryAxis.CHILD:
         root = query.root
         surviving[root.node_id] = {
@@ -515,6 +542,7 @@ def _pairwise_join(
     constraints = derive_constraints(query)
     rounds = max_rounds if fixpoint else 1
     for _ in range(rounds):
+        join_span.incr("rounds")
         changed = False
         for upper, axis, lower in constraints:
             upper_pids = surviving[upper.node_id]

@@ -24,8 +24,10 @@ and produce bit-identical synopses.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Union
 
+from repro._compat import positional_shim
 from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edges
 from repro.core.noorder import estimate_no_order
 from repro.core.order import estimate_with_order, sibling_order_edges
@@ -36,6 +38,9 @@ from repro.core.providers import (
     OrderStatsProvider,
     PathStatsProvider,
 )
+from repro.core.result import EstimateResult
+from repro.obs.providers import TracingOrderStats, TracingPathStats
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.histograms.ohistogram import OHistogramSet
 from repro.histograms.phistogram import PHistogramSet
 from repro.pathenc.bintree import PathIdBinaryTree
@@ -105,6 +110,7 @@ class EstimationSystem:
     def build(
         cls,
         document: Union[XmlDocument, str, "os.PathLike[str]"],
+        *args,
         p_variance: float = 0.0,
         o_variance: float = 0.0,
         use_histograms: bool = True,
@@ -113,6 +119,9 @@ class EstimationSystem:
         workers: int = 1,
     ) -> "EstimationSystem":
         """Run the full summary-construction pipeline on ``document``.
+
+        All tuning parameters are keyword-only; passing them positionally
+        still works but is deprecated and will be removed.
 
         ``document`` may also be XML text or a filesystem path; those
         sources stream through :class:`repro.build.SynopsisBuilder`
@@ -126,6 +135,16 @@ class EstimationSystem:
         (pid, depth), removing the recursion ambiguity entirely — the
         Ablation D extension of DESIGN.md §5.
         """
+        if args:
+            (p_variance, o_variance, use_histograms, build_binary_tree,
+             depth_refined, workers) = positional_shim(
+                "EstimationSystem.build",
+                args,
+                ("p_variance", "o_variance", "use_histograms",
+                 "build_binary_tree", "depth_refined", "workers"),
+                (p_variance, o_variance, use_histograms, build_binary_tree,
+                 depth_refined, workers),
+            )
         if depth_refined and use_histograms:
             raise ValueError(
                 "depth_refined statistics are exact-mode only "
@@ -268,6 +287,11 @@ class EstimationSystem:
     ) -> float:
         """Estimate the selectivity of the query's target node.
 
+        Returns the bare estimate; :meth:`query` returns the same value
+        wrapped in a structured :class:`~repro.core.result.EstimateResult`
+        (route, timing, optional trace) and is the preferred entry point
+        for new code.
+
         ``fixpoint=False`` runs a single path-join pruning pass;
         ``depth_consistent=False`` uses the literal pairwise containment
         test (both are ablation switches, see DESIGN.md §5).
@@ -280,41 +304,119 @@ class EstimationSystem:
             depth_consistent=depth_consistent,
         )
 
+    def query(
+        self,
+        query: Union[str, Query],
+        *,
+        trace: bool = False,
+        fixpoint: bool = True,
+        depth_consistent: bool = True,
+    ) -> EstimateResult:
+        """Estimate with structured context: the redesigned entry point.
+
+        Returns an :class:`~repro.core.result.EstimateResult` carrying the
+        estimate (``.value``), the query text, the route taken, the wall
+        time, and — when ``trace=True`` — the full span tree (``parse``,
+        ``plan``, then per-route ``pathid-match``/``p-hist lookup``/
+        ``o-hist lookup``/``join`` spans with bucket/cell counters).
+
+        ``float(result)`` equals ``result.value``, so the structured form
+        drops into float arithmetic unchanged.
+        """
+        text = query if isinstance(query, str) else getattr(query, "text", "")
+        tracer = Tracer("estimate", seed=(str(text),)) if trace else NULL_TRACER
+        start = time.perf_counter()
+        with tracer.span("parse"):
+            parsed = _coerce_query(query)
+        with tracer.span("plan") as plan_span:
+            route = self.select_route(parsed)
+            plan_span.incr("route_" + route)
+        value = self.estimate_routed(
+            parsed,
+            route,
+            fixpoint=fixpoint,
+            depth_consistent=depth_consistent,
+            tracer=tracer,
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return EstimateResult(
+            value=value,
+            query=str(text),
+            route=route,
+            elapsed_ms=elapsed_ms,
+            trace=tracer.finish() if trace else None,
+        )
+
     def estimate_routed(
         self,
         parsed: Query,
         route: str,
         fixpoint: bool = True,
         depth_consistent: bool = True,
+        tracer=NULL_TRACER,
     ) -> float:
         """Estimate along a precomputed route, skipping edge re-scans.
 
         ``route`` must be ``select_route(parsed)``; the service's compiled
-        plans call this directly with the cached (AST, route) pair.
+        plans call this directly with the cached (AST, route) pair.  When a
+        live ``tracer`` is passed, the statistics providers are wrapped so
+        histogram lookups appear as spans with bucket/cell counters.
         """
+        path_provider = self.path_provider
+        order_provider = self.order_provider
+        if tracer.enabled:
+            path_provider = TracingPathStats(path_provider, tracer)
+            order_provider = TracingOrderStats(order_provider, tracer)
+        return self._estimate_routed_with(
+            parsed, route, path_provider, order_provider,
+            fixpoint, depth_consistent, tracer,
+        )
+
+    def _estimate_routed_with(
+        self,
+        parsed: Query,
+        route: str,
+        path_provider: PathStatsProvider,
+        order_provider: OrderStatsProvider,
+        fixpoint: bool,
+        depth_consistent: bool,
+        tracer,
+    ) -> float:
+        """Route dispatch over explicit (possibly tracing) providers."""
         if route == ROUTE_SCOPED:
             variants = rewrite_scoped_order_query(
-                parsed, self.path_provider, self.encoding_table,
+                parsed, path_provider, self.encoding_table,
                 fixpoint=fixpoint, depth_consistent=depth_consistent,
+                tracer=tracer,
             )
             return sum(
-                self.estimate(variant, fixpoint=fixpoint, depth_consistent=depth_consistent)
+                self._estimate_routed_with(
+                    variant,
+                    self.select_route(variant),
+                    path_provider,
+                    order_provider,
+                    fixpoint,
+                    depth_consistent,
+                    tracer,
+                )
                 for variant in variants
             )
         if route == ROUTE_ORDER:
             return estimate_with_order(
                 parsed,
-                self.path_provider,
-                self.order_provider,
+                path_provider,
+                order_provider,
                 self.encoding_table,
                 fixpoint=fixpoint,
                 depth_consistent=depth_consistent,
+                tracer=tracer,
             )
         if route != ROUTE_NO_ORDER:
             raise ValueError("unknown estimation route %r" % route)
         return estimate_no_order(
-            parsed, self.path_provider, self.encoding_table,
+            parsed, path_provider, self.encoding_table,
             fixpoint=fixpoint, depth_consistent=depth_consistent,
+            tracer=tracer,
         )
 
     def join(

@@ -10,11 +10,19 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
+from repro.errors import ReproError
 from repro.xpath.ast import Edge, Query, QueryAxis, QueryNode
 
 
-class UnsupportedQueryError(ValueError):
-    """Raised when a query shape falls outside the estimator's scope."""
+class UnsupportedQueryError(ReproError, ValueError):
+    """Raised when a query shape falls outside the estimator's scope.
+
+    Unlike :class:`~repro.errors.QuerySyntaxError` the text *parses*;
+    the estimator just has no rule for the shape.  Carries the stable
+    wire kind ``"unsupported_query"`` (see ``repro.errors.WIRE_KINDS``).
+    """
+
+    kind = "unsupported_query"
 
 
 def clone_query(

@@ -23,7 +23,15 @@ boundary and the HTTP service can map any failure to a stable
   :class:`repro.reliability.breaker.CircuitOpenError`
   (``"circuit_open"``) and
   :class:`repro.reliability.shedding.OverloadedError`
-  (``"overloaded"``).
+  (``"overloaded"``);
+* :class:`ObservabilityError` (``"obs"``) — misconfigured tracing,
+  metrics or slow-query logging (:mod:`repro.obs`).
+
+The full slug → canonical-class mapping is exported as
+:data:`WIRE_KINDS` (built lazily to avoid import cycles); the handful of
+transport-only slugs that have no exception class behind them (HTTP
+request validation, client socket failures) are listed in
+:data:`TRANSPORT_WIRE_KINDS`.
 
 All of them except :class:`ReliabilityError` also subclass
 :class:`ValueError`: the concrete classes predate the hierarchy and were
@@ -79,6 +87,63 @@ class ReliabilityError(ReproError, RuntimeError):
     kind = "reliability"
 
 
+class ObservabilityError(ReproError, ValueError):
+    """Misuse of the observability subsystem (:mod:`repro.obs`).
+
+    Bad metric/label names, re-registering a metric under a different
+    type, invalid histogram bounds or sample rates.  Observability code
+    fails loudly at registration/configuration time so it can never fail
+    midway through a traced request.
+    """
+
+    kind = "obs"
+
+
 def error_kind(error: BaseException) -> str:
     """The stable ``error.kind`` slug for any exception."""
     return getattr(error, "kind", "internal") if isinstance(error, ReproError) else "internal"
+
+
+#: Wire kinds that exist only at the transport layer: HTTP request
+#: validation on the server, socket failures on the client.  They have
+#: no :class:`ReproError` class behind them but are equally stable.
+TRANSPORT_WIRE_KINDS = frozenset(
+    {"bad_request", "not_found", "internal", "connection", "timeout", "bad_response"}
+)
+
+
+def _build_wire_kinds():
+    """kind slug -> canonical exception class, one entry per slug.
+
+    Local imports keep :mod:`repro.errors` import-cycle-free (everything
+    imports it; it imports nothing from the package at module scope).
+    """
+    from repro.core.transform import UnsupportedQueryError
+    from repro.reliability.breaker import CircuitOpenError
+    from repro.reliability.policy import DeadlineExceededError
+    from repro.reliability.shedding import OverloadedError
+    from repro.service.registry import UnknownSynopsisError
+
+    return {
+        ReproError.kind: ReproError,
+        ParseError.kind: ParseError,
+        QuerySyntaxError.kind: QuerySyntaxError,
+        PersistError.kind: PersistError,
+        BuildError.kind: BuildError,
+        ReliabilityError.kind: ReliabilityError,
+        ObservabilityError.kind: ObservabilityError,
+        UnsupportedQueryError.kind: UnsupportedQueryError,
+        DeadlineExceededError.kind: DeadlineExceededError,
+        CircuitOpenError.kind: CircuitOpenError,
+        OverloadedError.kind: OverloadedError,
+        UnknownSynopsisError.kind: UnknownSynopsisError,
+    }
+
+
+def __getattr__(name):
+    """PEP 562: materialize ``WIRE_KINDS`` lazily (avoids import cycles)."""
+    if name == "WIRE_KINDS":
+        mapping = _build_wire_kinds()
+        globals()[name] = mapping
+        return mapping
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

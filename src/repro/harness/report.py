@@ -31,6 +31,7 @@ PREFERRED_ORDER = [
     "throughput",
     "build_throughput",
     "service_throughput",
+    "obs_overhead",
     "structural_join_pruning",
     "scoped_axes",
     "planner",

@@ -1,0 +1,50 @@
+"""Observability: request tracing, typed metrics, slow-query log.
+
+Dependency-free (stdlib only) and import-cycle-free: nothing in this
+package imports from :mod:`repro.core`, :mod:`repro.build` or
+:mod:`repro.service` — those layers import *us* and thread the hooks
+through their hot paths.
+
+* :mod:`repro.obs.trace` — request-scoped :class:`Tracer` producing
+  nested spans with wall/CPU time and counters, plus the zero-allocation
+  :data:`NULL_TRACER` used when tracing is off;
+* :mod:`repro.obs.providers` — tracing decorators for the statistics
+  providers (p-/o-histogram lookup spans with bucket/cell counters);
+* :mod:`repro.obs.registry` — typed :class:`MetricsRegistry`
+  (counter / gauge / histogram with fixed bucket bounds) with JSON and
+  Prometheus text exposition;
+* :mod:`repro.obs.slowlog` — ring-buffer :class:`SlowQueryLog` keeping
+  the slowest (and, when truth is known, worst-estimated) queries.
+"""
+
+from repro.obs.providers import TracingOrderStats, TracingPathStats
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    make_trace_id,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "Tracer",
+    "TracingOrderStats",
+    "TracingPathStats",
+    "make_trace_id",
+]

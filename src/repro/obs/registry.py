@@ -1,0 +1,394 @@
+"""Typed metrics: counters, gauges, fixed-bound histograms, exposition.
+
+A :class:`MetricsRegistry` owns named metric *families*; a family has a
+type, a help string and a fixed label-name tuple, and holds one child
+metric per distinct label-value combination::
+
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "repro_requests_total", "Estimate requests served.", labels=("synopsis",)
+    )
+    requests.labels(synopsis="SSPlays").inc()
+    latency = registry.histogram(
+        "repro_request_latency_seconds", "Request latency.",
+        buckets=(0.001, 0.005, 0.025, 0.1, 1.0),
+    )
+    latency.observe(0.004)
+
+Families with no labels proxy ``inc``/``set``/``observe`` straight to
+their single child, so scalar metrics read naturally.
+
+Two expositions render the same registry:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-ready dict (the service's
+  legacy ``GET /metrics`` document builds on it);
+* :meth:`MetricsRegistry.render_prom` — Prometheus text format 0.0.4
+  (``GET /metrics?format=prom``): ``# HELP`` / ``# TYPE`` comments,
+  ``name{label="value"} value`` samples, and for histograms the
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+
+Misuse (bad metric or label names, re-registering a name under a
+different type or label set) raises
+:class:`repro.errors.ObservabilityError` — observability code must fail
+at registration time, never midway through a request.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_LATENCY_BUCKETS"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default request-latency bounds, in seconds (sub-ms estimates up to
+#: multi-second stalls).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError("counters only go up; got %r" % (amount,))
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def expose(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def expose(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound histogram: per-bucket counts, sum and count.
+
+    ``bounds`` are the *upper* bucket bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, bounds: Sequence[float]):
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered:
+            raise ObservabilityError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(ordered, ordered[1:])):
+            raise ObservabilityError(
+                "histogram bounds must be strictly increasing: %r" % (ordered,)
+            )
+        self.bounds = ordered
+        self._counts = [0] * (len(ordered) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def expose(self) -> Dict[str, Any]:
+        """Cumulative (le, count) pairs plus sum/count, as one snapshot."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc = self._sum
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            running += bucket_count
+            cumulative.append((bound, running))
+        cumulative.append((math.inf, total))
+        return {"buckets": cumulative, "sum": acc, "count": total}
+
+
+_FACTORIES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric family: type + help + labelled children."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        label_names: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = name
+        self.help = help_text
+        self.type = metric_type
+        self.label_names = label_names
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self) -> Any:
+        if self.type == "histogram":
+            return Histogram(self._buckets or DEFAULT_LATENCY_BUCKETS)
+        return _FACTORIES[self.type]()
+
+    def labels(self, **labels: str) -> Any:
+        """The child metric for one label-value combination."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ObservabilityError(
+                "metric %r takes labels %r, got %r"
+                % (self.name, self.label_names, tuple(sorted(labels)))
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _scalar(self) -> Any:
+        if self.label_names:
+            raise ObservabilityError(
+                "metric %r is labelled (%r); address a child via .labels()"
+                % (self.name, self.label_names)
+            )
+        return self.labels()
+
+    # Scalar conveniences: a label-free family acts like its only child.
+    def inc(self, amount: float = 1.0) -> None:
+        self._scalar().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._scalar().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._scalar().set(value)
+
+    def observe(self, value: float) -> None:
+        self._scalar().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._scalar().value
+
+    def children(self) -> List[Tuple[Dict[str, str], Any]]:
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.label_names, key)), child) for key, child in items
+        ]
+
+    def total(self) -> float:
+        """Summed value over all children (counters/gauges only)."""
+        return sum(child.value for _, child in self.children())
+
+
+class MetricsRegistry:
+    """A process-local registry of typed metric families."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+
+    def _register(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        labels: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        if not _METRIC_NAME.match(name):
+            raise ObservabilityError("invalid metric name %r" % (name,))
+        for label in labels:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ObservabilityError("invalid label name %r" % (label,))
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.type != metric_type or family.label_names != labels:
+                    raise ObservabilityError(
+                        "metric %r already registered as %s%r; cannot re-register "
+                        "as %s%r" % (name, family.type, family.label_names,
+                                     metric_type, labels)
+                    )
+                return family
+            family = _Family(name, help_text, metric_type, labels, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> _Family:
+        return self._register(name, help_text, "counter", tuple(labels))
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> _Family:
+        return self._register(name, help_text, "gauge", tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        return self._register(name, help_text, "histogram", tuple(labels), buckets)
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- exposition ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready dump: name -> {type, help, values}."""
+        document: Dict[str, Any] = {}
+        for family in self.families():
+            values = []
+            for labels, child in family.children():
+                entry: Dict[str, Any] = {"labels": labels}
+                exposed = child.expose()
+                if family.type == "histogram":
+                    entry["buckets"] = [
+                        ["+Inf" if bound == math.inf else bound, count]
+                        for bound, count in exposed["buckets"]
+                    ]
+                    entry["sum"] = exposed["sum"]
+                    entry["count"] = exposed["count"]
+                else:
+                    entry["value"] = exposed
+                values.append(entry)
+            document[family.name] = {
+                "type": family.type,
+                "help": family.help,
+                "values": values,
+            }
+        return document
+
+    def render_prom(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append("# HELP %s %s" % (family.name, family.help))
+            lines.append("# TYPE %s %s" % (family.name, family.type))
+            for labels, child in family.children():
+                if family.type == "histogram":
+                    exposed = child.expose()
+                    for bound, count in exposed["buckets"]:
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_value(bound)
+                        lines.append(
+                            "%s_bucket%s %d"
+                            % (family.name, self._label_block(bucket_labels), count)
+                        )
+                    lines.append(
+                        "%s_sum%s %s"
+                        % (family.name, self._label_block(labels),
+                           _format_value(exposed["sum"]))
+                    )
+                    lines.append(
+                        "%s_count%s %d"
+                        % (family.name, self._label_block(labels), exposed["count"])
+                    )
+                else:
+                    lines.append(
+                        "%s%s %s"
+                        % (family.name, self._label_block(labels),
+                           _format_value(child.expose()))
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _label_block(labels: Dict[str, str]) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(
+            '%s="%s"' % (name, _escape_label_value(str(labels[name])))
+            for name in sorted(labels)
+        )
+        return "{%s}" % inner

@@ -1,0 +1,208 @@
+"""Ring-buffer slow-query log with top-K retention.
+
+Three views over one ``observe`` stream:
+
+* **recent** — a bounded ring of the latest records at or above
+  ``threshold_ms`` (the operator's "what was slow just now");
+* **top by latency** — the all-time K slowest queries (min-heap, so a
+  new record only displaces a faster one);
+* **top by relative error** — the K worst-estimated queries *when truth
+  is known*: records carrying an ``actual`` value rank by
+  ``|estimate - actual| / max(actual, 1)``.
+
+Records optionally carry the trace id (and, for sampled requests, the
+whole trace document) so a slow entry links straight to its span tree.
+
+Everything is thread-safe and O(capacity + K) in memory, so a long-lived
+server can observe every request forever.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SlowQueryLog", "SlowQueryRecord"]
+
+DEFAULT_CAPACITY = 256
+DEFAULT_TOP_K = 32
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One observed query, ready for the wire."""
+
+    seq: int
+    query: str
+    elapsed_ms: float
+    synopsis: str = ""
+    route: str = ""
+    estimate: Optional[float] = None
+    actual: Optional[float] = None
+    rel_error: Optional[float] = None
+    trace_id: str = ""
+    trace: Optional[Dict[str, Any]] = field(default=None, compare=False)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "seq": self.seq,
+            "query": self.query,
+            "elapsed_ms": self.elapsed_ms,
+        }
+        if self.synopsis:
+            payload["synopsis"] = self.synopsis
+        if self.route:
+            payload["route"] = self.route
+        if self.estimate is not None:
+            payload["estimate"] = self.estimate
+        if self.actual is not None:
+            payload["actual"] = self.actual
+        if self.rel_error is not None:
+            payload["rel_error"] = self.rel_error
+        if self.trace_id:
+            payload["trace_id"] = self.trace_id
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """The harness's error metric: ``|est - act| / max(act, 1)``."""
+    return abs(estimate - actual) / max(actual, 1.0)
+
+
+class SlowQueryLog:
+    """Bounded slow-query accounting (see module docstring)."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        threshold_ms: float = 0.0,
+        top_k: int = DEFAULT_TOP_K,
+    ):
+        if capacity < 1:
+            capacity = 1
+        self.capacity = capacity
+        self.threshold_ms = max(0.0, threshold_ms)
+        self.top_k = max(1, top_k)
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._recent: "deque[SlowQueryRecord]" = deque(maxlen=capacity)
+        # Min-heaps of (key, seq, record): the root is the *least*
+        # interesting retained record and is evicted first.
+        self._top_latency: List[tuple] = []
+        self._top_error: List[tuple] = []
+        self._observed = 0
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        query: str,
+        elapsed_ms: float,
+        synopsis: str = "",
+        route: str = "",
+        estimate: Optional[float] = None,
+        actual: Optional[float] = None,
+        trace_id: str = "",
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> Optional[SlowQueryRecord]:
+        """Record one query; returns the record when it was retained.
+
+        Every observation competes for the top-K boards; only those at
+        or above ``threshold_ms`` enter the recent ring.
+        """
+        rel_error = None
+        if estimate is not None and actual is not None:
+            rel_error = relative_error(float(estimate), float(actual))
+        record = SlowQueryRecord(
+            seq=next(self._seq),
+            query=query,
+            elapsed_ms=float(elapsed_ms),
+            synopsis=synopsis,
+            route=route,
+            estimate=estimate,
+            actual=actual,
+            rel_error=rel_error,
+            trace_id=trace_id,
+            trace=trace,
+        )
+        retained = False
+        with self._lock:
+            self._observed += 1
+            if record.elapsed_ms >= self.threshold_ms:
+                self._recent.append(record)
+                retained = True
+            retained |= self._push_top(
+                self._top_latency, record.elapsed_ms, record
+            )
+            if rel_error is not None:
+                retained |= self._push_top(self._top_error, rel_error, record)
+        return record if retained else None
+
+    def _push_top(self, heap: List[tuple], key: float, record: SlowQueryRecord) -> bool:
+        entry = (key, record.seq, record)
+        if len(heap) < self.top_k:
+            heapq.heappush(heap, entry)
+            return True
+        if key > heap[0][0]:
+            heapq.heapreplace(heap, entry)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def recent(self, limit: Optional[int] = None) -> List[SlowQueryRecord]:
+        """Newest retained records first."""
+        with self._lock:
+            records = list(self._recent)
+        records.reverse()
+        return records[:limit] if limit is not None else records
+
+    def top_by_latency(self, limit: Optional[int] = None) -> List[SlowQueryRecord]:
+        """All-time slowest queries, slowest first."""
+        with self._lock:
+            ordered = sorted(self._top_latency, reverse=True)
+        records = [record for _, _, record in ordered]
+        return records[:limit] if limit is not None else records
+
+    def top_by_error(self, limit: Optional[int] = None) -> List[SlowQueryRecord]:
+        """Worst relative error among truth-carrying queries, worst first."""
+        with self._lock:
+            ordered = sorted(self._top_error, reverse=True)
+        records = [record for _, _, record in ordered]
+        return records[:limit] if limit is not None else records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._recent)
+
+    @property
+    def observed(self) -> int:
+        """Total observations (retained or not)."""
+        with self._lock:
+            return self._observed
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._top_latency.clear()
+            self._top_error.clear()
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The ``/debug/slowlog`` document."""
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "top_k": self.top_k,
+            "observed": self.observed,
+            "recent": [r.as_dict() for r in self.recent(limit)],
+            "top_latency": [r.as_dict() for r in self.top_by_latency(limit)],
+            "top_error": [r.as_dict() for r in self.top_by_error(limit)],
+        }

@@ -1,0 +1,335 @@
+"""Request-scoped tracing: nested spans, counters, deterministic ids.
+
+One :class:`Tracer` lives for one request (or one build).  Code under
+trace opens spans::
+
+    tracer = Tracer("estimate", seed=("SSPlays", "//A/$B"))
+    with tracer.span("parse"):
+        ...
+    with tracer.aggregate("p-hist lookup") as span:
+        span.incr("cells_read", len(pairs))
+    trace = tracer.finish()          # JSON-ready dict
+
+``span`` creates a fresh child of the current span every time;
+``aggregate`` merges repeated sections of the same name under the same
+parent into *one* span with a ``count`` (the right shape for per-lookup
+instrumentation, where a single estimate may read hundreds of histogram
+cells).  Every span records wall time (``perf_counter``) and per-thread
+CPU time (``thread_time``), plus arbitrary integer counters.
+
+Thread-safety: the active-span stack is thread-local, so worker threads
+can open spans concurrently without corrupting each other's nesting; a
+thread with no open span attaches its spans under the tracer's root.
+Child lists and aggregates are guarded by one tracer lock.
+
+Trace-off fast path
+-------------------
+
+:data:`NULL_TRACER` is the tracer every hot path holds by default.  Its
+``span``/``aggregate`` return one shared, immutable :data:`NULL_SPAN`
+singleton — entering, exiting and counting on it are no-ops and **no
+object is ever allocated**, so leaving the hooks compiled into the
+estimator costs a few attribute lookups per span site (the ≤2%% overhead
+budget of the service benchmark).
+
+Trace ids are *deterministic*: a hash of the caller-supplied seed parts
+and a process-wide sequence number, so the same process serving the same
+request sequence mints the same ids (reproducible tests, stable
+slow-query-log joins).  They are not globally unique across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "make_trace_id",
+    "TRACE_FORMAT_VERSION",
+]
+
+#: Version of the serialized trace payload (``Tracer.finish()``).
+TRACE_FORMAT_VERSION = 1
+
+_trace_seq = itertools.count(1)
+
+
+def make_trace_id(*parts: Any) -> str:
+    """A 16-hex-digit deterministic trace id.
+
+    Hashes ``parts`` plus a process-wide sequence number: the n-th call
+    with the same parts yields the same id in every run.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        digest.update(str(part).encode("utf-8", "replace"))
+        digest.update(b"\x1f")
+    digest.update(str(next(_trace_seq)).encode("ascii"))
+    return digest.hexdigest()
+
+
+def _reset_trace_ids() -> None:
+    """Restart the id sequence (test isolation only)."""
+    global _trace_seq
+    _trace_seq = itertools.count(1)
+
+
+class Span:
+    """One timed section of a trace, with counters and child spans."""
+
+    __slots__ = (
+        "name",
+        "start_ms",
+        "wall_ms",
+        "cpu_ms",
+        "count",
+        "counters",
+        "children",
+        "_wall0",
+        "_cpu0",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, tracer: "Tracer"):
+        self.name = name
+        self.start_ms = 0.0
+        self.wall_ms = 0.0
+        self.cpu_ms = 0.0
+        #: How many sections were merged into this span (1 for plain
+        #: spans, >= 1 for aggregates).
+        self.count = 0
+        self.counters: Dict[str, int] = {}
+        self.children: List["Span"] = []
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+        self._tracer = tracer
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        if self.count == 0:
+            self.start_ms = (self._wall0 - self._tracer._epoch) * 1000.0
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.thread_time() - self._cpu0
+        with self._tracer._lock:
+            self.wall_ms += wall * 1000.0
+            self.cpu_ms += cpu * 1000.0
+            self.count += 1
+        self._tracer._pop(self)
+        return False
+
+    # -- counters ------------------------------------------------------
+
+    def incr(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the span counter ``name``."""
+        with self._tracer._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "start_ms": round(self.start_ms, 6),
+            "wall_ms": round(self.wall_ms, 6),
+            "cpu_ms": round(self.cpu_ms, 6),
+            "count": self.count,
+        }
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Span %s wall=%.3fms count=%d>" % (self.name, self.wall_ms, self.count)
+
+
+class Tracer:
+    """Collects one request's spans under a root span.
+
+    ``seed`` feeds the deterministic trace id; ``name`` labels the trace
+    (``"estimate"``, ``"build"``, ...).  The root span opens at
+    construction and closes at :meth:`finish`.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "trace", seed: Iterable[Any] = ()):
+        self.name = name
+        self.trace_id = make_trace_id(name, *seed)
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self._aggregates: Dict[tuple, Span] = {}
+        self.root = Span(name, self)
+        self.root._wall0 = self._epoch
+        self.root._cpu0 = time.thread_time()
+        self._local.stack = [self.root]
+        self._finished: Optional[Dict[str, Any]] = None
+
+    # -- span stack (thread-local) -------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            # A thread the tracer has never seen: its spans nest under
+            # the root.
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span:
+        """The innermost open span on the calling thread."""
+        return self._stack()[-1]
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if span.count == 0 and span not in stack[-1].children:
+            with self._lock:
+                if span not in stack[-1].children:
+                    stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    # -- public span constructors --------------------------------------
+
+    def span(self, name: str) -> Span:
+        """A fresh child span of the current span."""
+        return Span(name, self)
+
+    def aggregate(self, name: str) -> Span:
+        """The merged span ``name`` under the current span.
+
+        Repeated ``with tracer.aggregate("p-hist lookup")`` sections in
+        the same parent accumulate into one span; ``count`` records how
+        many sections merged.
+        """
+        parent = self.current()
+        key = (id(parent), name)
+        with self._lock:
+            span = self._aggregates.get(key)
+            if span is None:
+                span = Span(name, self)
+                self._aggregates[key] = span
+        return span
+
+    def incr(self, name: str, value: int = 1) -> None:
+        """Bump a counter on the current span."""
+        self.current().incr(name, value)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def finish(self) -> Dict[str, Any]:
+        """Close the root span and return the JSON-ready trace document.
+
+        Idempotent: repeated calls return the same document.
+        """
+        if self._finished is None:
+            now = time.perf_counter()
+            with self._lock:
+                self.root.wall_ms = (now - self._epoch) * 1000.0
+                self.root.cpu_ms = (time.thread_time() - self.root._cpu0) * 1000.0
+                self.root.count = 1
+            self._finished = {
+                "version": TRACE_FORMAT_VERSION,
+                "trace_id": self.trace_id,
+                "name": self.name,
+                "root": self.root.to_dict(),
+            }
+        return self._finished
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.finish()
+
+    def span_names(self) -> List[str]:
+        """Every span name in the trace, preorder (tests, debugging)."""
+        names: List[str] = []
+
+        def walk(span: Span) -> None:
+            names.append(span.name)
+            for child in span.children:
+                walk(child)
+
+        walk(self.root)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Tracer %s %s>" % (self.name, self.trace_id)
+
+
+class _NullSpan:
+    """The shared no-op span: entering, exiting and counting do nothing.
+
+    A single immutable instance backs every trace-off span site, so the
+    trace-off path allocates nothing per span.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def incr(self, name: str, value: int = 1) -> None:
+        pass
+
+    def to_dict(self) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The trace-off tracer: every method is a no-op returning singletons."""
+
+    __slots__ = ()
+
+    enabled = False
+    trace_id = ""
+    name = ""
+
+    def span(self, name: str) -> _NullSpan:
+        return NULL_SPAN
+
+    def aggregate(self, name: str) -> _NullSpan:
+        return NULL_SPAN
+
+    def incr(self, name: str, value: int = 1) -> None:
+        pass
+
+    def current(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self) -> None:
+        return None
+
+    def to_dict(self) -> None:
+        return None
+
+    def span_names(self) -> List[str]:
+        return []
+
+
+NULL_TRACER = NullTracer()

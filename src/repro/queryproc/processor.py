@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from repro.core.pathjoin import path_join
 from repro.core.providers import ExactPathStats
 from repro.core.transform import UnsupportedQueryError
+from repro.obs.trace import NULL_TRACER
 from repro.pathenc.labeler import LabeledDocument
 from repro.queryproc.intervalsidx import IntervalIndex
 from repro.queryproc.structural import (
@@ -82,21 +83,41 @@ class StructuralJoinProcessor:
     # Public API
     # ------------------------------------------------------------------
 
-    def count(self, query: Query, use_path_ids: bool = True) -> int:
-        return len(self.matching_pres(query, use_path_ids=use_path_ids))
+    def count(self, query: Query, use_path_ids: bool = True, tracer=NULL_TRACER) -> int:
+        return len(self.matching_pres(query, use_path_ids=use_path_ids, tracer=tracer))
 
-    def matching_pres(self, query: Query, use_path_ids: bool = True) -> List[int]:
-        """Exact pre-order numbers matching the query target."""
+    def matching_pres(
+        self, query: Query, use_path_ids: bool = True, tracer=NULL_TRACER
+    ) -> List[int]:
+        """Exact pre-order numbers matching the query target.
+
+        A live ``tracer`` records ``candidates`` / ``semijoin`` spans with
+        the same work counters the ``last_*`` attributes expose.
+        """
         if any(axis.is_scoped_order for axis, _, _ in query.iter_edges()):
             raise UnsupportedQueryError(
                 "rewrite scoped foll/pre axes before structural-join evaluation"
             )
-        candidates = self._initial_candidates(query, use_path_ids)
-        self.last_candidate_count = sum(len(c) for c in candidates)
+        with tracer.span("candidates") as cand_span:
+            candidates = self._initial_candidates(query, use_path_ids, tracer)
+            self.last_candidate_count = sum(len(c) for c in candidates)
+            cand_span.incr("candidates", self.last_candidate_count)
         self.last_semijoin_work = 0
         if any(not c for c in candidates):
             return []
         order = query.nodes()
+        semijoin_span = tracer.span("semijoin")
+        semijoin_span.__enter__()
+        try:
+            result = self._semijoin_phases(query, candidates, order)
+        finally:
+            semijoin_span.incr("items_swept", self.last_semijoin_work)
+            semijoin_span.__exit__(None, None, None)
+        return result
+
+    def _semijoin_phases(
+        self, query: Query, candidates: List[List[int]], order: List
+    ) -> List[int]:
         # Bottom-up: process nodes children-first.
         for node in reversed(order):
             for edge in node.edges:
@@ -145,12 +166,14 @@ class StructuralJoinProcessor:
 
     # ------------------------------------------------------------------
 
-    def _initial_candidates(self, query: Query, use_path_ids: bool) -> List[List[int]]:
+    def _initial_candidates(
+        self, query: Query, use_path_ids: bool, tracer=NULL_TRACER
+    ) -> List[List[int]]:
         candidates: List[List[int]] = []
         surviving: Optional[Dict[int, Dict[int, float]]] = None
         if use_path_ids:
             labeled, provider = self._path_state()
-            join = path_join(query, provider, labeled.encoding_table)
+            join = path_join(query, provider, labeled.encoding_table, tracer=tracer)
             if join.empty:
                 return [[] for _ in query.nodes()]
             surviving = {

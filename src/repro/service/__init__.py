@@ -11,18 +11,30 @@ query optimizers.  This package is that shipping lane, stdlib only:
 * :mod:`repro.service.plancache` — an LRU of compiled plans (parsed AST,
   chosen estimation route, scoped-axis rewrite variants, memoized
   estimate) so hot queries skip parsing and routing entirely;
-* :mod:`repro.service.metrics` — request/error counters, a latency ring
-  buffer with p50/p95/p99, per-synopsis QPS and the cache hit rate;
+* :mod:`repro.service.metrics` — registry-backed request/error counters,
+  a latency ring buffer with p50/p95/p99, per-synopsis QPS and both JSON
+  and Prometheus exposition;
+* :mod:`repro.service.config` — frozen :class:`ServerConfig` /
+  :class:`ClientConfig` dataclasses grouping the tuning knobs;
 * :mod:`repro.service.server` — a threaded JSON-over-HTTP front end
-  (``POST /estimate``, ``GET /synopses``, ``GET /healthz``,
-  ``GET /metrics``);
+  (``POST /estimate`` with per-request tracing, ``GET /synopses``,
+  ``GET /healthz``, ``GET /metrics[?format=prom]``,
+  ``GET /debug/slowlog``);
 * :mod:`repro.service.client` — a small blocking client for the above.
 
 Run one with ``python -m repro serve --snapshot-dir <dir>`` after writing
-snapshots with ``python -m repro snapshot``.
+snapshots with ``python -m repro snapshot``, or in-process::
+
+    from repro.service import ServerConfig, serve
+    server = serve(snapshot_dir, config=ServerConfig(port=0))
 """
 
+from typing import Optional
+
+from repro.obs.slowlog import SlowQueryLog
+from repro.reliability.shedding import AdmissionGate
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import DEFAULT_PORT, ClientConfig, ServerConfig
 from repro.service.metrics import LatencySummary, ServiceMetrics
 from repro.service.plancache import CompiledPlan, PlanCache, compile_plan
 from repro.service.registry import (
@@ -33,18 +45,56 @@ from repro.service.registry import (
 )
 from repro.service.server import EstimationService, ServiceServer
 
+
+def serve(
+    snapshot_dir: str,
+    *,
+    config: Optional[ServerConfig] = None,
+    registry: Optional[SynopsisRegistry] = None,
+) -> ServiceServer:
+    """Assemble a fully wired, **not yet started** service server.
+
+    One :class:`ServerConfig` drives registry, plan cache, admission
+    gate, slow-query log and trace sampling; call ``.start()`` (tests)
+    or ``.serve_forever()`` (daemons) on the returned server.
+    """
+    cfg = config if config is not None else ServerConfig()
+    if registry is None:
+        registry = SynopsisRegistry(
+            snapshot_dir, check_interval=cfg.reload_interval_s
+        )
+    service = EstimationService(
+        registry,
+        plan_cache=PlanCache(cfg.plan_cache_capacity),
+        gate=AdmissionGate(max_inflight=cfg.max_inflight),
+        request_deadline_s=cfg.request_deadline_s,
+        slow_log=SlowQueryLog(
+            capacity=cfg.slowlog_capacity,
+            threshold_ms=cfg.slowlog_threshold_ms,
+            top_k=cfg.slowlog_top_k,
+        ),
+        trace_sample_rate=cfg.trace_sample_rate,
+    )
+    return ServiceServer(service, host=cfg.host, port=cfg.port)
+
+
 __all__ = [
+    "ClientConfig",
     "CompiledPlan",
+    "DEFAULT_PORT",
     "EstimationService",
     "LatencySummary",
     "LiveSynopsis",
     "PlanCache",
+    "ServerConfig",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
+    "SlowQueryLog",
     "SynopsisEntry",
     "SynopsisRegistry",
     "UnknownSynopsisError",
     "compile_plan",
+    "serve",
 ]

@@ -42,9 +42,11 @@ import socket
 import time
 from typing import Any, Dict, List, Optional
 
+from repro._compat import positional_shim
+from repro.core.result import EstimateResult
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.policy import Deadline, RetryPolicy
-from repro.service.server import DEFAULT_PORT
+from repro.service.config import DEFAULT_PORT, ClientConfig
 
 #: Statuses worth retrying: the server (or an intermediary) said "not
 #: right now", not "never".
@@ -89,21 +91,38 @@ class ServiceClient:
 
     def __init__(
         self,
-        host: str = "127.0.0.1",
-        port: int = DEFAULT_PORT,
-        timeout: float = 30.0,
-        keep_alive: bool = True,
+        host: Optional[str] = None,
+        *args,
+        port: Optional[int] = None,
+        timeout: Optional[float] = None,
+        keep_alive: Optional[bool] = None,
         retry: Optional[RetryPolicy] = None,
         retry_budget_s: Optional[float] = None,
         breaker: Optional[CircuitBreaker] = None,
         sleep=time.sleep,
+        config: Optional[ClientConfig] = None,
     ):
-        self.host = host
-        self.port = port
-        self.timeout = timeout
-        self.keep_alive = keep_alive
+        if args:
+            # Pre-redesign positional call sites (host, port, timeout, ...).
+            port, timeout, keep_alive, retry, retry_budget_s, breaker, sleep = (
+                positional_shim(
+                    "ServiceClient",
+                    args,
+                    ("port", "timeout", "keep_alive", "retry",
+                     "retry_budget_s", "breaker", "sleep"),
+                    (port, timeout, keep_alive, retry,
+                     retry_budget_s, breaker, sleep),
+                )
+            )
+        base = config if config is not None else ClientConfig()
+        self.host = host if host is not None else base.host
+        self.port = port if port is not None else base.port
+        self.timeout = timeout if timeout is not None else base.timeout
+        self.keep_alive = keep_alive if keep_alive is not None else base.keep_alive
         self.retry = retry
-        self.retry_budget_s = retry_budget_s
+        self.retry_budget_s = (
+            retry_budget_s if retry_budget_s is not None else base.retry_budget_s
+        )
         self.breaker = breaker
         self._sleep = sleep
         self._connection: Optional[http.client.HTTPConnection] = None
@@ -254,14 +273,38 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/metrics")
 
-    def estimate_detail(self, synopsis: str, query: str) -> Dict[str, Any]:
-        """The full single-estimate reply (estimate, route, cached, ...)."""
-        return self._request(
-            "POST", "/estimate", {"synopsis": synopsis, "query": query}
-        )
+    def slowlog(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        path = "/debug/slowlog"
+        if limit is not None:
+            path += "?limit=%d" % limit
+        return self._request("GET", path)
+
+    def estimate_detail(
+        self,
+        synopsis: str,
+        query: str,
+        trace: bool = False,
+        actual: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The full single-estimate reply (estimate, route, cached,
+        result, ...).  ``actual`` ships ground truth for the server's
+        slow-query error ranking."""
+        payload: Dict[str, Any] = {"synopsis": synopsis, "query": query}
+        if trace:
+            payload["trace"] = True
+        if actual is not None:
+            payload["actual"] = actual
+        return self._request("POST", "/estimate", payload)
 
     def estimate(self, synopsis: str, query: str) -> float:
         return float(self.estimate_detail(synopsis, query)["estimate"])
+
+    def estimate_traced(self, synopsis: str, query: str) -> EstimateResult:
+        """One traced estimate as a structured
+        :class:`~repro.core.result.EstimateResult` whose ``.trace`` is
+        the server-side span tree."""
+        reply = self.estimate_detail(synopsis, query, trace=True)
+        return EstimateResult.from_dict(reply["result"])
 
     def estimate_batch(self, synopsis: str, queries: List[str]) -> List[float]:
         reply = self._request(

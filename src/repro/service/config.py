@@ -1,0 +1,60 @@
+"""Typed configuration for the estimation service and its client.
+
+The server/client tuning knobs used to travel as long positional
+parameter lists; they are now grouped into frozen dataclasses so a
+config can be built once (by the CLI, a test harness, or an embedding
+application) and handed to :func:`repro.service.serve` or
+:class:`repro.service.ServiceClient` as a single value.  Every field has
+the historical default, so ``ServerConfig()`` reproduces the pre-config
+behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+DEFAULT_PORT = 8750
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning for :func:`repro.service.serve` / the ``repro serve`` CLI."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    plan_cache_capacity: int = 512
+    reload_interval_s: float = 2.0
+    max_inflight: int = 64
+    request_deadline_s: Optional[float] = None
+    drain_timeout_s: float = 5.0
+    # Observability --------------------------------------------------
+    trace_sample_rate: float = 0.0
+    slowlog_capacity: int = 256
+    slowlog_threshold_ms: float = 0.0
+    slowlog_top_k: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.plan_cache_capacity < 0:
+            raise ValueError("plan_cache_capacity must be >= 0")
+        if self.slowlog_capacity <= 0:
+            raise ValueError("slowlog_capacity must be > 0")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Tuning for :class:`repro.service.ServiceClient`."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    timeout: float = 30.0
+    keep_alive: bool = True
+    retry_budget_s: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -6,6 +6,14 @@ dataclass summary built from a sample sequence, percentile index
 latencies* instead of relative errors, and keeps only a bounded ring of
 recent samples so a long-lived server stays O(1) in memory.
 
+The counters behind :class:`ServiceMetrics` live in a typed
+:class:`repro.obs.registry.MetricsRegistry` (counter / gauge / histogram
+families) instead of ad-hoc dicts; the same registry renders both the
+legacy JSON document (``GET /metrics``, shape unchanged) and Prometheus
+text exposition (``GET /metrics?format=prom``).  The latency *ring*
+stays alongside the registry's fixed-bucket histogram because precise
+p50/p95/p99 need raw recent samples, not bucket bounds.
+
 Everything is thread-safe; the HTTP handler threads call ``observe`` and
 ``GET /metrics`` renders ``snapshot()``.
 """
@@ -17,6 +25,8 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence
+
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 
 DEFAULT_RING_CAPACITY = 4096
 DEFAULT_QPS_WINDOW = 30.0
@@ -92,24 +102,17 @@ class LatencyRing:
             return len(self._samples)
 
 
-class _SynopsisCounters:
-    """Per-synopsis request accounting and a QPS timestamp window."""
-
-    __slots__ = ("requests", "queries", "errors", "stamps")
-
-    def __init__(self) -> None:
-        self.requests = 0
-        self.queries = 0
-        self.errors = 0
-        self.stamps: "deque[float]" = deque()
-
-
 class ServiceMetrics:
     """Aggregated serving metrics, rendered by ``GET /metrics``.
 
     One ``observe`` per HTTP estimate request; ``queries`` counts the
     individual estimates inside it (a batch of 10 is one request, ten
     queries).  QPS is requests over a sliding ``qps_window`` seconds.
+
+    All counters live as typed families in ``self.registry`` (a
+    :class:`~repro.obs.registry.MetricsRegistry`, created per instance
+    unless one is shared in), so the same numbers back the JSON document
+    and the Prometheus exposition.
     """
 
     def __init__(
@@ -117,17 +120,53 @@ class ServiceMetrics:
         clock: Callable[[], float] = time.monotonic,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         qps_window: float = DEFAULT_QPS_WINDOW,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self._clock = clock
         self._started = clock()
         self._qps_window = qps_window
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards the QPS stamp windows
         self._ring = LatencyRing(ring_capacity)
-        self._requests = 0
-        self._queries = 0
-        self._errors = 0
-        self._counters: Dict[str, int] = {}
-        self._per_synopsis: Dict[str, _SynopsisCounters] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        make = self.registry
+        self._requests = make.counter(
+            "repro_requests_total", "Estimate requests handled."
+        )
+        self._queries = make.counter(
+            "repro_queries_total", "Individual query estimates served."
+        )
+        self._errors = make.counter(
+            "repro_errors_total", "Failed estimate requests."
+        )
+        self._events = make.counter(
+            "repro_events_total",
+            "Named service events (shed, deadline exceeded, reload, ...).",
+            labels=("event",),
+        )
+        self._latency = make.histogram(
+            "repro_request_latency_seconds",
+            "Estimate request latency.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._syn_requests = make.counter(
+            "repro_synopsis_requests_total",
+            "Estimate requests per synopsis.",
+            labels=("synopsis",),
+        )
+        self._syn_queries = make.counter(
+            "repro_synopsis_queries_total",
+            "Query estimates per synopsis.",
+            labels=("synopsis",),
+        )
+        self._syn_errors = make.counter(
+            "repro_synopsis_errors_total",
+            "Failed requests per synopsis.",
+            labels=("synopsis",),
+        )
+        self._uptime = make.gauge(
+            "repro_uptime_seconds", "Seconds since service start."
+        )
+        self._stamps: Dict[str, "deque[float]"] = {}
 
     # ------------------------------------------------------------------
 
@@ -142,35 +181,35 @@ class ServiceMetrics:
         request failed before a synopsis was resolved)."""
         now = self._clock()
         self._ring.observe(latency_s)
-        with self._lock:
-            self._requests += 1
-            self._queries += queries
+        self._latency.observe(latency_s)
+        self._requests.inc()
+        self._queries.inc(queries)
+        if error:
+            self._errors.inc()
+        if synopsis is not None:
+            self._syn_requests.labels(synopsis=synopsis).inc()
+            self._syn_queries.labels(synopsis=synopsis).inc(queries)
             if error:
-                self._errors += 1
-            if synopsis is not None:
-                counters = self._per_synopsis.setdefault(synopsis, _SynopsisCounters())
-                counters.requests += 1
-                counters.queries += queries
-                if error:
-                    counters.errors += 1
-                counters.stamps.append(now)
-                self._trim(counters, now)
+                self._syn_errors.labels(synopsis=synopsis).inc()
+            with self._lock:
+                stamps = self._stamps.setdefault(synopsis, deque())
+                stamps.append(now)
+                self._trim_window(stamps, now)
 
     def incr(self, name: str, delta: int = 1) -> None:
         """Bump a named reliability counter (``shed_total``,
         ``deadline_exceeded_total``, ``reload_failures``, ...); rendered
-        under ``counters`` in the metrics document."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + delta
+        under ``counters`` in the metrics document and as
+        ``repro_events_total{event=...}`` in the Prometheus exposition."""
+        self._events.labels(event=name).inc(delta)
 
     def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+        return int(self._events.labels(event=name).value)
 
-    def _trim(self, counters: _SynopsisCounters, now: float) -> None:
+    def _trim_window(self, stamps: "deque[float]", now: float) -> None:
         horizon = now - self._qps_window
-        while counters.stamps and counters.stamps[0] < horizon:
-            counters.stamps.popleft()
+        while stamps and stamps[0] < horizon:
+            stamps.popleft()
 
     # ------------------------------------------------------------------
 
@@ -178,29 +217,45 @@ class ServiceMetrics:
         return self._ring.summary()
 
     def snapshot(self, plan_cache_stats: Optional[object] = None) -> Dict[str, object]:
-        """A JSON-ready metrics document."""
+        """A JSON-ready metrics document (shape pinned by the tests)."""
         now = self._clock()
+        counters = {
+            labels["event"]: int(child.value)
+            for labels, child in self._events.children()
+        }
+        per_request = {
+            labels["synopsis"]: int(child.value)
+            for labels, child in self._syn_requests.children()
+        }
+        per_queries = {
+            labels["synopsis"]: int(child.value)
+            for labels, child in self._syn_queries.children()
+        }
+        per_errors = {
+            labels["synopsis"]: int(child.value)
+            for labels, child in self._syn_errors.children()
+        }
         with self._lock:
             per_synopsis: Dict[str, object] = {}
-            for name in sorted(self._per_synopsis):
-                counters = self._per_synopsis[name]
-                self._trim(counters, now)
-                window = min(self._qps_window, max(now - self._started, 1e-9))
+            window = min(self._qps_window, max(now - self._started, 1e-9))
+            for name in sorted(per_request):
+                stamps = self._stamps.get(name, deque())
+                self._trim_window(stamps, now)
                 per_synopsis[name] = {
-                    "requests": counters.requests,
-                    "queries": counters.queries,
-                    "errors": counters.errors,
-                    "qps": len(counters.stamps) / window,
+                    "requests": per_request.get(name, 0),
+                    "queries": per_queries.get(name, 0),
+                    "errors": per_errors.get(name, 0),
+                    "qps": len(stamps) / window,
                 }
-            payload: Dict[str, object] = {
-                "uptime_s": now - self._started,
-                "requests_total": self._requests,
-                "queries_total": self._queries,
-                "errors_total": self._errors,
-                "counters": dict(self._counters),
-                "latency_ms": self.latency().as_dict(),
-                "synopses": per_synopsis,
-            }
+        payload: Dict[str, object] = {
+            "uptime_s": now - self._started,
+            "requests_total": int(self._requests.value),
+            "queries_total": int(self._queries.value),
+            "errors_total": int(self._errors.value),
+            "counters": counters,
+            "latency_ms": self.latency().as_dict(),
+            "synopses": per_synopsis,
+        }
         if plan_cache_stats is not None:
             payload["plan_cache"] = (
                 plan_cache_stats.as_dict()
@@ -208,3 +263,18 @@ class ServiceMetrics:
                 else plan_cache_stats
             )
         return payload
+
+    def render_prom(self, extra_values: Optional[Dict[str, float]] = None) -> str:
+        """Prometheus text exposition (format 0.0.4) of the registry.
+
+        ``extra_values`` publishes point-in-time numbers (plan-cache
+        stats, in-flight gauge) as ``repro_<key>`` gauges before
+        rendering.
+        """
+        self._uptime.set(self._clock() - self._started)
+        for key, value in (extra_values or {}).items():
+            gauge = self.registry.gauge(
+                "repro_%s" % key, "Point-in-time service value."
+            )
+            gauge.set(float(value))
+        return self.registry.render_prom()

@@ -66,6 +66,25 @@ class CompiledPlan:
             self.result = value
         return value
 
+    def execute_traced(self, system: EstimationSystem, tracer) -> float:
+        """Re-run the estimation under ``tracer``.
+
+        The memoized ``result`` is deliberately bypassed: a traced
+        request must observe the spans and counters of a *real*
+        execution, and a cached float has none.  The fresh value (equal
+        to the memoized one — estimation is deterministic per
+        generation) re-primes ``result`` for untraced followers.
+        """
+        if self.variants is not None:
+            value = sum(
+                system.estimate_routed(query, route, tracer=tracer)
+                for query, route in self.variants
+            )
+        else:
+            value = system.estimate_routed(self.query, self.route, tracer=tracer)
+        self.result = value
+        return value
+
 
 def compile_plan(system: EstimationSystem, text: str) -> CompiledPlan:
     """Parse, route and (for scoped axes) pre-rewrite one query text."""

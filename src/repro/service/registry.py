@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import persist
 from repro.core.system import EstimationSystem
+from repro.errors import ReproError
 from repro.persist import PersistError
 from repro.reliability import faults
 from repro.stats.maintenance import MaintainedStatistics
@@ -42,8 +43,15 @@ from repro.xmltree.node import XmlNode
 SNAPSHOT_SUFFIX = ".json"
 
 
-class UnknownSynopsisError(KeyError):
-    """Requested synopsis name is not registered (and no snapshot exists)."""
+class UnknownSynopsisError(ReproError, KeyError):
+    """Requested synopsis name is not registered (and no snapshot exists).
+
+    Part of the :class:`~repro.errors.ReproError` hierarchy with the
+    stable wire kind ``"unknown_synopsis"`` (still a ``KeyError`` for
+    the pre-hierarchy call sites).
+    """
+
+    kind = "unknown_synopsis"
 
 
 class LiveSynopsis:

@@ -16,7 +16,19 @@ Endpoints
     name → reason map of entries serving last-good state.
 ``GET /metrics``
     Counters, latency percentiles, per-synopsis QPS, cache hit rate and
-    the reliability block (in-flight, shed, deadline counters).
+    the reliability block (in-flight, shed, deadline counters).  With
+    ``?format=prom`` the same registry renders Prometheus text
+    exposition (format 0.0.4) instead of JSON.
+``GET /debug/slowlog``
+    The slow-query log: recent entries over the latency threshold plus
+    the top-K by latency and (when the client supplied ground truth) by
+    relative error.  ``?limit=N`` bounds the ``recent`` list.
+
+Tracing: a request body carrying ``"trace": true`` — or one picked by
+the server's deterministic sample rate — re-executes the estimate under
+a :class:`~repro.obs.trace.Tracer` and returns the span tree inside the
+versioned ``result`` object (``result.trace``).  Every response now
+carries that structured ``result`` alongside the legacy flat fields.
 
 The server is :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, stdlib only.  Estimation runs outside the registry lock; the
@@ -41,18 +53,22 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
+from repro.core.result import EstimateResult
 from repro.core.transform import UnsupportedQueryError
 from repro.errors import ReproError, error_kind
+from repro.obs.slowlog import SlowQueryLog
 from repro.reliability import faults
 from repro.reliability.policy import Deadline, DeadlineExceededError
 from repro.reliability.shedding import AdmissionGate, OverloadedError
+from repro.service.config import DEFAULT_PORT
 from repro.service.metrics import ServiceMetrics
 from repro.service.plancache import PlanCache
 from repro.service.registry import SynopsisRegistry, UnknownSynopsisError
 from repro.xpath.parser import XPathSyntaxError
 
-DEFAULT_PORT = 8750
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class RequestError(ValueError):
@@ -88,28 +104,90 @@ class EstimationService:
         metrics: Optional[ServiceMetrics] = None,
         gate: Optional[AdmissionGate] = None,
         request_deadline_s: Optional[float] = None,
+        slow_log: Optional[SlowQueryLog] = None,
+        trace_sample_rate: float = 0.0,
     ):
         self.registry = registry
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.gate = gate if gate is not None else AdmissionGate()
         self.request_deadline_s = request_deadline_s
+        self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
+        self.trace_sample_rate = trace_sample_rate
+        self._sample_lock = threading.Lock()
+        self._sample_seq = 0
+
+    def _sample_trace(self) -> bool:
+        """Deterministic systematic sampling: of every 1/rate requests,
+        exactly one is traced (``int(n*rate)`` advances)."""
+        rate = self.trace_sample_rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        with self._sample_lock:
+            self._sample_seq += 1
+            n = self._sample_seq
+        return int(n * rate) > int((n - 1) * rate)
 
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
 
-    def estimate(self, synopsis: str, text: str) -> Dict[str, Any]:
-        """One estimate as a JSON-ready dict (no metrics side effects)."""
+    def estimate(
+        self,
+        synopsis: str,
+        text: str,
+        trace: bool = False,
+        actual: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """One estimate as a JSON-ready dict (no request-metrics side
+        effects; the slow-query log *is* fed here, per query).
+
+        A traced call bypasses the memoized plan result and re-executes
+        through :meth:`EstimationSystem.query` so the returned span tree
+        (parse → plan → lookups → join) reflects a real execution.
+        """
         entry = self.registry.get(synopsis)
-        plan, hit = self.plan_cache.get_or_compile(
-            entry.name, entry.generation, entry.system, text
+        if trace:
+            traced = entry.system.query(text, trace=True)
+            result = EstimateResult(
+                value=traced.value,
+                query=text,
+                route=traced.route,
+                elapsed_ms=traced.elapsed_ms,
+                trace=traced.trace,
+                cached=False,
+            )
+        else:
+            plan, hit = self.plan_cache.get_or_compile(
+                entry.name, entry.generation, entry.system, text
+            )
+            started = time.perf_counter()
+            value = plan.execute(entry.system)
+            result = EstimateResult(
+                value=value,
+                query=text,
+                route=plan.route,
+                elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                cached=hit,
+            )
+        self.slow_log.observe(
+            query=text,
+            elapsed_ms=result.elapsed_ms,
+            synopsis=synopsis,
+            route=result.route,
+            estimate=result.value,
+            actual=actual,
+            trace_id=result.trace_id,
+            trace=result.trace,
         )
         return {
             "query": text,
-            "estimate": plan.execute(entry.system),
-            "route": plan.route,
-            "cached": hit,
+            "estimate": result.value,
+            "route": result.route,
+            "cached": bool(result.cached),
+            "result": result.as_dict(),
         }
 
     def handle_estimate(self, payload: Any) -> Dict[str, Any]:
@@ -123,10 +201,17 @@ class EstimationService:
         results: List[Dict[str, Any]] = []
         try:
             faults.fire("server.handle", payload)
-            synopsis, queries, batched = self._parse_estimate_payload(payload)
-            for text in queries:
+            synopsis, queries, batched, trace, actuals = self._parse_estimate_payload(
+                payload
+            )
+            trace = trace or self._sample_trace()
+            if trace:
+                self.metrics.incr("traced_requests_total")
+            for index, text in enumerate(queries):
                 deadline.check("estimate request")
-                results.append(self.estimate(synopsis, text))
+                results.append(
+                    self.estimate(synopsis, text, trace=trace, actual=actuals[index])
+                )
         except DeadlineExceededError:
             self.metrics.incr("deadline_exceeded_total")
             self._observe_failure(synopsis, started, len(queries))
@@ -166,12 +251,20 @@ class EstimationService:
         return body
 
     @staticmethod
-    def _parse_estimate_payload(payload: Any) -> Tuple[str, List[str], bool]:
+    def _parse_estimate_payload(
+        payload: Any,
+    ) -> Tuple[str, List[str], bool, bool, List[Optional[float]]]:
+        """Returns ``(synopsis, queries, batched, trace, actuals)`` where
+        ``actuals`` is aligned with ``queries`` (``None`` when the client
+        supplied no ground truth for that query)."""
         if not isinstance(payload, dict):
             raise RequestError(400, "request body must be a JSON object")
         synopsis = payload.get("synopsis")
         if not isinstance(synopsis, str) or not synopsis:
             raise RequestError(400, "missing 'synopsis' field")
+        trace = payload.get("trace", False)
+        if not isinstance(trace, bool):
+            raise RequestError(400, "'trace' must be a boolean")
         if "queries" in payload:
             queries = payload["queries"]
             if not isinstance(queries, list) or not all(
@@ -180,11 +273,28 @@ class EstimationService:
                 raise RequestError(400, "'queries' must be a list of strings")
             if not queries:
                 raise RequestError(400, "'queries' must not be empty")
-            return synopsis, queries, True
+            actuals = payload.get("actuals")
+            if actuals is None:
+                actuals = [None] * len(queries)
+            elif (
+                not isinstance(actuals, list)
+                or len(actuals) != len(queries)
+                or not all(
+                    value is None or isinstance(value, (int, float))
+                    for value in actuals
+                )
+            ):
+                raise RequestError(
+                    400, "'actuals' must be a list of numbers aligned with 'queries'"
+                )
+            return synopsis, queries, True, trace, list(actuals)
         text = payload.get("query")
         if not isinstance(text, str) or not text:
             raise RequestError(400, "missing 'query' field")
-        return synopsis, [text], False
+        actual = payload.get("actual")
+        if actual is not None and not isinstance(actual, (int, float)):
+            raise RequestError(400, "'actual' must be a number")
+        return synopsis, [text], False, trace, [actual]
 
     def _observe_failure(
         self, synopsis: Optional[str], started: float, queries: int
@@ -229,6 +339,26 @@ class EstimationService:
         document["reliability"] = reliability
         return document
 
+    def metrics_prom(self) -> str:
+        """Prometheus text exposition of the same registry, enriched with
+        point-in-time gauges (plan cache, admission gate, registry)."""
+        cache = self.plan_cache.stats()
+        gate = self.gate.stats()
+        return self.metrics.render_prom(
+            {
+                "plan_cache_hits": cache.hits,
+                "plan_cache_misses": cache.misses,
+                "plan_cache_size": cache.size,
+                "plan_cache_evictions": cache.evictions,
+                "inflight_requests": gate["inflight"],
+                "shed_requests_total": gate["shed_total"],
+                "reload_failures_total": getattr(self.registry, "reload_failures", 0),
+            }
+        )
+
+    def slowlog_document(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        return self.slow_log.snapshot(limit)
+
 
 def _make_handler(service: EstimationService) -> type:
     class Handler(BaseHTTPRequestHandler):
@@ -258,6 +388,14 @@ def _make_handler(service: EstimationService) -> type:
             self.end_headers()
             self.wfile.write(data)
 
+        def _reply_text(self, status: int, text: str, content_type: str) -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
         def _read_json(self) -> Any:
             length = int(self.headers.get("Content-Length", 0) or 0)
             raw = self.rfile.read(length) if length else b""
@@ -272,16 +410,31 @@ def _make_handler(service: EstimationService) -> type:
 
         def do_GET(self) -> None:
             try:
-                if self.path == "/healthz":
+                parts = urlsplit(self.path)
+                params = parse_qs(parts.query)
+                if parts.path == "/healthz":
                     self._reply(200, service.healthz())
-                elif self.path == "/synopses":
+                elif parts.path == "/synopses":
                     self._reply(200, service.synopses())
-                elif self.path == "/metrics":
-                    self._reply(200, service.metrics_document())
+                elif parts.path == "/metrics":
+                    if params.get("format", [""])[0] == "prom":
+                        self._reply_text(200, service.metrics_prom(), PROM_CONTENT_TYPE)
+                    else:
+                        self._reply(200, service.metrics_document())
+                elif parts.path == "/debug/slowlog":
+                    limit: Optional[int] = None
+                    if "limit" in params:
+                        try:
+                            limit = int(params["limit"][0])
+                        except ValueError:
+                            raise RequestError(400, "'limit' must be an integer")
+                    self._reply(200, service.slowlog_document(limit))
                 else:
                     self._reply(
                         404, error_body("not_found", "no such endpoint %r" % self.path)
                     )
+            except RequestError as error:
+                self._reply(error.status, error_body(error.kind, str(error)))
             except Exception as error:  # pragma: no cover - defensive
                 self._reply(500, error_body("internal", "internal error: %s" % error))
 

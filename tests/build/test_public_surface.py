@@ -20,6 +20,7 @@ from repro.errors import (
 class TestAll:
     def test_all_is_the_documented_surface(self):
         assert set(repro.__all__) == {
+            "EstimateResult",
             "EstimationSystem",
             "SynopsisBuilder",
             "build_synopsis",
@@ -30,6 +31,7 @@ class TestAll:
             "QuerySyntaxError",
             "PersistError",
             "BuildError",
+            "ObservabilityError",
             "__version__",
         }
 

@@ -1,0 +1,142 @@
+"""MetricsRegistry: typed families, JSON snapshot, Prometheus text."""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+# One Prometheus 0.0.4 sample line: name{labels} value
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{%s(,%s)*\})? (?:[+-]?(?:\d+(?:\.\d+)?"
+    r"(?:e[+-]?\d+)?|Inf|NaN))$" % (_LABEL, _LABEL)
+)
+
+
+class TestFamilies:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total", "help")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_test_gauge")
+        gauge.set(5)
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_test_seconds", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        exposed = registry.get("repro_test_seconds").labels().expose()
+        assert exposed["buckets"] == [(0.01, 1), (0.1, 2), (1.0, 3), (math.inf, 4)]
+        assert exposed["count"] == 4
+        assert exposed["sum"] == pytest.approx(5.555)
+
+    def test_labelled_children_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_by_name_total", labels=("synopsis",))
+        family.labels(synopsis="a").inc()
+        family.labels(synopsis="b").inc(2)
+        assert family.labels(synopsis="a").value == 1
+        assert family.total() == 3
+        with pytest.raises(ObservabilityError):
+            family.labels(wrong="a")
+        with pytest.raises(ObservabilityError):
+            family.inc()  # labelled family has no scalar shortcut
+
+    def test_reregistration_idempotent_but_type_safe(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_twice_total", labels=("k",))
+        assert registry.counter("repro_twice_total", labels=("k",)) is first
+        with pytest.raises(ObservabilityError):
+            registry.gauge("repro_twice_total", labels=("k",))
+        with pytest.raises(ObservabilityError):
+            registry.counter("repro_twice_total", labels=("other",))
+
+    def test_invalid_names_rejected_at_registration(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("bad name")
+        with pytest.raises(ObservabilityError):
+            registry.counter("repro_ok_total", labels=("__reserved",))
+
+
+class TestExposition:
+    @pytest.fixture()
+    def populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", "Requests.").inc(3)
+        by_name = registry.counter(
+            "repro_synopsis_requests_total", "Per synopsis.", labels=("synopsis",)
+        )
+        by_name.labels(synopsis="SSPlays").inc(2)
+        by_name.labels(synopsis='we"ird\n').inc()
+        registry.gauge("repro_uptime_seconds", "Uptime.").set(12.5)
+        registry.histogram(
+            "repro_request_latency_seconds", "Latency.",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).observe(0.003)
+        return registry
+
+    def test_json_snapshot_shape(self, populated):
+        document = populated.snapshot()
+        assert document["repro_requests_total"]["type"] == "counter"
+        assert document["repro_requests_total"]["values"] == [
+            {"labels": {}, "value": 3}
+        ]
+        latency = document["repro_request_latency_seconds"]["values"][0]
+        assert latency["count"] == 1
+        assert latency["buckets"][-1][0] == "+Inf"
+        import json
+
+        json.dumps(document)  # JSON-ready all the way down
+
+    def test_prom_text_parses(self, populated):
+        text = populated.render_prom()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert SAMPLE_LINE.match(line), line
+
+    def test_prom_histogram_series(self, populated):
+        text = populated.render_prom()
+        buckets = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_request_latency_seconds_bucket")
+        ]
+        # One line per bound plus +Inf, cumulative counts never decrease.
+        assert len(buckets) == len(DEFAULT_LATENCY_BUCKETS) + 1
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in buckets[-1]
+        assert "repro_request_latency_seconds_sum" in text
+        assert "repro_request_latency_seconds_count 1" in text
+
+    def test_prom_escapes_label_values(self, populated):
+        text = populated.render_prom()
+        assert '{synopsis="we\\"ird\\n"}' in text
+
+    def test_type_and_help_comments_precede_samples(self, populated):
+        lines = populated.render_prom().splitlines()
+        index = lines.index("# TYPE repro_requests_total counter")
+        assert lines[index - 1] == "# HELP repro_requests_total Requests."
+        assert lines[index + 1] == "repro_requests_total 3"

@@ -1,0 +1,98 @@
+"""Slow-query log: threshold, ring eviction, top-K boards, snapshot."""
+
+from __future__ import annotations
+
+from repro.obs.slowlog import SlowQueryLog, relative_error
+
+
+class TestThresholdAndRing:
+    def test_below_threshold_skips_recent_but_counts(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        log.observe("//fast", 1.0)
+        log.observe("//slow", 25.0)
+        assert log.observed == 2
+        assert [r.query for r in log.recent()] == ["//slow"]
+
+    def test_ring_evicts_oldest_at_capacity(self):
+        log = SlowQueryLog(capacity=3)
+        for index in range(5):
+            log.observe("//q%d" % index, float(index))
+        recent = [r.query for r in log.recent()]
+        assert recent == ["//q4", "//q3", "//q2"]  # newest first, bounded
+        assert log.observed == 5
+
+    def test_recent_limit(self):
+        log = SlowQueryLog()
+        for index in range(10):
+            log.observe("//q%d" % index, 1.0)
+        assert len(log.recent(3)) == 3
+
+
+class TestTopBoards:
+    def test_top_by_latency_ordering_and_bound(self):
+        log = SlowQueryLog(top_k=3)
+        for index, elapsed in enumerate([5.0, 50.0, 1.0, 30.0, 40.0]):
+            log.observe("//q%d" % index, elapsed)
+        top = [(r.query, r.elapsed_ms) for r in log.top_by_latency()]
+        assert top == [("//q1", 50.0), ("//q4", 40.0), ("//q3", 30.0)]
+
+    def test_top_by_error_needs_ground_truth(self):
+        log = SlowQueryLog()
+        log.observe("//no-truth", 1.0, estimate=10.0)
+        log.observe("//good", 1.0, estimate=99.0, actual=100.0)
+        log.observe("//bad", 1.0, estimate=10.0, actual=100.0)
+        board = [(r.query, r.rel_error) for r in log.top_by_error()]
+        assert board[0][0] == "//bad"
+        assert board[0][1] == relative_error(10.0, 100.0)
+        assert [q for q, _ in board] == ["//bad", "//good"]
+
+    def test_slow_queries_survive_ring_eviction_on_boards(self):
+        log = SlowQueryLog(capacity=2, top_k=8)
+        log.observe("//slowest", 1000.0)
+        for index in range(10):
+            log.observe("//q%d" % index, 1.0)
+        assert "//slowest" not in [r.query for r in log.recent()]
+        assert log.top_by_latency()[0].query == "//slowest"
+
+
+class TestSnapshot:
+    def test_snapshot_is_the_wire_document(self):
+        log = SlowQueryLog(capacity=8, threshold_ms=0.5, top_k=4)
+        log.observe(
+            "//PLAY/$ACT",
+            2.5,
+            synopsis="SSPlays",
+            route="no_order",
+            estimate=10.0,
+            actual=20.0,
+            trace_id="deadbeefdeadbeef",
+        )
+        document = log.snapshot()
+        assert document["threshold_ms"] == 0.5
+        assert document["capacity"] == 8
+        assert document["top_k"] == 4
+        assert document["observed"] == 1
+        entry = document["recent"][0]
+        assert entry["query"] == "//PLAY/$ACT"
+        assert entry["synopsis"] == "SSPlays"
+        assert entry["trace_id"] == "deadbeefdeadbeef"
+        assert entry["rel_error"] == relative_error(10.0, 20.0)
+        import json
+
+        json.dumps(document)
+
+    def test_snapshot_limit_bounds_every_section(self):
+        log = SlowQueryLog()
+        for index in range(10):
+            log.observe("//q%d" % index, float(index), estimate=1.0, actual=2.0)
+        document = log.snapshot(limit=2)
+        assert len(document["recent"]) == 2
+        assert len(document["top_latency"]) == 2
+        assert len(document["top_error"]) == 2
+
+    def test_clear(self):
+        log = SlowQueryLog()
+        log.observe("//q", 1.0)
+        log.clear()
+        assert log.recent() == []
+        assert log.top_by_latency() == []

@@ -1,0 +1,170 @@
+"""Tracer: nesting, aggregates, determinism, thread-safety, null path."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_FORMAT_VERSION,
+    NullTracer,
+    Tracer,
+    _reset_trace_ids,
+    make_trace_id,
+)
+
+
+def span_index(trace_root):
+    """name -> span dict, flattened (asserts names are unique first)."""
+    index = {}
+
+    def walk(span):
+        assert span["name"] not in index
+        index[span["name"]] = span
+        for child in span.get("children", []):
+            walk(child)
+
+    walk(trace_root)
+    return index
+
+
+class TestNesting:
+    def test_children_follow_the_with_structure(self):
+        tracer = Tracer("estimate")
+        with tracer.span("parse"):
+            pass
+        with tracer.span("plan"):
+            with tracer.span("route"):
+                pass
+        trace = tracer.finish()
+        assert trace["version"] == TRACE_FORMAT_VERSION
+        root = trace["root"]
+        assert [c["name"] for c in root["children"]] == ["parse", "plan"]
+        plan = root["children"][1]
+        assert [c["name"] for c in plan["children"]] == ["route"]
+
+    def test_span_records_wall_and_cpu_and_count(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            span.incr("items", 3)
+            span.incr("items", 2)
+        payload = tracer.finish()["root"]["children"][0]
+        assert payload["count"] == 1
+        assert payload["wall_ms"] >= 0.0
+        assert payload["cpu_ms"] >= 0.0
+        assert payload["counters"] == {"items": 5}
+
+    def test_fresh_spans_do_not_merge(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("round"):
+                pass
+        assert len(tracer.finish()["root"]["children"]) == 3
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        assert tracer.finish() is tracer.finish()
+
+
+class TestAggregate:
+    def test_same_parent_sections_merge_into_one_span(self):
+        tracer = Tracer()
+        for index in range(4):
+            with tracer.aggregate("p-hist lookup") as span:
+                span.incr("cells_read", index + 1)
+        root = tracer.finish()["root"]
+        assert len(root["children"]) == 1
+        merged = root["children"][0]
+        assert merged["count"] == 4
+        assert merged["counters"] == {"cells_read": 10}
+
+    def test_different_parents_do_not_merge(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.aggregate("lookup"):
+                pass
+        with tracer.span("b"):
+            with tracer.aggregate("lookup"):
+                pass
+        index = {}
+        root = tracer.finish()["root"]
+        for child in root["children"]:
+            index[child["name"]] = [g["name"] for g in child.get("children", [])]
+        assert index == {"a": ["lookup"], "b": ["lookup"]}
+
+
+class TestDeterminism:
+    def test_same_seed_sequence_same_ids(self):
+        _reset_trace_ids()
+        first = [make_trace_id("estimate", "//A/$B") for _ in range(3)]
+        _reset_trace_ids()
+        second = [make_trace_id("estimate", "//A/$B") for _ in range(3)]
+        assert first == second
+        assert len(set(first)) == 3  # sequence number still disambiguates
+
+    def test_tracer_id_shape(self):
+        tracer = Tracer("estimate", seed=("SSPlays", "//A/$B"))
+        assert len(tracer.trace_id) == 16
+        int(tracer.trace_id, 16)  # hex
+        assert tracer.finish()["trace_id"] == tracer.trace_id
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_land_under_root_without_corruption(self):
+        tracer = Tracer("build")
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with tracer.aggregate("scan") as span:
+                        span.incr("shards")
+                    with tracer.span(name):
+                        pass
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=("w%d" % i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        root = tracer.finish()["root"]
+        scans = [c for c in root["children"] if c["name"] == "scan"]
+        # Each thread aggregates per (parent, name); parent is the shared
+        # root so all 4x50 sections merged into one span.
+        assert len(scans) == 1
+        assert scans[0]["count"] == 200
+        assert scans[0]["counters"] == {"shards": 200}
+        named = [c for c in root["children"] if c["name"].startswith("w")]
+        assert len(named) == 200
+
+
+class TestNullFastPath:
+    def test_singletons_and_no_allocation(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.enabled is False
+        # Both constructors hand back the one shared span: nothing is
+        # allocated per span site when tracing is off.
+        assert NULL_TRACER.span("parse") is NULL_SPAN
+        assert NULL_TRACER.aggregate("p-hist lookup") is NULL_SPAN
+        assert NULL_TRACER.current() is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("anything") as span:
+            span.incr("cells_read", 10)
+        assert NULL_TRACER.finish() is None
+        assert NULL_TRACER.span_names() == []
+        assert NULL_SPAN.to_dict() is None
+
+    def test_null_types_are_slotted(self):
+        # __slots__ = () guarantees no per-instance dict: the fast path
+        # cannot accidentally accumulate state.
+        assert not hasattr(NULL_TRACER, "__dict__")
+        assert not hasattr(NULL_SPAN, "__dict__")

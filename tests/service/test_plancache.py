@@ -35,6 +35,22 @@ class TestCompiledPlan:
         assert plan.result == first
         assert plan.execute(figure1_system) == first
 
+    @pytest.mark.parametrize("text,route", ROUTED_QUERIES)
+    def test_execute_traced_bypasses_memo_and_reprimes(
+        self, figure1_system, text, route
+    ):
+        from repro.obs.trace import Tracer
+
+        plan = compile_plan(figure1_system, text)
+        memoized = plan.execute(figure1_system)
+        tracer = Tracer("estimate", seed=(text,))
+        traced = plan.execute_traced(figure1_system, tracer)
+        document = tracer.finish()
+        assert traced == pytest.approx(memoized)
+        assert plan.result == traced  # re-primed for untraced followers
+        # A real execution was observed, not the cached float.
+        assert document["root"]["children"], document
+
     def test_workload_sweep_matches_direct(self, ssplays_system, ssplays_small):
         from repro.workload import WorkloadGenerator
 

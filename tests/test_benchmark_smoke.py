@@ -101,6 +101,19 @@ class TestBenchSmoke:
         bench.test_service_degraded(tiny_ctx, _StubBenchmark())
         assert "injected" in rendered_results()
 
+    def test_obs_overhead(self, tiny_ctx, monkeypatch):
+        import benchmarks.bench_obs_overhead as bench
+
+        # Tiny sweep, fewer repeats; disarm the jitter-sensitive gate —
+        # micro-loops over a handful of queries swing far more than the
+        # full benchmark's medians.
+        monkeypatch.setattr(bench, "MAX_QUERIES", 16)
+        monkeypatch.setattr(bench, "REPEATS", 3)
+        monkeypatch.setattr(bench, "CLIENT_THREADS", 2)
+        monkeypatch.setattr(bench, "OVERHEAD_HARD_LIMIT", 10.0)
+        bench.test_obs_overhead(tiny_ctx, _StubBenchmark())
+        assert "observability overhead" in rendered_results()
+
     def test_build_throughput(self, tiny_ctx, monkeypatch):
         import benchmarks.bench_build_throughput as bench
 
