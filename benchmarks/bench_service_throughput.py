@@ -69,6 +69,44 @@ def _drive(server, texts, passes=PASSES_PER_THREAD, threads=CLIENT_THREADS):
     return qps, p95, hit_rate, results
 
 
+def _drive_batch(server, texts, passes=PASSES_PER_THREAD, threads=CLIENT_THREADS):
+    """Same sweep through the batch endpoint; returns (qps, results).
+
+    Each pass is one ``POST /estimate`` with every text **twice**: the
+    duplicate half exercises the batch-local memo (computed once, served
+    twice), and all queries of the batch share one warm kernel.
+    """
+    batch = texts + texts
+    results = {}
+    errors = []
+
+    def worker(offset, collect):
+        client = ServiceClient(port=server.port)
+        rotated = batch[offset:] + batch[:offset]
+        for _ in range(passes):
+            try:
+                values = client.estimate_batch("SSPlays", rotated)
+            except Exception as error:  # pragma: no cover - diagnostics
+                errors.append(error)
+                return
+            if collect:
+                results.update(zip(rotated, values))
+
+    start = time.perf_counter()
+    pool = [
+        threading.Thread(target=worker, args=(i * 7, i == 0))
+        for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not errors, errors[:3]
+    qps = threads * passes * len(batch) / elapsed
+    return qps, results
+
+
 def test_service_throughput(ctx, benchmark):
     system = ctx.factory("SSPlays").system(0, 0)
     workload = ctx.workload("SSPlays")
@@ -76,29 +114,33 @@ def test_service_throughput(ctx, benchmark):
     texts = [item.text for item in items]
     direct = {item.text: system.estimate(item.query) for item in items}
 
-    def run(cache_capacity):
+    def run(cache_capacity, driver=_drive):
         registry = SynopsisRegistry()
         registry.register("SSPlays", system)
         service = EstimationService(registry, plan_cache=PlanCache(cache_capacity))
         with ServiceServer(service, port=0) as server:
-            return _drive(server, texts)
+            return driver(server, texts)
 
     # Timing kernel for the benchmark harness: one cached sweep.
     benchmark.pedantic(lambda: run(1024), rounds=1, iterations=1)
 
     on_qps, on_p95, on_hit_rate, on_results = run(1024)
     off_qps, off_p95, off_hit_rate, off_results = run(0)
+    batch_qps, batch_results = run(1024, driver=_drive_batch)
 
-    # Served numbers are the direct numbers, cache or no cache.
+    # Served numbers are the direct numbers — cache, batch or neither.
     assert on_results == direct
     assert off_results == direct
+    assert batch_results == direct
 
     rows = [
         ["cache on (1024)", len(texts), "%.0f" % on_qps, "%.2f" % on_p95,
          "%.0f%%" % (100 * on_hit_rate)],
         ["cache off", len(texts), "%.0f" % off_qps, "%.2f" % off_p95,
          "%.0f%%" % (100 * off_hit_rate)],
+        ["batch endpoint", 2 * len(texts), "%.0f" % batch_qps, "-", "-"],
         ["speedup", "-", "%.2fx" % (on_qps / max(off_qps, 1e-9)), "-", "-"],
+        ["batch speedup", "-", "%.2fx" % (batch_qps / max(on_qps, 1e-9)), "-", "-"],
     ]
     record_result(
         "service_throughput",
@@ -112,3 +154,6 @@ def test_service_throughput(ctx, benchmark):
     # The tentpole claim: the compiled-plan cache is a measurable win.
     assert on_hit_rate > 0.5 and off_hit_rate == 0.0
     assert on_qps > off_qps
+    # Batching amortizes HTTP round trips and shares the per-batch memo
+    # (duplicates are computed once), so it must beat per-query QPS.
+    assert batch_qps > on_qps

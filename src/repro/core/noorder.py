@@ -76,6 +76,25 @@ def prune_to_spine(query: Query, target: QueryNode) -> Query:
     return Query(new_root, query.root_axis, target=clones[target.node_id])
 
 
+def _pruned_to_spine(query: Query, target: QueryNode) -> Query:
+    """``prune_to_spine`` with the clone cached on the query.
+
+    Queries are immutable once finalized, so the pruned counterpart for a
+    given target never changes; caching it keeps the clone's identity
+    stable across estimates, which the kernel's weak per-query plan cache
+    (and the legacy support cache) rely on for repeat hits.
+    """
+    cache = getattr(query, "_spine_prune_cache", None)
+    if cache is None:
+        cache = {}
+        query._spine_prune_cache = cache
+    pruned = cache.get(target.node_id)
+    if pruned is None:
+        pruned = prune_to_spine(query, target)
+        cache[target.node_id] = pruned
+    return pruned
+
+
 def estimate_no_order(
     query: Query,
     provider: PathStatsProvider,
@@ -84,6 +103,7 @@ def estimate_no_order(
     fixpoint: bool = True,
     depth_consistent: bool = True,
     tracer=NULL_TRACER,
+    kernel=None,
 ) -> float:
     """Estimate ``S_Q(target)`` for a query without order axes."""
     node = target if target is not None else query.target
@@ -94,8 +114,11 @@ def estimate_no_order(
         fixpoint=fixpoint,
         depth_consistent=depth_consistent,
         tracer=tracer,
+        kernel=kernel,
     )
-    return _estimate(query, node, join, provider, table, fixpoint, depth_consistent, tracer)
+    return _estimate(
+        query, node, join, provider, table, fixpoint, depth_consistent, tracer, kernel
+    )
 
 
 def _estimate(
@@ -107,13 +130,14 @@ def _estimate(
     fixpoint: bool,
     depth_consistent: bool,
     tracer=NULL_TRACER,
+    kernel=None,
 ) -> float:
     if join.empty:
         return 0.0
     branching = branching_ancestor(query, node)
     if branching is None:
         return join.frequency(node)  # Theorem 4.1
-    pruned = prune_to_spine(query, node)
+    pruned = _pruned_to_spine(query, node)
     pruned_join = path_join(
         pruned,
         provider,
@@ -121,6 +145,7 @@ def _estimate(
         fixpoint=fixpoint,
         depth_consistent=depth_consistent,
         tracer=tracer,
+        kernel=kernel,
     )
     if pruned_join.empty:
         return 0.0
@@ -132,7 +157,8 @@ def _estimate(
         return 0.0
     # S_Q(ni), recursively (equals f_Q(ni) when ni is trunk).
     s_ni = _estimate(
-        query, branching, join, provider, table, fixpoint, depth_consistent, tracer
+        query, branching, join, provider, table, fixpoint, depth_consistent,
+        tracer, kernel,
     )
     return f_prime_n * s_ni / f_prime_ni
 

@@ -29,7 +29,11 @@ from typing import List, Optional, Tuple
 from repro.core.noorder import estimate_no_order
 from repro.core.pathjoin import path_join
 from repro.core.providers import OrderStatsProvider, PathStatsProvider
-from repro.core.transform import UnsupportedQueryError, clone_query, pattern_subtree_ids
+from repro.core.transform import (
+    UnsupportedQueryError,
+    clone_query_cached,
+    pattern_subtree_ids,
+)
 from repro.obs.trace import NULL_TRACER
 from repro.pathenc.encoding import EncodingTable
 from repro.xpath.ast import Query, QueryAxis, QueryNode
@@ -53,6 +57,7 @@ def estimate_with_order(
     fixpoint: bool = True,
     depth_consistent: bool = True,
     tracer=NULL_TRACER,
+    kernel=None,
 ) -> float:
     """Estimate ``S_Q⃗(target)`` for a query with one sibling-order edge."""
     node = target if target is not None else query.target
@@ -66,18 +71,18 @@ def estimate_with_order(
         return estimate_no_order(
             query, path_provider, table, target=node,
             fixpoint=fixpoint, depth_consistent=depth_consistent,
-            tracer=tracer,
+            tracer=tracer, kernel=kernel,
         )
     if len(edges) > 1:
         return _estimate_multi_edge(
             query, edges, path_provider, order_provider, table, node,
-            fixpoint, depth_consistent, tracer,
+            fixpoint, depth_consistent, tracer, kernel,
         )
     axis, source, dest = edges[0]
     earlier, later = (source, dest) if axis is QueryAxis.FOLLS else (dest, source)
     estimator = _OrderEstimator(
         query, earlier, later, path_provider, order_provider, table,
-        fixpoint, depth_consistent, tracer,
+        fixpoint, depth_consistent, tracer, kernel,
     )
     return estimator.estimate(node)
 
@@ -92,6 +97,7 @@ def _estimate_multi_edge(
     fixpoint: bool,
     depth_consistent: bool,
     tracer=NULL_TRACER,
+    kernel=None,
 ) -> float:
     """Generalized Equation 5 for multiple sibling-order axes.
 
@@ -105,7 +111,7 @@ def _estimate_multi_edge(
     """
     estimates = []
     for axis, source, dest in edges:
-        reduced, mapping = clone_query(
+        reduced, mapping = clone_query_cached(
             query,
             order_to_structural=True,
             keep_order_edges={(source.node_id, dest.node_id)},
@@ -121,6 +127,7 @@ def _estimate_multi_edge(
                 fixpoint=fixpoint,
                 depth_consistent=depth_consistent,
                 tracer=tracer,
+                kernel=kernel,
             )
         )
     return min(estimates)
@@ -148,6 +155,7 @@ class _OrderEstimator:
         fixpoint: bool,
         depth_consistent: bool = True,
         tracer=NULL_TRACER,
+        kernel=None,
     ):
         self.query = query
         self.earlier = earlier
@@ -158,8 +166,9 @@ class _OrderEstimator:
         self.fixpoint = fixpoint
         self.depth_consistent = depth_consistent
         self.tracer = tracer
+        self.kernel = kernel
         # The order-free counterpart Q of the full query.
-        self.counterpart, self.counterpart_map = clone_query(
+        self.counterpart, self.counterpart_map = clone_query_cached(
             query, order_to_structural=True
         )
         # Pattern membership of the two sibling branches.  The defining
@@ -231,6 +240,7 @@ class _OrderEstimator:
             fixpoint=self.fixpoint,
             depth_consistent=self.depth_consistent,
             tracer=self.tracer,
+            kernel=self.kernel,
         )
 
     def _order_ratio_parts(
@@ -241,7 +251,7 @@ class _OrderEstimator:
         ``Q'`` keeps the sibling's branch in full and strips the *other*
         branch to its head node, then drops the order axis.
         """
-        simplified, mapping = clone_query(
+        simplified, mapping = clone_query_cached(
             self.query,
             drop_subtree_of={other.node_id},
             order_to_structural=True,
@@ -250,7 +260,7 @@ class _OrderEstimator:
         join = path_join(
             simplified, self.paths, self.table,
             fixpoint=self.fixpoint, depth_consistent=self.depth_consistent,
-            tracer=self.tracer,
+            tracer=self.tracer, kernel=self.kernel,
         )
         if join.empty:
             return 0.0, 0.0
@@ -264,6 +274,6 @@ class _OrderEstimator:
         s_prime = estimate_no_order(
             simplified, self.paths, self.table, target=sibling_clone,
             fixpoint=self.fixpoint, depth_consistent=self.depth_consistent,
-            tracer=self.tracer,
+            tracer=self.tracer, kernel=self.kernel,
         )
         return s_order_prime, s_prime

@@ -172,6 +172,10 @@ class JoinResult:
         """True when any node lost all its path ids (negative query)."""
         return any(not pids for pids in self._surviving)
 
+    def survivor_count(self) -> int:
+        """Total surviving path ids across all nodes (trace counter)."""
+        return sum(len(pids) for pids in self._surviving)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         counts = [len(pids) for pids in self._surviving]
         return "<JoinResult pids per node: %s>" % counts
@@ -226,6 +230,7 @@ def path_join(
     depth_consistent: bool = True,
     max_rounds: int = 64,
     tracer=NULL_TRACER,
+    kernel=None,
 ) -> JoinResult:
     """Run the path join and return the surviving id sets.
 
@@ -233,7 +238,19 @@ def path_join(
     :data:`~repro.obs.trace.NULL_TRACER`) accrues a ``join`` aggregate
     span with ``pathid-match`` nested under it; repeated joins inside
     one estimate merge into one span each.
+
+    ``kernel`` (a :class:`repro.kernel.SynopsisKernel` or ``None``)
+    switches the default depth-consistent fixpoint onto the compiled
+    bitset path, which produces bit-identical results; the ablation
+    modes and providers the kernel was not compiled from fall back to
+    the dict pipeline below.
     """
+    if kernel is not None:
+        if fixpoint and depth_consistent and kernel.supports(provider, table):
+            return kernel.join(
+                query, provider=provider, tracer=tracer, max_rounds=max_rounds
+            )
+        kernel.note_fallback()
     with tracer.aggregate("join") as span:
         if depth_consistent:
             result = _depth_join(
@@ -243,7 +260,7 @@ def path_join(
             result = _pairwise_join(
                 query, provider, table, fixpoint, max_rounds, tracer, span
             )
-        span.incr("surviving_pids", sum(len(pids) for pids in result._surviving))
+        span.incr("surviving_pids", result.survivor_count())
     return result
 
 

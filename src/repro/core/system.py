@@ -24,8 +24,9 @@ and produce bit-identical synopses.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro._compat import positional_shim
 from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edges
@@ -41,6 +42,7 @@ from repro.core.providers import (
 from repro.core.result import EstimateResult
 from repro.obs.providers import TracingOrderStats, TracingPathStats
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.kernel.compiled import SynopsisKernel
 from repro.histograms.ohistogram import OHistogramSet
 from repro.histograms.phistogram import PHistogramSet
 from repro.pathenc.bintree import PathIdBinaryTree
@@ -101,6 +103,12 @@ class EstimationSystem:
         self.name = name or (
             labeled.document.name if labeled.document is not None else ""
         )
+        #: Serve joins through the compiled bitset kernel (bit-identical
+        #: to the legacy dict pipeline).  Flip to ``False`` to pin the
+        #: legacy path — the ablation/benchmark switch.
+        self.kernel_enabled = True
+        self._kernel: Optional[SynopsisKernel] = None
+        self._kernel_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -257,6 +265,54 @@ class EstimationSystem:
         )
 
     # ------------------------------------------------------------------
+    # Compiled kernel
+    # ------------------------------------------------------------------
+
+    def kernel(self) -> Optional[SynopsisKernel]:
+        """The compiled synopsis kernel, built lazily on first use.
+
+        Returns ``None`` when :attr:`kernel_enabled` is off.  The kernel
+        compiles per-tag index tables and containment bitmatrices on
+        demand (under its own lock, so concurrent service threads share
+        one compile), and the default estimation path runs the path join
+        on it; results are bit-identical to the legacy pipeline.
+        """
+        if not self.kernel_enabled:
+            return None
+        kernel = self._kernel
+        if kernel is None:
+            with self._kernel_lock:
+                kernel = self._kernel
+                if kernel is None:
+                    kernel = SynopsisKernel(
+                        self.encoding_table, self.path_provider, name=self.name
+                    )
+                    self._kernel = kernel
+        return kernel
+
+    def kernel_active(self) -> bool:
+        """True when joins on this system are served by the kernel."""
+        kernel = self.kernel()
+        return kernel is not None and kernel.supports(
+            self.path_provider, self.encoding_table
+        )
+
+    def invalidate_kernel(self) -> bool:
+        """Drop the attached kernel (hot reload / live append guard).
+
+        Marks the old kernel stale so captured references fall back to
+        the legacy path instead of serving a replaced synopsis; the next
+        :meth:`kernel` call compiles a fresh one.  Returns whether a
+        kernel was attached.
+        """
+        with self._kernel_lock:
+            kernel, self._kernel = self._kernel, None
+        if kernel is not None:
+            kernel.invalidate()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
 
@@ -367,9 +423,10 @@ class EstimationSystem:
         if tracer.enabled:
             path_provider = TracingPathStats(path_provider, tracer)
             order_provider = TracingOrderStats(order_provider, tracer)
+        kernel = self.kernel() if fixpoint and depth_consistent else None
         return self._estimate_routed_with(
             parsed, route, path_provider, order_provider,
-            fixpoint, depth_consistent, tracer,
+            fixpoint, depth_consistent, tracer, kernel,
         )
 
     def _estimate_routed_with(
@@ -381,13 +438,14 @@ class EstimationSystem:
         fixpoint: bool,
         depth_consistent: bool,
         tracer,
+        kernel=None,
     ) -> float:
         """Route dispatch over explicit (possibly tracing) providers."""
         if route == ROUTE_SCOPED:
             variants = rewrite_scoped_order_query(
                 parsed, path_provider, self.encoding_table,
                 fixpoint=fixpoint, depth_consistent=depth_consistent,
-                tracer=tracer,
+                tracer=tracer, kernel=kernel,
             )
             return sum(
                 self._estimate_routed_with(
@@ -398,6 +456,7 @@ class EstimationSystem:
                     fixpoint,
                     depth_consistent,
                     tracer,
+                    kernel,
                 )
                 for variant in variants
             )
@@ -410,14 +469,36 @@ class EstimationSystem:
                 fixpoint=fixpoint,
                 depth_consistent=depth_consistent,
                 tracer=tracer,
+                kernel=kernel,
             )
         if route != ROUTE_NO_ORDER:
             raise ValueError("unknown estimation route %r" % route)
         return estimate_no_order(
             parsed, path_provider, self.encoding_table,
             fixpoint=fixpoint, depth_consistent=depth_consistent,
-            tracer=tracer,
+            tracer=tracer, kernel=kernel,
         )
+
+    def estimate_batch(self, queries: Iterable[Union[str, Query]]) -> List[float]:
+        """Estimate many queries against one shared kernel memo.
+
+        Parsed ASTs are deduplicated (repeated texts share one cached
+        AST, so repeats cost a dict hit), and every join in the batch
+        reuses the same compiled kernel — its containment matrices,
+        query plans and support memo warm up once for the whole batch.
+        Returns the estimates in input order.
+        """
+        memo: Dict[int, float] = {}
+        values: List[float] = []
+        for query in queries:
+            parsed = _coerce_query(query)
+            key = id(parsed)
+            value = memo.get(key)
+            if value is None:
+                value = self.estimate_routed(parsed, self.select_route(parsed))
+                memo[key] = value
+            values.append(value)
+        return values
 
     def join(
         self,
@@ -427,9 +508,11 @@ class EstimationSystem:
     ) -> JoinResult:
         """Expose the raw path join (used by tests and examples)."""
         parsed = _coerce_query(query)
+        kernel = self.kernel() if fixpoint and depth_consistent else None
         return path_join(
             parsed, self.path_provider, self.encoding_table,
             fixpoint=fixpoint, depth_consistent=depth_consistent,
+            kernel=kernel,
         )
 
     # ------------------------------------------------------------------

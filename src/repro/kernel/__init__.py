@@ -1,0 +1,16 @@
+"""Compiled synopsis kernels (perf layer over the Section 4 join).
+
+A :class:`SynopsisKernel` is an immutable per-synopsis artifact compiled
+lazily from one (encoding table, p-statistics provider) pair.  It interns
+every tag's path ids into dense integer indexes with ``array``-backed
+frequency tables, precomputes per-(tag, tag) containment bitmatrices for
+both axes, and runs the path-join fixpoint on Python-int bitsets instead
+of dict-of-dicts — with bit-for-bit identical results to the legacy path
+(:func:`repro.core.pathjoin.path_join` falls back to the dict pipeline
+whenever the kernel does not apply).
+"""
+
+from repro.kernel.compiled import SynopsisKernel, popcount
+from repro.kernel.join import KernelJoinResult, kernel_join
+
+__all__ = ["SynopsisKernel", "KernelJoinResult", "kernel_join", "popcount"]

@@ -1,0 +1,315 @@
+"""The bitset path join over a compiled :class:`SynopsisKernel`.
+
+Semantically identical to the depth-consistent fixpoint of
+:func:`repro.core.pathjoin._depth_join` — same per-constraint pruning
+rule, same forward+backward schedule with per-node version counters,
+same early exits — but the per-node state is one Python-int bitset per
+depth instead of a dict of pid → depth-set, and each pruning step is an
+AND against a memoized OR of containment-matrix rows.  Both paths
+converge to the same (unique) arc-consistent fixpoint, and frequencies
+are summed over indexes in provider order, so estimates agree with the
+legacy path bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.pathjoin import JoinResult, derive_constraints
+from repro.kernel.compiled import SynopsisKernel, TagTable, or_rows, popcount
+from repro.obs.trace import NULL_TRACER
+from repro.pathenc.relationship import Axis
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+__all__ = ["KernelJoinResult", "QueryPlan", "build_query_plan", "kernel_join"]
+
+
+class QueryPlan:
+    """Resolved constraint steps for one query over one kernel.
+
+    ``node_tables[node_id]`` is the node's interned tag table;
+    ``steps`` holds ``(upper_id, lower_id, child?, containment pair)``
+    in :func:`derive_constraints` order.
+    """
+
+    __slots__ = ("node_tables", "steps")
+
+    def __init__(
+        self,
+        node_tables: Tuple[TagTable, ...],
+        steps: Tuple[Tuple[int, int, bool, object], ...],
+    ):
+        self.node_tables = node_tables
+        self.steps = steps
+
+
+def build_query_plan(
+    kernel: SynopsisKernel, query: Query, tracer=NULL_TRACER
+) -> QueryPlan:
+    nodes = query.nodes()
+    node_tables = tuple(kernel.tag_table(node.tag, tracer) for node in nodes)
+    steps = []
+    for upper, axis, lower in derive_constraints(query):
+        child = axis is Axis.CHILD
+        pair = kernel.containment(upper.tag, lower.tag, child, tracer)
+        steps.append((upper.node_id, lower.node_id, child, pair))
+    return QueryPlan(node_tables, tuple(steps))
+
+
+class KernelJoinResult(JoinResult):
+    """Join result backed by bitset states; same reading API as
+    :class:`~repro.core.pathjoin.JoinResult`, materialized on demand in
+    ascending index (= provider) order."""
+
+    def __init__(
+        self,
+        query: Query,
+        tables: Tuple[TagTable, ...],
+        states: Optional[List[List[int]]],
+    ):
+        self.query = query
+        self._tables = tables
+        # None encodes the legacy all-empty result (some node died).
+        self._states = states
+        self._depths = None
+
+    def pids(self, node: QueryNode) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        if self._states is None:
+            return out
+        compiled = self._tables[node.node_id]
+        pids, freqs = compiled.pids, compiled.freqs
+        alive = 0
+        for mask in self._states[node.node_id]:
+            alive |= mask
+        while alive:
+            low = alive & -alive
+            index = low.bit_length() - 1
+            out[pids[index]] = freqs[index]
+            alive ^= low
+        return out
+
+    def depths(self, node: QueryNode) -> Dict[int, Set[int]]:
+        out: Dict[int, Set[int]] = {}
+        if self._states is None:
+            return out
+        compiled = self._tables[node.node_id]
+        state = self._states[node.node_id]
+        alive = 0
+        for mask in state:
+            alive |= mask
+        while alive:
+            low = alive & -alive
+            index = low.bit_length() - 1
+            out[compiled.pids[index]] = {
+                depth for depth, mask in enumerate(state) if mask & low
+            }
+            alive ^= low
+        return out
+
+    def frequency(self, node: QueryNode) -> float:
+        if self._states is None:
+            return 0.0
+        compiled = self._tables[node.node_id]
+        freqs = compiled.freqs
+        alive = 0
+        for mask in self._states[node.node_id]:
+            alive |= mask
+        # Ascending index order == the legacy dict's insertion order, so
+        # the float sum is associativity-identical to the legacy path.
+        total = 0.0
+        while alive:
+            low = alive & -alive
+            total += freqs[low.bit_length() - 1]
+            alive ^= low
+        return total
+
+    @property
+    def empty(self) -> bool:
+        return self._states is None
+
+    def survivor_count(self) -> int:
+        if self._states is None:
+            return 0
+        total = 0
+        for state in self._states:
+            alive = 0
+            for mask in state:
+                alive |= mask
+            total += popcount(alive)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._states is None:
+            return "<KernelJoinResult empty>"
+        counts = []
+        for state in self._states:
+            alive = 0
+            for mask in state:
+                alive |= mask
+            counts.append(popcount(alive))
+        return "<KernelJoinResult pids per node: %s>" % counts
+
+
+def kernel_join(
+    kernel: SynopsisKernel,
+    query: Query,
+    provider=None,
+    tracer=NULL_TRACER,
+    max_rounds: int = 64,
+) -> KernelJoinResult:
+    """Depth-consistent fixpoint join on compiled bitsets."""
+    kernel.joins += 1
+    with tracer.aggregate("join") as join_span:
+        plan = kernel.query_plan(query, tracer)
+        tables = plan.node_tables
+        traced = tracer.enabled
+        states: List[List[int]] = []
+        with tracer.aggregate("pathid-match") as match_span:
+            for node, compiled in zip(query.nodes(), tables):
+                if traced and provider is not None:
+                    # Surface the same p-histogram lookup traffic a
+                    # traced legacy join would (the tracing provider
+                    # counts cells/buckets as a side effect).
+                    provider.frequency_pairs(node.tag)
+                states.append(list(compiled.init_at))
+                match_span.incr("pids_matched", compiled.alive_count)
+
+        if query.root_axis is QueryAxis.CHILD:
+            root_id = query.root.node_id
+            root_state = states[root_id]
+            if root_state:
+                states[root_id] = [root_state[0]] + [0] * (len(root_state) - 1)
+
+        steps = plan.steps
+        empty = False
+        with tracer.aggregate("bitset_join") as bitset_span:
+            bitset_span.incr("constraints", len(steps))
+            if steps:
+                schedule = steps + tuple(reversed(steps))
+                version = [0] * len(states)
+                last_seen: List[Tuple[int, int]] = [(-1, -1)] * len(schedule)
+                for _ in range(max_rounds):
+                    join_span.incr("rounds")
+                    changed = False
+                    for index, (uid, lid, child, pair) in enumerate(schedule):
+                        if last_seen[index] == (version[uid], version[lid]):
+                            continue
+                        upper_changed, lower_changed = _apply_step(
+                            states, uid, lid, child, pair
+                        )
+                        if upper_changed:
+                            version[uid] += 1
+                            changed = True
+                        if lower_changed:
+                            version[lid] += 1
+                            changed = True
+                        last_seen[index] = (version[uid], version[lid])
+                        if (upper_changed and not any(states[uid])) or (
+                            lower_changed and not any(states[lid])
+                        ):
+                            empty = True
+                            break
+                    if empty or not changed:
+                        break
+            else:
+                join_span.incr("rounds")
+        if not empty:
+            empty = any(not any(state) for state in states)
+        result = KernelJoinResult(query, tables, None if empty else states)
+        join_span.incr("surviving_pids", result.survivor_count())
+    return result
+
+
+def _apply_step(
+    states: List[List[int]],
+    upper_id: int,
+    lower_id: int,
+    child: bool,
+    pair,
+) -> Tuple[bool, bool]:
+    """Prune both sides of one constraint (bitset counterpart of
+    :func:`repro.core.pathjoin._apply_depth_constraint`).
+
+    Lower placements read the *current* upper state, upper placements the
+    *new* lower state, matching the legacy sweep exactly.
+    """
+    upper = states[upper_id]
+    lower = states[lower_id]
+    down_rows, up_rows = pair.down, pair.up
+    down_memo, up_memo = pair.down_memo, pair.up_memo
+    upper_len = len(upper)
+    lower_len = len(lower)
+
+    # Lower side: index j stays alive at depth dl iff some compatible
+    # upper index is alive at dl-1 (child) / any depth < dl (descendant).
+    lower_changed = False
+    new_lower = lower
+    if child:
+        for dl in range(lower_len):
+            alive = lower[dl]
+            if not alive:
+                continue
+            du = dl - 1
+            bits = upper[du] if 0 <= du < upper_len else 0
+            kept = alive & or_rows(down_rows, bits, down_memo) if bits else 0
+            if kept != alive:
+                if new_lower is lower:
+                    new_lower = lower[:]
+                new_lower[dl] = kept
+                lower_changed = True
+    else:
+        below = 0
+        for dl in range(lower_len):
+            du = dl - 1
+            if 0 <= du < upper_len:
+                below |= upper[du]
+            alive = lower[dl]
+            if not alive:
+                continue
+            kept = alive & or_rows(down_rows, below, down_memo) if below else 0
+            if kept != alive:
+                if new_lower is lower:
+                    new_lower = lower[:]
+                new_lower[dl] = kept
+                lower_changed = True
+
+    # Upper side, against the new lower state.
+    upper_changed = False
+    new_upper = upper
+    if child:
+        for du in range(upper_len):
+            alive = upper[du]
+            if not alive:
+                continue
+            dl = du + 1
+            bits = new_lower[dl] if dl < lower_len else 0
+            kept = alive & or_rows(up_rows, bits, up_memo) if bits else 0
+            if kept != alive:
+                if new_upper is upper:
+                    new_upper = upper[:]
+                new_upper[du] = kept
+                upper_changed = True
+    else:
+        above = 0
+        for depth in range(upper_len + 1, lower_len):
+            above |= new_lower[depth]
+        for du in range(upper_len - 1, -1, -1):
+            dl = du + 1
+            if dl < lower_len:
+                above |= new_lower[dl]
+            alive = upper[du]
+            if not alive:
+                continue
+            kept = alive & or_rows(up_rows, above, up_memo) if above else 0
+            if kept != alive:
+                if new_upper is upper:
+                    new_upper = upper[:]
+                new_upper[du] = kept
+                upper_changed = True
+
+    if lower_changed:
+        states[lower_id] = new_lower
+    if upper_changed:
+        states[upper_id] = new_upper
+    return upper_changed, lower_changed

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.axis_rewrite import rewrite_scoped_order_query
-from repro.core.system import ROUTE_SCOPED, EstimationSystem
+from repro.core.system import ROUTE_NO_ORDER, ROUTE_SCOPED, EstimationSystem
 from repro.xpath.ast import Query
 from repro.xpath.parser import parse_query_cached
 
@@ -35,7 +35,7 @@ DEFAULT_CAPACITY = 512
 class CompiledPlan:
     """A query compiled against one synopsis generation."""
 
-    __slots__ = ("text", "query", "route", "variants", "result")
+    __slots__ = ("text", "query", "route", "variants", "kernel", "result")
 
     def __init__(
         self,
@@ -43,11 +43,15 @@ class CompiledPlan:
         query: Query,
         route: str,
         variants: Optional[List[Tuple[Query, str]]] = None,
+        kernel: bool = False,
     ):
         self.text = text
         self.query = query
         self.route = route
         self.variants = variants
+        # True when the plan was compiled against a live synopsis kernel
+        # (its no-order joins were pre-planned on the bitset path).
+        self.kernel = kernel
         # Lazily memoized estimate; estimation is deterministic for a
         # fixed synopsis generation, and the cache key pins the
         # generation, so the first computed value is the value.
@@ -87,18 +91,33 @@ class CompiledPlan:
 
 
 def compile_plan(system: EstimationSystem, text: str) -> CompiledPlan:
-    """Parse, route and (for scoped axes) pre-rewrite one query text."""
+    """Parse, route and (for scoped axes) pre-rewrite one query text.
+
+    When the synopsis carries a compiled kernel, the plan's no-order
+    targets are pre-planned on the kernel (tag tables, containment pairs
+    and the per-query bitset plan are built now, off the hot path), and
+    the plan records that it was compiled against the kernel.
+    """
     query = parse_query_cached(text)
     route = system.select_route(query)
+    kernel = system.kernel()
     variants: Optional[List[Tuple[Query, str]]] = None
     if route == ROUTE_SCOPED:
         variants = [
             (variant, system.select_route(variant))
             for variant in rewrite_scoped_order_query(
-                query, system.path_provider, system.encoding_table
+                query, system.path_provider, system.encoding_table, kernel=kernel
             )
         ]
-    return CompiledPlan(text, query, route, variants)
+    kernel_ready = kernel is not None and kernel.supports(
+        system.path_provider, system.encoding_table
+    )
+    if kernel_ready:
+        targets = variants if variants is not None else [(query, route)]
+        for target, target_route in targets:
+            if target_route == ROUTE_NO_ORDER:
+                kernel.query_plan(target)
+    return CompiledPlan(text, query, route, variants, kernel=kernel_ready)
 
 
 @dataclass(frozen=True)

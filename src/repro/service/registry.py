@@ -74,6 +74,7 @@ class LiveSynopsis:
         self.system = self._rebuild()
 
     def _rebuild(self) -> EstimationSystem:
+        previous = getattr(self, "system", None)
         self.system = EstimationSystem.from_tables(
             self.maintained.labeled,
             self.maintained.pathid_table,
@@ -81,6 +82,10 @@ class LiveSynopsis:
             p_variance=self.p_variance,
             o_variance=self.o_variance,
         )
+        if previous is not None:
+            # The replaced system's compiled kernel describes statistics
+            # that no longer serve; captured references must fall back.
+            previous.invalidate_kernel()
         return self.system
 
     def append_subtree(self, parent: XmlNode, subtree: XmlNode) -> EstimationSystem:
@@ -387,7 +392,13 @@ class SynopsisRegistry:
                 self.reload_failures += 1
             entry.load_error = "reload failed: %s" % error
             return
+        previous = entry.system
         entry.system = system
         entry.stamp = stamp
         entry.generation += 1
         entry.load_error = None
+        # Stale-kernel guard: the swapped-out system's compiled kernel
+        # must not serve the old synopsis to captured references.  The
+        # last-good fallback paths above never reach here, so a degraded
+        # entry keeps both its system and its warm kernel.
+        previous.invalidate_kernel()

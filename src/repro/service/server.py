@@ -90,6 +90,26 @@ def error_body(kind: str, message: str) -> Dict[str, Any]:
     return {"error": {"kind": kind, "message": message}}
 
 
+def _trace_used_kernel(trace: Optional[Dict[str, Any]]) -> bool:
+    """True when the span tree contains a ``bitset_join`` span.
+
+    Traced requests bypass the compiled plan's memo, so the only honest
+    answer to "did the kernel serve this?" is whether the re-execution
+    actually went down the bitset path.
+    """
+    if not isinstance(trace, dict):
+        return False
+    stack = [trace.get("root")]
+    while stack:
+        span = stack.pop()
+        if not isinstance(span, dict):
+            continue
+        if span.get("name") == "bitset_join":
+            return True
+        stack.extend(span.get("children", ()))
+    return False
+
+
 class EstimationService:
     """Registry + plan cache + metrics behind one estimate() entry point.
 
@@ -140,17 +160,27 @@ class EstimationService:
         text: str,
         trace: bool = False,
         actual: Optional[float] = None,
+        memo: Optional[Dict[str, Tuple[float, str, bool]]] = None,
     ) -> Dict[str, Any]:
         """One estimate as a JSON-ready dict (no request-metrics side
         effects; the slow-query log *is* fed here, per query).
 
         A traced call bypasses the memoized plan result and re-executes
         through :meth:`EstimationSystem.query` so the returned span tree
-        (parse → plan → lookups → join) reflects a real execution.
+        (parse → plan → lookups → join) reflects a real execution; its
+        ``kernel`` field reports whether that execution actually took the
+        bitset path (a ``bitset_join`` span in the trace).
+
+        ``memo`` is a batch-local ``text -> (value, route, kernel)`` map:
+        within one batch request, repeated query texts reuse the first
+        computed value instead of re-entering the plan cache, and every
+        plan in the batch shares the same kernel (so its containment-row
+        memos are warm across queries).
         """
         entry = self.registry.get(synopsis)
         if trace:
             traced = entry.system.query(text, trace=True)
+            kernel_used = _trace_used_kernel(traced.trace)
             result = EstimateResult(
                 value=traced.value,
                 query=text,
@@ -159,12 +189,22 @@ class EstimationService:
                 trace=traced.trace,
                 cached=False,
             )
+        elif memo is not None and text in memo:
+            value, route, kernel_used = memo[text]
+            result = EstimateResult(
+                value=value,
+                query=text,
+                route=route,
+                elapsed_ms=0.0,
+                cached=True,
+            )
         else:
             plan, hit = self.plan_cache.get_or_compile(
                 entry.name, entry.generation, entry.system, text
             )
             started = time.perf_counter()
             value = plan.execute(entry.system)
+            kernel_used = bool(plan.kernel) and entry.system.kernel_active()
             result = EstimateResult(
                 value=value,
                 query=text,
@@ -172,6 +212,11 @@ class EstimationService:
                 elapsed_ms=(time.perf_counter() - started) * 1000.0,
                 cached=hit,
             )
+            if memo is not None:
+                memo[text] = (value, plan.route, kernel_used)
+        self.metrics.incr(
+            "kernel_hits_total" if kernel_used else "kernel_misses_total"
+        )
         self.slow_log.observe(
             query=text,
             elapsed_ms=result.elapsed_ms,
@@ -187,6 +232,7 @@ class EstimationService:
             "estimate": result.value,
             "route": result.route,
             "cached": bool(result.cached),
+            "kernel": kernel_used,
             "result": result.as_dict(),
         }
 
@@ -207,10 +253,22 @@ class EstimationService:
             trace = trace or self._sample_trace()
             if trace:
                 self.metrics.incr("traced_requests_total")
+            # Batch requests share one text -> result memo so duplicate
+            # queries are estimated once (and all plans in the batch
+            # reuse the same warm kernel).
+            memo: Optional[Dict[str, Tuple[float, str, bool]]] = (
+                {} if batched and not trace else None
+            )
             for index, text in enumerate(queries):
                 deadline.check("estimate request")
                 results.append(
-                    self.estimate(synopsis, text, trace=trace, actual=actuals[index])
+                    self.estimate(
+                        synopsis,
+                        text,
+                        trace=trace,
+                        actual=actuals[index],
+                        memo=memo,
+                    )
                 )
         except DeadlineExceededError:
             self.metrics.incr("deadline_exceeded_total")
@@ -337,13 +395,60 @@ class EstimationService:
         reliability = dict(self.gate.stats())
         reliability["reload_failures"] = getattr(self.registry, "reload_failures", 0)
         document["reliability"] = reliability
+        document["kernel"] = self.kernel_document()
         return document
+
+    def kernel_document(self) -> Dict[str, Any]:
+        """Aggregate compiled-kernel counters across the registry.
+
+        Defensive by design: a synopsis that fails to load (or a system
+        without a kernel) contributes nothing rather than failing the
+        whole ``/metrics`` response.
+        """
+        totals: Dict[str, Any] = {
+            "synopses": 0,
+            "active": 0,
+            "joins": 0,
+            "fallbacks": 0,
+            "tag_tables": 0,
+            "pairs": 0,
+            "plans": 0,
+            "memo_entries": 0,
+            "build_ms": 0.0,
+            "hits": self.metrics.counter("kernel_hits_total"),
+            "misses": self.metrics.counter("kernel_misses_total"),
+        }
+        names = getattr(self.registry, "names", lambda: [])()
+        for name in names:
+            try:
+                system = self.registry.get(name).system
+                kernel_of = getattr(system, "kernel", None)
+                if kernel_of is None:
+                    continue
+                totals["synopses"] += 1
+                kernel = kernel_of()
+                if kernel is None:
+                    continue
+                stats = kernel.stats()
+                if system.kernel_active():
+                    totals["active"] += 1
+                for key in (
+                    "joins", "fallbacks", "tag_tables", "pairs",
+                    "plans", "memo_entries",
+                ):
+                    totals[key] += stats[key]
+                totals["build_ms"] += stats["build_ms"]
+            except Exception:  # pragma: no cover - defensive
+                continue
+        totals["build_ms"] = round(totals["build_ms"], 3)
+        return totals
 
     def metrics_prom(self) -> str:
         """Prometheus text exposition of the same registry, enriched with
         point-in-time gauges (plan cache, admission gate, registry)."""
         cache = self.plan_cache.stats()
         gate = self.gate.stats()
+        kernel = self.kernel_document()
         return self.metrics.render_prom(
             {
                 "plan_cache_hits": cache.hits,
@@ -353,6 +458,10 @@ class EstimationService:
                 "inflight_requests": gate["inflight"],
                 "shed_requests_total": gate["shed_total"],
                 "reload_failures_total": getattr(self.registry, "reload_failures", 0),
+                "kernel_joins_total": kernel["joins"],
+                "kernel_fallbacks_total": kernel["fallbacks"],
+                "kernel_active_synopses": kernel["active"],
+                "kernel_build_ms_total": kernel["build_ms"],
             }
         )
 

@@ -1,0 +1,127 @@
+"""Property tests: compiled containment structures vs the naive tests.
+
+Random encoding tables (including recursive label repeats) and random
+pid sets; every bit of every containment matrix must agree with
+``pids_compatible``, and the depth-0 init bitset with ``pid_is_root``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernel import SynopsisKernel, popcount
+from repro.kernel.compiled import MEMO_LIMIT, or_rows
+from repro.pathenc.encoding import EncodingTable
+from repro.pathenc.relationship import Axis, pid_is_root, pids_compatible
+
+TAGS = ["A", "B", "C", "D"]
+
+
+class ListProvider:
+    """Minimal PathStatsProvider double: fixed (pid, freq) lists."""
+
+    def __init__(self, pairs):
+        self._pairs = pairs
+
+    def frequency_pairs(self, tag):
+        return list(self._pairs.get(tag, []))
+
+
+def random_case(seed):
+    """A random (table, provider, tags) triple.
+
+    Paths repeat tags (recursive shapes) and pids are arbitrary non-zero
+    masks — a superset of what real synopses produce, so the equivalence
+    property is tested strictly harder than the join needs.
+    """
+    rng = random.Random(seed)
+    paths = set()
+    while len(paths) < rng.randint(3, 8):
+        depth = rng.randint(1, 4)
+        paths.add("/".join(["R"] + [rng.choice(TAGS) for _ in range(depth)]))
+    table = EncodingTable(sorted(paths))
+    pairs = {}
+    for tag in TAGS + ["R"]:
+        pids = sorted(
+            {rng.randrange(1, 1 << table.width) for _ in range(rng.randint(1, 6))}
+        )
+        pairs[tag] = [(pid, float(rng.randint(1, 50))) for pid in pids]
+    return table, ListProvider(pairs), TAGS + ["R"]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_containment_matrices_match_pids_compatible(seed):
+    table, provider, tags = random_case(seed)
+    kernel = SynopsisKernel(table, provider)
+    for upper_tag in tags:
+        upper = kernel.tag_table(upper_tag)
+        for lower_tag in tags:
+            lower = kernel.tag_table(lower_tag)
+            for child, axis in ((True, Axis.CHILD), (False, Axis.DESCENDANT)):
+                pair = kernel.containment(upper_tag, lower_tag, child)
+                for i, pid_upper in enumerate(upper.pids):
+                    for j, pid_lower in enumerate(lower.pids):
+                        expected = pids_compatible(
+                            table, upper_tag, pid_upper, lower_tag, pid_lower, axis
+                        )
+                        assert bool(pair.down[i] >> j & 1) == expected
+                        # The up matrix is the exact transpose.
+                        assert bool(pair.up[j] >> i & 1) == expected
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_depth_zero_bitset_matches_pid_is_root(seed):
+    table, provider, tags = random_case(seed)
+    kernel = SynopsisKernel(table, provider)
+    for tag in tags:
+        compiled = kernel.tag_table(tag)
+        mask = kernel.root_mask(tag)
+        for i, pid in enumerate(compiled.pids):
+            assert bool(mask >> i & 1) == pid_is_root(table, tag, pid)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_init_bitsets_match_tag_depths(seed):
+    table, provider, tags = random_case(seed)
+    kernel = SynopsisKernel(table, provider)
+    for tag in tags:
+        compiled = kernel.tag_table(tag)
+        for i, pid in enumerate(compiled.pids):
+            depths = set(table.tag_depths(tag, pid))
+            for depth in range(compiled.depth_count):
+                assert bool(compiled.init_at[depth] >> i & 1) == (depth in depths)
+            # Depths beyond depth_count are infeasible by construction.
+            assert all(d < compiled.depth_count for d in depths)
+            assert bool(compiled.alive_mask >> i & 1) == bool(depths)
+
+
+def test_interned_frequencies_keep_provider_order():
+    table, provider, tags = random_case(7)
+    kernel = SynopsisKernel(table, provider)
+    for tag in tags:
+        compiled = kernel.tag_table(tag)
+        expected = provider.frequency_pairs(tag)
+        assert list(compiled.pids) == [pid for pid, _ in expected]
+        assert list(compiled.freqs) == [freq for _, freq in expected]
+        assert [compiled.index_of[pid] for pid, _ in expected] == list(
+            range(len(expected))
+        )
+
+
+def test_or_rows_unions_and_memoizes():
+    rows = (0b0001, 0b0010, 0b1100, 0b0101)
+    memo = {}
+    assert or_rows(rows, 0b1011, memo) == 0b0101 | 0b0010 | 0b0001
+    assert memo == {0b1011: 0b0111}
+    # Hit path returns the cached value without touching the rows.
+    assert or_rows(rows, 0b1011, memo) == 0b0111
+    # The memo is cleared, not evicted, at its bound.
+    big = {-(n + 1): 0 for n in range(MEMO_LIMIT)}
+    or_rows(rows, 0b1000, big)
+    assert big == {0b1000: 0b0101}
+
+
+def test_popcount_small_values():
+    assert [popcount(n) for n in (0, 1, 0b1011, (1 << 70) - 1)] == [0, 1, 3, 70]

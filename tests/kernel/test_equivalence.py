@@ -1,0 +1,134 @@
+"""Kernel path vs legacy path: bit-for-bit equivalence on real workloads.
+
+The compiled kernel is a pure representation change — same fixpoint, same
+iteration order for every float sum — so estimates must be *identical*
+(``==``, not approx) across the full workload suite of all three
+datasets, at the estimate, trace and join-result levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pathjoin import path_join
+
+
+def _all_items(workload):
+    return (
+        workload.simple
+        + workload.branch
+        + workload.order_branch
+        + workload.order_trunk
+    )
+
+
+def _spans(trace):
+    stack = [trace["root"]]
+    while stack:
+        span = stack.pop()
+        yield span["name"]
+        stack.extend(span.get("children", ()))
+
+
+def _legacy_estimates(system, items):
+    system.kernel_enabled = False
+    try:
+        return [system.estimate(item.query) for item in items]
+    finally:
+        system.kernel_enabled = True
+
+
+class TestEstimateEquivalence:
+    def test_every_workload_query_is_bit_identical(self, kernel_envs):
+        for name, system, workload in kernel_envs:
+            items = _all_items(workload)
+            assert items, name
+            legacy = _legacy_estimates(system, items)
+            kernel = [system.estimate(item.query) for item in items]
+            mismatches = [
+                (item.text, lhs, rhs)
+                for item, lhs, rhs in zip(items, legacy, kernel)
+                if lhs != rhs
+            ]
+            assert mismatches == [], "%s: %d mismatches" % (name, len(mismatches))
+
+    def test_kernel_served_every_join(self, kernel_envs):
+        for name, system, workload in kernel_envs:
+            for item in _all_items(workload):
+                system.estimate(item.query)
+            stats = system.kernel().stats()
+            assert stats["joins"] > 0, name
+            assert stats["fallbacks"] == 0, name
+
+    def test_traced_executions_match_untraced(self, kernel_envs):
+        name, system, workload = kernel_envs[0]
+        for item in _all_items(workload)[:40]:
+            traced = system.query(item.text, trace=True)
+            assert traced.value == system.estimate(item.query)
+            assert "bitset_join" in set(_spans(traced.trace))
+
+    def test_batch_equals_individual(self, kernel_envs):
+        for name, system, workload in kernel_envs:
+            items = _all_items(workload)[:60]
+            texts = [item.text for item in items]
+            batch = system.estimate_batch(texts)
+            singles = [system.estimate(item.query) for item in items]
+            assert batch == singles, name
+
+    def test_batch_with_duplicates_and_asts(self, kernel_envs):
+        name, system, workload = kernel_envs[0]
+        item = workload.simple[0]
+        batch = system.estimate_batch([item.text, item.query, item.text])
+        assert batch == [system.estimate(item.query)] * 3
+
+
+class TestJoinEquivalence:
+    def test_join_results_identical(self, kernel_envs):
+        """pids (values *and* dict order), depths and frequencies agree
+        on every node of every order-free workload query."""
+        for name, system, workload in kernel_envs:
+            provider, table = system.path_provider, system.encoding_table
+            kernel = system.kernel()
+            for item in workload.no_order()[:80]:
+                legacy = path_join(item.query, provider, table)
+                compiled = path_join(
+                    item.query, provider, table, kernel=kernel
+                )
+                assert compiled.empty == legacy.empty, item.text
+                for node in item.query.nodes():
+                    lhs, rhs = legacy.pids(node), compiled.pids(node)
+                    assert rhs == lhs, item.text
+                    assert list(rhs) == list(lhs), item.text  # insertion order
+                    assert compiled.depths(node) == legacy.depths(node), item.text
+                    assert compiled.frequency(node) == legacy.frequency(node), item.text
+
+    def test_ablations_fall_back_to_legacy(self, kernel_envs):
+        """The paper's ablation modes (no fixpoint / no depth filter) are
+        not compiled; the system must route them around the kernel."""
+        name, system, workload = kernel_envs[0]
+        item = workload.branch[0]
+        for kwargs in ({"fixpoint": False}, {"depth_consistent": False}):
+            relaxed = system.estimate(item.query, **kwargs)
+            system.kernel_enabled = False
+            try:
+                assert relaxed == system.estimate(item.query, **kwargs)
+            finally:
+                system.kernel_enabled = True
+
+
+class TestHistogramProviders:
+    def test_histogram_backed_synopsis_is_equivalent(self, ssplays_small):
+        """Non-zero variance swaps in the p-histogram provider; the
+        kernel must compile it identically too."""
+        from repro.core.system import EstimationSystem
+        from repro.workload import WorkloadGenerator
+
+        system = EstimationSystem.build(ssplays_small, p_variance=100.0, o_variance=100.0)
+        workload = WorkloadGenerator(ssplays_small, seed=13).full_workload(
+            raw_simple=40, raw_branch=40, raw_order=50
+        )
+        items = _all_items(workload)
+        legacy = _legacy_estimates(system, items)
+        kernel = [system.estimate(item.query) for item in items]
+        assert legacy == kernel
+        assert system.kernel().stats()["fallbacks"] == 0

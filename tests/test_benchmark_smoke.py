@@ -114,6 +114,20 @@ class TestBenchSmoke:
         bench.test_obs_overhead(tiny_ctx, _StubBenchmark())
         assert "observability overhead" in rendered_results()
 
+    def test_throughput_kernel_gate(self, tiny_ctx):
+        """Perf smoke: the compiled kernel must not be slower than the
+        legacy join, even at tiny scale (CI runs exactly this gate)."""
+        import benchmarks.bench_throughput as bench
+
+        system = tiny_ctx.factory("XMark").system(0, 0)
+        items = tiny_ctx.workload("XMark").no_order()[:60]
+        assert items
+        kernel_s, legacy_s = bench._kernel_vs_legacy(system, items, repeats=3)
+        assert kernel_s <= legacy_s, (
+            "kernel sweep %.1f ms slower than legacy %.1f ms"
+            % (1e3 * kernel_s, 1e3 * legacy_s)
+        )
+
     def test_build_throughput(self, tiny_ctx, monkeypatch):
         import benchmarks.bench_build_throughput as bench
 
