@@ -124,8 +124,21 @@ def test_service_throughput(ctx, benchmark):
     # Timing kernel for the benchmark harness: one cached sweep.
     benchmark.pedantic(lambda: run(1024), rounds=1, iterations=1)
 
-    on_qps, on_p95, on_hit_rate, on_results = run(1024)
-    off_qps, off_p95, off_hit_rate, off_results = run(0)
+    # Interleaved best-of-3 sweeps per arm: thread-pool timing on a
+    # loaded host jitters far more than the cache effect at smoke scale,
+    # and interleaving means a load swing hits both arms instead of
+    # penalizing whichever happened to run second.
+    on_measured = []
+    off_measured = []
+    for _ in range(3):
+        on_measured.append(run(1024))
+        off_measured.append(run(0))
+    on_qps, on_p95, on_hit_rate, on_results = max(
+        on_measured, key=lambda measured: measured[0]
+    )
+    off_qps, off_p95, off_hit_rate, off_results = max(
+        off_measured, key=lambda measured: measured[0]
+    )
     batch_qps, batch_results = run(1024, driver=_drive_batch)
 
     # Served numbers are the direct numbers — cache, batch or neither.

@@ -362,7 +362,16 @@ class SynopsisBuilder:
         )
         failed: List[_ShardJob] = []
         try:
-            futures = {job[0]: executor.submit(_scan_shard, job) for job in jobs}
+            futures = {}
+            try:
+                for job in jobs:
+                    futures[job[0]] = executor.submit(_scan_shard, job)
+            except concurrent.futures.BrokenExecutor:
+                # A worker death can land while jobs are still being
+                # submitted; the dead pool then refuses the rest.  The
+                # unsubmitted jobs retry with a fresh pool (the submitted
+                # ones surface the breakage at result() below).
+                failed.extend(job for job in jobs if job[0] not in futures)
             by_index = {job[0]: job for job in jobs}
             stop_waiting_at = time.monotonic() + self.shard_timeout_s
             with self.tracer.aggregate("scan") as scan_span:

@@ -171,6 +171,55 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         "snapshot %r written to %s (%d bytes)"
         % (name, output, os.path.getsize(output))
     )
+    if args.pack:
+        from repro.shm import PACK_SUFFIX, KernelPackError, write_pack
+
+        pack_path = os.path.splitext(output)[0] + PACK_SUFFIX
+        try:
+            size = write_pack(pack_path, system=system, name=name)
+        except KernelPackError as error:
+            print("warning: kernelpack not written: %s" % error, file=sys.stderr)
+        else:
+            print("kernelpack written to %s (%d bytes)" % (pack_path, size))
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from repro.shm import describe_pack, stage_packs
+
+    if args.check:
+        from repro.errors import ReproError
+
+        status = 0
+        for path in args.check:
+            # Accept a pack path or a bare synopsis name (resolved in
+            # --snapshot-dir): `pack --check SSPlays` and
+            # `pack --check snapshots/SSPlays.kernelpack` both work.
+            if not os.path.exists(path):
+                named = os.path.join(args.snapshot_dir, path + ".kernelpack")
+                if os.path.exists(named):
+                    path = named
+            try:
+                info = describe_pack(path)
+            except (ReproError, OSError) as error:
+                print("%s: INVALID (%s)" % (path, error), file=sys.stderr)
+                status = 1
+                continue
+            print(
+                "%s: ok — %r v%d, %d tags, %d pairs, %d bytes"
+                % (path, info["name"], info["version"], info["tags"],
+                   info["pairs"], info["size_bytes"])
+            )
+        return status
+    if not os.path.isdir(args.snapshot_dir):
+        print("error: snapshot dir %r does not exist" % args.snapshot_dir,
+              file=sys.stderr)
+        return 1
+    results = stage_packs(args.snapshot_dir, force=args.force)
+    for name in sorted(results):
+        print("%-24s %s" % (name, results[name]))
+    if not results:
+        print("no *.json snapshots in %r" % args.snapshot_dir, file=sys.stderr)
     return 0
 
 
@@ -186,6 +235,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: snapshot dir %r does not exist" % args.snapshot_dir,
               file=sys.stderr)
         return 1
+    if args.workers > 1:
+        return _serve_pool(args)
     registry = SynopsisRegistry(
         args.snapshot_dir, check_interval=args.reload_interval
     )
@@ -233,6 +284,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.gate.close()
         service.gate.drain(args.drain_timeout)
         server.httpd.server_close()
+    return 0
+
+
+def _serve_pool(args: argparse.Namespace) -> int:
+    """``repro serve --workers N``: the pre-fork SO_REUSEPORT pool."""
+    import signal
+    import threading
+
+    from repro.service import ServerConfig, serve_pool
+    from repro.shm import WorkerPoolError, pool_supported
+
+    if not pool_supported():
+        print(
+            "error: --workers %d needs os.fork and SO_REUSEPORT "
+            "(unavailable on this platform); run --workers 1"
+            % args.workers,
+            file=sys.stderr,
+        )
+        return 1
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        plan_cache_capacity=args.plan_cache,
+        reload_interval_s=args.reload_interval,
+        max_inflight=args.max_inflight,
+        request_deadline_s=args.deadline or None,
+        drain_timeout_s=args.drain_timeout,
+        workers=args.workers,
+        control_port=None if args.control_port < 0 else args.control_port,
+        trace_sample_rate=args.trace_sample_rate,
+        slowlog_capacity=args.slowlog_capacity,
+        slowlog_threshold_ms=args.slowlog_threshold_ms,
+        slowlog_top_k=args.slowlog_top_k,
+    )
+    try:
+        pool, control = serve_pool(
+            args.snapshot_dir, config=config
+        )
+        pool._on_event = lambda line: print(line, file=sys.stderr, flush=True)
+        pool.start()
+    except WorkerPoolError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    # SIGHUP = hot reload (classic pre-fork supervisor convention).
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, lambda *_: pool.reload())
+    # "staged" to the operator means "a pack backs this synopsis" —
+    # whether this launch wrote it or an earlier one did ("fresh").
+    staged = sum(1 for status in pool.pack_status.values()
+                 if not status.startswith("skipped"))
+    print(
+        "serving with %d workers on http://%s:%d (%d kernelpack(s) staged%s)"
+        % (
+            args.workers, pool.host, pool.port, staged,
+            "; control on http://%s:%d" % (control.host, control.port)
+            if control is not None else "",
+        ),
+        flush=True,
+    )
+    if control is not None:
+        control.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if control is not None:
+            control.close()
+        pool.stop()
     return 0
 
 
@@ -360,7 +482,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="recover past malformed XML in --file sources instead of "
         "aborting (damage is skipped; estimates stay exact elsewhere)",
     )
+    snapshot.add_argument(
+        "--pack", action="store_true",
+        help="also write a mmap-able <name>.kernelpack next to the JSON "
+        "(zero-copy kernel snapshot for serve --workers N)",
+    )
     snapshot.set_defaults(handler=_cmd_snapshot)
+
+    pack = commands.add_parser(
+        "pack",
+        help="stage mmap-able .kernelpack files for a snapshot directory",
+    )
+    pack.add_argument(
+        "--snapshot-dir", required=True, help="directory of *.json synopses"
+    )
+    pack.add_argument(
+        "--force", action="store_true",
+        help="rewrite packs even when they are newer than their JSON",
+    )
+    pack.add_argument(
+        "--check", nargs="+", metavar="PACK", default=None,
+        help="validate existing pack files instead of staging new ones",
+    )
+    pack.set_defaults(handler=_cmd_pack)
 
     serve = commands.add_parser(
         "serve", help="serve estimates over JSON/HTTP from persisted synopses"
@@ -410,6 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--slowlog-top-k", type=int, default=32,
         help="size of the top-by-latency / top-by-error boards",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-forked SO_REUSEPORT worker processes sharing the port "
+        "(1 = classic single-process serving)",
+    )
+    serve.add_argument(
+        "--control-port", type=int, default=0,
+        help="supervisor control-plane port for --workers N (aggregated "
+        "/metrics, /healthz, POST /reload); 0 = ephemeral, -1 disables",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -297,6 +297,53 @@ class EstimationSystem:
             self.path_provider, self.encoding_table
         )
 
+    def adopt_kernel(self, kernel: SynopsisKernel) -> None:
+        """Attach a pre-built kernel instead of compiling one lazily.
+
+        The kernelpack loader uses this to hand a system a kernel
+        reconstructed zero-copy from a mapped snapshot; ``kernel()``
+        then serves it with no compilation ever running in-process.  The
+        kernel must have been built for *this* system's provider and
+        encoding table — a mismatched kernel would silently produce
+        estimates for a different synopsis, so it is rejected here.
+        """
+        if not kernel.supports(self.path_provider, self.encoding_table):
+            raise ValueError(
+                "kernel %r was not built for this system's provider/encoding "
+                "table" % (kernel.name,)
+            )
+        with self._kernel_lock:
+            previous, self._kernel = self._kernel, kernel
+        if previous is not None and previous is not kernel:
+            previous.invalidate()
+
+    def kernel_peek(self) -> Optional[SynopsisKernel]:
+        """The attached kernel, or ``None`` — never triggers a compile
+        (health checks and metrics must not pay the build cost)."""
+        return self._kernel
+
+    def kernel_state(self) -> str:
+        """Readiness of the compiled kernel, without compiling one.
+
+        ``"disabled"`` (kernel turned off), ``"pending"`` (will compile
+        lazily on first estimate), ``"ready"`` (attached and serving),
+        ``"stale"`` (invalidated by a reload/append; awaiting
+        replacement) or ``"unsupported"`` (attached but cannot serve this
+        provider — e.g. depth-refined statistics).  ``/healthz`` exposes
+        this per synopsis so load balancers can tell a warmed-up worker
+        from one that would eat the compile cost on its next request.
+        """
+        if not self.kernel_enabled:
+            return "disabled"
+        kernel = self._kernel
+        if kernel is None:
+            return "pending"
+        if kernel.invalidated:
+            return "stale"
+        if not kernel.supports(self.path_provider, self.encoding_table):
+            return "unsupported"
+        return "ready"
+
     def invalidate_kernel(self) -> bool:
         """Drop the attached kernel (hot reload / live append guard).
 

@@ -123,6 +123,8 @@ def _build_wire_kinds():
     from repro.reliability.policy import DeadlineExceededError
     from repro.reliability.shedding import OverloadedError
     from repro.service.registry import UnknownSynopsisError
+    from repro.shm.kernelpack import KernelPackError
+    from repro.shm.pool import WorkerPoolError
 
     return {
         ReproError.kind: ReproError,
@@ -137,6 +139,8 @@ def _build_wire_kinds():
         CircuitOpenError.kind: CircuitOpenError,
         OverloadedError.kind: OverloadedError,
         UnknownSynopsisError.kind: UnknownSynopsisError,
+        KernelPackError.kind: KernelPackError,
+        WorkerPoolError.kind: WorkerPoolError,
     }
 
 

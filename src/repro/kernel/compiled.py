@@ -156,6 +156,11 @@ class SynopsisKernel:
         self.joins = 0
         self.fallbacks = 0
         self.build_ms = 0.0
+        # Kernelpack accounting: a PackedKernel counts tables/pairs it
+        # decoded off the mapping vs. compiled in-process (pack gaps);
+        # on a plain kernel both stay 0.
+        self.pack_hits = 0
+        self.pack_misses = 0
 
     # ------------------------------------------------------------------
     # Gating
@@ -224,6 +229,56 @@ class SynopsisKernel:
         """Bitset of indexes rooted at the document root (pid_is_root)."""
         compiled = self.tag_table(tag)
         return compiled.init_at[0] if compiled.init_at else 0
+
+    def compile_full(self, tracer=NULL_TRACER) -> Dict[str, int]:
+        """Eagerly compile every tag table and every co-occurring pair.
+
+        Laziness is right for serving, wrong for snapshotting: the
+        kernelpack writer needs the complete structure.  "Co-occurring"
+        comes from the encoding table's label paths — descendant pairs
+        for every ordered (ancestor, descendant) on some path, child
+        pairs for adjacent labels — which is exactly the set of pairs a
+        supported query can ever request (the join only relates tags
+        that appear on a common root-to-leaf path; unrelated pairs yield
+        empty matrices and the estimate 0 without consulting a pair).
+
+        Returns ``{"tags": ..., "pairs": ...}`` counts.
+        """
+        if not self.eligible:
+            raise ValueError(
+                "kernel for %r is not eligible for full compilation "
+                "(depth-refined statistics)" % (self.name,)
+            )
+        for tag in sorted(self.provider.tags()):
+            self.tag_table(tag, tracer)
+        known = set(self._tags)
+        pair_keys = set()
+        table = self.table
+        for encoding in range(1, table.width + 1):
+            labels = table.labels_of(encoding)
+            for i, upper in enumerate(labels):
+                for j in range(i + 1, len(labels)):
+                    lower = labels[j]
+                    if upper not in known or lower not in known:
+                        continue
+                    pair_keys.add((upper, lower, False))
+                    if j == i + 1:
+                        pair_keys.add((upper, lower, True))
+        for upper, lower, child in sorted(pair_keys):
+            self.containment(upper, lower, child, tracer)
+        return {"tags": len(self._tags), "pairs": len(self._pairs)}
+
+    def export_state(
+        self,
+    ) -> Tuple[Dict[str, TagTable], Dict[Tuple[str, str, bool], ContainmentPair]]:
+        """Snapshot of the compiled structures (for the pack writer)."""
+        with self._lock:
+            return dict(self._tags), dict(self._pairs)
+
+    @property
+    def packed(self) -> bool:
+        """True on kernels decoded from a mapped kernelpack."""
+        return False
 
     def _build_tag_table(self, tag: str) -> TagTable:
         pairs = list(self.provider.frequency_pairs(tag))
@@ -317,6 +372,9 @@ class SynopsisKernel:
                 "memo_entries": memo_entries,
                 "build_ms": round(self.build_ms, 3),
                 "invalidated": self.invalidated,
+                "packed": self.packed,
+                "pack_hits": self.pack_hits,
+                "pack_misses": self.pack_misses,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

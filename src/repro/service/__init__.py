@@ -27,6 +27,11 @@ snapshots with ``python -m repro snapshot``, or in-process::
 
     from repro.service import ServerConfig, serve
     server = serve(snapshot_dir, config=ServerConfig(port=0))
+
+For multi-core serving, ``repro serve --workers N`` (or
+:func:`serve_pool`) runs the :mod:`repro.shm` pre-fork pool instead: the
+supervisor stages mmap-able kernelpacks once and N ``SO_REUSEPORT``
+worker processes serve them zero-copy.
 """
 
 from typing import Optional
@@ -78,6 +83,29 @@ def serve(
     return ServiceServer(service, host=cfg.host, port=cfg.port)
 
 
+def serve_pool(
+    snapshot_dir: str,
+    *,
+    config: Optional[ServerConfig] = None,
+):
+    """Assemble a **not yet started** pre-fork worker pool (+ control
+    server when ``config.control_port`` is set).
+
+    Returns ``(pool, control)`` — call ``pool.start()`` then
+    ``control.start()``; ``control`` is ``None`` when disabled.  Requires
+    ``config.workers > 1`` support on the platform
+    (:func:`repro.shm.pool_supported`).
+    """
+    from repro.shm import ControlServer, WorkerPool
+
+    cfg = config if config is not None else ServerConfig()
+    pool = WorkerPool(snapshot_dir, workers=cfg.workers, config=cfg)
+    control = None
+    if cfg.control_port is not None:
+        control = ControlServer(pool, host=cfg.host, port=cfg.control_port)
+    return pool, control
+
+
 __all__ = [
     "ClientConfig",
     "CompiledPlan",
@@ -97,4 +125,5 @@ __all__ = [
     "UnknownSynopsisError",
     "compile_plan",
     "serve",
+    "serve_pool",
 ]

@@ -126,6 +126,12 @@ class ServiceClient:
         self.breaker = breaker
         self._sleep = sleep
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: TCP connections actually opened.  With keep-alive (the
+        #: default) this stays at 1 across any number of requests unless
+        #: the server drops the connection; the throughput benches report
+        #: it to prove client-side connection churn is not the
+        #: bottleneck being measured.
+        self.connects_total = 0
 
     def close(self) -> None:
         if self._connection is not None:
@@ -149,6 +155,7 @@ class ServiceClient:
         # Nagle + delayed ACK stalls tiny request/response exchanges on a
         # reused connection by ~40ms; estimates are sub-millisecond.
         connection.connect()
+        self.connects_total += 1
         connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         if self.keep_alive:
             self._connection = connection

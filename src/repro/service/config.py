@@ -28,6 +28,14 @@ class ServerConfig:
     max_inflight: int = 64
     request_deadline_s: Optional[float] = None
     drain_timeout_s: float = 5.0
+    # Worker pool ----------------------------------------------------
+    #: Pre-forked ``SO_REUSEPORT`` worker processes (1 = classic
+    #: single-process serving; N > 1 needs fork + SO_REUSEPORT).
+    workers: int = 1
+    #: Supervisor control-plane port for ``workers > 1`` (aggregated
+    #: /metrics, /healthz, POST /reload); 0 binds an ephemeral port,
+    #: None disables the control server.
+    control_port: Optional[int] = 0
     # Observability --------------------------------------------------
     trace_sample_rate: float = 0.0
     slowlog_capacity: int = 256
@@ -41,6 +49,8 @@ class ServerConfig:
             raise ValueError("plan_cache_capacity must be >= 0")
         if self.slowlog_capacity <= 0:
             raise ValueError("slowlog_capacity must be > 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
     def as_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -12,7 +12,15 @@ under stable names.  Three kinds of entry coexist:
   malformed replacement never takes down the entry: the previous
   **last-good** system keeps serving, the entry reports itself degraded
   (``describe()``, ``/healthz``) and ``reload_failures`` counts the
-  rejected swaps;
+  rejected swaps.  When a staged ``<name>.kernelpack`` sits beside the
+  JSON at least as new as it, the entry loads *that* instead: the system
+  comes from the pack's embedded synopsis and the compiled kernel is
+  reconstructed zero-copy from the mapping — no in-process compile, and
+  N worker processes mapping the same pack share one physical copy.  A
+  corrupt or truncated pack (checksum) falls back to the JSON snapshot
+  and lazy compilation (``pack_failures`` counts those).  A
+  ``<name>.kernelpack`` with no JSON beside it serves alone, since the
+  pack embeds the full synopsis;
 * **in-memory** — registered programmatically (tests, benchmarks);
 * **live** — a :class:`LiveSynopsis` wrapping
   :class:`~repro.stats.maintenance.MaintainedStatistics`: appends patch
@@ -33,10 +41,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import persist
 from repro.core.system import EstimationSystem
-from repro.errors import ReproError
-from repro.persist import PersistError
+# The *base* PersistError: it covers both repro.persist load failures
+# and repro.shm.kernelpack.KernelPackError, so every degraded path here
+# catches rejected packs too.
+from repro.errors import PersistError, ReproError
 from repro.reliability import faults
 from repro.stats.maintenance import MaintainedStatistics
+from repro.shm.kernelpack import PACK_SUFFIX, load_pack, pack_stamp
 from repro.xmltree.document import XmlDocument
 from repro.xmltree.node import XmlNode
 
@@ -107,6 +118,8 @@ class SynopsisEntry:
         "live",
         "load_error",
         "last_check",
+        "pack_stamp",
+        "packed",
     )
 
     def __init__(
@@ -126,6 +139,13 @@ class SynopsisEntry:
         self.live = live
         self.load_error: Optional[str] = None
         self.last_check = float("-inf")
+        # Kernelpack serving state: the stamp of the usable pack beside
+        # the snapshot at load time (None when there was none), and
+        # whether the served system actually came from it.  The stamp is
+        # recorded even when the pack was rejected, so a corrupt pack is
+        # retried once, not on every freshness check.
+        self.pack_stamp: Optional[tuple] = None
+        self.packed = False
 
     @property
     def source(self) -> str:
@@ -147,6 +167,8 @@ class SynopsisEntry:
             "paths": len(table.all_paths()),
             "pathid_bits": table.width,
             "tags": len(self.system.path_provider.tags()),
+            "packed": self.packed,
+            "kernel": getattr(self.system, "kernel_state", lambda: "unknown")(),
         }
         if self.load_error is not None:
             info["load_error"] = self.load_error
@@ -192,6 +214,13 @@ class SynopsisRegistry:
         #: Rejected hot-reload swaps (bad replacement kept out, last-good
         #: still serving).  Exposed via the service's /healthz + /metrics.
         self.reload_failures = 0
+        #: Corrupt/truncated kernelpacks that were rejected (checksum,
+        #: bad header) with the entry falling back to its JSON snapshot
+        #: and in-process compilation.
+        self.pack_failures = 0
+        #: Called (name, entry) after every successful hot-reload swap —
+        #: worker processes hook this to publish their remap progress.
+        self.on_reload: Optional[Callable[[str, SynopsisEntry], None]] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -266,10 +295,24 @@ class SynopsisRegistry:
         names = []
         with self._lock:
             self.scan_errors = {}
-            for filename in sorted(os.listdir(self.snapshot_dir)):
-                if not filename.endswith(SNAPSHOT_SUFFIX):
+            listing = sorted(os.listdir(self.snapshot_dir))
+            json_names = {
+                filename[: -len(SNAPSHOT_SUFFIX)]
+                for filename in listing
+                if filename.endswith(SNAPSHOT_SUFFIX)
+            }
+            for filename in listing:
+                if filename.endswith(SNAPSHOT_SUFFIX):
+                    name = filename[: -len(SNAPSHOT_SUFFIX)]
+                elif filename.endswith(PACK_SUFFIX):
+                    # A pack with a JSON twin loads through the twin's
+                    # entry; a pack alone serves from its embedded
+                    # synopsis.
+                    name = filename[: -len(PACK_SUFFIX)]
+                    if name in json_names:
+                        continue
+                else:
                     continue
-                name = filename[: -len(SNAPSHOT_SUFFIX)]
                 try:
                     self._load_or_refresh(
                         name, os.path.join(self.snapshot_dir, filename)
@@ -335,7 +378,13 @@ class SynopsisRegistry:
     def _snapshot_path(self, name: str) -> Optional[str]:
         if self.snapshot_dir is None:
             return None
-        return os.path.join(self.snapshot_dir, name + SNAPSHOT_SUFFIX)
+        json_path = os.path.join(self.snapshot_dir, name + SNAPSHOT_SUFFIX)
+        if os.path.exists(json_path):
+            return json_path
+        pack_path = os.path.join(self.snapshot_dir, name + PACK_SUFFIX)
+        if os.path.exists(pack_path):
+            return pack_path
+        return json_path
 
     def _load_unregistered(self, name: str) -> SynopsisEntry:
         """A name we have not seen: pick up a snapshot that appeared after
@@ -353,20 +402,80 @@ class SynopsisRegistry:
     def _load_or_refresh(self, name: str, path: str) -> SynopsisEntry:
         entry = self._entries.get(name)
         if entry is None:
-            text, stamp = _read_snapshot(path)
-            system = persist.loads(text)
-            entry = SynopsisEntry(name, system, path=path, stamp=stamp)
+            if path.endswith(PACK_SUFFIX):
+                # Pack-only entry: the embedded synopsis serves alone.
+                faults.fire("registry.load", path)
+                stamp = pack_stamp(path)
+                loaded = load_pack(path)
+                entry = SynopsisEntry(name, loaded.system, path=path, stamp=stamp)
+                entry.pack_stamp = stamp
+                entry.packed = True
+            else:
+                text, stamp = _read_snapshot(path)
+                system, pstamp, packed = self._load_preferring_pack(path, text)
+                entry = SynopsisEntry(name, system, path=path, stamp=stamp)
+                entry.pack_stamp = pstamp
+                entry.packed = packed
             entry.last_check = self._clock()
             self._entries[name] = entry
             return entry
         self._maybe_reload(entry, force=True)
         return entry
 
+    def _probe_pack(self, json_path: str) -> Tuple[str, Optional[tuple]]:
+        """The pack sitting beside a JSON snapshot, if it should be used.
+
+        Returns ``(pack_path, stamp)`` with ``stamp`` None when there is
+        no usable pack (absent, or older than the JSON — a stale pack
+        must not shadow a newer snapshot).  A pack whose header cannot
+        even be read yields a surrogate stamp from its stat, so the same
+        corrupt bytes are rejected once rather than re-tried on every
+        freshness check.
+        """
+        pack_path = json_path[: -len(SNAPSHOT_SUFFIX)] + PACK_SUFFIX
+        try:
+            pack_stat = os.stat(pack_path)
+        except OSError:
+            return pack_path, None
+        try:
+            if pack_stat.st_mtime_ns < os.stat(json_path).st_mtime_ns:
+                return pack_path, None
+        except OSError:
+            pass  # JSON vanished; the pack is all there is
+        try:
+            return pack_path, pack_stamp(pack_path)
+        except (PersistError, OSError):
+            return pack_path, (
+                "unreadable", pack_stat.st_mtime_ns, pack_stat.st_size,
+            )
+
+    def _load_preferring_pack(
+        self, json_path: str, text: str
+    ) -> Tuple[EstimationSystem, Optional[tuple], bool]:
+        """Load a system for a JSON-backed entry, preferring its staged
+        pack; returns ``(system, pack_stamp, packed)``.
+
+        A rejected pack (corrupt, truncated, version mismatch) falls back
+        to the JSON text and lazy in-process kernel compilation — the
+        pack is an accelerator, never a point of failure.
+        """
+        pack_path, probe = self._probe_pack(json_path)
+        if probe is not None:
+            try:
+                loaded = load_pack(pack_path)
+                return loaded.system, probe, True
+            except (PersistError, OSError):
+                self.pack_failures += 1
+        return persist.loads(text), probe, False
+
     def _maybe_reload(self, entry: SynopsisEntry, force: bool = False) -> None:
         now = self._clock()
         if not force and now - entry.last_check < self.check_interval:
             return
         entry.last_check = now
+        if entry.path is not None and entry.path.endswith(PACK_SUFFIX):
+            self._maybe_reload_pack_only(entry)
+            return
         try:
             text, stamp = _read_snapshot(entry.path)  # type: ignore[arg-type]
         except OSError as error:
@@ -376,25 +485,66 @@ class SynopsisRegistry:
                 self.reload_failures += 1
             entry.load_error = "snapshot unreadable: %s" % error
             return
-        if stamp == entry.stamp:
+        _, probe = self._probe_pack(entry.path)  # type: ignore[arg-type]
+        if stamp == entry.stamp and probe == entry.pack_stamp:
             # Disk matches what we serve; a transient read failure (if
             # any) is over, so the entry is healthy again.
             entry.load_error = None
             return
         try:
-            system = persist.loads(text)
+            system, pstamp, packed = self._load_preferring_pack(entry.path, text)
         except PersistError as error:
             # Truncated, corrupt (checksum mismatch) or malformed
             # replacement: keep the last-good system and surface the
-            # failure instead of flapping.  The stamp is *not* advanced,
-            # so a fixed snapshot is picked up on the next check.
+            # failure instead of flapping.  The JSON stamp is *not*
+            # advanced, so a fixed snapshot is picked up on the next
+            # check; the pack stamp *is*, so the same corrupt pack bytes
+            # are not re-parsed every check (a fixed pack stamps anew).
+            if entry.load_error is None:
+                self.reload_failures += 1
+            entry.load_error = "reload failed: %s" % error
+            entry.pack_stamp = probe
+            return
+        self._swap(entry, system, stamp, pstamp, packed)
+
+    def _maybe_reload_pack_only(self, entry: SynopsisEntry) -> None:
+        """Freshness check for an entry served from a pack with no JSON
+        twin: the stamp is the pack's own (read from its 24-byte header,
+        no full-file hash)."""
+        try:
+            faults.fire("registry.load", entry.path)
+            stamp = pack_stamp(entry.path)  # type: ignore[arg-type]
+        except (PersistError, OSError) as error:
+            if entry.load_error is None:
+                self.reload_failures += 1
+            entry.load_error = "snapshot unreadable: %s" % error
+            return
+        if stamp == entry.stamp:
+            entry.load_error = None
+            return
+        try:
+            loaded = load_pack(entry.path)  # type: ignore[arg-type]
+        except (PersistError, OSError) as error:
+            self.pack_failures += 1
             if entry.load_error is None:
                 self.reload_failures += 1
             entry.load_error = "reload failed: %s" % error
             return
+        self._swap(entry, loaded.system, stamp, stamp, True)
+
+    def _swap(
+        self,
+        entry: SynopsisEntry,
+        system: EstimationSystem,
+        stamp: tuple,
+        pstamp: Optional[tuple],
+        packed: bool,
+    ) -> None:
         previous = entry.system
         entry.system = system
         entry.stamp = stamp
+        entry.pack_stamp = pstamp
+        entry.packed = packed
         entry.generation += 1
         entry.load_error = None
         # Stale-kernel guard: the swapped-out system's compiled kernel
@@ -402,3 +552,8 @@ class SynopsisRegistry:
         # last-good fallback paths above never reach here, so a degraded
         # entry keeps both its system and its warm kernel.
         previous.invalidate_kernel()
+        if self.on_reload is not None:
+            try:
+                self.on_reload(entry.name, entry)
+            except Exception:  # pragma: no cover - observer must not break serving
+                pass

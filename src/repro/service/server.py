@@ -49,6 +49,7 @@ tearing the socket down.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -136,6 +137,12 @@ class EstimationService:
         self.trace_sample_rate = trace_sample_rate
         self._sample_lock = threading.Lock()
         self._sample_seq = 0
+        # Worker-pool hooks (set by repro.shm.pool on forked workers):
+        # callables returning the shared-memory arena's aggregated
+        # metrics / per-worker liveness, so any worker can render the
+        # pool-wide picture under "workers".
+        self.workers_view: Optional[Any] = None
+        self.workers_liveness: Optional[Any] = None
 
     def _sample_trace(self) -> bool:
         """Deterministic systematic sampling: of every 1/rate requests,
@@ -161,6 +168,7 @@ class EstimationService:
         trace: bool = False,
         actual: Optional[float] = None,
         memo: Optional[Dict[str, Tuple[float, str, bool]]] = None,
+        entry=None,
     ) -> Dict[str, Any]:
         """One estimate as a JSON-ready dict (no request-metrics side
         effects; the slow-query log *is* fed here, per query).
@@ -176,8 +184,15 @@ class EstimationService:
         computed value instead of re-entering the plan cache, and every
         plan in the batch shares the same kernel (so its containment-row
         memos are warm across queries).
+
+        ``entry`` pins the registry entry (system + generation) for the
+        whole call: :meth:`handle_estimate` resolves it once per request
+        so a hot reload landing mid-batch cannot hand later queries a
+        different synopsis than earlier ones.  Without it, the entry is
+        resolved here (single ad-hoc estimates).
         """
-        entry = self.registry.get(synopsis)
+        if entry is None:
+            entry = self.registry.get(synopsis)
         if trace:
             traced = entry.system.query(text, trace=True)
             kernel_used = _trace_used_kernel(traced.trace)
@@ -259,6 +274,12 @@ class EstimationService:
             memo: Optional[Dict[str, Tuple[float, str, bool]]] = (
                 {} if batched and not trace else None
             )
+            # Resolve the registry entry exactly once per request: every
+            # query in a batch estimates against the same system and the
+            # reported generation is the one that actually served — a
+            # reload landing mid-batch waits for the next request rather
+            # than splitting this one across two synopses.
+            entry = self.registry.get(synopsis)
             for index, text in enumerate(queries):
                 deadline.check("estimate request")
                 results.append(
@@ -268,6 +289,7 @@ class EstimationService:
                         trace=trace,
                         actual=actuals[index],
                         memo=memo,
+                        entry=entry,
                     )
                 )
         except DeadlineExceededError:
@@ -296,7 +318,7 @@ class EstimationService:
         except RequestError:
             self._observe_failure(synopsis, started, len(queries))
             raise
-        generation = self.registry.get(synopsis).generation
+        generation = entry.generation
         self.metrics.observe(
             synopsis, time.perf_counter() - started, queries=len(results)
         )
@@ -375,7 +397,16 @@ class EstimationService:
         """Liveness plus degradation: a registry entry stuck on last-good
         state (corrupt/unreadable replacement snapshot) flips the status
         to ``"degraded"`` without taking the endpoint to non-200 — the
-        server *is* serving, just not the newest synopsis."""
+        server *is* serving, just not the newest synopsis.
+
+        ``kernels`` maps each synopsis to its compiled-kernel readiness
+        (``ready`` / ``pending`` / ``stale`` / ``disabled`` /
+        ``unsupported``) *without* triggering a compile, so a load
+        balancer can tell a warmed-up instance from one that would pay
+        the build cost on its next estimate.  Under a worker pool the
+        reply also carries per-worker ``{pid, generation, alive}`` from
+        the shared arena — the remap generation each worker serves.
+        """
         degraded = {}
         reload_failures = 0
         if hasattr(self.registry, "degraded"):
@@ -385,17 +416,43 @@ class EstimationService:
             "status": "degraded" if degraded else "ok",
             "synopses": len(self.registry),
             "reload_failures": reload_failures,
+            "kernels": self.kernel_states(),
         }
         if degraded:
             body["degraded"] = degraded
+        if self.workers_liveness is not None:
+            try:
+                body["workers"] = self.workers_liveness()
+            except Exception:  # pragma: no cover - defensive
+                pass
         return body
+
+    def kernel_states(self) -> Dict[str, str]:
+        """Per-synopsis kernel readiness; never compiles anything (reads
+        ``kernel_state`` which only peeks at the attached kernel)."""
+        states: Dict[str, str] = {}
+        names = getattr(self.registry, "names", lambda: [])()
+        for name in names:
+            try:
+                entry = self.registry.get(name)
+                state = getattr(entry.system, "kernel_state", lambda: "unknown")()
+            except Exception:  # pragma: no cover - defensive
+                state = "unknown"
+            states[name] = state
+        return states
 
     def metrics_document(self) -> Dict[str, Any]:
         document = self.metrics.snapshot(self.plan_cache.stats())
         reliability = dict(self.gate.stats())
         reliability["reload_failures"] = getattr(self.registry, "reload_failures", 0)
+        reliability["pack_failures"] = getattr(self.registry, "pack_failures", 0)
         document["reliability"] = reliability
         document["kernel"] = self.kernel_document()
+        if self.workers_view is not None:
+            try:
+                document["workers"] = self.workers_view()
+            except Exception:  # pragma: no cover - defensive
+                pass
         return document
 
     def kernel_document(self) -> Dict[str, Any]:
@@ -417,6 +474,9 @@ class EstimationService:
             "build_ms": 0.0,
             "hits": self.metrics.counter("kernel_hits_total"),
             "misses": self.metrics.counter("kernel_misses_total"),
+            "packed": 0,
+            "pack_hits": 0,
+            "pack_misses": 0,
         }
         names = getattr(self.registry, "names", lambda: [])()
         for name in names:
@@ -438,6 +498,10 @@ class EstimationService:
                 ):
                     totals[key] += stats[key]
                 totals["build_ms"] += stats["build_ms"]
+                if stats.get("packed"):
+                    totals["packed"] += 1
+                totals["pack_hits"] += stats.get("pack_hits", 0)
+                totals["pack_misses"] += stats.get("pack_misses", 0)
             except Exception:  # pragma: no cover - defensive
                 continue
         totals["build_ms"] = round(totals["build_ms"], 3)
@@ -601,10 +665,26 @@ class ServiceServer:
         service: EstimationService,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
+        reuse_port: bool = False,
     ):
         self.service = service
-        self.httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+        # Bind deferred so SO_REUSEPORT can be set first: the pre-fork
+        # worker pool binds N processes to the same (host, port) and the
+        # kernel load-balances accepted connections across them.
+        self.httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(service), bind_and_activate=False
+        )
         self.httpd.daemon_threads = True
+        try:
+            if reuse_port:
+                self.httpd.socket.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
+            self.httpd.server_bind()
+            self.httpd.server_activate()
+        except BaseException:
+            self.httpd.server_close()
+            raise
         self.host, self.port = self.httpd.server_address[0], self.httpd.server_address[1]
         self._thread: Optional[threading.Thread] = None
 

@@ -1,0 +1,62 @@
+"""Multi-core zero-copy serving: kernel snapshots + pre-fork workers.
+
+PR 5's compiled kernel made one process fast; this package makes N
+processes share that speed without N rebuilds.  The kernel is already
+flat data — dense pid indexes, ``array('d')`` frequency tables,
+containment-bitmatrix rows — so it serializes into a versioned,
+checksummed **kernelpack**: header + offset table + raw buffer segments.
+A loader maps the file read-only and reconstructs a live kernel straight
+from the ``mmap`` — frequency tables are ``memoryview`` casts over the
+mapped pages (no copy), bitset rows materialize lazily per tag/pair on
+first use (no per-entry deserialization at load time).  Because the
+mapping is file-backed and read-only, every worker process that maps the
+same pack shares one physical copy through the page cache.
+
+* :mod:`repro.shm.kernelpack` — the pack format: :func:`write_pack`,
+  :func:`load_pack` and the :class:`PackedKernel` that serves joins from
+  the mapped buffers (falling back to in-process compilation for
+  anything the pack does not carry);
+* :mod:`repro.shm.slab` — fixed-layout per-worker metrics slabs in one
+  anonymous shared ``mmap`` created before fork: single-writer counters
+  plus a latency histogram, aggregated lock-free by the parent;
+* :mod:`repro.shm.pool` — the ``SO_REUSEPORT`` pre-fork worker pool
+  behind ``repro serve --workers N``: a parent supervisor stages packs
+  once, forks workers that mmap them, restarts crashed workers with the
+  reliability subsystem's retry backoff, and coordinates hot reload by
+  staging a new pack and bumping a shared generation;
+* :mod:`repro.shm.control` — the parent's control-plane HTTP server:
+  aggregated ``/metrics`` (JSON + Prometheus) from the worker slabs,
+  ``/healthz`` with per-worker remap generations, ``POST /reload``.
+"""
+
+from repro.shm.kernelpack import (
+    KernelPackError,
+    PACK_SUFFIX,
+    PACK_VERSION,
+    PackedKernel,
+    describe_pack,
+    load_pack,
+    pack_stamp,
+    write_pack,
+)
+from repro.shm.slab import SlabArena, WorkerSlab
+from repro.shm.pool import WorkerPool, WorkerPoolError, pool_supported, stage_packs
+from repro.shm.control import ControlServer
+
+__all__ = [
+    "ControlServer",
+    "KernelPackError",
+    "PACK_SUFFIX",
+    "PACK_VERSION",
+    "PackedKernel",
+    "SlabArena",
+    "WorkerPool",
+    "WorkerPoolError",
+    "WorkerSlab",
+    "describe_pack",
+    "load_pack",
+    "pack_stamp",
+    "pool_supported",
+    "stage_packs",
+    "write_pack",
+]

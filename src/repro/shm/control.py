@@ -1,0 +1,225 @@
+"""Parent-side control plane for the worker pool.
+
+The pool's data path is worker-only (the parent never accepts on the
+served port), so operations need a separate, tiny HTTP surface owned by
+the supervisor:
+
+``GET /healthz``
+    Pool liveness and convergence: worker count, per-worker
+    ``{pid, generation, alive}`` from the slab heartbeats, the current
+    reload generation, restart count and whether every live worker has
+    remapped to the latest generation (``converged``).  Status is
+    ``"ok"`` when all workers are alive and converged, ``"degraded"``
+    otherwise — the endpoint itself stays 200 (the pool *is* serving).
+``GET /metrics``
+    The aggregated pool document straight from the shared-memory arena:
+    totals (true pool-wide latency percentiles from merged histogram
+    buckets) plus the per-worker breakdown under ``workers.per_worker``.
+    ``?format=prom`` renders the same numbers as Prometheus text
+    exposition (format 0.0.4), labelled per worker.
+``POST /reload``
+    Stage fresh kernelpacks and bump the reload generation (the same
+    operation ``SIGHUP`` triggers on the CLI supervisor).  Replies with
+    the new generation and per-snapshot staging status; workers remap
+    asynchronously — poll ``/healthz`` for ``converged``.
+
+Everything here reads shared memory only; no request ever crosses into
+a worker, so the control plane stays responsive while workers are
+saturated.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.shm.pool import WorkerPool
+from repro.shm.slab import LATENCY_BUCKET_BOUNDS_US
+
+__all__ = ["ControlServer", "pool_health", "pool_metrics", "render_pool_prom"]
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def pool_health(pool: WorkerPool) -> Dict[str, Any]:
+    """The control ``/healthz`` document (also used by the CLI banner)."""
+    workers = pool.liveness()
+    converged = pool.reload_converged()
+    alive = sum(1 for worker in workers if worker["alive"])
+    healthy = alive == pool.workers and converged
+    return {
+        "status": "ok" if healthy else "degraded",
+        "role": "pool-supervisor",
+        "workers": pool.workers,
+        "alive": alive,
+        "converged": converged,
+        "reload_generation": pool.arena.reload_generation if pool.arena else 0,
+        "restarts": pool.restarts_total,
+        "per_worker": workers,
+    }
+
+
+def pool_metrics(pool: WorkerPool) -> Dict[str, Any]:
+    """The aggregated ``/metrics`` document: arena totals + breakdown."""
+    if pool.arena is None:
+        return {"workers": {"count": 0, "totals": {}, "per_worker": []}}
+    document = pool.describe()
+    document["workers"] = pool.arena.aggregate()
+    return document
+
+
+def render_pool_prom(pool: WorkerPool) -> str:
+    """Prometheus exposition of the aggregated pool metrics."""
+    lines = []
+
+    def emit(name: str, value, help_text: str, labels: str = "") -> None:
+        if not any(line.startswith("# HELP %s " % name) for line in lines):
+            lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s gauge" % name)
+        lines.append("%s%s %g" % (name, labels, value))
+
+    emit("repro_pool_workers", pool.workers, "Configured worker count.")
+    emit("repro_pool_restarts_total", pool.restarts_total,
+         "Crashed-worker respawns since pool start.")
+    if pool.arena is None:
+        return "\n".join(lines) + "\n"
+    aggregate = pool.arena.aggregate()
+    emit("repro_pool_reload_generation", aggregate["reload_generation"],
+         "Current hot-reload generation.")
+    totals = aggregate["totals"]
+    for field in sorted(totals):
+        if field in ("latency_ms", "latency_count", "latency_sum_us"):
+            continue
+        emit("repro_pool_%s_total" % field, totals[field],
+             "Pool-wide %s across worker slabs." % field.replace("_", " "))
+    latency = totals["latency_ms"]
+    for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+        emit(
+            "repro_pool_latency_ms",
+            latency[key],
+            "Pool-wide request latency quantiles (merged histogram, "
+            "bucket bounds up to %dus)." % LATENCY_BUCKET_BOUNDS_US[-1],
+            '{quantile="%s"}' % quantile,
+        )
+    for worker in aggregate["per_worker"]:
+        emit(
+            "repro_pool_worker_requests_total",
+            worker["requests"],
+            "Requests handled per worker.",
+            '{worker="%d"}' % worker["worker"],
+        )
+        emit(
+            "repro_pool_worker_generation",
+            worker["generation"],
+            "Reload generation each worker serves.",
+            '{worker="%d"}' % worker["worker"],
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _make_handler(pool: WorkerPool) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-pool-control"
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass
+
+        def _reply_json(self, status: int, body: Dict[str, Any]) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _reply_text(self, status: int, text: str) -> None:
+            data = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", PROM_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:
+            try:
+                parts = urlsplit(self.path)
+                if parts.path == "/healthz":
+                    self._reply_json(200, pool_health(pool))
+                elif parts.path == "/metrics":
+                    params = parse_qs(parts.query)
+                    if params.get("format", [""])[0] == "prom":
+                        self._reply_text(200, render_pool_prom(pool))
+                    else:
+                        self._reply_json(200, pool_metrics(pool))
+                else:
+                    self._reply_json(
+                        404,
+                        {"error": {"kind": "not_found",
+                                   "message": "no such endpoint %r" % self.path}},
+                    )
+            except Exception as error:  # pragma: no cover - defensive
+                self._reply_json(
+                    500,
+                    {"error": {"kind": "internal", "message": str(error)}},
+                )
+
+        def do_POST(self) -> None:
+            try:
+                if self.path != "/reload":
+                    self._reply_json(
+                        404,
+                        {"error": {"kind": "not_found",
+                                   "message": "no such endpoint %r" % self.path}},
+                    )
+                    return
+                length = int(self.headers.get("Content-Length", 0) or 0)
+                if length:  # drain for keep-alive correctness; body unused
+                    self.rfile.read(length)
+                self._reply_json(200, pool.reload())
+            except Exception as error:  # pragma: no cover - defensive
+                self._reply_json(
+                    500,
+                    {"error": {"kind": "internal", "message": str(error)}},
+                )
+
+    return Handler
+
+
+class ControlServer:
+    """The supervisor's HTTP server; binds its own (non-balanced) port."""
+
+    def __init__(self, pool: WorkerPool, host: str = "127.0.0.1", port: int = 0):
+        self.pool = pool
+        self.httpd = ThreadingHTTPServer((host, port), _make_handler(pool))
+        self.httpd.daemon_threads = True
+        self.host = self.httpd.server_address[0]
+        self.port = self.httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "ControlServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-pool-control", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "ControlServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,258 @@
+"""Per-worker metrics slabs in one anonymous shared ``mmap``.
+
+The worker pool needs cross-process metrics without locks, sockets or a
+collector thread.  The classic pre-fork answer (nginx, unicorn) is a
+shared-memory arena carved into fixed-layout per-worker slabs, created
+**before** fork so every process inherits the same mapping:
+
+.. code-block:: text
+
+    [arena header]  u64s: layout version, n slots, reload generation
+    [slab 0]        u64 fields: pid, started_ns, heartbeat_ns,
+    [slab 1]        generation, requests, queries, errors, shed,
+    ...             deadline_hits, kernel_hits/misses, pack_hits/misses,
+    [slab N-1]      remaps, latency count + sum_us + bucket counters
+
+Concurrency is by construction, not by locking: each slab has exactly
+one writer (its worker); the parent only reads.  Aligned 8-byte loads
+and stores do not tear on the platforms CPython runs on, so the worst a
+reader sees is a counter that is one increment stale — fine for metrics.
+The one parent-written word is the arena's ``reload_generation``, which
+workers poll (single writer again, just inverted).
+
+Latencies use a fixed log-spaced histogram (microsecond buckets), so the
+parent can aggregate percentiles across workers by summing bucket
+counters — quantiles of a union, not an average of quantiles.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["LATENCY_BUCKET_BOUNDS_US", "SLAB_FIELDS", "SlabArena", "WorkerSlab"]
+
+#: Upper bounds (microseconds) of the latency histogram, log-spaced from
+#: 100us to 1s; the final bucket is unbounded.
+LATENCY_BUCKET_BOUNDS_US = (
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+    25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+)
+_N_BUCKETS = len(LATENCY_BUCKET_BOUNDS_US) + 1
+
+#: Scalar u64 fields, in slab order.  ``generation`` is the registry
+#: reload generation the worker is currently serving (the "remap
+#: generation" in /healthz); ``heartbeat_ns`` is bumped per request and
+#: by the worker's idle tick.
+SLAB_FIELDS = (
+    "pid",
+    "started_ns",
+    "heartbeat_ns",
+    "generation",
+    "requests",
+    "queries",
+    "errors",
+    "shed",
+    "deadline_hits",
+    "kernel_hits",
+    "kernel_misses",
+    "pack_hits",
+    "pack_misses",
+    "remaps",
+    "latency_count",
+    "latency_sum_us",
+)
+
+_FIELD_INDEX = {name: index for index, name in enumerate(SLAB_FIELDS)}
+_SLAB_WORDS = len(SLAB_FIELDS) + _N_BUCKETS
+
+_ARENA_VERSION = 1
+#: Arena header words: version, slot count, reload generation.
+_HEADER_WORDS = 3
+
+
+class WorkerSlab:
+    """One worker's window into the arena.  Single writer: the worker."""
+
+    __slots__ = ("index", "_words")
+
+    def __init__(self, index: int, words: memoryview):
+        self.index = index
+        self._words = words
+
+    # -- scalar fields -------------------------------------------------
+
+    def get(self, field: str) -> int:
+        return self._words[_FIELD_INDEX[field]]
+
+    def set(self, field: str, value: int) -> None:
+        self._words[_FIELD_INDEX[field]] = value & 0xFFFFFFFFFFFFFFFF
+
+    def incr(self, field: str, amount: int = 1) -> None:
+        index = _FIELD_INDEX[field]
+        self._words[index] = (self._words[index] + amount) & 0xFFFFFFFFFFFFFFFF
+
+    def mark_started(self, generation: int = 0) -> None:
+        now = time.time_ns()
+        self.set("pid", os.getpid())
+        self.set("started_ns", now)
+        self.set("heartbeat_ns", now)
+        self.set("generation", generation)
+
+    def heartbeat(self) -> None:
+        self.set("heartbeat_ns", time.time_ns())
+
+    # -- latency histogram ---------------------------------------------
+
+    def observe_latency(self, seconds: float) -> None:
+        micros = int(seconds * 1e6)
+        self.incr("latency_count")
+        self.incr("latency_sum_us", max(0, micros))
+        base = len(SLAB_FIELDS)
+        for offset, bound in enumerate(LATENCY_BUCKET_BOUNDS_US):
+            if micros <= bound:
+                self._words[base + offset] += 1
+                return
+        self._words[base + _N_BUCKETS - 1] += 1
+
+    def buckets(self) -> List[int]:
+        base = len(SLAB_FIELDS)
+        return list(self._words[base : base + _N_BUCKETS])
+
+    # -- reading -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All scalar fields plus derived latency stats, as plain ints/
+        floats (safe to hold after the arena closes)."""
+        out: Dict[str, Any] = {field: int(self.get(field)) for field in SLAB_FIELDS}
+        buckets = self.buckets()
+        count = out["latency_count"]
+        out["latency_ms"] = {
+            "count": count,
+            "mean_ms": (out["latency_sum_us"] / count / 1000.0) if count else 0.0,
+            "p50_ms": _bucket_quantile(buckets, count, 0.50),
+            "p95_ms": _bucket_quantile(buckets, count, 0.95),
+            "p99_ms": _bucket_quantile(buckets, count, 0.99),
+        }
+        return out
+
+
+def _bucket_quantile(buckets: List[int], count: int, q: float) -> float:
+    """Quantile estimate from histogram counters: the upper bound (ms) of
+    the bucket containing the q-th observation; the unbounded tail
+    reports the last finite bound."""
+    if count <= 0:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for index, bucket_count in enumerate(buckets):
+        seen += bucket_count
+        if seen >= rank:
+            bounded = min(index, len(LATENCY_BUCKET_BOUNDS_US) - 1)
+            return LATENCY_BUCKET_BOUNDS_US[bounded] / 1000.0
+    return LATENCY_BUCKET_BOUNDS_US[-1] / 1000.0
+
+
+class SlabArena:
+    """The shared arena: create in the parent *before* forking.
+
+    Anonymous shared mapping (``mmap(-1, ...)``), so forked children
+    inherit the very same pages — no file, no name, vanishes with the
+    last process.  Attach each worker to its slab with :meth:`slab`;
+    aggregate everything from the parent with :meth:`aggregate`.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("an arena needs at least one worker slot")
+        self.workers = workers
+        self._size = (_HEADER_WORDS + workers * _SLAB_WORDS) * 8
+        self._mmap = mmap.mmap(-1, self._size)
+        self._words = memoryview(self._mmap).cast("Q")
+        self._words[0] = _ARENA_VERSION
+        self._words[1] = workers
+        self._words[2] = 0  # reload generation
+
+    # -- reload generation (single writer: the parent) ----------------
+
+    @property
+    def reload_generation(self) -> int:
+        return self._words[2]
+
+    def bump_reload_generation(self) -> int:
+        self._words[2] += 1
+        return self._words[2]
+
+    # -- slabs ---------------------------------------------------------
+
+    def slab(self, index: int) -> WorkerSlab:
+        if not 0 <= index < self.workers:
+            raise IndexError("worker slot %d of %d" % (index, self.workers))
+        start = _HEADER_WORDS + index * _SLAB_WORDS
+        return WorkerSlab(index, self._words[start : start + _SLAB_WORDS])
+
+    def slabs(self) -> List[WorkerSlab]:
+        return [self.slab(index) for index in range(self.workers)]
+
+    def aggregate(self) -> Dict[str, Any]:
+        """Pool-wide totals plus the per-worker breakdown — the
+        ``workers`` block of the aggregated ``/metrics`` document.
+
+        Counters sum; latency percentiles come from the *summed* bucket
+        counters, so they are true pool-wide quantiles.
+        """
+        per_worker = []
+        totals = {field: 0 for field in SLAB_FIELDS if field not in
+                  ("pid", "started_ns", "heartbeat_ns", "generation")}
+        merged = [0] * _N_BUCKETS
+        for slab in self.slabs():
+            snap = slab.snapshot()
+            snap["worker"] = slab.index
+            per_worker.append(snap)
+            for field in totals:
+                totals[field] += snap[field]
+            for index, bucket_count in enumerate(slab.buckets()):
+                merged[index] += bucket_count
+        count = totals["latency_count"]
+        totals_out: Dict[str, Any] = dict(totals)
+        totals_out["latency_ms"] = {
+            "count": count,
+            "mean_ms": (totals["latency_sum_us"] / count / 1000.0) if count else 0.0,
+            "p50_ms": _bucket_quantile(merged, count, 0.50),
+            "p95_ms": _bucket_quantile(merged, count, 0.95),
+            "p99_ms": _bucket_quantile(merged, count, 0.99),
+        }
+        return {
+            "reload_generation": int(self.reload_generation),
+            "count": self.workers,
+            "totals": totals_out,
+            "per_worker": per_worker,
+        }
+
+    def liveness(self, stale_after_s: float = 30.0) -> List[Dict[str, Any]]:
+        """Per-worker liveness for ``/healthz``: pid, serving generation,
+        and whether the heartbeat is fresh."""
+        now = time.time_ns()
+        out = []
+        for slab in self.slabs():
+            heartbeat = slab.get("heartbeat_ns")
+            out.append({
+                "worker": slab.index,
+                "pid": int(slab.get("pid")),
+                "generation": int(slab.get("generation")),
+                "alive": bool(heartbeat)
+                and (now - heartbeat) / 1e9 <= stale_after_s,
+            })
+        return out
+
+    def size_bytes(self) -> int:
+        return self._size
+
+    def close(self) -> None:
+        try:
+            self._words.release()
+            self._mmap.close()
+        except (BufferError, ValueError):  # slab views still exported
+            pass

@@ -33,6 +33,7 @@ class TestEndpoints:
             "status": "ok",
             "synopses": 2,
             "reload_failures": 0,
+            "kernels": {"SSPlays": "pending", "fig1": "pending"},
         }
 
     def test_synopses(self, running_server):

@@ -1,0 +1,33 @@
+"""Shared fixtures for the shared-memory serving tests.
+
+The pool tests fork real worker processes, so everything they need
+(snapshots, packs) is staged on disk first; systems are module scoped
+because building them dominates the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EstimationSystem, persist
+
+
+@pytest.fixture(scope="package")
+def ssplays_system(ssplays_small):
+    return EstimationSystem.build(ssplays_small, p_variance=0, o_variance=0)
+
+
+@pytest.fixture(scope="package")
+def dblp_system(dblp_small):
+    return EstimationSystem.build(dblp_small, p_variance=0, o_variance=0)
+
+
+@pytest.fixture(scope="package")
+def xmark_system(xmark_small):
+    return EstimationSystem.build(xmark_small, p_variance=0, o_variance=0)
+
+
+@pytest.fixture()
+def snapshot_dir(tmp_path, ssplays_system):
+    persist.save(ssplays_system, str(tmp_path / "SSPlays.json"))
+    return tmp_path

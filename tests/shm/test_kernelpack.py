@@ -1,0 +1,209 @@
+"""Kernelpack format: round-trip bit-identity, corruption, registry use.
+
+The pack is a flat serialization of the compiled kernel's buffers, so
+the strongest possible check is structural: eagerly compile both the
+in-process kernel and the pack-decoded kernel and compare every buffer
+byte for byte (frequencies via ``array.tobytes()``, bitsets as ints).
+Estimates then cannot differ.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro import persist
+from repro.service import SynopsisRegistry, UnknownSynopsisError
+from repro.shm import (
+    KernelPackError,
+    PACK_SUFFIX,
+    describe_pack,
+    load_pack,
+    pack_stamp,
+    write_pack,
+)
+
+QUERIES = {
+    "SSPlays": ["//PLAY", "//PLAY/ACT", "//ACT//$SCENE", "//SCENE/SPEECH"],
+    "DBLP": ["//article", "//article/$author", "//inproceedings//title"],
+    "XMark": ["//item", "//item//$name", "//open_auction//bidder"],
+}
+
+
+def _write(tmp_path, system, name):
+    path = str(tmp_path / (name + PACK_SUFFIX))
+    write_pack(path, system=system, name=name)
+    return path
+
+
+def _assert_kernels_bit_identical(reference, packed):
+    reference.compile_full()
+    packed.compile_full()
+    ref_tags, ref_pairs = reference.export_state()
+    got_tags, got_pairs = packed.export_state()
+    assert sorted(got_tags) == sorted(ref_tags)
+    for tag, ref in ref_tags.items():
+        got = got_tags[tag]
+        assert got.pids == ref.pids, tag
+        assert got.freqs.tobytes() == ref.freqs.tobytes(), tag
+        assert got.index_of == ref.index_of, tag
+        assert got.init_at == ref.init_at, tag
+        assert got.alive_mask == ref.alive_mask, tag
+    assert sorted(got_pairs) == sorted(ref_pairs)
+    for key, ref in ref_pairs.items():
+        got = got_pairs[key]
+        assert got.down == ref.down, key
+        assert got.up == ref.up, key
+
+
+class TestRoundTrip:
+    def test_all_three_datasets_bit_identical(
+        self, tmp_path, ssplays_system, dblp_system, xmark_system
+    ):
+        systems = {
+            "SSPlays": ssplays_system,
+            "DBLP": dblp_system,
+            "XMark": xmark_system,
+        }
+        for name, system in systems.items():
+            path = _write(tmp_path, system, name)
+            loaded = load_pack(path)
+            try:
+                _assert_kernels_bit_identical(system.kernel(), loaded.kernel)
+                assert loaded.kernel.pack_misses == 0, name
+                assert loaded.kernel.packed
+                for text in QUERIES[name]:
+                    assert (
+                        loaded.system.query(text).value
+                        == system.query(text).value
+                    ), (name, text)
+            finally:
+                loaded.pack.close()
+
+    def test_loaded_system_reports_ready_kernel(self, tmp_path, ssplays_system):
+        loaded = load_pack(_write(tmp_path, ssplays_system, "SSPlays"))
+        try:
+            assert loaded.system.kernel_state() == "ready"
+            assert loaded.system.kernel_peek() is loaded.kernel
+        finally:
+            loaded.pack.close()
+
+    def test_describe_pack(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        info = describe_pack(path)
+        assert info["name"] == "SSPlays"
+        assert info["version"] == 1
+        assert info["tags"] > 0 and info["pairs"] > 0
+        assert info["size_bytes"] == os.path.getsize(path)
+
+    def test_pack_stamp_tracks_rewrites(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        first = pack_stamp(path)
+        os.utime(path, ns=(1, 1))
+        assert pack_stamp(path) != first
+
+
+class TestCorruption:
+    def test_flipped_body_byte_is_rejected(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(KernelPackError):
+            load_pack(path)
+
+    def test_truncated_pack_is_rejected(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(KernelPackError):
+            load_pack(path)
+
+    def test_bad_magic_is_rejected(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        blob = bytearray(open(path, "rb").read())
+        blob[:4] = b"NOPE"
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(KernelPackError):
+            load_pack(path)
+
+    def test_future_version_is_rejected(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        blob = bytearray(open(path, "rb").read())
+        blob[4:6] = struct.pack("<H", 999)
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(KernelPackError):
+            load_pack(path)
+
+
+class TestRegistryIntegration:
+    def test_fresh_pack_is_preferred(self, snapshot_dir, ssplays_system):
+        _write(snapshot_dir, ssplays_system, "SSPlays")
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        entry = registry.get("SSPlays")
+        assert entry.packed
+        assert entry.system.kernel_state() == "ready"
+        described = {info["name"]: info for info in registry.describe()}
+        assert described["SSPlays"]["packed"]
+
+    def test_corrupt_pack_falls_back_to_json(self, snapshot_dir, ssplays_system):
+        path = _write(snapshot_dir, ssplays_system, "SSPlays")
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        entry = registry.get("SSPlays")
+        assert not entry.packed
+        assert registry.pack_failures >= 1
+        assert entry.system.query("//PLAY/ACT").value == (
+            ssplays_system.query("//PLAY/ACT").value
+        )
+
+    def test_stale_pack_is_ignored(self, snapshot_dir, ssplays_system):
+        path = _write(snapshot_dir, ssplays_system, "SSPlays")
+        json_path = str(snapshot_dir / "SSPlays.json")
+        pack_ns = os.stat(path).st_mtime_ns
+        os.utime(json_path, ns=(pack_ns + 10_000_000_000,) * 2)
+        registry = SynopsisRegistry(str(snapshot_dir))
+        registry.scan()
+        assert not registry.get("SSPlays").packed
+
+    def test_pack_only_directory_serves(self, tmp_path, ssplays_system):
+        _write(tmp_path, ssplays_system, "SSPlays")
+        registry = SynopsisRegistry(str(tmp_path))
+        assert registry.scan() == ["SSPlays"]
+        entry = registry.get("SSPlays")
+        assert entry.packed
+        assert entry.system.query("//PLAY").value == (
+            ssplays_system.query("//PLAY").value
+        )
+        with pytest.raises(UnknownSynopsisError):
+            registry.get("nope")
+
+    def test_pack_appearing_later_upgrades_entry(
+        self, snapshot_dir, ssplays_system
+    ):
+        registry = SynopsisRegistry(str(snapshot_dir), check_interval=0.0)
+        registry.scan()
+        assert not registry.get("SSPlays").packed
+        path = _write(snapshot_dir, ssplays_system, "SSPlays")
+        json_ns = os.stat(str(snapshot_dir / "SSPlays.json")).st_mtime_ns
+        os.utime(path, ns=(json_ns + 10_000_000_000,) * 2)
+        entry = registry.get("SSPlays")
+        assert entry.packed
+
+    def test_embedded_synopsis_round_trips(self, tmp_path, ssplays_system):
+        path = _write(tmp_path, ssplays_system, "SSPlays")
+        loaded = load_pack(path)
+        try:
+            text = loaded.pack.synopsis_text()
+        finally:
+            loaded.pack.close()
+        system = persist.loads(text)
+        assert system.query("//PLAY/ACT").value == (
+            ssplays_system.query("//PLAY/ACT").value
+        )

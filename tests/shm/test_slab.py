@@ -1,0 +1,135 @@
+"""Shared-memory slab arena unit tests (single process).
+
+Fork-free: the arena's layout, histogram math and aggregation are all
+plain memory operations, so they are tested here directly; the
+cross-process behaviour rides on ``mmap`` + fork semantics and is
+covered by the pool tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.shm import SlabArena
+from repro.shm.slab import LATENCY_BUCKET_BOUNDS_US, SLAB_FIELDS
+
+
+class TestWorkerSlab:
+    def test_scalar_fields_round_trip(self):
+        arena = SlabArena(2)
+        slab = arena.slab(0)
+        for offset, field in enumerate(SLAB_FIELDS):
+            slab.set(field, 1000 + offset)
+        for offset, field in enumerate(SLAB_FIELDS):
+            assert slab.get(field) == 1000 + offset
+        # Slabs do not bleed into each other.
+        assert all(arena.slab(1).get(field) == 0 for field in SLAB_FIELDS)
+        arena.close()
+
+    def test_incr_wraps_at_64_bits(self):
+        arena = SlabArena(1)
+        slab = arena.slab(0)
+        slab.set("requests", 2**64 - 1)
+        slab.incr("requests")
+        assert slab.get("requests") == 0
+        arena.close()
+
+    def test_mark_started_records_pid(self):
+        arena = SlabArena(1)
+        slab = arena.slab(0)
+        slab.mark_started(generation=7)
+        assert slab.get("pid") == os.getpid()
+        assert slab.get("generation") == 7
+        assert slab.get("heartbeat_ns") > 0
+        arena.close()
+
+    def test_latency_buckets(self):
+        arena = SlabArena(1)
+        slab = arena.slab(0)
+        slab.observe_latency(0.00005)   # 50us -> first bucket (<=100us)
+        slab.observe_latency(0.0003)    # 300us -> <=500us bucket
+        slab.observe_latency(5.0)       # 5s -> unbounded tail
+        buckets = slab.buckets()
+        assert buckets[0] == 1
+        assert buckets[LATENCY_BUCKET_BOUNDS_US.index(500)] == 1
+        assert buckets[-1] == 1
+        assert slab.get("latency_count") == 3
+        assert slab.get("latency_sum_us") == 50 + 300 + 5_000_000
+        arena.close()
+
+    def test_snapshot_percentiles(self):
+        arena = SlabArena(1)
+        slab = arena.slab(0)
+        for _ in range(99):
+            slab.observe_latency(0.00008)   # <=100us
+        slab.observe_latency(0.4)           # <=500ms
+        snap = slab.snapshot()
+        assert snap["latency_ms"]["count"] == 100
+        assert snap["latency_ms"]["p50_ms"] == 0.1
+        assert snap["latency_ms"]["p99_ms"] == 0.1
+        arena.close()
+
+
+class TestSlabArena:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            SlabArena(0)
+
+    def test_slab_index_bounds(self):
+        arena = SlabArena(2)
+        with pytest.raises(IndexError):
+            arena.slab(2)
+        arena.close()
+
+    def test_reload_generation(self):
+        arena = SlabArena(1)
+        assert arena.reload_generation == 0
+        assert arena.bump_reload_generation() == 1
+        assert arena.bump_reload_generation() == 2
+        assert arena.reload_generation == 2
+        arena.close()
+
+    def test_aggregate_totals_are_sums(self):
+        arena = SlabArena(3)
+        for index, slab in enumerate(arena.slabs()):
+            slab.incr("requests", 10 * (index + 1))
+            slab.incr("errors", index)
+            slab.observe_latency(0.001 * (index + 1))
+        aggregate = arena.aggregate()
+        assert aggregate["count"] == 3
+        assert aggregate["totals"]["requests"] == 10 + 20 + 30
+        assert aggregate["totals"]["errors"] == 0 + 1 + 2
+        assert aggregate["totals"]["latency_count"] == 3
+        per_worker = aggregate["per_worker"]
+        assert [w["worker"] for w in per_worker] == [0, 1, 2]
+        assert sum(w["requests"] for w in per_worker) == (
+            aggregate["totals"]["requests"]
+        )
+
+    def test_aggregate_percentiles_merge_buckets(self):
+        # Worker 0 is fast, worker 1 is slow; the pool-wide p50 must come
+        # from the union of observations, not an average of per-worker
+        # quantiles.
+        arena = SlabArena(2)
+        for _ in range(10):
+            arena.slab(0).observe_latency(0.00008)  # <=100us
+        for _ in range(90):
+            arena.slab(1).observe_latency(0.009)    # <=10ms
+        aggregate = arena.aggregate()
+        assert aggregate["totals"]["latency_ms"]["p50_ms"] == 10.0
+        assert arena.slab(0).snapshot()["latency_ms"]["p50_ms"] == 0.1
+        arena.close()
+
+    def test_liveness(self):
+        arena = SlabArena(2)
+        arena.slab(0).mark_started(generation=3)
+        live = arena.liveness(stale_after_s=30.0)
+        assert live[0]["alive"] and live[0]["pid"] == os.getpid()
+        assert live[0]["generation"] == 3
+        assert not live[1]["alive"]  # never heartbeat
+        # A heartbeat in the past beyond the staleness window is dead.
+        arena.slab(0).set("heartbeat_ns", 1)
+        assert not arena.liveness(stale_after_s=30.0)[0]["alive"]
+        arena.close()

@@ -114,6 +114,20 @@ class TestBenchSmoke:
         bench.test_obs_overhead(tiny_ctx, _StubBenchmark())
         assert "observability overhead" in rendered_results()
 
+    def test_service_workers(self, tiny_ctx, monkeypatch, tmp_path_factory):
+        import benchmarks.bench_service_workers as bench
+
+        if not bench.pool_supported():
+            pytest.skip("needs os.fork and SO_REUSEPORT")
+        # Two pool sizes, a light sweep: forking real workers dominates.
+        monkeypatch.setattr(bench, "MAX_QUERIES", 12)
+        monkeypatch.setattr(bench, "CLIENT_PROCESSES", 2)
+        monkeypatch.setattr(bench, "PASSES", 2)
+        bench.test_service_worker_scaling(
+            tiny_ctx, _StubBenchmark(), tmp_path_factory, points=(1, 2)
+        )
+        assert "worker-pool scaling" in rendered_results()
+
     def test_throughput_kernel_gate(self, tiny_ctx):
         """Perf smoke: the compiled kernel must not be slower than the
         legacy join, even at tiny scale (CI runs exactly this gate)."""
