@@ -1,0 +1,254 @@
+"""Extra experiment — the cluster tier: scatter-gather scaling and
+incremental maintenance vs full rebuild.
+
+Two claims under test:
+
+* **Horizontal scaling** — a router scattering batches over 3 backend
+  *processes* delivers >= 2x the QPS of the same router over 1 backend
+  (the bar applies on a >= 4-core host; the cluster cannot beat the
+  machine), and killing one replica mid-run yields **zero failed
+  requests** — the failover path re-serves every chunk (asserted on any
+  machine).
+* **Incremental maintenance** — absorbing a ~10% document delta through
+  ``IncrementalSynopsis.apply`` is >= 5x faster than rebuilding the
+  synopsis from scratch, and the merged system estimates **bit-identical**
+  to the from-scratch build (asserted on any machine).
+
+Backends run in separate processes (plan cache off, so every query costs
+real estimation work) and load is generated from separate processes —
+threaded clients would serialize on the load generator's GIL and mask
+server-side scaling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import persist
+from repro.build import build_synopsis, outline
+from repro.cluster.delta import IncrementalSynopsis
+from repro.cluster.router import ClusterRouter, RouterConfig, RouterServer
+from repro.harness.tables import format_table, record_result
+from repro.service import EndpointClient
+from repro.xmltree.serializer import serialize
+
+BACKENDS = 3
+CLIENT_PROCESSES = 3
+PASSES = 3
+MAX_QUERIES = 36
+DELTA_TARGET_BYTES = int(
+    os.environ.get("REPRO_BENCH_DELTA_BYTES", str(6 * 1024 * 1024))
+)
+#: Acceptance bars (the smoke run shrinks the corpus far below the scale
+#: these were calibrated for and relaxes them accordingly).
+MIN_DELTA_SPEEDUP = 5.0
+MIN_SCALING = 2.0
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="backend processes need os.fork"
+)
+
+
+# ----------------------------------------------------------------------
+# Backend + load-generator processes
+# ----------------------------------------------------------------------
+
+
+def _backend_main(snapshot_dir: str, queue) -> None:
+    """One estimation instance in its own process, plan cache off."""
+    from repro.service import EstimationService, ServiceServer, SynopsisRegistry
+    from repro.service.plancache import PlanCache
+
+    registry = SynopsisRegistry(snapshot_dir)
+    registry.scan()
+    service = EstimationService(registry, plan_cache=PlanCache(capacity=0))
+    server = ServiceServer(service, port=0).start()
+    queue.put(server.port)
+    while True:  # killed by the parent (terminate() == the chaos test)
+        time.sleep(3600)
+
+
+def _start_backends(snapshot_dir: str, count: int):
+    queue = multiprocessing.Queue()
+    processes = []
+    ports = []
+    for _ in range(count):
+        process = multiprocessing.Process(
+            target=_backend_main, args=(snapshot_dir, queue), daemon=True
+        )
+        process.start()
+        processes.append(process)
+    for _ in range(count):
+        ports.append(queue.get(timeout=60))
+    return processes, ["127.0.0.1:%d" % port for port in sorted(ports)]
+
+
+def _drive_one(port, texts, passes, out):
+    served = failed = 0
+    with EndpointClient(port=port) as client:
+        for _ in range(passes):
+            try:
+                values = client.estimate_batch("SSPlays", texts)
+                served += len(values)
+            except Exception:
+                failed += len(texts)
+    out.put((served, failed))
+
+
+def _drive(port, texts, processes=CLIENT_PROCESSES, passes=PASSES):
+    out = multiprocessing.Queue()
+    drivers = [
+        multiprocessing.Process(target=_drive_one, args=(port, texts, passes, out))
+        for _ in range(processes)
+    ]
+    start = time.perf_counter()
+    for driver in drivers:
+        driver.start()
+    results = [out.get(timeout=300) for _ in drivers]
+    for driver in drivers:
+        driver.join(timeout=60)
+    elapsed = time.perf_counter() - start
+    served = sum(count for count, _ in results)
+    failed = sum(bad for _, bad in results)
+    return served / elapsed, served, failed
+
+
+# ----------------------------------------------------------------------
+# Scatter-gather scaling + kill-one-replica chaos
+# ----------------------------------------------------------------------
+
+
+def test_cluster_router_scaling(ctx, benchmark, tmp_path_factory):
+    system = ctx.factory("SSPlays").system(0, 0)
+    workload = ctx.workload("SSPlays")
+    items = (workload.simple + workload.branch)[:MAX_QUERIES]
+    texts = [item.text for item in items]
+    direct = [system.estimate(item.query) for item in items]
+
+    snapshot_dir = tmp_path_factory.mktemp("cluster-bench")
+    persist.save(system, str(snapshot_dir / "SSPlays.json"))
+
+    processes, addresses = _start_backends(str(snapshot_dir), BACKENDS)
+    qps_by_backends = {}
+    rows = []
+    try:
+        for count in (1, BACKENDS):
+            router = ClusterRouter(
+                addresses[:count],
+                config=RouterConfig(
+                    replication=min(2, count), scatter_min=4, timeout=60.0
+                ),
+            )
+            with RouterServer(router, host="127.0.0.1", port=0) as front:
+                with EndpointClient(port=front.port) as probe:
+                    assert probe.estimate_batch("SSPlays", texts) == direct
+                if count == 1:
+                    benchmark.pedantic(
+                        lambda: _drive(front.port, texts, processes=1, passes=1),
+                        rounds=1, iterations=1,
+                    )
+                qps, served, failed = _drive(front.port, texts)
+                assert failed == 0
+                qps_by_backends[count] = qps
+                rows.append([str(count), str(served), "%.0f" % qps, "0"])
+
+        # Chaos: kill the primary replica of SSPlays mid-run; every
+        # request must still be answered (and answered correctly).
+        router = ClusterRouter(
+            addresses, config=RouterConfig(replication=2, scatter_min=4, timeout=60.0)
+        )
+        with RouterServer(router, host="127.0.0.1", port=0) as front:
+            with EndpointClient(port=front.port) as probe:
+                assert probe.estimate_batch("SSPlays", texts) == direct
+                victim = router.replicas("SSPlays")[0].address
+                processes[addresses.index(victim)].terminate()
+                failed = 0
+                for _ in range(4):
+                    values = probe.estimate_batch("SSPlays", texts)
+                    assert values == direct
+            qps, served, failed = _drive(front.port, texts)
+            assert failed == 0, "requests failed after killing a replica"
+            rows.append(["%d (1 killed)" % BACKENDS, str(served), "%.0f" % qps, "0"])
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(timeout=10)
+
+    record_result(
+        "cluster_scaling",
+        format_table(
+            ["backends", "#served", "QPS", "#failed"],
+            rows,
+            title="Extra: scatter-gather router scaling, %d client processes "
+            "(%d-core host, SSPlays workload)"
+            % (CLIENT_PROCESSES, os.cpu_count() or 1),
+        ),
+    )
+
+    if (os.cpu_count() or 1) >= 4:
+        assert qps_by_backends[BACKENDS] >= MIN_SCALING * qps_by_backends[1], (
+            "%d backends must deliver >=%.1fx the single-backend QPS on a "
+            "multi-core host: %r" % (BACKENDS, MIN_SCALING, qps_by_backends)
+        )
+
+
+# ----------------------------------------------------------------------
+# Incremental delta vs full rebuild
+# ----------------------------------------------------------------------
+
+
+def test_delta_apply_vs_full_rebuild(ctx, benchmark):
+    """A ~10% append absorbed incrementally vs rebuilding everything."""
+    text = serialize(ctx.document("XMark"))
+    parsed = outline(text)
+    head = text[: parsed.spans[0][0]]
+    body = text[parsed.spans[0][0] : parsed.spans[-1][1]]
+    tail = text[parsed.spans[-1][1] :]
+    copies = max(10, DELTA_TARGET_BYTES // max(1, len(body)))
+    base_copies = max(1, (copies * 9) // 10)
+    delta_copies = max(1, copies - base_copies)
+    base_text = head + body * base_copies + tail
+    delta_fragment = body * delta_copies
+
+    queries = [item.text for item in ctx.workload("XMark").simple[:12]]
+
+    maintainer = IncrementalSynopsis.build(base_text, name="xmark-inc")
+
+    benchmark.pedantic(
+        maintainer.scan_fragment, args=(delta_fragment,), rounds=1, iterations=1
+    )
+    started = time.perf_counter()
+    partial = maintainer.scan_fragment(delta_fragment)
+    outcome = maintainer.apply(partial, force_refresh=True)
+    delta_s = time.perf_counter() - started
+    assert outcome.refreshed
+
+    started = time.perf_counter()
+    combined = build_synopsis(head + body * copies + tail)
+    rebuild_s = time.perf_counter() - started
+
+    for query in queries:
+        assert outcome.system.estimate(query) == combined.estimate(query), query
+
+    speedup = rebuild_s / max(delta_s, 1e-9)
+    record_result(
+        "cluster_delta",
+        format_table(
+            ["path", "seconds", "speedup"],
+            [
+                ["full rebuild (%.1f MB)" % (len(body) * copies / 1e6), "%.2f" % rebuild_s, "1.0x"],
+                ["delta apply (%.0f%% append)" % (100.0 * delta_copies / copies), "%.2f" % delta_s, "%.1fx" % speedup],
+            ],
+            title="Extra: incremental delta apply vs full rebuild "
+            "(bit-identical estimates on %d queries)" % len(queries),
+        ),
+    )
+    assert speedup >= MIN_DELTA_SPEEDUP, (
+        "delta apply must be >=%.1fx faster than a full rebuild "
+        "(rebuild %.2fs, delta %.2fs)" % (MIN_DELTA_SPEEDUP, rebuild_s, delta_s)
+    )

@@ -29,7 +29,7 @@ from repro.harness.tables import format_table, record_result
 from repro.service import (
     EstimationService,
     PlanCache,
-    ServiceClient,
+    EndpointClient,
     ServiceServer,
     SynopsisRegistry,
 )
@@ -76,7 +76,7 @@ def _drive_service(system, texts, trace_sample_rate):
     errors = []
 
     def worker(offset):
-        client = ServiceClient(port=server.port)
+        client = EndpointClient(port=server.port)
         rotated = texts[offset:] + texts[:offset]
         for _ in range(PASSES_PER_THREAD):
             for text in rotated:

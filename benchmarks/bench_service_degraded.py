@@ -27,7 +27,7 @@ from repro.reliability import AdmissionGate, RetryPolicy, faults
 from repro.reliability.faults import DelayFault, FaultInjector
 from repro.service import (
     EstimationService,
-    ServiceClient,
+    EndpointClient,
     ServiceError,
     ServiceServer,
     SynopsisRegistry,
@@ -49,7 +49,7 @@ def _drive_degraded(server, texts, direct):
     lock = threading.Lock()
 
     def worker(offset):
-        client = ServiceClient(
+        client = EndpointClient(
             port=server.port,
             retry=RetryPolicy(max_attempts=6, base_backoff_s=0.01),
             retry_budget_s=10.0,
@@ -77,7 +77,7 @@ def _drive_degraded(server, texts, direct):
         thread.join()
     elapsed = time.perf_counter() - start
 
-    metrics = ServiceClient(port=server.port).metrics()
+    metrics = EndpointClient(port=server.port).metrics()
     shed = metrics["reliability"]["shed_total"]
     latencies.sort()
     p99 = latencies[int(0.99 * (len(latencies) - 1))] if latencies else float("nan")

@@ -21,7 +21,7 @@ from repro.harness.tables import format_table, record_result
 from repro.service import (
     EstimationService,
     PlanCache,
-    ServiceClient,
+    EndpointClient,
     ServiceServer,
     SynopsisRegistry,
 )
@@ -38,7 +38,7 @@ def _drive(server, texts, passes=PASSES_PER_THREAD, threads=CLIENT_THREADS):
     errors = []
 
     def worker(offset, collect):
-        client = ServiceClient(port=server.port)
+        client = EndpointClient(port=server.port)
         rotated = texts[offset:] + texts[:offset]
         for _ in range(passes):
             for text in rotated:
@@ -62,7 +62,7 @@ def _drive(server, texts, passes=PASSES_PER_THREAD, threads=CLIENT_THREADS):
     elapsed = time.perf_counter() - start
     assert not errors, errors[:3]
 
-    metrics = ServiceClient(port=server.port).metrics()
+    metrics = EndpointClient(port=server.port).metrics()
     qps = threads * passes * len(texts) / elapsed
     p95 = metrics["latency_ms"]["p95_ms"]
     hit_rate = metrics["plan_cache"]["hit_rate"]
@@ -81,7 +81,7 @@ def _drive_batch(server, texts, passes=PASSES_PER_THREAD, threads=CLIENT_THREADS
     errors = []
 
     def worker(offset, collect):
-        client = ServiceClient(port=server.port)
+        client = EndpointClient(port=server.port)
         rotated = batch[offset:] + batch[:offset]
         for _ in range(passes):
             try:

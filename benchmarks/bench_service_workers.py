@@ -25,7 +25,7 @@ import time
 
 from repro import persist
 from repro.harness.tables import format_table, record_result
-from repro.service import ServerConfig, ServiceClient
+from repro.service import ServerConfig, EndpointClient
 from repro.shm import WorkerPool, pool_supported
 
 import pytest
@@ -43,7 +43,7 @@ MAX_QUERIES = 48
 def _drive_one(port, texts, passes, out):
     """One load-generator process: a keep-alive client sweeping batches."""
     served = 0
-    with ServiceClient(port=port) as client:
+    with EndpointClient(port=port) as client:
         for _ in range(passes):
             values = client.estimate_batch("SSPlays", texts)
             served += len(values)
@@ -98,7 +98,7 @@ def test_service_worker_scaling(ctx, benchmark, tmp_path_factory,
             reload_poll_s=0.05,
         ) as pool:
             # Correctness first: the pool serves the direct numbers.
-            with ServiceClient(port=pool.port) as probe:
+            with EndpointClient(port=pool.port) as probe:
                 assert probe.estimate_batch("SSPlays", texts) == direct
 
             if workers == points[0]:
@@ -115,7 +115,7 @@ def test_service_worker_scaling(ctx, benchmark, tmp_path_factory,
             # never pauses.
             pool.reload(force=True)
             _converge(pool)
-            with ServiceClient(port=pool.port) as probe:
+            with EndpointClient(port=pool.port) as probe:
                 assert probe.estimate("SSPlays", texts[0]) == direct[0]
             after = pool.arena.aggregate()["totals"]
             assert after["pack_misses"] == 0, "a worker recompiled"

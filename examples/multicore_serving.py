@@ -35,7 +35,7 @@ import time
 from repro import persist
 from repro.core.system import EstimationSystem
 from repro.datasets import generate_dblp, generate_ssplays
-from repro.service import ServiceClient
+from repro.service import EndpointClient
 from repro.shm import describe_pack, pool_supported, stage_packs
 
 BANNER = re.compile(
@@ -80,7 +80,7 @@ def main() -> int:
 
         # 3. Estimates land on whichever worker the kernel balances the
         # connection to; answers are identical by construction.
-        client = ServiceClient(port=port)
+        client = EndpointClient(port=port)
         single = client.estimate("SSPlays", "//PLAY/ACT")
         batch = client.estimate_batch("DBLP", ["//article", "//inproceedings"])
         print("single estimate //PLAY/ACT -> %g" % single)

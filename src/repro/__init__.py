@@ -20,6 +20,13 @@ Quickstart::
 ``XmlDocument``; pass ``workers=N`` to scan a large document in parallel
 shards (the result is bit-identical either way).  See docs/API.md for the
 full surface and DESIGN.md for the system inventory.
+
+Against a running estimation service (one instance, a worker pool, or a
+sharded cluster behind the scatter-gather router), the front door is
+:func:`repro.connect`::
+
+    with repro.connect("localhost:8750") as client:
+        client.estimate("SSPlays", "//PLAY/ACT/$SCENE")   # EstimateResult
 """
 
 import warnings
@@ -48,6 +55,7 @@ __all__ = [
     "EstimationSystem",
     "SynopsisBuilder",
     "build_synopsis",
+    "connect",
     "parse_xml",
     "parse_query",
     "ReproError",
@@ -70,6 +78,15 @@ _DEPRECATED = {
     "explain": ("repro.core.explain", "explain"),
     "EstimateReport": ("repro.core.explain", "EstimateReport"),
 }
+
+
+def connect(target=None, **kwargs):
+    """Open a cluster-aware estimation client (lazy wrapper around
+    :func:`repro.cluster.client.connect` so ``import repro`` does not pay
+    for the service/cluster stack)."""
+    from repro.cluster.client import connect as _connect
+
+    return _connect(target, **kwargs)
 
 
 def __getattr__(name):

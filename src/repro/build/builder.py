@@ -50,7 +50,12 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Uni
 
 from repro._compat import positional_shim
 from repro.build.chunker import DEFAULT_SHARD_BYTES, split_text
-from repro.build.merge import SynopsisTables, merge_partials
+from repro.build.merge import (
+    BodyTables,
+    SynopsisTables,
+    merge_partials,
+    merge_shard_bodies,
+)
 from repro.build.stream import PartialSynopsis, scan_text
 from repro.errors import BuildError, ParseError
 from repro.obs.trace import NULL_TRACER
@@ -296,6 +301,28 @@ class SynopsisBuilder:
             return self._merge_traced([self._scan_local((0, text, (), self.lenient))])
         partials = self._scan_all(shards, (root_tag,))
         return self._merge_traced(partials, root_tag=root_tag)
+
+    def collect_body(self, text: str) -> Tuple[str, BodyTables]:
+        """Collect merged body tables plus the root tag from document text.
+
+        The delta-capable collection path: the document is always cut
+        into root-prefixed shards (even with ``workers=1``) and reduced
+        *without* root reconstitution, so the returned
+        :class:`~repro.build.merge.BodyTables` keeps the top-level record
+        sequence that incremental maintenance appends to.  Reconstituting
+        the result (:func:`repro.build.merge.reconstitute`) yields tables
+        bit-identical to :meth:`collect_text` on the same input.
+
+        Raises :class:`BuildError` for documents the chunker cannot cut
+        (a root with no child elements) — such documents cannot take
+        appended top-level subtrees either.
+        """
+        self.last_recoveries = []
+        root_tag, shards = split_text(text, shard_bytes=self._shard_target(text))
+        partials = self._scan_all(shards, (root_tag,))
+        with self.tracer.span("merge") as span:
+            span.incr("partials", len(partials))
+            return root_tag, merge_shard_bodies(partials)
 
     def _merge_traced(self, partials, root_tag=None) -> SynopsisTables:
         with self.tracer.span("merge") as span:

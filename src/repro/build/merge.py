@@ -39,6 +39,24 @@ class SynopsisTables(NamedTuple):
     element_count: int
 
 
+class BodyTables(NamedTuple):
+    """Merged shard statistics *before* root reconstitution.
+
+    The final bit layout, but the root element's frequency tuple and the
+    root sibling group's order cells are still absent — instead the full
+    ``top`` record sequence is kept, so more top-level subtrees can be
+    appended later and the root re-derived exactly.  This is the state an
+    incremental synopsis (:mod:`repro.cluster.delta`) maintains between
+    delta applications.
+    """
+
+    paths: List[str]
+    pathid_table: PathIdFrequencyTable
+    order_table: PathOrderTable
+    top: List[SiblingRecord]
+    element_count: int
+
+
 def bit_remapper(bit_map: Sequence[int]) -> Callable[[int], int]:
     """A memoized path-id translator from ``bit_map[local] -> final`` bits."""
     cache: Dict[int, int] = {}
@@ -105,16 +123,79 @@ def merge_partials(
     pathid_table = freq_parts[0].merge(*freq_parts[1:])
     order_table = order_parts[0].merge(*order_parts[1:])
     if sharded:
-        pathid_table, order_table = _reconstitute_root(
-            root_tag, top_sequence, pathid_table, order_table
+        return reconstitute(
+            BodyTables(paths, pathid_table, order_table, top_sequence, element_count),
+            root_tag,
         )
-        element_count += 1
     return SynopsisTables(
         EncodingTable(paths),
         pathid_table,
         order_table,
         pathid_table.distinct_pathids(),
         element_count,
+    )
+
+
+def merge_shard_bodies(partials: Sequence[PartialSynopsis]) -> BodyTables:
+    """Reduce ordered *shard* partials to merged body tables.
+
+    The same union/remap/merge as :func:`merge_partials`, stopping short
+    of root reconstitution: the result keeps the combined ``top``
+    sequence so further shards (deltas appended at the document's end)
+    can merge in later with the root re-derived exactly each time.
+    """
+    if not partials:
+        raise BuildError("no partial synopses to merge")
+    paths: List[str] = []
+    index: Dict[str, int] = {}
+    for partial in partials:
+        if partial.top is None:
+            raise BuildError(
+                "body merge needs shard partials (scanned under a root prefix)"
+            )
+        for path in partial.paths:
+            if path not in index:
+                paths.append(path)
+                index[path] = len(paths)
+    width = len(paths)
+    freq_parts: List[PathIdFrequencyTable] = []
+    order_parts: List[PathOrderTable] = []
+    top_sequence: List[SiblingRecord] = []
+    element_count = 0
+    for partial in partials:
+        bit_map = [width - index[path] for path in partial.paths]
+        remap = bit_remapper(bit_map)
+        freq_parts.append(PathIdFrequencyTable(partial.freq).remap_pathids(remap))
+        order_parts.append(PathOrderTable(partial.grids).remap_pathids(remap))
+        element_count += partial.element_count
+        top_sequence.extend(
+            SiblingRecord(record.tag, remap(record.pid)) for record in partial.top
+        )
+    return BodyTables(
+        paths,
+        freq_parts[0].merge(*freq_parts[1:]),
+        order_parts[0].merge(*order_parts[1:]),
+        top_sequence,
+        element_count,
+    )
+
+
+def reconstitute(body: BodyTables, root_tag: str) -> SynopsisTables:
+    """Finalize body tables into servable synopsis tables.
+
+    Adds the one element no shard could see — the root — from the body's
+    ``top`` sequence.  Pure: the body tables are not consumed, so an
+    incremental synopsis can reconstitute after every delta batch.
+    """
+    pathid_table, order_table = _reconstitute_root(
+        root_tag, body.top, body.pathid_table, body.order_table
+    )
+    return SynopsisTables(
+        EncodingTable(body.paths),
+        pathid_table,
+        order_table,
+        pathid_table.distinct_pathids(),
+        body.element_count + 1,
     )
 
 

@@ -140,7 +140,24 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     name = args.name
     if name is None:
         name = args.dataset or os.path.splitext(os.path.basename(args.file))[0]
-    if args.file:
+    if args.incremental:
+        # Delta-capable snapshot: the maintainer's exact tables are
+        # embedded so 'repro delta' can merge appends without a rebuild.
+        from repro.cluster.delta import IncrementalSynopsis
+
+        source = args.file or generate(
+            args.dataset, scale=args.scale, seed=args.seed
+        )
+        system = IncrementalSynopsis.build(
+            source,
+            p_variance=args.p_variance,
+            o_variance=args.o_variance,
+            workers=args.workers if args.file else 1,
+            lenient=args.lenient,
+            drift_threshold=args.drift_threshold,
+            name=name,
+        ).system
+    elif args.file:
         # Stream (and with --workers > 1, shard) the file directly —
         # the document tree is never materialized.
         system = build_synopsis(
@@ -171,6 +188,13 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         "snapshot %r written to %s (%d bytes)"
         % (name, output, os.path.getsize(output))
     )
+    if args.pack and args.incremental:
+        print(
+            "warning: a staged kernelpack is preferred over the JSON at "
+            "serve time and pack-served synopses cannot absorb deltas; "
+            "re-stage the pack after each delta or skip --pack",
+            file=sys.stderr,
+        )
     if args.pack:
         from repro.shm import PACK_SUFFIX, KernelPackError, write_pack
 
@@ -358,10 +382,158 @@ def _serve_pool(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_slowlog(args: argparse.Namespace) -> int:
-    from repro.service import ServiceClient, ServiceError
+def _cmd_delta(args: argparse.Namespace) -> int:
+    """``repro delta``: merge an appended XML fragment into a synopsis.
 
-    with ServiceClient(host=args.host, port=args.port) as client:
+    Two modes share the flags:
+
+    * **server mode** (default): scan the fragment locally, upload the
+      partial to a running service or router (``POST /delta``) — the
+      live system refreshes in place, no rebuild, no restart;
+    * **offline mode** (``--snapshot-dir``): load the snapshot, apply
+      the delta, write the merged snapshot back — a serving registry
+      then picks it up through ordinary hot reload.
+    """
+    from repro.build.stream import scan_text
+    from repro.errors import ReproError
+
+    if args.fragment == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.fragment, "r", encoding="utf-8") as handle:
+            text = handle.read()
+
+    if args.snapshot_dir:
+        from repro import persist
+
+        path = os.path.join(args.snapshot_dir, args.synopsis + ".json")
+        if not os.path.exists(path):
+            print("error: no snapshot %r" % path, file=sys.stderr)
+            return 1
+        try:
+            system = persist.load(path)
+            maintainer = system.incremental
+            if maintainer is None:
+                print(
+                    "error: snapshot %r carries no incremental state; "
+                    "rebuild it with 'repro snapshot --incremental'" % path,
+                    file=sys.stderr,
+                )
+                return 1
+            partial = maintainer.scan_fragment(text, lenient=args.lenient)
+            # Offline there is no serving window to protect, so the
+            # refresh always happens before write-back.
+            outcome = maintainer.apply(partial, force_refresh=True)
+        except ReproError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+        if args.dry_run:
+            print(
+                "dry run: +%d element(s), %d new path(s) — snapshot not written"
+                % (outcome.elements_added, outcome.new_paths)
+            )
+            return 0
+        persist.save(outcome.system, path)
+        print(
+            "delta applied to %s: +%d element(s), %d new path(s), %.1fms"
+            % (path, outcome.elements_added, outcome.new_paths, outcome.elapsed_ms)
+        )
+        return 0
+
+    if not args.root_tag:
+        print(
+            "error: server mode needs --root-tag (the served document's "
+            "root element) to scan the fragment; or use --snapshot-dir "
+            "for offline apply",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        partial = scan_text(text, (args.root_tag,), lenient=args.lenient)
+    except ReproError as error:
+        print("error: cannot scan fragment: %s" % error, file=sys.stderr)
+        return 1
+    if args.dry_run:
+        print(
+            "dry run: fragment scans to %d element(s), %d path(s) — not uploaded"
+            % (partial.element_count, len(partial.paths))
+        )
+        return 0
+    from repro.service import EndpointClient, ServiceError
+
+    with EndpointClient(host=args.host, port=args.port) as client:
+        try:
+            reply = client.apply_delta(
+                args.synopsis, partial, force_refresh=args.force_refresh
+            )
+        except ServiceError as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+    if "replicas" in reply:  # a router fanned the delta out
+        print(
+            "delta fanned out to %d replica(s): %d applied, %d failed"
+            % (len(reply["replicas"]), reply.get("applied", 0), reply.get("failed", 0))
+        )
+        for item in reply["replicas"]:
+            status = (
+                "error: %s" % item["error"]["message"]
+                if "error" in item
+                else "generation %s%s"
+                % (item.get("generation"), "" if item.get("refreshed") else " (deferred)")
+            )
+            print("  %-24s %s" % (item.get("backend", "?"), status))
+    else:
+        print(
+            "delta applied to %r: generation %s, %s, drift %.3f"
+            % (
+                args.synopsis,
+                reply.get("generation"),
+                "refreshed" if reply.get("refreshed") else "deferred (stale)",
+                reply.get("drift", 0.0),
+            )
+        )
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    """``repro router``: the scatter-gather front over N backends."""
+    from repro.cluster.router import ClusterRouter, RouterConfig, RouterServer
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        replication=args.replication,
+        vnodes=args.vnodes,
+        timeout=args.timeout,
+        scatter_min=args.scatter_min,
+    )
+    router = ClusterRouter(args.backend, config=config)
+    server = RouterServer(router)
+    print(
+        "routing %d backend(s) [%s] on http://%s:%d (replication %d)"
+        % (
+            len(args.backend),
+            ", ".join(args.backend),
+            server.host,
+            server.port,
+            min(config.replication, len(args.backend)),
+        ),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.httpd.server_close()
+        router.close()
+    return 0
+
+
+def _cmd_slowlog(args: argparse.Namespace) -> int:
+    from repro.service import EndpointClient, ServiceError
+
+    with EndpointClient(host=args.host, port=args.port) as client:
         try:
             document = client.slowlog(limit=args.limit)
         except ServiceError as error:
@@ -487,6 +659,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a mmap-able <name>.kernelpack next to the JSON "
         "(zero-copy kernel snapshot for serve --workers N)",
     )
+    snapshot.add_argument(
+        "--incremental", action="store_true",
+        help="embed the exact statistics tables so the served synopsis "
+        "can absorb 'repro delta' uploads without a rebuild",
+    )
+    snapshot.add_argument(
+        "--drift-threshold", type=float, default=0.0,
+        help="with --incremental: defer histogram refresh until deferred "
+        "delta mass exceeds this fraction of the synopsis (0 = refresh "
+        "on every delta)",
+    )
     snapshot.set_defaults(handler=_cmd_snapshot)
 
     pack = commands.add_parser(
@@ -566,6 +749,75 @@ def build_parser() -> argparse.ArgumentParser:
         "/metrics, /healthz, POST /reload); 0 = ephemeral, -1 disables",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    delta = commands.add_parser(
+        "delta",
+        help="merge an appended XML fragment into a synopsis (live upload "
+        "or offline snapshot rewrite) without a full rebuild",
+    )
+    delta.add_argument("synopsis", help="synopsis name to apply the delta to")
+    delta.add_argument(
+        "--fragment", required=True,
+        help="XML fragment file of appended top-level subtrees ('-' = stdin)",
+    )
+    delta.add_argument(
+        "--root-tag", default=None,
+        help="root element of the served document (server mode only; the "
+        "fragment's subtrees are scanned as its children)",
+    )
+    delta.add_argument("--host", default="127.0.0.1")
+    delta.add_argument(
+        "--port", type=int, default=8750,
+        help="service or router port for the live upload",
+    )
+    delta.add_argument(
+        "--snapshot-dir", default=None,
+        help="offline mode: apply to <dir>/<synopsis>.json and write it "
+        "back instead of uploading",
+    )
+    delta.add_argument(
+        "--force-refresh", action="store_true",
+        help="refresh histograms even below the drift threshold",
+    )
+    delta.add_argument(
+        "--lenient", action="store_true",
+        help="recover past malformed XML in the fragment",
+    )
+    delta.add_argument(
+        "--dry-run", action="store_true",
+        help="scan and report the delta without uploading/writing",
+    )
+    delta.set_defaults(handler=_cmd_delta)
+
+    router = commands.add_parser(
+        "router",
+        help="serve a scatter-gather front over N estimation backends",
+    )
+    router.add_argument(
+        "--backend", action="append", required=True, metavar="HOST:PORT",
+        help="estimation backend address (repeat for each instance)",
+    )
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument(
+        "--port", type=int, default=8760, help="router TCP port (0 = ephemeral)"
+    )
+    router.add_argument(
+        "--replication", type=int, default=2,
+        help="distinct backends holding each synopsis",
+    )
+    router.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per backend on the consistent-hash ring",
+    )
+    router.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-backend request timeout in seconds",
+    )
+    router.add_argument(
+        "--scatter-min", type=int, default=4,
+        help="batch size at which batches scatter across the replica set",
+    )
+    router.set_defaults(handler=_cmd_router)
 
     slowlog = commands.add_parser(
         "slowlog", help="show a running server's slow-query log"

@@ -1,0 +1,75 @@
+"""Cluster tier: incremental maintenance + horizontally sharded serving.
+
+Two capabilities turn the single-process estimation service into a
+cluster:
+
+* :mod:`repro.cluster.delta` — **incremental synopsis maintenance**: a
+  delta-capable synopsis (:class:`IncrementalSynopsis`) absorbs appended
+  document fragments as :class:`~repro.build.stream.PartialSynopsis`
+  uploads — merging the exact statistics tables and re-deriving
+  histograms in milliseconds, bit-identical to a from-scratch rebuild —
+  with bounded-staleness deferral under a drift threshold;
+* :mod:`repro.cluster.ring` / :mod:`repro.cluster.router` — **horizontal
+  sharding**: a scatter-gather router consistently hashes synopses
+  across N backend instances with replication, last-good failover and
+  partial-result batch degradation;
+* :mod:`repro.cluster.client` — the **unified client**
+  (:func:`repro.connect`) that talks to any of it — one instance, a
+  worker pool, a router, or a seed list — and returns structured
+  :class:`~repro.core.result.EstimateResult` objects.
+
+Submodules import lazily (PEP 562) so ``import repro.cluster`` stays
+cheap and cycle-free: the router pulls in the service client, which must
+not re-enter a half-initialised package.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "DeltaError": "repro.cluster.delta",
+    "DeltaOutcome": "repro.cluster.delta",
+    "DeltaUnsupportedError": "repro.cluster.delta",
+    "IncrementalSynopsis": "repro.cluster.delta",
+    "HashRing": "repro.cluster.ring",
+    "ClusterError": "repro.cluster.router",
+    "ClusterRouter": "repro.cluster.router",
+    "ReplicasExhaustedError": "repro.cluster.router",
+    "RouterConfig": "repro.cluster.router",
+    "RouterServer": "repro.cluster.router",
+    "Client": "repro.cluster.client",
+    "connect": "repro.cluster.client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.cluster.client import Client, connect
+    from repro.cluster.delta import (
+        DeltaError,
+        DeltaOutcome,
+        DeltaUnsupportedError,
+        IncrementalSynopsis,
+    )
+    from repro.cluster.ring import HashRing
+    from repro.cluster.router import (
+        ClusterError,
+        ClusterRouter,
+        ReplicasExhaustedError,
+        RouterConfig,
+        RouterServer,
+    )
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,93 @@
+"""Consistent-hash ring for routing synopses to estimation backends.
+
+The scatter-gather router places every synopsis (by name — the unit of
+sharding is the collection, never a query) on a ring of backends using
+consistent hashing with virtual nodes: each backend is hashed onto the
+ring ``vnodes`` times, a key routes to the first virtual node clockwise
+from its own hash, and the next ``n - 1`` *distinct* backends clockwise
+are its replicas.  Adding or removing one backend therefore remaps only
+the keys that hashed between it and its predecessor — roughly ``1/B`` of
+the keyspace — instead of reshuffling everything the way ``hash(key) %
+B`` would.
+
+Hashing is :mod:`hashlib` MD5 (stable across processes and Python
+versions, unlike the seeded builtin ``hash``), so every router instance
+— and every client that wants to predict placement — computes the same
+ring from the same backend list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per backend.  64 keeps the per-backend keyspace share
+#: within a few percent of uniform for small clusters while the ring
+#: stays tiny (a 16-backend ring is 1024 points).
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over a backend list.
+
+    ``backends`` are opaque identifiers (the router uses ``host:port``
+    strings); duplicates are rejected because a duplicated backend would
+    silently halve the effective replication of every key it owns.
+    """
+
+    def __init__(self, backends: Sequence[str], vnodes: int = DEFAULT_VNODES):
+        names = list(backends)
+        if not names:
+            raise ValueError("a hash ring needs at least one backend")
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate backends: %r" % (names,))
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.backends: Tuple[str, ...] = tuple(names)
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for replica in range(vnodes):
+                points.append((_point("%s#%d" % (name, replica)), name))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [name for _, name in points]
+
+    def node_for(self, key: str) -> str:
+        """The primary backend for ``key``."""
+        return self.replicas_for(key, 1)[0]
+
+    def replicas_for(self, key: str, count: int) -> List[str]:
+        """The first ``count`` distinct backends clockwise from ``key``.
+
+        The primary comes first; asking for more replicas than there are
+        backends returns every backend (a 2-node cluster simply cannot
+        hold 3 copies).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        count = min(count, len(self.backends))
+        start = bisect_right(self._points, _point(key)) % len(self._points)
+        chosen: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in chosen:
+                chosen.append(owner)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "HashRing(backends=%r, vnodes=%d)" % (list(self.backends), self.vnodes)

@@ -18,8 +18,10 @@ from typing import Any, Dict, Optional
 
 __all__ = ["EstimateResult", "RESULT_FORMAT_VERSION"]
 
-#: Version of the ``result`` wire object.
-RESULT_FORMAT_VERSION = 1
+#: Version of the ``result`` wire object.  Version 2 promotes it to the
+#: primary estimate payload (the legacy top-level mirror fields became
+#: optional compat output) and adds the ``kernel`` field.
+RESULT_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -42,6 +44,10 @@ class EstimateResult:
     cached:
         Whether a compiled-plan cache served the estimate (service
         responses only; ``None`` for direct in-process estimation).
+    kernel:
+        Whether a compiled synopsis kernel executed the estimate
+        (service responses only; ``None`` when unknown, e.g. direct
+        in-process estimation or a version-1 server).
     """
 
     value: float
@@ -50,6 +56,7 @@ class EstimateResult:
     elapsed_ms: float = 0.0
     trace: Optional[Dict[str, Any]] = None
     cached: Optional[bool] = None
+    kernel: Optional[bool] = None
 
     def __float__(self) -> float:
         return float(self.value)
@@ -72,6 +79,8 @@ class EstimateResult:
         }
         if self.cached is not None:
             payload["cached"] = self.cached
+        if self.kernel is not None:
+            payload["kernel"] = self.kernel
         if self.trace is not None:
             payload["trace"] = self.trace
         return payload
@@ -86,4 +95,5 @@ class EstimateResult:
             elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
             trace=payload.get("trace"),
             cached=payload.get("cached"),
+            kernel=payload.get("kernel"),
         )

@@ -110,6 +110,11 @@ class EstimationSystem:
         self._kernel: Optional[SynopsisKernel] = None
         self._kernel_lock = threading.Lock()
 
+    #: Back-reference to the :class:`repro.cluster.delta.IncrementalSynopsis`
+    #: that materialized this system (None for ordinary builds).  Set by
+    #: the maintainer; :meth:`apply_delta` routes through it.
+    incremental = None
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -358,6 +363,35 @@ class EstimationSystem:
             kernel.invalidate()
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, partial, *, force_refresh: bool = False):
+        """Merge a delta :class:`~repro.build.stream.PartialSynopsis`.
+
+        The partial must be a fragment scan (under this document's root
+        prefix) of subtrees appended at the end of the document.  Returns
+        a :class:`~repro.cluster.delta.DeltaOutcome`; ``outcome.system``
+        is the serving system afterwards — a *new* instance when the
+        histograms were refreshed (the drift threshold decides), else
+        this one.  Only systems built delta-capable — via
+        :meth:`repro.cluster.delta.IncrementalSynopsis.build` or loaded
+        from a snapshot with an embedded ``incremental`` section — can
+        apply deltas; others raise
+        :class:`~repro.cluster.delta.DeltaUnsupportedError`.
+        """
+        from repro.cluster.delta import DeltaUnsupportedError
+
+        maintainer = self.incremental
+        if maintainer is None:
+            raise DeltaUnsupportedError(
+                "system %r carries no incremental state; build it with "
+                "IncrementalSynopsis.build (or snapshot --incremental) to "
+                "apply deltas" % (self.name,)
+            )
+        return maintainer.apply(partial, force_refresh=force_refresh)
 
     # ------------------------------------------------------------------
     # Estimation

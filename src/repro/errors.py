@@ -25,7 +25,14 @@ boundary and the HTTP service can map any failure to a stable
   :class:`repro.reliability.shedding.OverloadedError`
   (``"overloaded"``);
 * :class:`ObservabilityError` (``"obs"``) — misconfigured tracing,
-  metrics or slow-query logging (:mod:`repro.obs`).
+  metrics or slow-query logging (:mod:`repro.obs`);
+* the cluster tier (:mod:`repro.cluster`) adds
+  :class:`~repro.cluster.delta.DeltaError` (``"delta"``) /
+  :class:`~repro.cluster.delta.DeltaUnsupportedError`
+  (``"delta_unsupported"``) under :class:`BuildError`, and
+  :class:`~repro.cluster.router.ClusterError` (``"cluster"``) /
+  :class:`~repro.cluster.router.ReplicasExhaustedError`
+  (``"replicas_exhausted"``) under :class:`ReliabilityError`.
 
 The full slug → canonical-class mapping is exported as
 :data:`WIRE_KINDS` (built lazily to avoid import cycles); the handful of
@@ -118,6 +125,8 @@ def _build_wire_kinds():
     Local imports keep :mod:`repro.errors` import-cycle-free (everything
     imports it; it imports nothing from the package at module scope).
     """
+    from repro.cluster.delta import DeltaError, DeltaUnsupportedError
+    from repro.cluster.router import ClusterError, ReplicasExhaustedError
     from repro.core.transform import UnsupportedQueryError
     from repro.reliability.breaker import CircuitOpenError
     from repro.reliability.policy import DeadlineExceededError
@@ -141,6 +150,10 @@ def _build_wire_kinds():
         UnknownSynopsisError.kind: UnknownSynopsisError,
         KernelPackError.kind: KernelPackError,
         WorkerPoolError.kind: WorkerPoolError,
+        DeltaError.kind: DeltaError,
+        DeltaUnsupportedError.kind: DeltaUnsupportedError,
+        ClusterError.kind: ClusterError,
+        ReplicasExhaustedError.kind: ReplicasExhaustedError,
     }
 
 

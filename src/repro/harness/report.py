@@ -35,6 +35,8 @@ PREFERRED_ORDER = [
     "structural_join_pruning",
     "scoped_axes",
     "planner",
+    "cluster_scaling",
+    "cluster_delta",
 ]
 
 HEADER = """\

@@ -43,6 +43,13 @@ FORMAT_VERSION = 1
 #: the synopsis format so the two can evolve separately.
 PARTIAL_FORMAT_VERSION = 1
 
+#: Embedded incremental-state format (see incremental_to_dict).  A
+#: snapshot may carry an ``"incremental"`` section holding the merged
+#: body tables + top-level record sequence; readers that understand it
+#: load a delta-capable system, older readers ignore the extra key and
+#: load the plain histogram synopsis — both estimate identically.
+INCREMENTAL_FORMAT_VERSION = 1
+
 
 class PersistError(_BasePersistError):
     """Base error for synopsis (de)serialization failures.
@@ -68,7 +75,13 @@ class SnapshotCorruptError(SynopsisLoadError):
 
 
 def system_to_dict(system: EstimationSystem) -> Dict[str, Any]:
-    """Serialize a (histogram-backed) estimation system."""
+    """Serialize a (histogram-backed) estimation system.
+
+    A system materialized by an
+    :class:`~repro.cluster.delta.IncrementalSynopsis` also embeds its
+    maintainer's body tables under ``"incremental"``, so the snapshot
+    stays delta-capable when loaded back (older readers skip the key).
+    """
     path_provider = system.path_provider
     order_provider = system.order_provider
     if not isinstance(path_provider, PHistogramSet) or not isinstance(
@@ -78,6 +91,18 @@ def system_to_dict(system: EstimationSystem) -> Dict[str, Any]:
             "only histogram-backed systems can be persisted "
             "(build with use_histograms=True)"
         )
+    payload = _system_body_to_dict(system, path_provider, order_provider)
+    maintainer = getattr(system, "incremental", None)
+    if maintainer is not None:
+        payload["incremental"] = incremental_to_dict(maintainer)
+    return payload
+
+
+def _system_body_to_dict(
+    system: EstimationSystem,
+    path_provider: PHistogramSet,
+    order_provider: OHistogramSet,
+) -> Dict[str, Any]:
     return {
         "format_version": FORMAT_VERSION,
         "paths": system.encoding_table.all_paths(),
@@ -130,6 +155,17 @@ def system_from_dict(payload: Dict[str, Any]) -> EstimationSystem:
     except (KeyError, TypeError, ValueError, AttributeError) as error:
         raise SynopsisLoadError("malformed synopsis: %s" % error)
     labeled = _labeled_shell(table)
+    incremental = payload.get("incremental")
+    if incremental is not None:
+        try:
+            maintainer = incremental_from_dict(incremental)
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise SynopsisLoadError("malformed incremental state: %s" % error)
+        # The maintainer materializes from the same exact tables the
+        # histograms were bucketed from, at the same variances — the
+        # system it serves is identical to one built from the payload's
+        # histogram sections, plus it can apply deltas.
+        return maintainer.system
     return EstimationSystem(
         labeled,
         PathIdFrequencyTable({}),
@@ -201,6 +237,91 @@ def partial_from_dict(payload: Dict[str, Any]) -> "PartialSynopsis":
     except (KeyError, TypeError, ValueError, AttributeError) as error:
         raise SynopsisLoadError("malformed partial: %s" % error)
     return PartialSynopsis(paths, freq, grids, top, element_count)
+
+
+def incremental_to_dict(maintainer) -> Dict[str, Any]:
+    """Serialize an :class:`IncrementalSynopsis`' maintained body state.
+
+    The same hex-pid conventions as :func:`partial_to_dict`, but in the
+    *final* bit layout with the top-level record sequence and the build
+    knobs (variances, drift threshold) the maintainer needs to resume.
+    """
+    body = maintainer._body
+    return {
+        "incremental_format_version": INCREMENTAL_FORMAT_VERSION,
+        "root_tag": maintainer.root_tag,
+        "name": maintainer.name,
+        "paths": list(body.paths),
+        "freq": {
+            tag: {"%x" % pid: count for pid, count in per_tag}
+            for tag, per_tag in body.pathid_table.iter_items()
+        },
+        "grids": {
+            tag: [
+                ["%x" % pid, other_tag, count, before]
+                for (pid, other_tag, before), count in grid.cells()
+            ]
+            for tag in body.order_table.tags()
+            for grid in [body.order_table.grid(tag)]
+        },
+        "top": [[record.tag, "%x" % record.pid] for record in body.top],
+        "element_count": body.element_count,
+        "p_variance": maintainer.p_variance,
+        "o_variance": maintainer.o_variance,
+        "drift_threshold": maintainer.drift_threshold,
+    }
+
+
+def incremental_from_dict(data: Dict[str, Any]):
+    """Rebuild a delta-capable maintainer (and its served system).
+
+    The maintainer re-materializes the system from the exact body
+    tables at the stored variances — identical to the snapshot's own
+    histogram sections, since both derive deterministically from the
+    same tables.  No binary tree is built (matching what plain snapshot
+    loads serve).
+    """
+    from repro.build.merge import BodyTables
+    from repro.build.stream import SiblingRecord
+    from repro.cluster.delta import IncrementalSynopsis
+
+    version = data.get("incremental_format_version")
+    if version != INCREMENTAL_FORMAT_VERSION:
+        raise SynopsisLoadError("unsupported incremental format %r" % version)
+    try:
+        if not isinstance(data["paths"], list):
+            raise TypeError("paths must be a list")
+        paths = [str(path) for path in data["paths"]]
+        freq = PathIdFrequencyTable(
+            {
+                tag: {int(pid, 16): int(count) for pid, count in per_tag.items()}
+                for tag, per_tag in data["freq"].items()
+            }
+        )
+        grids: Dict[str, TagOrderGrid] = {}
+        for tag, cells in data["grids"].items():
+            grid = TagOrderGrid(tag)
+            for pid, other_tag, count, before in cells:
+                grid.add_count(int(pid, 16), other_tag, int(count), bool(before))
+            grids[tag] = grid
+        body = BodyTables(
+            paths,
+            freq,
+            PathOrderTable(grids),
+            [SiblingRecord(tag, int(pid, 16)) for tag, pid in data["top"]],
+            int(data["element_count"]),
+        )
+        return IncrementalSynopsis(
+            body,
+            str(data["root_tag"]),
+            p_variance=float(data["p_variance"]),
+            o_variance=float(data["o_variance"]),
+            build_binary_tree=False,
+            drift_threshold=float(data.get("drift_threshold", 0.0)),
+            name=str(data.get("name", "")),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise SynopsisLoadError("malformed incremental state: %s" % error)
 
 
 def _verify_checksum(payload: Dict[str, Any]) -> Dict[str, Any]:

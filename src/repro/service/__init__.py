@@ -20,7 +20,9 @@ query optimizers.  This package is that shipping lane, stdlib only:
   (``POST /estimate`` with per-request tracing, ``GET /synopses``,
   ``GET /healthz``, ``GET /metrics[?format=prom]``,
   ``GET /debug/slowlog``);
-* :mod:`repro.service.client` — a small blocking client for the above.
+* :mod:`repro.service.client` — a small blocking client for one such
+  endpoint (:class:`EndpointClient`; the cluster-aware front door is
+  :func:`repro.connect`).
 
 Run one with ``python -m repro serve --snapshot-dir <dir>`` after writing
 snapshots with ``python -m repro snapshot``, or in-process::
@@ -38,7 +40,7 @@ from typing import Optional
 
 from repro.obs.slowlog import SlowQueryLog
 from repro.reliability.shedding import AdmissionGate
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import EndpointClient, ServiceClient, ServiceError
 from repro.service.config import DEFAULT_PORT, ClientConfig, ServerConfig
 from repro.service.metrics import LatencySummary, ServiceMetrics
 from repro.service.plancache import CompiledPlan, PlanCache, compile_plan
@@ -79,6 +81,7 @@ def serve(
             top_k=cfg.slowlog_top_k,
         ),
         trace_sample_rate=cfg.trace_sample_rate,
+        compat_fields=cfg.compat_fields,
     )
     return ServiceServer(service, host=cfg.host, port=cfg.port)
 
@@ -110,6 +113,7 @@ __all__ = [
     "ClientConfig",
     "CompiledPlan",
     "DEFAULT_PORT",
+    "EndpointClient",
     "EstimationService",
     "LatencySummary",
     "LiveSynopsis",

@@ -1,4 +1,10 @@
-"""Blocking JSON client for the estimation service (stdlib http.client).
+"""Blocking JSON client for one estimation-service endpoint.
+
+:class:`EndpointClient` talks to a single ``host:port`` — it is the
+transport brick that :func:`repro.connect` (the cluster-aware
+:class:`repro.cluster.Client`) and the scatter-gather router build on.
+:class:`ServiceClient` is its deprecated pre-cluster name, kept as a
+warning shim.
 
 By default the client keeps one HTTP/1.1 connection alive and reuses it
 (reconnecting transparently if the server dropped it), which is what a
@@ -8,7 +14,7 @@ connection makes an instance **not** thread-safe; give each thread its
 own client, or pass ``keep_alive=False`` for a stateless
 connection-per-call client that can be shared freely.
 
-    client = ServiceClient(port=8750)
+    client = EndpointClient(port=8750)
     client.estimate("SSPlays", "//PLAY/ACT/$SCENE")     # -> float
     client.estimate_batch("SSPlays", ["//PLAY", "//ACT"])
     client.metrics()["latency_ms"]["p95_ms"]
@@ -40,6 +46,7 @@ import http.client
 import json
 import socket
 import time
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro._compat import positional_shim
@@ -86,8 +93,8 @@ class ServiceError(RuntimeError):
         return self.kind in TRANSPORT_KINDS or self.status in RETRYABLE_STATUSES
 
 
-class ServiceClient:
-    """Minimal synchronous client for the estimation service."""
+class EndpointClient:
+    """Minimal synchronous client for one estimation-service endpoint."""
 
     def __init__(
         self,
@@ -106,7 +113,7 @@ class ServiceClient:
             # Pre-redesign positional call sites (host, port, timeout, ...).
             port, timeout, keep_alive, retry, retry_budget_s, breaker, sleep = (
                 positional_shim(
-                    "ServiceClient",
+                    type(self).__name__,
                     args,
                     ("port", "timeout", "keep_alive", "retry",
                      "retry_budget_s", "breaker", "sleep"),
@@ -138,7 +145,7 @@ class ServiceClient:
             self._connection.close()
             self._connection = None
 
-    def __enter__(self) -> "ServiceClient":
+    def __enter__(self) -> "EndpointClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -318,6 +325,43 @@ class ServiceClient:
             "POST", "/estimate", {"synopsis": synopsis, "queries": list(queries)}
         )
         return [float(result["estimate"]) for result in reply["results"]]
+
+    def apply_delta(
+        self, synopsis: str, partial, *, force_refresh: bool = False
+    ) -> Dict[str, Any]:
+        """Upload a delta partial (``POST /delta``) and return the apply
+        outcome (``refreshed``, ``generation``, ``drift``, ...).
+
+        ``partial`` is a :class:`~repro.build.stream.PartialSynopsis` or
+        an already-serialized :func:`repro.persist.partial_to_dict` dict.
+        """
+        if not isinstance(partial, dict):
+            from repro.persist import partial_to_dict
+
+            partial = partial_to_dict(partial)
+        payload: Dict[str, Any] = {"synopsis": synopsis, "partial": partial}
+        if force_refresh:
+            payload["force_refresh"] = True
+        return self._request("POST", "/delta", payload)
+
+
+class ServiceClient(EndpointClient):
+    """Deprecated name for :class:`EndpointClient`.
+
+    Kept so pre-cluster call sites run unchanged (same constructor, same
+    methods); new code should use :func:`repro.connect` — which also
+    speaks to routers and seed lists — or :class:`EndpointClient` when a
+    single fixed endpoint is really what is meant.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "ServiceClient is deprecated; use repro.connect() (or "
+            "repro.service.EndpointClient for one fixed endpoint)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:

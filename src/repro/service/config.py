@@ -28,6 +28,14 @@ class ServerConfig:
     max_inflight: int = 64
     request_deadline_s: Optional[float] = None
     drain_timeout_s: float = 5.0
+    # Wire compatibility ---------------------------------------------
+    #: Mirror the legacy top-level estimate fields (``estimate``,
+    #: ``route``, ``cached``, ``kernel``) beside the versioned
+    #: ``result`` object in every estimate response.  The ``result``
+    #: object is the primary shape since RESULT_FORMAT_VERSION 2; turn
+    #: this off once no pre-v2 clients remain to halve response size.
+    #: A request may override per-call with ``"compat": true/false``.
+    compat_fields: bool = True
     # Worker pool ----------------------------------------------------
     #: Pre-forked ``SO_REUSEPORT`` worker processes (1 = classic
     #: single-process serving; N > 1 needs fork + SO_REUSEPORT).

@@ -227,9 +227,20 @@ class SynopsisRegistry:
     # ------------------------------------------------------------------
 
     def register(self, name: str, system: EstimationSystem) -> SynopsisEntry:
-        """Register an in-memory system (tests, benchmarks, embedding)."""
+        """Register an in-memory system (tests, benchmarks, embedding).
+
+        Re-registering an existing name continues its generation counter
+        (never resets it): compiled plans are cached per (name,
+        generation), so a reset would let plans compiled against the
+        *previous* registration — pre-append rewrite variants, a stale
+        kernel priming flag — serve the new system.
+        """
         with self._lock:
             entry = SynopsisEntry(name, system)
+            previous = self._entries.get(name)
+            if previous is not None:
+                entry.generation = previous.generation + 1
+                previous.system.invalidate_kernel()
             self._entries[name] = entry
             return entry
 
@@ -257,6 +268,98 @@ class SynopsisRegistry:
             name=name,
         )
         return self.register(name, system)
+
+    def register_incremental(
+        self,
+        name: str,
+        source,
+        p_variance: float = 0.0,
+        o_variance: float = 0.0,
+        workers: int = 1,
+        drift_threshold: float = 0.0,
+    ) -> SynopsisEntry:
+        """Build a *delta-capable* synopsis from raw XML and register it.
+
+        The served system carries its :class:`IncrementalSynopsis`
+        maintainer, so :meth:`apply_delta` merges appended-subtree deltas
+        without a rebuild; persisting the entry (``persist.save``) embeds
+        the maintainer state, keeping the capability across restarts.
+        """
+        from repro.cluster.delta import IncrementalSynopsis
+
+        maintainer = IncrementalSynopsis.build(
+            source,
+            p_variance=p_variance,
+            o_variance=o_variance,
+            workers=workers,
+            drift_threshold=drift_threshold,
+            name=name,
+        )
+        return self.register(name, maintainer.system)
+
+    def apply_delta(
+        self,
+        name: str,
+        partial,
+        *,
+        force_refresh: bool = False,
+        write_back: bool = True,
+    ):
+        """Merge a delta partial into a registered synopsis.
+
+        Returns ``(entry, outcome)``.  When the maintainer refreshed, the
+        entry swaps to the new system under the registry lock: the
+        generation bumps (compiled plans for the old system die with it),
+        the replaced system's kernel is invalidated, any staged
+        kernelpack stops being preferred (``packed`` drops; the JSON
+        write-back below outdates the pack on disk), and the
+        ``on_reload`` hook fires so pre-fork workers republish.
+
+        ``write_back`` (file-backed entries only) persists the merged
+        state to the entry's snapshot path atomically and re-stamps the
+        entry, so the delta survives a restart — and, under the pre-fork
+        pool, the *other* workers pick the post-delta snapshot up through
+        their ordinary hot-reload check instead of needing the delta
+        re-sent.  Raises
+        :class:`~repro.cluster.delta.DeltaUnsupportedError` for entries
+        without incremental state (plain snapshots, packs, live trees).
+        """
+        from repro.cluster.delta import DeltaUnsupportedError
+
+        with self._lock:
+            entry = self._require(name)
+            maintainer = getattr(entry.system, "incremental", None)
+            if maintainer is None:
+                raise DeltaUnsupportedError(
+                    "synopsis %r was not loaded with incremental state; "
+                    "rebuild its snapshot with --incremental (or register "
+                    "via register_incremental) to apply deltas" % name
+                )
+            outcome = maintainer.apply(partial, force_refresh=force_refresh)
+            if outcome.refreshed:
+                previous = entry.system
+                entry.system = outcome.system
+                entry.generation += 1
+                entry.packed = False
+                entry.load_error = None
+                previous.invalidate_kernel()
+                if (
+                    write_back
+                    and entry.path is not None
+                    and entry.path.endswith(SNAPSHOT_SUFFIX)
+                ):
+                    persist.save(outcome.system, entry.path)
+                    _, entry.stamp = _read_snapshot(entry.path)
+                    # The freshly written JSON is now newer than any
+                    # staged pack, so the pack probe will (correctly)
+                    # decline it until a new pack is staged.
+                    _, entry.pack_stamp = self._probe_pack(entry.path)
+                if self.on_reload is not None:
+                    try:
+                        self.on_reload(entry.name, entry)
+                    except Exception:  # pragma: no cover - observer must not break serving
+                        pass
+            return entry, outcome
 
     def register_live(
         self,
@@ -401,6 +504,18 @@ class SynopsisRegistry:
 
     def _load_or_refresh(self, name: str, path: str) -> SynopsisEntry:
         entry = self._entries.get(name)
+        if entry is not None and entry.path is None:
+            # Staleness-race guard: an in-memory or live registration
+            # (register / register_source / register_live, possibly
+            # already appended to) is authoritative over a same-named
+            # snapshot or kernelpack sitting in the directory.  Without
+            # this, a scan() racing a live append would clobber the
+            # appended system with the older file — resurrecting a
+            # pre-append kernel — and a pack-only twin would crash the
+            # scan outright (stat(None)).  The check runs under the
+            # registry lock, atomically with the pack-preference probe
+            # below, so the decision cannot interleave with a swap.
+            return entry
         if entry is None:
             if path.endswith(PACK_SUFFIX):
                 # Pack-only entry: the embedded synopsis serves alone.

@@ -8,6 +8,12 @@ Endpoints
     ``{"synopsis": name, "queries": [text, ...]}`` for a batch.  Replies
     with the estimate(s), the route taken and whether the compiled plan
     came from the cache.
+``POST /delta``
+    Body ``{"synopsis": name, "partial": <repro.persist.partial_to_dict>}``:
+    merges an uploaded delta partial into a delta-capable synopsis in
+    place (no rebuild, no restart) and replies with the apply outcome
+    (refreshed/deferred, new generation, drift).  ``409`` with kind
+    ``delta_unsupported`` when the synopsis cannot absorb deltas.
 ``GET /synopses``
     The registry inventory (name, generation, source, sizes).
 ``GET /healthz``
@@ -127,8 +133,10 @@ class EstimationService:
         request_deadline_s: Optional[float] = None,
         slow_log: Optional[SlowQueryLog] = None,
         trace_sample_rate: float = 0.0,
+        compat_fields: bool = True,
     ):
         self.registry = registry
+        self.compat_fields = compat_fields
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.gate = gate if gate is not None else AdmissionGate()
@@ -169,6 +177,7 @@ class EstimationService:
         actual: Optional[float] = None,
         memo: Optional[Dict[str, Tuple[float, str, bool]]] = None,
         entry=None,
+        compat: Optional[bool] = None,
     ) -> Dict[str, Any]:
         """One estimate as a JSON-ready dict (no request-metrics side
         effects; the slow-query log *is* fed here, per query).
@@ -190,9 +199,16 @@ class EstimationService:
         so a hot reload landing mid-batch cannot hand later queries a
         different synopsis than earlier ones.  Without it, the entry is
         resolved here (single ad-hoc estimates).
+
+        ``compat`` controls whether the legacy flat mirror fields
+        (``estimate``/``route``/``cached``/``kernel``) accompany the
+        versioned ``result`` object; ``None`` falls back to the
+        service-wide :attr:`compat_fields` default.
         """
         if entry is None:
             entry = self.registry.get(synopsis)
+        if compat is None:
+            compat = self.compat_fields
         if trace:
             traced = entry.system.query(text, trace=True)
             kernel_used = _trace_used_kernel(traced.trace)
@@ -203,6 +219,7 @@ class EstimationService:
                 elapsed_ms=traced.elapsed_ms,
                 trace=traced.trace,
                 cached=False,
+                kernel=kernel_used,
             )
         elif memo is not None and text in memo:
             value, route, kernel_used = memo[text]
@@ -212,6 +229,7 @@ class EstimationService:
                 route=route,
                 elapsed_ms=0.0,
                 cached=True,
+                kernel=kernel_used,
             )
         else:
             plan, hit = self.plan_cache.get_or_compile(
@@ -226,6 +244,7 @@ class EstimationService:
                 route=plan.route,
                 elapsed_ms=(time.perf_counter() - started) * 1000.0,
                 cached=hit,
+                kernel=kernel_used,
             )
             if memo is not None:
                 memo[text] = (value, plan.route, kernel_used)
@@ -242,14 +261,18 @@ class EstimationService:
             trace_id=result.trace_id,
             trace=result.trace,
         )
-        return {
-            "query": text,
-            "estimate": result.value,
-            "route": result.route,
-            "cached": bool(result.cached),
-            "kernel": kernel_used,
-            "result": result.as_dict(),
-        }
+        # ``result`` is the primary wire object (RESULT_FORMAT_VERSION
+        # >= 2); the flat fields are a compat mirror for pre-v2 readers.
+        body: Dict[str, Any] = {"result": result.as_dict()}
+        if compat:
+            body.update(
+                query=text,
+                estimate=result.value,
+                route=result.route,
+                cached=bool(result.cached),
+                kernel=kernel_used,
+            )
+        return body
 
     def handle_estimate(self, payload: Any) -> Dict[str, Any]:
         """Validate and serve one ``POST /estimate`` body; observes
@@ -262,9 +285,14 @@ class EstimationService:
         results: List[Dict[str, Any]] = []
         try:
             faults.fire("server.handle", payload)
-            synopsis, queries, batched, trace, actuals = self._parse_estimate_payload(
-                payload
-            )
+            (
+                synopsis,
+                queries,
+                batched,
+                trace,
+                actuals,
+                compat,
+            ) = self._parse_estimate_payload(payload)
             trace = trace or self._sample_trace()
             if trace:
                 self.metrics.incr("traced_requests_total")
@@ -290,6 +318,7 @@ class EstimationService:
                         actual=actuals[index],
                         memo=memo,
                         entry=entry,
+                        compat=compat,
                     )
                 )
         except DeadlineExceededError:
@@ -333,10 +362,12 @@ class EstimationService:
     @staticmethod
     def _parse_estimate_payload(
         payload: Any,
-    ) -> Tuple[str, List[str], bool, bool, List[Optional[float]]]:
-        """Returns ``(synopsis, queries, batched, trace, actuals)`` where
-        ``actuals`` is aligned with ``queries`` (``None`` when the client
-        supplied no ground truth for that query)."""
+    ) -> Tuple[str, List[str], bool, bool, List[Optional[float]], Optional[bool]]:
+        """Returns ``(synopsis, queries, batched, trace, actuals,
+        compat)`` where ``actuals`` is aligned with ``queries`` (``None``
+        when the client supplied no ground truth for that query) and
+        ``compat`` is the per-request legacy-field override (``None`` =
+        use the server default)."""
         if not isinstance(payload, dict):
             raise RequestError(400, "request body must be a JSON object")
         synopsis = payload.get("synopsis")
@@ -345,6 +376,9 @@ class EstimationService:
         trace = payload.get("trace", False)
         if not isinstance(trace, bool):
             raise RequestError(400, "'trace' must be a boolean")
+        compat = payload.get("compat")
+        if compat is not None and not isinstance(compat, bool):
+            raise RequestError(400, "'compat' must be a boolean")
         if "queries" in payload:
             queries = payload["queries"]
             if not isinstance(queries, list) or not all(
@@ -367,14 +401,75 @@ class EstimationService:
                 raise RequestError(
                     400, "'actuals' must be a list of numbers aligned with 'queries'"
                 )
-            return synopsis, queries, True, trace, list(actuals)
+            return synopsis, queries, True, trace, list(actuals), compat
         text = payload.get("query")
         if not isinstance(text, str) or not text:
             raise RequestError(400, "missing 'query' field")
         actual = payload.get("actual")
         if actual is not None and not isinstance(actual, (int, float)):
             raise RequestError(400, "'actual' must be a number")
-        return synopsis, [text], False, trace, [actual]
+        return synopsis, [text], False, trace, [actual], compat
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def handle_delta(self, payload: Any) -> Dict[str, Any]:
+        """Serve one ``POST /delta`` body: merge an uploaded delta partial
+        into a registered synopsis without a rebuild.
+
+        Body: ``{"synopsis": name, "partial": <partial_to_dict() dict>,
+        "force_refresh": bool?}``.  Replies with the apply outcome —
+        whether the served system refreshed (vs. the delta being absorbed
+        under the drift threshold), the post-apply generation, and the
+        current drift fraction.
+        """
+        from repro import persist
+        from repro.cluster.delta import DeltaError, DeltaUnsupportedError
+
+        if not isinstance(payload, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        synopsis = payload.get("synopsis")
+        if not isinstance(synopsis, str) or not synopsis:
+            raise RequestError(400, "missing 'synopsis' field")
+        partial_dict = payload.get("partial")
+        if not isinstance(partial_dict, dict):
+            raise RequestError(400, "missing 'partial' field (partial_to_dict object)")
+        force_refresh = payload.get("force_refresh", False)
+        if not isinstance(force_refresh, bool):
+            raise RequestError(400, "'force_refresh' must be a boolean")
+        try:
+            partial = persist.partial_from_dict(partial_dict)
+        except ReproError as error:
+            raise RequestError(400, "malformed partial: %s" % error, error_kind(error))
+        try:
+            entry, outcome = self.registry.apply_delta(
+                synopsis, partial, force_refresh=force_refresh
+            )
+        except UnknownSynopsisError as error:
+            raise RequestError(404, "unknown synopsis %s" % error, "unknown_synopsis")
+        except DeltaUnsupportedError as error:
+            # 409: the synopsis exists but cannot absorb deltas (plain
+            # snapshot, kernelpack, live tree) — re-sending won't help.
+            raise RequestError(409, str(error), error_kind(error))
+        except DeltaError as error:
+            raise RequestError(400, str(error), error_kind(error))
+        except ReproError as error:
+            raise RequestError(500, str(error), error_kind(error))
+        self.metrics.incr("deltas_total")
+        self.metrics.incr(
+            "delta_refreshes_total" if outcome.refreshed else "delta_deferred_total"
+        )
+        return {
+            "synopsis": synopsis,
+            "generation": entry.generation,
+            "refreshed": outcome.refreshed,
+            "drift": outcome.drift,
+            "elements_added": outcome.elements_added,
+            "new_paths": outcome.new_paths,
+            "stale": not outcome.refreshed,
+            "elapsed_ms": outcome.elapsed_ms,
+        }
 
     def _observe_failure(
         self, synopsis: Optional[str], started: float, queries: int
@@ -613,6 +708,13 @@ def _make_handler(service: EstimationService) -> type:
 
         def do_POST(self) -> None:
             try:
+                if self.path == "/delta":
+                    # Delta uploads mutate the registry, not the estimate
+                    # path: they bypass the admission gate (registry's own
+                    # lock serialises them) so an overloaded estimator can
+                    # still be caught up.
+                    self._reply(200, service.handle_delta(self._read_json()))
+                    return
                 if self.path != "/estimate":
                     self._reply(
                         404, error_body("not_found", "no such endpoint %r" % self.path)
@@ -656,7 +758,7 @@ class ServiceServer:
     Usable as a context manager::
 
         with ServiceServer(service, port=0) as server:
-            client = ServiceClient(port=server.port)
+            client = EndpointClient(port=server.port)
             ...
     """
 

@@ -1,0 +1,1 @@
+"""Cluster tier tests: deltas, ring, router, unified client."""

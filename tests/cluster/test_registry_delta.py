@@ -1,0 +1,136 @@
+"""Registry-level delta maintenance and the staleness-race fix.
+
+Two invariants guard live serving:
+
+* re-registering a name **continues** its generation counter — compiled
+  plans are cached per (name, generation), so a reset would let plans
+  compiled against the previous registration serve the new system;
+* a directory ``scan()`` must never clobber an in-memory (live or
+  registered) entry with a same-named snapshot from disk — that race
+  resurrected pre-append state in earlier revisions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_synopsis, persist
+from repro.cluster.delta import DeltaUnsupportedError, IncrementalSynopsis
+from repro.service import SynopsisRegistry
+
+DOC = "<Root>" + "<A><B/><C/></A>" * 6 + "</Root>"
+
+
+class TestGenerationContinuity:
+    def test_reregister_continues_generation(self):
+        registry = SynopsisRegistry()
+        first = registry.register("demo", build_synopsis(DOC))
+        second = registry.register("demo", build_synopsis(DOC))
+        assert second.generation == first.generation + 1
+        third = registry.register("demo", build_synopsis(DOC))
+        assert third.generation == first.generation + 2
+
+    def test_scan_leaves_in_memory_entries_alone(self, tmp_path):
+        """The staleness race: a snapshot file named like a live entry
+        must not replace it on the next scan."""
+        persist.save(build_synopsis(DOC), str(tmp_path / "demo.json"))
+        registry = SynopsisRegistry(str(tmp_path))
+        registry.scan()
+        # Replace with an in-memory registration (e.g. after a live
+        # append) — its path is None and its state is newer than disk.
+        mutated = build_synopsis(
+            "<Root>" + "<A><B/><C/></A>" * 6 + "<A><B/></A>" + "</Root>"
+        )
+        live = registry.register("demo", mutated)
+        registry.scan()
+        entry = registry.get("demo")
+        assert entry is live
+        assert entry.system is mutated
+
+    def test_get_does_not_reload_in_memory_entry_from_disk(self, tmp_path):
+        persist.save(build_synopsis(DOC), str(tmp_path / "demo.json"))
+        registry = SynopsisRegistry(str(tmp_path))
+        registry.scan()
+        mutated = build_synopsis("<Root><A><B/></A></Root>")
+        registry.register("demo", mutated)
+        assert registry.get("demo").system is mutated
+
+
+class TestRegistryApplyDelta:
+    def test_apply_delta_swaps_system_and_bumps_generation(self):
+        registry = SynopsisRegistry()
+        entry = registry.register_incremental("demo", DOC)
+        old_system = entry.system
+        generation = entry.generation
+        maintainer = old_system.incremental
+        partial = maintainer.scan_fragment("<A><B/><B/></A>")
+        entry_after, outcome = registry.apply_delta("demo", partial)
+        assert outcome.refreshed
+        assert entry_after is entry
+        assert entry.system is not old_system
+        assert entry.generation == generation + 1
+        expected = build_synopsis(
+            "<Root>" + "<A><B/><C/></A>" * 6 + "<A><B/><B/></A>" + "</Root>"
+        )
+        assert entry.system.estimate("//A/$B") == expected.estimate("//A/$B")
+
+    def test_apply_delta_fires_on_reload_hook(self):
+        registry = SynopsisRegistry()
+        registry.register_incremental("demo", DOC)
+        events = []
+        registry.on_reload = lambda name, entry: events.append(name)
+        partial = registry.system("demo").incremental.scan_fragment("<A><C/></A>")
+        registry.apply_delta("demo", partial)
+        assert events == ["demo"]
+
+    def test_apply_delta_writes_back_snapshot(self, tmp_path):
+        maintainer = IncrementalSynopsis.build(DOC, name="demo")
+        path = tmp_path / "demo.json"
+        persist.save(maintainer.system, str(path))
+        registry = SynopsisRegistry(str(tmp_path))
+        registry.scan()
+        stamp_before = path.stat().st_mtime_ns
+        loaded = registry.system("demo")
+        partial = loaded.incremental.scan_fragment("<A><B/><B/></A>")
+        _, outcome = registry.apply_delta("demo", partial)
+        assert outcome.refreshed
+        # The merged state hit disk: a cold registry sees the delta.
+        assert path.stat().st_mtime_ns != stamp_before
+        cold = SynopsisRegistry(str(tmp_path))
+        cold.scan()
+        assert cold.system("demo").estimate("//A/$B") == registry.system(
+            "demo"
+        ).estimate("//A/$B")
+
+    def test_write_back_does_not_trigger_self_reload(self, tmp_path):
+        """The freshly written snapshot must not bounce back through hot
+        reload (the registry re-stamps after writing)."""
+        persist.save(IncrementalSynopsis.build(DOC, name="demo").system,
+                     str(tmp_path / "demo.json"))
+        registry = SynopsisRegistry(str(tmp_path))
+        registry.scan()
+        partial = registry.system("demo").incremental.scan_fragment("<A><C/></A>")
+        entry, _ = registry.apply_delta("demo", partial)
+        system_after = entry.system
+        # A get() right after must serve the merged system object, not a
+        # disk reload of it.
+        assert registry.get("demo").system is system_after
+
+    def test_apply_delta_rejects_plain_synopsis(self):
+        registry = SynopsisRegistry()
+        registry.register("demo", build_synopsis(DOC))
+        maintainer = IncrementalSynopsis.build(DOC, name="other")
+        partial = maintainer.scan_fragment("<A><B/></A>")
+        with pytest.raises(DeltaUnsupportedError):
+            registry.apply_delta("demo", partial)
+
+    def test_deferred_delta_keeps_entry_serving_old_system(self):
+        registry = SynopsisRegistry()
+        entry = registry.register_incremental("demo", DOC, drift_threshold=0.9)
+        served = entry.system
+        generation = entry.generation
+        partial = served.incremental.scan_fragment("<A><B/></A>")
+        _, outcome = registry.apply_delta("demo", partial)
+        assert not outcome.refreshed
+        assert entry.system is served  # stale, never torn
+        assert entry.generation == generation

@@ -1,0 +1,94 @@
+"""Consistent-hash ring: placement determinism and remap bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+
+BACKENDS = ["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"]
+KEYS = ["synopsis-%03d" % i for i in range(200)]
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        """Every router (and placement-predicting client) must compute
+        the same ring from the same backend list — md5, not the seeded
+        builtin hash."""
+        a = HashRing(BACKENDS)
+        b = HashRing(list(BACKENDS))
+        for key in KEYS:
+            assert a.node_for(key) == b.node_for(key)
+            assert a.replicas_for(key, 2) == b.replicas_for(key, 2)
+
+    def test_backend_order_does_not_matter(self):
+        a = HashRing(BACKENDS)
+        b = HashRing(list(reversed(BACKENDS)))
+        for key in KEYS:
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_replicas_are_distinct_and_primary_first(self):
+        ring = HashRing(BACKENDS)
+        for key in KEYS:
+            replicas = ring.replicas_for(key, 3)
+            assert len(replicas) == len(set(replicas)) == 3
+            assert replicas[0] == ring.node_for(key)
+
+    def test_replica_count_clamped_to_backends(self):
+        ring = HashRing(BACKENDS[:2])
+        assert sorted(ring.replicas_for("k", 5)) == sorted(BACKENDS[:2])
+
+    def test_every_backend_owns_some_keys(self):
+        ring = HashRing(BACKENDS)
+        owners = {ring.node_for(key) for key in KEYS}
+        assert owners == set(BACKENDS)
+
+
+class TestRemapBounds:
+    def test_adding_a_backend_remaps_a_bounded_share(self):
+        """The point of consistent hashing: growing the ring moves
+        roughly 1/B of the keys, not everything."""
+        before = HashRing(BACKENDS)
+        after = HashRing(BACKENDS + ["127.0.0.1:9004"])
+        moved = sum(
+            1 for key in KEYS if before.node_for(key) != after.node_for(key)
+        )
+        # Expect ~1/4 of keys to move; anything moving to a *surviving*
+        # backend would be a modulo-style reshuffle.  Allow slack for
+        # hash variance but reject wholesale remaps.
+        assert moved <= len(KEYS) // 2
+        for key in KEYS:
+            if before.node_for(key) != after.node_for(key):
+                assert after.node_for(key) == "127.0.0.1:9004"
+
+    def test_removing_a_backend_only_moves_its_keys(self):
+        before = HashRing(BACKENDS)
+        after = HashRing(BACKENDS[:2])
+        for key in KEYS:
+            if before.node_for(key) in after.backends:
+                assert after.node_for(key) == before.node_for(key)
+
+
+class TestValidation:
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_backends_rejected(self):
+        """A duplicated backend would silently halve effective
+        replication for every key it owns."""
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a:1", "b:2", "a:1"])
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(BACKENDS, vnodes=0)
+
+    def test_bad_replica_count_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(BACKENDS).replicas_for("k", 0)
+
+    def test_default_vnodes(self):
+        ring = HashRing(BACKENDS)
+        assert ring.vnodes == DEFAULT_VNODES
+        assert len(ring) == 3

@@ -1,0 +1,101 @@
+"""Estimate response wire format v2: ``result`` primary, legacy flat
+fields behind the compat switch.
+
+The consolidation must be invisible to existing deployments: with
+``compat_fields`` on (the default) a response carries both the versioned
+``result`` object and the PR-era flat mirror, and the old flat-reading
+client works unchanged — that is the round-trip test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_synopsis, persist
+from repro.core.result import RESULT_FORMAT_VERSION, EstimateResult
+from repro.service import EstimationService, ServiceServer, SynopsisRegistry
+from repro.service.client import EndpointClient
+from repro.service.config import ServerConfig
+
+DOC = "<Root>" + "<A><B/><C/></A>" * 6 + "</Root>"
+FLAT_FIELDS = ("query", "estimate", "route", "cached", "kernel")
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    persist.save(build_synopsis(DOC), str(tmp_path / "demo.json"))
+    registry = SynopsisRegistry(str(tmp_path))
+    registry.scan()
+    return registry
+
+
+class TestCompatDefaultOn:
+    def test_flat_mirror_and_result_agree(self, registry):
+        service = EstimationService(registry)
+        body = service.estimate("demo", "//A/$B")
+        assert body["result"]["version"] == RESULT_FORMAT_VERSION == 2
+        for field in ("query", "estimate", "route", "cached"):
+            assert field in body, field
+        assert body["estimate"] == body["result"]["value"]
+        assert body["query"] == body["result"]["query"]
+        assert body["route"] == body["result"]["route"]
+
+    def test_result_parses_into_estimate_result(self, registry):
+        body = EstimationService(registry).estimate("demo", "//A/$B")
+        result = EstimateResult.from_dict(body["result"])
+        assert result.value == body["estimate"]
+        assert result.kernel is not None  # v2 addition rides along
+
+
+class TestCompatSwitch:
+    def test_server_config_off_drops_flat_fields(self, registry):
+        service = EstimationService(registry, compat_fields=False)
+        body = service.estimate("demo", "//A/$B")
+        for field in FLAT_FIELDS:
+            assert field not in body, field
+        # The primary object alone is a complete answer.
+        result = EstimateResult.from_dict(body["result"])
+        assert result.value > 0
+
+    def test_per_request_override_off(self, registry):
+        service = EstimationService(registry)  # compat on by default
+        body = service.estimate("demo", "//A/$B", compat=False)
+        assert "estimate" not in body
+        assert "result" in body
+
+    def test_per_request_override_on(self, registry):
+        service = EstimationService(registry, compat_fields=False)
+        body = service.estimate("demo", "//A/$B", compat=True)
+        assert body["estimate"] == body["result"]["value"]
+
+
+class TestLegacyClientRoundTrip:
+    """The PR-era flat-field reader (EndpointClient.estimate /
+    estimate_batch read ``estimate`` off the top level) against a v2
+    server with default settings."""
+
+    def test_flat_reading_client_works_unchanged(self, registry):
+        reference = build_synopsis(DOC)
+        with ServiceServer(EstimationService(registry), port=0) as server:
+            client = EndpointClient(host=server.host, port=server.port)
+            try:
+                assert client.estimate("demo", "//A/$B") == reference.estimate(
+                    "//A/$B"
+                )
+                queries = ["//A/$B", "//A/$C", "/Root/$A", "//A/$B"]
+                values = client.estimate_batch("demo", queries)
+                assert values == [reference.estimate(q) for q in queries]
+            finally:
+                client.close()
+
+    def test_wire_body_over_http_carries_both_shapes(self, registry):
+        with ServiceServer(EstimationService(registry), port=0) as server:
+            client = EndpointClient(host=server.host, port=server.port)
+            try:
+                body = client._request(
+                    "POST", "/estimate", {"synopsis": "demo", "query": "//A/$B"}
+                )
+            finally:
+                client.close()
+        assert body["result"]["version"] == 2
+        assert body["estimate"] == body["result"]["value"]

@@ -102,13 +102,22 @@ class TestKeywordOnlyShims:
         assert client.port == 9999
 
     def test_keyword_calls_stay_silent(self, figure1):
-        from repro.service import ServiceClient
+        # EndpointClient is the canonical client; the ServiceClient name
+        # itself warns now (tested separately below).
+        from repro.service import EndpointClient
 
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             EstimationSystem.build(figure1, p_variance=0.0)
             repro.SynopsisBuilder(p_variance=0.0)
-            ServiceClient(host="127.0.0.1", port=9999)
+            EndpointClient(host="127.0.0.1", port=9999)
+
+    def test_service_client_name_warns(self):
+        from repro.service import EndpointClient, ServiceClient
+
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
+            client = ServiceClient(host="127.0.0.1", port=9999)
+        assert isinstance(client, EndpointClient)
 
     def test_positional_overflow_raises_type_error(self, figure1):
         with pytest.raises(TypeError):

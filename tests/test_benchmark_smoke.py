@@ -128,6 +128,33 @@ class TestBenchSmoke:
         )
         assert "worker-pool scaling" in rendered_results()
 
+    def test_cluster_scaling(self, tiny_ctx, monkeypatch, tmp_path_factory):
+        import benchmarks.bench_cluster_scaling as bench
+
+        if not hasattr(__import__("os"), "fork"):
+            pytest.skip("backend processes need os.fork")
+        # Two backends, a light sweep: forking real backends dominates.
+        monkeypatch.setattr(bench, "BACKENDS", 2)
+        monkeypatch.setattr(bench, "CLIENT_PROCESSES", 2)
+        monkeypatch.setattr(bench, "PASSES", 1)
+        monkeypatch.setattr(bench, "MAX_QUERIES", 8)
+        monkeypatch.setattr(bench, "MIN_SCALING", 0.0)
+        bench.test_cluster_router_scaling(
+            tiny_ctx, _StubBenchmark(), tmp_path_factory
+        )
+        assert "scatter-gather router scaling" in rendered_results()
+
+    def test_cluster_delta(self, tiny_ctx, monkeypatch):
+        import benchmarks.bench_cluster_scaling as bench
+
+        # A tiny corpus relaxes the speedup bar: re-deriving histograms
+        # has fixed costs that only amortize at real scale.  The
+        # bit-identity assertion stays.
+        monkeypatch.setattr(bench, "DELTA_TARGET_BYTES", 150_000)
+        monkeypatch.setattr(bench, "MIN_DELTA_SPEEDUP", 0.0)
+        bench.test_delta_apply_vs_full_rebuild(tiny_ctx, _StubBenchmark())
+        assert "delta apply" in rendered_results()
+
     def test_throughput_kernel_gate(self, tiny_ctx):
         """Perf smoke: the compiled kernel must not be slower than the
         legacy join, even at tiny scale (CI runs exactly this gate)."""
