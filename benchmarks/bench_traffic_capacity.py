@@ -1,0 +1,200 @@
+"""Extra experiment — QoS-tiered admission vs a flat gate under overload.
+
+The robustness claim behind the tiered gate: when mixed traffic (point
+lookups an optimizer is blocking on, plus bulk batch estimation) offers
+more load than the server can absorb, a flat admission gate makes every
+class pay equally — interactive requests queue behind bulk work and shed
+at the same rate.  QoS tiers box bulk into a sliver of the slot pool,
+give freed slots to waiting interactive work first, and (with brownout)
+stop admitting bulk entirely, so the overload lands on the traffic that
+can wait.
+
+The experiment drives the *same* deterministic schedule (diurnal +
+bursts, 30/10/60 interactive/standard/bulk mix) at several offered loads
+against two otherwise identical servers whose handlers are slowed by an
+injected 40ms delay (so capacity is ``max_inflight / delay`` requests/s
+rather than "as fast as the estimator runs"):
+
+* **flat** — one :class:`AdmissionGate` pool shared by everyone;
+* **tiered** — :func:`default_tiers` + :class:`BrownoutController`.
+
+Reported: the latency-vs-offered-load curve per gate (per-tier p50/p99,
+goodput, sheds) and the capacity knee.  Gates: at the overload point the
+tiered server's interactive p99 must beat the flat server's by
+``P99_ADVANTAGE``x, interactive sheds stay at zero at the first
+overloaded level (and within timing jitter at the extreme level) while
+the tiered bulk lane is throttled, and the tiered knee must be nonzero.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.tables import record_result
+from repro.reliability import AdmissionGate, faults
+from repro.reliability.brownout import BrownoutController
+from repro.reliability.faults import DelayFault, FaultInjector
+from repro.reliability.shedding import (
+    BULK_TIER,
+    INTERACTIVE_TIER,
+    TieredAdmissionGate,
+    default_tiers,
+)
+from repro.service import EstimationService, ServiceServer, SynopsisRegistry
+from repro.traffic import (
+    TrafficConfig,
+    TrafficDriver,
+    format_curve,
+    generate_schedule,
+    knee_qps,
+    summarize,
+)
+
+MAX_INFLIGHT = 4
+HANDLE_DELAY_S = 0.04     # per-request stall: capacity ~= 4/0.04 = 100 req/s
+OFFERED_QPS = (15.0, 90.0, 150.0)
+DURATION_S = 4.0
+WORKERS = 32
+MAX_QUERIES = 24
+#: At the overload point, tiered interactive p99 must be at least this
+#: factor better than flat interactive p99.
+P99_ADVANTAGE = 2.0
+
+TRAFFIC = dict(
+    seed=11,
+    base_qps=50.0,            # overridden per level via .scaled()
+    diurnal_amplitude=0.15,
+    burst_rate=0.25,
+    burst_factor=1.5,
+    burst_duration_s=0.5,
+    interactive_weight=0.20,
+    standard_weight=0.10,
+    bulk_weight=0.70,         # the overload is bulk-heavy by design
+    batch_size=8,
+)
+
+
+def _make_service(system, tiered: bool) -> EstimationService:
+    registry = SynopsisRegistry()
+    registry.register("SSPlays", system)
+    if tiered:
+        gate = TieredAdmissionGate(
+            tiers=default_tiers(MAX_INFLIGHT), max_total=MAX_INFLIGHT
+        )
+        brownout = BrownoutController()
+    else:
+        gate = AdmissionGate(
+            max_inflight=MAX_INFLIGHT,
+            max_queue=8,
+            queue_timeout_s=0.25,
+            retry_after_s=0.5,
+        )
+        brownout = None
+    return EstimationService(registry, gate=gate, brownout=brownout)
+
+
+def _run_curve(system, texts, tiered: bool):
+    """One full load sweep against a fresh server; returns LoadPoints."""
+    service = _make_service(system, tiered)
+    injector = FaultInjector().plan(
+        "server.handle", DelayFault(HANDLE_DELAY_S, times=None, every=1)
+    )
+    points = []
+    with faults.inject(injector):
+        with ServiceServer(service, port=0) as server:
+            driver = TrafficDriver(
+                server.host, server.port, "SSPlays", workers=WORKERS
+            )
+            for qps in OFFERED_QPS:
+                config = TrafficConfig(
+                    duration_s=DURATION_S, **TRAFFIC
+                ).scaled(qps)
+                events = generate_schedule(config, texts)
+                horizon = max(DURATION_S, events[-1].at_s)
+                report = driver.run(events)
+                points.append(
+                    summarize(
+                        report.outcomes,
+                        max(report.wall_s, horizon),
+                        len(events) / horizon,
+                    )
+                )
+    return points
+
+
+def test_traffic_capacity(ctx, benchmark):
+    system = ctx.factory("SSPlays").system(0, 0)
+    workload = ctx.workload("SSPlays")
+    texts = [
+        item.text
+        for item in (workload.simple + workload.branch)[:MAX_QUERIES]
+    ]
+
+    # Timing kernel: one short tiered run at the lowest offered load.
+    def kernel():
+        events = generate_schedule(
+            TrafficConfig(duration_s=1.0, **TRAFFIC), texts
+        )
+        service = _make_service(system, tiered=True)
+        with ServiceServer(service, port=0) as server:
+            TrafficDriver(
+                server.host, server.port, "SSPlays", workers=8
+            ).run(events)
+
+    benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    flat = _run_curve(system, texts, tiered=False)
+    tiered = _run_curve(system, texts, tiered=True)
+
+    record_result(
+        "traffic_capacity",
+        "\n\n".join(
+            [
+                format_curve(
+                    flat,
+                    title="traffic capacity: flat gate "
+                    "(max_inflight=%d, %.0fms handler)"
+                    % (MAX_INFLIGHT, HANDLE_DELAY_S * 1000),
+                ),
+                format_curve(
+                    tiered,
+                    title="traffic capacity: QoS tiers + brownout "
+                    "(same pool, bulk boxed to %d slot)"
+                    % max(1, MAX_INFLIGHT // 4),
+                ),
+            ]
+        ),
+    )
+
+    overload_flat = flat[-1]
+    overload_tiered = tiered[-1]
+    flat_interactive = overload_flat.tier(INTERACTIVE_TIER)
+    tiered_interactive = overload_tiered.tier(INTERACTIVE_TIER)
+    tiered_bulk = overload_tiered.tier(BULK_TIER)
+
+    # The QoS gate keeps interactive sheds at zero (within thread-timing
+    # jitter at the most extreme level) everywhere on the curve...
+    for point in tiered:
+        interactive = point.tier(INTERACTIVE_TIER)
+        assert interactive is not None
+        assert interactive.shed <= max(1, int(0.05 * interactive.offered))
+    # ...and at the first overloaded level the contrast is absolute:
+    # bulk is already being throttled hard while interactive sheds
+    # nothing at all.
+    mid = tiered[1]
+    assert mid.tier(BULK_TIER).shed > 0
+    assert mid.tier(INTERACTIVE_TIER).shed == 0
+    assert tiered_bulk.shed > 0
+    # The timing-sensitive bars self-gate on host parallelism: on a
+    # 2-core CI runner the open-loop driver and the server fight for
+    # too little CPU for tail latencies and the lightest level to be
+    # trustworthy.  The shed-placement assertions above hold anywhere.
+    assert tiered_interactive.served > 0 and flat_interactive.served > 0
+    cores = os.cpu_count() or 1
+    if P99_ADVANTAGE and cores >= 4:
+        # Interactive tail latency is the headline: the tiered gate
+        # keeps it a multiple better under the same overload.
+        assert flat_interactive.p99_ms >= P99_ADVANTAGE * tiered_interactive.p99_ms
+    if cores >= 4:
+        # The tiered server still absorbs the lightest load completely.
+        assert knee_qps(tiered) > 0.0

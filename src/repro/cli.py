@@ -277,14 +277,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             % args.snapshot_dir,
             file=sys.stderr,
         )
-    from repro.reliability import AdmissionGate
-
     from repro.obs.slowlog import SlowQueryLog
+    from repro.reliability import AdmissionGate
+    from repro.reliability.brownout import BrownoutController
+    from repro.reliability.shedding import TieredAdmissionGate, default_tiers
 
+    brownout = None
+    if args.no_qos:
+        gate = AdmissionGate(max_inflight=args.max_inflight)
+    else:
+        gate = TieredAdmissionGate(
+            tiers=default_tiers(
+                args.max_inflight,
+                bulk_max_inflight=args.bulk_inflight,
+                standard_queue=args.standard_queue,
+                request_deadline_s=args.deadline or None,
+            ),
+            max_total=args.max_inflight,
+        )
+        if not args.no_brownout:
+            brownout = BrownoutController()
     service = EstimationService(
         registry,
         plan_cache=PlanCache(args.plan_cache),
-        gate=AdmissionGate(max_inflight=args.max_inflight),
+        gate=gate,
         request_deadline_s=args.deadline or None,
         slow_log=SlowQueryLog(
             capacity=args.slowlog_capacity,
@@ -292,8 +308,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             top_k=args.slowlog_top_k,
         ),
         trace_sample_rate=args.trace_sample_rate,
+        brownout=brownout,
     )
-    server = ServiceServer(service, host=args.host, port=args.port)
+    server = ServiceServer(
+        service,
+        host=args.host,
+        port=args.port,
+        read_deadline_s=args.read_deadline or None,
+    )
     print(
         "serving %d synopsis(es) [%s] on http://%s:%d (plan cache %d)"
         % (len(names), ", ".join(names), server.host, server.port, args.plan_cache),
@@ -308,6 +330,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.gate.close()
         service.gate.drain(args.drain_timeout)
         server.httpd.server_close()
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    """``repro traffic``: capacity sweep against a temporary server."""
+    from repro.service import ServerConfig, SynopsisRegistry, serve
+    from repro.traffic import (
+        TrafficConfig,
+        TrafficDriver,
+        format_curve,
+        generate_schedule,
+        load_trace,
+        save_trace,
+        summarize,
+    )
+
+    if not os.path.isdir(args.snapshot_dir):
+        print("error: snapshot dir %r does not exist" % args.snapshot_dir,
+              file=sys.stderr)
+        return 1
+    registry = SynopsisRegistry(args.snapshot_dir)
+    names = registry.scan()
+    if not names:
+        print("error: no *.json snapshots in %r" % args.snapshot_dir,
+              file=sys.stderr)
+        return 1
+    synopsis = args.synopsis or names[0]
+    if synopsis not in names:
+        print("error: synopsis %r not in %s" % (synopsis, names),
+              file=sys.stderr)
+        return 1
+    queries = ["//%s" % tag for tag in registry.system(synopsis).path_provider.tags()]
+
+    duration = 1.0 if args.smoke else args.duration
+    levels = args.qps or ([20.0, 60.0] if args.smoke else [50.0, 100.0, 200.0])
+    shape = TrafficConfig(
+        seed=args.seed,
+        duration_s=duration,
+        base_qps=levels[0],
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period_s=duration,
+        burst_rate=args.burst_rate,
+        slow_fraction=args.slow_fraction,
+    )
+
+    if args.save_trace:
+        for qps in levels:
+            events = generate_schedule(shape.scaled(qps), queries)
+            path = "%s.%d.jsonl" % (args.save_trace, int(qps))
+            save_trace(events, path)
+            print("wrote %d events (%.0f qps offered) to %s"
+                  % (len(events), qps, path))
+        return 0
+
+    server = serve(
+        args.snapshot_dir,
+        config=ServerConfig(
+            port=0,
+            max_inflight=args.max_inflight,
+            qos=not args.no_qos,
+        ),
+        registry=registry,
+    )
+    server.start()
+    try:
+        driver = TrafficDriver(
+            server.host, server.port, synopsis, workers=args.workers
+        )
+        points = []
+        if args.replay_trace:
+            schedules = [load_trace(args.replay_trace)]
+        else:
+            schedules = [
+                generate_schedule(shape.scaled(qps), queries) for qps in levels
+            ]
+        for events in schedules:
+            if not events:
+                continue
+            horizon = max(duration, events[-1].at_s)
+            offered = len(events) / horizon
+            report = driver.run(events)
+            points.append(
+                summarize(report.outcomes, max(report.wall_s, horizon), offered)
+            )
+            print(
+                "offered %7.1f qps: served %d shed %d in %.2fs"
+                % (offered, report.served, report.shed, report.wall_s),
+                flush=True,
+            )
+    finally:
+        server.close()
+    print()
+    print(
+        format_curve(
+            points,
+            title="capacity sweep: %s (%s gate, max_inflight=%d)"
+            % (synopsis, "flat" if args.no_qos else "tiered", args.max_inflight),
+        )
+    )
     return 0
 
 
@@ -341,6 +462,11 @@ def _serve_pool(args: argparse.Namespace) -> int:
         slowlog_capacity=args.slowlog_capacity,
         slowlog_threshold_ms=args.slowlog_threshold_ms,
         slowlog_top_k=args.slowlog_top_k,
+        qos=not args.no_qos,
+        bulk_max_inflight=args.bulk_inflight,
+        standard_queue=args.standard_queue,
+        brownout=not args.no_brownout,
+        read_deadline_s=args.read_deadline or None,
     )
     try:
         pool, control = serve_pool(
@@ -748,7 +874,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervisor control-plane port for --workers N (aggregated "
         "/metrics, /healthz, POST /reload); 0 = ephemeral, -1 disables",
     )
+    serve.add_argument(
+        "--no-qos", action="store_true",
+        help="flat admission gate instead of QoS tiers "
+        "(interactive/standard/bulk priority lanes)",
+    )
+    serve.add_argument(
+        "--bulk-inflight", type=int, default=None,
+        help="bulk-tier inflight cap (default: max-inflight // 4)",
+    )
+    serve.add_argument(
+        "--standard-queue", type=int, default=32,
+        help="bounded wait-queue depth for the standard tier",
+    )
+    serve.add_argument(
+        "--no-brownout", action="store_true",
+        help="disable brownout degradation (shedding observability and "
+        "bulk admission under sustained overload)",
+    )
+    serve.add_argument(
+        "--read-deadline", type=float, default=30.0,
+        help="per-connection socket read deadline in seconds; slow "
+        "clients get 408 (0 = unbounded)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    traffic = commands.add_parser(
+        "traffic",
+        help="sweep offered load against a temporary server and print the "
+        "latency-vs-load curve with its capacity knee",
+    )
+    traffic.add_argument(
+        "--snapshot-dir", required=True, help="directory of *.json synopses"
+    )
+    traffic.add_argument(
+        "--synopsis", default=None,
+        help="synopsis to target (default: first one in the directory)",
+    )
+    traffic.add_argument(
+        "--qps", type=float, action="append", default=None, metavar="QPS",
+        help="offered load level to measure (repeat; default 50 100 200)",
+    )
+    traffic.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds of schedule per load level",
+    )
+    traffic.add_argument("--seed", type=int, default=0, help="schedule seed")
+    traffic.add_argument(
+        "--diurnal-amplitude", type=float, default=0.3,
+        help="rate swing as a fraction of qps over one diurnal period",
+    )
+    traffic.add_argument(
+        "--burst-rate", type=float, default=0.2,
+        help="burst windows per second (each multiplies the rate)",
+    )
+    traffic.add_argument(
+        "--slow-fraction", type=float, default=0.0,
+        help="fraction of events sent as slow clients (trickled bytes)",
+    )
+    traffic.add_argument(
+        "--workers", type=int, default=16, help="driver worker threads"
+    )
+    traffic.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="server concurrency limit for the temporary server",
+    )
+    traffic.add_argument(
+        "--no-qos", action="store_true",
+        help="measure a flat admission gate instead of QoS tiers",
+    )
+    traffic.add_argument(
+        "--save-trace", default=None, metavar="PATH",
+        help="write each level's schedule to PATH.<qps>.jsonl and exit "
+        "without driving (pair with --replay-trace)",
+    )
+    traffic.add_argument(
+        "--replay-trace", default=None, metavar="PATH",
+        help="replay one JSONL trace instead of generating schedules",
+    )
+    traffic.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fast sweep (CI wiring check, not a measurement)",
+    )
+    traffic.set_defaults(handler=_cmd_traffic)
 
     delta = commands.add_parser(
         "delta",

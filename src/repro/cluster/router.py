@@ -17,9 +17,18 @@ router owns placement and failure handling so clients stay dumb:
   so a dead instance is skipped without paying its timeout every
   request); 4xx — the backend answered, the request is bad — propagate
   immediately, except ``404 unknown_synopsis`` which also tries the next
-  replica (an instance may lag a snapshot sync).  Only when *every*
-  replica refused does the router give up with kind
-  ``replicas_exhausted``.
+  replica (an instance may lag a snapshot sync).  A ``503`` **shed** is
+  neither: the backend is alive, just saturated, so it does *not* count
+  against its breaker — instead its ``Retry-After`` starts a cooldown
+  during which the router routes around it rather than hot-retrying into
+  the overload.  When every replica fails the router gives up with kind
+  ``replicas_exhausted`` (502) — or, when the replicas are merely
+  shedding, with kind ``overloaded`` (503) and the soonest
+  ``Retry-After`` so the client backs off instead of failing over.
+* **QoS tiers** — an ``X-Repro-Tier`` request header (or body ``"tier"``
+  field) rides through to the backends on both the single-backend path
+  and every scatter chunk, so tier-aware admission happens where the
+  work runs.
 * **Scatter-gather** — batch requests over ``scatter_min`` queries split
   into contiguous chunks across the synopsis' replica set and execute in
   parallel; the gathered reply preserves query order.  A chunk whose
@@ -150,6 +159,7 @@ class Backend:
         breaker_threshold: int = 3,
         breaker_recovery_s: float = 1.0,
         client_factory: Optional[Callable[[], Any]] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         self.address = address
         host, port = parse_address(address)
@@ -159,10 +169,15 @@ class Backend:
         self.breaker = CircuitBreaker(
             failure_threshold=breaker_threshold, recovery_after_s=breaker_recovery_s
         )
+        self._clock = clock
         self._idle: List[Any] = []
         self._lock = threading.Lock()
         self.requests_total = 0
         self.failures_total = 0
+        self.sheds_total = 0
+        # Monotonic stamp until which this backend is "cooling": it shed
+        # with a Retry-After and hot-retrying it would amplify overload.
+        self._shed_until = 0.0
 
     def call(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
         """One request through a leased client; raises ServiceError."""
@@ -195,12 +210,32 @@ class Backend:
             except Exception:  # pragma: no cover - defensive
                 pass
 
+    def note_shed(self, retry_after_s: Optional[float]) -> None:
+        """The backend shed (503 overloaded): honor its ``Retry-After``
+        by cooling this backend instead of recording a breaker failure."""
+        with self._lock:
+            self.sheds_total += 1
+            self._shed_until = max(
+                self._shed_until, self._clock() + (retry_after_s or 1.0)
+            )
+
+    def shed_remaining(self) -> float:
+        """Seconds of shed cooldown left (0 when serving normally)."""
+        with self._lock:
+            return max(0.0, self._shed_until - self._clock())
+
+    @property
+    def cooling(self) -> bool:
+        return self.shed_remaining() > 0.0
+
     def describe(self) -> Dict[str, Any]:
         return {
             "address": self.address,
             "breaker": self.breaker.state,
             "requests_total": self.requests_total,
             "failures_total": self.failures_total,
+            "sheds_total": self.sheds_total,
+            "cooling": self.cooling,
         }
 
 
@@ -265,19 +300,51 @@ class ClusterRouter:
     ) -> Tuple[Backend, Dict[str, Any]]:
         """Run one request against the replica set with failover.
 
-        Raises :class:`RequestError` (propagated 4xx) or
-        :class:`ReplicasExhaustedError` (nothing answered).
+        Raises :class:`RequestError` (propagated 4xx, or 503
+        ``overloaded`` with a ``Retry-After`` when every live replica is
+        shedding) or :class:`ReplicasExhaustedError` (nothing answered).
         """
         last_error: Optional[str] = None
         tried = 0
+        shed_retry_after: Optional[float] = None
         for backend in replicas:
             if not backend.breaker.allow():
                 last_error = "%s: circuit open" % backend.address
+                continue
+            cooldown = backend.shed_remaining()
+            if cooldown > 0.0:
+                # Recently shed and still inside its Retry-After window:
+                # hot-retrying it would amplify the very overload it
+                # reported.  Route around it.
+                shed_retry_after = (
+                    cooldown
+                    if shed_retry_after is None
+                    else min(shed_retry_after, cooldown)
+                )
+                last_error = "%s: shedding (cooling %.2fs)" % (
+                    backend.address,
+                    cooldown,
+                )
                 continue
             tried += 1
             try:
                 document = backend.call(method, path, payload)
             except ServiceError as error:
+                if error.status == 503 and error.kind == "overloaded":
+                    # A shed is not a failure: the backend answered,
+                    # it is just saturated.  Keep its breaker healthy,
+                    # start its cooldown, move on.
+                    backend.breaker.record_success()
+                    backend.note_shed(error.retry_after_s)
+                    self.metrics.incr("backend_sheds_total")
+                    pause = error.retry_after_s or 1.0
+                    shed_retry_after = (
+                        pause
+                        if shed_retry_after is None
+                        else min(shed_retry_after, pause)
+                    )
+                    last_error = "%s: shed (%s)" % (backend.address, error.message)
+                    continue
                 transient = error.retryable or error.status >= 500
                 lagging = error.status == 404 and error.kind == "unknown_synopsis"
                 if transient:
@@ -295,6 +362,17 @@ class ClusterRouter:
             backend.breaker.record_success()
             self._record_good(synopsis, backend)
             return backend, document
+        if shed_retry_after is not None:
+            # Every live replica is shedding: the cluster is saturated,
+            # not broken.  503 + the soonest Retry-After tells the client
+            # to back off rather than treat this as a dead cluster.
+            raise RequestError(
+                503,
+                "all replicas of %r are shedding load (last: %s)"
+                % (synopsis, last_error),
+                "overloaded",
+                retry_after_s=shed_retry_after,
+            )
         raise ReplicasExhaustedError(
             "all %d replica(s) of %r failed (tried %d; last: %s)"
             % (len(replicas), synopsis, tried, last_error or "none reachable")
@@ -544,6 +622,7 @@ class ClusterRouter:
         document["cluster"] = {
             "backends": [b.describe() for b in self.backends.values()],
             "failovers_total": self.metrics.counter("failovers_total"),
+            "backend_sheds_total": self.metrics.counter("backend_sheds_total"),
             "degraded_batches_total": self.metrics.counter("degraded_batches_total"),
             "deltas_total": self.metrics.counter("deltas_total"),
         }
@@ -563,11 +642,18 @@ def _make_handler(router: ClusterRouter) -> type:
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass
 
-        def _reply(self, status: int, body: Dict[str, Any]) -> None:
+        def _reply(
+            self,
+            status: int,
+            body: Dict[str, Any],
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             data = json.dumps(body).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
 
@@ -603,7 +689,13 @@ def _make_handler(router: ClusterRouter) -> type:
         def do_POST(self) -> None:
             try:
                 if self.path == "/estimate":
-                    self._reply(200, router.handle_estimate(self._read_json()))
+                    payload = self._read_json()
+                    # Propagate the QoS tier into the body so it rides
+                    # through to every backend (and scatter chunk).
+                    tier = self.headers.get("X-Repro-Tier")
+                    if tier and isinstance(payload, dict) and "tier" not in payload:
+                        payload["tier"] = tier
+                    self._reply(200, router.handle_estimate(payload))
                 elif self.path == "/delta":
                     self._reply(200, router.handle_delta(self._read_json()))
                 else:
@@ -611,7 +703,14 @@ def _make_handler(router: ClusterRouter) -> type:
                         404, error_body("not_found", "no such endpoint %r" % self.path)
                     )
             except RequestError as error:
-                self._reply(error.status, error_body(error.kind, str(error)))
+                headers = (
+                    {"Retry-After": "%g" % error.retry_after_s}
+                    if getattr(error, "retry_after_s", None) is not None
+                    else None
+                )
+                self._reply(
+                    error.status, error_body(error.kind, str(error)), headers=headers
+                )
             except Exception as error:  # pragma: no cover - defensive
                 self._reply(500, error_body("internal", "internal error: %s" % error))
 

@@ -48,6 +48,11 @@ class EstimateResult:
         Whether a compiled synopsis kernel executed the estimate
         (service responses only; ``None`` when unknown, e.g. direct
         in-process estimation or a version-1 server).
+    tier:
+        The QoS admission tier this estimate was served under
+        (``"interactive"`` / ``"standard"`` / ``"bulk"``); ``None``
+        when the server ran without tiered admission or the result
+        predates tiers.
     """
 
     value: float
@@ -57,6 +62,7 @@ class EstimateResult:
     trace: Optional[Dict[str, Any]] = None
     cached: Optional[bool] = None
     kernel: Optional[bool] = None
+    tier: Optional[str] = None
 
     def __float__(self) -> float:
         return float(self.value)
@@ -81,6 +87,8 @@ class EstimateResult:
             payload["cached"] = self.cached
         if self.kernel is not None:
             payload["kernel"] = self.kernel
+        if self.tier is not None:
+            payload["tier"] = self.tier
         if self.trace is not None:
             payload["trace"] = self.trace
         return payload
@@ -96,4 +104,5 @@ class EstimateResult:
             trace=payload.get("trace"),
             cached=payload.get("cached"),
             kernel=payload.get("kernel"),
+            tier=payload.get("tier"),
         )

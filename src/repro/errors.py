@@ -115,7 +115,16 @@ def error_kind(error: BaseException) -> str:
 #: validation on the server, socket failures on the client.  They have
 #: no :class:`ReproError` class behind them but are equally stable.
 TRANSPORT_WIRE_KINDS = frozenset(
-    {"bad_request", "not_found", "internal", "connection", "timeout", "bad_response"}
+    {
+        "bad_request",
+        "not_found",
+        "internal",
+        "connection",
+        "timeout",
+        "bad_response",
+        "read_timeout",
+        "unknown_tier",
+    }
 )
 
 

@@ -37,6 +37,7 @@ PREFERRED_ORDER = [
     "planner",
     "cluster_scaling",
     "cluster_delta",
+    "traffic_capacity",
 ]
 
 HEADER = """\

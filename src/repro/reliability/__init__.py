@@ -11,7 +11,12 @@ correct estimates anyway.  This package holds the shared primitives:
   :class:`CircuitBreaker` with timed half-open probes;
 * :mod:`repro.reliability.shedding` — :class:`AdmissionGate`: bounded
   in-flight concurrency, load shedding with ``Retry-After``, graceful
-  drain for shutdown;
+  drain for shutdown; :class:`TieredAdmissionGate` adds named QoS lanes
+  (:class:`TierPolicy`) with priority-ordered admission and cooperative
+  mid-request preemption;
+* :mod:`repro.reliability.brownout` — :class:`BrownoutController`:
+  sustained-overload detection with hysteresis driving staged
+  degradation (shed tracing/slowlog first, then bulk admission);
 * :mod:`repro.reliability.integrity` — CRC32 snapshot checksums and
   atomic temp-file+rename writes;
 * :mod:`repro.reliability.faults` — the deterministic fault-injection
@@ -24,6 +29,7 @@ degraded-health semantics and tuning guidance.
 
 from repro.errors import ReliabilityError
 from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.reliability.brownout import BROWNOUT_STATES, BrownoutController
 from repro.reliability.policy import (
     DEFAULT_RETRY_POLICY,
     NO_RETRY,
@@ -31,17 +37,34 @@ from repro.reliability.policy import (
     DeadlineExceededError,
     RetryPolicy,
 )
-from repro.reliability.shedding import AdmissionGate, OverloadedError
+from repro.reliability.shedding import (
+    BULK_TIER,
+    INTERACTIVE_TIER,
+    STANDARD_TIER,
+    AdmissionGate,
+    OverloadedError,
+    TieredAdmissionGate,
+    TierPolicy,
+    default_tiers,
+)
 
 __all__ = [
     "AdmissionGate",
+    "BROWNOUT_STATES",
+    "BULK_TIER",
+    "BrownoutController",
     "CircuitBreaker",
     "CircuitOpenError",
     "DEFAULT_RETRY_POLICY",
     "Deadline",
     "DeadlineExceededError",
+    "INTERACTIVE_TIER",
     "NO_RETRY",
     "OverloadedError",
     "ReliabilityError",
     "RetryPolicy",
+    "STANDARD_TIER",
+    "TieredAdmissionGate",
+    "TierPolicy",
+    "default_tiers",
 ]

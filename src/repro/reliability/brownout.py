@@ -1,0 +1,176 @@
+"""Brownout: graceful degradation under sustained overload.
+
+A saturated server has two bad options — keep doing everything slowly,
+or fall over.  Brownout is the third: shed *optional* work first, in a
+fixed order, and advertise the degraded state so operators and load
+balancers can see it.  The degradation ladder here:
+
+* **level 0 — ``ok``**: everything on.
+* **level 1 — ``shed_observability``**: per-request tracing and
+  slow-query logging are suspended (they cost allocations and lock
+  traffic exactly when the server can least afford them); estimates are
+  unaffected.
+* **level 2 — ``shed_bulk``**: additionally, brownout-sheddable tiers
+  (bulk batch estimation) stop being admitted at all, reserving the
+  whole slot pool for interactive/standard work.
+
+:class:`BrownoutController` is a pure, clock-injectable state machine.
+The serving layer calls :meth:`record` with the outcome of every
+admission attempt (``shed=True`` for *capacity* sheds only — brownout
+sheds and shutdown sheds are policy outcomes, not pressure, and feeding
+them back would latch the brownout on forever).  Pressure is the shed
+fraction over a sliding window; escalation requires the breach to be
+*sustained* (``dwell_s``) and recovery requires calm to be sustained
+(``cooloff_s``), so a single burst neither trips nor clears it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["BrownoutController", "BROWNOUT_STATES"]
+
+#: level -> advertised state string (wire + /healthz stable values).
+BROWNOUT_STATES: Tuple[str, ...] = ("ok", "shed_observability", "shed_bulk")
+
+
+class BrownoutController:
+    """Sliding-window overload detector with hysteresis.
+
+    enter_threshold / escalate_threshold:
+        Shed fraction that (sustained for ``dwell_s``) moves the level
+        to 1 / 2 respectively.
+    exit_threshold:
+        Shed fraction below which (sustained for ``cooloff_s``) the
+        level steps back down one notch.
+    min_events:
+        Admission attempts the window must hold before any fraction is
+        trusted (a lone early shed is not 100% overload).
+    """
+
+    def __init__(
+        self,
+        window_s: float = 5.0,
+        enter_threshold: float = 0.10,
+        escalate_threshold: float = 0.30,
+        exit_threshold: float = 0.02,
+        dwell_s: float = 1.0,
+        cooloff_s: float = 3.0,
+        min_events: int = 20,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not 0.0 < enter_threshold <= escalate_threshold <= 1.0:
+            raise ValueError(
+                "need 0 < enter_threshold <= escalate_threshold <= 1, got %r / %r"
+                % (enter_threshold, escalate_threshold)
+            )
+        if not 0.0 <= exit_threshold < enter_threshold:
+            raise ValueError(
+                "need 0 <= exit_threshold < enter_threshold, got %r"
+                % (exit_threshold,)
+            )
+        self.window_s = window_s
+        self.enter_threshold = enter_threshold
+        self.escalate_threshold = escalate_threshold
+        self.exit_threshold = exit_threshold
+        self.dwell_s = dwell_s
+        self.cooloff_s = cooloff_s
+        self.min_events = max(1, min_events)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (timestamp, shed) admission outcomes inside the window.
+        self._events: "deque[Tuple[float, bool]]" = deque()
+        self._shed_in_window = 0
+        self._level = 0
+        self._breach_since: Optional[float] = None
+        self._clear_since: Optional[float] = None
+        self._transitions = 0
+
+    # ------------------------------------------------------------------
+
+    def _trim_locked(self, now: float) -> None:
+        horizon = now - self.window_s
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, shed = events.popleft()
+            if shed:
+                self._shed_in_window -= 1
+
+    def _fraction_locked(self) -> float:
+        total = len(self._events)
+        if total < self.min_events:
+            return 0.0
+        return self._shed_in_window / total
+
+    def record(self, shed: bool) -> int:
+        """Record one admission outcome; returns the (possibly changed)
+        level.  ``shed`` must be True only for capacity sheds."""
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, shed))
+            if shed:
+                self._shed_in_window += 1
+            self._trim_locked(now)
+            fraction = self._fraction_locked()
+
+            # Escalation: breach of the *next* level's threshold,
+            # sustained for dwell_s.  One level per dwell period.
+            next_threshold = (
+                self.enter_threshold if self._level == 0 else self.escalate_threshold
+            )
+            if self._level < 2 and fraction >= next_threshold:
+                if self._breach_since is None:
+                    self._breach_since = now
+                elif now - self._breach_since >= self.dwell_s:
+                    self._level += 1
+                    self._transitions += 1
+                    self._breach_since = None
+            else:
+                self._breach_since = None
+
+            # Recovery: calm below exit_threshold sustained for
+            # cooloff_s steps down one level at a time.
+            if self._level > 0 and fraction <= self.exit_threshold:
+                if self._clear_since is None:
+                    self._clear_since = now
+                elif now - self._clear_since >= self.cooloff_s:
+                    self._level -= 1
+                    self._transitions += 1
+                    self._clear_since = None
+            else:
+                self._clear_since = None
+            return self._level
+
+    # ------------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    @property
+    def state(self) -> str:
+        return BROWNOUT_STATES[self.level]
+
+    def allows_tracing(self) -> bool:
+        return self.level < 1
+
+    def allows_slowlog(self) -> bool:
+        return self.level < 1
+
+    def allows_bulk(self) -> bool:
+        return self.level < 2
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            self._trim_locked(self._clock())
+            return {
+                "state": BROWNOUT_STATES[self._level],
+                "level": self._level,
+                "shed_fraction": round(self._fraction_locked(), 4),
+                "window_events": len(self._events),
+                "transitions_total": self._transitions,
+            }

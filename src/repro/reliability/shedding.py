@@ -15,12 +15,23 @@ consults:
 
 The gate is a condition variable around two integers — no per-request
 allocation on the hot path.
+
+:class:`TieredAdmissionGate` generalizes the same contract to **named
+QoS lanes** (:class:`TierPolicy`): each tier gets its own in-flight cap,
+queue depth, queue timeout, ``Retry-After`` hint and deadline budget,
+all sharing one global ``max_total`` slot pool.  Priority ordering is
+enforced at admission time — a lower-priority arrival or waiter never
+takes a freed slot while a higher-priority request that could use it is
+queued — and cooperatively mid-request through :meth:`~
+TieredAdmissionGate.checkpoint`, which lets a long bulk batch yield its
+slot between queries whenever interactive work is waiting.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 import time
 
@@ -30,19 +41,37 @@ DEFAULT_MAX_INFLIGHT = 64
 DEFAULT_MAX_QUEUE = 0
 DEFAULT_QUEUE_TIMEOUT_S = 0.05
 
+#: Canonical tier names used across the service, router and client.
+INTERACTIVE_TIER = "interactive"
+STANDARD_TIER = "standard"
+BULK_TIER = "bulk"
+
 
 class OverloadedError(ReliabilityError):
     """The server is saturated (or closing); the request was shed.
 
     ``retry_after_s`` is the client-facing backoff hint carried on the
-    ``Retry-After`` response header.
+    ``Retry-After`` response header.  ``reason`` distinguishes *why* the
+    request was refused: ``"capacity"`` (no slot in time — the overload
+    signal brownout controllers feed on), ``"brownout"`` (the tier is
+    administratively shed while the server degrades) or ``"closing"``
+    (graceful shutdown).  ``tier`` names the lane that shed, when the
+    gate is tiered.
     """
 
     kind = "overloaded"
 
-    def __init__(self, message: str, retry_after_s: float = 1.0):
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        reason: str = "capacity",
+        tier: Optional[str] = None,
+    ):
         super().__init__(message)
         self.retry_after_s = retry_after_s
+        self.reason = reason
+        self.tier = tier
 
 
 class AdmissionGate:
@@ -178,4 +207,415 @@ class AdmissionGate:
                 "admitted_total": self._admitted_total,
                 "shed_total": self._shed_total,
                 "closed": self._closed,
+            }
+
+
+# ----------------------------------------------------------------------
+# QoS tiers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """Admission policy for one named QoS lane.
+
+    priority:
+        Smaller numbers are more important; priority-0 waiters are
+        admitted before any freed slot reaches a lower lane.
+    max_inflight:
+        Concurrent requests this tier may hold (its share of the gate's
+        ``max_total`` pool; the sum may over-commit — the pool is the
+        hard bound, the per-tier cap limits how much of it one class of
+        work can monopolize).
+    max_queue / queue_timeout_s:
+        Bounded wait replacing an instant 503: up to ``max_queue``
+        requests wait up to ``queue_timeout_s`` for a slot before they
+        are shed.
+    retry_after_s:
+        Client backoff hint (``Retry-After``) when this tier sheds.
+    deadline_s:
+        Per-request time budget for this tier (``None`` = the server
+        default); the serving layer maps overruns to 504.
+    brownout_sheddable:
+        Whether a brownout controller may stop admitting this tier
+        entirely while the server degrades (bulk lanes, not interactive
+        ones).
+    """
+
+    name: str
+    priority: int
+    max_inflight: int
+    max_queue: int = 0
+    queue_timeout_s: float = DEFAULT_QUEUE_TIMEOUT_S
+    retry_after_s: float = 1.0
+    deadline_s: Optional[float] = None
+    brownout_sheddable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.max_inflight < 1:
+            raise ValueError(
+                "tier %r max_inflight must be >= 1, got %r"
+                % (self.name, self.max_inflight)
+            )
+        if self.max_queue < 0:
+            raise ValueError(
+                "tier %r max_queue must be >= 0, got %r"
+                % (self.name, self.max_queue)
+            )
+
+
+def default_tiers(
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    bulk_max_inflight: Optional[int] = None,
+    standard_queue: int = 32,
+    request_deadline_s: Optional[float] = None,
+) -> Tuple[TierPolicy, ...]:
+    """The stock three-lane layout over a ``max_inflight`` slot pool.
+
+    * ``interactive`` — full pool access, a short queue, fast shed;
+      point lookups a cost optimizer is blocking on.
+    * ``standard`` — most of the pool, a real bounded-wait queue (mid
+      tier work queues briefly instead of bouncing off a 503).
+    * ``bulk`` — a quarter of the pool, nearly no queue, a long
+      ``Retry-After``; batch estimation that should soak idle capacity
+      only, and the first thing a brownout stops admitting.
+    """
+    bulk = bulk_max_inflight if bulk_max_inflight is not None else max(
+        1, max_inflight // 4
+    )
+    return (
+        TierPolicy(
+            INTERACTIVE_TIER,
+            priority=0,
+            max_inflight=max_inflight,
+            max_queue=max(4, max_inflight // 4),
+            queue_timeout_s=0.25,
+            retry_after_s=0.5,
+            deadline_s=request_deadline_s,
+        ),
+        TierPolicy(
+            STANDARD_TIER,
+            priority=1,
+            max_inflight=max(1, (max_inflight * 3) // 4),
+            max_queue=standard_queue,
+            queue_timeout_s=1.0,
+            retry_after_s=1.0,
+            deadline_s=request_deadline_s,
+        ),
+        TierPolicy(
+            BULK_TIER,
+            priority=2,
+            max_inflight=min(bulk, max_inflight),
+            max_queue=2,
+            queue_timeout_s=0.05,
+            retry_after_s=2.0,
+            deadline_s=request_deadline_s,
+            brownout_sheddable=True,
+        ),
+    )
+
+
+class TieredAdmissionGate:
+    """Priority-laned admission over one shared slot pool.
+
+    The same contract as :class:`AdmissionGate` — ``enter``/``leave``
+    pairing, ``close``/``drain`` lifecycle, :class:`OverloadedError` on
+    shed — with a tier name threaded through.  ``enter()`` without a
+    tier uses ``default_tier`` so flat call sites keep working.
+
+    Priority semantics:
+
+    * a request is admitted when the pool has a slot, its tier is under
+      its own cap, **and** no strictly-higher-priority request that
+      could take a pool slot is waiting;
+    * freed slots therefore reach queued interactive work before queued
+      bulk work, regardless of arrival order;
+    * :meth:`checkpoint` lets an *admitted* long request (a bulk batch
+      between queries) yield its slot to waiting higher-priority work
+      and re-acquire afterwards — cooperative preemption without
+      killing in-flight work.  On timeout/shutdown the slot is retaken
+      regardless (bounded oversubscription) so an admitted request
+      never fails mid-flight at the gate; per-request deadlines bound
+      the total wait.
+    """
+
+    def __init__(
+        self,
+        tiers: Optional[Iterable[TierPolicy]] = None,
+        max_total: int = DEFAULT_MAX_INFLIGHT,
+        default_tier: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        policies = tuple(tiers) if tiers is not None else default_tiers(max_total)
+        if not policies:
+            raise ValueError("at least one TierPolicy is required")
+        if max_total < 1:
+            raise ValueError("max_total must be >= 1, got %r" % (max_total,))
+        names = [policy.name for policy in policies]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate tier names: %r" % (names,))
+        # Kept sorted most-important-first; `_waiting_above` walks it.
+        self._policies: Tuple[TierPolicy, ...] = tuple(
+            sorted(policies, key=lambda p: p.priority)
+        )
+        self._by_name: Dict[str, TierPolicy] = {p.name: p for p in self._policies}
+        self.max_total = max_total
+        self.default_tier = (
+            default_tier if default_tier is not None else self._policies[0].name
+        )
+        if self.default_tier not in self._by_name:
+            raise ValueError("default tier %r is not a tier" % (self.default_tier,))
+        self._clock = clock
+        self._condition = threading.Condition(threading.Lock())
+        self._inflight: Dict[str, int] = {name: 0 for name in self._by_name}
+        self._queued: Dict[str, int] = {name: 0 for name in self._by_name}
+        self._admitted: Dict[str, int] = {name: 0 for name in self._by_name}
+        self._shed: Dict[str, int] = {name: 0 for name in self._by_name}
+        self._yields: Dict[str, int] = {name: 0 for name in self._by_name}
+        self._shed_tiers: FrozenSet[str] = frozenset()
+        self._closed = False
+
+    # -- introspection helpers (names, policies) -----------------------
+
+    @property
+    def tier_names(self) -> Tuple[str, ...]:
+        return tuple(policy.name for policy in self._policies)
+
+    def policy(self, tier: Optional[str] = None) -> TierPolicy:
+        return self._by_name[tier if tier is not None else self.default_tier]
+
+    def brownout_sheddable_tiers(self) -> Tuple[str, ...]:
+        return tuple(
+            policy.name for policy in self._policies if policy.brownout_sheddable
+        )
+
+    # -- admission -----------------------------------------------------
+
+    def _resolve(self, tier: Optional[str]) -> TierPolicy:
+        name = tier if tier is not None else self.default_tier
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ValueError(
+                "unknown tier %r (have %s)" % (name, ", ".join(self.tier_names))
+            )
+
+    def _total_inflight_locked(self) -> int:
+        return sum(self._inflight.values())
+
+    def _waiting_above_locked(self, priority: int) -> bool:
+        """A higher-priority request is queued *and could take a pool
+        slot* (its own lane is not the bottleneck)."""
+        for policy in self._policies:
+            if policy.priority >= priority:
+                return False
+            if (
+                self._queued[policy.name] > 0
+                and self._inflight[policy.name] < policy.max_inflight
+            ):
+                return True
+        return False
+
+    def _admittable_locked(self, policy: TierPolicy) -> bool:
+        return (
+            self._total_inflight_locked() < self.max_total
+            and self._inflight[policy.name] < policy.max_inflight
+            and not self._waiting_above_locked(policy.priority)
+        )
+
+    def enter(self, tier: Optional[str] = None) -> str:
+        """Claim a slot on ``tier``'s lane (or raise
+        :class:`OverloadedError`); returns the resolved tier name to pass
+        back to :meth:`leave`."""
+        policy = self._resolve(tier)
+        name = policy.name
+        with self._condition:
+            if self._closed:
+                self._shed[name] += 1
+                raise OverloadedError(
+                    "server is shutting down",
+                    policy.retry_after_s,
+                    reason="closing",
+                    tier=name,
+                )
+            if name in self._shed_tiers:
+                self._shed[name] += 1
+                raise OverloadedError(
+                    "tier %r is browned out (overload degradation active)" % name,
+                    policy.retry_after_s,
+                    reason="brownout",
+                    tier=name,
+                )
+            if self._admittable_locked(policy):
+                self._inflight[name] += 1
+                self._admitted[name] += 1
+                return name
+            if self._queued[name] >= policy.max_queue:
+                self._shed[name] += 1
+                raise OverloadedError(
+                    "tier %r at capacity (%d in flight, %d queued)"
+                    % (name, self._inflight[name], self._queued[name]),
+                    policy.retry_after_s,
+                    tier=name,
+                )
+            # Bounded wait for a slot, priority-ordered on wake-up.
+            self._queued[name] += 1
+            try:
+                deadline = self._clock() + policy.queue_timeout_s
+                while not self._closed and not self._admittable_locked(policy):
+                    budget = deadline - self._clock()
+                    if budget <= 0 or not self._condition.wait(timeout=budget):
+                        break
+                if self._closed or not self._admittable_locked(policy):
+                    self._shed[name] += 1
+                    raise OverloadedError(
+                        "tier %r at capacity (queued %.0fms without a slot)"
+                        % (name, policy.queue_timeout_s * 1000.0),
+                        policy.retry_after_s,
+                        reason="closing" if self._closed else "capacity",
+                        tier=name,
+                    )
+                self._inflight[name] += 1
+                self._admitted[name] += 1
+                return name
+            finally:
+                self._queued[name] -= 1
+                # A shed waiter may have been the reason lower-priority
+                # waiters held back; let them re-check.
+                self._condition.notify_all()
+
+    def leave(self, tier: Optional[str] = None) -> None:
+        name = self._resolve(tier).name
+        with self._condition:
+            self._inflight[name] -= 1
+            self._condition.notify_all()
+
+    def checkpoint(self, tier: Optional[str] = None, max_wait_s: float = 5.0) -> bool:
+        """Cooperative mid-request preemption point.
+
+        Called by an *admitted* request between units of work (a bulk
+        batch between queries).  If no higher-priority work is waiting
+        this is one lock acquire and returns ``False``.  Otherwise the
+        slot is released, waiting work is admitted, and this request
+        re-acquires — after at most ``max_wait_s`` it retakes the slot
+        unconditionally (never fails).  Returns ``True`` when it
+        yielded.
+        """
+        policy = self._resolve(tier)
+        name = policy.name
+        with self._condition:
+            if self._closed or not self._waiting_above_locked(policy.priority):
+                return False
+            self._inflight[name] -= 1
+            self._yields[name] += 1
+            self._queued[name] += 1
+            self._condition.notify_all()
+            try:
+                deadline = self._clock() + max_wait_s
+                while not self._closed and not self._reacquirable_locked(policy):
+                    budget = deadline - self._clock()
+                    if budget <= 0 or not self._condition.wait(timeout=budget):
+                        break
+            finally:
+                self._queued[name] -= 1
+                # Retake the slot no matter what: an admitted request is
+                # never shed at a checkpoint (oversubscription is bounded
+                # by the number of concurrently yielded requests).
+                self._inflight[name] += 1
+            return True
+
+    def _reacquirable_locked(self, policy: TierPolicy) -> bool:
+        """Like admittable, but exempt from queue-depth limits (the
+        request was already admitted once)."""
+        return (
+            self._total_inflight_locked() < self.max_total
+            and self._inflight[policy.name] < policy.max_inflight
+            and not self._waiting_above_locked(policy.priority)
+        )
+
+    # -- brownout ------------------------------------------------------
+
+    def set_shed_tiers(self, tiers: Iterable[str]) -> None:
+        """Administratively stop admitting the named tiers (brownout);
+        pass an empty iterable to restore them."""
+        names = frozenset(tiers)
+        unknown = names - set(self._by_name)
+        if unknown:
+            raise ValueError("unknown tier(s): %s" % ", ".join(sorted(unknown)))
+        with self._condition:
+            self._shed_tiers = names
+            self._condition.notify_all()
+
+    @property
+    def shed_tiers(self) -> FrozenSet[str]:
+        with self._condition:
+            return self._shed_tiers
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def drain(self, timeout_s: Optional[float] = None) -> bool:
+        deadline = None if timeout_s is None else self._clock() + timeout_s
+        with self._condition:
+            while self._total_inflight_locked() > 0:
+                budget = None if deadline is None else deadline - self._clock()
+                if budget is not None and budget <= 0:
+                    return False
+                self._condition.wait(timeout=budget)
+            return True
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._condition:
+            return self._total_inflight_locked()
+
+    @property
+    def shed_total(self) -> int:
+        with self._condition:
+            return sum(self._shed.values())
+
+    @property
+    def admitted_total(self) -> int:
+        with self._condition:
+            return sum(self._admitted.values())
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def stats(self) -> dict:
+        """Superset of :meth:`AdmissionGate.stats`: the flat keys report
+        pool-wide totals, ``tiers`` breaks them down per lane."""
+        with self._condition:
+            tiers = {
+                policy.name: {
+                    "priority": policy.priority,
+                    "inflight": self._inflight[policy.name],
+                    "queued": self._queued[policy.name],
+                    "max_inflight": policy.max_inflight,
+                    "max_queue": policy.max_queue,
+                    "admitted_total": self._admitted[policy.name],
+                    "shed_total": self._shed[policy.name],
+                    "yields_total": self._yields[policy.name],
+                    "browned_out": policy.name in self._shed_tiers,
+                }
+                for policy in self._policies
+            }
+            return {
+                "inflight": self._total_inflight_locked(),
+                "queued": sum(self._queued.values()),
+                "max_inflight": self.max_total,
+                "admitted_total": sum(self._admitted.values()),
+                "shed_total": sum(self._shed.values()),
+                "closed": self._closed,
+                "tiers": tiers,
             }

@@ -39,7 +39,12 @@ worker processes serve them zero-copy.
 from typing import Optional
 
 from repro.obs.slowlog import SlowQueryLog
-from repro.reliability.shedding import AdmissionGate
+from repro.reliability.brownout import BrownoutController
+from repro.reliability.shedding import (
+    AdmissionGate,
+    TieredAdmissionGate,
+    default_tiers,
+)
 from repro.service.client import EndpointClient, ServiceClient, ServiceError
 from repro.service.config import DEFAULT_PORT, ClientConfig, ServerConfig
 from repro.service.metrics import LatencySummary, ServiceMetrics
@@ -70,10 +75,35 @@ def serve(
         registry = SynopsisRegistry(
             snapshot_dir, check_interval=cfg.reload_interval_s
         )
+    if cfg.qos:
+        gate = TieredAdmissionGate(
+            tiers=default_tiers(
+                cfg.max_inflight,
+                bulk_max_inflight=cfg.bulk_max_inflight,
+                standard_queue=cfg.standard_queue,
+                request_deadline_s=cfg.request_deadline_s,
+            ),
+            max_total=cfg.max_inflight,
+        )
+        brownout = (
+            BrownoutController(
+                window_s=cfg.brownout_window_s,
+                enter_threshold=cfg.brownout_enter_threshold,
+                escalate_threshold=cfg.brownout_escalate_threshold,
+                exit_threshold=cfg.brownout_exit_threshold,
+                dwell_s=cfg.brownout_dwell_s,
+                cooloff_s=cfg.brownout_cooloff_s,
+            )
+            if cfg.brownout
+            else None
+        )
+    else:
+        gate = AdmissionGate(max_inflight=cfg.max_inflight)
+        brownout = None
     service = EstimationService(
         registry,
         plan_cache=PlanCache(cfg.plan_cache_capacity),
-        gate=AdmissionGate(max_inflight=cfg.max_inflight),
+        gate=gate,
         request_deadline_s=cfg.request_deadline_s,
         slow_log=SlowQueryLog(
             capacity=cfg.slowlog_capacity,
@@ -82,8 +112,14 @@ def serve(
         ),
         trace_sample_rate=cfg.trace_sample_rate,
         compat_fields=cfg.compat_fields,
+        brownout=brownout,
     )
-    return ServiceServer(service, host=cfg.host, port=cfg.port)
+    return ServiceServer(
+        service,
+        host=cfg.host,
+        port=cfg.port,
+        read_deadline_s=cfg.read_deadline_s,
+    )
 
 
 def serve_pool(

@@ -299,19 +299,26 @@ class EndpointClient:
         query: str,
         trace: bool = False,
         actual: Optional[float] = None,
+        tier: Optional[str] = None,
     ) -> Dict[str, Any]:
         """The full single-estimate reply (estimate, route, cached,
         result, ...).  ``actual`` ships ground truth for the server's
-        slow-query error ranking."""
+        slow-query error ranking; ``tier`` requests a QoS lane
+        (``"interactive"`` / ``"standard"`` / ``"bulk"``) on a
+        tier-aware server."""
         payload: Dict[str, Any] = {"synopsis": synopsis, "query": query}
         if trace:
             payload["trace"] = True
         if actual is not None:
             payload["actual"] = actual
+        if tier is not None:
+            payload["tier"] = tier
         return self._request("POST", "/estimate", payload)
 
-    def estimate(self, synopsis: str, query: str) -> float:
-        return float(self.estimate_detail(synopsis, query)["estimate"])
+    def estimate(
+        self, synopsis: str, query: str, tier: Optional[str] = None
+    ) -> float:
+        return float(self.estimate_detail(synopsis, query, tier=tier)["estimate"])
 
     def estimate_traced(self, synopsis: str, query: str) -> EstimateResult:
         """One traced estimate as a structured
@@ -320,10 +327,13 @@ class EndpointClient:
         reply = self.estimate_detail(synopsis, query, trace=True)
         return EstimateResult.from_dict(reply["result"])
 
-    def estimate_batch(self, synopsis: str, queries: List[str]) -> List[float]:
-        reply = self._request(
-            "POST", "/estimate", {"synopsis": synopsis, "queries": list(queries)}
-        )
+    def estimate_batch(
+        self, synopsis: str, queries: List[str], tier: Optional[str] = None
+    ) -> List[float]:
+        payload: Dict[str, Any] = {"synopsis": synopsis, "queries": list(queries)}
+        if tier is not None:
+            payload["tier"] = tier
+        reply = self._request("POST", "/estimate", payload)
         return [float(result["estimate"]) for result in reply["results"]]
 
     def apply_delta(

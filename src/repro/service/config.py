@@ -28,6 +28,32 @@ class ServerConfig:
     max_inflight: int = 64
     request_deadline_s: Optional[float] = None
     drain_timeout_s: float = 5.0
+    # QoS tiers -------------------------------------------------------
+    #: Tiered admission (``interactive`` / ``standard`` / ``bulk``
+    #: priority lanes over the ``max_inflight`` pool).  Off = the flat
+    #: single-lane :class:`~repro.reliability.shedding.AdmissionGate`.
+    qos: bool = True
+    #: Bulk lane in-flight cap (None = ``max_inflight // 4``).
+    bulk_max_inflight: Optional[int] = None
+    #: Bounded-wait queue depth for the standard lane (mid-tier work
+    #: queues briefly instead of getting an instant 503).
+    standard_queue: int = 32
+    # Brownout --------------------------------------------------------
+    #: Staged degradation under sustained overload: shed tracing and
+    #: slow-query logging first, then bulk admission.  Only meaningful
+    #: with ``qos`` on.
+    brownout: bool = True
+    brownout_window_s: float = 5.0
+    brownout_enter_threshold: float = 0.10
+    brownout_escalate_threshold: float = 0.30
+    brownout_exit_threshold: float = 0.02
+    brownout_dwell_s: float = 1.0
+    brownout_cooloff_s: float = 3.0
+    # Connection hygiene ----------------------------------------------
+    #: Socket read deadline per connection, seconds: a client that trickles
+    #: its request (slow-loris) or idles past this is disconnected instead
+    #: of pinning a handler thread.  ``None`` disables.
+    read_deadline_s: Optional[float] = 30.0
     # Wire compatibility ---------------------------------------------
     #: Mirror the legacy top-level estimate fields (``estimate``,
     #: ``route``, ``cached``, ``kernel``) beside the versioned
@@ -59,6 +85,12 @@ class ServerConfig:
             raise ValueError("slowlog_capacity must be > 0")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.standard_queue < 0:
+            raise ValueError("standard_queue must be >= 0")
+        if self.bulk_max_inflight is not None and self.bulk_max_inflight < 1:
+            raise ValueError("bulk_max_inflight must be >= 1")
+        if self.read_deadline_s is not None and self.read_deadline_s <= 0:
+            raise ValueError("read_deadline_s must be > 0 (or None)")
 
     def as_dict(self) -> Dict[str, object]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

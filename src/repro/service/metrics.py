@@ -166,6 +166,18 @@ class ServiceMetrics:
         self._uptime = make.gauge(
             "repro_uptime_seconds", "Seconds since service start."
         )
+        self._tier_requests = make.counter(
+            "repro_tier_requests_total",
+            "Estimate requests admitted per QoS tier.",
+            labels=("tier",),
+        )
+        self._tier_shed = make.counter(
+            "repro_tier_shed_total",
+            "Estimate requests shed per QoS tier.",
+            labels=("tier",),
+        )
+        self._tier_rings: Dict[str, LatencyRing] = {}
+        self._ring_capacity = ring_capacity
         self._stamps: Dict[str, "deque[float]"] = {}
 
     # ------------------------------------------------------------------
@@ -195,6 +207,25 @@ class ServiceMetrics:
                 stamps = self._stamps.setdefault(synopsis, deque())
                 stamps.append(now)
                 self._trim_window(stamps, now)
+
+    def observe_tier(
+        self,
+        tier: str,
+        latency_s: Optional[float] = None,
+        shed: bool = False,
+    ) -> None:
+        """Record one admission outcome for a QoS ``tier``: a shed
+        (``shed=True``), or a served request with its latency."""
+        if shed:
+            self._tier_shed.labels(tier=tier).inc()
+            return
+        self._tier_requests.labels(tier=tier).inc()
+        if latency_s is not None:
+            with self._lock:
+                ring = self._tier_rings.get(tier)
+                if ring is None:
+                    ring = self._tier_rings[tier] = LatencyRing(self._ring_capacity)
+            ring.observe(latency_s)
 
     def incr(self, name: str, delta: int = 1) -> None:
         """Bump a named reliability counter (``shed_total``,
@@ -256,6 +287,9 @@ class ServiceMetrics:
             "latency_ms": self.latency().as_dict(),
             "synopses": per_synopsis,
         }
+        tiers = self._tier_snapshot()
+        if tiers:
+            payload["tiers"] = tiers
         if plan_cache_stats is not None:
             payload["plan_cache"] = (
                 plan_cache_stats.as_dict()
@@ -263,6 +297,33 @@ class ServiceMetrics:
                 else plan_cache_stats
             )
         return payload
+
+    def _tier_snapshot(self) -> Dict[str, object]:
+        """Per-tier admitted/shed counts and latency summaries (empty
+        when no tiered traffic has been observed)."""
+        admitted = {
+            labels["tier"]: int(child.value)
+            for labels, child in self._tier_requests.children()
+        }
+        shed = {
+            labels["tier"]: int(child.value)
+            for labels, child in self._tier_shed.children()
+        }
+        with self._lock:
+            rings = dict(self._tier_rings)
+        tiers: Dict[str, object] = {}
+        for name in sorted(set(admitted) | set(shed)):
+            ring = rings.get(name)
+            tiers[name] = {
+                "requests": admitted.get(name, 0),
+                "shed": shed.get(name, 0),
+                "latency_ms": (
+                    ring.summary().as_dict()
+                    if ring is not None
+                    else LatencySummary.from_samples(()).as_dict()
+                ),
+            }
+        return tiers
 
     def render_prom(self, extra_values: Optional[Dict[str, float]] = None) -> str:
         """Prometheus text exposition (format 0.0.4) of the registry.

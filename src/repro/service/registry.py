@@ -37,7 +37,7 @@ import os
 import threading
 import time
 import zlib
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro import persist
 from repro.core.system import EstimationSystem
@@ -158,6 +158,25 @@ class SynopsisEntry:
         """Serving last-good state because the newest snapshot is bad."""
         return self.load_error is not None
 
+    def pinned(self) -> "PinnedEntry":
+        """An immutable ``(name, generation, system)`` snapshot.
+
+        The registry hot-swaps ``system``/``generation`` **in place** on
+        this shared entry object when a reload or delta lands, so a
+        request that must serve one consistent synopsis version end to
+        end (a batch, most importantly) pins this value instead of the
+        entry itself.  The retry loop re-pairs generation with system if
+        a swap raced the two attribute reads; capturing ``system`` once
+        is what guarantees every query in the request computes against
+        the same version.
+        """
+        for _ in range(3):
+            generation = self.generation
+            system = self.system
+            if self.generation == generation:
+                break
+        return PinnedEntry(self.name, generation, system)
+
     def describe(self) -> Dict[str, object]:
         table = self.system.encoding_table
         info: Dict[str, object] = {
@@ -174,6 +193,23 @@ class SynopsisEntry:
             info["load_error"] = self.load_error
             info["degraded"] = True
         return info
+
+
+class PinnedEntry(NamedTuple):
+    """One consistent synopsis version, pinned for a request's lifetime.
+
+    Quacks like :class:`SynopsisEntry` for the read side (``name`` /
+    ``generation`` / ``system``) but cannot change underneath the
+    request: a hot reload landing mid-batch waits for the next request
+    rather than splitting this one across two synopsis versions.
+    """
+
+    name: str
+    generation: int
+    system: EstimationSystem
+
+    def pinned(self) -> "PinnedEntry":
+        return self
 
 
 def _read_snapshot(path: str) -> Tuple[str, tuple]:

@@ -41,15 +41,33 @@ connection, stdlib only.  Estimation runs outside the registry lock; the
 plan cache and metrics are thread-safe, so concurrent clients see exactly
 the numbers a direct :meth:`EstimationSystem.estimate` would produce.
 
-Reliability: every ``POST /estimate`` passes the service's
-:class:`~repro.reliability.shedding.AdmissionGate` — beyond
-``max_inflight`` concurrent estimates the request is shed with ``503``
+Reliability: every ``POST /estimate`` passes the service's admission
+gate — beyond the in-flight budget the request is shed with ``503``
 and a ``Retry-After`` header instead of queueing unboundedly — and runs
 under an optional per-request deadline (``504`` with kind
 ``deadline_exceeded`` when the budget runs out mid-batch).  Read-only
 endpoints bypass the gate so health and metrics stay observable during
 overload.  :meth:`ServiceServer.close` drains in-flight requests before
 tearing the socket down.
+
+QoS tiers: with a :class:`~repro.reliability.shedding.TieredAdmissionGate`
+each request is routed to a named priority lane — the ``X-Repro-Tier``
+header (admission happens *before* the body is read, so a shed costs no
+parsing), else the body's ``"tier"`` field, else by shape (batches →
+``bulk``, singles → ``interactive``).  Sheds carry the lane's own
+``Retry-After`` and the tier/reason inside the error object; bulk
+batches yield their slot to waiting interactive work between queries
+(:meth:`TieredAdmissionGate.checkpoint`).  A
+:class:`~repro.reliability.brownout.BrownoutController`, when attached,
+watches capacity sheds and degrades in stages: tracing and slow-query
+logging stop first, then brownout-sheddable tiers are refused outright;
+``/healthz``, ``/metrics`` and wire-v2 responses all advertise the
+state.
+
+Connection hygiene: ``read_deadline_s`` puts a socket timeout on every
+connection, so a slow-loris client trickling its request bytes is cut
+off (``408`` with kind ``read_timeout`` mid-body, silent close on the
+request line) instead of pinning a handler thread.
 """
 
 from __future__ import annotations
@@ -67,8 +85,15 @@ from repro.core.transform import UnsupportedQueryError
 from repro.errors import ReproError, error_kind
 from repro.obs.slowlog import SlowQueryLog
 from repro.reliability import faults
+from repro.reliability.brownout import BrownoutController
 from repro.reliability.policy import Deadline, DeadlineExceededError
-from repro.reliability.shedding import AdmissionGate, OverloadedError
+from repro.reliability.shedding import (
+    BULK_TIER,
+    INTERACTIVE_TIER,
+    AdmissionGate,
+    OverloadedError,
+    TieredAdmissionGate,
+)
 from repro.service.config import DEFAULT_PORT
 from repro.service.metrics import ServiceMetrics
 from repro.service.plancache import PlanCache
@@ -84,17 +109,35 @@ class RequestError(ValueError):
     ``kind`` is the stable machine-readable slug carried in the response's
     ``error.kind`` field (the human-readable message may change between
     releases; the kind will not).
+
+    ``retry_after_s``, when set, is emitted as a ``Retry-After`` header
+    (503/429-style responses that the client should back off from).
     """
 
-    def __init__(self, status: int, message: str, kind: str = "bad_request"):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        kind: str = "bad_request",
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.kind = kind
+        self.retry_after_s = retry_after_s
 
 
-def error_body(kind: str, message: str) -> Dict[str, Any]:
-    """The wire shape of every error response: ``{"error": {kind, message}}``."""
-    return {"error": {"kind": kind, "message": message}}
+def error_body(kind: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """The wire shape of every error response: ``{"error": {kind, message}}``.
+
+    ``extra`` keys (``tier``, ``reason``, ...) are additive fields inside
+    the error object; ``None`` values are dropped.
+    """
+    error: Dict[str, Any] = {"kind": kind, "message": message}
+    for key, value in extra.items():
+        if value is not None:
+            error[key] = value
+    return {"error": error}
 
 
 def _trace_used_kernel(trace: Optional[Dict[str, Any]]) -> bool:
@@ -134,12 +177,17 @@ class EstimationService:
         slow_log: Optional[SlowQueryLog] = None,
         trace_sample_rate: float = 0.0,
         compat_fields: bool = True,
+        brownout: Optional[BrownoutController] = None,
     ):
         self.registry = registry
         self.compat_fields = compat_fields
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.gate = gate if gate is not None else AdmissionGate()
+        #: QoS lanes are active when the gate is tiered; the handler then
+        #: resolves a tier per request and admission is priority-ordered.
+        self.tiered = isinstance(self.gate, TieredAdmissionGate)
+        self.brownout = brownout
         self.request_deadline_s = request_deadline_s
         self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
         self.trace_sample_rate = trace_sample_rate
@@ -166,6 +214,95 @@ class EstimationService:
         return int(n * rate) > int((n - 1) * rate)
 
     # ------------------------------------------------------------------
+    # QoS admission
+    # ------------------------------------------------------------------
+
+    def select_tier(
+        self, payload: Any = None, header: Optional[str] = None
+    ) -> Optional[str]:
+        """Resolve the QoS lane for one estimate request.
+
+        Precedence: the ``X-Repro-Tier`` header (lets the gate shed
+        before the body is even read), then the body's ``"tier"`` field,
+        then shape — batches default to ``bulk``, single estimates to
+        ``interactive``.  ``None`` when the gate is untiered.  Raises
+        :class:`RequestError` (400, kind ``unknown_tier``) for a tier
+        the gate does not know.
+        """
+        if not self.tiered:
+            return None
+        names = self.gate.tier_names
+        choice: Optional[str] = None
+        if header:
+            choice = header
+        elif isinstance(payload, dict):
+            field = payload.get("tier")
+            if field is not None:
+                if not isinstance(field, str):
+                    raise RequestError(400, "'tier' must be a string", "unknown_tier")
+                choice = field
+            elif "queries" in payload:
+                choice = BULK_TIER if BULK_TIER in names else self.gate.default_tier
+            else:
+                choice = (
+                    INTERACTIVE_TIER
+                    if INTERACTIVE_TIER in names
+                    else self.gate.default_tier
+                )
+        if choice is None:
+            choice = self.gate.default_tier
+        if choice not in names:
+            raise RequestError(
+                400,
+                "unknown tier %r (expected one of: %s)" % (choice, ", ".join(names)),
+                "unknown_tier",
+            )
+        return choice
+
+    def admit(self, tier: Optional[str] = None) -> None:
+        """Enter the admission gate on ``tier``, feeding the brownout
+        controller and per-tier shed metrics.  Raises
+        :class:`~repro.reliability.shedding.OverloadedError` on shed;
+        every successful ``admit`` must be paired with :meth:`release`.
+        """
+        try:
+            if self.tiered:
+                self.gate.enter(tier)
+            else:
+                self.gate.enter()
+        except OverloadedError as error:
+            # Only *capacity* sheds are overload pressure; brownout and
+            # shutdown sheds are policy outcomes and feeding them back
+            # would latch the brownout on forever.
+            self._record_admission(shed=error.reason == "capacity")
+            if error.tier is not None:
+                self.metrics.observe_tier(error.tier, shed=True)
+            raise
+        self._record_admission(shed=False)
+
+    def release(self, tier: Optional[str] = None) -> None:
+        if self.tiered:
+            self.gate.leave(tier)
+        else:
+            self.gate.leave()
+
+    def _record_admission(self, shed: bool) -> None:
+        """Feed one admission outcome to the brownout controller and
+        apply any level change to the gate's shed-tier set."""
+        controller = self.brownout
+        if controller is None:
+            return
+        level = controller.record(shed)
+        if not self.tiered:
+            return
+        want = frozenset(
+            self.gate.brownout_sheddable_tiers() if level >= 2 else ()
+        )
+        if want != self.gate.shed_tiers:
+            self.gate.set_shed_tiers(want)
+            self.metrics.incr("brownout_transitions_total")
+
+    # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
 
@@ -178,6 +315,8 @@ class EstimationService:
         memo: Optional[Dict[str, Tuple[float, str, bool]]] = None,
         entry=None,
         compat: Optional[bool] = None,
+        tier: Optional[str] = None,
+        slowlog: bool = True,
     ) -> Dict[str, Any]:
         """One estimate as a JSON-ready dict (no request-metrics side
         effects; the slow-query log *is* fed here, per query).
@@ -204,9 +343,15 @@ class EstimationService:
         (``estimate``/``route``/``cached``/``kernel``) accompany the
         versioned ``result`` object; ``None`` falls back to the
         service-wide :attr:`compat_fields` default.
+
+        ``tier`` stamps the result object with the QoS lane that served
+        it; ``slowlog=False`` skips the slow-query log (brownout level 1
+        sheds observability before estimates).
         """
         if entry is None:
             entry = self.registry.get(synopsis)
+            if hasattr(entry, "pinned"):
+                entry = entry.pinned()
         if compat is None:
             compat = self.compat_fields
         if trace:
@@ -220,6 +365,7 @@ class EstimationService:
                 trace=traced.trace,
                 cached=False,
                 kernel=kernel_used,
+                tier=tier,
             )
         elif memo is not None and text in memo:
             value, route, kernel_used = memo[text]
@@ -230,6 +376,7 @@ class EstimationService:
                 elapsed_ms=0.0,
                 cached=True,
                 kernel=kernel_used,
+                tier=tier,
             )
         else:
             plan, hit = self.plan_cache.get_or_compile(
@@ -245,22 +392,24 @@ class EstimationService:
                 elapsed_ms=(time.perf_counter() - started) * 1000.0,
                 cached=hit,
                 kernel=kernel_used,
+                tier=tier,
             )
             if memo is not None:
                 memo[text] = (value, plan.route, kernel_used)
         self.metrics.incr(
             "kernel_hits_total" if kernel_used else "kernel_misses_total"
         )
-        self.slow_log.observe(
-            query=text,
-            elapsed_ms=result.elapsed_ms,
-            synopsis=synopsis,
-            route=result.route,
-            estimate=result.value,
-            actual=actual,
-            trace_id=result.trace_id,
-            trace=result.trace,
-        )
+        if slowlog:
+            self.slow_log.observe(
+                query=text,
+                elapsed_ms=result.elapsed_ms,
+                synopsis=synopsis,
+                route=result.route,
+                estimate=result.value,
+                actual=actual,
+                trace_id=result.trace_id,
+                trace=result.trace,
+            )
         # ``result`` is the primary wire object (RESULT_FORMAT_VERSION
         # >= 2); the flat fields are a compat mirror for pre-v2 readers.
         body: Dict[str, Any] = {"result": result.as_dict()}
@@ -274,12 +423,28 @@ class EstimationService:
             )
         return body
 
-    def handle_estimate(self, payload: Any) -> Dict[str, Any]:
+    def handle_estimate(
+        self, payload: Any, tier: Optional[str] = None
+    ) -> Dict[str, Any]:
         """Validate and serve one ``POST /estimate`` body; observes
         metrics (including for failed requests) and raises
-        :class:`RequestError` with the proper HTTP status on bad input."""
+        :class:`RequestError` with the proper HTTP status on bad input.
+
+        ``tier`` is the already-admitted QoS lane (None with a flat
+        gate): it picks the lane's deadline budget, stamps results, and
+        lets bulk batches yield their slot between queries whenever
+        higher-priority work is waiting.
+        """
         started = time.perf_counter()
-        deadline = Deadline.after(self.request_deadline_s)
+        deadline_s = self.request_deadline_s
+        if self.tiered and tier is not None:
+            policy = self.gate.policy(tier)
+            if policy.deadline_s is not None:
+                deadline_s = policy.deadline_s
+        deadline = Deadline.after(deadline_s)
+        # Brownout level 1 sheds observability work (tracing + slowlog)
+        # before it touches any estimate.
+        observability = self.brownout is None or self.brownout.allows_tracing()
         synopsis: Optional[str] = None
         queries: List[str] = []
         results: List[Dict[str, Any]] = []
@@ -293,7 +458,7 @@ class EstimationService:
                 actuals,
                 compat,
             ) = self._parse_estimate_payload(payload)
-            trace = trace or self._sample_trace()
+            trace = (trace or self._sample_trace()) and observability
             if trace:
                 self.metrics.incr("traced_requests_total")
             # Batch requests share one text -> result memo so duplicate
@@ -302,14 +467,26 @@ class EstimationService:
             memo: Optional[Dict[str, Tuple[float, str, bool]]] = (
                 {} if batched and not trace else None
             )
-            # Resolve the registry entry exactly once per request: every
+            # Pin one synopsis version for the whole request: every
             # query in a batch estimates against the same system and the
             # reported generation is the one that actually served — a
             # reload landing mid-batch waits for the next request rather
-            # than splitting this one across two synopses.
+            # than splitting this one across two synopses.  The entry
+            # object itself is hot-swapped in place by reloads, so the
+            # pin must capture (generation, system), not the entry.
             entry = self.registry.get(synopsis)
+            if hasattr(entry, "pinned"):
+                entry = entry.pinned()
             for index, text in enumerate(queries):
                 deadline.check("estimate request")
+                if self.tiered and batched and index:
+                    # Cooperative preemption: between queries a batch
+                    # offers its slot to waiting higher-priority work,
+                    # bounded by its own remaining deadline.
+                    wait = min(5.0, deadline.remaining())
+                    if self.gate.checkpoint(tier, max_wait_s=wait):
+                        self.metrics.incr("preemption_yields_total")
+                        deadline.check("estimate request")
                 results.append(
                     self.estimate(
                         synopsis,
@@ -319,6 +496,8 @@ class EstimationService:
                         memo=memo,
                         entry=entry,
                         compat=compat,
+                        tier=tier,
+                        slowlog=observability,
                     )
                 )
         except DeadlineExceededError:
@@ -327,7 +506,7 @@ class EstimationService:
             raise RequestError(
                 504,
                 "request exceeded its %.3fs deadline after %d of %d queries"
-                % (self.request_deadline_s or 0.0, len(results), len(queries)),
+                % (deadline_s or 0.0, len(results), len(queries)),
                 "deadline_exceeded",
             )
         except UnknownSynopsisError as error:
@@ -348,10 +527,15 @@ class EstimationService:
             self._observe_failure(synopsis, started, len(queries))
             raise
         generation = entry.generation
-        self.metrics.observe(
-            synopsis, time.perf_counter() - started, queries=len(results)
-        )
+        elapsed = time.perf_counter() - started
+        self.metrics.observe(synopsis, elapsed, queries=len(results))
+        if tier is not None:
+            self.metrics.observe_tier(tier, latency_s=elapsed)
         body: Dict[str, Any] = {"synopsis": synopsis, "generation": generation}
+        if tier is not None:
+            body["tier"] = tier
+        if self.brownout is not None and self.brownout.level > 0:
+            body["brownout"] = self.brownout.state
         if batched:
             body["results"] = results
             body["count"] = len(results)
@@ -515,6 +699,15 @@ class EstimationService:
         }
         if degraded:
             body["degraded"] = degraded
+        # Brownout is degradation too: a load balancer reading /healthz
+        # sees "degraded" plus which tiers are currently refused.
+        if self.brownout is not None:
+            snap = self.brownout.snapshot()
+            body["brownout"] = snap
+            if snap["level"] > 0:
+                body["status"] = "degraded"
+        if self.tiered:
+            body["shed_tiers"] = sorted(self.gate.shed_tiers)
         if self.workers_liveness is not None:
             try:
                 body["workers"] = self.workers_liveness()
@@ -541,6 +734,8 @@ class EstimationService:
         reliability = dict(self.gate.stats())
         reliability["reload_failures"] = getattr(self.registry, "reload_failures", 0)
         reliability["pack_failures"] = getattr(self.registry, "pack_failures", 0)
+        if self.brownout is not None:
+            reliability["brownout"] = self.brownout.snapshot()
         document["reliability"] = reliability
         document["kernel"] = self.kernel_document()
         if self.workers_view is not None:
@@ -608,33 +803,42 @@ class EstimationService:
         cache = self.plan_cache.stats()
         gate = self.gate.stats()
         kernel = self.kernel_document()
-        return self.metrics.render_prom(
-            {
-                "plan_cache_hits": cache.hits,
-                "plan_cache_misses": cache.misses,
-                "plan_cache_size": cache.size,
-                "plan_cache_evictions": cache.evictions,
-                "inflight_requests": gate["inflight"],
-                "shed_requests_total": gate["shed_total"],
-                "reload_failures_total": getattr(self.registry, "reload_failures", 0),
-                "kernel_joins_total": kernel["joins"],
-                "kernel_fallbacks_total": kernel["fallbacks"],
-                "kernel_active_synopses": kernel["active"],
-                "kernel_build_ms_total": kernel["build_ms"],
-            }
-        )
+        extra = {
+            "plan_cache_hits": cache.hits,
+            "plan_cache_misses": cache.misses,
+            "plan_cache_size": cache.size,
+            "plan_cache_evictions": cache.evictions,
+            "inflight_requests": gate["inflight"],
+            "shed_requests_total": gate["shed_total"],
+            "reload_failures_total": getattr(self.registry, "reload_failures", 0),
+            "kernel_joins_total": kernel["joins"],
+            "kernel_fallbacks_total": kernel["fallbacks"],
+            "kernel_active_synopses": kernel["active"],
+            "kernel_build_ms_total": kernel["build_ms"],
+        }
+        if self.brownout is not None:
+            extra["brownout_level"] = self.brownout.level
+        return self.metrics.render_prom(extra)
 
     def slowlog_document(self, limit: Optional[int] = None) -> Dict[str, Any]:
         return self.slow_log.snapshot(limit)
 
 
-def _make_handler(service: EstimationService) -> type:
+def _make_handler(
+    service: EstimationService, read_deadline_s: Optional[float] = None
+) -> type:
     class Handler(BaseHTTPRequestHandler):
         server_version = "repro-estimation-service"
         protocol_version = "HTTP/1.1"
         # Sub-millisecond replies must not sit behind Nagle waiting for
         # the client's delayed ACK.
         disable_nagle_algorithm = True
+        # Per-connection socket deadline (socketserver applies it via
+        # settimeout): a slow-loris client stalling on the request line
+        # is silently disconnected by handle_one_request's own
+        # socket.timeout handling; stalls inside the body are mapped to
+        # 408 in _read_json below.
+        timeout = read_deadline_s
 
         def log_message(self, format, *args):  # noqa: A002 - stdlib signature
             pass  # request logging would swamp pytest output
@@ -666,13 +870,37 @@ def _make_handler(service: EstimationService) -> type:
 
         def _read_json(self) -> Any:
             length = int(self.headers.get("Content-Length", 0) or 0)
-            raw = self.rfile.read(length) if length else b""
+            try:
+                raw = self.rfile.read(length) if length else b""
+            except socket.timeout:
+                # The client trickled its body past the read deadline:
+                # reply 408 and drop the connection (the unread bytes
+                # make it unusable for keep-alive anyway).
+                self.close_connection = True
+                raise RequestError(
+                    408,
+                    "timed out reading request body (read deadline %gs)"
+                    % (read_deadline_s or 0.0),
+                    "read_timeout",
+                )
             if not raw:
                 raise RequestError(400, "empty request body")
             try:
                 return json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as error:
                 raise RequestError(400, "invalid JSON body: %s" % error)
+
+        def _drain_body(self) -> None:
+            """Consume the unread request body so a keep-alive client can
+            reuse the connection (leftover bytes would be misparsed as
+            the next request line)."""
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            if not length:
+                return
+            try:
+                self.rfile.read(length)
+            except socket.timeout:
+                self.close_connection = True
 
         # -- endpoints -------------------------------------------------
 
@@ -722,29 +950,56 @@ def _make_handler(service: EstimationService) -> type:
                     return
                 # Admission first: an overloaded (or draining) server
                 # sheds with 503 + Retry-After instead of queueing the
-                # request behind work it cannot finish in time.
+                # request behind work it cannot finish in time.  With a
+                # tiered gate, an X-Repro-Tier header selects the lane
+                # before the body is read (a shed costs no parsing);
+                # without one the body's "tier" field / request shape
+                # decides, so the body is read first.
+                payload: Any = None
+                tier: Optional[str] = None
+                header_tier = self.headers.get("X-Repro-Tier")
+                if service.tiered and not header_tier:
+                    payload = self._read_json()
                 try:
-                    service.gate.enter()
+                    tier = service.select_tier(payload, header=header_tier)
+                except RequestError:
+                    if payload is None:
+                        self._drain_body()
+                    raise
+                try:
+                    service.admit(tier)
                 except OverloadedError as error:
-                    # Drain the unread body so a keep-alive client can
-                    # reuse the connection for its retry (leftover bytes
-                    # would be misparsed as the next request line).
-                    length = int(self.headers.get("Content-Length", 0) or 0)
-                    if length:
-                        self.rfile.read(length)
+                    if payload is None:
+                        self._drain_body()
                     service.metrics.incr("shed_total")
+                    if error.reason == "brownout":
+                        service.metrics.incr("brownout_shed_total")
                     self._reply(
                         503,
-                        error_body(error.kind, str(error)),
+                        error_body(
+                            error.kind,
+                            str(error),
+                            tier=error.tier,
+                            reason=error.reason,
+                        ),
                         headers={"Retry-After": "%g" % error.retry_after_s},
                     )
                     return
                 try:
-                    self._reply(200, service.handle_estimate(self._read_json()))
+                    if payload is None:
+                        payload = self._read_json()
+                    self._reply(200, service.handle_estimate(payload, tier=tier))
                 finally:
-                    service.gate.leave()
+                    service.release(tier)
             except RequestError as error:
-                self._reply(error.status, error_body(error.kind, str(error)))
+                headers = (
+                    {"Retry-After": "%g" % error.retry_after_s}
+                    if error.retry_after_s is not None
+                    else None
+                )
+                self._reply(
+                    error.status, error_body(error.kind, str(error)), headers=headers
+                )
             except Exception as error:  # pragma: no cover - defensive
                 self._reply(500, error_body("internal", "internal error: %s" % error))
 
@@ -768,13 +1023,16 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         reuse_port: bool = False,
+        read_deadline_s: Optional[float] = None,
     ):
         self.service = service
         # Bind deferred so SO_REUSEPORT can be set first: the pre-fork
         # worker pool binds N processes to the same (host, port) and the
         # kernel load-balances accepted connections across them.
         self.httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(service), bind_and_activate=False
+            (host, port),
+            _make_handler(service, read_deadline_s=read_deadline_s),
+            bind_and_activate=False,
         )
         self.httpd.daemon_threads = True
         try:

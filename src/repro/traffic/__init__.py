@@ -1,0 +1,60 @@
+"""Traffic generation and capacity measurement for the serving tier.
+
+The estimator only earns its keep when it answers under real load; this
+package measures that.  It is a deterministic discrete-event harness in
+three layers:
+
+* :mod:`repro.traffic.schedule` — **what arrives when**: seeded
+  non-homogeneous Poisson arrivals (diurnal sinusoid x burst windows),
+  zipfian hot-key query popularity, a tier mix (interactive singles /
+  standard singles / bulk batches), slow-client flags, and lossless
+  JSONL trace save/replay.  Pure: one seed, one schedule, forever.
+* :mod:`repro.traffic.driver` — **firing it**: a worker pool replays a
+  schedule open-loop against a live HTTP endpoint (service server or
+  router), recording per-event latency and served/shed/cut-off status;
+  slow-client events trickle bytes over a raw socket to exercise the
+  server's read deadline.
+* :mod:`repro.traffic.curves` — **reading the result**: per-tier
+  p50/p99/goodput folded into latency-vs-offered-load curves with
+  knee/capacity extraction (the largest offered QPS whose goodput stays
+  >= 90% of offered).
+
+CLI: ``python -m repro traffic --snapshot-dir ...`` sweeps offered load
+against a temporary in-process server and prints the curve; see
+``benchmarks/bench_traffic_capacity.py`` for the QoS-on-vs-off capacity
+comparison and docs/OPERATIONS.md for how to read the artifacts.
+"""
+
+from repro.traffic.curves import (
+    LoadPoint,
+    TierCurvePoint,
+    format_curve,
+    knee_qps,
+    summarize,
+)
+from repro.traffic.driver import EventOutcome, RunReport, TrafficDriver
+from repro.traffic.schedule import (
+    TrafficConfig,
+    TrafficEvent,
+    generate_schedule,
+    load_trace,
+    offered_rate,
+    save_trace,
+)
+
+__all__ = [
+    "EventOutcome",
+    "LoadPoint",
+    "RunReport",
+    "TierCurvePoint",
+    "TrafficConfig",
+    "TrafficDriver",
+    "TrafficEvent",
+    "format_curve",
+    "generate_schedule",
+    "knee_qps",
+    "load_trace",
+    "offered_rate",
+    "save_trace",
+    "summarize",
+]

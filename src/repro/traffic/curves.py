@@ -1,0 +1,173 @@
+"""Latency-vs-offered-load curves and knee/capacity extraction.
+
+A capacity run sweeps the same schedule shape across several offered
+loads; each run's :class:`~repro.traffic.driver.EventOutcome` list folds
+into one :class:`LoadPoint` (per-tier p50/p99/goodput/shed plus totals),
+and a sequence of points is a **load curve**.  The *knee* — the highest
+offered load the server still absorbs, defined here as the largest
+offered QPS whose goodput is at least ``threshold`` (default 90%) of the
+offered rate — is the single capacity number regression gates and the
+overload runbook reason about.
+
+Percentiles use the repo-wide convention (sorted samples, index
+``min(n-1, int(q*n))`` — see :mod:`repro.service.metrics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.traffic.driver import EventOutcome
+
+__all__ = ["TierCurvePoint", "LoadPoint", "summarize", "knee_qps", "format_curve"]
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+@dataclass(frozen=True)
+class TierCurvePoint:
+    """One tier's slice of a load point."""
+
+    tier: str
+    offered: int
+    served: int
+    shed: int
+    errors: int
+    p50_ms: float
+    p99_ms: float
+    goodput_qps: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tier": self.tier,
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "errors": self.errors,
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "goodput_qps": round(self.goodput_qps, 2),
+        }
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One offered-load level of a capacity sweep."""
+
+    offered_qps: float
+    duration_s: float
+    tiers: Dict[str, TierCurvePoint] = field(default_factory=dict)
+
+    @property
+    def goodput_qps(self) -> float:
+        return sum(point.goodput_qps for point in self.tiers.values())
+
+    @property
+    def served(self) -> int:
+        return sum(point.served for point in self.tiers.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(point.shed for point in self.tiers.values())
+
+    def tier(self, name: str) -> Optional[TierCurvePoint]:
+        return self.tiers.get(name)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "offered_qps": round(self.offered_qps, 2),
+            "duration_s": round(self.duration_s, 3),
+            "goodput_qps": round(self.goodput_qps, 2),
+            "served": self.served,
+            "shed": self.shed,
+            "tiers": {name: point.as_dict() for name, point in self.tiers.items()},
+        }
+
+
+def summarize(
+    outcomes: Sequence[EventOutcome], duration_s: float, offered_qps: float
+) -> LoadPoint:
+    """Fold one run's outcomes into a :class:`LoadPoint`.
+
+    ``duration_s`` is the wall time of the run (goodput denominator);
+    ``offered_qps`` labels the point on the curve's x-axis.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    by_tier: Dict[str, List[EventOutcome]] = {}
+    for outcome in outcomes:
+        by_tier.setdefault(outcome.tier, []).append(outcome)
+    tiers: Dict[str, TierCurvePoint] = {}
+    for name in sorted(by_tier):
+        events = by_tier[name]
+        served = [event for event in events if event.ok]
+        latencies = sorted(event.latency_s * 1000.0 for event in served)
+        tiers[name] = TierCurvePoint(
+            tier=name,
+            offered=len(events),
+            served=len(served),
+            shed=sum(1 for event in events if event.shed),
+            errors=len(events) - len(served) - sum(1 for e in events if e.shed),
+            p50_ms=_percentile(latencies, 0.50),
+            p99_ms=_percentile(latencies, 0.99),
+            goodput_qps=len(served) / duration_s,
+        )
+    return LoadPoint(offered_qps=offered_qps, duration_s=duration_s, tiers=tiers)
+
+
+def knee_qps(points: Sequence[LoadPoint], threshold: float = 0.9) -> float:
+    """The capacity knee: the largest offered QPS still absorbed.
+
+    A point is "absorbed" when total goodput >= ``threshold`` x offered.
+    Returns 0.0 when no point qualifies (the server was saturated at
+    every measured level).
+    """
+    absorbed = [
+        point.offered_qps
+        for point in points
+        if point.offered_qps > 0
+        and point.goodput_qps >= threshold * point.offered_qps
+    ]
+    return max(absorbed) if absorbed else 0.0
+
+
+def format_curve(points: Sequence[LoadPoint], title: str = "") -> str:
+    """A fixed-width text rendering of a load curve (bench artifacts)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "%10s %10s | %-12s %8s %8s %6s %9s %9s" % (
+        "offered", "goodput", "tier", "served", "shed", "err", "p50_ms", "p99_ms"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for point in sorted(points, key=lambda p: p.offered_qps):
+        first = True
+        for name in sorted(point.tiers):
+            tier = point.tiers[name]
+            prefix = (
+                "%10.1f %10.1f" % (point.offered_qps, point.goodput_qps)
+                if first
+                else "%10s %10s" % ("", "")
+            )
+            lines.append(
+                "%s | %-12s %8d %8d %6d %9.2f %9.2f"
+                % (
+                    prefix,
+                    tier.tier,
+                    tier.served,
+                    tier.shed,
+                    tier.errors,
+                    tier.p50_ms,
+                    tier.p99_ms,
+                )
+            )
+            first = False
+    lines.append("")
+    lines.append("knee (goodput >= 0.9 x offered): %.1f qps" % knee_qps(points))
+    return "\n".join(lines)

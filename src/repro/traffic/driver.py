@@ -1,0 +1,244 @@
+"""Drive a traffic schedule at a live estimation server.
+
+:class:`TrafficDriver` replays a :class:`~repro.traffic.schedule.TrafficEvent`
+list against a real HTTP endpoint (service server or cluster router) in
+approximately open-loop fashion: a fixed worker pool pulls events off a
+shared cursor and each worker sleeps until its event's scheduled time
+before firing, so offered load tracks the schedule rather than the
+server's completion rate (the essence of a capacity test — a closed loop
+can never overload the thing it measures, workers permitting).
+
+Each event becomes one HTTP request on the event's QoS tier — a single
+estimate, a bulk ``estimate_batch``, or a **slow client** that trickles
+its request bytes over a raw socket to probe the server's read deadline.
+Outcomes are recorded per event (:class:`EventOutcome`): latency, and
+whether it was served, shed (503), cut off (408/connection drop) or
+failed.  Aggregation into per-tier latency/goodput curves lives in
+:mod:`repro.traffic.curves`.
+
+``time_scale`` compresses or stretches the schedule clock (0.5 replays a
+10 s schedule in 5 s); the schedule itself is never mutated, so the same
+trace can be replayed at several speeds to sweep offered load.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.service.client import EndpointClient, ServiceError
+from repro.traffic.schedule import TrafficEvent
+
+__all__ = ["EventOutcome", "RunReport", "TrafficDriver"]
+
+#: Outcome statuses an event can end in.
+STATUS_OK = "ok"
+STATUS_SHED = "shed"
+STATUS_READ_TIMEOUT = "read_timeout"
+STATUS_CLOSED = "closed"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """What happened to one scheduled event."""
+
+    tier: str
+    at_s: float
+    latency_s: float
+    status: str
+    queries: int
+    retry_after_s: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    @property
+    def shed(self) -> bool:
+        return self.status == STATUS_SHED
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """One driver run: every outcome plus the wall time it took."""
+
+    outcomes: List[EventOutcome]
+    wall_s: float
+
+    @property
+    def served(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.shed)
+
+
+class TrafficDriver:
+    """Replays schedules against one endpoint with a worker pool.
+
+    ``request_fn`` is the test seam: when given, it replaces the HTTP
+    transport entirely — called as ``request_fn(event)`` and expected to
+    return a status string (or raise :class:`ServiceError`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        synopsis: str,
+        workers: int = 8,
+        time_scale: float = 1.0,
+        timeout: float = 10.0,
+        slow_pace_s: float = 0.5,
+        request_fn: Optional[Callable[[TrafficEvent], str]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        self.host = host
+        self.port = port
+        self.synopsis = synopsis
+        self.workers = workers
+        self.time_scale = time_scale
+        self.timeout = timeout
+        self.slow_pace_s = slow_pace_s
+        self._request_fn = request_fn
+
+    # ------------------------------------------------------------------
+
+    def run(self, events: Sequence[TrafficEvent]) -> RunReport:
+        """Fire every event at (scaled) schedule time; returns outcomes
+        in schedule order."""
+        ordered = sorted(events, key=lambda event: event.at_s)
+        outcomes: List[Optional[EventOutcome]] = [None] * len(ordered)
+        cursor = [0]
+        lock = threading.Lock()
+        start = time.monotonic()
+
+        def worker() -> None:
+            client: Optional[EndpointClient] = None
+            if self._request_fn is None:
+                client = EndpointClient(
+                    host=self.host, port=self.port, timeout=self.timeout
+                )
+            try:
+                while True:
+                    with lock:
+                        index = cursor[0]
+                        cursor[0] += 1
+                    if index >= len(ordered):
+                        return
+                    event = ordered[index]
+                    delay = (start + event.at_s * self.time_scale) - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    outcomes[index] = self._execute(client, event)
+            finally:
+                if client is not None:
+                    client.close()
+
+        threads = [
+            threading.Thread(target=worker, name="traffic-%d" % index, daemon=True)
+            for index in range(min(self.workers, max(1, len(ordered))))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return RunReport(
+            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            wall_s=time.monotonic() - start,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, client: Optional[EndpointClient], event: TrafficEvent
+    ) -> EventOutcome:
+        started = time.monotonic()
+        retry_after: Optional[float] = None
+        try:
+            if self._request_fn is not None:
+                status = self._request_fn(event)
+            elif event.slow:
+                status = self._slow_request(event)
+            elif len(event.queries) > 1:
+                client.estimate_batch(
+                    self.synopsis, list(event.queries), tier=event.tier
+                )
+                status = STATUS_OK
+            else:
+                client.estimate(self.synopsis, event.queries[0], tier=event.tier)
+                status = STATUS_OK
+        except ServiceError as error:
+            retry_after = error.retry_after_s
+            if error.status == 503:
+                status = STATUS_SHED
+            elif error.kind == "read_timeout":
+                status = STATUS_READ_TIMEOUT
+            elif error.kind == "connection":
+                status = STATUS_CLOSED
+            else:
+                status = STATUS_ERROR
+        return EventOutcome(
+            tier=event.tier,
+            at_s=event.at_s,
+            latency_s=time.monotonic() - started,
+            status=status,
+            queries=len(event.queries),
+            retry_after_s=retry_after,
+        )
+
+    def _slow_request(self, event: TrafficEvent) -> str:
+        """Trickle the request body over a raw socket (slow-loris mode).
+
+        Sends the headers and half the body, stalls ``slow_pace_s``
+        (scaled), then finishes and reads the status line.  A server
+        with a read deadline answers 408 or drops the connection.
+        """
+        body = json.dumps(
+            {
+                "synopsis": self.synopsis,
+                "query": event.queries[0],
+                "tier": event.tier,
+            }
+        ).encode("utf-8")
+        head = (
+            "POST /estimate HTTP/1.1\r\n"
+            "Host: %s\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n\r\n" % (self.host, len(body))
+        ).encode("ascii")
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as sock:
+                sock.sendall(head)
+                sock.sendall(body[: len(body) // 2])
+                time.sleep(self.slow_pace_s * self.time_scale)
+                try:
+                    sock.sendall(body[len(body) // 2:])
+                except OSError:
+                    return STATUS_CLOSED
+                sock.settimeout(self.timeout)
+                raw = sock.recv(4096)
+                if not raw:
+                    return STATUS_CLOSED
+                status = int(raw.split(b" ", 2)[1])
+        except (OSError, ValueError, IndexError):
+            return STATUS_CLOSED
+        if status < 400:
+            return STATUS_OK
+        if status == 408:
+            return STATUS_READ_TIMEOUT
+        if status == 503:
+            return STATUS_SHED
+        return STATUS_ERROR

@@ -1,0 +1,238 @@
+"""Deterministic discrete-event traffic schedules.
+
+A capacity experiment is only comparable when the *offered* load is
+identical run to run; this module therefore separates **what arrives
+when** (a pure function of a seed) from **driving it at a live server**
+(:mod:`repro.traffic.driver`).  :func:`generate_schedule` produces a
+sorted list of :class:`TrafficEvent` from a :class:`TrafficConfig`:
+
+* arrivals follow a non-homogeneous Poisson process (sampled by
+  thinning) whose rate is a diurnal sinusoid around ``base_qps``,
+  multiplied during randomly-arriving **burst** windows;
+* each event is a single interactive/standard estimate or a bulk batch,
+  drawn from the configured tier mix;
+* query popularity over the pool is zipfian (rank ``i`` gets weight
+  ``1/(i+1)**zipf_s``) — the hot-key skew that makes plan caches and
+  kernels matter;
+* a configurable fraction of events are **slow clients** that trickle
+  their request bytes (exercising the server's read deadline).
+
+Everything is drawn from one ``random.Random(seed)``, so the same
+config yields byte-identical schedules on every platform — and a
+schedule round-trips losslessly through a JSONL trace
+(:func:`save_trace` / :func:`load_trace`) for replay.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+from itertools import accumulate
+from random import Random
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.reliability.shedding import BULK_TIER, INTERACTIVE_TIER, STANDARD_TIER
+
+__all__ = [
+    "TrafficConfig",
+    "TrafficEvent",
+    "generate_schedule",
+    "offered_rate",
+    "save_trace",
+    "load_trace",
+]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Everything that determines a schedule, in one frozen value."""
+
+    seed: int = 0
+    duration_s: float = 10.0
+    #: Mean arrival rate (events/second) before modulation.
+    base_qps: float = 50.0
+    #: Diurnal cycle: the rate swings ``±amplitude`` (as a fraction of
+    #: ``base_qps``) over one ``period_s`` sinusoid — a whole "day"
+    #: compressed into the run.
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 60.0
+    #: Poisson bursts: burst windows arrive at ``burst_rate`` per second
+    #: and multiply the rate by ``burst_factor`` for ``burst_duration_s``.
+    burst_rate: float = 0.0
+    burst_factor: float = 3.0
+    burst_duration_s: float = 1.0
+    #: Tier mix weights (normalized; a zero weight disables the tier).
+    interactive_weight: float = 0.7
+    standard_weight: float = 0.2
+    bulk_weight: float = 0.1
+    #: Queries per bulk batch event.
+    batch_size: int = 16
+    #: Zipf exponent for query popularity (0 = uniform).
+    zipf_s: float = 1.1
+    #: Fraction of events sent as slow clients (trickled request bytes,
+    #: ``slow_pace_s`` between fragments).
+    slow_fraction: float = 0.0
+    slow_pace_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        if self.base_qps <= 0:
+            raise ValueError("base_qps must be > 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0.0 <= self.slow_fraction <= 1.0:
+            raise ValueError("slow_fraction must be in [0, 1]")
+        if min(self.interactive_weight, self.standard_weight, self.bulk_weight) < 0:
+            raise ValueError("tier weights must be >= 0")
+        if self.interactive_weight + self.standard_weight + self.bulk_weight <= 0:
+            raise ValueError("at least one tier weight must be > 0")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def scaled(self, qps: float) -> "TrafficConfig":
+        """The same schedule shape at a different offered load."""
+        values = self.as_dict()
+        values["base_qps"] = qps
+        return TrafficConfig(**values)
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One scheduled arrival: when, which lane, which queries."""
+
+    at_s: float
+    tier: str
+    queries: Tuple[str, ...]
+    slow: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "at_s": self.at_s,
+            "tier": self.tier,
+            "queries": list(self.queries),
+        }
+        if self.slow:
+            payload["slow"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TrafficEvent":
+        return cls(
+            at_s=float(payload["at_s"]),
+            tier=str(payload["tier"]),
+            queries=tuple(str(q) for q in payload["queries"]),
+            slow=bool(payload.get("slow", False)),
+        )
+
+
+def offered_rate(config: TrafficConfig, t: float, bursting: bool = False) -> float:
+    """The instantaneous arrival rate at time ``t`` (events/second)."""
+    rate = config.base_qps * (
+        1.0
+        + config.diurnal_amplitude
+        * math.sin(2.0 * math.pi * t / config.diurnal_period_s)
+    )
+    if bursting:
+        rate *= config.burst_factor
+    return max(0.0, rate)
+
+
+def _zipf_cum_weights(count: int, s: float) -> List[float]:
+    return list(accumulate((index + 1) ** -s for index in range(count)))
+
+
+def generate_schedule(
+    config: TrafficConfig, queries: Sequence[str]
+) -> List[TrafficEvent]:
+    """The full event schedule for ``config`` over ``queries``.
+
+    Pure and deterministic: the same (config, queries) always returns
+    the same events, independent of platform or wall clock.
+    """
+    if not queries:
+        raise ValueError("need at least one query to schedule traffic")
+    rng = Random(config.seed)
+
+    # Burst windows first (their own homogeneous Poisson process), so
+    # the thinning rate below can consult them.
+    bursts: List[Tuple[float, float]] = []
+    if config.burst_rate > 0.0:
+        t = 0.0
+        while True:
+            t += rng.expovariate(config.burst_rate)
+            if t >= config.duration_s:
+                break
+            bursts.append((t, t + config.burst_duration_s))
+
+    def bursting(t: float) -> bool:
+        return any(lo <= t < hi for lo, hi in bursts)
+
+    # Thinning: sample a homogeneous Poisson at the peak rate, keep each
+    # arrival with probability rate(t)/peak.
+    peak = config.base_qps * (1.0 + config.diurnal_amplitude)
+    if bursts:
+        peak *= config.burst_factor
+
+    tiers = (INTERACTIVE_TIER, STANDARD_TIER, BULK_TIER)
+    weights = (
+        config.interactive_weight,
+        config.standard_weight,
+        config.bulk_weight,
+    )
+    zipf_cum = _zipf_cum_weights(len(queries), config.zipf_s)
+
+    def pick_query() -> str:
+        return queries[
+            rng.choices(range(len(queries)), cum_weights=zipf_cum, k=1)[0]
+        ]
+
+    events: List[TrafficEvent] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak)
+        if t >= config.duration_s:
+            break
+        if rng.random() * peak > offered_rate(config, t, bursting(t)):
+            continue  # thinned out of the non-homogeneous process
+        tier = rng.choices(tiers, weights=weights, k=1)[0]
+        if tier == BULK_TIER:
+            batch = tuple(pick_query() for _ in range(config.batch_size))
+        else:
+            batch = (pick_query(),)
+        slow = rng.random() < config.slow_fraction
+        events.append(TrafficEvent(round(t, 6), tier, batch, slow))
+    return events
+
+
+def save_trace(events: Sequence[TrafficEvent], path: str) -> None:
+    """Write a schedule as JSONL (one event per line), replayable with
+    :func:`load_trace`."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.as_dict(), sort_keys=True))
+            handle.write("\n")
+
+
+def load_trace(path: str) -> List[TrafficEvent]:
+    """Read a JSONL trace back into a schedule (sorted by time)."""
+    events: List[TrafficEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TrafficEvent.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    "%s:%d: malformed trace line: %s" % (path, line_number, error)
+                )
+    events.sort(key=lambda event: event.at_s)
+    return events

@@ -1,0 +1,436 @@
+"""TieredAdmissionGate: priority lanes, preemption, brownout control."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.reliability.brownout import BROWNOUT_STATES, BrownoutController
+from repro.reliability.shedding import (
+    BULK_TIER,
+    INTERACTIVE_TIER,
+    STANDARD_TIER,
+    OverloadedError,
+    TieredAdmissionGate,
+    TierPolicy,
+    default_tiers,
+)
+
+
+def small_gate(max_total=4, **kwargs):
+    return TieredAdmissionGate(
+        tiers=default_tiers(max_total, **kwargs), max_total=max_total
+    )
+
+
+class TestTierPolicies:
+    def test_default_tiers_cover_the_three_lanes(self):
+        tiers = {p.name: p for p in default_tiers(16)}
+        assert set(tiers) == {INTERACTIVE_TIER, STANDARD_TIER, BULK_TIER}
+        assert tiers[INTERACTIVE_TIER].priority < tiers[STANDARD_TIER].priority
+        assert tiers[STANDARD_TIER].priority < tiers[BULK_TIER].priority
+        # Interactive sees the whole pool; bulk is boxed to a quarter.
+        assert tiers[INTERACTIVE_TIER].max_inflight == 16
+        assert tiers[BULK_TIER].max_inflight == 4
+        assert tiers[BULK_TIER].brownout_sheddable
+        assert not tiers[INTERACTIVE_TIER].brownout_sheddable
+
+    def test_bulk_cap_override(self):
+        tiers = {p.name: p for p in default_tiers(16, bulk_max_inflight=2)}
+        assert tiers[BULK_TIER].max_inflight == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TierPolicy("x", priority=0, max_inflight=0)
+        with pytest.raises(ValueError):
+            TierPolicy("", priority=0, max_inflight=1)
+        with pytest.raises(ValueError):
+            TieredAdmissionGate(
+                tiers=[
+                    TierPolicy("a", priority=0, max_inflight=1),
+                    TierPolicy("a", priority=1, max_inflight=1),
+                ]
+            )
+
+
+class TestTieredAdmission:
+    def test_enter_resolves_default_tier(self):
+        gate = small_gate()
+        name = gate.enter()
+        assert name == INTERACTIVE_TIER
+        gate.leave(name)
+        assert gate.inflight == 0
+
+    def test_unknown_tier_is_a_value_error(self):
+        gate = small_gate()
+        with pytest.raises(ValueError):
+            gate.enter("premium")
+
+    def test_bulk_is_boxed_to_its_share(self):
+        gate = small_gate(max_total=8)  # bulk cap = 2, queue = 2
+        gate.enter(BULK_TIER)
+        gate.enter(BULK_TIER)
+        with pytest.raises(OverloadedError) as info:
+            # Queue is full of nobody, but no slot frees within the
+            # bulk lane's 50ms bounded wait.
+            gate.enter(BULK_TIER)
+        assert info.value.tier == BULK_TIER
+        assert info.value.reason == "capacity"
+        assert info.value.retry_after_s == 2.0
+        # The pool still has six slots for interactive work.
+        for _ in range(6):
+            gate.enter(INTERACTIVE_TIER)
+        assert gate.inflight == 8
+
+    def test_pool_is_the_hard_bound(self):
+        gate = small_gate(max_total=2)
+        gate.enter(INTERACTIVE_TIER)
+        gate.enter(STANDARD_TIER)
+        with pytest.raises(OverloadedError):
+            gate.enter(BULK_TIER)
+
+    def test_freed_slot_reaches_queued_interactive_before_bulk(self):
+        # One slot, held.  A bulk request and an interactive request
+        # both queue; when the slot frees, interactive must win even
+        # though bulk queued first.
+        gate = TieredAdmissionGate(
+            tiers=[
+                TierPolicy(
+                    INTERACTIVE_TIER, priority=0, max_inflight=1,
+                    max_queue=4, queue_timeout_s=5.0,
+                ),
+                TierPolicy(
+                    BULK_TIER, priority=2, max_inflight=1,
+                    max_queue=4, queue_timeout_s=5.0,
+                ),
+            ],
+            max_total=1,
+        )
+        gate.enter(INTERACTIVE_TIER)
+        order = []
+        bulk_queued = threading.Event()
+        interactive_queued = threading.Event()
+
+        def bulk():
+            bulk_queued.set()
+            gate.enter(BULK_TIER)
+            order.append(BULK_TIER)
+            gate.leave(BULK_TIER)
+
+        def interactive():
+            interactive_queued.set()
+            gate.enter(INTERACTIVE_TIER)
+            order.append(INTERACTIVE_TIER)
+            gate.leave(INTERACTIVE_TIER)
+
+        bulk_thread = threading.Thread(target=bulk)
+        bulk_thread.start()
+        assert bulk_queued.wait(timeout=2.0)
+        # Let the bulk waiter actually block on the condition first.
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        interactive_thread = threading.Thread(target=interactive)
+        interactive_thread.start()
+        assert interactive_queued.wait(timeout=2.0)
+        deadline.wait(0.05)
+        gate.leave(INTERACTIVE_TIER)
+        bulk_thread.join(timeout=5.0)
+        interactive_thread.join(timeout=5.0)
+        assert order == [INTERACTIVE_TIER, BULK_TIER]
+
+    def test_stats_breaks_down_per_tier(self):
+        gate = small_gate(max_total=8)
+        gate.enter(INTERACTIVE_TIER)
+        gate.enter(BULK_TIER)
+        stats = gate.stats()
+        assert stats["inflight"] == 2
+        assert stats["tiers"][INTERACTIVE_TIER]["inflight"] == 1
+        assert stats["tiers"][BULK_TIER]["inflight"] == 1
+        assert stats["tiers"][BULK_TIER]["priority"] == 2
+        assert stats["tiers"][BULK_TIER]["browned_out"] is False
+
+
+class TestCheckpointPreemption:
+    def test_checkpoint_without_waiters_is_a_noop(self):
+        gate = small_gate()
+        gate.enter(BULK_TIER)
+        assert gate.checkpoint(BULK_TIER, max_wait_s=0.1) is False
+        assert gate.inflight == 1
+
+    def test_checkpoint_yields_to_waiting_interactive(self):
+        gate = TieredAdmissionGate(
+            tiers=[
+                TierPolicy(
+                    INTERACTIVE_TIER, priority=0, max_inflight=1,
+                    max_queue=4, queue_timeout_s=5.0,
+                ),
+                TierPolicy(BULK_TIER, priority=2, max_inflight=1),
+            ],
+            max_total=1,
+        )
+        gate.enter(BULK_TIER)
+        admitted = threading.Event()
+        released = threading.Event()
+
+        def interactive():
+            gate.enter(INTERACTIVE_TIER)
+            admitted.set()
+            released.wait(timeout=5.0)
+            gate.leave(INTERACTIVE_TIER)
+
+        waiter = threading.Thread(target=interactive)
+        waiter.start()
+        # Give the interactive request time to join the queue.
+        admitted.wait(0.1)
+        assert not admitted.is_set()
+        yielded = gate.checkpoint(BULK_TIER, max_wait_s=5.0)
+        assert yielded is True
+        # The interactive request got the slot while bulk waited.
+        assert admitted.is_set()
+        released.set()
+        waiter.join(timeout=5.0)
+        # Bulk retook its slot after the yield.
+        assert gate.inflight == 1
+        assert gate.stats()["tiers"][BULK_TIER]["yields_total"] == 1
+        gate.leave(BULK_TIER)
+
+    def test_checkpoint_retakes_the_slot_on_timeout(self):
+        # Interactive waiter never leaves; the bulk checkpoint must
+        # still come back (bounded oversubscription, never shed).
+        gate = TieredAdmissionGate(
+            tiers=[
+                TierPolicy(
+                    INTERACTIVE_TIER, priority=0, max_inflight=1,
+                    max_queue=4, queue_timeout_s=30.0,
+                ),
+                TierPolicy(BULK_TIER, priority=2, max_inflight=1),
+            ],
+            max_total=1,
+        )
+        gate.enter(BULK_TIER)
+        stop = threading.Event()
+
+        def hog():
+            gate.enter(INTERACTIVE_TIER)
+            stop.wait(timeout=10.0)
+            gate.leave(INTERACTIVE_TIER)
+
+        hog_thread = threading.Thread(target=hog)
+        hog_thread.start()
+        threading.Event().wait(0.05)
+        assert gate.checkpoint(BULK_TIER, max_wait_s=0.05) is True
+        # Both now hold a slot: the pool is oversubscribed by exactly
+        # the yielded request, not failed.
+        assert gate.inflight == 2
+        stop.set()
+        hog_thread.join(timeout=5.0)
+        gate.leave(BULK_TIER)
+
+
+class TestCloseDrainRaces:
+    def test_close_sheds_with_closing_reason(self):
+        gate = small_gate()
+        gate.close()
+        with pytest.raises(OverloadedError) as info:
+            gate.enter(INTERACTIVE_TIER)
+        assert info.value.reason == "closing"
+
+    def test_close_wakes_queued_waiters(self):
+        gate = TieredAdmissionGate(
+            tiers=[
+                TierPolicy(
+                    INTERACTIVE_TIER, priority=0, max_inflight=1,
+                    max_queue=8, queue_timeout_s=30.0,
+                ),
+            ],
+            max_total=1,
+        )
+        gate.enter(INTERACTIVE_TIER)
+        outcomes = []
+        started = threading.Barrier(5)
+
+        def waiter():
+            started.wait(timeout=5.0)
+            try:
+                gate.enter(INTERACTIVE_TIER)
+                outcomes.append("admitted")
+                gate.leave(INTERACTIVE_TIER)
+            except OverloadedError as error:
+                outcomes.append(error.reason)
+
+        threads = [threading.Thread(target=waiter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        started.wait(timeout=5.0)
+        threading.Event().wait(0.1)  # let them block in the queue
+        gate.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        # Every waiter came back promptly, all shed as closing — none
+        # admitted after close, none stuck until the 30s timeout.
+        assert outcomes == ["closing"] * 4
+
+    def test_drain_waits_for_inflight_across_tiers(self):
+        gate = small_gate(max_total=4)
+        gate.enter(INTERACTIVE_TIER)
+        gate.enter(BULK_TIER)
+        gate.close()
+        assert gate.drain(timeout_s=0.05) is False
+
+        def finish():
+            threading.Event().wait(0.05)
+            gate.leave(INTERACTIVE_TIER)
+            gate.leave(BULK_TIER)
+
+        finisher = threading.Thread(target=finish)
+        finisher.start()
+        assert gate.drain(timeout_s=5.0) is True
+        finisher.join(timeout=5.0)
+
+    def test_concurrent_enter_leave_storm_balances(self):
+        gate = small_gate(max_total=4)
+        admitted = []
+        shed = []
+        lock = threading.Lock()
+
+        def storm(tier):
+            for _ in range(50):
+                try:
+                    name = gate.enter(tier)
+                except OverloadedError:
+                    with lock:
+                        shed.append(tier)
+                    continue
+                with lock:
+                    admitted.append(tier)
+                gate.leave(name)
+
+        threads = [
+            threading.Thread(target=storm, args=(tier,))
+            for tier in (INTERACTIVE_TIER, STANDARD_TIER, BULK_TIER)
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert gate.inflight == 0
+        stats = gate.stats()
+        assert stats["admitted_total"] == len(admitted)
+        assert stats["shed_total"] == len(shed)
+        assert len(admitted) + len(shed) == 450
+
+
+class TestBrownoutGateControl:
+    def test_set_shed_tiers_sheds_with_brownout_reason(self):
+        gate = small_gate()
+        gate.set_shed_tiers(gate.brownout_sheddable_tiers())
+        assert gate.shed_tiers == frozenset({BULK_TIER})
+        with pytest.raises(OverloadedError) as info:
+            gate.enter(BULK_TIER)
+        assert info.value.reason == "brownout"
+        # Interactive is untouched.
+        gate.enter(INTERACTIVE_TIER)
+        gate.leave(INTERACTIVE_TIER)
+        gate.set_shed_tiers(())
+        gate.enter(BULK_TIER)
+        gate.leave(BULK_TIER)
+
+    def test_unknown_shed_tier_rejected(self):
+        gate = small_gate()
+        with pytest.raises(ValueError):
+            gate.set_shed_tiers(["premium"])
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBrownoutController:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        controller = BrownoutController(
+            window_s=10.0,
+            enter_threshold=0.10,
+            escalate_threshold=0.30,
+            exit_threshold=0.02,
+            dwell_s=1.0,
+            cooloff_s=3.0,
+            min_events=10,
+            clock=clock,
+            **kwargs
+        )
+        return controller, clock
+
+    def feed(self, controller, clock, shed_fraction, count=20, spacing=0.2):
+        level = controller.level
+        shed_every = int(round(1.0 / shed_fraction)) if shed_fraction else 0
+        for index in range(count):
+            clock.advance(spacing)
+            shed = bool(shed_every) and index % shed_every == 0
+            level = controller.record(shed)
+        return level
+
+    def test_starts_ok_and_ignores_sparse_sheds(self):
+        controller, clock = self.make()
+        # Below min_events nothing is trusted, even 100% sheds.
+        for _ in range(5):
+            clock.advance(0.1)
+            assert controller.record(True) == 0
+        assert controller.state == "ok"
+
+    def test_sustained_breach_escalates_one_level_per_dwell(self):
+        controller, clock = self.make()
+        level = self.feed(controller, clock, 0.5, count=40)
+        assert level >= 1
+        # Keep breaching past another dwell period: level 2.
+        level = self.feed(controller, clock, 0.5, count=40)
+        assert level == 2
+        assert controller.state == BROWNOUT_STATES[2]
+        assert not controller.allows_tracing()
+        assert not controller.allows_bulk()
+
+    def test_momentary_burst_does_not_trip(self):
+        controller, clock = self.make()
+        # A single shed: the fraction touches the threshold exactly at
+        # min_events and drops below it one sample later — shorter than
+        # dwell_s, so no escalation.
+        self.feed(controller, clock, 0.5, count=2, spacing=0.1)
+        level = self.feed(controller, clock, 0.0, count=40)
+        assert level == 0
+
+    def test_recovery_steps_down_after_cooloff(self):
+        controller, clock = self.make()
+        self.feed(controller, clock, 0.5, count=80)
+        assert controller.level == 2
+        # Calm traffic: fraction decays as the window slides, then
+        # cooloff_s of sustained calm steps down one level at a time.
+        level = self.feed(controller, clock, 0.0, count=200)
+        assert level == 0
+        assert controller.allows_tracing()
+        assert controller.allows_bulk()
+
+    def test_snapshot_shape(self):
+        controller, clock = self.make()
+        self.feed(controller, clock, 0.5, count=40)
+        snap = controller.snapshot()
+        assert set(snap) == {
+            "state", "level", "shed_fraction", "window_events",
+            "transitions_total",
+        }
+        assert snap["level"] == controller.level
+        assert snap["transitions_total"] >= 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutController(enter_threshold=0.5, escalate_threshold=0.3)
+        with pytest.raises(ValueError):
+            BrownoutController(enter_threshold=0.1, exit_threshold=0.2)

@@ -18,6 +18,11 @@ import pytest
 
 from repro import EstimationSystem, persist
 from repro.datasets import generate_ssplays
+from repro.reliability.shedding import (
+    BULK_TIER,
+    TieredAdmissionGate,
+    default_tiers,
+)
 from repro.service import (
     EstimationService,
     ServerConfig,
@@ -90,6 +95,46 @@ class TestSingleProcess:
         for thread in threads:
             thread.join(timeout=30)
         assert torn == [], "a batch mixed synopsis versions: %r" % torn[:3]
+
+    def test_reload_landing_exactly_mid_batch_is_invisible(
+        self, tmp_path, version_a, version_b, expected_vectors
+    ):
+        """Deterministic version of the race the chaos tests hunt: force
+        the hot swap to land *between* two queries of one batch (via the
+        bulk lane's preemption checkpoint) and assert the batch still
+        serves the pinned pre-swap version end to end."""
+        path = str(tmp_path / "SSPlays.json")
+        persist.save(version_a, path)
+        registry = SynopsisRegistry(str(tmp_path), check_interval=0.0)
+        registry.scan()
+        swapped = []
+
+        class ReloadingGate(TieredAdmissionGate):
+            def checkpoint(self, tier, max_wait_s=0.0):
+                if not swapped:
+                    swapped.append(True)
+                    persist.save(version_b, path)
+                    entry = registry.get("SSPlays")  # in-place hot swap
+                    assert entry.generation == 2
+                return False
+
+        service = EstimationService(
+            registry, gate=ReloadingGate(tiers=default_tiers(8), max_total=8)
+        )
+        reply = service.handle_estimate(
+            {"synopsis": "SSPlays", "queries": QUERIES}, tier=BULK_TIER
+        )
+        assert swapped, "the checkpoint hook must have fired mid-batch"
+        vector_a = tuple(version_a.query(text).value for text in QUERIES)
+        assert _reply_vector(reply) == vector_a
+        assert reply["generation"] == 1
+        # The next request sees the new version whole.
+        after = service.handle_estimate(
+            {"synopsis": "SSPlays", "queries": QUERIES}, tier=BULK_TIER
+        )
+        assert _reply_vector(after) in expected_vectors
+        assert _reply_vector(after) != vector_a
+        assert after["generation"] == 2
 
     def test_generation_advances_after_swap(
         self, tmp_path, version_a, version_b

@@ -169,6 +169,20 @@ class TestBenchSmoke:
             % (1e3 * kernel_s, 1e3 * legacy_s)
         )
 
+    def test_traffic_capacity(self, tiny_ctx, monkeypatch):
+        import benchmarks.bench_traffic_capacity as bench
+
+        # Two short levels, a small worker pool; disarm the
+        # jitter-sensitive latency gate — at one-second levels the p99
+        # is a handful of samples.
+        monkeypatch.setattr(bench, "OFFERED_QPS", (15.0, 60.0))
+        monkeypatch.setattr(bench, "DURATION_S", 1.0)
+        monkeypatch.setattr(bench, "WORKERS", 8)
+        monkeypatch.setattr(bench, "MAX_QUERIES", 8)
+        monkeypatch.setattr(bench, "P99_ADVANTAGE", 0.0)
+        bench.test_traffic_capacity(tiny_ctx, _StubBenchmark())
+        assert "traffic capacity" in rendered_results()
+
     def test_build_throughput(self, tiny_ctx, monkeypatch):
         import benchmarks.bench_build_throughput as bench
 

@@ -112,6 +112,39 @@ class TestServe:
             main(["serve"])
 
 
+class TestTraffic:
+    @pytest.fixture()
+    def snapshot_dir(self, xml_file, tmp_path):
+        out_dir = tmp_path / "snaps"
+        assert main(["snapshot", "--file", xml_file, "--output",
+                     str(out_dir) + "/", "--name", "fig1"]) == 0
+        return str(out_dir)
+
+    def test_missing_snapshot_dir_fails_cleanly(self, tmp_path, capsys):
+        code = main(["traffic", "--snapshot-dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_save_trace_writes_replayable_jsonl(self, snapshot_dir, tmp_path,
+                                                capsys):
+        from repro.traffic import load_trace
+
+        trace = str(tmp_path / "trace")
+        assert main(["traffic", "--snapshot-dir", snapshot_dir, "--smoke",
+                     "--qps", "25", "--save-trace", trace]) == 0
+        assert "wrote" in capsys.readouterr().out
+        events = load_trace(trace + ".25.jsonl")
+        assert events
+        assert all(event.at_s < 1.0 for event in events)
+
+    def test_smoke_sweep_prints_curve_and_knee(self, snapshot_dir, capsys):
+        assert main(["traffic", "--snapshot-dir", snapshot_dir, "--smoke",
+                     "--qps", "20", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity sweep: fig1 (tiered gate" in out
+        assert "knee (goodput >= 0.9 x offered)" in out
+
+
 class TestParser:
     def test_requires_source(self):
         with pytest.raises(SystemExit):

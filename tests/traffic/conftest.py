@@ -1,0 +1,18 @@
+"""Shared fixtures for the traffic-harness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EstimationSystem, persist
+
+
+@pytest.fixture(scope="module")
+def figure1_system(figure1):
+    return EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+
+
+@pytest.fixture()
+def snapshot_dir(tmp_path, figure1_system):
+    persist.save(figure1_system, str(tmp_path / "fig1.json"))
+    return tmp_path

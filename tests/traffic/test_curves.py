@@ -1,0 +1,98 @@
+"""Load curves: per-tier folding, knee extraction, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability.shedding import BULK_TIER, INTERACTIVE_TIER
+from repro.traffic import (
+    EventOutcome,
+    LoadPoint,
+    format_curve,
+    knee_qps,
+    summarize,
+)
+
+
+def outcome(tier=INTERACTIVE_TIER, latency_s=0.01, status="ok", at_s=0.0):
+    return EventOutcome(
+        tier=tier, at_s=at_s, latency_s=latency_s, status=status, queries=1
+    )
+
+
+class TestSummarize:
+    def test_folds_per_tier(self):
+        outcomes = [
+            outcome(latency_s=0.010),
+            outcome(latency_s=0.020),
+            outcome(tier=BULK_TIER, latency_s=0.100),
+            outcome(tier=BULK_TIER, status="shed"),
+            outcome(tier=BULK_TIER, status="error"),
+        ]
+        point = summarize(outcomes, duration_s=2.0, offered_qps=2.5)
+        interactive = point.tier(INTERACTIVE_TIER)
+        bulk = point.tier(BULK_TIER)
+        assert interactive.served == 2
+        assert interactive.shed == 0
+        assert interactive.goodput_qps == pytest.approx(1.0)
+        assert interactive.p50_ms == pytest.approx(20.0)  # repo convention
+        assert bulk.served == 1
+        assert bulk.shed == 1
+        assert bulk.errors == 1
+        assert point.served == 3
+        assert point.shed == 1
+        assert point.goodput_qps == pytest.approx(1.5)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            summarize([], duration_s=0.0, offered_qps=1.0)
+
+    def test_as_dict_round_numbers(self):
+        point = summarize([outcome()], duration_s=1.0, offered_qps=1.0)
+        payload = point.as_dict()
+        assert payload["offered_qps"] == 1.0
+        assert INTERACTIVE_TIER in payload["tiers"]
+
+
+class TestKnee:
+    def load_point(self, offered, goodput):
+        tiers = {
+            INTERACTIVE_TIER: summarize(
+                [outcome() for _ in range(int(goodput))],
+                duration_s=1.0,
+                offered_qps=offered,
+            ).tier(INTERACTIVE_TIER)
+        }
+        return LoadPoint(offered_qps=offered, duration_s=1.0, tiers=tiers)
+
+    def test_knee_is_the_last_absorbed_level(self):
+        points = [
+            self.load_point(10, 10),
+            self.load_point(20, 19),
+            self.load_point(40, 25),  # saturated: 25/40 < 0.9
+        ]
+        assert knee_qps(points) == 20
+
+    def test_knee_zero_when_always_saturated(self):
+        assert knee_qps([self.load_point(100, 10)]) == 0.0
+        assert knee_qps([]) == 0.0
+
+    def test_threshold_is_tunable(self):
+        points = [self.load_point(40, 25)]
+        assert knee_qps(points, threshold=0.5) == 40
+
+
+class TestFormatCurve:
+    def test_renders_every_level_and_the_knee(self):
+        points = [
+            summarize(
+                [outcome(), outcome(tier=BULK_TIER, status="shed")],
+                duration_s=1.0,
+                offered_qps=2.0,
+            )
+        ]
+        text = format_curve(points, title="demo sweep")
+        assert "demo sweep" in text
+        assert "interactive" in text
+        assert "bulk" in text
+        assert "knee (goodput >= 0.9 x offered)" in text

@@ -1,0 +1,182 @@
+"""Traffic schedules: determinism, modulation, trace round-trips."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.reliability.shedding import BULK_TIER, INTERACTIVE_TIER, STANDARD_TIER
+from repro.traffic import (
+    TrafficConfig,
+    TrafficEvent,
+    generate_schedule,
+    load_trace,
+    offered_rate,
+    save_trace,
+)
+
+QUERIES = ["//A/B", "//A//$C", "//F/E", "//A[/C]/$B", "/Root/$A"]
+
+
+def config(**overrides):
+    values = dict(
+        seed=7,
+        duration_s=10.0,
+        base_qps=40.0,
+        diurnal_amplitude=0.4,
+        diurnal_period_s=10.0,
+        burst_rate=0.3,
+        burst_factor=3.0,
+        burst_duration_s=1.0,
+        slow_fraction=0.05,
+    )
+    values.update(overrides)
+    return TrafficConfig(**values)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        first = generate_schedule(config(), QUERIES)
+        second = generate_schedule(config(), QUERIES)
+        assert first == second
+        assert len(first) > 100
+
+    def test_different_seed_different_schedule(self):
+        assert generate_schedule(config(), QUERIES) != generate_schedule(
+            config(seed=8), QUERIES
+        )
+
+    def test_scaled_preserves_everything_but_qps(self):
+        base = config()
+        scaled = base.scaled(200.0)
+        assert scaled.base_qps == 200.0
+        assert scaled.seed == base.seed
+        assert scaled.duration_s == base.duration_s
+
+    def test_events_are_sorted_and_inside_the_run(self):
+        events = generate_schedule(config(), QUERIES)
+        times = [event.at_s for event in events]
+        assert times == sorted(times)
+        assert all(0.0 < t < 10.0 for t in times)
+
+
+class TestShape:
+    def test_mean_rate_tracks_base_qps(self):
+        events = generate_schedule(
+            config(diurnal_amplitude=0.0, burst_rate=0.0, duration_s=30.0),
+            QUERIES,
+        )
+        rate = len(events) / 30.0
+        # Poisson with lambda = 40*30 = 1200: +-5 sigma is ~±5.8/s.
+        assert abs(rate - 40.0) < 6.0
+
+    def test_tier_mix_follows_the_weights(self):
+        events = generate_schedule(config(duration_s=30.0), QUERIES)
+        counts = {INTERACTIVE_TIER: 0, STANDARD_TIER: 0, BULK_TIER: 0}
+        for event in events:
+            counts[event.tier] += 1
+        total = sum(counts.values())
+        assert counts[INTERACTIVE_TIER] / total == pytest.approx(0.7, abs=0.1)
+        assert counts[BULK_TIER] / total == pytest.approx(0.1, abs=0.06)
+
+    def test_bulk_events_carry_batches(self):
+        events = generate_schedule(config(batch_size=8), QUERIES)
+        for event in events:
+            if event.tier == BULK_TIER:
+                assert len(event.queries) == 8
+            else:
+                assert len(event.queries) == 1
+
+    def test_zipf_skews_toward_hot_queries(self):
+        events = generate_schedule(
+            config(zipf_s=1.5, duration_s=30.0), QUERIES
+        )
+        hits = {query: 0 for query in QUERIES}
+        for event in events:
+            for query in event.queries:
+                hits[query] += 1
+        assert hits[QUERIES[0]] > hits[QUERIES[-1]] * 2
+
+    def test_slow_fraction_marks_events(self):
+        events = generate_schedule(config(slow_fraction=0.5), QUERIES)
+        slow = sum(1 for event in events if event.slow)
+        assert 0 < slow < len(events)
+        assert slow / len(events) == pytest.approx(0.5, abs=0.15)
+
+    def test_offered_rate_diurnal_and_burst(self):
+        cfg = config()
+        quarter = cfg.diurnal_period_s / 4.0
+        assert offered_rate(cfg, quarter) == pytest.approx(
+            cfg.base_qps * 1.4
+        )
+        assert offered_rate(cfg, 3 * quarter) == pytest.approx(
+            cfg.base_qps * (1 - 0.4)
+        )
+        assert offered_rate(cfg, quarter, bursting=True) == pytest.approx(
+            cfg.base_qps * 1.4 * 3.0
+        )
+
+    def test_bursts_raise_the_event_count(self):
+        calm = generate_schedule(
+            config(burst_rate=0.0, diurnal_amplitude=0.0, duration_s=20.0),
+            QUERIES,
+        )
+        bursty = generate_schedule(
+            config(
+                burst_rate=0.5, burst_factor=4.0, diurnal_amplitude=0.0,
+                duration_s=20.0,
+            ),
+            QUERIES,
+        )
+        assert len(bursty) > len(calm) * 1.3
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"duration_s": 0},
+            {"base_qps": 0},
+            {"diurnal_amplitude": 1.0},
+            {"batch_size": 0},
+            {"burst_factor": 0.5},
+            {"slow_fraction": 1.5},
+            {"interactive_weight": -1.0},
+            {"interactive_weight": 0, "standard_weight": 0, "bulk_weight": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            config(**overrides)
+
+    def test_empty_query_pool_rejected(self):
+        with pytest.raises(ValueError):
+            generate_schedule(config(), [])
+
+
+class TestTraceRoundTrip:
+    def test_jsonl_round_trip_is_lossless(self, tmp_path):
+        events = generate_schedule(config(), QUERIES)
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(events, path)
+        assert load_trace(path) == events
+
+    def test_malformed_line_names_the_line(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"at_s": 0.1, "tier": "interactive", "queries": ["//A"]}\n')
+            handle.write("not json\n")
+        with pytest.raises(ValueError) as info:
+            load_trace(path)
+        assert ":2:" in str(info.value)
+
+    def test_load_sorts_by_time(self, tmp_path):
+        path = str(tmp_path / "shuffled.jsonl")
+        events = [
+            TrafficEvent(0.5, INTERACTIVE_TIER, ("//A",)),
+            TrafficEvent(0.1, BULK_TIER, ("//A", "//B")),
+        ]
+        save_trace(events, path)
+        loaded = load_trace(path)
+        assert [event.at_s for event in loaded] == [0.1, 0.5]
