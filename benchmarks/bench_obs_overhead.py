@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.core.options import EstimateOptions
 from repro.harness.tables import format_table, record_result
 from repro.service import (
     EstimationService,
@@ -33,6 +34,10 @@ from repro.service import (
     ServiceServer,
     SynopsisRegistry,
 )
+
+#: Options objects reused across the timed loops (allocation-free).
+DETAIL = EstimateOptions(detail=True)
+TRACED = EstimateOptions(trace=True)
 
 #: Budget for trace-off overhead (documented target; the hard assert
 #: below allows timing jitter on top).
@@ -116,11 +121,11 @@ def test_obs_overhead(ctx, benchmark):
 
     def sweep_query_off():
         for text in texts:
-            system.query(text)
+            system.estimate(text, options=DETAIL)
 
     def sweep_query_on():
         for text in texts:
-            system.query(text, trace=True)
+            system.estimate(text, options=TRACED)
 
     benchmark.pedantic(sweep_query_off, rounds=1, iterations=1)
 

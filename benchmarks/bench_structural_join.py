@@ -9,6 +9,11 @@ prefiltering and reports join-input sizes and wall time.
 Expected shape: pruning removes a substantial fraction of join inputs on
 branch-heavy workloads, results stay identical, and end-to-end time does
 not regress (the path join itself is synopsis-cheap).
+
+A third lane runs the same workload through the planned adaptive
+executor (``system.execute``, pruning on): it must agree exactly with
+the raw processor; its per-query planning and drift-instrumentation
+overhead is reported in the same time column.
 """
 
 import time
@@ -53,6 +58,13 @@ def test_structural_join_pruning(ctx, benchmark):
                 mismatches += 1
         unpruned_seconds = time.perf_counter() - start
 
+        system = ctx.factory(name).system(0, 0)
+        start = time.perf_counter()
+        for item in items:
+            if system.execute(item.text).match_count != item.actual:
+                mismatches += 1
+        planned_seconds = time.perf_counter() - start
+
         reduction = 1.0 - pruned_inputs / max(unpruned_inputs, 1)
         reductions[name] = reduction
         rows.append(
@@ -62,7 +74,9 @@ def test_structural_join_pruning(ctx, benchmark):
                 unpruned_inputs,
                 pruned_inputs,
                 "%.1f%%" % (reduction * 100),
-                "%.2fs vs %.2fs" % (unpruned_seconds, pruned_seconds),
+                "%.2fs / %.2fs / %.2fs" % (
+                    unpruned_seconds, pruned_seconds, planned_seconds
+                ),
                 mismatches,
             ]
         )
@@ -70,7 +84,7 @@ def test_structural_join_pruning(ctx, benchmark):
         "structural_join_pruning",
         format_table(
             ["Dataset", "#queries", "join inputs", "with pid pruning",
-             "input reduction", "time (plain vs pruned)", "mismatches"],
+             "input reduction", "time (plain / pruned / planned)", "mismatches"],
             rows,
             title="Extra: path-id pruning in structural joins (ref. [8])",
         ),

@@ -14,7 +14,11 @@ Quickstart::
     system = repro.build_synopsis("<Root><A><B/><C/></A></Root>")
     system.estimate("//A/$B")               # -> 1.0
     system.estimate("//A[/B/folls::$C]")    # order axis
-    system.query("//A/$B", trace=True)      # -> EstimateResult with span tree
+    system.explain("//A/$B")                # -> cost-based Plan IR
+    system.execute("//A/$B")                # -> matches + estimate + plan
+    system.estimate(
+        "//A/$B", options=repro.EstimateOptions(trace=True)
+    )                                       # EstimateResult with span tree
 
 ``build_synopsis`` accepts XML text, a filesystem path, or a parsed
 ``XmlDocument``; pass ``workers=N`` to scan a large document in parallel
@@ -32,6 +36,7 @@ sharded cluster behind the scatter-gather router), the front door is
 import warnings
 
 from repro.build.builder import SynopsisBuilder, build_synopsis
+from repro.core.options import EstimateOptions, ExecuteOptions, ExplainOptions
 from repro.core.result import EstimateResult
 from repro.core.system import EstimationSystem
 from repro.errors import (
@@ -51,8 +56,13 @@ __version__ = "1.2.0"
 #: not listed here still works for now but raises a DeprecationWarning —
 #: import it from its home submodule instead.
 __all__ = [
+    "EstimateOptions",
     "EstimateResult",
     "EstimationSystem",
+    "ExecuteOptions",
+    "ExecutionResult",
+    "ExplainOptions",
+    "Plan",
     "SynopsisBuilder",
     "build_synopsis",
     "connect",
@@ -66,6 +76,14 @@ __all__ = [
     "ObservabilityError",
     "__version__",
 ]
+
+#: Lazily imported public names -> (module, attribute).  The plan IR sits
+#: behind the execution machinery; importing it eagerly would make
+#: ``import repro`` pay for the whole queryproc stack.
+_LAZY = {
+    "Plan": ("repro.plan.ir", "Plan"),
+    "ExecutionResult": ("repro.plan.ir", "ExecutionResult"),
+}
 
 #: Legacy top-level names (pre-1.1 surface) -> (module, attribute).  Kept
 #: importable through ``__getattr__`` so existing code keeps running, but
@@ -90,7 +108,15 @@ def connect(target=None, **kwargs):
 
 
 def __getattr__(name):
-    """PEP 562 shim: resolve legacy names with a one-time deprecation warning."""
+    """PEP 562 shim: lazy public names, and legacy names with a one-time
+    deprecation warning."""
+    lazy = _LAZY.get(name)
+    if lazy is not None:
+        import importlib
+
+        value = getattr(importlib.import_module(lazy[0]), lazy[1])
+        globals()[name] = value
+        return value
     target = _DEPRECATED.get(name)
     if target is None:
         raise AttributeError("module %r has no attribute %r" % (__name__, name))

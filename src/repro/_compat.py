@@ -15,6 +15,22 @@ import warnings
 from typing import Sequence, Tuple
 
 
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a renamed entry point.
+
+    Used by the method shims of the unified query API redesign
+    (``EstimationSystem.query`` → ``estimate(options=...)``,
+    ``estimate_batch`` → ``estimate([...])``, ``estimate_routed`` →
+    internal): one wording everywhere, so ``-W error`` CI jobs catch any
+    internal caller that regresses onto an old name.
+    """
+    warnings.warn(
+        "%s is deprecated; use %s instead" % (old, new),
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
 def positional_shim(
     where: str,
     args: Sequence[object],

@@ -186,6 +186,19 @@ class Client:
             results.append(self._result_of(item))
         return results
 
+    def explain(self, synopsis: str, query: str) -> Dict[str, Any]:
+        """The server-side cost-based plan IR for ``query`` (see
+        :meth:`EndpointClient.explain`); fails over across seeds like
+        every other call."""
+        return self._call("explain", synopsis, query)
+
+    def execute(self, synopsis: str, query: str) -> Dict[str, Any]:
+        """Plan and run ``query`` on the serving instance, returning the
+        full reply (``matches``, ``match_count``, executed ``plan``,
+        structured ``result``).  Statistics-only synopses surface as
+        :class:`ServiceError` kind ``execute_unsupported``."""
+        return self._call("execute", synopsis, query)
+
     @staticmethod
     def _result_of(item: Dict[str, Any]) -> EstimateResult:
         wire = item.get("result")

@@ -1,10 +1,19 @@
-"""Structured explanations of estimates.
+"""Structured explanations of estimates and execution plans.
 
-``explain`` re-derives the estimation route (which rule of the paper
-applies) and exposes the intermediate quantities — useful for debugging an
-optimizer integration and for the documentation examples.  The reported
-``estimate`` is always identical to ``EstimationSystem.estimate`` (a test
-pins this).
+Two complementary views:
+
+* :func:`explain` re-derives the estimation route (which rule of the
+  paper applies) and exposes the intermediate quantities — the
+  *formula-level* narrative;
+* :func:`explain_plan` returns the :class:`~repro.plan.ir.Plan` the
+  cost-based planner would execute for the query — ordered semijoin
+  steps with expected cardinalities — and, with
+  ``ExplainOptions(analyze=True)``, actually runs it so each step also
+  carries observed cardinalities.  :meth:`EstimationSystem.explain`
+  delegates here.
+
+The reported ``estimate`` is always identical to
+``EstimationSystem.estimate`` (a test pins this).
 """
 
 from __future__ import annotations
@@ -43,16 +52,56 @@ class EstimateReport:
         return "\n".join(lines)
 
 
+def explain_plan(
+    system: EstimationSystem,
+    query: Union[str, Query],
+    *,
+    options=None,
+    document=None,
+):
+    """The cost-based :class:`~repro.plan.ir.Plan` for ``query``.
+
+    Pure planning (the default) needs only the synopsis; ``analyze=True``
+    executes the plan against the system's document (or ``document=``)
+    and returns it with per-step observed cardinalities and any mid-plan
+    replans applied.
+    """
+    from repro.core.options import ExecuteOptions, ExplainOptions
+
+    opts = options if options is not None else ExplainOptions()
+    parsed = _coerce_query(query)
+    if opts.analyze:
+        result = system.execute(
+            parsed,
+            options=ExecuteOptions(
+                use_path_ids=opts.use_path_ids,
+                naive_order=opts.naive_order,
+                drift_threshold=opts.drift_threshold,
+            ),
+            document=document,
+        )
+        return result.plan
+    plan = system.planner().plan(
+        parsed,
+        use_path_ids=opts.use_path_ids,
+        naive_order=opts.naive_order,
+        drift_threshold=opts.drift_threshold,
+    )
+    system.planner_stats.record_plan(plan)
+    return plan
+
+
 def explain(system: EstimationSystem, query: Union[str, Query]) -> EstimateReport:
     """Explain how ``system`` estimates ``query``'s target selectivity.
 
     .. deprecated-path:: ``explain`` re-runs the estimator to reconstruct
        the decision; for the quantities the system *actually* computed —
        per-span timings, bucket/cell counters, the route taken — prefer
-       ``system.query(text, trace=True)``, which returns an
-       :class:`~repro.core.result.EstimateResult` whose ``.trace`` holds
-       the span tree of the real execution.  ``explain`` stays for the
-       formula-level narrative (which paper rule fired, with its inputs).
+       ``system.estimate(text, options=EstimateOptions(trace=True))``,
+       which returns an :class:`~repro.core.result.EstimateResult` whose
+       ``.trace`` holds the span tree of the real execution.  ``explain``
+       stays for the formula-level narrative (which paper rule fired,
+       with its inputs).
     """
     parsed = _coerce_query(query)
     if scoped_order_edges(parsed):

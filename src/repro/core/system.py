@@ -26,10 +26,13 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro._compat import positional_shim
+from dataclasses import replace as _options_replace
+
+from repro._compat import positional_shim, warn_deprecated
 from repro.core.axis_rewrite import rewrite_scoped_order_query, scoped_order_edges
+from repro.core.options import EstimateOptions, ExecuteOptions, ExplainOptions
 from repro.core.noorder import estimate_no_order
 from repro.core.order import estimate_with_order, sibling_order_edges
 from repro.core.pathjoin import JoinResult, path_join
@@ -109,6 +112,15 @@ class EstimationSystem:
         self.kernel_enabled = True
         self._kernel: Optional[SynopsisKernel] = None
         self._kernel_lock = threading.Lock()
+        # Cost-based planning (repro.plan): one shared planner so its
+        # memoized cost model warms up across queries, one processor per
+        # served document, and the counters /metrics aggregates.
+        from repro.plan.ir import PlannerStats
+
+        self.planner_stats = PlannerStats()
+        self._planner = None
+        self._processor = None
+        self._plan_lock = threading.Lock()
 
     #: Back-reference to the :class:`repro.cluster.delta.IncrementalSynopsis`
     #: that materialized this system (None for ordinary builds).  Set by
@@ -359,6 +371,9 @@ class EstimationSystem:
         """
         with self._kernel_lock:
             kernel, self._kernel = self._kernel, None
+        planner = self._planner
+        if planner is not None:
+            planner.cost_model.clear()  # estimates may come from a new synopsis
         if kernel is not None:
             kernel.invalidate()
             return True
@@ -418,49 +433,67 @@ class EstimationSystem:
 
     def estimate(
         self,
-        query: Union[str, Query],
-        fixpoint: bool = True,
-        depth_consistent: bool = True,
-    ) -> float:
+        query: Union[str, Query, List[Union[str, Query]], Tuple],
+        *args,
+        options: Optional[EstimateOptions] = None,
+        fixpoint: Optional[bool] = None,
+        depth_consistent: Optional[bool] = None,
+    ):
         """Estimate the selectivity of the query's target node.
 
-        Returns the bare estimate; :meth:`query` returns the same value
-        wrapped in a structured :class:`~repro.core.result.EstimateResult`
-        (route, timing, optional trace) and is the preferred entry point
-        for new code.
+        The one estimation verb of the unified surface:
+
+        * ``estimate(q)`` → ``float`` — the bare estimate;
+        * ``estimate([q1, q2, ...])`` → ``List[float]`` — a batch against
+          one shared kernel memo (repeated texts share one cached AST
+          and cost one estimate);
+        * ``estimate(q, options=EstimateOptions(detail=True))`` →
+          :class:`~repro.core.result.EstimateResult` with route and
+          timing; ``EstimateOptions(trace=True)`` additionally records
+          the span tree.
 
         ``fixpoint=False`` runs a single path-join pruning pass;
         ``depth_consistent=False`` uses the literal pairwise containment
-        test (both are ablation switches, see DESIGN.md §5).
+        test (ablation switches, see DESIGN.md §5; both may be given
+        directly or on ``options``).  Passing them positionally is
+        deprecated.
         """
+        if args:
+            fixpoint, depth_consistent = positional_shim(
+                "EstimationSystem.estimate",
+                args,
+                ("fixpoint", "depth_consistent"),
+                (fixpoint, depth_consistent),
+            )
+        opts = options if options is not None else EstimateOptions()
+        if fixpoint is not None or depth_consistent is not None:
+            opts = _options_replace(
+                opts,
+                fixpoint=opts.fixpoint if fixpoint is None else fixpoint,
+                depth_consistent=(
+                    opts.depth_consistent
+                    if depth_consistent is None
+                    else depth_consistent
+                ),
+            )
+        if isinstance(query, (list, tuple)):
+            return self._estimate_many(query, opts)
+        if opts.trace or opts.detail:
+            return self._estimate_detail(query, opts)
         parsed = _coerce_query(query)
-        return self.estimate_routed(
+        return self._estimate_routed(
             parsed,
             self.select_route(parsed),
-            fixpoint=fixpoint,
-            depth_consistent=depth_consistent,
+            fixpoint=opts.fixpoint,
+            depth_consistent=opts.depth_consistent,
         )
 
-    def query(
-        self,
-        query: Union[str, Query],
-        *,
-        trace: bool = False,
-        fixpoint: bool = True,
-        depth_consistent: bool = True,
+    def _estimate_detail(
+        self, query: Union[str, Query], opts: EstimateOptions
     ) -> EstimateResult:
-        """Estimate with structured context: the redesigned entry point.
-
-        Returns an :class:`~repro.core.result.EstimateResult` carrying the
-        estimate (``.value``), the query text, the route taken, the wall
-        time, and — when ``trace=True`` — the full span tree (``parse``,
-        ``plan``, then per-route ``pathid-match``/``p-hist lookup``/
-        ``o-hist lookup``/``join`` spans with bucket/cell counters).
-
-        ``float(result)`` equals ``result.value``, so the structured form
-        drops into float arithmetic unchanged.
-        """
+        """The structured-result estimation path (detail/trace options)."""
         text = query if isinstance(query, str) else getattr(query, "text", "")
+        trace = opts.trace
         tracer = Tracer("estimate", seed=(str(text),)) if trace else NULL_TRACER
         start = time.perf_counter()
         with tracer.span("parse"):
@@ -468,11 +501,11 @@ class EstimationSystem:
         with tracer.span("plan") as plan_span:
             route = self.select_route(parsed)
             plan_span.incr("route_" + route)
-        value = self.estimate_routed(
+        value = self._estimate_routed(
             parsed,
             route,
-            fixpoint=fixpoint,
-            depth_consistent=depth_consistent,
+            fixpoint=opts.fixpoint,
+            depth_consistent=opts.depth_consistent,
             tracer=tracer,
         )
         elapsed_ms = (time.perf_counter() - start) * 1000.0
@@ -484,7 +517,78 @@ class EstimationSystem:
             trace=tracer.finish() if trace else None,
         )
 
+    def _estimate_many(
+        self, queries: Iterable[Union[str, Query]], opts: EstimateOptions
+    ) -> List[float]:
+        """Batch estimation against one shared kernel memo."""
+        memo: Dict[int, float] = {}
+        values: List[float] = []
+        for query in queries:
+            parsed = _coerce_query(query)
+            key = id(parsed)
+            value = memo.get(key)
+            if value is None:
+                value = self._estimate_routed(
+                    parsed,
+                    self.select_route(parsed),
+                    fixpoint=opts.fixpoint,
+                    depth_consistent=opts.depth_consistent,
+                )
+                memo[key] = value
+            values.append(value)
+        return values
+
+    def query(
+        self,
+        query: Union[str, Query],
+        *,
+        trace: bool = False,
+        fixpoint: bool = True,
+        depth_consistent: bool = True,
+    ) -> EstimateResult:
+        """Deprecated alias of :meth:`estimate` with ``detail=True``.
+
+        .. deprecated:: 1.3
+           Use ``estimate(q, options=EstimateOptions(detail=True,
+           trace=...))`` — one verb, one options object.
+        """
+        warn_deprecated(
+            "EstimationSystem.query()",
+            "estimate(query, options=EstimateOptions(detail=True))",
+        )
+        return self._estimate_detail(
+            query,
+            EstimateOptions(
+                fixpoint=fixpoint,
+                depth_consistent=depth_consistent,
+                detail=True,
+                trace=trace,
+            ),
+        )
+
     def estimate_routed(
+        self,
+        parsed: Query,
+        route: str,
+        fixpoint: bool = True,
+        depth_consistent: bool = True,
+        tracer=NULL_TRACER,
+    ) -> float:
+        """Deprecated public alias of the internal routed estimation.
+
+        .. deprecated:: 1.3
+           Route precomputation is a service-internal optimization;
+           external callers should use :meth:`estimate`.
+        """
+        warn_deprecated(
+            "EstimationSystem.estimate_routed()", "estimate(query)"
+        )
+        return self._estimate_routed(
+            parsed, route,
+            fixpoint=fixpoint, depth_consistent=depth_consistent, tracer=tracer,
+        )
+
+    def _estimate_routed(
         self,
         parsed: Query,
         route: str,
@@ -561,25 +665,15 @@ class EstimationSystem:
         )
 
     def estimate_batch(self, queries: Iterable[Union[str, Query]]) -> List[float]:
-        """Estimate many queries against one shared kernel memo.
+        """Deprecated alias of :meth:`estimate` over a list.
 
-        Parsed ASTs are deduplicated (repeated texts share one cached
-        AST, so repeats cost a dict hit), and every join in the batch
-        reuses the same compiled kernel — its containment matrices,
-        query plans and support memo warm up once for the whole batch.
-        Returns the estimates in input order.
+        .. deprecated:: 1.3
+           ``estimate`` is polymorphic: pass the list directly.
         """
-        memo: Dict[int, float] = {}
-        values: List[float] = []
-        for query in queries:
-            parsed = _coerce_query(query)
-            key = id(parsed)
-            value = memo.get(key)
-            if value is None:
-                value = self.estimate_routed(parsed, self.select_route(parsed))
-                memo[key] = value
-            values.append(value)
-        return values
+        warn_deprecated(
+            "EstimationSystem.estimate_batch()", "estimate([query, ...])"
+        )
+        return self._estimate_many(queries, EstimateOptions())
 
     def join(
         self,
@@ -595,6 +689,132 @@ class EstimationSystem:
             fixpoint=fixpoint, depth_consistent=depth_consistent,
             kernel=kernel,
         )
+
+    # ------------------------------------------------------------------
+    # Execution and plans (repro.plan)
+    # ------------------------------------------------------------------
+
+    def planner(self):
+        """The shared :class:`~repro.plan.planner.CostBasedPlanner`.
+
+        Built lazily; lives as long as the system so its memoized cost
+        model amortizes sub-pattern estimates across queries and
+        replans.
+        """
+        planner = self._planner
+        if planner is None:
+            from repro.plan.planner import CostBasedPlanner
+
+            with self._plan_lock:
+                planner = self._planner
+                if planner is None:
+                    planner = CostBasedPlanner(self)
+                    self._planner = planner
+        return planner
+
+    def execute(
+        self,
+        query: Union[str, Query],
+        *,
+        options: Optional[ExecuteOptions] = None,
+        document: Optional[XmlDocument] = None,
+    ):
+        """Plan and run ``query``, returning matches plus the estimate.
+
+        Builds a cost-based :class:`~repro.plan.ir.Plan` (join orders
+        chosen by kernel estimates), executes it through the structural
+        semijoin machinery with adaptive re-optimization, and returns an
+        :class:`~repro.plan.ir.ExecutionResult`: the exact matching
+        pre-orders, the structured estimate for the same query, and the
+        executed plan with per-step observed cardinalities.
+
+        Needs a document: the one this system was built from, or an
+        explicit ``document=`` override (useful to run one synopsis's
+        plans against another tree).  Statistics-only systems (streamed
+        builds, snapshots) raise
+        :class:`~repro.errors.ExecutionUnsupportedError` — kind
+        ``"execute_unsupported"`` on the wire.
+        """
+        from repro.plan.executor import AdaptivePlanExecutor
+        from repro.plan.ir import ExecutionResult
+
+        opts = options if options is not None else ExecuteOptions()
+        parsed = _coerce_query(query)
+        target_document = document if document is not None else self.labeled.document
+        if target_document is None:
+            from repro.errors import ExecutionUnsupportedError
+
+            raise ExecutionUnsupportedError(
+                "system %r has no document to execute against (statistics-"
+                "only build); pass document= or build from a parsed tree"
+                % (self.name,)
+            )
+        start = time.perf_counter()
+        planner = self.planner()
+        plan = planner.plan(
+            parsed,
+            use_path_ids=opts.use_path_ids,
+            naive_order=opts.naive_order,
+            drift_threshold=opts.drift_threshold,
+        )
+        self.planner_stats.record_plan(plan)
+        executor = AdaptivePlanExecutor(
+            planner,
+            self._processor_for(target_document),
+            adaptive=opts.adaptive,
+            max_replans=opts.max_replans,
+        )
+        matches = executor.run(plan, parsed)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.planner_stats.record_execution(plan)
+        estimate = EstimateResult(
+            value=plan.est_cardinality,
+            query=parsed.to_string(),
+            route=self.select_route(parsed),
+            elapsed_ms=elapsed_ms,
+        )
+        return ExecutionResult(
+            matches=matches, estimate=estimate, plan=plan, elapsed_ms=elapsed_ms
+        )
+
+    def explain(
+        self,
+        query: Union[str, Query],
+        *,
+        options: Optional[ExplainOptions] = None,
+        document: Optional[XmlDocument] = None,
+    ):
+        """The :class:`~repro.plan.ir.Plan` ``execute`` would run.
+
+        Pure planning needs no document (estimates only);
+        ``ExplainOptions(analyze=True)`` also executes the plan so every
+        step carries observed cardinalities.  For the formula-level
+        narrative of *how the estimate itself* was derived, see
+        :func:`repro.core.explain.explain`.
+        """
+        from repro.core.explain import explain_plan
+
+        return explain_plan(self, query, options=options, document=document)
+
+    def _processor_for(self, document: XmlDocument):
+        """The semijoin processor serving ``document``.
+
+        The system's own document gets one cached processor (its
+        interval index and path-id machinery warm up once); overrides
+        get a fresh instance.
+        """
+        from repro.queryproc.processor import StructuralJoinProcessor
+
+        if document is not self.labeled.document:
+            return StructuralJoinProcessor(document)
+        processor = self._processor
+        if processor is None:
+            with self._plan_lock:
+                processor = self._processor
+                if processor is None:
+                    processor = StructuralJoinProcessor(document, self.labeled)
+                    self._processor = processor
+        return processor
 
     # ------------------------------------------------------------------
     # Size accounting

@@ -16,6 +16,10 @@ boundary and the HTTP service can map any failure to a stable
 * :class:`BuildError` (``"build"``) — streaming/sharded synopsis
   construction failures (bad source, unbalanced shards, unsupported
   build options);
+* :class:`PlanError` (``"plan"``) — cost-based planning / plan-execution
+  failures (:mod:`repro.plan`); its concrete
+  :class:`ExecutionUnsupportedError` (``"execute_unsupported"``) marks
+  statistics-only systems asked to ``execute()`` a query;
 * :class:`ReliabilityError` (``"reliability"``) — fault-handling
   outcomes surfaced by :mod:`repro.reliability`: the concrete
   :class:`repro.reliability.policy.DeadlineExceededError`
@@ -80,6 +84,25 @@ class BuildError(ReproError, ValueError):
     """Synopsis construction failure (streaming scan, sharding, merge)."""
 
     kind = "build"
+
+
+class PlanError(ReproError, ValueError):
+    """Cost-based planning or plan-execution failure (:mod:`repro.plan`)."""
+
+    kind = "plan"
+
+
+class ExecutionUnsupportedError(PlanError):
+    """``execute()`` asked of a system that cannot run queries.
+
+    Systems built from streamed sources or loaded from snapshots carry
+    statistics only — no document to evaluate against.  Estimation and
+    ``explain`` still work; execution needs a document (build from a
+    parsed :class:`~repro.xmltree.document.XmlDocument`, or pass
+    ``document=`` explicitly).
+    """
+
+    kind = "execute_unsupported"
 
 
 class ReliabilityError(ReproError, RuntimeError):
@@ -150,6 +173,8 @@ def _build_wire_kinds():
         QuerySyntaxError.kind: QuerySyntaxError,
         PersistError.kind: PersistError,
         BuildError.kind: BuildError,
+        PlanError.kind: PlanError,
+        ExecutionUnsupportedError.kind: ExecutionUnsupportedError,
         ReliabilityError.kind: ReliabilityError,
         ObservabilityError.kind: ObservabilityError,
         UnsupportedQueryError.kind: UnsupportedQueryError,

@@ -146,6 +146,7 @@ class SynopsisKernel:
         self.invalidated = False
         self._lock = threading.RLock()
         self._tags: Dict[str, TagTable] = {}
+        self._tag_totals: Dict[str, float] = {}
         self._pairs: Dict[Tuple[str, str, bool], ContainmentPair] = {}
         self._plans: "weakref.WeakKeyDictionary[Query, object]" = (
             weakref.WeakKeyDictionary()
@@ -183,6 +184,7 @@ class SynopsisKernel:
         """Mark stale (hot reload / live append replaced the synopsis)."""
         with self._lock:
             self.invalidated = True
+            self._tag_totals.clear()
             self._plans = weakref.WeakKeyDictionary()
             for pair in self._pairs.values():
                 pair.down_memo.clear()
@@ -205,6 +207,20 @@ class SynopsisKernel:
                         span.incr("tag_tables")
                     self._tags[tag] = compiled
         return compiled
+
+    def tag_total(self, tag: str) -> float:
+        """Total frequency of ``tag`` across its pids, cached per tag.
+
+        The planner's cost model prices unpruned candidate lists with
+        this (one float per tag instead of re-summing the frequency
+        array per plan).
+        """
+        total = self._tag_totals.get(tag)
+        if total is None:
+            total = float(sum(self.tag_table(tag).freqs))
+            with self._lock:
+                self._tag_totals[tag] = total
+        return total
 
     def containment(
         self, upper_tag: str, lower_tag: str, child: bool, tracer=NULL_TRACER

@@ -1,0 +1,50 @@
+"""Cost-based structural-join planning (:mod:`repro.plan`).
+
+This package closes the loop the estimator exists for: it turns kernel
+selectivity estimates into an explicit execution :class:`Plan` — an
+ordered list of semijoin steps with expected cardinalities — and runs
+that plan through :mod:`repro.queryproc` with **adaptive
+re-optimization**: every step records observed vs. predicted
+cardinality, and when the divergence exceeds a drift threshold the
+remaining steps are re-planned against the corrected sizes.
+
+Layout:
+
+* :mod:`repro.plan.ir` — the plan intermediate representation
+  (:class:`PlanStep`, :class:`Plan`, :class:`ExecutionResult`) and the
+  thread-safe :class:`PlannerStats` counters the service aggregates;
+* :mod:`repro.plan.cost` — the cost model: memoized sub-pattern
+  estimates, per-axis join weights, filter factors;
+* :mod:`repro.plan.planner` — :class:`CostBasedPlanner`, which
+  enumerates per-node join orders (exhaustive for small fan-out, greedy
+  beyond) and emits the plan;
+* :mod:`repro.plan.executor` — :class:`AdaptivePlanExecutor`, which
+  runs a plan and re-plans mid-flight on drift.
+
+Most callers never import this package directly:
+:meth:`EstimationSystem.execute` and :meth:`EstimationSystem.explain`
+are the front doors.
+"""
+
+from repro.plan.cost import AXIS_WEIGHTS, CostModel
+from repro.plan.executor import AdaptivePlanExecutor
+from repro.plan.ir import (
+    PLAN_FORMAT_VERSION,
+    ExecutionResult,
+    Plan,
+    PlannerStats,
+    PlanStep,
+)
+from repro.plan.planner import CostBasedPlanner
+
+__all__ = [
+    "AXIS_WEIGHTS",
+    "AdaptivePlanExecutor",
+    "CostBasedPlanner",
+    "CostModel",
+    "ExecutionResult",
+    "PLAN_FORMAT_VERSION",
+    "Plan",
+    "PlanStep",
+    "PlannerStats",
+]

@@ -1,0 +1,277 @@
+"""Adaptive plan execution: run the steps, watch the cardinalities.
+
+The executor runs a :class:`~repro.plan.ir.Plan` against a
+:class:`~repro.queryproc.processor.StructuralJoinProcessor`'s candidate
+lists using the same semijoin primitives as the naive evaluation — the
+result set is therefore always exact; only the work done to reach it
+depends on the plan.
+
+**Calibration.**  Estimates are absolute predictions from the synopsis;
+the candidate lists are real.  Rather than comparing a step's observed
+output against its plan-time ``est_out`` (which would fire on any
+synopsis/document scale mismatch), the executor predicts each step's
+output as ``observed_in × marginal filter factor`` — the estimate's
+*shape* applied to the *actual* input — and judges drift against that.
+
+**Re-optimization.**  When ``max(observed/predicted,
+predicted/observed)`` exceeds the plan's drift threshold and some node
+still has two or more unapplied edges, the remaining up-phase steps are
+re-ordered: current list lengths replace the plan-time sizes, fully
+reduced partners are priced exactly, and the planner's per-node
+ordering routine re-runs conditioned on the branches already applied.
+Replans are capped (``max_replans``) so estimation pathologies cannot
+turn execution into planning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.transform import UnsupportedQueryError
+from repro.obs.trace import NULL_TRACER
+from repro.plan.cost import PatternCost, step_cost
+from repro.plan.ir import Plan, PlanStep
+from repro.queryproc.structural import reduce_lower, reduce_upper
+from repro.xpath.ast import Query, QueryAxis, QueryNode
+
+__all__ = ["AdaptivePlanExecutor"]
+
+
+class AdaptivePlanExecutor:
+    """Runs plans with observed-cardinality feedback.
+
+    Parameters
+    ----------
+    planner:
+        The :class:`~repro.plan.planner.CostBasedPlanner` whose cost
+        model prices replans (shared memo with initial planning).
+    processor:
+        The structural-join processor owning the document's interval
+        index and candidate machinery.
+    adaptive:
+        Re-plan on drift.  ``False`` still records observed
+        cardinalities (the ``EXPLAIN ANALYZE`` path without feedback).
+    max_replans:
+        Hard cap on mid-plan replans per execution.
+    """
+
+    def __init__(self, planner, processor, *, adaptive: bool = True, max_replans: int = 3):
+        self.planner = planner
+        self.processor = processor
+        self.adaptive = adaptive
+        self.max_replans = max_replans
+
+    # ------------------------------------------------------------------
+
+    def run(self, plan: Plan, query: Query, tracer=NULL_TRACER) -> List[int]:
+        """Execute ``plan`` and return the target's matching pre-orders.
+
+        ``plan.steps`` are annotated in place with observed/predicted
+        cardinalities; on drift the remaining steps are replaced (the
+        substitutes carry ``replanned=True``).
+        """
+        if any(axis.is_scoped_order for axis, _, _ in query.iter_edges()):
+            raise UnsupportedQueryError(
+                "rewrite scoped foll/pre axes before structural-join evaluation"
+            )
+        processor = self.processor
+        pattern = self.planner.cost_model.prepare(query, plan.use_path_ids)
+        with tracer.span("candidates") as cand_span:
+            candidates = processor.initial_candidates(
+                query, plan.use_path_ids, tracer
+            )
+            processor.last_candidate_count = sum(len(c) for c in candidates)
+            cand_span.incr("candidates", processor.last_candidate_count)
+        nodes_by_id: Dict[int, QueryNode] = {
+            node.node_id: node for node in query.nodes()
+        }
+        applied: Dict[int, Tuple[int, ...]] = {
+            node_id: () for node_id in nodes_by_id
+        }
+        position_of: Dict[Tuple[int, int], int] = {}
+        for node in query.nodes():
+            for position, edge in enumerate(node.edges):
+                position_of[(node.node_id, edge.node.node_id)] = position
+        plan.executed = True
+        plan.observed_work = 0
+        matches: List[int] = []
+        if any(not c for c in candidates):
+            plan.early_exit = -1  # dead before the first step
+            for step in plan.steps:
+                step.skipped = True
+            processor.last_semijoin_work = 0
+            return matches
+        span = tracer.span("plan_execute")
+        span.__enter__()
+        try:
+            matches = self._run_steps(
+                plan, query, pattern, candidates, nodes_by_id, applied, position_of
+            )
+        finally:
+            span.incr("items_swept", plan.observed_work)
+            span.incr("replans", plan.replans)
+            span.__exit__(None, None, None)
+        processor.last_semijoin_work = plan.observed_work
+        return matches
+
+    # ------------------------------------------------------------------
+
+    def _run_steps(
+        self,
+        plan: Plan,
+        query: Query,
+        pattern: PatternCost,
+        candidates: List[List[int]],
+        nodes_by_id: Dict[int, QueryNode],
+        applied: Dict[int, Tuple[int, ...]],
+        position_of: Dict[Tuple[int, int], int],
+    ) -> List[int]:
+        index = self.processor.index
+        i = 0
+        while i < len(plan.steps):
+            step = plan.steps[i]
+            if step.phase == "up":
+                node = nodes_by_id[step.node_id]
+                position = position_of[(step.node_id, step.partner_id)]
+                upper = candidates[step.node_id]
+                lower = candidates[step.partner_id]
+                step.observed_in = len(upper)
+                step.observed_partner = len(lower)
+                step.predicted_out = len(upper) * pattern.marginal(
+                    node, applied[step.node_id], position
+                )
+                plan.observed_work += len(upper) + len(lower)
+                upper = reduce_upper(index, QueryAxis(step.axis), upper, lower)
+                candidates[step.node_id] = upper
+                step.observed_out = len(upper)
+                applied[step.node_id] += (position,)
+                drift = step.drift() or 0.0
+                if drift > plan.max_drift:
+                    plan.max_drift = drift
+                if not upper:
+                    return self._early_exit(plan, i)
+                if (
+                    self.adaptive
+                    and drift > plan.drift_threshold
+                    and plan.replans < self.max_replans
+                ):
+                    self._replan_remaining(
+                        plan, query, pattern, candidates, applied, i
+                    )
+            elif step.phase == "root":
+                upper = candidates[step.node_id]
+                step.observed_in = len(upper)
+                plan.observed_work += len(upper)
+                root_pre = self.processor.document.root.pre
+                upper = [pre for pre in upper if pre == root_pre]
+                candidates[step.node_id] = upper
+                step.observed_out = len(upper)
+                step.predicted_out = step.est_out
+                if not upper:
+                    return self._early_exit(plan, i)
+            else:  # down
+                lower = candidates[step.node_id]
+                upper = candidates[step.partner_id]
+                step.observed_in = len(lower)
+                step.observed_partner = len(upper)
+                step.predicted_out = step.est_out
+                plan.observed_work += len(lower) + len(upper)
+                lower = reduce_lower(index, QueryAxis(step.axis), lower, upper)
+                candidates[step.node_id] = lower
+                step.observed_out = len(lower)
+                if not lower:
+                    return self._early_exit(plan, i)
+            i += 1
+        return candidates[query.target.node_id]
+
+    @staticmethod
+    def _early_exit(plan: Plan, at: int) -> List[int]:
+        plan.early_exit = plan.steps[at].index
+        for later in plan.steps[at + 1:]:
+            later.skipped = True
+        return []
+
+    # ------------------------------------------------------------------
+    # Mid-plan re-optimization
+    # ------------------------------------------------------------------
+
+    def _replan_remaining(
+        self,
+        plan: Plan,
+        query: Query,
+        pattern: PatternCost,
+        candidates: List[List[int]],
+        applied: Dict[int, Tuple[int, ...]],
+        at: int,
+    ) -> None:
+        """Re-order the up steps after ``at`` against observed sizes."""
+        remaining: Dict[int, List[int]] = {}
+        for node in query.nodes():
+            pending = [
+                p for p in range(len(node.edges)) if p not in applied[node.node_id]
+            ]
+            if pending:
+                remaining[node.node_id] = pending
+        # Nothing left to reorder → drift noted, order already forced.
+        if not any(len(pending) > 1 for pending in remaining.values()):
+            return
+
+        def predicted_size(node: QueryNode) -> float:
+            """Current length scaled by the node's unapplied filtering."""
+            current = float(len(candidates[node.node_id]))
+            done = pattern.factor(node, applied[node.node_id])
+            full = pattern.factor(node, range(len(node.edges)))
+            return current * (full / done if done > 0.0 else 1.0)
+
+        new_up: List[PlanStep] = []
+        for node in reversed(query.nodes()):
+            pending = remaining.get(node.node_id)
+            if not pending:
+                continue
+            in_size = float(len(candidates[node.node_id]))
+            order, _ = self.planner.order_positions(
+                pattern,
+                node,
+                applied=applied[node.node_id],
+                positions=pending,
+                in_size=in_size,
+                partner_size_of=lambda p, _node=node: predicted_size(
+                    _node.edges[p].node
+                ),
+            )
+            taken = applied[node.node_id]
+            base = pattern.factor(node, taken)
+            for p in order:
+                edge = node.edges[p]
+                est_in = in_size * (
+                    pattern.factor(node, taken) / base if base > 0.0 else 1.0
+                )
+                taken = taken + (p,)
+                est_out = in_size * (
+                    pattern.factor(node, taken) / base if base > 0.0 else 1.0
+                )
+                est_partner = predicted_size(edge.node)
+                new_up.append(
+                    PlanStep(
+                        index=0,  # renumbered below
+                        phase="up",
+                        axis=edge.axis.value,
+                        node_id=node.node_id,
+                        node_tag=node.tag,
+                        partner_id=edge.node.node_id,
+                        partner_tag=edge.node.tag,
+                        est_in=est_in,
+                        est_out=est_out,
+                        est_partner=est_partner,
+                        est_cost=step_cost(edge.axis, est_in, est_partner),
+                        replanned=True,
+                    )
+                )
+        tail = [
+            step for step in plan.steps[at + 1:] if step.phase != "up"
+        ]
+        plan.replans += 1
+        plan.replanned_at.append(plan.steps[at].index)
+        plan.steps = plan.steps[: at + 1] + new_up + tail
+        for offset, step in enumerate(plan.steps[at + 1:], start=at + 1):
+            step.index = offset

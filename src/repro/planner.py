@@ -1,11 +1,17 @@
 """Selectivity-driven query planning.
 
-The point of a cardinality estimator is to steer execution.  This module
-closes that loop for the structural-join processor: for every pattern
-node with several outgoing edges, the planner estimates each branch's
-*filter factor* — how much of the node's candidates survive that branch —
-and reorders the edges most-selective-first, so the semijoin cascade
-shrinks its intermediate lists as early as possible.
+The point of a cardinality estimator is to steer execution.  The full
+cost-based machinery lives in :mod:`repro.plan` — an explicit
+:class:`~repro.plan.ir.Plan` IR with per-step expected cardinalities,
+join-order enumeration, and adaptive re-optimizing execution behind
+:meth:`EstimationSystem.execute` / :meth:`EstimationSystem.explain`.
+
+This module keeps the original lightweight :class:`QueryPlanner`, which
+reorders a query's edges most-selective-first and returns a plain
+rewritten :class:`~repro.xpath.ast.Query` for the naive processor.  Its
+sub-pattern estimates are memoized by rendered sub-query text, so a
+bushy query estimates each distinct sub-pattern once (the historical
+behaviour re-derived the spine estimate for every edge).
 
 Planning changes only edge order, never semantics; the planned query
 matches exactly the same nodes (pinned by tests).
@@ -16,7 +22,11 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.system import EstimationSystem
+from repro.plan.cost import copy_subtree as _copy_subtree
+from repro.plan.planner import CostBasedPlanner
 from repro.xpath.ast import Edge, Query, QueryNode
+
+__all__ = ["QueryPlanner", "CostBasedPlanner"]
 
 
 class QueryPlanner:
@@ -24,6 +34,11 @@ class QueryPlanner:
 
     def __init__(self, system: EstimationSystem):
         self.system = system
+        #: Sub-pattern estimate memo, keyed by rendered sub-query text.
+        #: Shared across plan() calls on this instance — repeated spines
+        #: and repeated queries cost one estimate each.
+        self._estimates: Dict[str, float] = {}
+        self.estimate_calls = 0  # cache-miss counter (pinned by tests)
 
     # ------------------------------------------------------------------
 
@@ -68,7 +83,27 @@ class QueryPlanner:
     def _estimate_with_edges(
         self, query: Query, node: QueryNode, kept_edges: List[Edge]
     ) -> float:
-        """Estimate ``node``'s selectivity keeping only its spine + edges."""
+        """Estimate ``node``'s selectivity keeping only its spine + edges.
+
+        Memoized by the rendered sub-query: distinct (spine, branch)
+        shapes are estimated once per planner, however many edges or
+        plan() calls share them.
+        """
+        subquery = self._subquery(query, node, kept_edges)
+        key = subquery.to_string()
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        self.estimate_calls += 1
+        try:
+            value = float(self.system.estimate(subquery))
+        except Exception:
+            value = 1.0  # unplannable shapes fall back to neutral ordering
+        self._estimates[key] = value
+        return value
+
+    @staticmethod
+    def _subquery(query: Query, node: QueryNode, kept_edges: List[Edge]) -> Query:
         spine = query.spine_to(node)
         clones: Dict[int, QueryNode] = {}
 
@@ -79,9 +114,7 @@ class QueryPlanner:
             if index + 1 < len(spine):
                 link = query.parent_link(spine[index + 1])
                 assert link is not None
-                copy.edges.append(
-                    Edge(link[0], clone_chain(index + 1), False)
-                )
+                copy.edges.append(Edge(link[0], clone_chain(index + 1), False))
             else:
                 for edge in kept_edges:
                     copy.edges.append(
@@ -90,15 +123,4 @@ class QueryPlanner:
             return copy
 
         root = clone_chain(0)
-        subquery = Query(root, query.root_axis, target=clones[node.node_id])
-        try:
-            return self.system.estimate(subquery)
-        except Exception:
-            return 1.0  # unplannable shapes fall back to neutral ordering
-
-
-def _copy_subtree(node: QueryNode) -> QueryNode:
-    copy = QueryNode(node.tag)
-    for edge in node.edges:
-        copy.edges.append(Edge(edge.axis, _copy_subtree(edge.node), edge.is_predicate))
-    return copy
+        return Query(root, query.root_axis, target=clones[node.node_id])

@@ -33,14 +33,7 @@ from repro.core.transform import UnsupportedQueryError
 from repro.obs.trace import NULL_TRACER
 from repro.pathenc.labeler import LabeledDocument
 from repro.queryproc.intervalsidx import IntervalIndex
-from repro.queryproc.structural import (
-    ancestors_with_descendant,
-    children_with_parent,
-    descendants_with_ancestor,
-    parents_with_child,
-    siblings_ordered_after,
-    siblings_ordered_before,
-)
+from repro.queryproc.structural import reduce_lower, reduce_upper
 from repro.stats.pathid_freq import collect_pathid_frequencies
 from repro.xpath.ast import Query, QueryAxis
 from repro.xmltree.document import XmlDocument
@@ -99,7 +92,7 @@ class StructuralJoinProcessor:
                 "rewrite scoped foll/pre axes before structural-join evaluation"
             )
         with tracer.span("candidates") as cand_span:
-            candidates = self._initial_candidates(query, use_path_ids, tracer)
+            candidates = self.initial_candidates(query, use_path_ids, tracer)
             self.last_candidate_count = sum(len(c) for c in candidates)
             cand_span.incr("candidates", self.last_candidate_count)
         self.last_semijoin_work = 0
@@ -124,15 +117,7 @@ class StructuralJoinProcessor:
                 upper = candidates[node.node_id]
                 lower = candidates[edge.node.node_id]
                 self.last_semijoin_work += len(upper) + len(lower)
-                if edge.axis is QueryAxis.CHILD:
-                    upper = parents_with_child(self.index, upper, lower)
-                elif edge.axis is QueryAxis.DESCENDANT:
-                    upper = ancestors_with_descendant(self.index, upper, lower)
-                elif edge.axis is QueryAxis.FOLLS:
-                    # The source needs a *later* sibling among the dest.
-                    upper = siblings_ordered_before(self.index, upper, lower)
-                else:  # PRES: the source needs an earlier dest sibling
-                    upper = siblings_ordered_after(self.index, upper, lower)
+                upper = reduce_upper(self.index, edge.axis, upper, lower)
                 candidates[node.node_id] = upper
                 if not upper:
                     return []
@@ -150,15 +135,7 @@ class StructuralJoinProcessor:
                 upper = candidates[node.node_id]
                 lower = candidates[edge.node.node_id]
                 self.last_semijoin_work += len(upper) + len(lower)
-                if edge.axis is QueryAxis.CHILD:
-                    lower = children_with_parent(self.index, lower, upper)
-                elif edge.axis is QueryAxis.DESCENDANT:
-                    lower = descendants_with_ancestor(self.index, lower, upper)
-                elif edge.axis is QueryAxis.FOLLS:
-                    # The dest needs an *earlier* sibling among the source.
-                    lower = siblings_ordered_after(self.index, lower, upper)
-                else:  # PRES
-                    lower = siblings_ordered_before(self.index, lower, upper)
+                lower = reduce_lower(self.index, edge.axis, lower, upper)
                 candidates[edge.node.node_id] = lower
                 if not lower:
                     return []
@@ -166,9 +143,14 @@ class StructuralJoinProcessor:
 
     # ------------------------------------------------------------------
 
-    def _initial_candidates(
-        self, query: Query, use_path_ids: bool, tracer=NULL_TRACER
+    def initial_candidates(
+        self, query: Query, use_path_ids: bool = True, tracer=NULL_TRACER
     ) -> List[List[int]]:
+        """Per-node starting candidate lists (optionally pid-pruned).
+
+        Public because the plan executor starts from the same lists the
+        naive evaluation would; indexed by ``node_id``.
+        """
         candidates: List[List[int]] = []
         surviving: Optional[Dict[int, Dict[int, float]]] = None
         if use_path_ids:

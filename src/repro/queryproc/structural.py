@@ -13,6 +13,7 @@ from bisect import bisect_left, bisect_right
 from typing import List
 
 from repro.queryproc.intervalsidx import IntervalIndex
+from repro.xpath.ast import QueryAxis
 
 
 def descendants_with_ancestor(
@@ -126,6 +127,43 @@ def siblings_ordered_before(
         if bound is not None and bound > nodes.node_at(pre).sibling_index:
             kept.append(pre)
     return kept
+
+
+def reduce_upper(
+    index: IntervalIndex, axis: QueryAxis, upper: List[int], lower: List[int]
+) -> List[int]:
+    """Bottom-up semijoin dispatch: keep ``upper`` nodes supported below.
+
+    The single axis → primitive mapping shared by the naive processor
+    and the plan executor (one table, so they can never disagree).
+    """
+    if axis is QueryAxis.CHILD:
+        return parents_with_child(index, upper, lower)
+    if axis is QueryAxis.DESCENDANT:
+        return ancestors_with_descendant(index, upper, lower)
+    if axis is QueryAxis.FOLLS:
+        # The source needs a *later* sibling among the dest.
+        return siblings_ordered_before(index, upper, lower)
+    if axis is QueryAxis.PRES:
+        # The source needs an *earlier* dest sibling.
+        return siblings_ordered_after(index, upper, lower)
+    raise ValueError("axis %r has no structural semijoin" % (axis,))
+
+
+def reduce_lower(
+    index: IntervalIndex, axis: QueryAxis, lower: List[int], upper: List[int]
+) -> List[int]:
+    """Top-down semijoin dispatch: keep ``lower`` nodes supported above."""
+    if axis is QueryAxis.CHILD:
+        return children_with_parent(index, lower, upper)
+    if axis is QueryAxis.DESCENDANT:
+        return descendants_with_ancestor(index, lower, upper)
+    if axis is QueryAxis.FOLLS:
+        # The dest needs an *earlier* sibling among the source.
+        return siblings_ordered_after(index, lower, upper)
+    if axis is QueryAxis.PRES:
+        return siblings_ordered_before(index, lower, upper)
+    raise ValueError("axis %r has no structural semijoin" % (axis,))
 
 
 def count_candidates_in_range(

@@ -327,6 +327,31 @@ class EndpointClient:
         reply = self.estimate_detail(synopsis, query, trace=True)
         return EstimateResult.from_dict(reply["result"])
 
+    def explain(self, synopsis: str, query: str) -> Dict[str, Any]:
+        """The server-side cost-based plan for ``query`` (the plan IR as
+        a dict: ordered semijoin steps with expected cardinalities).  No
+        execution happens; works against statistics-only synopses."""
+        payload = {"synopsis": synopsis, "query": query, "explain": True}
+        return self._request("POST", "/estimate", payload)["plan"]
+
+    def execute(
+        self, synopsis: str, query: str, tier: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Plan and run ``query`` on the server.
+
+        Returns the full reply: ``matches`` (pre-orders, capped),
+        ``match_count``, the executed ``plan`` (observed cardinalities,
+        replans) and the structured ``result``.  Raises
+        :class:`ServiceError` kind ``execute_unsupported`` (409) when the
+        synopsis is statistics-only.
+        """
+        payload: Dict[str, Any] = {
+            "synopsis": synopsis, "query": query, "execute": True,
+        }
+        if tier is not None:
+            payload["tier"] = tier
+        return self._request("POST", "/estimate", payload)
+
     def estimate_batch(
         self, synopsis: str, queries: List[str], tier: Optional[str] = None
     ) -> List[float]:

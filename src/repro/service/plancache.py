@@ -62,11 +62,11 @@ class CompiledPlan:
         if value is None:
             if self.variants is not None:
                 value = sum(
-                    system.estimate_routed(query, route)
+                    system._estimate_routed(query, route)
                     for query, route in self.variants
                 )
             else:
-                value = system.estimate_routed(self.query, self.route)
+                value = system._estimate_routed(self.query, self.route)
             self.result = value
         return value
 
@@ -81,11 +81,11 @@ class CompiledPlan:
         """
         if self.variants is not None:
             value = sum(
-                system.estimate_routed(query, route, tracer=tracer)
+                system._estimate_routed(query, route, tracer=tracer)
                 for query, route in self.variants
             )
         else:
-            value = system.estimate_routed(self.query, self.route, tracer=tracer)
+            value = system._estimate_routed(self.query, self.route, tracer=tracer)
         self.result = value
         return value
 

@@ -7,7 +7,13 @@ Endpoints
     Body ``{"synopsis": name, "query": text}`` for a single estimate or
     ``{"synopsis": name, "queries": [text, ...]}`` for a batch.  Replies
     with the estimate(s), the route taken and whether the compiled plan
-    came from the cache.
+    came from the cache.  A single-query body may instead set
+    ``"explain": true`` — returns the cost-based plan IR (ordered
+    semijoin steps with expected cardinalities) without executing — or
+    ``"execute": true`` — runs the plan against the synopsis's source
+    document and returns ``matches``/``match_count`` plus the executed
+    plan with observed cardinalities and any mid-plan replans (``409``
+    kind ``execute_unsupported`` for statistics-only synopses).
 ``POST /delta``
     Body ``{"synopsis": name, "partial": <repro.persist.partial_to_dict>}``:
     merges an uploaded delta partial into a delta-capable synopsis in
@@ -72,6 +78,7 @@ request line) instead of pinning a handler thread.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import socket
 import threading
@@ -80,9 +87,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.options import EstimateOptions
 from repro.core.result import EstimateResult
 from repro.core.transform import UnsupportedQueryError
-from repro.errors import ReproError, error_kind
+from repro.errors import ExecutionUnsupportedError, ReproError, error_kind
 from repro.obs.slowlog import SlowQueryLog
 from repro.reliability import faults
 from repro.reliability.brownout import BrownoutController
@@ -101,6 +109,11 @@ from repro.service.registry import SynopsisRegistry, UnknownSynopsisError
 from repro.xpath.parser import XPathSyntaxError
 
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Largest match list returned on the wire by an ``"execute": true``
+#: request; ``match_count`` is always the full count and
+#: ``matches_truncated`` flags a capped list.
+MAX_WIRE_MATCHES = 1000
 
 
 class RequestError(ValueError):
@@ -317,6 +330,7 @@ class EstimationService:
         compat: Optional[bool] = None,
         tier: Optional[str] = None,
         slowlog: bool = True,
+        mode: str = "estimate",
     ) -> Dict[str, Any]:
         """One estimate as a JSON-ready dict (no request-metrics side
         effects; the slow-query log *is* fed here, per query).
@@ -347,6 +361,11 @@ class EstimationService:
         ``tier`` stamps the result object with the QoS lane that served
         it; ``slowlog=False`` skips the slow-query log (brownout level 1
         sheds observability before estimates).
+
+        ``mode`` selects the verb: ``"estimate"`` (default),
+        ``"explain"`` (return the cost-based plan, no execution) or
+        ``"execute"`` (run the plan against the synopsis's document and
+        return matches + the executed plan with observed cardinalities).
         """
         if entry is None:
             entry = self.registry.get(synopsis)
@@ -354,8 +373,15 @@ class EstimationService:
                 entry = entry.pinned()
         if compat is None:
             compat = self.compat_fields
+        if mode != "estimate":
+            return self._plan_verb(
+                synopsis, text, entry, mode,
+                compat=compat, tier=tier, slowlog=slowlog,
+            )
         if trace:
-            traced = entry.system.query(text, trace=True)
+            traced = entry.system.estimate(
+                text, options=EstimateOptions(trace=True)
+            )
             kernel_used = _trace_used_kernel(traced.trace)
             result = EstimateResult(
                 value=traced.value,
@@ -423,6 +449,67 @@ class EstimationService:
             )
         return body
 
+    def _plan_verb(
+        self,
+        synopsis: str,
+        text: str,
+        entry,
+        mode: str,
+        compat: bool,
+        tier: Optional[str] = None,
+        slowlog: bool = True,
+    ) -> Dict[str, Any]:
+        """Serve one explain/execute request against a pinned entry.
+
+        ``explain`` plans only (works on statistics-only synopses);
+        ``execute`` needs the entry's system to hold its source document
+        and raises :class:`~repro.errors.ExecutionUnsupportedError`
+        (mapped to 409) otherwise.  Executed requests feed the slow-query
+        log with the *exact* match count as ground truth — the one place
+        the service learns its own estimation error for free.
+        """
+        if mode == "explain":
+            plan = entry.system.explain(text)
+            self.metrics.incr("explains_total")
+            return {"plan": plan.as_dict()}
+        execution = entry.system.execute(text)
+        result = execution.estimate
+        if tier is not None:
+            result = dataclasses.replace(result, tier=tier)
+        plan = execution.plan
+        self.metrics.incr("executions_total")
+        if plan.replans:
+            self.metrics.incr("plan_replans_total", plan.replans)
+        if slowlog:
+            self.slow_log.observe(
+                query=text,
+                elapsed_ms=execution.elapsed_ms,
+                synopsis=synopsis,
+                route=result.route,
+                estimate=result.value,
+                actual=float(execution.match_count),
+                trace_id=result.trace_id,
+                trace=result.trace,
+            )
+        matches = list(execution.matches)
+        truncated = len(matches) > MAX_WIRE_MATCHES
+        body: Dict[str, Any] = {
+            "result": result.as_dict(),
+            "plan": plan.as_dict(),
+            "match_count": len(matches),
+            "matches": matches[:MAX_WIRE_MATCHES],
+            "matches_truncated": truncated,
+        }
+        if compat:
+            body.update(
+                query=text,
+                estimate=result.value,
+                route=result.route,
+                cached=False,
+                kernel=entry.system.kernel_active(),
+            )
+        return body
+
     def handle_estimate(
         self, payload: Any, tier: Optional[str] = None
     ) -> Dict[str, Any]:
@@ -457,6 +544,7 @@ class EstimationService:
                 trace,
                 actuals,
                 compat,
+                mode,
             ) = self._parse_estimate_payload(payload)
             trace = (trace or self._sample_trace()) and observability
             if trace:
@@ -498,6 +586,7 @@ class EstimationService:
                         compat=compat,
                         tier=tier,
                         slowlog=observability,
+                        mode=mode,
                     )
                 )
         except DeadlineExceededError:
@@ -518,6 +607,11 @@ class EstimationService:
         except UnsupportedQueryError as error:
             self._observe_failure(synopsis, started, len(queries))
             raise RequestError(400, "unsupported query: %s" % error, "unsupported_query")
+        except ExecutionUnsupportedError as error:
+            # 409: the synopsis exists but is statistics-only (no source
+            # document to run the plan against) — re-sending won't help.
+            self._observe_failure(synopsis, started, len(queries))
+            raise RequestError(409, str(error), error_kind(error))
         except ReproError as error:
             # Build/persist failures surfaced through the registry keep
             # their hierarchy slug (error.kind = "build", "persist", ...).
@@ -546,12 +640,16 @@ class EstimationService:
     @staticmethod
     def _parse_estimate_payload(
         payload: Any,
-    ) -> Tuple[str, List[str], bool, bool, List[Optional[float]], Optional[bool]]:
-        """Returns ``(synopsis, queries, batched, trace, actuals,
-        compat)`` where ``actuals`` is aligned with ``queries`` (``None``
-        when the client supplied no ground truth for that query) and
+    ) -> Tuple[
+        str, List[str], bool, bool, List[Optional[float]], Optional[bool], str
+    ]:
+        """Returns ``(synopsis, queries, batched, trace, actuals, compat,
+        mode)`` where ``actuals`` is aligned with ``queries`` (``None``
+        when the client supplied no ground truth for that query),
         ``compat`` is the per-request legacy-field override (``None`` =
-        use the server default)."""
+        use the server default) and ``mode`` is the verb —
+        ``"estimate"``, ``"explain"`` or ``"execute"`` (single-query
+        requests only)."""
         if not isinstance(payload, dict):
             raise RequestError(400, "request body must be a JSON object")
         synopsis = payload.get("synopsis")
@@ -563,7 +661,18 @@ class EstimationService:
         compat = payload.get("compat")
         if compat is not None and not isinstance(compat, bool):
             raise RequestError(400, "'compat' must be a boolean")
+        explain = payload.get("explain", False)
+        execute = payload.get("execute", False)
+        if not isinstance(explain, bool) or not isinstance(execute, bool):
+            raise RequestError(400, "'explain'/'execute' must be booleans")
+        if explain and execute:
+            raise RequestError(400, "'explain' and 'execute' are mutually exclusive")
+        mode = "execute" if execute else ("explain" if explain else "estimate")
         if "queries" in payload:
+            if mode != "estimate":
+                raise RequestError(
+                    400, "'%s' applies to single-query requests only" % mode
+                )
             queries = payload["queries"]
             if not isinstance(queries, list) or not all(
                 isinstance(text, str) for text in queries
@@ -585,14 +694,14 @@ class EstimationService:
                 raise RequestError(
                     400, "'actuals' must be a list of numbers aligned with 'queries'"
                 )
-            return synopsis, queries, True, trace, list(actuals), compat
+            return synopsis, queries, True, trace, list(actuals), compat, mode
         text = payload.get("query")
         if not isinstance(text, str) or not text:
             raise RequestError(400, "missing 'query' field")
         actual = payload.get("actual")
         if actual is not None and not isinstance(actual, (int, float)):
             raise RequestError(400, "'actual' must be a number")
-        return synopsis, [text], False, trace, [actual], compat
+        return synopsis, [text], False, trace, [actual], compat, mode
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -738,6 +847,7 @@ class EstimationService:
             reliability["brownout"] = self.brownout.snapshot()
         document["reliability"] = reliability
         document["kernel"] = self.kernel_document()
+        document["planner"] = self.planner_document()
         if self.workers_view is not None:
             try:
                 document["workers"] = self.workers_view()
@@ -797,13 +907,58 @@ class EstimationService:
         totals["build_ms"] = round(totals["build_ms"], 3)
         return totals
 
+    def planner_document(self) -> Dict[str, Any]:
+        """Aggregate cost-based planner counters across the registry.
+
+        Sums each system's :class:`~repro.plan.ir.PlannerStats` snapshot
+        (``max_drift`` takes the maximum); same defensive posture as
+        :meth:`kernel_document` — a synopsis that fails to load
+        contributes nothing.
+        """
+        totals: Dict[str, Any] = {
+            "plans": 0,
+            "executions": 0,
+            "naive_plans": 0,
+            "reordered_plans": 0,
+            "replans": 0,
+            "replanned_executions": 0,
+            "max_drift": 0.0,
+            "explains": self.metrics.counter("explains_total"),
+            "served_executions": self.metrics.counter("executions_total"),
+        }
+        names = getattr(self.registry, "names", lambda: [])()
+        for name in names:
+            try:
+                stats = getattr(
+                    self.registry.get(name).system, "planner_stats", None
+                )
+                if stats is None:
+                    continue
+                snap = stats.snapshot()
+                for key in (
+                    "plans", "executions", "naive_plans", "reordered_plans",
+                    "replans", "replanned_executions",
+                ):
+                    totals[key] += snap[key]
+                if snap["max_drift"] > totals["max_drift"]:
+                    totals["max_drift"] = snap["max_drift"]
+            except Exception:  # pragma: no cover - defensive
+                continue
+        return totals
+
     def metrics_prom(self) -> str:
         """Prometheus text exposition of the same registry, enriched with
         point-in-time gauges (plan cache, admission gate, registry)."""
         cache = self.plan_cache.stats()
         gate = self.gate.stats()
         kernel = self.kernel_document()
+        planner = self.planner_document()
         extra = {
+            "planner_plans_total": planner["plans"],
+            "planner_executions_total": planner["executions"],
+            "planner_replans_total": planner["replans"],
+            "planner_reordered_plans_total": planner["reordered_plans"],
+            "planner_max_drift": planner["max_drift"],
             "plan_cache_hits": cache.hits,
             "plan_cache_misses": cache.misses,
             "plan_cache_size": cache.size,

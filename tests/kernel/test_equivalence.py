@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.options import EstimateOptions
 from repro.core.pathjoin import path_join
 
 
@@ -63,7 +64,7 @@ class TestEstimateEquivalence:
     def test_traced_executions_match_untraced(self, kernel_envs):
         name, system, workload = kernel_envs[0]
         for item in _all_items(workload)[:40]:
-            traced = system.query(item.text, trace=True)
+            traced = system.estimate(item.text, options=EstimateOptions(trace=True))
             assert traced.value == system.estimate(item.query)
             assert "bitset_join" in set(_spans(traced.trace))
 
@@ -71,14 +72,14 @@ class TestEstimateEquivalence:
         for name, system, workload in kernel_envs:
             items = _all_items(workload)[:60]
             texts = [item.text for item in items]
-            batch = system.estimate_batch(texts)
+            batch = system.estimate(texts)
             singles = [system.estimate(item.query) for item in items]
             assert batch == singles, name
 
     def test_batch_with_duplicates_and_asts(self, kernel_envs):
         name, system, workload = kernel_envs[0]
         item = workload.simple[0]
-        batch = system.estimate_batch([item.text, item.query, item.text])
+        batch = system.estimate([item.text, item.query, item.text])
         assert batch == [system.estimate(item.query)] * 3
 
 

@@ -82,7 +82,7 @@ class TestBatchMemo:
         svc, system = service
         texts = [QUERY, "//A", QUERY]
         body = svc.handle_estimate({"synopsis": "fig1", "queries": texts})
-        assert [r["estimate"] for r in body["results"]] == system.estimate_batch(texts)
+        assert [r["estimate"] for r in body["results"]] == system.estimate(texts)
 
 
 class TestKernelMetrics:

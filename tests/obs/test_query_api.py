@@ -1,4 +1,5 @@
-"""The redesigned public API: query()/EstimateResult, keyword-only
+"""The redesigned public API: the unified estimate() verb with options
+objects, EstimateResult, deprecation shims for the old verbs, keyword-only
 configuration shims and the stable error-kind wire mapping."""
 
 from __future__ import annotations
@@ -8,8 +9,12 @@ import warnings
 import pytest
 
 import repro
+from repro.core.options import EstimateOptions
 from repro.core.result import RESULT_FORMAT_VERSION, EstimateResult
 from repro.core.system import EstimationSystem
+
+DETAIL = EstimateOptions(detail=True)
+TRACED = EstimateOptions(trace=True)
 from repro.errors import TRANSPORT_WIRE_KINDS, WIRE_KINDS, ReproError
 
 
@@ -27,9 +32,9 @@ def span_names(span, into=None):
 
 
 class TestQueryApi:
-    def test_query_matches_estimate(self, system):
+    def test_detail_matches_estimate(self, system):
         for text in ("//A/$B", "//A[/B/folls::$C]"):
-            result = system.query(text)
+            result = system.estimate(text, options=DETAIL)
             assert isinstance(result, EstimateResult)
             assert result.value == system.estimate(text)
             assert float(result) == result.value  # float shim
@@ -38,7 +43,7 @@ class TestQueryApi:
             assert result.trace is None  # tracing is opt-in
 
     def test_traced_query_names_the_pipeline(self, system):
-        result = system.query("//A/$B", trace=True)
+        result = system.estimate("//A/$B", options=TRACED)
         assert result.trace is not None
         names = span_names(result.trace["root"])
         for expected in ("parse", "plan", "join", "pathid-match", "p-hist lookup"):
@@ -46,7 +51,7 @@ class TestQueryApi:
         assert result.trace_id == result.trace["trace_id"]
 
     def test_traced_order_query_reads_o_histograms(self, system):
-        result = system.query("//A[/B/folls::$C]", trace=True)
+        result = system.estimate("//A[/B/folls::$C]", options=TRACED)
         names = span_names(result.trace["root"])
         assert "o-hist lookup" in names, names
         # Counters survive serialization.
@@ -64,10 +69,10 @@ class TestQueryApi:
 
     def test_traced_and_untraced_agree(self, system):
         text = "//A[/B/folls::$C]"
-        assert system.query(text, trace=True).value == system.query(text).value
+        assert system.estimate(text, options=TRACED).value == system.estimate(text)
 
     def test_result_wire_roundtrip(self, system):
-        result = system.query("//A/$B", trace=True)
+        result = system.estimate("//A/$B", options=TRACED)
         payload = result.as_dict()
         assert payload["version"] == RESULT_FORMAT_VERSION
         rebuilt = EstimateResult.from_dict(payload)
@@ -76,6 +81,69 @@ class TestQueryApi:
 
     def test_estimate_result_is_exported(self):
         assert repro.EstimateResult is EstimateResult
+
+
+class TestUnifiedVerb:
+    """estimate() is polymorphic: scalar, batch, detail, trace."""
+
+    def test_scalar_is_float(self, system):
+        value = system.estimate("//A/$B")
+        assert isinstance(value, float)
+
+    def test_batch_is_list_in_order(self, system):
+        texts = ["//A/$B", "//A/$C", "//A/$B"]
+        values = system.estimate(texts)
+        assert values == [system.estimate(t) for t in texts]
+
+    def test_detail_returns_result(self, system):
+        result = system.estimate("//A/$B", options=DETAIL)
+        assert isinstance(result, EstimateResult)
+        assert result.trace is None
+
+    def test_option_objects_are_exported(self):
+        assert repro.EstimateOptions is EstimateOptions
+        from repro.core.options import ExecuteOptions, ExplainOptions
+
+        assert repro.ExecuteOptions is ExecuteOptions
+        assert repro.ExplainOptions is ExplainOptions
+
+
+class TestDeprecatedVerbs:
+    """The collapsed verbs keep working through warning shims."""
+
+    def test_query_warns_and_matches(self, system):
+        with pytest.warns(DeprecationWarning, match="EstimationSystem.query"):
+            result = system.query("//A/$B")
+        assert result.value == system.estimate("//A/$B")
+
+    def test_query_trace_still_traces(self, system):
+        with pytest.warns(DeprecationWarning):
+            result = system.query("//A/$B", trace=True)
+        assert result.trace is not None
+
+    def test_estimate_batch_warns_and_matches(self, system):
+        texts = ["//A/$B", "//A/$C"]
+        with pytest.warns(DeprecationWarning, match="estimate_batch"):
+            values = system.estimate_batch(texts)
+        assert values == system.estimate(texts)
+
+    def test_estimate_routed_warns_and_matches(self, system):
+        from repro.xpath.parser import parse_query
+
+        parsed = parse_query("//A/$B")
+        route = system.select_route(parsed)
+        with pytest.warns(DeprecationWarning, match="estimate_routed"):
+            value = system.estimate_routed(parsed, route)
+        assert value == system.estimate("//A/$B")
+
+    def test_new_surface_stays_silent(self, system):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            system.estimate("//A/$B")
+            system.estimate(["//A/$B"])
+            system.estimate("//A/$B", options=TRACED)
+            system.explain("//A/$B")
+            system.execute("//A/$B")
 
 
 class TestKeywordOnlyShims:
@@ -165,6 +233,6 @@ class TestWireKinds:
         from repro.core.explain import explain
 
         report = explain(system, "//A/$B")
-        assert report.estimate == system.query("//A/$B").value
-        # The docstring points migrating users at the traced query API.
-        assert "query(text, trace=True)" in explain.__doc__
+        assert report.estimate == system.estimate("//A/$B")
+        # The docstring points migrating users at the traced estimate API.
+        assert "EstimateOptions(trace=True)" in explain.__doc__

@@ -1,0 +1,122 @@
+"""Adaptive re-optimization: when the document disagrees with the
+statistics the plan was built from, mid-plan drift triggers a replan of
+the remaining steps — and the result set stays exact regardless.
+
+These tests run with ``use_path_ids=False``: path-id pruning filters the
+initial candidate lists against the execution document's *own* exact
+path statistics, which already applies every synopsis-visible
+constraint, so the semijoin steps have nothing left to remove and the
+stale synopsis is never contradicted.  Turning pruning off makes the
+semijoins do the filtering, which is where drift shows up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import ExecuteOptions
+from repro.core.system import EstimationSystem
+from repro.queryproc import StructuralJoinProcessor
+from repro.xmltree.parser import parse_xml
+from repro.xpath.parser import parse_query
+
+QUERY = "/Root/Rec[D][A][B]"
+UNPRUNED = ExecuteOptions(use_path_ids=False)
+
+
+def doc(d_every: int, recs: int = 60):
+    """Recs all carry A and B; one in ``d_every`` carries D."""
+    parts = ["<Root>"]
+    for i in range(recs):
+        parts.append("<Rec>")
+        if i % d_every == 0:
+            parts.append("<D/>")
+        parts.append("<A/><B/></Rec>")
+    parts.append("</Root>")
+    return parse_xml("".join(parts))
+
+
+@pytest.fixture(scope="module")
+def optimistic_system():
+    """Statistics from a document where every Rec has a D."""
+    return EstimationSystem.build(doc(d_every=1), p_variance=0, o_variance=0)
+
+
+@pytest.fixture(scope="module")
+def sparse_document():
+    """The tree actually executed against: D is rare (1 in 20)."""
+    return doc(d_every=20)
+
+
+class TestDriftReplan:
+    def test_drift_fires_and_matches_stay_exact(
+        self, optimistic_system, sparse_document
+    ):
+        result = optimistic_system.execute(
+            QUERY, document=sparse_document, options=UNPRUNED
+        )
+        plan = result.plan
+        # The D semijoin removes ~95% of Recs while the statistics
+        # predicted no reduction: drift crosses the threshold and the
+        # remaining up steps are replanned against observed sizes.
+        assert plan.max_drift > plan.drift_threshold
+        assert plan.replans >= 1
+        assert plan.replanned_at
+        assert any(step.replanned for step in plan.steps)
+        expected = set(
+            StructuralJoinProcessor(sparse_document).matching_pres(
+                parse_query(QUERY)
+            )
+        )
+        assert set(result.matches) == expected
+
+    def test_replan_capped_by_max_replans(
+        self, optimistic_system, sparse_document
+    ):
+        result = optimistic_system.execute(
+            QUERY,
+            document=sparse_document,
+            options=ExecuteOptions(use_path_ids=False, max_replans=0),
+        )
+        assert result.plan.replans == 0
+        assert result.plan.max_drift > result.plan.drift_threshold
+
+    def test_adaptive_off_records_drift_without_replanning(
+        self, optimistic_system, sparse_document
+    ):
+        result = optimistic_system.execute(
+            QUERY,
+            document=sparse_document,
+            options=ExecuteOptions(use_path_ids=False, adaptive=False),
+        )
+        assert result.plan.replans == 0
+        assert result.plan.max_drift > 1.0
+
+    def test_loose_threshold_tolerates_the_drift(
+        self, optimistic_system, sparse_document
+    ):
+        result = optimistic_system.execute(
+            QUERY,
+            document=sparse_document,
+            options=ExecuteOptions(use_path_ids=False, drift_threshold=1000.0),
+        )
+        assert result.plan.replans == 0
+
+    def test_matching_document_never_replans(self, optimistic_system):
+        matching = doc(d_every=1)
+        result = optimistic_system.execute(
+            QUERY, document=matching, options=UNPRUNED
+        )
+        assert result.plan.replans == 0
+        assert result.plan.max_drift == pytest.approx(1.0)
+
+    def test_stats_count_replanned_executions(
+        self, optimistic_system, sparse_document
+    ):
+        before = optimistic_system.planner_stats.snapshot()
+        optimistic_system.execute(
+            QUERY, document=sparse_document, options=UNPRUNED
+        )
+        after = optimistic_system.planner_stats.snapshot()
+        assert after["replanned_executions"] == before["replanned_executions"] + 1
+        assert after["max_drift"] >= before["max_drift"]

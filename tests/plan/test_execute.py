@@ -1,0 +1,117 @@
+"""Planned execution is exact: estimate-ordered, naive-ordered and the
+reference processor all return identical match sets on every dataset's
+workload, pruned or not — join order changes cost only, never results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import ExecuteOptions, ExplainOptions
+from repro.core.system import EstimationSystem
+from repro.errors import ExecutionUnsupportedError
+from repro.queryproc import StructuralJoinProcessor
+from repro.workload import WorkloadGenerator
+
+DATASET_FIXTURES = ("ssplays_small", "dblp_small", "xmark_small")
+
+
+def workload_texts(document, raw: int = 30, keep: int = 10):
+    generator = WorkloadGenerator(document, seed=17)
+    items = generator.simple_queries(raw) + generator.branch_queries(raw)
+    # Prefer branchy queries: they exercise join ordering; pad with the
+    # simple ones so every dataset still contributes `keep` queries.
+    items.sort(key=lambda item: item.kind != "branch")
+    return [(item.text, item.actual) for item in items[:keep]]
+
+
+@pytest.mark.parametrize("dataset", DATASET_FIXTURES)
+class TestPlannedExecutionIsExact:
+    @pytest.fixture()
+    def document(self, dataset, request):
+        return request.getfixturevalue(dataset)
+
+    @pytest.fixture()
+    def system(self, document):
+        return EstimationSystem.build(document, p_variance=0, o_variance=0)
+
+    def test_matches_reference_processor(self, system, document):
+        from repro.xpath.parser import parse_query
+
+        processor = StructuralJoinProcessor(document)
+        for text, actual in workload_texts(document):
+            expected = set(processor.matching_pres(parse_query(text)))
+            planned = system.execute(text)
+            naive = system.execute(text, options=ExecuteOptions(naive_order=True))
+            unpruned = system.execute(
+                text, options=ExecuteOptions(use_path_ids=False)
+            )
+            assert set(planned.matches) == expected
+            assert set(naive.matches) == expected
+            assert set(unpruned.matches) == expected
+            assert planned.match_count == actual
+            assert planned.plan.executed
+
+    def test_estimate_agrees_with_plan_cardinality(self, system, document):
+        # Exact statistics: the plan's expected target cardinality is the
+        # system's estimate for the same query.
+        for text, _ in workload_texts(document, keep=5):
+            plan = system.explain(text)
+            assert plan.est_cardinality == pytest.approx(system.estimate(text))
+
+
+class TestExecuteEdges:
+    @pytest.fixture(scope="class")
+    def system(self, figure1):
+        return EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+
+    def test_empty_result_short_circuits(self, system):
+        result = system.execute("//A/B/$F")  # no F under B in Figure 1
+        assert result.matches == []
+        assert result.plan.early_exit is not None
+        assert any(step.skipped for step in result.plan.steps)
+
+    def test_adaptive_off_never_replans(self, system):
+        result = system.execute(
+            "//A[/B][/C]", options=ExecuteOptions(adaptive=False)
+        )
+        assert result.plan.replans == 0
+
+    def test_document_override_runs_other_tree(self, system, figure1):
+        result = system.execute("//A/$B", document=figure1)
+        processor = StructuralJoinProcessor(figure1)
+        from repro.xpath.parser import parse_query
+
+        assert set(result.matches) == set(
+            processor.matching_pres(parse_query("//A/$B"))
+        )
+
+    def test_statistics_only_system_raises(self, figure1):
+        from repro.persist import system_from_dict, system_to_dict
+
+        stats_only = system_from_dict(
+            system_to_dict(
+                EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+            )
+        )
+        with pytest.raises(ExecutionUnsupportedError):
+            stats_only.execute("//A/$B")
+        # Planning needs only the synopsis, so explain still works.
+        assert stats_only.explain("//A/$B").steps
+
+    def test_explain_analyze_executes(self, system):
+        plan = system.explain(
+            "//A[/B][/C]", options=ExplainOptions(analyze=True)
+        )
+        assert plan.executed
+        assert all(
+            step.observed_in is not None
+            for step in plan.steps
+            if not step.skipped
+        )
+
+    def test_explain_records_planner_stats(self, figure1):
+        system = EstimationSystem.build(figure1, p_variance=0, o_variance=0)
+        before = system.planner_stats.snapshot()["plans"]
+        system.explain("//A/$B")
+        assert system.planner_stats.snapshot()["plans"] == before + 1

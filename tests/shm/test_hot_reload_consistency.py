@@ -47,8 +47,8 @@ def version_b():
 
 @pytest.fixture(scope="module")
 def expected_vectors(version_a, version_b):
-    vector_a = tuple(version_a.query(text).value for text in QUERIES)
-    vector_b = tuple(version_b.query(text).value for text in QUERIES)
+    vector_a = tuple(version_a.estimate(text) for text in QUERIES)
+    vector_b = tuple(version_b.estimate(text) for text in QUERIES)
     assert vector_a != vector_b, "versions must be distinguishable"
     return {vector_a, vector_b}
 
@@ -125,7 +125,7 @@ class TestSingleProcess:
             {"synopsis": "SSPlays", "queries": QUERIES}, tier=BULK_TIER
         )
         assert swapped, "the checkpoint hook must have fired mid-batch"
-        vector_a = tuple(version_a.query(text).value for text in QUERIES)
+        vector_a = tuple(version_a.estimate(text) for text in QUERIES)
         assert _reply_vector(reply) == vector_a
         assert reply["generation"] == 1
         # The next request sees the new version whole.

@@ -76,8 +76,8 @@ class TestRoundTrip:
                 assert loaded.kernel.packed
                 for text in QUERIES[name]:
                     assert (
-                        loaded.system.query(text).value
-                        == system.query(text).value
+                        loaded.system.estimate(text)
+                        == system.estimate(text)
                     ), (name, text)
             finally:
                 loaded.pack.close()
@@ -159,8 +159,8 @@ class TestRegistryIntegration:
         entry = registry.get("SSPlays")
         assert not entry.packed
         assert registry.pack_failures >= 1
-        assert entry.system.query("//PLAY/ACT").value == (
-            ssplays_system.query("//PLAY/ACT").value
+        assert entry.system.estimate("//PLAY/ACT") == (
+            ssplays_system.estimate("//PLAY/ACT")
         )
 
     def test_stale_pack_is_ignored(self, snapshot_dir, ssplays_system):
@@ -178,8 +178,8 @@ class TestRegistryIntegration:
         assert registry.scan() == ["SSPlays"]
         entry = registry.get("SSPlays")
         assert entry.packed
-        assert entry.system.query("//PLAY").value == (
-            ssplays_system.query("//PLAY").value
+        assert entry.system.estimate("//PLAY") == (
+            ssplays_system.estimate("//PLAY")
         )
         with pytest.raises(UnknownSynopsisError):
             registry.get("nope")
@@ -204,6 +204,6 @@ class TestRegistryIntegration:
         finally:
             loaded.pack.close()
         system = persist.loads(text)
-        assert system.query("//PLAY/ACT").value == (
-            ssplays_system.query("//PLAY/ACT").value
+        assert system.estimate("//PLAY/ACT") == (
+            ssplays_system.estimate("//PLAY/ACT")
         )

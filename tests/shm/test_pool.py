@@ -59,14 +59,14 @@ def client(pool):
 
 class TestServing:
     def test_estimates_through_balanced_port(self, pool, client, ssplays_system):
-        expected = ssplays_system.query("//PLAY/ACT").value
+        expected = ssplays_system.estimate("//PLAY/ACT")
         assert client.estimate("SSPlays", "//PLAY/ACT") == expected
 
     def test_batch(self, client, ssplays_system):
         values = client.estimate_batch("SSPlays", ["//PLAY", "//ACT"])
         assert values == [
-            ssplays_system.query("//PLAY").value,
-            ssplays_system.query("//ACT").value,
+            ssplays_system.estimate("//PLAY"),
+            ssplays_system.estimate("//ACT"),
         ]
 
     def test_workers_serve_from_packs_not_recompiles(self, pool, client):
@@ -145,7 +145,7 @@ class TestReload:
         pool.reload(force=True)
         assert _wait(pool.reload_converged)
         assert client.estimate("SSPlays", "//PLAY") == (
-            ssplays_system.query("//PLAY").value
+            ssplays_system.estimate("//PLAY")
         )
 
 
