@@ -1,0 +1,259 @@
+"""Semantic result cache: zipf-hot QPS, bit-identity, O(1) invalidation.
+
+Three claims are measured:
+
+1. **Throughput** — on a zipf-distributed (hot-head) schedule the
+   read-through semantic cache multiplies single-endpoint QPS: a hit
+   costs one canonical-key render and one dict probe instead of a path
+   join.  Gated at ``REPRO_SEMCACHE_MIN_SPEEDUP`` (default 3x) per
+   dataset, at a hit rate of at least ``REPRO_SEMCACHE_MIN_HIT_RATE``
+   (default 0.5; the zipf head runs much higher).
+2. **Bit-identity** — cached estimates equal uncached floats *exactly*
+   on all three datasets, across the direct path, batches with
+   duplicates, and the cluster scatter path (which dedupes repeated
+   queries before fan-out).
+3. **O(1) invalidation** — ``bump_generation`` costs the same whether
+   16 or 65536 entries are resident: invalidation never scans.
+
+The CI ``semcache-smoke`` job runs this at reduced scale with a relaxed
+speedup bar (hot-loop margins shrink on small documents and noisy
+runners); the bit-identity and hit-rate gates are never relaxed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.harness.tables import format_table, record_result
+from repro.semcache import SemanticResultCache
+from repro.service import EstimationService, SynopsisRegistry
+
+#: Per-dataset QPS multiple the cached arm must clear on the zipf
+#: schedule.  The CI smoke job overrides this to 2x (reduced scale).
+MIN_SPEEDUP = float(os.environ.get("REPRO_SEMCACHE_MIN_SPEEDUP", "3.0"))
+#: Hit-rate floor on the zipf schedule — never relaxed.
+MIN_HIT_RATE = float(os.environ.get("REPRO_SEMCACHE_MIN_HIT_RATE", "0.5"))
+ZIPF_S = 1.1
+SWEEP_REPEATS = 3
+DATASETS = ("SSPlays", "DBLP", "XMark")
+
+
+def _workload_texts(ctx, name):
+    workload = ctx.workload(name)
+    return [
+        item.text
+        for item in (
+            workload.simple + workload.branch
+            + workload.order_branch + workload.order_trunk
+        )
+    ]
+
+
+def _zipf_schedule(texts, seed=29):
+    """A hot-head request schedule: rank r drawn ∝ 1/(r+1)^s."""
+    count = max(500, 6 * len(texts))
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(texts))]
+    return random.Random(seed).choices(texts, weights=weights, k=count)
+
+
+def _best_sweep_s(system, schedule):
+    """Best-of-N wall time for one pass over the schedule."""
+    best = float("inf")
+    for _ in range(SWEEP_REPEATS):
+        start = time.perf_counter()
+        for text in schedule:
+            system.estimate(text)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+class LoopbackClient:
+    """EndpointClient stand-in that calls a service in-process, so the
+    scatter measurement exercises the real router dedupe/fan-out logic
+    without HTTP noise."""
+
+    def __init__(self, service):
+        self._service = service
+
+    def _request(self, method, path, payload=None):
+        return self._service.handle_estimate(payload)
+
+    def close(self):
+        pass
+
+
+def test_semcache_zipf_qps(ctx):
+    rows = []
+    metrics = {}
+    speedups = {}
+    hit_rates = {}
+    for name in DATASETS:
+        system = ctx.factory(name).system(0, 0)
+        texts = _workload_texts(ctx, name)
+        schedule = _zipf_schedule(texts)
+
+        # Control arm: the semantic cache is the only result cache on
+        # this path, so disabling it yields honest uncached QPS.
+        system.semcache.configure(0, None)
+        _best_sweep_s(system, schedule)  # warm parse + kernel caches
+        uncached_s = _best_sweep_s(system, schedule)
+
+        system.semcache.configure(max(4096, 2 * len(texts)), None)
+        before = system.semcache.stats()
+        cold_s = _best_sweep_s(system, schedule)  # first round is the cold fill
+        cached_s = min(cold_s, _best_sweep_s(system, schedule))
+        after = system.semcache.stats()
+
+        lookups = (after.hits + after.misses) - (before.hits + before.misses)
+        hit_rate = (after.hits - before.hits) / max(lookups, 1)
+        uncached_qps = len(schedule) / uncached_s
+        cached_qps = len(schedule) / cached_s
+        speedups[name] = cached_qps / uncached_qps
+        hit_rates[name] = hit_rate
+        rows.append(
+            [name, len(texts), len(schedule),
+             "%.0f" % uncached_qps, "%.0f" % cached_qps,
+             "%.1fx" % speedups[name], "%.2f" % hit_rate]
+        )
+        metrics[name] = {
+            "distinct_queries": len(texts),
+            "requests": len(schedule),
+            "uncached_qps": round(uncached_qps, 1),
+            "cached_qps": round(cached_qps, 1),
+            "speedup": round(speedups[name], 2),
+            "hit_rate": round(hit_rate, 4),
+        }
+        system.semcache.configure(4096, None)
+
+    record_result(
+        "semcache_qps",
+        format_table(
+            ["Dataset", "#distinct", "#requests",
+             "uncached QPS", "cached QPS", "speedup", "hit rate"],
+            rows,
+            title="Semantic cache: zipf(s=%.1f) single-endpoint throughput"
+            % ZIPF_S,
+        ),
+        metrics={
+            "zipf_s": ZIPF_S,
+            "min_speedup_gate": MIN_SPEEDUP,
+            "min_hit_rate_gate": MIN_HIT_RATE,
+            "datasets": metrics,
+        },
+    )
+    for name in DATASETS:
+        assert hit_rates[name] >= MIN_HIT_RATE, (
+            "%s zipf hit rate %.2f below the %.2f floor"
+            % (name, hit_rates[name], MIN_HIT_RATE)
+        )
+        assert speedups[name] >= MIN_SPEEDUP, (
+            "%s cached QPS only %.2fx uncached (need %.1fx)"
+            % (name, speedups[name], MIN_SPEEDUP)
+        )
+
+
+def test_semcache_bit_identity(ctx):
+    """Cached == uncached, bit for bit, on every serving path."""
+    rows = []
+    checked = {}
+    for name in DATASETS:
+        system = ctx.factory(name).system(0, 0)
+        texts = _workload_texts(ctx, name)[:150]
+        assert texts
+
+        system.semcache.configure(0, None)
+        uncached = [system.estimate(text) for text in texts]
+
+        system.semcache.configure(max(4096, 2 * len(texts)), None)
+        cold = [system.estimate(text) for text in texts]
+        warm = [system.estimate(text) for text in texts]
+        assert cold == uncached, "%s: cold cached estimates diverged" % name
+        assert warm == uncached, "%s: warm cached estimates diverged" % name
+
+        # Batch with duplicates: within-batch CSE fans one evaluation
+        # back out to every duplicate position.
+        batch = texts + texts[: len(texts) // 2] + texts[::-1]
+        expected = dict(zip(texts, uncached))
+        assert system.estimate(batch) == [expected[text] for text in batch]
+
+        # Cluster scatter: duplicates collapse before fan-out, replies
+        # fan back to every original position.
+        registry = SynopsisRegistry()
+        registry.register(name, system)
+        service = EstimationService(registry)
+        router = ClusterRouter(
+            ["10.0.0.%d:9000" % (index + 1) for index in range(3)],
+            config=RouterConfig(replication=3, scatter_min=4),
+            client_factory=lambda address: LoopbackClient(service),
+        )
+        scatter = texts[:40] + texts[:40]
+        document = router.handle_estimate(
+            {"synopsis": name, "queries": scatter}
+        )
+        assert document["count"] == len(scatter)
+        got = [result["estimate"] for result in document["results"]]
+        assert got == [expected[text] for text in scatter], (
+            "%s: scatter estimates diverged from direct evaluation" % name
+        )
+        checked[name] = {
+            "direct": len(texts),
+            "batch": len(batch),
+            "scatter": len(scatter),
+        }
+        rows.append([name, len(texts), len(batch), len(scatter), "ok"])
+
+    record_result(
+        "semcache_bit_identity",
+        format_table(
+            ["Dataset", "#direct", "#batch", "#scatter", "identical"],
+            rows,
+            title="Semantic cache: cached vs uncached bit-identity",
+        ),
+        metrics={"checked": checked, "identical": True},
+    )
+
+
+def test_generation_bump_is_o1():
+    """Invalidation cost must not depend on resident entry count."""
+
+    def best_bump_s(resident):
+        cache = SemanticResultCache(capacity=resident + 16)
+        for index in range(resident):
+            cache.put("//Q%d/$A" % index, "f1d1", float(index))
+        assert len(cache) == resident
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(1000):
+                cache.bump_generation()
+            elapsed = (time.perf_counter() - start) / 1000.0
+            if elapsed < best:
+                best = elapsed
+        return best
+
+    small = best_bump_s(16)
+    large = best_bump_s(65536)
+    record_result(
+        "semcache_bump",
+        format_table(
+            ["resident entries", "bump cost"],
+            [[16, "%.0f ns" % (small * 1e9)], [65536, "%.0f ns" % (large * 1e9)]],
+            title="Semantic cache: generation bump is O(1)",
+        ),
+        metrics={
+            "bump_ns_16_entries": round(small * 1e9, 1),
+            "bump_ns_65536_entries": round(large * 1e9, 1),
+        },
+    )
+    # 4096x more resident entries must not change the cost class; the
+    # generous factor only absorbs timer noise, not an entry scan (a
+    # scan would be thousands of times slower).
+    assert large < small * 20 + 20e-6, (
+        "bump cost grew with residency: %.0f ns at 16 vs %.0f ns at 65536"
+        % (small * 1e9, large * 1e9)
+    )

@@ -113,6 +113,11 @@ def test_service_throughput(ctx, benchmark):
     items = (workload.simple + workload.branch + workload.order_branch)[:MAX_QUERIES]
     texts = [item.text for item in items]
     direct = {item.text: system.estimate(item.query) for item in items}
+    # This A/B isolates the compiled-plan cache, so the semantic result
+    # cache underneath it is held off for both arms — it would otherwise
+    # serve the hot path in the cache-off arm too and drown the plan
+    # cache's effect in noise (bench_semcache measures that layer).
+    system.semcache.configure(0, None)
 
     def run(cache_capacity, driver=_drive):
         registry = SynopsisRegistry()
@@ -170,3 +175,6 @@ def test_service_throughput(ctx, benchmark):
     # Batching amortizes HTTP round trips and shares the per-batch memo
     # (duplicates are computed once), so it must beat per-query QPS.
     assert batch_qps > on_qps
+    # The factory caches systems session-wide; give the next bench the
+    # default semantic cache back.
+    system.semcache.configure(4096, None)

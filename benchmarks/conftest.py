@@ -22,7 +22,7 @@ import pytest
 
 from repro.datasets import generate
 from repro.harness import SystemFactory
-from repro.harness.tables import rendered_results
+from repro.harness.tables import _RESULTS, record_metrics, rendered_results
 from repro.workload import WorkloadGenerator
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
@@ -69,3 +69,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line("REPRODUCED TABLES AND FIGURES")
         for line in text.splitlines():
             terminalreporter.write_line(line)
+        # Machine-readable run index beside the tables: which benches
+        # produced results under which knobs (benches with numeric
+        # metrics additionally write their own BENCH_<name>.json via
+        # record_result(..., metrics=...)).
+        record_metrics(
+            "run_index",
+            {
+                "results": sorted(_RESULTS),
+                "scale": BENCH_SCALE,
+                "raw_candidates": BENCH_RAW,
+                "exit_status": int(exitstatus),
+            },
+        )

@@ -247,6 +247,10 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _semcache_capacity(args: argparse.Namespace) -> int:
+    return 0 if args.no_semcache else max(0, args.semcache_capacity)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import (
         EstimationService,
@@ -301,6 +305,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry,
         plan_cache=PlanCache(args.plan_cache),
         gate=gate,
+        semcache_capacity=_semcache_capacity(args),
+        semcache_ttl_s=args.semcache_ttl or None,
         request_deadline_s=args.deadline or None,
         slow_log=SlowQueryLog(
             capacity=args.slowlog_capacity,
@@ -317,8 +323,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         read_deadline_s=args.read_deadline or None,
     )
     print(
-        "serving %d synopsis(es) [%s] on http://%s:%d (plan cache %d)"
-        % (len(names), ", ".join(names), server.host, server.port, args.plan_cache),
+        "serving %d synopsis(es) [%s] on http://%s:%d (plan cache %d, "
+        "semcache %d)"
+        % (
+            len(names), ", ".join(names), server.host, server.port,
+            args.plan_cache, _semcache_capacity(args),
+        ),
         flush=True,
     )
     try:
@@ -452,6 +462,8 @@ def _serve_pool(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         plan_cache_capacity=args.plan_cache,
+        semcache_capacity=_semcache_capacity(args),
+        semcache_ttl_s=args.semcache_ttl or None,
         reload_interval_s=args.reload_interval,
         max_inflight=args.max_inflight,
         request_deadline_s=args.deadline or None,
@@ -828,6 +840,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--plan-cache", type=int, default=512,
         help="compiled-plan LRU capacity (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--semcache-capacity", type=int, default=4096,
+        help="semantic result cache entries per synopsis (canonicalized "
+        "estimate memoization; 0 disables result caching)",
+    )
+    serve.add_argument(
+        "--semcache-ttl", type=float, default=0.0,
+        help="TTL for semantic-cache entries in seconds (0 = entries "
+        "live until the next synopsis generation bump)",
+    )
+    serve.add_argument(
+        "--no-semcache", action="store_true",
+        help="disable the semantic result cache (same as "
+        "--semcache-capacity 0)",
     )
     serve.add_argument(
         "--reload-interval", type=float, default=0.0,

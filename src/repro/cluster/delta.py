@@ -259,6 +259,12 @@ class IncrementalSynopsis:
             else:
                 system = self.system
                 self.deferred_total += 1
+                # The served statistics are unchanged (the merge is
+                # deferred), so cached estimates are still correct —
+                # but the ISSUE contract is that *every* delta apply
+                # invalidates, and a bump is O(1), so staleness can
+                # never depend on the drift heuristic.
+                system.semcache.bump_generation()
             return DeltaOutcome(
                 system,
                 refresh,

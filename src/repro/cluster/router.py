@@ -425,11 +425,46 @@ class ClusterRouter:
         Each chunk keeps the whole replica set for failover (rotated so
         chunk *i* starts on replica *i* — the parallelism) and a chunk
         only degrades when every replica failed it.
+
+        Duplicate query texts are deduplicated *before* chunking
+        (within-batch common-subexpression elimination at the routing
+        layer: each distinct text ships and evaluates once) and the
+        replies are fanned back out to the original positions.  Dedup
+        is by exact text — canonical equivalence is the backends' job,
+        where the parsed AST is available.
         """
         actuals = payload.get("actuals")
-        chunk_count = min(len(replicas), len(queries))
+        aligned_actuals = (
+            actuals if isinstance(actuals, list) and len(actuals) == len(queries)
+            else None
+        )
+        expand: List[int] = []
+        unique_queries: List[Any] = []
+        unique_actuals: Optional[List[Any]] = (
+            [] if aligned_actuals is not None else None
+        )
+        positions: Dict[str, int] = {}
+        for offset, query in enumerate(queries):
+            if isinstance(query, str):
+                index = positions.get(query)
+                if index is None:
+                    index = len(unique_queries)
+                    positions[query] = index
+                    unique_queries.append(query)
+                    if unique_actuals is not None:
+                        unique_actuals.append(aligned_actuals[offset])
+            else:
+                # Non-string entries (the backend will 4xx them per-item)
+                # are never merged.
+                index = len(unique_queries)
+                unique_queries.append(query)
+                if unique_actuals is not None:
+                    unique_actuals.append(aligned_actuals[offset])
+            expand.append(index)
+
+        chunk_count = min(len(replicas), len(unique_queries))
         bounds = []
-        base, extra = divmod(len(queries), chunk_count)
+        base, extra = divmod(len(unique_queries), chunk_count)
         start = 0
         for index in range(chunk_count):
             size = base + (1 if index < extra else 0)
@@ -441,9 +476,9 @@ class ClusterRouter:
 
         def run(index: int, lo: int, hi: int) -> None:
             chunk_payload = dict(payload)
-            chunk_payload["queries"] = queries[lo:hi]
-            if isinstance(actuals, list) and len(actuals) == len(queries):
-                chunk_payload["actuals"] = actuals[lo:hi]
+            chunk_payload["queries"] = unique_queries[lo:hi]
+            if unique_actuals is not None:
+                chunk_payload["actuals"] = unique_actuals[lo:hi]
             rotated = replicas[index % len(replicas):] + replicas[: index % len(replicas)]
             try:
                 _, outcomes[index] = self._try_replicas(
@@ -469,7 +504,7 @@ class ClusterRouter:
             raise ReplicasExhaustedError(
                 "batch scatter failed on every chunk: %s" % errors[0]
             )
-        results: List[Dict[str, Any]] = []
+        unique_results: List[Dict[str, Any]] = []
         degraded = False
         generation = 0
         for index, (lo, hi) in enumerate(bounds):
@@ -478,12 +513,22 @@ class ClusterRouter:
                 degraded = True
                 self.metrics.incr("degraded_chunks_total")
                 failure = error_body("replicas_exhausted", str(errors[index]))
-                results.extend(dict(failure) for _ in range(hi - lo))
+                unique_results.extend(dict(failure) for _ in range(hi - lo))
                 continue
             generation = max(generation, int(outcome.get("generation", 0)))
-            results.extend(outcome.get("results", []))
+            unique_results.extend(outcome.get("results", []))
         if degraded:
             self.metrics.incr("degraded_batches_total")
+        # Fan the deduplicated replies back out to the original batch
+        # positions (independent dict copies, so per-item consumers can
+        # mutate without aliasing).
+        results: List[Dict[str, Any]] = []
+        for index in expand:
+            if index < len(unique_results):
+                results.append(dict(unique_results[index]))
+            else:  # pragma: no cover - defensive against short replies
+                results.append(error_body("short_reply", "backend returned "
+                                          "fewer results than queries"))
         document: Dict[str, Any] = {
             "synopsis": synopsis,
             "generation": generation,

@@ -42,8 +42,15 @@ class EstimateResult:
         The span tree (see :mod:`repro.obs.trace`) when tracing was
         requested, else ``None``.
     cached:
-        Whether a compiled-plan cache served the estimate (service
+        Legacy boolean, kept as a compat alias of ``cache["plan"]``:
+        whether the compiled-plan cache served the estimate (service
         responses only; ``None`` for direct in-process estimation).
+    cache:
+        Structured cache attribution (service responses only):
+        ``{"plan": bool, "result": bool}`` — whether the compiled-plan
+        cache hit and whether the semantic result cache (or the
+        within-batch CSE memo) served the value.  ``None`` when
+        unknown (direct estimation or a pre-semcache server).
     kernel:
         Whether a compiled synopsis kernel executed the estimate
         (service responses only; ``None`` when unknown, e.g. direct
@@ -63,6 +70,7 @@ class EstimateResult:
     cached: Optional[bool] = None
     kernel: Optional[bool] = None
     tier: Optional[str] = None
+    cache: Optional[Dict[str, bool]] = None
 
     def __float__(self) -> float:
         return float(self.value)
@@ -85,6 +93,8 @@ class EstimateResult:
         }
         if self.cached is not None:
             payload["cached"] = self.cached
+        if self.cache is not None:
+            payload["cache"] = dict(self.cache)
         if self.kernel is not None:
             payload["kernel"] = self.kernel
         if self.tier is not None:
@@ -105,4 +115,5 @@ class EstimateResult:
             cached=payload.get("cached"),
             kernel=payload.get("kernel"),
             tier=payload.get("tier"),
+            cache=payload.get("cache"),
         )

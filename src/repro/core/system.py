@@ -45,6 +45,7 @@ from repro.core.providers import (
 from repro.core.result import EstimateResult
 from repro.obs.providers import TracingOrderStats, TracingPathStats
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.semcache import SemanticResultCache, canonical_key, options_fingerprint
 from repro.kernel.compiled import SynopsisKernel
 from repro.histograms.ohistogram import OHistogramSet
 from repro.histograms.phistogram import PHistogramSet
@@ -112,6 +113,11 @@ class EstimationSystem:
         self.kernel_enabled = True
         self._kernel: Optional[SynopsisKernel] = None
         self._kernel_lock = threading.Lock()
+        #: Canonicalized estimate memoization (repro.semcache): the plain
+        #: ``estimate()`` path reads through it; every synopsis swap and
+        #: kernel invalidation bumps its generation (O(1) wholesale
+        #: invalidation — no entry scans).
+        self.semcache = SemanticResultCache()
         # Cost-based planning (repro.plan): one shared planner so its
         # memoized cost model warms up across queries, one processor per
         # served document, and the counters /metrics aggregates.
@@ -368,7 +374,14 @@ class EstimationSystem:
         the legacy path instead of serving a replaced synopsis; the next
         :meth:`kernel` call compiles a fresh one.  Returns whether a
         kernel was attached.
+
+        This is the single choke point every synopsis-content change
+        funnels through (registry hot reload and re-registration, live
+        appends, delta refreshes, kernelpack remaps), so it also bumps
+        the semantic result cache's generation — cached estimates must
+        never outlive the statistics they were computed from.
         """
+        self.semcache.bump_generation()
         with self._kernel_lock:
             kernel, self._kernel = self._kernel, None
         planner = self._planner
@@ -479,14 +492,45 @@ class EstimationSystem:
         if isinstance(query, (list, tuple)):
             return self._estimate_many(query, opts)
         if opts.trace or opts.detail:
+            # Detail/trace requests bypass the semantic cache: a traced
+            # estimate must observe a real execution, and the result
+            # object carries per-request timing a shared entry cannot.
             return self._estimate_detail(query, opts)
-        parsed = _coerce_query(query)
-        return self._estimate_routed(
+        return self._estimate_cached(_coerce_query(query), opts)
+
+    def _estimate_cached(self, parsed: Query, opts: EstimateOptions) -> float:
+        """Read-through semantic cache around :meth:`_estimate_routed`.
+
+        Branch-sorted (commutative) canonicalization is enabled only on
+        the fixpoint path, where the estimate is provably invariant
+        under branch reordering (see :mod:`repro.semcache.canonical`);
+        single-pass runs still merge textual variants of one tree.
+
+        ``kernel_enabled=False`` is the ablation/benchmark control arm
+        and must execute every estimate honestly, so it bypasses the
+        cache entirely (no reads, no writes).
+        """
+        cache = self.semcache
+        if not cache.enabled or not self.kernel_enabled:
+            return self._estimate_routed(
+                parsed,
+                self.select_route(parsed),
+                fixpoint=opts.fixpoint,
+                depth_consistent=opts.depth_consistent,
+            )
+        key = canonical_key(parsed, commutative=opts.fixpoint)
+        fingerprint = options_fingerprint(opts.fixpoint, opts.depth_consistent)
+        hit, value = cache.get(key, fingerprint)
+        if hit:
+            return value
+        value = self._estimate_routed(
             parsed,
             self.select_route(parsed),
             fixpoint=opts.fixpoint,
             depth_consistent=opts.depth_consistent,
         )
+        cache.put(key, fingerprint, value)
+        return value
 
     def _estimate_detail(
         self, query: Union[str, Query], opts: EstimateOptions
@@ -520,20 +564,36 @@ class EstimationSystem:
     def _estimate_many(
         self, queries: Iterable[Union[str, Query]], opts: EstimateOptions
     ) -> List[float]:
-        """Batch estimation against one shared kernel memo."""
-        memo: Dict[int, float] = {}
+        """Batch estimation with common-subexpression elimination.
+
+        Batch members are deduplicated by *canonical key* — not object
+        identity — so equivalent-but-differently-written duplicates
+        cost one estimate, with results fanned back out in input order.
+        The within-batch memo works even when the semantic cache is
+        disabled; when enabled, each distinct key also reads through it.
+        """
+        cache = self.semcache
+        use_cache = cache.enabled and self.kernel_enabled
+        fingerprint = options_fingerprint(opts.fixpoint, opts.depth_consistent)
+        memo: Dict[str, float] = {}
         values: List[float] = []
         for query in queries:
             parsed = _coerce_query(query)
-            key = id(parsed)
+            key = canonical_key(parsed, commutative=opts.fixpoint)
             value = memo.get(key)
             if value is None:
-                value = self._estimate_routed(
-                    parsed,
-                    self.select_route(parsed),
-                    fixpoint=opts.fixpoint,
-                    depth_consistent=opts.depth_consistent,
-                )
+                hit = False
+                if use_cache:
+                    hit, value = cache.get(key, fingerprint)
+                if not hit:
+                    value = self._estimate_routed(
+                        parsed,
+                        self.select_route(parsed),
+                        fixpoint=opts.fixpoint,
+                        depth_consistent=opts.depth_consistent,
+                    )
+                    if use_cache:
+                        cache.put(key, fingerprint, value)
                 memo[key] = value
             values.append(value)
         return values

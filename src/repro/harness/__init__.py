@@ -14,7 +14,12 @@ from repro.harness.runner import (
     sweep_o_variance,
     sweep_p_variance,
 )
-from repro.harness.tables import format_table, record_result, rendered_results
+from repro.harness.tables import (
+    format_table,
+    record_metrics,
+    record_result,
+    rendered_results,
+)
 
 __all__ = [
     "SystemFactory",
@@ -26,6 +31,7 @@ __all__ = [
     "sweep_p_variance",
     "sweep_o_variance",
     "format_table",
+    "record_metrics",
     "record_result",
     "rendered_results",
 ]

@@ -38,6 +38,9 @@ PREFERRED_ORDER = [
     "cluster_scaling",
     "cluster_delta",
     "traffic_capacity",
+    "semcache_qps",
+    "semcache_bit_identity",
+    "semcache_bump",
 ]
 
 HEADER = """\

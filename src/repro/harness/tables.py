@@ -9,8 +9,10 @@ what lands in ``bench_output.txt``.  Results are also written to
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, List, Optional, Sequence
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence
 
 _RESULTS: "Dict[str, str]" = {}
 
@@ -35,8 +37,20 @@ def format_table(
     return "\n".join(lines)
 
 
-def record_result(name: str, text: str, results_dir: Optional[str] = None) -> None:
-    """Register a rendered experiment table and persist it to disk."""
+def record_result(
+    name: str,
+    text: str,
+    results_dir: Optional[str] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Register a rendered experiment table and persist it to disk.
+
+    ``metrics`` additionally writes a machine-readable
+    ``BENCH_<name>.json`` beside the text table (one schema across every
+    bench: bench name, the metrics mapping, an ISO-8601 UTC timestamp
+    and the host core count), so the perf trajectory is trackable across
+    PRs without parsing rendered tables.
+    """
     _RESULTS[name] = text
     directory = results_dir or os.environ.get("REPRO_RESULTS_DIR", "bench_results")
     try:
@@ -44,8 +58,34 @@ def record_result(name: str, text: str, results_dir: Optional[str] = None) -> No
         path = os.path.join(directory, "%s.txt" % name)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+        if metrics is not None:
+            record_metrics(name, metrics, results_dir=directory)
     except OSError:
         pass  # persisting is best-effort; the registry still has the text
+
+
+def record_metrics(
+    name: str,
+    metrics: Dict[str, Any],
+    results_dir: Optional[str] = None,
+) -> Optional[str]:
+    """Write ``BENCH_<name>.json``; returns its path (None on failure)."""
+    directory = results_dir or os.environ.get("REPRO_RESULTS_DIR", "bench_results")
+    document = {
+        "bench": name,
+        "metrics": metrics,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "host_cores": os.cpu_count(),
+    }
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "BENCH_%s.json" % name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+    except (OSError, TypeError, ValueError):
+        return None
 
 
 def rendered_results() -> str:

@@ -71,7 +71,22 @@ class KernelJoinResult(JoinResult):
         self._tables = tables
         # None encodes the legacy all-empty result (some node died).
         self._states = states
-        self._depths = None
+        # Per-node OR of the depth masks; the states are frozen once the
+        # fixpoint converges, so the fold is computed at most once per
+        # node and shared by every reader.
+        self._alive: Optional[List[Optional[int]]] = (
+            None if states is None else [None] * len(states)
+        )
+
+    def _alive_mask(self, node_id: int) -> int:
+        assert self._alive is not None and self._states is not None
+        mask = self._alive[node_id]
+        if mask is None:
+            mask = 0
+            for depth_mask in self._states[node_id]:
+                mask |= depth_mask
+            self._alive[node_id] = mask
+        return mask
 
     def pids(self, node: QueryNode) -> Dict[int, float]:
         out: Dict[int, float] = {}
@@ -79,9 +94,7 @@ class KernelJoinResult(JoinResult):
             return out
         compiled = self._tables[node.node_id]
         pids, freqs = compiled.pids, compiled.freqs
-        alive = 0
-        for mask in self._states[node.node_id]:
-            alive |= mask
+        alive = self._alive_mask(node.node_id)
         while alive:
             low = alive & -alive
             index = low.bit_length() - 1
@@ -95,16 +108,20 @@ class KernelJoinResult(JoinResult):
             return out
         compiled = self._tables[node.node_id]
         state = self._states[node.node_id]
-        alive = 0
-        for mask in state:
-            alive |= mask
-        while alive:
-            low = alive & -alive
-            index = low.bit_length() - 1
-            out[compiled.pids[index]] = {
-                depth for depth, mask in enumerate(state) if mask & low
-            }
-            alive ^= low
+        pids = compiled.pids
+        # One pass over the depth masks, scattering set bits into the
+        # per-pid depth sets — instead of re-scanning enumerate(state)
+        # once per surviving pid.
+        for depth, mask in enumerate(state):
+            while mask:
+                low = mask & -mask
+                pid = pids[low.bit_length() - 1]
+                bucket = out.get(pid)
+                if bucket is None:
+                    out[pid] = {depth}
+                else:
+                    bucket.add(depth)
+                mask ^= low
         return out
 
     def frequency(self, node: QueryNode) -> float:
@@ -112,9 +129,7 @@ class KernelJoinResult(JoinResult):
             return 0.0
         compiled = self._tables[node.node_id]
         freqs = compiled.freqs
-        alive = 0
-        for mask in self._states[node.node_id]:
-            alive |= mask
+        alive = self._alive_mask(node.node_id)
         # Ascending index order == the legacy dict's insertion order, so
         # the float sum is associativity-identical to the legacy path.
         total = 0.0
@@ -132,22 +147,17 @@ class KernelJoinResult(JoinResult):
         if self._states is None:
             return 0
         total = 0
-        for state in self._states:
-            alive = 0
-            for mask in state:
-                alive |= mask
-            total += popcount(alive)
+        for node_id in range(len(self._states)):
+            total += popcount(self._alive_mask(node_id))
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self._states is None:
             return "<KernelJoinResult empty>"
-        counts = []
-        for state in self._states:
-            alive = 0
-            for mask in state:
-                alive |= mask
-            counts.append(popcount(alive))
+        counts = [
+            popcount(self._alive_mask(node_id))
+            for node_id in range(len(self._states))
+        ]
         return "<KernelJoinResult pids per node: %s>" % counts
 
 

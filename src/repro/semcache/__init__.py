@@ -1,0 +1,23 @@
+"""Semantic result cache: canonicalized estimate memoization.
+
+``canonical_key`` maps parsed query ASTs to a stable, equivalence-
+merging cache key; ``SemanticResultCache`` is the generation-stamped,
+frequency-biased LRU it keys into.  :class:`repro.EstimationSystem`
+owns one instance per synopsis and reads through it on the plain
+``estimate()`` path (trace/detail/explain bypass).
+"""
+
+from repro.semcache.cache import (
+    DEFAULT_CAPACITY,
+    SemanticResultCache,
+    SemCacheStats,
+)
+from repro.semcache.canonical import canonical_key, options_fingerprint
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "SemanticResultCache",
+    "SemCacheStats",
+    "canonical_key",
+    "options_fingerprint",
+]

@@ -1,0 +1,238 @@
+"""Generation-stamped semantic result cache.
+
+A thread-safe, frequency-biased LRU mapping
+``(generation, canonical_key, options_fingerprint)`` to an immutable
+estimate value.  Three properties carry the design:
+
+* **Generation stamping** makes invalidation O(1): every entry is
+  keyed by the generation it was written under, and
+  :meth:`bump_generation` just increments the counter — stale entries
+  can never match again and age out through the LRU ring.  No scan,
+  ever, regardless of how many entries are resident.
+* **TinyLFU-lite admission** keeps one-hit-wonder queries from
+  flushing the hot set: an access-frequency sketch (a plain counter
+  table with periodic halving, keyed *without* the generation so hot
+  queries keep their history across reloads) is consulted when the
+  ring is full — a candidate is admitted only if it has been seen at
+  least as often as the LRU victim it would evict.
+* **TTL** is a safety valve for deployments that mutate synopses out
+  of band: entries older than ``ttl_s`` count as misses and are
+  dropped on touch.
+
+``capacity=0`` disables the cache entirely (every lookup is a miss,
+stores are no-ops), which is the control arm of ``bench_semcache``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+DEFAULT_CAPACITY = 4096
+
+# The admission sketch is halved once its total sample count reaches
+# this multiple of the ring capacity, so frequencies decay and a
+# formerly-hot query cannot squat in the sketch forever.
+_SKETCH_SAMPLES_PER_SLOT = 10
+
+
+@dataclass(frozen=True)
+class SemCacheStats:
+    """Point-in-time counters (monotonic except size/generation)."""
+
+    capacity: int
+    size: int
+    generation: int
+    hits: int
+    misses: int
+    admissions: int
+    rejections: int
+    evictions: int
+    expirations: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "generation": self.generation,
+            "hits": self.hits,
+            "misses": self.misses,
+            "admissions": self.admissions,
+            "rejections": self.rejections,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SemanticResultCache:
+    """Frequency-biased LRU of canonicalized estimate results."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.capacity = max(0, int(capacity))
+        self.ttl_s = ttl_s if ttl_s and ttl_s > 0 else None
+        self._clock = clock
+        self._lock = threading.Lock()
+        # key -> (value, expires_at | None); insertion order == LRU.
+        self._entries: "OrderedDict[Tuple[int, str, str], Tuple[Any, Optional[float]]]" = (
+            OrderedDict()
+        )
+        # (canonical, fingerprint) -> access count; generation-free so
+        # hot keys keep their admission history across bumps.
+        self._freq: Dict[Tuple[str, str], int] = {}
+        self._freq_samples = 0
+        self._generation = 0
+        self._hits = 0
+        self._misses = 0
+        self._admissions = 0
+        self._rejections = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def get(self, canonical: str, fingerprint: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for the key under the current generation.
+
+        Every lookup (hit or miss) feeds the admission sketch, so a
+        repeated query earns admission even while it keeps missing.
+        """
+        if not self.enabled:
+            return False, None
+        with self._lock:
+            self._touch_freq((canonical, fingerprint))
+            key = (self._generation, canonical, fingerprint)
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return False, None
+            value, expires_at = entry
+            if expires_at is not None and self._clock() >= expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def put(self, canonical: str, fingerprint: str, value: Any) -> bool:
+        """Offer ``value`` for the key; returns True when stored.
+
+        ``value`` must be immutable — the same object is handed back to
+        every future hit.  A full ring consults the frequency sketch:
+        the candidate evicts the LRU victim only if it has been
+        accessed at least as often.
+        """
+        if not self.enabled:
+            return False
+        with self._lock:
+            key = (self._generation, canonical, fingerprint)
+            expires_at = (
+                self._clock() + self.ttl_s if self.ttl_s is not None else None
+            )
+            if key in self._entries:
+                self._entries[key] = (value, expires_at)
+                self._entries.move_to_end(key)
+                return True
+            if len(self._entries) >= self.capacity:
+                victim_key = next(iter(self._entries))
+                victim_freq = self._freq.get(victim_key[1:], 0)
+                candidate_freq = self._freq.get((canonical, fingerprint), 0)
+                if candidate_freq < victim_freq:
+                    self._rejections += 1
+                    return False
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = (value, expires_at)
+            self._admissions += 1
+            return True
+
+    def bump_generation(self) -> int:
+        """Invalidate everything resident, in O(1).
+
+        Entries written under older generations can never be returned
+        (their key no longer matches) and are recycled by normal LRU
+        pressure; nothing is scanned or freed eagerly.
+        """
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
+    # ------------------------------------------------------------------
+    # Admission sketch
+    # ------------------------------------------------------------------
+
+    def _touch_freq(self, sketch_key: Tuple[str, str]) -> None:
+        self._freq[sketch_key] = self._freq.get(sketch_key, 0) + 1
+        self._freq_samples += 1
+        limit = max(self.capacity, 1) * _SKETCH_SAMPLES_PER_SLOT
+        if self._freq_samples >= limit:
+            # Age: halve every count, drop the ones that reach zero.
+            self._freq = {
+                key: count // 2
+                for key, count in self._freq.items()
+                if count >= 2
+            }
+            self._freq_samples = sum(self._freq.values())
+
+    # ------------------------------------------------------------------
+    # Management
+    # ------------------------------------------------------------------
+
+    def configure(self, capacity: int, ttl_s: Optional[float]) -> None:
+        """Re-point the knobs (service config application)."""
+        with self._lock:
+            self.capacity = max(0, int(capacity))
+            self.ttl_s = ttl_s if ttl_s and ttl_s > 0 else None
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            if not self.capacity:
+                self._freq.clear()
+                self._freq_samples = 0
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> SemCacheStats:
+        with self._lock:
+            return SemCacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                generation=self._generation,
+                hits=self._hits,
+                misses=self._misses,
+                admissions=self._admissions,
+                rejections=self._rejections,
+                evictions=self._evictions,
+                expirations=self._expirations,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -104,6 +104,8 @@ def serve(
         registry,
         plan_cache=PlanCache(cfg.plan_cache_capacity),
         gate=gate,
+        semcache_capacity=cfg.semcache_capacity,
+        semcache_ttl_s=cfg.semcache_ttl_s,
         request_deadline_s=cfg.request_deadline_s,
         slow_log=SlowQueryLog(
             capacity=cfg.slowlog_capacity,

@@ -24,6 +24,12 @@ class ServerConfig:
     host: str = "127.0.0.1"
     port: int = DEFAULT_PORT
     plan_cache_capacity: int = 512
+    #: Semantic result cache (repro.semcache) ring size per served
+    #: synopsis; 0 disables result caching (plans still cache).
+    semcache_capacity: int = 4096
+    #: Optional TTL for semantic-cache entries, seconds (None = entries
+    #: live until the next generation bump or LRU eviction).
+    semcache_ttl_s: Optional[float] = None
     reload_interval_s: float = 2.0
     max_inflight: int = 64
     request_deadline_s: Optional[float] = None
@@ -81,6 +87,10 @@ class ServerConfig:
             raise ValueError("trace_sample_rate must be in [0, 1]")
         if self.plan_cache_capacity < 0:
             raise ValueError("plan_cache_capacity must be >= 0")
+        if self.semcache_capacity < 0:
+            raise ValueError("semcache_capacity must be >= 0")
+        if self.semcache_ttl_s is not None and self.semcache_ttl_s <= 0:
+            raise ValueError("semcache_ttl_s must be > 0 (or None)")
         if self.slowlog_capacity <= 0:
             raise ValueError("slowlog_capacity must be > 0")
         if self.workers < 1:

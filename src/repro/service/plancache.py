@@ -26,16 +26,20 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.axis_rewrite import rewrite_scoped_order_query
 from repro.core.system import ROUTE_NO_ORDER, ROUTE_SCOPED, EstimationSystem
+from repro.semcache import canonical_key, options_fingerprint
 from repro.xpath.ast import Query
 from repro.xpath.parser import parse_query_cached
 
 DEFAULT_CAPACITY = 512
 
+# Service plans always run with default estimate options.
+_DEFAULT_FINGERPRINT = options_fingerprint(True, True)
+
 
 class CompiledPlan:
     """A query compiled against one synopsis generation."""
 
-    __slots__ = ("text", "query", "route", "variants", "kernel", "result")
+    __slots__ = ("text", "query", "route", "variants", "kernel", "result", "canonical")
 
     def __init__(
         self,
@@ -56,6 +60,10 @@ class CompiledPlan:
         # fixed synopsis generation, and the cache key pins the
         # generation, so the first computed value is the value.
         self.result: Optional[float] = None
+        # Semantic-cache key, computed once at compile time (off the
+        # hot path) so equivalent-but-differently-written texts share
+        # one entry in the system's SemanticResultCache.
+        self.canonical = canonical_key(query)
 
     def execute(self, system: EstimationSystem) -> float:
         value = self.result
@@ -69,6 +77,30 @@ class CompiledPlan:
                 value = system._estimate_routed(self.query, self.route)
             self.result = value
         return value
+
+    def execute_cached(self, system: EstimationSystem) -> Tuple[float, bool]:
+        """Execute through every result memo; ``(value, result_hit)``.
+
+        ``result_hit`` is True when the value came from a memo instead
+        of a fresh execution: the plan's own per-generation float, or
+        the system's semantic result cache (where equivalent texts —
+        reordered branches, spelling variants — share one entry).  A
+        miss executes and populates both layers.
+        """
+        value = self.result
+        if value is not None:
+            return value, True
+        cache = system.semcache
+        read_through = cache.enabled and system.kernel_enabled
+        if read_through:
+            hit, value = cache.get(self.canonical, _DEFAULT_FINGERPRINT)
+            if hit:
+                self.result = value
+                return value, True
+        value = self.execute(system)
+        if read_through:
+            cache.put(self.canonical, _DEFAULT_FINGERPRINT, value)
+        return value, False
 
     def execute_traced(self, system: EstimationSystem, tracer) -> float:
         """Re-run the estimation under ``tracer``.

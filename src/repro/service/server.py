@@ -191,10 +191,18 @@ class EstimationService:
         trace_sample_rate: float = 0.0,
         compat_fields: bool = True,
         brownout: Optional[BrownoutController] = None,
+        semcache_capacity: Optional[int] = None,
+        semcache_ttl_s: Optional[float] = None,
     ):
         self.registry = registry
         self.compat_fields = compat_fields
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: Semantic result cache knobs applied to every served system
+        #: (None = leave each system's own SemanticResultCache defaults).
+        self.semcache_capacity = semcache_capacity
+        self.semcache_ttl_s = (
+            semcache_ttl_s if semcache_ttl_s and semcache_ttl_s > 0 else None
+        )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.gate = gate if gate is not None else AdmissionGate()
         #: QoS lanes are active when the gate is tiered; the handler then
@@ -212,6 +220,26 @@ class EstimationService:
         # pool-wide picture under "workers".
         self.workers_view: Optional[Any] = None
         self.workers_liveness: Optional[Any] = None
+
+    def _configure_semcache(self, system) -> None:
+        """Push the service's semcache knobs onto one served system.
+
+        Cheap enough to run per request (two comparisons on the hot
+        path); reconfiguration only happens when a knob actually
+        differs, e.g. the first time a hot-reloaded system is served.
+        """
+        if self.semcache_capacity is None and self.semcache_ttl_s is None:
+            return
+        cache = getattr(system, "semcache", None)
+        if cache is None:  # pragma: no cover - defensive
+            return
+        capacity = (
+            self.semcache_capacity
+            if self.semcache_capacity is not None
+            else cache.capacity
+        )
+        if cache.capacity != capacity or cache.ttl_s != self.semcache_ttl_s:
+            cache.configure(capacity, self.semcache_ttl_s)
 
     def _sample_trace(self) -> bool:
         """Deterministic systematic sampling: of every 1/rate requests,
@@ -341,11 +369,15 @@ class EstimationService:
         ``kernel`` field reports whether that execution actually took the
         bitset path (a ``bitset_join`` span in the trace).
 
-        ``memo`` is a batch-local ``text -> (value, route, kernel)`` map:
-        within one batch request, repeated query texts reuse the first
-        computed value instead of re-entering the plan cache, and every
-        plan in the batch shares the same kernel (so its containment-row
-        memos are warm across queries).
+        ``memo`` is a batch-local ``key -> (value, route, kernel)`` map
+        keyed by both exact text and the plan's canonical semantic key:
+        within one batch request, repeated texts reuse the first
+        computed value without re-entering the plan cache, equivalent-
+        but-differently-written members (reordered branches, spelling
+        variants) are deduplicated by canonical key (common-
+        subexpression elimination), and every plan in the batch shares
+        the same kernel (so its containment-row memos are warm across
+        queries).
 
         ``entry`` pins the registry entry (system + generation) for the
         whole call: :meth:`handle_estimate` resolves it once per request
@@ -392,9 +424,11 @@ class EstimationService:
                 cached=False,
                 kernel=kernel_used,
                 tier=tier,
+                cache={"plan": False, "result": False},
             )
         elif memo is not None and text in memo:
             value, route, kernel_used = memo[text]
+            self.metrics.incr("semcache_hits_total")
             result = EstimateResult(
                 value=value,
                 query=text,
@@ -403,25 +437,50 @@ class EstimationService:
                 cached=True,
                 kernel=kernel_used,
                 tier=tier,
+                cache={"plan": True, "result": True},
             )
         else:
+            self._configure_semcache(entry.system)
             plan, hit = self.plan_cache.get_or_compile(
                 entry.name, entry.generation, entry.system, text
             )
-            started = time.perf_counter()
-            value = plan.execute(entry.system)
-            kernel_used = bool(plan.kernel) and entry.system.kernel_active()
-            result = EstimateResult(
-                value=value,
-                query=text,
-                route=plan.route,
-                elapsed_ms=(time.perf_counter() - started) * 1000.0,
-                cached=hit,
-                kernel=kernel_used,
-                tier=tier,
-            )
-            if memo is not None:
-                memo[text] = (value, plan.route, kernel_used)
+            if memo is not None and plan.canonical in memo:
+                # Within-batch CSE: a differently-written equivalent of
+                # this query already ran in this batch.
+                value, route, kernel_used = memo[plan.canonical]
+                self.metrics.incr("semcache_hits_total")
+                result = EstimateResult(
+                    value=value,
+                    query=text,
+                    route=route,
+                    elapsed_ms=0.0,
+                    cached=hit,
+                    kernel=kernel_used,
+                    tier=tier,
+                    cache={"plan": hit, "result": True},
+                )
+            else:
+                started = time.perf_counter()
+                value, result_hit = plan.execute_cached(entry.system)
+                kernel_used = bool(plan.kernel) and entry.system.kernel_active()
+                self.metrics.incr(
+                    "semcache_hits_total" if result_hit
+                    else "semcache_misses_total"
+                )
+                result = EstimateResult(
+                    value=value,
+                    query=text,
+                    route=plan.route,
+                    elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                    cached=hit,
+                    kernel=kernel_used,
+                    tier=tier,
+                    cache={"plan": hit, "result": result_hit},
+                )
+                if memo is not None:
+                    memo[text] = memo[plan.canonical] = (
+                        value, plan.route, kernel_used,
+                    )
         self.metrics.incr(
             "kernel_hits_total" if kernel_used else "kernel_misses_total"
         )
@@ -474,8 +533,11 @@ class EstimationService:
             return {"plan": plan.as_dict()}
         execution = entry.system.execute(text)
         result = execution.estimate
-        if tier is not None:
-            result = dataclasses.replace(result, tier=tier)
+        # Plan verbs always run for real (explain/execute are not
+        # memoizable responses), so cache attribution is all-False.
+        result = dataclasses.replace(
+            result, tier=tier, cache={"plan": False, "result": False}
+        )
         plan = execution.plan
         self.metrics.incr("executions_total")
         if plan.replans:
@@ -848,6 +910,7 @@ class EstimationService:
         document["reliability"] = reliability
         document["kernel"] = self.kernel_document()
         document["planner"] = self.planner_document()
+        document["semcache"] = self.semcache_document()
         if self.workers_view is not None:
             try:
                 document["workers"] = self.workers_view()
@@ -907,6 +970,51 @@ class EstimationService:
         totals["build_ms"] = round(totals["build_ms"], 3)
         return totals
 
+    def semcache_document(self) -> Dict[str, Any]:
+        """Aggregate semantic-result-cache counters across the registry.
+
+        Sums each served system's :class:`~repro.semcache.SemCacheStats`
+        (``generation`` takes the maximum — it is a per-cache invalidation
+        stamp, not a fleet total); same defensive posture as
+        :meth:`kernel_document`.  ``served_hits``/``served_misses`` are
+        the service-level counters (they include within-batch CSE hits,
+        which never reach the per-system caches).
+        """
+        totals: Dict[str, Any] = {
+            "synopses": 0,
+            "capacity": 0,
+            "size": 0,
+            "generation": 0,
+            "hits": 0,
+            "misses": 0,
+            "admissions": 0,
+            "rejections": 0,
+            "evictions": 0,
+            "expirations": 0,
+            "served_hits": self.metrics.counter("semcache_hits_total"),
+            "served_misses": self.metrics.counter("semcache_misses_total"),
+        }
+        names = getattr(self.registry, "names", lambda: [])()
+        for name in names:
+            try:
+                cache = getattr(self.registry.get(name).system, "semcache", None)
+                if cache is None:
+                    continue
+                stats = cache.stats()
+                totals["synopses"] += 1
+                for key in (
+                    "capacity", "size", "hits", "misses", "admissions",
+                    "rejections", "evictions", "expirations",
+                ):
+                    totals[key] += getattr(stats, key)
+                if stats.generation > totals["generation"]:
+                    totals["generation"] = stats.generation
+            except Exception:  # pragma: no cover - defensive
+                continue
+        lookups = totals["hits"] + totals["misses"]
+        totals["hit_rate"] = totals["hits"] / lookups if lookups else 0.0
+        return totals
+
     def planner_document(self) -> Dict[str, Any]:
         """Aggregate cost-based planner counters across the registry.
 
@@ -953,7 +1061,14 @@ class EstimationService:
         gate = self.gate.stats()
         kernel = self.kernel_document()
         planner = self.planner_document()
+        semcache = self.semcache_document()
         extra = {
+            "semcache_hits": semcache["hits"],
+            "semcache_misses": semcache["misses"],
+            "semcache_admissions": semcache["admissions"],
+            "semcache_evictions": semcache["evictions"],
+            "semcache_size": semcache["size"],
+            "semcache_generation": semcache["generation"],
             "planner_plans_total": planner["plans"],
             "planner_executions_total": planner["executions"],
             "planner_replans_total": planner["replans"],

@@ -445,6 +445,8 @@ class WorkerPool:
             plan_cache=PlanCache(config.plan_cache_capacity),
             metrics=SlabMirrorMetrics(slab),
             gate=AdmissionGate(max_inflight=config.max_inflight),
+            semcache_capacity=config.semcache_capacity,
+            semcache_ttl_s=config.semcache_ttl_s,
             request_deadline_s=config.request_deadline_s,
             slow_log=SlowQueryLog(
                 capacity=config.slowlog_capacity,
@@ -526,6 +528,8 @@ class SlabMirrorMetrics:
         "deadline_exceeded_total": "deadline_hits",
         "kernel_hits_total": "kernel_hits",
         "kernel_misses_total": "kernel_misses",
+        "semcache_hits_total": "semcache_hits",
+        "semcache_misses_total": "semcache_misses",
     }
 
     def __init__(self, slab: WorkerSlab, **kwargs):

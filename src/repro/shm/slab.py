@@ -60,6 +60,8 @@ SLAB_FIELDS = (
     "kernel_misses",
     "pack_hits",
     "pack_misses",
+    "semcache_hits",
+    "semcache_misses",
     "remaps",
     "latency_count",
     "latency_sum_us",

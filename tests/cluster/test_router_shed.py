@@ -185,7 +185,9 @@ class TestScatterUnderShed:
         router, calls, _ = make_router(
             script, backends=3, replication=3, scatter_min=4
         )
-        queries = ["//A/$B"] * 6
+        # Distinct texts: duplicates would collapse in the router's
+        # scatter dedup and serve from a single chunk.
+        queries = ["//A%d/$B" % index for index in range(6)]
         router.handle_estimate(
             {"synopsis": "demo", "queries": queries, "tier": "bulk"}
         )

@@ -1,0 +1,176 @@
+"""SemanticResultCache unit behavior: LRU, admission, TTL, generations."""
+
+from __future__ import annotations
+
+from repro.semcache import SemanticResultCache
+
+FP = "f1d1"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestBasicProtocol:
+    def test_put_then_get_hits(self):
+        cache = SemanticResultCache(capacity=4)
+        assert cache.put("//A/B", FP, 2.5)
+        hit, value = cache.get("//A/B", FP)
+        assert hit and value == 2.5
+
+    def test_absent_key_misses(self):
+        cache = SemanticResultCache(capacity=4)
+        hit, value = cache.get("//A/B", FP)
+        assert not hit and value is None
+        assert cache.stats().misses == 1
+
+    def test_fingerprints_partition_the_keyspace(self):
+        cache = SemanticResultCache(capacity=4)
+        cache.put("//A/B", "f1d1", 1.0)
+        cache.put("//A/B", "f0d1", 9.0)
+        assert cache.get("//A/B", "f1d1") == (True, 1.0)
+        assert cache.get("//A/B", "f0d1") == (True, 9.0)
+
+
+class TestLRUAndAdmission:
+    def test_lru_victim_is_the_coldest_entry(self):
+        cache = SemanticResultCache(capacity=2)
+        cache.put("a", FP, 1.0)
+        cache.put("b", FP, 2.0)
+        cache.get("a", FP)  # refresh a; b becomes the LRU victim
+        assert cache.put("c", FP, 3.0)
+        assert cache.get("a", FP)[0]
+        assert not cache.get("b", FP)[0]
+        assert cache.stats().evictions == 1
+
+    def test_cold_candidate_cannot_evict_a_hot_entry(self):
+        cache = SemanticResultCache(capacity=1)
+        cache.put("hot", FP, 1.0)
+        for _ in range(5):
+            cache.get("hot", FP)
+        # ``cold`` has never been looked up: frequency 0 < 5, rejected.
+        assert not cache.put("cold", FP, 2.0)
+        assert cache.get("hot", FP) == (True, 1.0)
+        assert cache.stats().rejections == 1
+
+    def test_repeated_misses_earn_admission(self):
+        cache = SemanticResultCache(capacity=1)
+        cache.put("hot", FP, 1.0)
+        cache.get("hot", FP)
+        # Every lookup — hit or miss — feeds the admission sketch, so a
+        # genuinely recurring query displaces the incumbent eventually.
+        for _ in range(3):
+            cache.get("cold", FP)
+        assert cache.put("cold", FP, 2.0)
+        assert cache.get("cold", FP) == (True, 2.0)
+
+    def test_overwrite_of_resident_key_never_evicts(self):
+        cache = SemanticResultCache(capacity=1)
+        cache.put("a", FP, 1.0)
+        assert cache.put("a", FP, 1.5)
+        assert len(cache) == 1
+        assert cache.get("a", FP) == (True, 1.5)
+
+
+class TestTTL:
+    def test_entries_expire_after_ttl(self):
+        clock = FakeClock()
+        cache = SemanticResultCache(capacity=4, ttl_s=10.0, clock=clock)
+        cache.put("a", FP, 1.0)
+        clock.now = 9.9
+        assert cache.get("a", FP)[0]
+        clock.now = 10.0
+        hit, _ = cache.get("a", FP)
+        assert not hit
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.size == 0
+
+    def test_no_ttl_means_entries_never_expire(self):
+        clock = FakeClock()
+        cache = SemanticResultCache(capacity=4, clock=clock)
+        cache.put("a", FP, 1.0)
+        clock.now = 1e9
+        assert cache.get("a", FP)[0]
+
+
+class TestGenerations:
+    def test_bump_invalidates_every_resident_entry(self):
+        cache = SemanticResultCache(capacity=8)
+        for index in range(5):
+            cache.put("q%d" % index, FP, float(index))
+        assert cache.bump_generation() == 1
+        for index in range(5):
+            assert not cache.get("q%d" % index, FP)[0]
+
+    def test_bump_is_o1_no_entries_are_freed_eagerly(self):
+        cache = SemanticResultCache(capacity=8)
+        for index in range(5):
+            cache.put("q%d" % index, FP, float(index))
+        cache.bump_generation()
+        # Stale entries age out under LRU pressure, not on the bump.
+        assert len(cache) == 5
+        assert cache.stats().generation == 1
+
+    def test_fresh_writes_land_under_the_new_generation(self):
+        cache = SemanticResultCache(capacity=8)
+        cache.put("a", FP, 1.0)
+        cache.bump_generation()
+        cache.put("a", FP, 2.0)
+        assert cache.get("a", FP) == (True, 2.0)
+
+    def test_stale_generations_are_recycled_by_lru_pressure(self):
+        cache = SemanticResultCache(capacity=2)
+        cache.put("a", FP, 1.0)
+        cache.put("b", FP, 2.0)
+        cache.bump_generation()
+        cache.put("c", FP, 3.0)
+        cache.put("d", FP, 4.0)
+        cache.put("e", FP, 5.0)  # evicts the oldest, across generations
+        assert len(cache) == 2  # the ring never grows past capacity
+        assert cache.get("d", FP)[0]
+        assert cache.get("e", FP)[0]
+
+
+class TestDisabledAndConfigure:
+    def test_capacity_zero_disables_everything(self):
+        cache = SemanticResultCache(capacity=0)
+        assert not cache.enabled
+        assert not cache.put("a", FP, 1.0)
+        assert cache.get("a", FP) == (False, None)
+        assert len(cache) == 0
+
+    def test_configure_trims_overflow(self):
+        cache = SemanticResultCache(capacity=8)
+        for index in range(6):
+            cache.put("q%d" % index, FP, float(index))
+        cache.configure(2, None)
+        assert len(cache) == 2
+        assert cache.stats().evictions == 4
+        # The survivors are the most recently used entries.
+        assert cache.get("q4", FP)[0]
+        assert cache.get("q5", FP)[0]
+
+    def test_configure_to_zero_then_back_restarts_clean(self):
+        cache = SemanticResultCache(capacity=4)
+        cache.put("a", FP, 1.0)
+        cache.configure(0, None)
+        assert not cache.enabled and len(cache) == 0
+        cache.configure(4, None)
+        assert cache.enabled
+        assert not cache.get("a", FP)[0]
+        assert cache.put("a", FP, 1.0)
+
+    def test_stats_hit_rate(self):
+        cache = SemanticResultCache(capacity=4)
+        cache.put("a", FP, 1.0)
+        cache.get("a", FP)
+        cache.get("b", FP)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+        assert stats.as_dict()["hit_rate"] == 0.5

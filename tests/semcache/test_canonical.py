@@ -1,0 +1,89 @@
+"""Canonical cache keys: equivalence merging vs bit-identity gating.
+
+The canonicalizer may merge two spellings only when evaluation is
+provably invariant between them (see repro/semcache/canonical.py);
+everything else must stay distinct, or the cache would serve a float
+computed for a *different* evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.semcache import canonical_key, options_fingerprint
+from repro.xpath.parser import parse_query
+
+
+class TestBranchCommutativity:
+    def test_equivalent_branch_orders_share_a_key(self):
+        a = parse_query("//A[/B][//C]/$D")
+        b = parse_query("//A[//C][/B]/$D")
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_noncommutative_rendering_keeps_branch_order(self):
+        # fixpoint=False single-pass pruning depends on constraint
+        # order, so the key must not merge permuted spellings.
+        a = parse_query("//A[/B][//C]/$D")
+        b = parse_query("//A[//C][/B]/$D")
+        key_a = canonical_key(a, commutative=False)
+        key_b = canonical_key(b, commutative=False)
+        assert key_a != key_b
+
+    def test_order_axis_queries_are_never_sorted(self):
+        # The order route combines factors in query-edge order; its
+        # float result is not permutation-invariant, so order-axis
+        # queries stay unsorted even on the commutative path.
+        a = parse_query("//A[/B][/C/folls::E]")
+        b = parse_query("//A[/C/folls::E][/B]")
+        assert a.has_order_axes()
+        assert canonical_key(a) != canonical_key(b)
+
+    def test_nested_branches_sort_recursively(self):
+        a = parse_query("//A[/C[/F][//E]][/B]")
+        b = parse_query("//A[/B][/C[//E][/F]]")
+        assert canonical_key(a) == canonical_key(b)
+
+
+class TestTargetMarkers:
+    def test_distinct_targets_get_distinct_keys(self):
+        assert canonical_key(parse_query("//$A/B")) != canonical_key(
+            parse_query("//A/$B")
+        )
+
+    def test_default_target_marker_is_elided(self):
+        # ``//A/$B`` marks the node the parser would target anyway, so
+        # it shares a key with the unmarked spelling.
+        assert canonical_key(parse_query("//A/$B")) == canonical_key(
+            parse_query("//A/B")
+        )
+
+    def test_target_survives_branch_sorting(self):
+        a = parse_query("//A[/$B][//C]")
+        b = parse_query("//A[//C][/$B]")
+        assert canonical_key(a) == canonical_key(b)
+        # ...and a differently-targeted permutation does not merge in.
+        c = parse_query("//A[/B][//$C]")
+        assert canonical_key(c) != canonical_key(a)
+
+
+class TestKeyMechanics:
+    def test_keys_are_interned(self):
+        first = canonical_key(parse_query("//A[/B][//C]/$D"))
+        second = canonical_key(parse_query("//A[//C][/B]/$D"))
+        assert first is second
+
+    def test_repeated_parse_yields_identical_key(self):
+        assert canonical_key(parse_query("//A/$B")) is canonical_key(
+            parse_query("//A/$B")
+        )
+
+
+class TestOptionsFingerprint:
+    def test_all_option_combinations_are_distinct(self):
+        fingerprints = {
+            options_fingerprint(fixpoint, depth_consistent)
+            for fixpoint in (True, False)
+            for depth_consistent in (True, False)
+        }
+        assert len(fingerprints) == 4
+
+    def test_default_fingerprint_is_stable(self):
+        assert options_fingerprint() == options_fingerprint(True, True)
